@@ -1,0 +1,89 @@
+"""Ablation: adjudication mechanisms under the same workload.
+
+The paper's middleware picks a *random* valid response (rule 4 of
+§5.2.1), accepting that a correct response may be passed over.  This
+bench compares that rule against majority voting and fastest-valid on a
+diverse-failure workload and quantifies the delivered-correctness gap.
+"""
+
+import pytest
+
+from repro.common.tables import render_table
+from repro.core.adjudicators import (
+    FastestValidAdjudicator,
+    MajorityVoteAdjudicator,
+    PaperRuleAdjudicator,
+)
+from repro.experiments import paper_params as P
+from repro.experiments.event_sim import run_release_pair_simulation
+
+ADJUDICATORS = {
+    "paper-random-valid": PaperRuleAdjudicator,
+    "majority-vote": MajorityVoteAdjudicator,
+    "fastest-valid": FastestValidAdjudicator,
+}
+
+BENCH_REQUESTS = 2_000
+
+
+def run_adjudicator(factory):
+    return run_release_pair_simulation(
+        joint_model=P.correlated_model(3),
+        timeout=3.0,
+        requests=BENCH_REQUESTS,
+        seed=23,
+        adjudicator=factory(),
+    )
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        name: run_adjudicator(factory)
+        for name, factory in ADJUDICATORS.items()
+    }
+
+
+def test_adjudicators_benchmark(benchmark, results):
+    benchmark.pedantic(
+        lambda: run_adjudicator(PaperRuleAdjudicator),
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for name, metrics in results.items():
+        system = metrics.system
+        rows.append([
+            name,
+            system.reliability,
+            system.counts.non_evident,
+            system.mean_execution_time,
+        ])
+    print()
+    print(render_table(
+        ["Adjudicator", "System reliability", "Delivered NER",
+         "System MET"],
+        rows,
+        title=f"Adjudicator ablation (run 3, timeout 3.0 s, "
+              f"{BENCH_REQUESTS} requests)",
+    ))
+
+
+def test_all_adjudicators_beat_weaker_release(results):
+    for name, metrics in results.items():
+        weaker = min(
+            metrics.releases[0].reliability,
+            metrics.releases[1].reliability,
+        )
+        assert metrics.system.reliability >= weaker - 0.02, name
+
+
+def test_same_collection_policy_across_adjudicators(results):
+    # The adjudicator only changes the *choice*, not what is collected:
+    # per-release rows must be identical across adjudicators (same seed).
+    reference = results["paper-random-valid"]
+    for name, metrics in results.items():
+        for i in (0, 1):
+            assert (
+                metrics.releases[i].counts.as_dict()
+                == reference.releases[i].counts.as_dict()
+            ), name

@@ -1,0 +1,83 @@
+"""Performance benchmarks: the discrete-event kernel and middleware.
+
+Bounds the substrate's overhead: a Tables-5/6 cell processes 10,000
+requests, each spawning ~6 events, so kernel throughput directly caps
+experiment turnaround.
+"""
+
+import numpy as np
+
+from repro.core.middleware import UpgradeMiddleware
+from repro.core.monitor import MonitoringSubsystem
+from repro.experiments import paper_params as P
+from repro.experiments.event_sim import run_release_pair_simulation
+from repro.services.endpoint import ServiceEndpoint
+from repro.services.message import RequestMessage
+from repro.services.wsdl import default_wsdl
+from repro.simulation.correlation import OutcomeDistribution
+from repro.simulation.distributions import Deterministic
+from repro.simulation.engine import Simulator
+from repro.simulation.release_model import ReleaseBehaviour
+from repro.simulation.timing import SystemTimingPolicy
+
+
+def test_kernel_event_throughput(benchmark):
+    def run_events():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+
+        for i in range(20_000):
+            sim.schedule(float(i % 100) / 10.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run_events) == 20_000
+
+
+def test_middleware_demand_throughput(benchmark):
+    def run_demands():
+        sim = Simulator()
+        endpoints = [
+            ServiceEndpoint(
+                default_wsdl("WS", "n", release=f"1.{i}"),
+                ReleaseBehaviour(
+                    f"WS 1.{i}",
+                    OutcomeDistribution(0.9, 0.05, 0.05),
+                    Deterministic(0.3),
+                ),
+                np.random.default_rng(i),
+            )
+            for i in range(2)
+        ]
+        monitor = MonitoringSubsystem(np.random.default_rng(9))
+        middleware = UpgradeMiddleware(
+            endpoints=endpoints,
+            timing=SystemTimingPolicy(timeout=1.5, adjudication_delay=0.1),
+            rng=np.random.default_rng(10),
+            monitor=monitor,
+        )
+        for i in range(2_000):
+            request = RequestMessage("operation1", arguments=(i,))
+            sim.schedule_at(
+                i * 2.0,
+                lambda r=request, a=i: middleware.submit(
+                    sim, r, lambda resp: None, reference_answer=a
+                ),
+            )
+        sim.run()
+        return len(monitor.log)
+
+    assert benchmark(run_demands) == 2_000
+
+
+def test_full_table_cell(benchmark):
+    metrics = benchmark.pedantic(
+        lambda: run_release_pair_simulation(
+            P.correlated_model(1), timeout=1.5, requests=5_000, seed=3
+        ),
+        rounds=1, iterations=1,
+    )
+    assert metrics.system.total_requests == 5_000

@@ -1,0 +1,93 @@
+"""Ablation: false-alarm detection imperfection (§5.1.1.3, untested there).
+
+The paper simulates only *omission* oracle failures, arguing the
+'false alarm' direction "is not dangerous: ... the inference will
+produce pessimistic predictions.  As a result the decision to switch ...
+may be delayed beyond the sufficient evidence."  This bench tests that
+claim quantitatively on Scenario 2:
+
+* false alarms must only *delay* (never advance) each criterion's
+  satisfaction relative to perfect detection — the safe direction;
+* omission does the opposite (advances/keeps decisions, optimistic).
+"""
+
+import pytest
+
+from repro.bayes.detection import FalseAlarmDetection, PerfectDetection
+from repro.bayes.priors import GridSpec
+from repro.bayes.runner import SequentialAssessment
+from repro.common.seeding import SeedSequenceFactory
+from repro.common.tables import render_table
+from repro.core.switching import evaluate_history
+from repro.experiments.scenarios import scenario_2
+
+GRID = GridSpec(96, 96, 32)
+DEMANDS = 10_000
+CHECKPOINT = 250
+
+
+def run_detection(detection, seed=3):
+    scenario = scenario_2()
+    assessment = SequentialAssessment(
+        scenario.ground_truth,
+        detection,
+        scenario.prior,
+        total_demands=DEMANDS,
+        checkpoint_every=CHECKPOINT,
+        confidence_targets=scenario.confidence_targets(),
+        grid=GRID,
+    )
+    rng = SeedSequenceFactory(seed).generator("scenario-2/stream")
+    return assessment.run(rng)
+
+
+@pytest.fixture(scope="module")
+def histories():
+    return {
+        "perfect": run_detection(PerfectDetection()),
+        "false-alarm-5%": run_detection(FalseAlarmDetection(0.05)),
+        "false-alarm-15%": run_detection(FalseAlarmDetection(0.15)),
+    }
+
+
+def test_false_alarm_benchmark(benchmark, histories):
+    benchmark.pedantic(
+        lambda: run_detection(FalseAlarmDetection(0.05)),
+        rounds=1, iterations=1,
+    )
+    scenario = scenario_2()
+    criteria = scenario.criteria()
+    rows = []
+    for name, history in histories.items():
+        row = [name]
+        for criterion_name, criterion in criteria.items():
+            decision = evaluate_history(criterion, history)
+            row.append(decision.describe(DEMANDS))
+        rows.append(row)
+    print()
+    print(render_table(
+        ["Detection", "Criterion 1", "Criterion 2", "Criterion 3"],
+        rows,
+        title="False-alarm ablation (Scenario 2, 10,000 demands)",
+    ))
+
+
+def test_false_alarms_only_delay_decisions(histories):
+    scenario = scenario_2()
+    for criterion in scenario.criteria().values():
+        perfect = evaluate_history(criterion, histories["perfect"])
+        for regime in ("false-alarm-5%", "false-alarm-15%"):
+            noisy = evaluate_history(criterion, histories[regime])
+            if noisy.attainable:
+                # Whatever the false-alarm oracle concludes, it must be
+                # no earlier than the truth-backed conclusion.
+                assert perfect.attainable
+                assert noisy.first_satisfied >= perfect.first_satisfied
+
+
+def test_more_false_alarms_more_delay(histories):
+    criterion = scenario_2().criteria()["criterion-2"]
+    mild = evaluate_history(criterion, histories["false-alarm-5%"])
+    harsh = evaluate_history(criterion, histories["false-alarm-15%"])
+    if harsh.attainable and mild.attainable:
+        assert harsh.first_satisfied >= mild.first_satisfied

@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Fig. 7 (Scenario 1 percentile curves).
+
+Reduced horizon (16,000 demands); the full-size run is
+``repro-experiments fig7``.  Prints the five paper curves as a table.
+"""
+
+from repro.bayes.priors import GridSpec
+from repro.experiments.percentile_curves import run_fig7
+
+BENCH_GRID = GridSpec(96, 96, 32)
+
+
+def test_fig7_benchmark(benchmark):
+    curves = benchmark.pedantic(
+        lambda: run_fig7(
+            seed=3,
+            grid=BENCH_GRID,
+            total_demands=16_000,
+            checkpoint_every=2_000,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(curves.render())
+    print(
+        "90%-perfect <= 99%-omission everywhere: "
+        f"{curves.detection_confidence_error_ok()}"
+    )
+    # All five paper curves present, aligned, and the percentiles of B
+    # under perfect detection shrink as evidence accumulates.
+    assert set(curves.series) == set(curves.PAPER_CURVES)
+    perfect_99 = curves.series["Ch B: 99% percentile (perfect)"]
+    assert perfect_99[-1] <= perfect_99[0]

@@ -1,0 +1,35 @@
+"""Benchmark: regenerate Fig. 8 (Scenario 2 percentile curves).
+
+The paper plots to 10,000 demands; that full size is cheap enough to
+bench directly.  Prints the five paper curves as a table.
+"""
+
+from repro.bayes.priors import GridSpec
+from repro.experiments.percentile_curves import run_fig8
+
+BENCH_GRID = GridSpec(96, 96, 32)
+
+
+def test_fig8_benchmark(benchmark):
+    curves = benchmark.pedantic(
+        lambda: run_fig8(
+            seed=3,
+            grid=BENCH_GRID,
+            total_demands=10_000,
+            checkpoint_every=500,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(curves.render(stride=2))
+    print(
+        "90%-perfect <= 99%-omission everywhere: "
+        f"{curves.detection_confidence_error_ok()}"
+    )
+    # The §5.1.1.4 bound holds at full Fig.-8 size.
+    assert curves.detection_confidence_error_ok()
+    # Ch A's 99% bound must end *above* its believed 1e-3 (truth is
+    # 5e-3): the data corrects the optimistic prior.
+    cha = curves.series["Ch A: 99% percentile (perfect)"]
+    assert cha[-1] > 2e-3

@@ -1,0 +1,71 @@
+"""Performance benchmarks: the inference hot paths.
+
+The managed upgrade re-evaluates the white-box posterior at every
+checkpoint; these micro-benchmarks keep its cost visible:
+
+* building an assessor (precomputing the log-likelihood grids);
+* one posterior update + percentile query at the default grid;
+* a black-box update;
+* a full sequential 50k-demand assessment at the benchmark grid.
+"""
+
+from repro.bayes.beta import TruncatedBeta
+from repro.bayes.blackbox import BlackBoxAssessor
+from repro.bayes.counts import JointCounts
+from repro.bayes.priors import GridSpec
+from repro.bayes.runner import SequentialAssessment
+from repro.bayes.whitebox import WhiteBoxAssessor
+from repro.bayes.detection import PerfectDetection
+from repro.experiments.scenarios import scenario_1
+
+import numpy as np
+
+COUNTS = JointCounts(15, 35, 25, 49_925)
+
+
+def test_whitebox_construction(benchmark):
+    prior = scenario_1().prior
+    benchmark(lambda: WhiteBoxAssessor(prior, GridSpec(160, 160, 64)))
+
+
+def test_whitebox_update_and_percentile(benchmark):
+    assessor = WhiteBoxAssessor(scenario_1().prior, GridSpec(160, 160, 64))
+
+    def update():
+        assessor.replace_counts(COUNTS)
+        return assessor.percentile_b(0.99)
+
+    result = benchmark(update)
+    assert 0.0 < result < 0.002
+
+
+def test_blackbox_update(benchmark):
+    assessor = BlackBoxAssessor(TruncatedBeta(2, 3, upper=0.002))
+
+    def update():
+        assessor.reset()
+        assessor.observe(50_000, 40)
+        return assessor.confidence(1e-3)
+
+    result = benchmark(update)
+    assert 0.0 <= result <= 1.0
+
+
+def test_sequential_assessment_50k(benchmark):
+    scenario = scenario_1()
+    grid = GridSpec(96, 96, 32)
+    assessor = WhiteBoxAssessor(scenario.prior, grid)
+    assessment = SequentialAssessment(
+        scenario.ground_truth,
+        PerfectDetection(),
+        scenario.prior,
+        total_demands=50_000,
+        checkpoint_every=5_000,
+        confidence_targets=(1e-3,),
+        grid=grid,
+    )
+    history = benchmark.pedantic(
+        lambda: assessment.run(np.random.default_rng(3), assessor=assessor),
+        rounds=1, iterations=1,
+    )
+    assert history.final().demands == 50_000

@@ -1,0 +1,88 @@
+"""Ablation: the four §4.2 operating modes on one workload.
+
+Runs the same correlated release pair under each operating mode and
+reports availability, correctness and consumer-visible MET — the
+reliability/responsiveness/capacity trade the paper describes
+qualitatively.
+"""
+
+import pytest
+
+from repro.common.tables import render_table
+from repro.core.modes import ModeConfig
+from repro.experiments import paper_params as P
+from repro.experiments.event_sim import run_release_pair_simulation
+
+MODES = {
+    "parallel-reliability": ModeConfig.max_reliability(),
+    "parallel-responsiveness": ModeConfig.max_responsiveness(),
+    "parallel-dynamic(k=1)": ModeConfig.dynamic(1),
+    "sequential": ModeConfig.sequential(),
+}
+
+BENCH_REQUESTS = 2_000
+
+
+def run_mode(mode: ModeConfig):
+    return run_release_pair_simulation(
+        joint_model=P.correlated_model(2),
+        timeout=3.0,
+        requests=BENCH_REQUESTS,
+        seed=17,
+        mode=mode,
+    )
+
+
+@pytest.fixture(scope="module")
+def mode_results():
+    return {name: run_mode(mode) for name, mode in MODES.items()}
+
+
+def test_modes_benchmark(benchmark, mode_results):
+    benchmark.pedantic(
+        lambda: run_mode(ModeConfig.max_reliability()),
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for name, metrics in mode_results.items():
+        system = metrics.system
+        rows.append([
+            name,
+            system.availability,
+            system.reliability,
+            system.mean_execution_time,
+            metrics.releases[0].counts.total
+            + metrics.releases[1].counts.total,
+        ])
+    print()
+    print(render_table(
+        ["Mode", "Availability", "Reliability", "System MET",
+         "Release responses used"],
+        rows,
+        title=f"Operating-mode ablation (run 2, timeout 3.0 s, "
+              f"{BENCH_REQUESTS} requests)",
+    ))
+
+
+def test_responsiveness_mode_is_fastest(mode_results):
+    fast = mode_results["parallel-responsiveness"].system
+    reliable = mode_results["parallel-reliability"].system
+    assert fast.mean_execution_time < reliable.mean_execution_time
+
+
+def test_sequential_mode_uses_least_capacity(mode_results):
+    def responses_consumed(metrics):
+        return (
+            metrics.releases[0].counts.total
+            + metrics.releases[1].counts.total
+        )
+
+    sequential = responses_consumed(mode_results["sequential"])
+    parallel = responses_consumed(mode_results["parallel-reliability"])
+    assert sequential < parallel
+
+
+def test_reliability_mode_most_available(mode_results):
+    reliable = mode_results["parallel-reliability"].system.availability
+    for name, metrics in mode_results.items():
+        assert reliable >= metrics.system.availability - 0.02, name

@@ -1,0 +1,101 @@
+"""Ablation: stopping-rule plans vs realised upgrade durations.
+
+Checks that the provider-side planning bracket (failure-free Bayesian
+bound .. expected-trajectory bound, :mod:`repro.bayes.stopping`)
+actually brackets the realised Criterion-2 durations of the managed
+upgrade across Monte-Carlo streams — i.e. the planner is usable for
+capacity/rollout planning before deploying the new release.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bayes import PerfectDetection, SequentialAssessment
+from repro.bayes.priors import GridSpec
+from repro.bayes.stopping import plan_managed_upgrade
+from repro.common.tables import render_table
+from repro.core.switching import CriterionTwo, evaluate_history
+from repro.experiments.scenarios import scenario_2
+
+TARGET = 1e-3
+CONFIDENCE = 0.99
+DEMANDS = 20_000
+SEEDS = (1, 2, 3)
+
+
+def realised_duration(seed: int):
+    scenario = scenario_2()
+    assessment = SequentialAssessment(
+        scenario.ground_truth,
+        PerfectDetection(),
+        scenario.prior,
+        total_demands=DEMANDS,
+        checkpoint_every=400,
+        confidence_targets=(TARGET,),
+        grid=GridSpec(96, 96, 32),
+    )
+    history = assessment.run(np.random.default_rng(seed))
+    return evaluate_history(
+        CriterionTwo(TARGET, confidence=CONFIDENCE), history
+    )
+
+
+@pytest.fixture(scope="module")
+def plan():
+    scenario = scenario_2()
+    return plan_managed_upgrade(
+        scenario.prior.marginal_b,
+        target_pfd=TARGET,
+        anticipated_pfd=scenario.ground_truth.p_b,
+        confidence=CONFIDENCE,
+        max_demands=500_000,
+    )
+
+
+@pytest.fixture(scope="module")
+def realised():
+    return {seed: realised_duration(seed) for seed in SEEDS}
+
+
+def test_planning_benchmark(benchmark, plan, realised):
+    benchmark.pedantic(lambda: realised_duration(1), rounds=1,
+                       iterations=1)
+    rows = [
+        ["plan: Bayesian failure-free", plan["bayesian_failure_free"]],
+        ["plan: Bayesian expected trajectory",
+         plan["bayesian_expected"]],
+    ] + [
+        [f"realised (stream {seed})",
+         decision.describe(DEMANDS)]
+        for seed, decision in realised.items()
+    ]
+    print()
+    print(render_table(
+        ["Quantity", "Demands"],
+        rows,
+        title=(
+            f"Criterion-2 planning vs reality (Scenario 2, target "
+            f"{TARGET:g} @ {CONFIDENCE:.0%})"
+        ),
+    ))
+
+
+def test_failure_free_bound_is_a_floor(plan, realised):
+    # No stream can reach the target faster than the failure-free plan
+    # (modulo checkpoint granularity).
+    floor = plan["bayesian_failure_free"]
+    for decision in realised.values():
+        if decision.attainable:
+            assert decision.first_satisfied >= floor - 400
+
+
+def test_expected_trajectory_is_the_right_magnitude(plan, realised):
+    ceiling = plan["bayesian_expected"]
+    attained = [
+        d.first_satisfied for d in realised.values() if d.attainable
+    ]
+    if attained:
+        # Realised durations sit within ~2x of the expected-trajectory
+        # figure (stream noise) — the planning number is actionable.
+        assert min(attained) <= 2 * ceiling
+        assert max(attained) <= 3 * ceiling

@@ -1,0 +1,87 @@
+"""Ablation: upgrade policies — delivered incorrect responses.
+
+Compares the §3 baselines (switch immediately / never switch) against the
+managed upgrade over the transition period, under both scenarios' ground
+truths.  This is the quantitative form of the paper's argument for the
+managed upgrade: 1-out-of-2 is never worse than the better single
+release, so waiting for confidence costs nothing in correctness.
+"""
+
+import pytest
+
+from repro.common.tables import render_table
+from repro.core.policies import (
+    ImmediateSwitchPolicy,
+    ManagedUpgradePolicy,
+    NeverSwitchPolicy,
+    expected_incorrect_responses,
+)
+from repro.experiments.scenarios import scenario_1, scenario_2
+
+HORIZON = 50_000
+SWITCH_AT = 30_000  # a typical Table-2 scenario-1 switch point
+
+
+def policy_set():
+    return {
+        "immediate-switch": ImmediateSwitchPolicy(),
+        "never-switch": NeverSwitchPolicy(),
+        "managed (switch@30k)": ManagedUpgradePolicy(SWITCH_AT),
+        "managed (no switch)": ManagedUpgradePolicy(None),
+    }
+
+
+def sweep(ground_truth, coverage):
+    return {
+        name: expected_incorrect_responses(
+            policy, ground_truth, HORIZON, detection_coverage=coverage
+        )
+        for name, policy in policy_set().items()
+    }
+
+
+def test_policies_benchmark(benchmark):
+    scenario = scenario_1()
+    results = benchmark.pedantic(
+        lambda: sweep(scenario.ground_truth, 1.0),
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for scenario_obj in (scenario_1(), scenario_2()):
+        for coverage in (1.0, 0.85):
+            values = sweep(scenario_obj.ground_truth, coverage)
+            for name, expected in values.items():
+                rows.append([scenario_obj.name, coverage, name, expected])
+    print()
+    print(render_table(
+        ["Scenario", "Detection coverage", "Policy",
+         f"E[incorrect responses in {HORIZON:,} demands]"],
+        rows,
+        title="Upgrade-policy ablation",
+        float_digits=2,
+    ))
+    assert results["managed (no switch)"] <= min(
+        results["immediate-switch"], results["never-switch"]
+    )
+
+
+@pytest.mark.parametrize("scenario_factory", [scenario_1, scenario_2])
+def test_managed_never_worse_than_best_single(scenario_factory):
+    ground_truth = scenario_factory().ground_truth
+    values = sweep(ground_truth, 1.0)
+    best_single = min(
+        values["immediate-switch"], values["never-switch"]
+    )
+    assert values["managed (no switch)"] <= best_single
+    assert values["managed (switch@30k)"] <= max(
+        values["immediate-switch"], values["never-switch"]
+    )
+
+
+def test_scenario2_immediate_switch_would_have_won():
+    # Scenario 2's new release is genuinely better: immediate switching
+    # beats never switching — the managed upgrade's value is that it
+    # discovers this *safely*.
+    values = sweep(scenario_2().ground_truth, 1.0)
+    assert values["immediate-switch"] < values["never-switch"]
+    assert values["managed (no switch)"] <= values["immediate-switch"]

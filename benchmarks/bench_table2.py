@@ -1,0 +1,50 @@
+"""Benchmark: regenerate Table 2 (duration of managed upgrade).
+
+Reduced size (10,000 demands, 96x96x32 grid) for benchmarking; the
+full-size run is ``repro-experiments table2``.  Prints the paper-layout
+table once.
+"""
+
+import pytest
+
+from repro.bayes.priors import GridSpec
+from repro.experiments.table2 import run_table2
+
+BENCH_DEMANDS = 10_000
+BENCH_CHECKPOINT = 1_000
+BENCH_GRID = GridSpec(96, 96, 32)
+
+
+@pytest.fixture(scope="module")
+def table2_result():
+    return run_table2(
+        seed=3,
+        grid=BENCH_GRID,
+        total_demands=BENCH_DEMANDS,
+        checkpoint_every=BENCH_CHECKPOINT,
+    )
+
+
+def test_table2_benchmark(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_table2(
+            seed=3,
+            grid=BENCH_GRID,
+            total_demands=BENCH_DEMANDS,
+            checkpoint_every=BENCH_CHECKPOINT,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+
+
+def test_table2_shape_checks(table2_result):
+    """The qualitative Table-2 claims at benchmark size."""
+    # Scenario 2 attains criteria 1 and 3 quickly under every regime.
+    for detection in ("perfect", "omission", "back-to-back"):
+        for criterion in ("criterion-1", "criterion-3"):
+            cell = table2_result.cell("scenario-2", detection, criterion)
+            assert cell.decision.attainable
+            assert cell.decision.first_satisfied <= 5_000

@@ -1,0 +1,16 @@
+"""Shared configuration for the benchmark harness.
+
+Every ``bench_*`` module regenerates one table or figure of the paper (or
+an ablation) at a reduced-but-representative size and prints the
+paper-style rows; run the ``repro-experiments`` CLI for the full-size
+numbers recorded in EXPERIMENTS.md.
+"""
+
+collect_ignore_glob = []
+
+
+def pytest_collection_modifyitems(config, items):
+    # Benchmarks are skipped under plain `pytest benchmarks/` unless the
+    # benchmark plugin is active with --benchmark-only; nothing to do
+    # here, but keep the hook as the single extension point.
+    del config, items

@@ -1,0 +1,131 @@
+"""All §6.2 ways of publishing 'confidence in correctness'.
+
+Shows, against one live service:
+
+1. the three WSDL-level options (response extension, a separate
+   OperationConf operation, backward-compatible <op>Conf variants) —
+   including the actual WSDL ``<types>`` fragments each produces;
+2. transparent protocol handlers stamping/stripping a confidence header;
+3. a trusted mediator measuring confidence itself — and how its figure
+   goes stale when traffic bypasses it;
+4. the UDDI-registry path.
+
+Run:  python examples/confidence_publishing.py
+"""
+
+from repro.bayes import TruncatedBeta
+from repro.common.seeding import SeedSequenceFactory
+from repro.services import (
+    ClientSideHandler,
+    ConfidenceMediator,
+    ConfidenceOperationPublisher,
+    ConfidentVariantPublisher,
+    EndpointPort,
+    RequestMessage,
+    ResponseExtensionPublisher,
+    ServiceEndpoint,
+    ServiceSideHandler,
+    UddiRegistry,
+    default_wsdl,
+)
+from repro.simulation import Exponential, Simulator
+from repro.simulation.correlation import OutcomeDistribution
+from repro.simulation.release_model import ReleaseBehaviour
+
+
+def run_one(simulator, port, request, reference=None):
+    """Submit one request and return the response synchronously."""
+    out = []
+    port.submit(simulator, request, out.append, reference_answer=reference)
+    simulator.run()
+    return out[0]
+
+
+def main() -> None:
+    seeds = SeedSequenceFactory(6)
+    simulator = Simulator()
+
+    wsdl = default_wsdl("Rates", "node-1", release="1.0")
+    endpoint = ServiceEndpoint(
+        wsdl,
+        ReleaseBehaviour("Rates 1.0",
+                         OutcomeDistribution(0.995, 0.0025, 0.0025),
+                         Exponential(0.1)),
+        seeds.generator("endpoint"),
+    )
+    port = EndpointPort(endpoint)
+
+    # A mediator doubles as the live confidence source for every option.
+    mediator = ConfidenceMediator(
+        "trusted-broker", port, TruncatedBeta(1, 10, upper=0.1),
+        target_pfd=0.01,
+    )
+    # Warm the mediator up with some observed traffic.
+    for i in range(500):
+        run_one(simulator, mediator, RequestMessage("operation1",
+                                                    arguments=(i,)), i)
+    confidence = mediator.confidence
+    print(f"mediator-measured confidence P(pfd <= 1e-2): "
+          f"{confidence('operation1'):.4f} after "
+          f"{mediator.demands_observed('operation1')} demands\n")
+
+    # --- WSDL option 1: extend every response --------------------------
+    print("== option 1: response extension (not backward compatible) ==")
+    print(wsdl.with_confidence_in_response().to_xml().split("<types>")[1][:400])
+    option1 = ResponseExtensionPublisher(mediator, confidence)
+    response = run_one(simulator, option1,
+                       RequestMessage("operation1", arguments=(1,)), 1)
+    print(f"response payload: {response.result}\n")
+
+    # --- WSDL option 2: separate OperationConf operation ----------------
+    print("== option 2: separate OperationConf (extra round trip) ==")
+    option2 = ConfidenceOperationPublisher(mediator, confidence)
+    response = run_one(
+        simulator, option2,
+        RequestMessage("OperationConf", arguments=("operation1",)),
+    )
+    print(f"OperationConf('operation1') -> {response.result:.4f}\n")
+
+    # --- WSDL option 3: <op>Conf variants -------------------------------
+    print("== option 3: operation1Conf variant (best of both) ==")
+    option3 = ConfidentVariantPublisher(mediator, confidence)
+    response = run_one(simulator, option3,
+                       RequestMessage("operation1Conf", arguments=(2,)), 2)
+    print(f"operation1Conf payload: {response.result}")
+    legacy = run_one(simulator, option3,
+                     RequestMessage("operation1", arguments=(3,)), 3)
+    print(f"legacy operation1 payload (untouched): {legacy.result}\n")
+
+    # --- protocol handlers ----------------------------------------------
+    print("== protocol handlers (transparent header) ==")
+    seen = []
+    stack = ClientSideHandler(
+        ServiceSideHandler(mediator, confidence),
+        on_confidence=lambda op, c: seen.append((op, round(c, 4))),
+    )
+    response = run_one(simulator, stack,
+                       RequestMessage("operation1", arguments=(4,)), 4)
+    print(f"application payload: {response.result}; "
+          f"handler captured: {seen}\n")
+
+    # --- mediator staleness ----------------------------------------------
+    print("== mediator staleness when traffic bypasses it ==")
+    for i in range(1_500):
+        run_one(simulator, port,
+                RequestMessage("operation1", arguments=(i,)), i)
+    bypass = mediator.bypass_estimate("operation1", 500 + 4 + 1_500)
+    print(f"traffic bypassing the mediator: {bypass:.1%} — its published "
+          "figure now under-weights recent evidence\n")
+
+    # --- the UDDI path ----------------------------------------------------
+    print("== UDDI registry path ==")
+    registry = UddiRegistry()
+    registry.publish(wsdl, provider="rates-inc")
+    registry.publish_confidence("Rates", "operation1",
+                                confidence("operation1"))
+    print(f"registry.confidence_of('Rates', 'operation1') = "
+          f"{registry.confidence_of('Rates', 'operation1'):.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Compare the four §4.2 operating modes on one workload.
+
+Runs the same correlated two-release service (paper run 2 parameters)
+under each middleware operating mode and prints the reliability /
+responsiveness / capacity trade-offs the paper describes:
+
+* parallel max-reliability waits for everything — best correctness,
+  slowest;
+* parallel max-responsiveness returns the first valid response —
+  fastest, slightly riskier;
+* parallel dynamic (k-of-n with TimeOut) sits in between;
+* sequential consumes the least server capacity.
+
+Run:  python examples/operating_modes.py
+"""
+
+from repro.common.tables import render_table
+from repro.core.modes import ModeConfig, SequentialOrder
+from repro.experiments import paper_params as P
+from repro.experiments.event_sim import run_release_pair_simulation
+
+MODES = {
+    "1. parallel, max reliability": ModeConfig.max_reliability(),
+    "2. parallel, max responsiveness": ModeConfig.max_responsiveness(),
+    "3. parallel, dynamic (k=1)": ModeConfig.dynamic(1),
+    "4. sequential (fixed order)": ModeConfig.sequential(),
+    "4b. sequential (random order)": ModeConfig.sequential(
+        SequentialOrder.RANDOM
+    ),
+}
+
+
+def main() -> None:
+    requests = 4_000
+    rows = []
+    for name, mode in MODES.items():
+        metrics = run_release_pair_simulation(
+            joint_model=P.correlated_model(2),
+            timeout=3.0,
+            requests=requests,
+            seed=7,
+            mode=mode,
+        )
+        system = metrics.system
+        capacity = (
+            metrics.releases[0].counts.total
+            + metrics.releases[1].counts.total
+        )
+        rows.append([
+            name,
+            f"{system.availability:.4f}",
+            f"{system.reliability:.4f}",
+            f"{system.mean_execution_time:.3f}s",
+            capacity,
+        ])
+    print(render_table(
+        ["Operating mode", "Availability", "Reliability",
+         "Consumer-visible MET", "Release responses consumed"],
+        rows,
+        title=(
+            f"Operating modes on paper run 2 "
+            f"(correlation 0.8, TimeOut 3.0 s, {requests} requests)"
+        ),
+    ))
+    print()
+    print("Reading: mode 2 trades a little correctness for a much lower")
+    print("MET; mode 4 halves the capacity bill when the first release")
+    print("usually answers validly; mode 3 generalises both (its k and")
+    print("the TimeOut can be changed at run time via the management")
+    print("subsystem).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,164 @@
+"""Third-party component upgrade inside a composite WS (paper Figs 2 & 4).
+
+A travel-booking composite WS orchestrates two third-party components:
+a flight service and a hotel service.  Mid-run, the flight provider
+publishes release 1.1 (announced via the UDDI registry); the composite's
+upgrade manager deploys it *next to* 1.0 behind the middleware, runs its
+own back-to-back "testing campaign" using the old release as an oracle,
+and switches once Criterion 1 holds — all transparently to the booking
+consumers.
+
+Run:  python examples/third_party_upgrade.py
+"""
+
+from repro.bayes import GridSpec, TruncatedBeta, WhiteBoxAssessor, WhiteBoxPrior
+from repro.common.seeding import SeedSequenceFactory
+from repro.core import (
+    CriterionOne,
+    ManagementSubsystem,
+    MonitoringSubsystem,
+    UpgradeController,
+    UpgradeMiddleware,
+)
+from repro.core.monitor import BackToBackOnlinePolicy
+from repro.services import (
+    CompositeService,
+    EndpointPort,
+    NotificationService,
+    OrchestrationStep,
+    RequestMessage,
+    ServiceConsumer,
+    ServiceEndpoint,
+    UddiRegistry,
+    default_wsdl,
+)
+from repro.simulation import Exponential, Simulator
+from repro.simulation.correlation import OutcomeDistribution
+from repro.simulation.release_model import ReleaseBehaviour
+from repro.simulation.timing import SystemTimingPolicy
+
+
+def flight_endpoint(seeds, release, reliability):
+    failure = 1.0 - reliability
+    return ServiceEndpoint(
+        default_wsdl("FlightService", f"flight-node-{release}",
+                     release=release),
+        ReleaseBehaviour(
+            f"FlightService {release}",
+            OutcomeDistribution(reliability, failure / 2, failure / 2),
+            Exponential(0.2),
+        ),
+        seeds.generator(f"flight-{release}"),
+    )
+
+
+def main() -> None:
+    seeds = SeedSequenceFactory(42)
+    simulator = Simulator()
+    registry = UddiRegistry()
+    notifications = NotificationService.bridged_to(registry)
+
+    # --- the flight component, wrapped in upgrade middleware ----------
+    registry.publish(default_wsdl("FlightService", "flight-node-1.0",
+                                  release="1.0"), provider="skyways")
+    prior = WhiteBoxPrior(TruncatedBeta(5, 95, upper=0.3),
+                          TruncatedBeta(1, 4, upper=0.3))
+    monitor = MonitoringSubsystem(
+        seeds.generator("monitor"),
+        detection=BackToBackOnlinePolicy(),  # old release as the oracle
+        watched_pair=("FlightService 1.0", "FlightService 1.1"),
+        whitebox_assessor=WhiteBoxAssessor(prior, GridSpec(64, 64, 24)),
+    )
+    flight_middleware = UpgradeMiddleware(
+        endpoints=[flight_endpoint(seeds, "1.0", 0.97)],
+        timing=SystemTimingPolicy(timeout=2.0, adjudication_delay=0.05),
+        rng=seeds.generator("flight-mw"),
+        monitor=monitor,
+    )
+    management = ManagementSubsystem(flight_middleware, simulator.clock)
+    controller = UpgradeController(
+        flight_middleware, management,
+        CriterionOne(prior.marginal_a, confidence=0.9),
+        evaluate_every=50, min_demands=100,
+    )
+
+    # Deploy new flight releases automatically on registry announcements.
+    def on_flight_upgrade(event):
+        print(f"[t={simulator.now:7.1f}] registry announced "
+              f"{event.service_name} {event.new_release} "
+              f"(via {event.mechanism}) -> deploying side by side")
+        management.add_release(
+            flight_endpoint(seeds, event.new_release, 0.995)
+        )
+
+    notifications.subscribe("FlightService", on_flight_upgrade)
+
+    # --- the hotel component (no upgrade in this story) ---------------
+    hotel = ServiceEndpoint(
+        default_wsdl("HotelService", "hotel-node", release="2.3"),
+        ReleaseBehaviour(
+            "HotelService 2.3",
+            OutcomeDistribution(0.99, 0.005, 0.005),
+            Exponential(0.3),
+        ),
+        seeds.generator("hotel"),
+    )
+
+    # --- the composite booking service (Fig. 1 topology) --------------
+    booking = CompositeService(
+        wsdl=default_wsdl("TravelBooking", "my-node"),
+        components={
+            "flight": flight_middleware,     # managed upgrade inside
+            "hotel": EndpointPort(hotel),
+        },
+        plan=[
+            OrchestrationStep("flight", "operation1"),
+            OrchestrationStep("hotel", "operation1"),
+        ],
+        combine=lambda results: tuple(sorted(results.values(),
+                                             key=repr)),
+    )
+
+    consumer = ServiceConsumer("traveller", booking, timeout=6.0)
+
+    # The provider publishes FlightService 1.1 after 150 bookings.
+    simulator.schedule_at(
+        150 * 3.0,
+        lambda: registry.publish(
+            default_wsdl("FlightService", "flight-node-1.1", release="1.1"),
+            provider="skyways",
+        ),
+    )
+
+    bookings = 1_500
+    for i in range(bookings):
+        request = RequestMessage("operation1", arguments=(i,))
+        simulator.schedule_at(
+            i * 3.0,
+            lambda r=request, answer=i: consumer.issue(
+                simulator, r, reference_answer=answer
+            ),
+        )
+    simulator.run()
+
+    print()
+    print(f"bookings issued/answered : {consumer.stats.issued} / "
+          f"{consumer.stats.answered}")
+    print(f"booking faults           : {consumer.stats.faults}")
+    print(f"mean booking latency     : "
+          f"{consumer.stats.mean_response_time:.3f}s")
+    counts = monitor.whitebox.counts
+    print(f"back-to-back evidence    : {counts.as_tuple()}")
+    if controller.switched:
+        record = controller.switch_record
+        print(f"SWITCHED to FlightService 1.1 after "
+              f"{record.demand_index} comparison demands "
+              f"(criterion: {record.criterion})")
+    print(f"flight releases deployed : "
+          f"{flight_middleware.release_names()}")
+    print(f"management audit trail   : "
+          f"{[(a.action, a.detail) for a in management.actions]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Planning a managed upgrade before deploying it.
+
+The provider's question before starting a managed upgrade: *how long
+will the transitional period last?*  The stopping-rule planners
+(:mod:`repro.bayes.stopping`, after Littlewood & Wright, the paper's
+ref. [12]) bracket the answer from the new release's prior — then we run
+the actual managed upgrade and compare the realised duration against
+the plan.
+
+Scenario 2 setting: target P(pB <= 1e-3) = 99% (Criterion 2), new
+release anticipated at pB ~ 0.5e-3.
+
+Run:  python examples/upgrade_planning.py
+"""
+
+import numpy as np
+
+from repro.bayes import (
+    GridSpec,
+    SequentialAssessment,
+    PerfectDetection,
+    plan_managed_upgrade,
+)
+from repro.core.switching import CriterionTwo, evaluate_history
+from repro.experiments.scenarios import scenario_2
+
+
+def main() -> None:
+    scenario = scenario_2()
+    prior_new = scenario.prior.marginal_b
+    target, confidence = 1e-3, 0.99
+
+    plan = plan_managed_upgrade(
+        prior_new,
+        target_pfd=target,
+        anticipated_pfd=scenario.ground_truth.p_b,
+        confidence=confidence,
+        max_demands=500_000,
+    )
+    print("Provider-side plan (before deployment):")
+    print(f"  classical prior-free bound   : "
+          f"{plan['classical_failure_free']:,} failure-free demands")
+    print(f"  Bayesian, failure-free       : "
+          f"{plan['bayesian_failure_free']:,} demands")
+    print(f"  Bayesian, expected trajectory: "
+          f"{plan['bayesian_expected']:,} demands")
+    print()
+
+    criterion = CriterionTwo(target, confidence=confidence)
+    print(f"Realised durations over 5 streams "
+          f"(true pB = {scenario.ground_truth.p_b:g}):")
+    realised = []
+    for seed in range(1, 6):
+        assessment = SequentialAssessment(
+            scenario.ground_truth,
+            PerfectDetection(),
+            scenario.prior,
+            total_demands=50_000,
+            checkpoint_every=200,
+            confidence_targets=(target,),
+            grid=GridSpec(96, 96, 32),
+        )
+        history = assessment.run(np.random.default_rng(seed))
+        decision = evaluate_history(criterion, history)
+        realised.append(decision.first_satisfied)
+        print(f"  stream {seed}: {decision.describe(50_000)}")
+
+    attained = [d for d in realised if d is not None]
+    if attained:
+        print()
+        print(f"plan bracket [{plan['bayesian_failure_free']:,}, "
+              f"{plan['bayesian_expected']:,}] vs realised "
+              f"median {int(np.median(attained)):,} — the expected-"
+              "trajectory figure is the right planning number.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The modern PEP 660 editable-install path needs the ``wheel`` package; this
+shim keeps ``pip install -e .`` working in offline environments where only
+setuptools is available (pip falls back to ``setup.py develop``).
+All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""repro — Dependable Composite Web Services with Components Upgraded Online.
+
+A complete, self-contained Python reproduction of
+
+    A. Gorbenko, V. Kharchenko, P. Popov, A. Romanovsky,
+    "Dependable Composite Web Services with Components Upgraded Online",
+    DSN 2004 (TR CS-TR-897, University of Newcastle upon Tyne).
+
+Subpackages
+-----------
+:mod:`repro.core`
+    The paper's contribution: the managed-upgrade middleware,
+    adjudicators, operating modes, monitoring/management subsystems,
+    switching criteria and upgrade controller.
+:mod:`repro.bayes`
+    Confidence-in-correctness assessment: black-box (eq. 1) and
+    white-box (eq. 2-6) Bayesian inference, imperfect-detection models.
+:mod:`repro.simulation`
+    Discrete-event kernel, latency and outcome models (§5.2).
+:mod:`repro.services`
+    WSDL / UDDI / SOAP analogues, composite services, fault injection,
+    upgrade notification, confidence publishing (§6).
+:mod:`repro.experiments`
+    Regenerates every table and figure of the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro.bayes import (TruncatedBeta, WhiteBoxPrior, WhiteBoxAssessor,
+...                          JointCounts)
+>>> prior = WhiteBoxPrior(TruncatedBeta(20, 20, upper=2e-3),
+...                       TruncatedBeta(2, 3, upper=2e-3))
+>>> assessor = WhiteBoxAssessor(prior)
+>>> assessor.observe(JointCounts(0, 2, 1, 9997))
+>>> confidence_new_release = assessor.confidence_b(1.5e-3)
+
+See ``examples/quickstart.py`` for the full managed-upgrade loop.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

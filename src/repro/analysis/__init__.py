@@ -1,0 +1,33 @@
+"""Analysis helpers for experiment results.
+
+* :mod:`repro.analysis.stats` — finding checks (reliability orderings,
+  the §5.1.1.4 confidence-error bound);
+* :mod:`repro.analysis.correlation_estimation` — recover the Table-3/4
+  outcome structure from monitoring logs (the inverse problem);
+* :mod:`repro.analysis.plots` — ASCII line charts for the figure curves.
+"""
+
+from repro.analysis.correlation_estimation import (
+    CorrelationEstimate,
+    estimate_conditional_matrix,
+    estimate_correlation,
+    estimate_marginal,
+)
+from repro.analysis.plots import ascii_plot, plot_percentile_curves
+from repro.analysis.stats import (
+    confidence_error_bound,
+    reliability_ordering,
+    summarize_metrics,
+)
+
+__all__ = [
+    "CorrelationEstimate",
+    "estimate_conditional_matrix",
+    "estimate_correlation",
+    "estimate_marginal",
+    "ascii_plot",
+    "plot_percentile_curves",
+    "confidence_error_bound",
+    "reliability_ordering",
+    "summarize_metrics",
+]

@@ -1,0 +1,126 @@
+"""Estimating the release-correlation structure from monitoring data.
+
+The §5.2 simulation *imposes* a conditional outcome matrix (Table 4);
+a real deployment faces the inverse problem: the middleware has been
+collecting joint observations — what correlation structure do they
+imply?  The answer matters twice:
+
+* it validates (or refutes) the "indifference" coincident-failure prior
+  of the white-box inference (§5.1.2 point 1), and
+* the paper's closing remark: "the simulation results may help in
+  shaping the 'prior' for a Bayesian assessment" — these estimators are
+  the bridge from logs back to model parameters.
+
+Estimators consume an :class:`~repro.core.database.ObservationLog` and
+use each demand's recorded true outcomes (simulation) or observed
+failure verdicts (production).
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.database import ObservationLog
+from repro.simulation.correlation import (
+    ConditionalOutcomeMatrix,
+    OutcomeDistribution,
+)
+from repro.simulation.outcomes import OUTCOME_ORDER, Outcome
+
+
+@dataclass(frozen=True)
+class CorrelationEstimate:
+    """Empirical joint-outcome structure of a release pair.
+
+    Attributes
+    ----------
+    joint_demands:
+        Demands on which both releases' outcomes were recorded.
+    agreement_rate:
+        Fraction of joint demands with identical outcome class — the
+        empirical counterpart of Table 4's diagonal.
+    coincident_failure_fraction:
+        P(both fail | first fails) — the empirical counterpart of the
+        white-box model's expected q (the indifference prior implies
+        E[q] = 0.5).
+    """
+
+    joint_demands: int
+    agreement_rate: float
+    coincident_failure_fraction: float
+
+
+def _joint_outcome_counts(
+    log: ObservationLog, release_a: str, release_b: str
+) -> np.ndarray:
+    counts = np.zeros((3, 3), dtype=np.int64)
+    index = {outcome: i for i, outcome in enumerate(OUTCOME_ORDER)}
+    for record in log:
+        obs_a = record.releases.get(release_a)
+        obs_b = record.releases.get(release_b)
+        if obs_a is None or obs_b is None:
+            continue
+        if not (obs_a.collected and obs_b.collected):
+            continue
+        if obs_a.true_outcome is None or obs_b.true_outcome is None:
+            continue
+        counts[index[obs_a.true_outcome], index[obs_b.true_outcome]] += 1
+    return counts
+
+
+def estimate_correlation(
+    log: ObservationLog, release_a: str, release_b: str
+) -> CorrelationEstimate:
+    """Summarise the empirical joint-outcome structure of a pair."""
+    counts = _joint_outcome_counts(log, release_a, release_b)
+    total = int(counts.sum())
+    if total == 0:
+        return CorrelationEstimate(0, float("nan"), float("nan"))
+    agreement = float(np.trace(counts) / total)
+    # Failure = ER or NER (rows/cols 1 and 2).
+    a_fails = counts[1:, :].sum()
+    both_fail = counts[1:, 1:].sum()
+    coincident = float(both_fail / a_fails) if a_fails else float("nan")
+    return CorrelationEstimate(total, agreement, coincident)
+
+
+def estimate_conditional_matrix(
+    log: ObservationLog, release_a: str, release_b: str
+) -> Optional[ConditionalOutcomeMatrix]:
+    """Empirical ``P(outcome B | outcome A)`` matrix from the log.
+
+    Returns None when any conditional row has no observations (the
+    matrix would be undefined); with the paper's Table-3 failure rates a
+    few thousand demands suffice.
+    """
+    counts = _joint_outcome_counts(log, release_a, release_b)
+    if (counts.sum(axis=1) == 0).any():
+        return None
+    rows: Dict[Outcome, Tuple[float, float, float]] = {}
+    for i, outcome in enumerate(OUTCOME_ORDER):
+        row = counts[i] / counts[i].sum()
+        rows[outcome] = tuple(row)
+    return ConditionalOutcomeMatrix(rows)
+
+
+def estimate_marginal(
+    log: ObservationLog, release: str
+) -> Optional[OutcomeDistribution]:
+    """Empirical outcome marginal of one release (collected demands)."""
+    counts = {outcome: 0 for outcome in OUTCOME_ORDER}
+    for record in log:
+        observation = record.releases.get(release)
+        if (
+            observation is None
+            or not observation.collected
+            or observation.true_outcome is None
+        ):
+            continue
+        counts[observation.true_outcome] += 1
+    total = sum(counts.values())
+    if total == 0:
+        return None
+    return OutcomeDistribution(
+        *(counts[outcome] / total for outcome in OUTCOME_ORDER)
+    )

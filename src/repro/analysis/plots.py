@@ -1,0 +1,122 @@
+"""Terminal-friendly ASCII line plots for the experiment curves.
+
+The paper's Figs 7-8 are line charts; the CLI renders them as tables for
+exactness and, with these helpers, as ASCII plots for shape-at-a-glance
+— no plotting dependency needed offline.
+"""
+
+from typing import Dict, List, Sequence
+
+from repro.common.errors import ValidationError
+
+#: Glyphs assigned to series, in order.
+SERIES_GLYPHS = "oxs*+#@%"
+
+
+def ascii_plot(
+    series: Dict[str, Sequence[float]],
+    x_values: Sequence[float],
+    width: int = 72,
+    height: int = 18,
+    title: str = "",
+) -> str:
+    """Render one or more aligned series as an ASCII line chart.
+
+    Parameters
+    ----------
+    series:
+        Mapping of label -> y-values; all must match ``x_values`` in
+        length.  Up to ``len(SERIES_GLYPHS)`` series.
+    x_values:
+        Shared x axis (monotone increasing).
+    width, height:
+        Character-cell dimensions of the plotting area.
+    """
+    if not series:
+        raise ValidationError("no series to plot")
+    if len(series) > len(SERIES_GLYPHS):
+        raise ValidationError(
+            f"too many series ({len(series)} > {len(SERIES_GLYPHS)})"
+        )
+    n = len(x_values)
+    if n < 2:
+        raise ValidationError("need at least two x values")
+    for label, ys in series.items():
+        if len(ys) != n:
+            raise ValidationError(
+                f"series {label!r} length {len(ys)} != x length {n}"
+            )
+    if width < 10 or height < 4:
+        raise ValidationError("plot area too small")
+
+    y_min = min(min(ys) for ys in series.values())
+    y_max = max(max(ys) for ys in series.values())
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = float(x_values[0]), float(x_values[-1])
+    if x_max == x_min:
+        raise ValidationError("degenerate x axis")
+
+    grid: List[List[str]] = [
+        [" "] * width for _ in range(height)
+    ]
+
+    def to_cell(x: float, y: float):
+        column = round((x - x_min) / (x_max - x_min) * (width - 1))
+        row = round((y - y_min) / (y_max - y_min) * (height - 1))
+        return height - 1 - row, column
+
+    for glyph, (label, ys) in zip(SERIES_GLYPHS, series.items()):
+        for x, y in zip(x_values, ys):
+            row, column = to_cell(float(x), float(y))
+            grid[row][column] = glyph
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:.3e}"
+    bottom_label = f"{y_min:.3e}"
+    margin = max(len(top_label), len(bottom_label))
+    for index, row in enumerate(grid):
+        if index == 0:
+            label = top_label.rjust(margin)
+        elif index == height - 1:
+            label = bottom_label.rjust(margin)
+        else:
+            label = " " * margin
+        lines.append(f"{label} |" + "".join(row))
+    axis = " " * margin + " +" + "-" * width
+    lines.append(axis)
+    x_left = f"{x_min:g}"
+    x_right = f"{x_max:g}"
+    gap = max(1, width - len(x_left) - len(x_right))
+    lines.append(" " * (margin + 2) + x_left + " " * gap + x_right)
+    legend = "   ".join(
+        f"{glyph}={label}"
+        for glyph, label in zip(SERIES_GLYPHS, series.keys())
+    )
+    lines.append(" " * (margin + 2) + legend)
+    return "\n".join(lines)
+
+
+def plot_percentile_curves(curves, width: int = 72, height: int = 16) -> str:
+    """ASCII plot of a :class:`~repro.experiments.percentile_curves.
+    PercentileCurves` bundle (short legend labels)."""
+    short_labels = {
+        "Ch B: 90% percentile (perfect)": "B90-perfect",
+        "Ch B: 99% percentile (omission)": "B99-omission",
+        "Ch B: 99% percentile (back-to-back)": "B99-b2b",
+        "Ch B: 99% percentile (perfect)": "B99-perfect",
+        "Ch A: 99% percentile (perfect)": "A99-perfect",
+    }
+    series = {
+        short_labels.get(label, label): values
+        for label, values in curves.series.items()
+    }
+    return ascii_plot(
+        series,
+        curves.demands,
+        width=width,
+        height=height,
+        title=f"pfd percentiles vs demands ({curves.scenario})",
+    )

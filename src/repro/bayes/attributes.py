@@ -1,0 +1,167 @@
+"""Confidence in availability and responsiveness (paper §2.2, §6.1).
+
+The paper develops 'confidence in correctness' in detail and lists
+availability and responsiveness as the other dependability attributes a
+consumer should be able to quantify ("the user can read back the
+confidence associated with each of the deployed releases ... for
+different dependability attributes (e.g. confidence in correctness,
+confidence in availability, etc.)", §6.1).  This module supplies those
+two assessors with the same Bayesian machinery:
+
+* :class:`AvailabilityAssessor` — per demand the release either responds
+  within the TimeOut or not: a Bernoulli process whose success
+  probability gets a Beta posterior; confidence is
+  ``P(availability >= target | observations)``.
+* :class:`ResponsivenessAssessor` — per *collected* response, either it
+  met a deadline or not; same conjugate treatment over
+  ``P(response time <= deadline)``, plus empirical latency quantiles.
+"""
+
+import bisect
+from typing import List
+
+from scipy import stats
+
+from repro.common.errors import InferenceError
+from repro.common.validation import check_in_range, check_positive
+
+
+class AvailabilityAssessor:
+    """Beta-Bernoulli confidence in a release's availability.
+
+    Parameters
+    ----------
+    prior_alpha, prior_beta:
+        Beta prior over the probability of responding within TimeOut.
+        The default Beta(1, 1) is the uniform prior; providers with
+        deployment history should encode it here.
+    """
+
+    def __init__(self, prior_alpha: float = 1.0, prior_beta: float = 1.0):
+        self.prior_alpha = check_positive(prior_alpha, "prior_alpha")
+        self.prior_beta = check_positive(prior_beta, "prior_beta")
+        self.responded = 0
+        self.missed = 0
+
+    @property
+    def demands(self) -> int:
+        """Total demands observed."""
+        return self.responded + self.missed
+
+    def observe(self, responded: bool) -> None:
+        """Record one demand's availability outcome."""
+        if responded:
+            self.responded += 1
+        else:
+            self.missed += 1
+
+    def observe_many(self, responded: int, missed: int) -> None:
+        """Record a batch of outcomes."""
+        if responded < 0 or missed < 0:
+            raise InferenceError(
+                f"counts must be non-negative: {responded!r}, {missed!r}"
+            )
+        self.responded += int(responded)
+        self.missed += int(missed)
+
+    def _posterior(self):
+        return stats.beta(
+            self.prior_alpha + self.responded,
+            self.prior_beta + self.missed,
+        )
+
+    def confidence(self, target_availability: float) -> float:
+        """P(availability >= target | observations)."""
+        check_in_range(target_availability, 0.0, 1.0, "target_availability")
+        return float(self._posterior().sf(target_availability))
+
+    def lower_bound(self, confidence_level: float) -> float:
+        """Availability bound L with P(availability >= L) = level."""
+        check_in_range(confidence_level, 0.0, 1.0, "confidence_level")
+        return float(self._posterior().ppf(1.0 - confidence_level))
+
+    def posterior_mean(self) -> float:
+        """Posterior expectation of the availability."""
+        return float(self._posterior().mean())
+
+    def __repr__(self) -> str:
+        return (
+            f"AvailabilityAssessor(responded={self.responded}, "
+            f"missed={self.missed})"
+        )
+
+
+class ResponsivenessAssessor:
+    """Confidence that responses meet a latency deadline.
+
+    Tracks, for one release, (a) a Beta posterior over
+    ``P(response time <= deadline)`` and (b) the raw latencies for
+    empirical quantile reporting.
+
+    Parameters
+    ----------
+    deadline:
+        The responsiveness target in seconds (e.g. an SLA bound); note
+        this is a *content* deadline, typically tighter than the
+        middleware TimeOut.
+    """
+
+    def __init__(
+        self,
+        deadline: float,
+        prior_alpha: float = 1.0,
+        prior_beta: float = 1.0,
+    ):
+        self.deadline = check_positive(deadline, "deadline")
+        self.prior_alpha = check_positive(prior_alpha, "prior_alpha")
+        self.prior_beta = check_positive(prior_beta, "prior_beta")
+        self.on_time = 0
+        self.late = 0
+        self._latencies: List[float] = []  # kept sorted
+
+    @property
+    def responses(self) -> int:
+        """Total responses observed."""
+        return self.on_time + self.late
+
+    def observe(self, execution_time: float) -> None:
+        """Record one collected response's execution time."""
+        if execution_time < 0.0:
+            raise InferenceError(
+                f"execution_time must be >= 0: {execution_time!r}"
+            )
+        if execution_time <= self.deadline:
+            self.on_time += 1
+        else:
+            self.late += 1
+        bisect.insort(self._latencies, float(execution_time))
+
+    def _posterior(self):
+        return stats.beta(
+            self.prior_alpha + self.on_time, self.prior_beta + self.late
+        )
+
+    def confidence(self, target_fraction: float) -> float:
+        """P(P(response <= deadline) >= target | observations)."""
+        check_in_range(target_fraction, 0.0, 1.0, "target_fraction")
+        return float(self._posterior().sf(target_fraction))
+
+    def posterior_mean(self) -> float:
+        """Posterior E[P(response <= deadline)]."""
+        return float(self._posterior().mean())
+
+    def empirical_quantile(self, q: float) -> float:
+        """Empirical latency quantile (e.g. ``0.95`` for p95)."""
+        check_in_range(q, 0.0, 1.0, "q")
+        if not self._latencies:
+            raise InferenceError("no latencies observed yet")
+        index = min(
+            int(q * len(self._latencies)), len(self._latencies) - 1
+        )
+        return self._latencies[index]
+
+    def __repr__(self) -> str:
+        return (
+            f"ResponsivenessAssessor(deadline={self.deadline!r}, "
+            f"on_time={self.on_time}, late={self.late})"
+        )

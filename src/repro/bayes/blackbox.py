@@ -1,0 +1,125 @@
+"""Black-box Bayesian pfd inference (paper eq. 1, Fig. 6).
+
+One release observed in isolation: on each demand it either succeeds or
+fails; after ``r`` failures in ``n`` demands the posterior over its pfd is
+
+    f(x | r, n)  proportional to  L(n, r | x) f(x)
+
+with binomial likelihood ``L(n, r | x) = C(n, r) x^r (1-x)^(n-r)``.
+
+With an *untruncated* Beta prior this would be conjugate; the paper's
+priors are range-truncated, so the posterior is evaluated numerically on a
+1-D grid (cdf-difference quadrature, so peaked priors lose no mass).
+"""
+
+from typing import Optional
+
+import numpy as np
+
+from repro.common.errors import InferenceError
+from repro.bayes.beta import TruncatedBeta
+
+
+class BlackBoxAssessor:
+    """Sequentially updatable posterior over one release's pfd.
+
+    Example
+    -------
+    >>> assessor = BlackBoxAssessor(TruncatedBeta(1, 10, upper=0.01))
+    >>> assessor.observe(demands=1000, failures=1)
+    >>> 0 < assessor.confidence(0.005) < 1
+    True
+    """
+
+    def __init__(self, prior: TruncatedBeta, grid_points: int = 2048):
+        if grid_points < 8:
+            raise InferenceError(f"grid too coarse: {grid_points!r}")
+        self.prior = prior
+        self._x = prior.grid(grid_points)
+        weights = prior.grid_weights(grid_points)
+        with np.errstate(divide="ignore"):
+            # Peaked priors legitimately put zero mass in far cells.
+            self._log_prior_mass = np.where(
+                weights > 0.0, np.log(np.maximum(weights, 1e-300)), -np.inf
+            )
+        self._demands = 0
+        self._failures = 0
+        self._posterior_cache: Optional[np.ndarray] = None
+
+    @property
+    def demands(self) -> int:
+        """Total demands observed so far (the paper's n)."""
+        return self._demands
+
+    @property
+    def failures(self) -> int:
+        """Total failures observed so far (the paper's r)."""
+        return self._failures
+
+    def observe(self, demands: int, failures: int) -> None:
+        """Fold ``failures`` failures in ``demands`` demands into the data."""
+        if demands < 0 or failures < 0 or failures > demands:
+            raise InferenceError(
+                f"inconsistent observation: r={failures!r}, n={demands!r}"
+            )
+        self._demands += int(demands)
+        self._failures += int(failures)
+        self._posterior_cache = None
+
+    def reset(self) -> None:
+        """Discard all observations, reverting to the prior."""
+        self._demands = 0
+        self._failures = 0
+        self._posterior_cache = None
+
+    def _posterior_mass(self) -> np.ndarray:
+        if self._posterior_cache is not None:
+            return self._posterior_cache
+        n, r = self._demands, self._failures
+        with np.errstate(divide="ignore"):
+            log_lik = r * np.log(self._x) + (n - r) * np.log1p(-self._x)
+        log_post = self._log_prior_mass + log_lik
+        log_post -= log_post.max()
+        mass = np.exp(log_post)
+        total = mass.sum()
+        if not np.isfinite(total) or total <= 0.0:
+            raise InferenceError(
+                "posterior vanished: observations impossible under the prior"
+            )
+        self._posterior_cache = mass / total
+        return self._posterior_cache
+
+    def confidence(self, target: float) -> float:
+        """P(pfd <= target | observations) — eq. 6 for one channel."""
+        mass = self._posterior_mass()
+        return float(mass[self._x <= target].sum())
+
+    def percentile(self, confidence_level: float) -> float:
+        """The pfd bound T with P(pfd <= T) = confidence_level.
+
+        E.g. ``percentile(0.99)`` is the paper's "99% percentile" TA99%.
+        """
+        if not 0.0 < confidence_level < 1.0:
+            raise InferenceError(
+                f"confidence level must be in (0,1): {confidence_level!r}"
+            )
+        mass = self._posterior_mass()
+        cumulative = np.cumsum(mass)
+        index = int(np.searchsorted(cumulative, confidence_level))
+        index = min(index, len(self._x) - 1)
+        return float(self._x[index])
+
+    def posterior_mean(self) -> float:
+        """Posterior expectation of the pfd."""
+        mass = self._posterior_mass()
+        return float(np.dot(mass, self._x))
+
+    def posterior(self) -> tuple:
+        """(grid, probability mass) arrays for plotting/inspection."""
+        return self._x.copy(), self._posterior_mass().copy()
+
+    def __repr__(self) -> str:
+        return (
+            f"BlackBoxAssessor(prior={self.prior!r}, n={self._demands}, "
+            f"r={self._failures})"
+        )

@@ -1,0 +1,106 @@
+"""Joint observation counts for two releases (paper Table 1).
+
+Each demand on the pair (WS 1.0, WS 1.1) has four possible outcomes:
+
+========  =======  =======  ===========
+event     WS 1.0   WS 1.1   probability
+========  =======  =======  ===========
+alpha     fails    fails    p11
+beta      fails    succeeds p10
+gamma     succeeds fails    p01
+delta     succeeds succeeds p00
+========  =======  =======  ===========
+
+The paper's inference consumes the observed counts ``(r1, r2, r3)`` in
+``N`` demands (``r4 = N - r1 - r2 - r3``).
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class JointCounts:
+    """Counts of the four Table-1 events over ``n`` observed demands.
+
+    Attributes
+    ----------
+    both_fail:
+        r1 — demands on which both releases failed.
+    only_first_fails:
+        r2 — old release failed, new release succeeded.
+    only_second_fails:
+        r3 — old release succeeded, new release failed.
+    both_succeed:
+        r4 — both releases succeeded.
+    """
+
+    both_fail: int = 0
+    only_first_fails: int = 0
+    only_second_fails: int = 0
+    both_succeed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "both_fail",
+            "only_first_fails",
+            "only_second_fails",
+            "both_succeed",
+        ):
+            value = getattr(self, name)
+            if value < 0 or value != int(value):
+                raise ValueError(f"{name} must be a non-negative int: {value!r}")
+
+    @classmethod
+    def from_observations(cls, first_fails, second_fails) -> "JointCounts":
+        """Tally counts from parallel boolean failure arrays."""
+        a = np.asarray(first_fails, dtype=bool)
+        b = np.asarray(second_fails, dtype=bool)
+        if a.shape != b.shape:
+            raise ValueError(
+                f"observation arrays differ in shape: {a.shape} vs {b.shape}"
+            )
+        return cls(
+            both_fail=int(np.sum(a & b)),
+            only_first_fails=int(np.sum(a & ~b)),
+            only_second_fails=int(np.sum(~a & b)),
+            both_succeed=int(np.sum(~a & ~b)),
+        )
+
+    @property
+    def total(self) -> int:
+        """N — total demands observed."""
+        return (
+            self.both_fail
+            + self.only_first_fails
+            + self.only_second_fails
+            + self.both_succeed
+        )
+
+    @property
+    def first_failures(self) -> int:
+        """Failures of the old release (rA = r1 + r2)."""
+        return self.both_fail + self.only_first_fails
+
+    @property
+    def second_failures(self) -> int:
+        """Failures of the new release (rB = r1 + r3)."""
+        return self.both_fail + self.only_second_fails
+
+    def __add__(self, other: "JointCounts") -> "JointCounts":
+        return JointCounts(
+            self.both_fail + other.both_fail,
+            self.only_first_fails + other.only_first_fails,
+            self.only_second_fails + other.only_second_fails,
+            self.both_succeed + other.both_succeed,
+        )
+
+    def as_tuple(self):
+        """(r1, r2, r3, r4) in the paper's ordering."""
+        return (
+            self.both_fail,
+            self.only_first_fails,
+            self.only_second_fails,
+            self.both_succeed,
+        )

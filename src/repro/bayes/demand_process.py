@@ -1,0 +1,90 @@
+"""Ground-truth demand processes for the Monte-Carlo studies (§5.1.1.1).
+
+The paper simulates 50,000 observations per scenario with a two-release
+failure process parameterised by
+
+* ``PA`` — the old release's true pfd,
+* ``P(B fails | A failed)`` and ``P(B fails | A did not fail)``,
+
+which determine the new release's marginal pfd
+``PB = PA * P(B|A) + (1 - PA) * P(B|not A)`` and the coincident-failure
+probability ``PAB = PA * P(B|A)``.
+"""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.common.validation import check_probability
+
+
+@dataclass(frozen=True)
+class TwoReleaseGroundTruth:
+    """True joint failure process of the (old, new) release pair.
+
+    Attributes
+    ----------
+    p_a:
+        True pfd of the old release.
+    p_b_given_a_fails:
+        P(new release fails | old release failed) on the same demand.
+    p_b_given_a_succeeds:
+        P(new release fails | old release succeeded).
+    """
+
+    p_a: float
+    p_b_given_a_fails: float
+    p_b_given_a_succeeds: float
+
+    def __post_init__(self) -> None:
+        check_probability(self.p_a, "p_a")
+        check_probability(self.p_b_given_a_fails, "p_b_given_a_fails")
+        check_probability(self.p_b_given_a_succeeds, "p_b_given_a_succeeds")
+
+    @property
+    def p_b(self) -> float:
+        """Marginal pfd of the new release."""
+        return (
+            self.p_a * self.p_b_given_a_fails
+            + (1.0 - self.p_a) * self.p_b_given_a_succeeds
+        )
+
+    @property
+    def p_ab(self) -> float:
+        """Probability both releases fail on the same demand."""
+        return self.p_a * self.p_b_given_a_fails
+
+    def event_probabilities(self) -> Tuple[float, float, float, float]:
+        """(p11, p10, p01, p00) in the paper's Table-1 ordering."""
+        p11 = self.p_ab
+        p10 = self.p_a - p11
+        p01 = self.p_b - p11
+        p00 = 1.0 - p11 - p10 - p01
+        return (p11, p10, p01, p00)
+
+    def sample(
+        self, rng: np.random.Generator, demands: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Simulate *demands* demands.
+
+        Returns two boolean arrays ``(a_fails, b_fails)`` of length
+        *demands* — the true failure indicators before any (imperfect)
+        detection is applied.
+        """
+        if demands < 0:
+            raise ValueError(f"demands must be >= 0: {demands!r}")
+        a_fails = rng.random(demands) < self.p_a
+        conditional = np.where(
+            a_fails, self.p_b_given_a_fails, self.p_b_given_a_succeeds
+        )
+        b_fails = rng.random(demands) < conditional
+        return a_fails, b_fails
+
+    def describe(self) -> str:
+        """One-line summary used in experiment logs."""
+        return (
+            f"PA={self.p_a:g}, P(B|A fail)={self.p_b_given_a_fails:g}, "
+            f"P(B|A ok)={self.p_b_given_a_succeeds:g} "
+            f"(=> PB={self.p_b:g}, PAB={self.p_ab:g})"
+        )

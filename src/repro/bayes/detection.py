@@ -1,0 +1,139 @@
+"""Imperfect failure-detection models (paper §5.1.1.3).
+
+Bayesian inference consumes *observed* failure indicators; imperfect
+oracles distort them.  The paper simulates two dangerous (optimistic)
+omission mechanisms and discusses — without simulating — the benign
+false-alarm mechanism, which we also provide for ablations:
+
+* :class:`PerfectDetection` — observations equal ground truth;
+* :class:`OmissionDetection` — each release's oracle independently misses
+  a true failure with probability ``p_omit`` (scores '1' -> '0');
+* :class:`BackToBackDetection` — the only oracle is comparison of the two
+  releases' responses, under the paper's pessimistic assumption that all
+  coincident failures are identical and non-evident: the score '11'
+  becomes '00', while discordant demands ('10'/'01') are detected exactly;
+* :class:`FalseAlarmDetection` — a valid response is flagged as a failure
+  with probability ``p_false_alarm`` (pessimistic; delays switching but is
+  not dangerous).
+"""
+
+from abc import ABC, abstractmethod
+from typing import Tuple
+
+import numpy as np
+
+from repro.common.validation import check_probability
+
+ObservationPair = Tuple[np.ndarray, np.ndarray]
+
+
+class DetectionModel(ABC):
+    """Maps true failure indicators to observed ones."""
+
+    #: Short name used in experiment tables.
+    name: str = "detection"
+
+    @abstractmethod
+    def observe(
+        self,
+        a_fails: np.ndarray,
+        b_fails: np.ndarray,
+        rng: np.random.Generator,
+    ) -> ObservationPair:
+        """Return the (a_observed, b_observed) failure indicators."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class PerfectDetection(DetectionModel):
+    """Ideal oracles: every failure of every release is scored correctly."""
+
+    name = "perfect"
+
+    def observe(
+        self,
+        a_fails: np.ndarray,
+        b_fails: np.ndarray,
+        rng: np.random.Generator,
+    ) -> ObservationPair:
+        return np.asarray(a_fails, bool).copy(), np.asarray(b_fails, bool).copy()
+
+
+class OmissionDetection(DetectionModel):
+    """Independent per-release oracles that miss failures with ``p_omit``.
+
+    The paper's headline setting is ``p_omit = 0.15`` (85 % coverage, cited
+    as practically achievable).
+    """
+
+    name = "omission"
+
+    def __init__(self, p_omit: float):
+        self.p_omit = check_probability(p_omit, "p_omit")
+
+    def observe(
+        self,
+        a_fails: np.ndarray,
+        b_fails: np.ndarray,
+        rng: np.random.Generator,
+    ) -> ObservationPair:
+        a = np.asarray(a_fails, bool)
+        b = np.asarray(b_fails, bool)
+        keep_a = rng.random(a.shape) >= self.p_omit
+        keep_b = rng.random(b.shape) >= self.p_omit
+        return a & keep_a, b & keep_b
+
+    def __repr__(self) -> str:
+        return f"OmissionDetection(p_omit={self.p_omit!r})"
+
+
+class BackToBackDetection(DetectionModel):
+    """Comparison of the releases is the only oracle.
+
+    Pessimistic assumption of the paper: coincident failures are identical
+    and non-evident, so '11' demands are (mis-)scored '00'; discordant
+    demands are scored exactly (the disagreeing response identifies the
+    failing release — the sibling release acts as the oracle).
+    """
+
+    name = "back-to-back"
+
+    def observe(
+        self,
+        a_fails: np.ndarray,
+        b_fails: np.ndarray,
+        rng: np.random.Generator,
+    ) -> ObservationPair:
+        a = np.asarray(a_fails, bool)
+        b = np.asarray(b_fails, bool)
+        coincident = a & b
+        return a & ~coincident, b & ~coincident
+
+
+class FalseAlarmDetection(DetectionModel):
+    """Oracles that flag valid responses as failures with ``p_false_alarm``.
+
+    §5.1.1.3 argues this direction is not dangerous (predictions become
+    pessimistic, at worst delaying the switch); included as an ablation.
+    """
+
+    name = "false-alarm"
+
+    def __init__(self, p_false_alarm: float):
+        self.p_false_alarm = check_probability(p_false_alarm, "p_false_alarm")
+
+    def observe(
+        self,
+        a_fails: np.ndarray,
+        b_fails: np.ndarray,
+        rng: np.random.Generator,
+    ) -> ObservationPair:
+        a = np.asarray(a_fails, bool)
+        b = np.asarray(b_fails, bool)
+        flag_a = rng.random(a.shape) < self.p_false_alarm
+        flag_b = rng.random(b.shape) < self.p_false_alarm
+        return a | flag_a, b | flag_b
+
+    def __repr__(self) -> str:
+        return f"FalseAlarmDetection(p_false_alarm={self.p_false_alarm!r})"

@@ -1,0 +1,198 @@
+"""Sequential assessment along a demand stream with checkpointing.
+
+This drives the paper's §5.1 studies: simulate a demand stream from a
+:class:`~repro.bayes.demand_process.TwoReleaseGroundTruth`, pass the true
+failure indicators through a detection model, and re-evaluate the
+white-box posterior at regular checkpoints.  Each checkpoint records the
+posterior percentiles and the confidences needed by the three switching
+criteria (which live in :mod:`repro.core.switching`).
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.bayes.counts import JointCounts
+from repro.bayes.demand_process import TwoReleaseGroundTruth
+from repro.bayes.detection import DetectionModel
+from repro.bayes.priors import GridSpec, WhiteBoxPrior
+from repro.bayes.whitebox import WhiteBoxAssessor
+
+
+@dataclass(frozen=True)
+class CheckpointRecord:
+    """Posterior summary after ``demands`` demands have been observed.
+
+    Attributes
+    ----------
+    demands:
+        Number of demands seen at this checkpoint (the x-axis of the
+        paper's Figs 7-8).
+    counts:
+        Cumulative *observed* Table-1 counts (after imperfect detection).
+    percentile_a_99, percentile_b_99:
+        The paper's TA99% / TB99% posterior pfd bounds.
+    percentile_b_90:
+        TB90%, plotted in Figs 7-8 to bound the detection-imperfection
+        confidence error.
+    confidence_b_at:
+        P(pB <= target) for each requested target pfd (Criteria 1 and 2).
+    """
+
+    demands: int
+    counts: JointCounts
+    percentile_a_99: float
+    percentile_b_99: float
+    percentile_b_90: float
+    confidence_b_at: Dict[float, float] = field(default_factory=dict)
+
+    def confidence_b(self, target: float) -> float:
+        """Recorded P(pB <= target); raises KeyError for unrequested targets."""
+        return self.confidence_b_at[target]
+
+
+@dataclass
+class AssessmentHistory:
+    """The full trajectory of one sequential assessment run."""
+
+    ground_truth: TwoReleaseGroundTruth
+    detection_name: str
+    records: List[CheckpointRecord] = field(default_factory=list)
+
+    @property
+    def demand_axis(self) -> List[int]:
+        """Checkpoint positions (number of demands)."""
+        return [record.demands for record in self.records]
+
+    def series(self, attribute: str) -> List[float]:
+        """Extract one percentile series, e.g. ``series('percentile_b_99')``."""
+        return [getattr(record, attribute) for record in self.records]
+
+    def confidence_series(self, target: float) -> List[float]:
+        """P(pB <= target) at every checkpoint."""
+        return [record.confidence_b(target) for record in self.records]
+
+    def final(self) -> CheckpointRecord:
+        """The last checkpoint."""
+        if not self.records:
+            raise ValueError("assessment produced no checkpoints")
+        return self.records[-1]
+
+
+class SequentialAssessment:
+    """Run one §5.1 Monte-Carlo study end to end.
+
+    Parameters
+    ----------
+    ground_truth:
+        True failure process of the release pair.
+    detection:
+        The (possibly imperfect) failure-detection model.
+    prior:
+        White-box prior for the assessor.
+    total_demands:
+        Length of the demand stream (the paper uses 50,000).
+    checkpoint_every:
+        Spacing of posterior evaluations.
+    confidence_targets:
+        pfd targets at which P(pB <= target) is recorded each checkpoint
+        (Criterion 1 passes the prior's TA99%; Criterion 2 passes the
+        explicit target, 1e-3 in the paper).
+    grid:
+        Posterior grid resolution.
+    """
+
+    def __init__(
+        self,
+        ground_truth: TwoReleaseGroundTruth,
+        detection: DetectionModel,
+        prior: WhiteBoxPrior,
+        total_demands: int,
+        checkpoint_every: int,
+        confidence_targets: Sequence[float] = (),
+        grid: GridSpec = GridSpec(),
+    ):
+        if total_demands <= 0:
+            raise ConfigurationError(
+                f"total_demands must be > 0: {total_demands!r}"
+            )
+        if checkpoint_every <= 0:
+            raise ConfigurationError(
+                f"checkpoint_every must be > 0: {checkpoint_every!r}"
+            )
+        self.ground_truth = ground_truth
+        self.detection = detection
+        self.prior = prior
+        self.total_demands = int(total_demands)
+        self.checkpoint_every = int(checkpoint_every)
+        self.confidence_targets = tuple(confidence_targets)
+        self.grid = grid
+
+    def checkpoints(self) -> List[int]:
+        """Demand counts at which the posterior is evaluated."""
+        points = list(
+            range(
+                self.checkpoint_every,
+                self.total_demands + 1,
+                self.checkpoint_every,
+            )
+        )
+        if not points or points[-1] != self.total_demands:
+            points.append(self.total_demands)
+        return points
+
+    def run(
+        self,
+        rng: np.random.Generator,
+        assessor: Optional[WhiteBoxAssessor] = None,
+    ) -> AssessmentHistory:
+        """Simulate the stream and assess at each checkpoint.
+
+        An existing *assessor* can be supplied to reuse its (expensive)
+        precomputed likelihood grid across runs with the same prior; its
+        observations are reset first.
+        """
+        if assessor is None:
+            assessor = WhiteBoxAssessor(self.prior, self.grid)
+        else:
+            assessor.reset()
+
+        a_true, b_true = self.ground_truth.sample(rng, self.total_demands)
+        a_obs, b_obs = self.detection.observe(a_true, b_true, rng)
+
+        # Cumulative counts are cheap to compute at every checkpoint from
+        # prefix sums; the posterior only ever sees cumulative counts.
+        a_cum = np.cumsum(a_obs.astype(np.int64))
+        b_cum = np.cumsum(b_obs.astype(np.int64))
+        both_cum = np.cumsum((a_obs & b_obs).astype(np.int64))
+
+        history = AssessmentHistory(
+            ground_truth=self.ground_truth,
+            detection_name=self.detection.name,
+        )
+        for n in self.checkpoints():
+            r_a = int(a_cum[n - 1])
+            r_b = int(b_cum[n - 1])
+            r_both = int(both_cum[n - 1])
+            counts = JointCounts(
+                both_fail=r_both,
+                only_first_fails=r_a - r_both,
+                only_second_fails=r_b - r_both,
+                both_succeed=n - r_a - r_b + r_both,
+            )
+            assessor.replace_counts(counts)
+            record = CheckpointRecord(
+                demands=n,
+                counts=counts,
+                percentile_a_99=assessor.percentile_a(0.99),
+                percentile_b_99=assessor.percentile_b(0.99),
+                percentile_b_90=assessor.percentile_b(0.90),
+                confidence_b_at={
+                    target: assessor.confidence_b(target)
+                    for target in self.confidence_targets
+                },
+            )
+            history.records.append(record)
+        return history

@@ -1,0 +1,161 @@
+"""Stopping rules and managed-upgrade duration planning.
+
+The paper leans on Littlewood & Wright's conservative stopping rules for
+operational testing ([12], cited in §2.2 and §3.2): how much failure-free
+operation is needed before a stated pfd target can be claimed with a
+stated confidence.  In the managed-upgrade context the same machinery
+answers the provider's planning question *before* deploying the new
+release side by side: "if the new release is as good as we hope, how
+long will the managed upgrade last?"
+
+Three planners:
+
+* :func:`classical_demands_required` — the prior-free frequentist bound
+  ``n >= ln(1 - confidence) / ln(1 - target_pfd)`` (no failures
+  tolerated);
+* :func:`failure_free_demands_required` — the Bayesian counterpart for
+  a :class:`~repro.bayes.beta.TruncatedBeta` prior: the smallest n with
+  ``P(pfd <= target | n demands, 0 failures) >= confidence``;
+* :func:`expected_demands_required` — the same, but budgeting failures
+  at the release's *anticipated* failure rate instead of assuming zero
+  (closer to the realised Table-2 durations when the target is near the
+  true pfd).
+"""
+
+import math
+from typing import Optional
+
+from repro.bayes.beta import TruncatedBeta
+from repro.bayes.blackbox import BlackBoxAssessor
+from repro.common.errors import InferenceError
+from repro.common.validation import check_in_range, check_probability
+
+
+def classical_demands_required(
+    target_pfd: float, confidence: float
+) -> int:
+    """The prior-free bound: failure-free demands to claim the target.
+
+    Solves ``(1 - target_pfd)^n <= 1 - confidence`` — e.g. ~4,603
+    demands for pfd 1e-3 at 99% confidence.
+    """
+    check_probability(target_pfd, "target_pfd")
+    check_in_range(confidence, 0.0, 1.0, "confidence")
+    if target_pfd <= 0.0:
+        raise InferenceError("target_pfd must be positive")
+    if confidence == 0.0:
+        return 0
+    return math.ceil(
+        math.log(1.0 - confidence) / math.log(1.0 - target_pfd)
+    )
+
+
+def _search_demands(
+    prior: TruncatedBeta,
+    target_pfd: float,
+    confidence: float,
+    failures_at,
+    max_demands: int,
+    grid_points: int = 2048,
+) -> Optional[int]:
+    """Smallest n <= max_demands satisfying the posterior condition.
+
+    *failures_at(n)* supplies the budgeted failure count; exponential
+    galloping then bisection, re-evaluating the posterior from scratch
+    (counts are sufficient statistics, so this is cheap).
+    """
+    assessor = BlackBoxAssessor(prior, grid_points=grid_points)
+
+    def satisfied(n: int) -> bool:
+        assessor.reset()
+        assessor.observe(n, min(failures_at(n), n))
+        return assessor.confidence(target_pfd) >= confidence
+
+    if satisfied(0):
+        return 0
+    low, high = 0, 1
+    while high <= max_demands and not satisfied(high):
+        low, high = high, high * 2
+    if high > max_demands:
+        if not satisfied(max_demands):
+            return None
+        high = max_demands
+    while high - low > 1:
+        middle = (low + high) // 2
+        if satisfied(middle):
+            high = middle
+        else:
+            low = middle
+    return high
+
+
+def failure_free_demands_required(
+    prior: TruncatedBeta,
+    target_pfd: float,
+    confidence: float = 0.99,
+    max_demands: int = 10_000_000,
+) -> Optional[int]:
+    """Bayesian failure-free stopping point for *prior*.
+
+    Returns None when even *max_demands* failure-free demands cannot
+    reach the confidence (e.g. the target lies below the grid's
+    resolution of the prior support).
+    """
+    check_in_range(confidence, 0.0, 1.0, "confidence")
+    return _search_demands(
+        prior, target_pfd, confidence, lambda n: 0, max_demands
+    )
+
+
+def expected_demands_required(
+    prior: TruncatedBeta,
+    target_pfd: float,
+    anticipated_pfd: float,
+    confidence: float = 0.99,
+    max_demands: int = 10_000_000,
+) -> Optional[int]:
+    """Stopping point budgeting failures at the anticipated rate.
+
+    Failures are budgeted deterministically as ``round(anticipated_pfd
+    * n)`` — the expected trajectory.  When ``anticipated_pfd`` is close
+    to ``target_pfd`` the answer grows rapidly and may be None
+    (mirroring Table 2's "not attainable" cell); when it is far below,
+    the answer approaches the failure-free bound.
+    """
+    check_probability(anticipated_pfd, "anticipated_pfd")
+    check_in_range(confidence, 0.0, 1.0, "confidence")
+    return _search_demands(
+        prior,
+        target_pfd,
+        confidence,
+        lambda n: round(anticipated_pfd * n),
+        max_demands,
+    )
+
+
+def plan_managed_upgrade(
+    prior_new: TruncatedBeta,
+    target_pfd: float,
+    anticipated_pfd: float,
+    confidence: float = 0.99,
+    max_demands: int = 1_000_000,
+) -> dict:
+    """Planning summary for a managed upgrade (provider's view).
+
+    Returns a dict with the classical bound, the optimistic
+    (failure-free) Bayesian duration and the expected-trajectory
+    duration — the bracket within which the realised Table-2-style
+    duration should fall.
+    """
+    return {
+        "classical_failure_free": classical_demands_required(
+            target_pfd, confidence
+        ),
+        "bayesian_failure_free": failure_free_demands_required(
+            prior_new, target_pfd, confidence, max_demands
+        ),
+        "bayesian_expected": expected_demands_required(
+            prior_new, target_pfd, anticipated_pfd, confidence,
+            max_demands,
+        ),
+    }

@@ -1,0 +1,242 @@
+"""White-box (two-release) Bayesian inference — paper eq. (2)-(6).
+
+Two releases run side by side behind the managed-upgrade middleware; on
+each demand the monitoring subsystem records which of the Table-1 events
+occurred.  Given counts ``(r1, r2, r3)`` in ``N`` demands the posterior
+
+    f(pA, pB, pAB | N, r1, r2, r3)
+        proportional to  f(pA, pB, pAB) * L(N, r1, r2, r3 | pA, pB, pAB)
+
+is evaluated on a dense tensor grid; the likelihood is multinomial over
+the four cell probabilities
+
+    p11 = pAB,  p10 = pA - pAB,  p01 = pB - pAB,  p00 = 1 - pA - pB + pAB.
+
+Marginal posteriors (eq. 3-5) come from summing the grid; confidences
+(eq. 6) and percentiles from cumulative sums.  The reparameterisation
+``pAB = q * min(pA, pB)``, ``q ~ U(0, 1)`` makes the paper's indifference
+prior a product measure on the grid.
+"""
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.common.errors import InferenceError
+from repro.bayes.counts import JointCounts
+from repro.bayes.priors import GridSpec, WhiteBoxPrior
+
+
+def _safe_log(values: np.ndarray) -> np.ndarray:
+    """log(values) with -inf (not nan) for non-positive entries."""
+    with np.errstate(divide="ignore", invalid="ignore"):
+        logs = np.log(values)
+    return np.where(values > 0.0, logs, -np.inf)
+
+
+class WhiteBoxAssessor:
+    """Sequentially updatable trivariate posterior over (pA, pB, pAB).
+
+    Parameters
+    ----------
+    prior:
+        The :class:`WhiteBoxPrior` (truncated-Beta marginals plus the
+        uniform-conditional coincidence prior).
+    grid:
+        Grid resolution; the default resolves the paper's scenarios.
+
+    Example
+    -------
+    >>> from repro.bayes import TruncatedBeta, WhiteBoxPrior, JointCounts
+    >>> prior = WhiteBoxPrior(TruncatedBeta(20, 20, upper=2e-3),
+    ...                       TruncatedBeta(2, 3, upper=2e-3))
+    >>> assessor = WhiteBoxAssessor(prior)
+    >>> assessor.observe(JointCounts(both_fail=1, only_first_fails=4,
+    ...                              only_second_fails=2, both_succeed=9993))
+    >>> 0 < assessor.confidence_b(1.5e-3) <= 1
+    True
+    """
+
+    def __init__(self, prior: WhiteBoxPrior, grid: GridSpec = GridSpec()):
+        self.prior = prior
+        self.grid = grid
+
+        self._pa = prior.marginal_a.grid(grid.n_pa)  # (A,)
+        self._pb = prior.marginal_b.grid(grid.n_pb)  # (B,)
+        q_edges = np.linspace(0.0, 1.0, grid.n_q + 1)
+        self._q = 0.5 * (q_edges[:-1] + q_edges[1:])  # (Q,)
+
+        log_wa = _safe_log(prior.marginal_a.grid_weights(grid.n_pa))
+        log_wb = _safe_log(prior.marginal_b.grid_weights(grid.n_pb))
+        log_wq = -np.log(grid.n_q)
+        self._log_prior = (
+            log_wa[:, None, None] + log_wb[None, :, None] + log_wq
+        )  # (A, B, 1) broadcastable over Q
+
+        pa3 = self._pa[:, None, None]
+        pb3 = self._pb[None, :, None]
+        q3 = self._q[None, None, :]
+        pab = q3 * np.minimum(pa3, pb3)  # (A, B, Q)
+        self._pab = pab
+        self._log_p11 = _safe_log(pab)
+        self._log_p10 = _safe_log(pa3 - pab)
+        self._log_p01 = _safe_log(pb3 - pab)
+        self._log_p00 = _safe_log(1.0 - pa3 - pb3 + pab)
+
+        self._counts = JointCounts()
+        self._posterior_cache: Optional[np.ndarray] = None
+        self._pab_sort_index: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # observation management
+    # ------------------------------------------------------------------
+
+    @property
+    def counts(self) -> JointCounts:
+        """All observations folded in so far."""
+        return self._counts
+
+    def observe(self, counts: JointCounts) -> None:
+        """Accumulate new joint observations."""
+        self._counts = self._counts + counts
+        self._posterior_cache = None
+
+    def replace_counts(self, counts: JointCounts) -> None:
+        """Set the *cumulative* counts directly (used by the runner).
+
+        The multinomial likelihood depends only on cumulative counts, so a
+        sequential study can jump between checkpoints without replaying
+        increments.
+        """
+        self._counts = counts
+        self._posterior_cache = None
+
+    def reset(self) -> None:
+        """Drop all observations, reverting to the prior."""
+        self._counts = JointCounts()
+        self._posterior_cache = None
+
+    # ------------------------------------------------------------------
+    # posterior evaluation
+    # ------------------------------------------------------------------
+
+    def _posterior(self) -> np.ndarray:
+        if self._posterior_cache is not None:
+            return self._posterior_cache
+        r1, r2, r3, r4 = self._counts.as_tuple()
+        log_post = self._log_prior + np.zeros_like(self._log_p11)
+        # Multiply only the terms with non-zero exponents: with r=0 a cell
+        # probability of exactly zero is still admissible (0^0 = 1).
+        if r1:
+            log_post = log_post + r1 * self._log_p11
+        if r2:
+            log_post = log_post + r2 * self._log_p10
+        if r3:
+            log_post = log_post + r3 * self._log_p01
+        if r4:
+            log_post = log_post + r4 * self._log_p00
+        peak = log_post.max()
+        if not np.isfinite(peak):
+            raise InferenceError(
+                "posterior vanished everywhere: the observations are "
+                "impossible under the prior's support"
+            )
+        mass = np.exp(log_post - peak)
+        mass /= mass.sum()
+        self._posterior_cache = mass
+        return mass
+
+    # ------------------------------------------------------------------
+    # marginals (paper eq. 3-5)
+    # ------------------------------------------------------------------
+
+    def marginal_a(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(grid, mass) of the old release's pfd posterior — eq. (4)."""
+        return self._pa.copy(), self._posterior().sum(axis=(1, 2))
+
+    def marginal_b(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(grid, mass) of the new release's pfd posterior — eq. (5)."""
+        return self._pb.copy(), self._posterior().sum(axis=(0, 2))
+
+    def marginal_ab(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(sorted pAB values, mass) of the coincident-failure posterior —
+        eq. (3).  pAB varies cell-by-cell, so the marginal is reported over
+        the sorted flattened grid."""
+        if self._pab_sort_index is None:
+            self._pab_sort_index = np.argsort(self._pab, axis=None)
+        flat_mass = self._posterior().ravel()[self._pab_sort_index]
+        flat_values = self._pab.ravel()[self._pab_sort_index]
+        return flat_values, flat_mass
+
+    # ------------------------------------------------------------------
+    # confidences (eq. 6) and percentiles
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _confidence(values: np.ndarray, mass: np.ndarray, target: float) -> float:
+        return float(mass[values <= target].sum())
+
+    @staticmethod
+    def _percentile(
+        values: np.ndarray, mass: np.ndarray, level: float
+    ) -> float:
+        if not 0.0 < level < 1.0:
+            raise InferenceError(f"level must be in (0,1): {level!r}")
+        cumulative = np.cumsum(mass)
+        index = int(np.searchsorted(cumulative, level))
+        index = min(index, len(values) - 1)
+        return float(values[index])
+
+    def confidence_a(self, target: float) -> float:
+        """P(pA <= target | observations)."""
+        values, mass = self.marginal_a()
+        return self._confidence(values, mass, target)
+
+    def confidence_b(self, target: float) -> float:
+        """P(pB <= target | observations)."""
+        values, mass = self.marginal_b()
+        return self._confidence(values, mass, target)
+
+    def confidence_ab(self, target: float) -> float:
+        """P(pAB <= target | observations) — system coincident failure."""
+        values, mass = self.marginal_ab()
+        return self._confidence(values, mass, target)
+
+    def percentile_a(self, level: float) -> float:
+        """T with P(pA <= T) = level (e.g. the paper's TA99%)."""
+        values, mass = self.marginal_a()
+        return self._percentile(values, mass, level)
+
+    def percentile_b(self, level: float) -> float:
+        """T with P(pB <= T) = level (e.g. the paper's TB99%)."""
+        values, mass = self.marginal_b()
+        return self._percentile(values, mass, level)
+
+    def percentile_ab(self, level: float) -> float:
+        """T with P(pAB <= T) = level."""
+        values, mass = self.marginal_ab()
+        return self._percentile(values, mass, level)
+
+    # ------------------------------------------------------------------
+    # point summaries
+    # ------------------------------------------------------------------
+
+    def posterior_mean_a(self) -> float:
+        """Posterior E[pA]."""
+        values, mass = self.marginal_a()
+        return float(np.dot(values, mass))
+
+    def posterior_mean_b(self) -> float:
+        """Posterior E[pB]."""
+        values, mass = self.marginal_b()
+        return float(np.dot(values, mass))
+
+    def posterior_mean_ab(self) -> float:
+        """Posterior E[pAB] — expected 1-out-of-2 system pfd."""
+        return float(np.sum(self._pab * self._posterior()))
+
+    def __repr__(self) -> str:
+        return (
+            f"WhiteBoxAssessor(grid={self.grid!r}, counts="
+            f"{self._counts.as_tuple()!r})"
+        )

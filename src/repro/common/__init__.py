@@ -1,0 +1,38 @@
+"""Shared utilities: errors, validation, seeding and table rendering.
+
+These helpers are deliberately dependency-light; every other subpackage of
+:mod:`repro` builds on them.
+"""
+
+from repro.common.errors import (
+    ReproError,
+    ConfigurationError,
+    ValidationError,
+    SimulationError,
+    InferenceError,
+    ServiceError,
+)
+from repro.common.seeding import SeedSequenceFactory, spawn_generator
+from repro.common.validation import (
+    check_probability,
+    check_positive,
+    check_non_negative,
+    check_in_range,
+    check_distribution,
+)
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ValidationError",
+    "SimulationError",
+    "InferenceError",
+    "ServiceError",
+    "SeedSequenceFactory",
+    "spawn_generator",
+    "check_probability",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_distribution",
+]

@@ -1,0 +1,77 @@
+"""Plain-text table rendering for paper-style experiment reports.
+
+The experiment harness prints tables whose rows mirror the layout of the
+paper's Tables 2, 5 and 6 so that the reproduction can be compared with the
+original side by side.  Rendering is dependency-free (no tabulate).
+"""
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_cell(value: object, float_digits: int = 4) -> str:
+    """Render a single table cell.
+
+    Floats are fixed-point with *float_digits* decimals; ints keep their
+    natural form; ``None`` renders as an em-dash.
+    """
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+    float_digits: int = 4,
+) -> str:
+    """Render *rows* under *headers* as an aligned monospace table.
+
+    Returns the table as a single string (no trailing newline) so callers
+    can both ``print`` it and embed it in EXPERIMENTS.md.
+    """
+    rendered_rows: List[List[str]] = [
+        [format_cell(cell, float_digits) for cell in row] for row in rows
+    ]
+    header_cells = [str(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(header_cells):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(header_cells)}"
+            )
+    widths = [
+        max(len(header_cells[i]), *(len(r[i]) for r in rendered_rows))
+        if rendered_rows
+        else len(header_cells[i])
+        for i in range(len(header_cells))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(header_cells, widths)))
+    lines.append(separator)
+    for row in rendered_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_markdown_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_digits: int = 4,
+) -> str:
+    """Render the same data as a GitHub-flavoured markdown table."""
+    out: List[str] = []
+    out.append("| " + " | ".join(str(h) for h in headers) + " |")
+    out.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        cells = [format_cell(cell, float_digits) for cell in row]
+        if len(cells) != len(headers):
+            raise ValueError("row width does not match header width")
+        out.append("| " + " | ".join(cells) + " |")
+    return "\n".join(out)

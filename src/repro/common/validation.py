@@ -1,0 +1,81 @@
+"""Small argument-validation helpers used across the library.
+
+Each helper raises :class:`repro.common.errors.ValidationError` with a
+message naming the offending parameter, so failures surface at the API
+boundary instead of deep inside numerics.
+"""
+
+import math
+from typing import Iterable, Sequence
+
+from repro.common.errors import ValidationError
+
+#: Tolerance used when checking that probability vectors sum to one.
+PROBABILITY_SUM_TOL = 1e-9
+
+
+def check_probability(value: float, name: str) -> float:
+    """Return *value* if it is a probability in ``[0, 1]``, else raise."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ValidationError(f"{name} must be a number, got {value!r}")
+    if math.isnan(value) or not 0.0 <= value <= 1.0:
+        raise ValidationError(f"{name} must lie in [0, 1], got {value!r}")
+    return float(value)
+
+
+def check_positive(value: float, name: str) -> float:
+    """Return *value* if it is strictly positive, else raise."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ValidationError(f"{name} must be a number, got {value!r}")
+    if math.isnan(value) or value <= 0.0:
+        raise ValidationError(f"{name} must be > 0, got {value!r}")
+    return float(value)
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Return *value* if it is zero or positive, else raise."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ValidationError(f"{name} must be a number, got {value!r}")
+    if math.isnan(value) or value < 0.0:
+        raise ValidationError(f"{name} must be >= 0, got {value!r}")
+    return float(value)
+
+
+def check_in_range(value: float, low: float, high: float, name: str) -> float:
+    """Return *value* if ``low <= value <= high``, else raise."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ValidationError(f"{name} must be a number, got {value!r}")
+    if math.isnan(value) or not low <= value <= high:
+        raise ValidationError(
+            f"{name} must lie in [{low}, {high}], got {value!r}"
+        )
+    return float(value)
+
+
+def check_distribution(values: Sequence[float], name: str) -> tuple:
+    """Validate that *values* form a probability distribution.
+
+    Every entry must be a probability and the entries must sum to one
+    (within :data:`PROBABILITY_SUM_TOL`).  Returns the values as a tuple of
+    floats.
+    """
+    probs = tuple(
+        check_probability(v, f"{name}[{i}]") for i, v in enumerate(values)
+    )
+    total = sum(probs)
+    if abs(total - 1.0) > PROBABILITY_SUM_TOL:
+        raise ValidationError(
+            f"{name} must sum to 1 (got {total!r} from {values!r})"
+        )
+    return probs
+
+
+def check_sorted_unique(values: Iterable[float], name: str) -> tuple:
+    """Validate that *values* are strictly increasing; return them as tuple."""
+    out = tuple(float(v) for v in values)
+    for previous, current in zip(out, out[1:]):
+        if current <= previous:
+            raise ValidationError(
+                f"{name} must be strictly increasing, got {out!r}"
+            )
+    return out

@@ -1,0 +1,108 @@
+"""The managed-upgrade architecture (the paper's primary contribution).
+
+* :mod:`repro.core.middleware` — request fan-out, response collection
+  with TimeOut, adjudicated reply (§4.1, §5.2.1);
+* :mod:`repro.core.adjudicators` — adjudication strategies (§4.2);
+* :mod:`repro.core.modes` — the four operating modes (§4.2);
+* :mod:`repro.core.monitor` + :mod:`repro.core.database` — the
+  monitoring subsystem and its observation database (§4.3);
+* :mod:`repro.core.management` — reconfiguration/recovery/logging (§4.4);
+* :mod:`repro.core.switching` — switching criteria 1-3 (§5.1.1.2);
+* :mod:`repro.core.controller` — automatic switch-over;
+* :mod:`repro.core.policies` — baseline upgrade policies (§3).
+"""
+
+from repro.core.adjudicators import (
+    Adjudication,
+    Adjudicator,
+    CollectedResponse,
+    FastestValidAdjudicator,
+    MajorityVoteAdjudicator,
+    PaperRuleAdjudicator,
+)
+from repro.core.modes import ModeConfig, OperatingMode, SequentialOrder
+from repro.core.database import (
+    DemandRecord,
+    ObservationLog,
+    ReleaseObservation,
+    ReleaseTally,
+)
+from repro.core.monitor import (
+    BackToBackOnlinePolicy,
+    MonitoringSubsystem,
+    OmissionOnlinePolicy,
+    OnlineDetectionPolicy,
+)
+from repro.core.middleware import UpgradeMiddleware
+from repro.core.management import ManagementAction, ManagementSubsystem
+from repro.core.switching import (
+    AllOfCriterion,
+    AnyOfCriterion,
+    AvailabilityCriterion,
+    CriterionOne,
+    CriterionThree,
+    CriterionTwo,
+    SwitchDecision,
+    SwitchingCriterion,
+    evaluate_history,
+)
+from repro.core.controller import SwitchRecord, UpgradeController
+from repro.core.self_checking import (
+    SelfCheckingAdjudicator,
+    SimulatedAcceptanceTest,
+    accept_all,
+)
+from repro.core.upgrade_report import summarize_release, upgrade_report
+from repro.core.policies import (
+    ConservativeSingleReleaseAdjustment,
+    ImmediateSwitchPolicy,
+    ManagedUpgradePolicy,
+    NeverSwitchPolicy,
+    UpgradePolicy,
+    expected_incorrect_responses,
+)
+
+__all__ = [
+    "Adjudication",
+    "Adjudicator",
+    "CollectedResponse",
+    "FastestValidAdjudicator",
+    "MajorityVoteAdjudicator",
+    "PaperRuleAdjudicator",
+    "ModeConfig",
+    "OperatingMode",
+    "SequentialOrder",
+    "DemandRecord",
+    "ObservationLog",
+    "ReleaseObservation",
+    "ReleaseTally",
+    "BackToBackOnlinePolicy",
+    "MonitoringSubsystem",
+    "OmissionOnlinePolicy",
+    "OnlineDetectionPolicy",
+    "UpgradeMiddleware",
+    "ManagementAction",
+    "ManagementSubsystem",
+    "AllOfCriterion",
+    "AnyOfCriterion",
+    "AvailabilityCriterion",
+    "CriterionOne",
+    "CriterionThree",
+    "CriterionTwo",
+    "SwitchDecision",
+    "SwitchingCriterion",
+    "evaluate_history",
+    "SwitchRecord",
+    "UpgradeController",
+    "SelfCheckingAdjudicator",
+    "SimulatedAcceptanceTest",
+    "accept_all",
+    "summarize_release",
+    "upgrade_report",
+    "ConservativeSingleReleaseAdjustment",
+    "ImmediateSwitchPolicy",
+    "ManagedUpgradePolicy",
+    "NeverSwitchPolicy",
+    "UpgradePolicy",
+    "expected_incorrect_responses",
+]

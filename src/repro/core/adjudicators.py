@@ -1,0 +1,182 @@
+"""Response adjudication (paper §4.2, §5.2.1).
+
+The management subsystem adjudicates the responses collected from the
+deployed releases and returns a single response to the consumer.  The
+paper's simulated middleware uses the rules of §5.2.1, implemented here
+as :class:`PaperRuleAdjudicator`; a majority voter and a fastest-valid
+adjudicator cover the other mechanisms the test harness offers (§6.1:
+"users can explicitly specify the adjudication mechanism ... e.g.
+majority voter or other plans").
+"""
+
+from abc import ABC, abstractmethod
+from collections import Counter
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.services.message import (
+    RequestMessage,
+    ResponseMessage,
+    fault_response,
+)
+
+
+@dataclass(frozen=True)
+class CollectedResponse:
+    """One release's response as seen by the middleware.
+
+    Attributes
+    ----------
+    release:
+        Name of the responding release.
+    response:
+        The response envelope.
+    execution_time:
+        Seconds from request fan-out to this response's arrival.
+    """
+
+    release: str
+    response: ResponseMessage
+    execution_time: float
+
+    @property
+    def is_valid(self) -> bool:
+        """Valid = not evidently incorrect (§5.2.1's sense)."""
+        return not self.response.is_fault
+
+
+@dataclass(frozen=True)
+class Adjudication:
+    """The middleware's decision for one demand.
+
+    ``verdict`` is one of
+
+    * ``"result"`` — a valid adjudicated response is returned;
+    * ``"all-evident"`` — every collected response was evidently
+      incorrect, so the middleware raises an (evident) exception;
+    * ``"unavailable"`` — nothing was collected within TimeOut
+      ("Web Service unavailable").
+    """
+
+    verdict: str
+    response: Optional[ResponseMessage]
+    chosen_release: Optional[str] = None
+
+
+class Adjudicator(ABC):
+    """Strategy interface for adjudicating collected responses."""
+
+    name: str = "adjudicator"
+
+    @abstractmethod
+    def adjudicate(
+        self,
+        request: RequestMessage,
+        collected: Sequence[CollectedResponse],
+        rng: np.random.Generator,
+    ) -> Adjudication:
+        """Produce the adjudicated response for one demand."""
+
+    def _unavailable(self, request: RequestMessage) -> Adjudication:
+        return Adjudication(
+            "unavailable",
+            fault_response(request, "Web Service unavailable", "middleware"),
+        )
+
+    def _all_evident(self, request: RequestMessage) -> Adjudication:
+        return Adjudication(
+            "all-evident",
+            fault_response(
+                request, "all releases failed evidently", "middleware"
+            ),
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class PaperRuleAdjudicator(Adjudicator):
+    """The §5.2.1 rules, verbatim.
+
+    1. no responses collected -> 'Web Service unavailable';
+    2. all collected responses evidently incorrect -> evident exception;
+    3. all valid responses identical -> return it (it may still be a
+       coincident non-evident failure);
+    4. otherwise -> return a *random* valid response (a correct response
+       may exist among the collected ones and still not be picked);
+    5. a single valid response (e.g. at TimeOut) is returned as-is —
+       subsumed by rules 3/4.
+    """
+
+    name = "paper-random-valid"
+
+    def adjudicate(
+        self,
+        request: RequestMessage,
+        collected: Sequence[CollectedResponse],
+        rng: np.random.Generator,
+    ) -> Adjudication:
+        if not collected:
+            return self._unavailable(request)
+        valid = [c for c in collected if c.is_valid]
+        if not valid:
+            return self._all_evident(request)
+        results = {repr(c.response.result) for c in valid}
+        if len(results) == 1:
+            chosen = valid[0]
+        else:
+            chosen = valid[int(rng.integers(len(valid)))]
+        return Adjudication("result", chosen.response, chosen.release)
+
+
+class MajorityVoteAdjudicator(Adjudicator):
+    """Return the result produced by a strict majority of valid responses.
+
+    Without a strict majority the adjudicator falls back to a random
+    valid response (matching the paper's rule 4); ties are therefore not
+    silently broken in favour of any release.
+    """
+
+    name = "majority-vote"
+
+    def adjudicate(
+        self,
+        request: RequestMessage,
+        collected: Sequence[CollectedResponse],
+        rng: np.random.Generator,
+    ) -> Adjudication:
+        if not collected:
+            return self._unavailable(request)
+        valid = [c for c in collected if c.is_valid]
+        if not valid:
+            return self._all_evident(request)
+        tally = Counter(repr(c.response.result) for c in valid)
+        winner, votes = tally.most_common(1)[0]
+        if votes * 2 > len(valid):
+            for c in valid:
+                if repr(c.response.result) == winner:
+                    return Adjudication("result", c.response, c.release)
+        chosen = valid[int(rng.integers(len(valid)))]
+        return Adjudication("result", chosen.response, chosen.release)
+
+
+class FastestValidAdjudicator(Adjudicator):
+    """Return the earliest-arriving valid response (§4.2 mode 2's rule)."""
+
+    name = "fastest-valid"
+
+    def adjudicate(
+        self,
+        request: RequestMessage,
+        collected: Sequence[CollectedResponse],
+        rng: np.random.Generator,
+    ) -> Adjudication:
+        if not collected:
+            return self._unavailable(request)
+        valid = [c for c in collected if c.is_valid]
+        if not valid:
+            return self._all_evident(request)
+        chosen = min(valid, key=lambda c: c.execution_time)
+        return Adjudication("result", chosen.response, chosen.release)

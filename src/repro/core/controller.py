@@ -1,0 +1,126 @@
+"""Upgrade controller: runs the managed upgrade end to end.
+
+Wires together a middleware (with its monitor), the management subsystem
+and a switching criterion.  After every demand it re-evaluates the
+criterion against the monitor's white-box assessor (at a configurable
+cadence — evaluating a 3-D posterior every demand is wasteful); once the
+criterion holds, it switches: the old release is removed from the
+deployment and the decision is recorded.
+
+This is the component the §3.1/§3.3 narratives call "the composite
+service runs its own testing campaign against the new release ... once it
+gains sufficient confidence it may switch".
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.errors import ConfigurationError
+from repro.core.management import ManagementSubsystem
+from repro.core.middleware import UpgradeMiddleware
+from repro.core.switching import SwitchingCriterion
+
+
+@dataclass(frozen=True)
+class SwitchRecord:
+    """When and why the controller switched."""
+
+    demand_index: int
+    timestamp: float
+    criterion: str
+    removed_release: str
+    kept_release: str
+
+
+class UpgradeController:
+    """Automatic switch-over once the criterion is satisfied.
+
+    Parameters
+    ----------
+    middleware:
+        Middleware with a monitor whose ``watched_pair`` is the
+        (old, new) release pair under assessment.
+    management:
+        Management facade used to execute the switch.
+    criterion:
+        The §5.1.1.2 switching criterion.
+    evaluate_every:
+        Re-evaluate the criterion every this many demands.
+    min_demands:
+        Never switch before this many demands have been observed (guards
+        against a vacuously satisfied criterion on no data).
+    """
+
+    def __init__(
+        self,
+        middleware: UpgradeMiddleware,
+        management: ManagementSubsystem,
+        criterion: SwitchingCriterion,
+        evaluate_every: int = 100,
+        min_demands: int = 100,
+    ):
+        monitor = middleware.monitor
+        if monitor is None or monitor.whitebox is None:
+            raise ConfigurationError(
+                "the controller needs a monitor with a white-box assessor"
+            )
+        if monitor.watched_pair is None:
+            raise ConfigurationError(
+                "the monitor must watch an (old, new) release pair"
+            )
+        if evaluate_every <= 0:
+            raise ConfigurationError(
+                f"evaluate_every must be > 0: {evaluate_every!r}"
+            )
+        self.middleware = middleware
+        self.management = management
+        self.criterion = criterion
+        self.evaluate_every = int(evaluate_every)
+        self.min_demands = int(min_demands)
+        self.switch_record: Optional[SwitchRecord] = None
+        self._demands = 0
+        middleware.on_demand_closed(self._after_demand)
+
+    @property
+    def switched(self) -> bool:
+        """True once the controller has executed the switch."""
+        return self.switch_record is not None
+
+    def _after_demand(self, record) -> None:
+        if self.switched:
+            return
+        old_name, new_name = self.middleware.monitor.watched_pair
+        deployed = self.middleware.release_names()
+        # A managed upgrade is only in progress while both the old and
+        # the new release are deployed side by side; before the new
+        # release appears the criterion could hold vacuously (e.g.
+        # Criterion 3 on identical priors with no data).
+        if old_name not in deployed or new_name not in deployed:
+            return
+        self._demands += 1
+        if self._demands < self.min_demands:
+            return
+        if self._demands % self.evaluate_every:
+            return
+        monitor = self.middleware.monitor
+        if self.criterion.is_satisfied(monitor.whitebox):
+            self._execute_switch()
+
+    def _execute_switch(self) -> None:
+        old_name, new_name = self.middleware.monitor.watched_pair
+        self.management.remove_release(old_name)
+        self.switch_record = SwitchRecord(
+            demand_index=self._demands,
+            timestamp=self.management.clock.now,
+            criterion=self.criterion.name,
+            removed_release=old_name,
+            kept_release=new_name,
+        )
+
+    def __repr__(self) -> str:
+        state = (
+            f"switched at demand {self.switch_record.demand_index}"
+            if self.switched
+            else f"assessing ({self._demands} demands)"
+        )
+        return f"UpgradeController(criterion={self.criterion.name!r}, {state})"

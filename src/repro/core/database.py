@@ -1,0 +1,172 @@
+"""Observation database of the monitoring subsystem (paper §4.3).
+
+"Every time the consumer invokes the WS this subsystem monitors the
+availability ..., execution time and the correctness of the responses for
+each release of the WS and stores these parameters in a database."
+
+:class:`ObservationLog` is that database: an append-only record per
+demand, holding per-release observations (collected?, execution time,
+judged failure) plus the system-level verdict.  Query helpers aggregate
+what the assessors and reports need: per-release tallies, joint Table-1
+counts for the white-box inference, and windowed views.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.bayes.counts import JointCounts
+from repro.simulation.outcomes import Outcome
+
+
+@dataclass(frozen=True)
+class ReleaseObservation:
+    """What the monitor recorded about one release on one demand.
+
+    Attributes
+    ----------
+    collected:
+        Whether a response arrived within TimeOut.
+    execution_time:
+        Seconds to respond (None when not collected).
+    true_outcome:
+        Ground-truth outcome (simulation only; None in production use).
+    observed_failure:
+        The oracle's verdict after any detection imperfection; None when
+        no response was collected (nothing to judge — the availability
+        accounting covers it).
+    """
+
+    collected: bool
+    execution_time: Optional[float] = None
+    true_outcome: Optional[Outcome] = None
+    observed_failure: Optional[bool] = None
+
+
+@dataclass(frozen=True)
+class DemandRecord:
+    """One demand's complete observation row."""
+
+    request_id: str
+    timestamp: float
+    releases: Dict[str, ReleaseObservation]
+    system_verdict: str
+    system_outcome: Optional[Outcome]
+    system_time: Optional[float]
+
+    def observation(self, release: str) -> ReleaseObservation:
+        return self.releases[release]
+
+
+@dataclass
+class ReleaseTally:
+    """Aggregated per-release statistics over a log (or a window of it)."""
+
+    demands: int = 0
+    collected: int = 0
+    observed_failures: int = 0
+    total_execution_time: float = 0.0
+
+    @property
+    def availability(self) -> float:
+        return self.collected / self.demands if self.demands else float("nan")
+
+    @property
+    def mean_execution_time(self) -> float:
+        if not self.collected:
+            return float("nan")
+        return self.total_execution_time / self.collected
+
+    @property
+    def observed_failure_rate(self) -> float:
+        if not self.collected:
+            return float("nan")
+        return self.observed_failures / self.collected
+
+
+class ObservationLog:
+    """Append-only demand-observation store with aggregation queries."""
+
+    def __init__(self):
+        self._records: List[DemandRecord] = []
+
+    def append(self, record: DemandRecord) -> None:
+        """Store one demand's observations."""
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[DemandRecord]:
+        return iter(self._records)
+
+    def window(self, last: int) -> List[DemandRecord]:
+        """The most recent *last* records."""
+        if last <= 0:
+            return []
+        return self._records[-last:]
+
+    def release_names(self) -> List[str]:
+        """Every release that appears anywhere in the log."""
+        names: List[str] = []
+        for record in self._records:
+            for name in record.releases:
+                if name not in names:
+                    names.append(name)
+        return names
+
+    def tally(self, release: str, last: Optional[int] = None) -> ReleaseTally:
+        """Aggregate one release's availability / MET / failure stats."""
+        records = self._records if last is None else self.window(last)
+        out = ReleaseTally()
+        for record in records:
+            observation = record.releases.get(release)
+            if observation is None:
+                continue
+            out.demands += 1
+            if observation.collected:
+                out.collected += 1
+                if observation.execution_time is not None:
+                    out.total_execution_time += observation.execution_time
+                if observation.observed_failure:
+                    out.observed_failures += 1
+        return out
+
+    def joint_counts(
+        self,
+        release_a: str,
+        release_b: str,
+        last: Optional[int] = None,
+    ) -> JointCounts:
+        """Table-1 counts over demands where *both* releases responded.
+
+        Demands on which either release produced no response carry no
+        joint correctness information and are excluded — exactly the data
+        the white-box inference of §5.1 consumes.
+        """
+        records = self._records if last is None else self.window(last)
+        r1 = r2 = r3 = r4 = 0
+        for record in records:
+            obs_a = record.releases.get(release_a)
+            obs_b = record.releases.get(release_b)
+            if obs_a is None or obs_b is None:
+                continue
+            if not (obs_a.collected and obs_b.collected):
+                continue
+            a_failed = bool(obs_a.observed_failure)
+            b_failed = bool(obs_b.observed_failure)
+            if a_failed and b_failed:
+                r1 += 1
+            elif a_failed:
+                r2 += 1
+            elif b_failed:
+                r3 += 1
+            else:
+                r4 += 1
+        return JointCounts(r1, r2, r3, r4)
+
+    def system_tally(self) -> Dict[str, int]:
+        """System verdict counts (result / all-evident / unavailable)."""
+        out: Dict[str, int] = {}
+        for record in self._records:
+            out[record.system_verdict] = out.get(record.system_verdict, 0) + 1
+        return out

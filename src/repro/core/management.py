@@ -1,0 +1,136 @@
+"""Management subsystem (paper §4.4 and the §6.1 harness operations).
+
+Controls the operational releases and the current operating mode based on
+the monitoring subsystem's assessment; adjudication itself lives in
+:mod:`repro.core.adjudicators` and is invoked by the middleware.  Every
+administrative action is logged with its simulated timestamp, giving the
+audit trail "for further analysis" that §4.1 requires.
+
+The §6.1 consumer-facing configuration operations map 1:1:
+
+* add/remove releases -> :meth:`ManagementSubsystem.add_release` /
+  :meth:`ManagementSubsystem.remove_release`;
+* serial/concurrent execution -> :meth:`ManagementSubsystem.set_mode`;
+* explicit adjudication mechanism -> :meth:`ManagementSubsystem.
+  set_adjudicator`;
+* read back the confidence -> :meth:`ManagementSubsystem.
+  read_confidence`.
+"""
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.adjudicators import Adjudicator
+from repro.core.middleware import UpgradeMiddleware
+from repro.core.modes import ModeConfig
+from repro.services.endpoint import ServiceEndpoint
+from repro.simulation.clock import SimulationClock
+from repro.simulation.timing import SystemTimingPolicy
+
+
+@dataclass(frozen=True)
+class ManagementAction:
+    """One logged administrative action."""
+
+    timestamp: float
+    action: str
+    detail: str
+
+
+class ManagementSubsystem:
+    """Administrative facade over the upgrade middleware.
+
+    Parameters
+    ----------
+    middleware:
+        The middleware under management.
+    clock:
+        Source of timestamps for the action log (the simulator's clock).
+    """
+
+    def __init__(
+        self, middleware: UpgradeMiddleware, clock: SimulationClock
+    ):
+        self.middleware = middleware
+        self.clock = clock
+        self.actions: List[ManagementAction] = []
+
+    def _log(self, action: str, detail: str) -> None:
+        self.actions.append(
+            ManagementAction(self.clock.now, action, detail)
+        )
+
+    # ------------------------------------------------------------------
+    # release management
+    # ------------------------------------------------------------------
+
+    def add_release(self, endpoint: ServiceEndpoint) -> None:
+        """Deploy a (new) release behind the WS interface."""
+        self.middleware.add_endpoint(endpoint)
+        self._log("add-release", endpoint.name)
+
+    def remove_release(self, name: str) -> ServiceEndpoint:
+        """Phase a release out of the deployment."""
+        endpoint = self.middleware.remove_endpoint(name)
+        self._log("remove-release", name)
+        return endpoint
+
+    def recover_release(self, name: str) -> None:
+        """Recover a failed release (bring it back online) — §4.1's
+        "recovery of the failed releases" responsibility."""
+        for endpoint in self.middleware.endpoints:
+            if endpoint.name == name:
+                endpoint.bring_online()
+                self._log("recover-release", name)
+                return
+        raise LookupError(f"no deployed release named {name!r}")
+
+    # ------------------------------------------------------------------
+    # mode / policy control
+    # ------------------------------------------------------------------
+
+    def set_mode(self, mode: ModeConfig) -> None:
+        """Choose the current operating mode (§4.2)."""
+        self.middleware.set_mode(mode)
+        self._log("set-mode", mode.mode.value)
+
+    def set_timing(self, timing: SystemTimingPolicy) -> None:
+        """Change the TimeOut / adjudication delay dynamically."""
+        self.middleware.set_timing(timing)
+        self._log(
+            "set-timing",
+            f"timeout={timing.timeout}, dT={timing.adjudication_delay}",
+        )
+
+    def set_adjudicator(self, adjudicator: Adjudicator) -> None:
+        """Choose the adjudication mechanism (§6.1)."""
+        self.middleware.set_adjudicator(adjudicator)
+        self._log("set-adjudicator", adjudicator.name)
+
+    # ------------------------------------------------------------------
+    # consumer-facing confidence readback (§6.1)
+    # ------------------------------------------------------------------
+
+    def read_confidence(
+        self, release: str, target_pfd: float
+    ) -> Optional[float]:
+        """Current confidence in a release's correctness, or None when no
+        monitor/assessment is attached."""
+        monitor = self.middleware.monitor
+        if monitor is None or monitor.blackbox_prior is None:
+            return None
+        return monitor.confidence_in_correctness(release, target_pfd)
+
+    def read_availability(self, release: str) -> Optional[float]:
+        """Observed availability of one release."""
+        monitor = self.middleware.monitor
+        if monitor is None:
+            return None
+        return monitor.availability(release)
+
+    def __repr__(self) -> str:
+        return (
+            f"ManagementSubsystem(releases="
+            f"{self.middleware.release_names()!r}, "
+            f"actions={len(self.actions)})"
+        )

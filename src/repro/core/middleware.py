@@ -1,0 +1,467 @@
+"""The upgrade middleware (paper §4.1, §5.2.1).
+
+The middleware is the heart of the managed-upgrade architecture: it
+intercepts each consumer request arriving at the WS interface, relays it
+to every deployed release, collects their responses subject to a TimeOut,
+adjudicates them, and returns a single adjudicated response.  Per-demand
+observations flow to the monitoring subsystem.
+
+Timing follows eq. (7)-(8): a demand-difficulty component ``T1`` is
+sampled once per request and shared by all releases; each release adds
+its own ``T2``; the adjudication overhead ``dT`` is added to the system
+response time.  Outcome correlation between two releases (Tables 3-4) is
+imposed by pre-sampling a joint outcome pair and forcing it onto the
+endpoints.
+"""
+
+import itertools
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError, ValidationError
+from repro.core.adjudicators import (
+    Adjudication,
+    Adjudicator,
+    CollectedResponse,
+    PaperRuleAdjudicator,
+)
+from repro.core.modes import ModeConfig, OperatingMode, SequentialOrder
+from repro.core.monitor import MonitoringSubsystem
+from repro.services.endpoint import ServiceEndpoint
+from repro.services.message import (
+    RequestMessage,
+    ResponseMessage,
+    fault_response,
+)
+from repro.simulation.correlation import JointOutcomeModel
+from repro.simulation.distributions import Deterministic, Distribution
+from repro.simulation.engine import Simulator
+from repro.simulation.timing import SystemTimingPolicy
+
+#: Hook signature: called after each demand is closed, with the demand
+#: record (None when no monitor is attached).  The upgrade controller
+#: registers itself here.
+AfterDemandHook = Callable[[object], None]
+
+
+class UpgradeMiddleware:
+    """Managed-upgrade middleware over N deployed releases.
+
+    Parameters
+    ----------
+    endpoints:
+        Deployed releases, old release first by convention.
+    timing:
+        TimeOut + adjudication delay (eq. 8).
+    adjudicator:
+        Response adjudication strategy (§5.2.1 rules by default).
+    mode:
+        Operating mode (§4.2); parallel max-reliability by default.
+    monitor:
+        Optional monitoring subsystem receiving per-demand observations.
+    rng:
+        Randomness for adjudication tie-breaks, sequencing and sampling.
+    joint_outcome_model:
+        When exactly two releases are deployed, pre-samples their
+        correlated outcome pair per demand (Tables 3-4).  None lets each
+        endpoint sample its own marginal independently.
+    demand_difficulty:
+        Distribution of the shared T1 execution-time component.
+    """
+
+    def __init__(
+        self,
+        endpoints: List[ServiceEndpoint],
+        timing: SystemTimingPolicy,
+        rng: np.random.Generator,
+        adjudicator: Optional[Adjudicator] = None,
+        mode: Optional[ModeConfig] = None,
+        monitor: Optional[MonitoringSubsystem] = None,
+        joint_outcome_model: Optional[JointOutcomeModel] = None,
+        demand_difficulty: Optional[Distribution] = None,
+    ):
+        if not endpoints:
+            raise ConfigurationError("middleware needs at least one release")
+        self.endpoints: List[ServiceEndpoint] = list(endpoints)
+        self.timing = timing
+        self.adjudicator = adjudicator or PaperRuleAdjudicator()
+        self.mode = mode or ModeConfig.max_reliability()
+        self.monitor = monitor
+        self.joint_outcome_model = joint_outcome_model
+        self.demand_difficulty = (
+            demand_difficulty
+            if demand_difficulty is not None
+            else Deterministic(0.0)
+        )
+        self._rng = rng
+        # Adjudication tie-breaks draw from their own derived stream so
+        # that swapping adjudicators cannot perturb the demand/outcome
+        # stream — ablations then compare identical workloads.
+        self._adjudication_rng = np.random.default_rng(
+            rng.integers(2**63)
+        )
+        self._after_demand: List[AfterDemandHook] = []
+        self.demands = 0
+        self._demand_ids = itertools.count()
+
+    # ------------------------------------------------------------------
+    # reconfiguration (driven by the management subsystem)
+    # ------------------------------------------------------------------
+
+    def release_names(self) -> List[str]:
+        return [endpoint.name for endpoint in self.endpoints]
+
+    def add_endpoint(self, endpoint: ServiceEndpoint) -> None:
+        """Deploy an additional release behind the interface."""
+        if endpoint.name in self.release_names():
+            raise ConfigurationError(
+                f"release {endpoint.name!r} is already deployed"
+            )
+        self.endpoints.append(endpoint)
+
+    def remove_endpoint(self, name: str) -> ServiceEndpoint:
+        """Phase a release out; raises if it is the last one."""
+        if len(self.endpoints) == 1:
+            raise ConfigurationError("cannot remove the last release")
+        for i, endpoint in enumerate(self.endpoints):
+            if endpoint.name == name:
+                return self.endpoints.pop(i)
+        raise ConfigurationError(f"no deployed release named {name!r}")
+
+    def set_mode(self, mode: ModeConfig) -> None:
+        """Switch operating mode (takes effect on the next demand)."""
+        self.mode = mode
+
+    def set_timing(self, timing: SystemTimingPolicy) -> None:
+        """Change TimeOut / dT (the §4.2 mode-3 dynamic knobs)."""
+        self.timing = timing
+
+    def set_adjudicator(self, adjudicator: Adjudicator) -> None:
+        """Swap the adjudication mechanism (§6.1 harness operation)."""
+        self.adjudicator = adjudicator
+
+    def on_demand_closed(self, hook: AfterDemandHook) -> None:
+        """Register a hook called after each demand's record is closed."""
+        self._after_demand.append(hook)
+
+    # ------------------------------------------------------------------
+    # the port protocol
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        simulator: Simulator,
+        request: RequestMessage,
+        deliver: Callable[[ResponseMessage], None],
+        reference_answer: object = None,
+    ) -> None:
+        """Serve one consumer demand under the current configuration."""
+        self.demands += 1
+        if self.mode.mode is OperatingMode.SEQUENTIAL:
+            _SequentialDemand(self, simulator, request, deliver,
+                              reference_answer).start()
+        else:
+            _ParallelDemand(self, simulator, request, deliver,
+                            reference_answer).start()
+
+    # ------------------------------------------------------------------
+    # internals shared by the demand state machines
+    # ------------------------------------------------------------------
+
+    def _sample_forced_outcomes(self, active: List[ServiceEndpoint]) -> dict:
+        if self.joint_outcome_model is None or len(active) < 2:
+            return {}
+        try:
+            outcomes = self.joint_outcome_model.sample_tuple(
+                self._rng, len(active)
+            )
+        except ValidationError:
+            # The model cannot correlate this many releases (e.g. a
+            # pairwise model with 3 deployed): endpoints fall back to
+            # their own marginals.
+            return {}
+        return {
+            endpoint.name: outcome
+            for endpoint, outcome in zip(active, outcomes)
+        }
+
+    def _close_demand(
+        self,
+        request: RequestMessage,
+        start_time: float,
+        active_names: List[str],
+        collected: List[CollectedResponse],
+        adjudication: Adjudication,
+        system_time: Optional[float],
+        timestamp: float,
+        reference_answer: object,
+    ) -> None:
+        record = None
+        if self.monitor is not None:
+            record = self.monitor.record_demand(
+                request_id=request.message_id,
+                timestamp=start_time,
+                active_releases=active_names,
+                collected=collected,
+                adjudication=adjudication,
+                system_time=system_time,
+                reference_answer=reference_answer,
+            )
+        for hook in list(self._after_demand):
+            hook(record)
+
+    def __repr__(self) -> str:
+        return (
+            f"UpgradeMiddleware(releases={self.release_names()!r}, "
+            f"mode={self.mode.mode.value!r}, demands={self.demands})"
+        )
+
+
+class _ParallelDemand:
+    """State machine for one demand in the parallel modes."""
+
+    def __init__(self, mw, simulator, request, deliver, reference_answer):
+        self.mw = mw
+        self.simulator = simulator
+        self.request = request
+        self.deliver = deliver
+        self.reference_answer = reference_answer
+        self.active = list(mw.endpoints)
+        # Snapshot the configuration: a demand keeps the semantics it
+        # started with even if management reconfigures mid-flight.
+        self.mode = mw.mode
+        self.timing = mw.timing
+        self.start_time = simulator.now
+        self.collected: List[CollectedResponse] = []
+        self.delivered = False
+        self.closed = False
+        self.timeout_event = None
+
+    def start(self) -> None:
+        mw = self.mw
+        if not self.active:
+            self._finalize_and_close()
+            return
+        forced = mw._sample_forced_outcomes(self.active)
+        difficulty = mw.demand_difficulty.sample(mw._rng)
+        self.timeout_event = self.simulator.schedule(
+            self.timing.timeout,
+            self._on_timeout,
+            label=f"timeout:{self.request.message_id}",
+        )
+        for endpoint in self.active:
+            endpoint.invoke(
+                self.simulator,
+                self.request,
+                self._arrival_handler(endpoint),
+                reference_answer=self.reference_answer,
+                forced_outcome=forced.get(endpoint.name),
+                demand_difficulty=difficulty,
+            )
+
+    def _arrival_handler(self, endpoint):
+        def on_arrival(response: ResponseMessage) -> None:
+            if self.closed:
+                return
+            self.collected.append(
+                CollectedResponse(
+                    release=endpoint.name,
+                    response=response,
+                    execution_time=self.simulator.now - self.start_time,
+                )
+            )
+            self._maybe_decide()
+
+        return on_arrival
+
+    def _decision_threshold(self) -> int:
+        mode = self.mode
+        if mode.mode is OperatingMode.PARALLEL_DYNAMIC:
+            return min(mode.min_responses, len(self.active))
+        return len(self.active)
+
+    def _maybe_decide(self) -> None:
+        mode = self.mode
+        if mode.mode is OperatingMode.PARALLEL_RESPONSIVENESS:
+            # Deliver the first valid response immediately; keep
+            # collecting the rest for monitoring until all arrive or
+            # TimeOut.
+            if not self.delivered and self.collected[-1].is_valid:
+                self._deliver_now(self.collected[-1].response,
+                                  self.collected[-1].release)
+            if len(self.collected) == len(self.active):
+                self._finalize_and_close()
+            return
+        if len(self.collected) >= self._decision_threshold():
+            self._finalize_and_close()
+
+    def _on_timeout(self) -> None:
+        if not self.closed:
+            self._finalize_and_close()
+
+    def _deliver_now(self, response: ResponseMessage, release: str) -> None:
+        self.delivered = True
+        self.decision_time = self.simulator.now
+        self.delivered_adjudication = Adjudication(
+            "result", response, release
+        )
+        delay = self.timing.adjudication_delay
+        self.simulator.schedule(
+            delay, lambda: self.deliver(response), label="adjudicated"
+        )
+
+    def _finalize_and_close(self) -> None:
+        self.closed = True
+        if self.timeout_event is not None:
+            self.timeout_event.cancel()
+        if self.delivered:
+            # Responsiveness mode: what reached the consumer is the
+            # first valid response — record that, not a re-adjudication
+            # over later arrivals the consumer never saw.
+            adjudication = self.delivered_adjudication
+        else:
+            adjudication = self.mw.adjudicator.adjudicate(
+                self.request, self.collected, self.mw._adjudication_rng
+            )
+        decision_time = self.simulator.now
+        system_time = decision_time - self.start_time
+        system_time = (
+            min(system_time, self.timing.timeout)
+            + self.timing.adjudication_delay
+        )
+        if self.mode.mode is OperatingMode.PARALLEL_RESPONSIVENESS:
+            if self.delivered:
+                # Consumer-visible time was set at first-valid delivery.
+                system_time = (
+                    getattr(self, "decision_time", decision_time)
+                    - self.start_time
+                    + self.timing.adjudication_delay
+                )
+            elif adjudication.response is not None:
+                self.simulator.schedule(
+                    self.timing.adjudication_delay,
+                    lambda: self.deliver(adjudication.response),
+                    label="adjudicated",
+                )
+        else:
+            self.simulator.schedule(
+                self.timing.adjudication_delay,
+                lambda: self.deliver(adjudication.response),
+                label="adjudicated",
+            )
+        self.mw._close_demand(
+            self.request,
+            self.start_time,
+            [endpoint.name for endpoint in self.active],
+            self.collected,
+            adjudication,
+            system_time,
+            decision_time,
+            self.reference_answer,
+        )
+
+
+class _SequentialDemand:
+    """State machine for one demand in sequential mode (§4.2 mode 4)."""
+
+    def __init__(self, mw, simulator, request, deliver, reference_answer):
+        self.mw = mw
+        self.simulator = simulator
+        self.request = request
+        self.deliver = deliver
+        self.reference_answer = reference_answer
+        self.active = list(mw.endpoints)
+        # Snapshot the configuration: in-flight demands keep the
+        # semantics they started with across reconfigurations.
+        self.mode = mw.mode
+        self.timing = mw.timing
+        self.start_time = simulator.now
+        self.collected: List[CollectedResponse] = []
+        self.closed = False
+        self.timeout_event = None
+        self._order: List[ServiceEndpoint] = []
+
+    def start(self) -> None:
+        mw = self.mw
+        if not self.active:
+            self._finish()
+            return
+        self._order = list(self.active)
+        if self.mode.sequential_order is SequentialOrder.RANDOM:
+            mw._rng.shuffle(self._order)
+        self._forced = mw._sample_forced_outcomes(self.active)
+        self._difficulty = mw.demand_difficulty.sample(mw._rng)
+        self._next_index = 0
+        self.timeout_event = self.simulator.schedule(
+            self.timing.timeout,
+            self._on_timeout,
+            label=f"timeout:{self.request.message_id}",
+        )
+        self._invoke_next()
+
+    def _invoke_next(self) -> None:
+        if self.closed:
+            return
+        if self._next_index >= len(self._order):
+            self._finish()
+            return
+        endpoint = self._order[self._next_index]
+        self._next_index += 1
+        invoked_at = self.simulator.now
+
+        def on_arrival(response: ResponseMessage) -> None:
+            if self.closed:
+                return
+            item = CollectedResponse(
+                release=endpoint.name,
+                response=response,
+                execution_time=self.simulator.now - self.start_time,
+            )
+            self.collected.append(item)
+            if item.is_valid:
+                self._finish()
+            else:
+                # Evidently incorrect: escalate to the next release.
+                self._invoke_next()
+
+        endpoint.invoke(
+            self.simulator,
+            self.request,
+            on_arrival,
+            reference_answer=self.reference_answer,
+            forced_outcome=self._forced.get(endpoint.name),
+            demand_difficulty=self._difficulty,
+        )
+
+    def _on_timeout(self) -> None:
+        if not self.closed:
+            self._finish()
+
+    def _finish(self) -> None:
+        self.closed = True
+        if self.timeout_event is not None:
+            self.timeout_event.cancel()
+        adjudication = self.mw.adjudicator.adjudicate(
+            self.request, self.collected, self.mw._adjudication_rng
+        )
+        decision_time = self.simulator.now
+        system_time = (
+            min(decision_time - self.start_time, self.timing.timeout)
+            + self.timing.adjudication_delay
+        )
+        self.simulator.schedule(
+            self.timing.adjudication_delay,
+            lambda: self.deliver(adjudication.response),
+            label="adjudicated",
+        )
+        self.mw._close_demand(
+            self.request,
+            self.start_time,
+            [endpoint.name for endpoint in self.active],
+            self.collected,
+            adjudication,
+            system_time,
+            decision_time,
+            self.reference_answer,
+        )

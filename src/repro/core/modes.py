@@ -1,0 +1,100 @@
+"""Operating modes of the upgrade middleware (paper §4.2).
+
+Four modes govern *when* the middleware stops collecting responses:
+
+1. **Parallel, maximum reliability** — wait for all deployed releases
+   (or TimeOut), then adjudicate everything collected;
+2. **Parallel, maximum responsiveness** — return the fastest valid
+   (non-evidently-incorrect) response immediately; keep collecting the
+   rest until TimeOut for monitoring purposes;
+3. **Parallel, dynamic reliability/responsiveness** — wait for up to
+   ``min_responses`` responses but no longer than TimeOut, then
+   adjudicate what arrived (the generalised mode; both counts and the
+   TimeOut can be changed at run time through the management subsystem);
+4. **Sequential, minimal server capacity** — execute releases one at a
+   time (fixed or random order); a subsequent release runs only if the
+   previous response was evidently incorrect.
+"""
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.errors import ConfigurationError
+
+
+class OperatingMode(enum.Enum):
+    """The §4.2 middleware operating modes."""
+
+    PARALLEL_RELIABILITY = "parallel-reliability"
+    PARALLEL_RESPONSIVENESS = "parallel-responsiveness"
+    PARALLEL_DYNAMIC = "parallel-dynamic"
+    SEQUENTIAL = "sequential"
+
+    @property
+    def is_parallel(self) -> bool:
+        return self is not OperatingMode.SEQUENTIAL
+
+
+class SequentialOrder(enum.Enum):
+    """Release execution order in sequential mode (§4.2: "the order of
+    execution can be chosen randomly or can be predefined")."""
+
+    FIXED = "fixed"
+    RANDOM = "random"
+
+
+@dataclass(frozen=True)
+class ModeConfig:
+    """A fully specified operating-mode configuration.
+
+    Attributes
+    ----------
+    mode:
+        The operating mode.
+    min_responses:
+        For :attr:`OperatingMode.PARALLEL_DYNAMIC`: adjudicate as soon as
+        this many responses have been collected (the TimeOut still caps
+        the wait).  Ignored in the other modes.
+    sequential_order:
+        For :attr:`OperatingMode.SEQUENTIAL`: fixed (deployment) order or
+        a fresh random order per demand.
+    """
+
+    mode: OperatingMode = OperatingMode.PARALLEL_RELIABILITY
+    min_responses: Optional[int] = None
+    sequential_order: SequentialOrder = SequentialOrder.FIXED
+
+    def __post_init__(self) -> None:
+        if self.mode is OperatingMode.PARALLEL_DYNAMIC:
+            if self.min_responses is None or self.min_responses < 1:
+                raise ConfigurationError(
+                    "parallel-dynamic mode requires min_responses >= 1"
+                )
+        elif self.min_responses is not None:
+            raise ConfigurationError(
+                f"min_responses only applies to parallel-dynamic mode, "
+                f"not {self.mode.value!r}"
+            )
+
+    @classmethod
+    def max_reliability(cls) -> "ModeConfig":
+        """Mode 1: wait for everything (the Tables 5-6 configuration)."""
+        return cls(OperatingMode.PARALLEL_RELIABILITY)
+
+    @classmethod
+    def max_responsiveness(cls) -> "ModeConfig":
+        """Mode 2: first valid response wins."""
+        return cls(OperatingMode.PARALLEL_RESPONSIVENESS)
+
+    @classmethod
+    def dynamic(cls, min_responses: int) -> "ModeConfig":
+        """Mode 3: adjudicate after *min_responses* responses or TimeOut."""
+        return cls(OperatingMode.PARALLEL_DYNAMIC, min_responses=min_responses)
+
+    @classmethod
+    def sequential(
+        cls, order: SequentialOrder = SequentialOrder.FIXED
+    ) -> "ModeConfig":
+        """Mode 4: one release at a time, escalating on evident failure."""
+        return cls(OperatingMode.SEQUENTIAL, sequential_order=order)

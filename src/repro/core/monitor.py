@@ -1,0 +1,353 @@
+"""Monitoring subsystem (paper §4.3).
+
+Watches every demand through the middleware: availability (was a response
+collected within TimeOut?), execution time, and correctness of each
+release's response.  Correctness judgements pass through an *online
+detection policy* — the per-demand counterpart of the §5.1.1.3 imperfect
+detection models — before being stored in the observation database and
+fed to the Bayesian assessors:
+
+* a black-box assessor per release (eq. 1), and
+* one white-box assessor (eq. 2-6) for the designated (old, new) pair.
+"""
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bayes.attributes import (
+    AvailabilityAssessor,
+    ResponsivenessAssessor,
+)
+from repro.bayes.blackbox import BlackBoxAssessor
+from repro.bayes.beta import TruncatedBeta
+from repro.bayes.counts import JointCounts
+from repro.bayes.whitebox import WhiteBoxAssessor
+from repro.common.errors import ConfigurationError
+from repro.core.adjudicators import Adjudication, CollectedResponse
+from repro.core.database import (
+    DemandRecord,
+    ObservationLog,
+    ReleaseObservation,
+)
+from repro.simulation.outcomes import Outcome
+
+
+# ----------------------------------------------------------------------
+# online detection policies (per-demand §5.1.1.3 counterparts)
+# ----------------------------------------------------------------------
+
+
+class OnlineDetectionPolicy:
+    """Judges observed failures for the responses of one demand.
+
+    Receives, per release, the *true* outcome (derived from the response
+    payload vs the reference answer) and returns the oracle's verdict.
+    Evident failures (declared faults) are always observed — an exception
+    announces itself; imperfection applies to the judgement of
+    non-evident failures.
+    """
+
+    name = "perfect"
+
+    def judge(
+        self,
+        outcomes: Dict[str, Outcome],
+        payloads: Dict[str, object],
+        rng: np.random.Generator,
+    ) -> Dict[str, bool]:
+        """Map release -> observed-failure verdict."""
+        return {
+            release: outcome.is_failure
+            for release, outcome in outcomes.items()
+        }
+
+
+class OmissionOnlinePolicy(OnlineDetectionPolicy):
+    """Each oracle independently misses a non-evident failure w.p. p_omit."""
+
+    name = "omission"
+
+    def __init__(self, p_omit: float):
+        if not 0.0 <= p_omit <= 1.0:
+            raise ConfigurationError(f"p_omit must be in [0,1]: {p_omit!r}")
+        self.p_omit = p_omit
+
+    def judge(
+        self,
+        outcomes: Dict[str, Outcome],
+        payloads: Dict[str, object],
+        rng: np.random.Generator,
+    ) -> Dict[str, bool]:
+        verdicts: Dict[str, bool] = {}
+        for release, outcome in outcomes.items():
+            if outcome is Outcome.NON_EVIDENT_FAILURE:
+                verdicts[release] = rng.random() >= self.p_omit
+            else:
+                verdicts[release] = outcome.is_failure
+        return verdicts
+
+
+class BackToBackOnlinePolicy(OnlineDetectionPolicy):
+    """Cross-comparison of the releases is the only non-evident oracle.
+
+    A non-evident failure is observed only when the compared payloads
+    disagree; coincident non-evident failures with identical payloads
+    (the paper's pessimistic assumption about two releases of the same
+    product) are scored as successes for both releases.
+    """
+
+    name = "back-to-back"
+
+    def judge(
+        self,
+        outcomes: Dict[str, Outcome],
+        payloads: Dict[str, object],
+        rng: np.random.Generator,
+    ) -> Dict[str, bool]:
+        distinct_payloads = {
+            repr(payloads[r])
+            for r, outcome in outcomes.items()
+            if outcome is not Outcome.EVIDENT_FAILURE
+        }
+        verdicts: Dict[str, bool] = {}
+        for release, outcome in outcomes.items():
+            if outcome is Outcome.NON_EVIDENT_FAILURE:
+                # Detectable only if somebody produced a different payload.
+                verdicts[release] = len(distinct_payloads) > 1
+            else:
+                verdicts[release] = outcome.is_failure
+        return verdicts
+
+
+# ----------------------------------------------------------------------
+# the monitoring subsystem proper
+# ----------------------------------------------------------------------
+
+
+class MonitoringSubsystem:
+    """Per-demand measurement, storage and Bayesian assessment.
+
+    Parameters
+    ----------
+    rng:
+        Randomness for the detection policy.
+    detection:
+        The online detection policy (perfect by default).
+    watched_pair:
+        ``(old release name, new release name)`` to feed the white-box
+        assessor; None disables white-box assessment.
+    whitebox_assessor:
+        The white-box assessor for the watched pair (required when
+        *watched_pair* is set).
+    blackbox_prior:
+        pfd prior used for every release's black-box assessor; None
+        disables black-box assessment.
+    responsiveness_deadline:
+        Latency deadline (seconds) for the per-release responsiveness
+        assessors (§6.1: "confidence in availability, etc."); None
+        disables responsiveness assessment.  Availability assessors are
+        always maintained — they are cheap and timeout observation is
+        free.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        detection: Optional[OnlineDetectionPolicy] = None,
+        watched_pair: Optional[Tuple[str, str]] = None,
+        whitebox_assessor: Optional[WhiteBoxAssessor] = None,
+        blackbox_prior: Optional[TruncatedBeta] = None,
+        responsiveness_deadline: Optional[float] = None,
+    ):
+        if watched_pair is not None and whitebox_assessor is None:
+            raise ConfigurationError(
+                "watched_pair requires a whitebox_assessor"
+            )
+        self._rng = rng
+        self.detection = detection or OnlineDetectionPolicy()
+        self.watched_pair = watched_pair
+        self.whitebox = whitebox_assessor
+        self.blackbox_prior = blackbox_prior
+        self.responsiveness_deadline = responsiveness_deadline
+        self.log = ObservationLog()
+        self._blackbox: Dict[str, BlackBoxAssessor] = {}
+        self._availability: Dict[str, AvailabilityAssessor] = {}
+        self._responsiveness: Dict[str, ResponsivenessAssessor] = {}
+        self.demands_seen = 0
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def classify(response, reference_answer: object) -> Outcome:
+        """Derive a response's true outcome from its content.
+
+        Fault -> evident failure; result == reference -> correct;
+        anything else -> non-evident failure.  With no reference answer
+        (production use) only evident failures can be classified.
+        """
+        if response.is_fault:
+            return Outcome.EVIDENT_FAILURE
+        if reference_answer is None or response.result == reference_answer:
+            return Outcome.CORRECT
+        return Outcome.NON_EVIDENT_FAILURE
+
+    def record_demand(
+        self,
+        request_id: str,
+        timestamp: float,
+        active_releases: Sequence[str],
+        collected: Sequence[CollectedResponse],
+        adjudication: Adjudication,
+        system_time: Optional[float],
+        reference_answer: object = None,
+    ) -> DemandRecord:
+        """Store one demand's observations and update the assessors."""
+        self.demands_seen += 1
+        outcomes: Dict[str, Outcome] = {}
+        payloads: Dict[str, object] = {}
+        times: Dict[str, float] = {}
+        for item in collected:
+            outcomes[item.release] = self.classify(
+                item.response, reference_answer
+            )
+            payloads[item.release] = item.response.result
+            times[item.release] = item.execution_time
+
+        verdicts = self.detection.judge(outcomes, payloads, self._rng)
+
+        releases: Dict[str, ReleaseObservation] = {}
+        for name in active_releases:
+            if name in outcomes:
+                releases[name] = ReleaseObservation(
+                    collected=True,
+                    execution_time=times[name],
+                    true_outcome=outcomes[name],
+                    observed_failure=verdicts[name],
+                )
+            else:
+                releases[name] = ReleaseObservation(collected=False)
+
+        system_outcome = (
+            self.classify(adjudication.response, reference_answer)
+            if adjudication.response is not None
+            and adjudication.verdict != "unavailable"
+            else None
+        )
+        record = DemandRecord(
+            request_id=request_id,
+            timestamp=timestamp,
+            releases=releases,
+            system_verdict=adjudication.verdict,
+            system_outcome=system_outcome,
+            system_time=system_time,
+        )
+        self.log.append(record)
+        self._update_assessors(record)
+        return record
+
+    def _update_assessors(self, record: DemandRecord) -> None:
+        for name, observation in record.releases.items():
+            self.availability_for(name).observe(observation.collected)
+            if (
+                self.responsiveness_deadline is not None
+                and observation.collected
+                and observation.execution_time is not None
+            ):
+                self.responsiveness_for(name).observe(
+                    observation.execution_time
+                )
+        if self.blackbox_prior is not None:
+            for name, observation in record.releases.items():
+                if not observation.collected:
+                    continue
+                assessor = self.blackbox_for(name)
+                assessor.observe(
+                    demands=1,
+                    failures=1 if observation.observed_failure else 0,
+                )
+        if self.watched_pair is not None and self.whitebox is not None:
+            old_name, new_name = self.watched_pair
+            obs_a = record.releases.get(old_name)
+            obs_b = record.releases.get(new_name)
+            if (
+                obs_a is not None
+                and obs_b is not None
+                and obs_a.collected
+                and obs_b.collected
+            ):
+                a_failed = bool(obs_a.observed_failure)
+                b_failed = bool(obs_b.observed_failure)
+                self.whitebox.observe(
+                    JointCounts(
+                        both_fail=int(a_failed and b_failed),
+                        only_first_fails=int(a_failed and not b_failed),
+                        only_second_fails=int(b_failed and not a_failed),
+                        both_succeed=int(not a_failed and not b_failed),
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # queries (the §6.1 "read back the confidence" operations)
+    # ------------------------------------------------------------------
+
+    def blackbox_for(self, release: str) -> BlackBoxAssessor:
+        """The black-box assessor of one release (lazily created)."""
+        if self.blackbox_prior is None:
+            raise ConfigurationError("black-box assessment is disabled")
+        if release not in self._blackbox:
+            self._blackbox[release] = BlackBoxAssessor(self.blackbox_prior)
+        return self._blackbox[release]
+
+    def availability_for(self, release: str) -> AvailabilityAssessor:
+        """The availability assessor of one release (lazily created)."""
+        if release not in self._availability:
+            self._availability[release] = AvailabilityAssessor()
+        return self._availability[release]
+
+    def responsiveness_for(self, release: str) -> ResponsivenessAssessor:
+        """The responsiveness assessor of one release (lazily created)."""
+        if self.responsiveness_deadline is None:
+            raise ConfigurationError(
+                "responsiveness assessment is disabled (no deadline set)"
+            )
+        if release not in self._responsiveness:
+            self._responsiveness[release] = ResponsivenessAssessor(
+                self.responsiveness_deadline
+            )
+        return self._responsiveness[release]
+
+    def confidence_in_correctness(self, release: str, target_pfd: float) -> float:
+        """P(pfd of *release* <= target) from its black-box assessor."""
+        return self.blackbox_for(release).confidence(target_pfd)
+
+    def confidence_in_availability(
+        self, release: str, target_availability: float
+    ) -> float:
+        """P(availability of *release* >= target | observations)."""
+        return self.availability_for(release).confidence(
+            target_availability
+        )
+
+    def confidence_in_responsiveness(
+        self, release: str, target_fraction: float
+    ) -> float:
+        """P(P(latency <= deadline) >= target | observations)."""
+        return self.responsiveness_for(release).confidence(target_fraction)
+
+    def availability(self, release: str) -> float:
+        """Observed availability (responses within TimeOut / demands)."""
+        return self.log.tally(release).availability
+
+    def mean_execution_time(self, release: str) -> float:
+        """Observed MET of one release."""
+        return self.log.tally(release).mean_execution_time
+
+    def __repr__(self) -> str:
+        return (
+            f"MonitoringSubsystem(demands={self.demands_seen}, "
+            f"detection={self.detection.name!r}, "
+            f"watched_pair={self.watched_pair!r})"
+        )

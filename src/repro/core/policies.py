@@ -1,0 +1,147 @@
+"""Upgrade policies: the managed upgrade and its baselines (paper §3).
+
+The paper contrasts the managed upgrade against what integrators
+otherwise do when a component WS publishes a new release:
+
+* switch immediately (risking the new release's unknown faults);
+* never switch / stick with the old release (risking abandonment when
+  the provider withdraws it);
+* the single-operational-release scenario (§3.2), where the composite
+  provider can only *adjust its published confidence conservatively* —
+  treating the upgraded WS as no better than the old release.
+
+Each policy answers: at demand index *t* of the transition period, which
+release(s) serve traffic?  :func:`expected_incorrect_responses` computes
+the analytic expected number of incorrect responses delivered over a
+horizon under each policy — the quantity the policy ablation bench
+reports.
+"""
+
+from abc import ABC, abstractmethod
+from typing import Optional, Tuple
+
+from repro.bayes.blackbox import BlackBoxAssessor
+from repro.bayes.demand_process import TwoReleaseGroundTruth
+from repro.common.errors import ConfigurationError
+
+
+class UpgradePolicy(ABC):
+    """Decides which releases serve at each demand of the transition."""
+
+    name: str = "policy"
+
+    @abstractmethod
+    def serving(self, demand_index: int) -> Tuple[bool, bool]:
+        """(old serves?, new serves?) at *demand_index* (0-based)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class ImmediateSwitchPolicy(UpgradePolicy):
+    """Adopt the new release the moment it is published."""
+
+    name = "immediate-switch"
+
+    def serving(self, demand_index: int) -> Tuple[bool, bool]:
+        return (False, True)
+
+
+class NeverSwitchPolicy(UpgradePolicy):
+    """Stay on the old release indefinitely (§3, option 2)."""
+
+    name = "never-switch"
+
+    def serving(self, demand_index: int) -> Tuple[bool, bool]:
+        return (True, False)
+
+
+class ManagedUpgradePolicy(UpgradePolicy):
+    """Run both releases 1-out-of-2 until the switch point, then the new.
+
+    *switch_at* is the demand index at which the switching criterion was
+    satisfied (None = not yet, keep running both — the paper stresses
+    this is safe: "the 1-out-of-2 by definition is no worse than the more
+    reliable channel", so the switch can be prolonged indefinitely).
+    """
+
+    name = "managed-upgrade"
+
+    def __init__(self, switch_at: Optional[int]):
+        if switch_at is not None and switch_at < 0:
+            raise ConfigurationError(f"switch_at must be >= 0: {switch_at!r}")
+        self.switch_at = switch_at
+
+    def serving(self, demand_index: int) -> Tuple[bool, bool]:
+        if self.switch_at is None or demand_index < self.switch_at:
+            return (True, True)
+        return (False, True)
+
+    def __repr__(self) -> str:
+        return f"ManagedUpgradePolicy(switch_at={self.switch_at!r})"
+
+
+def expected_incorrect_responses(
+    policy: UpgradePolicy,
+    ground_truth: TwoReleaseGroundTruth,
+    horizon: int,
+    detection_coverage: float = 1.0,
+) -> float:
+    """Expected incorrect responses delivered to consumers over *horizon*.
+
+    Per-demand delivered-failure probability:
+
+    * old only  -> pA;
+    * new only  -> pB;
+    * both (1-out-of-2 with the §5.2.1 random-valid adjudication and
+      perfect evident-failure detection scaled by *detection_coverage*):
+      coincident failures (pAB) always escape; discordant failures escape
+      when the failure is non-evident to the middleware *and* the random
+      pick chooses the bad response — i.e. with probability
+      ``0.5 * (1 - detection_coverage)`` each.
+    """
+    if horizon <= 0:
+        raise ConfigurationError(f"horizon must be > 0: {horizon!r}")
+    escape = 0.5 * (1.0 - detection_coverage)
+    p_discordant = (
+        (ground_truth.p_a - ground_truth.p_ab)
+        + (ground_truth.p_b - ground_truth.p_ab)
+    )
+    per_demand_both = ground_truth.p_ab + escape * p_discordant
+    total = 0.0
+    for t in range(horizon):
+        old_serves, new_serves = policy.serving(t)
+        if old_serves and new_serves:
+            total += per_demand_both
+        elif old_serves:
+            total += ground_truth.p_a
+        elif new_serves:
+            total += ground_truth.p_b
+        else:
+            raise ConfigurationError(
+                f"{policy.name} serves nothing at demand {t}"
+            )
+    return total
+
+
+class ConservativeSingleReleaseAdjustment:
+    """§3.2: single operational release, conservative confidence handling.
+
+    When the provider replaces the only deployed release, the composite
+    provider cannot compare releases; the conservative rule (after
+    Littlewood & Wright [12]) is to treat the upgraded WS *as if it were
+    no better than the old release*: published confidence is the minimum
+    of the old release's achieved confidence and whatever prior the new
+    release justifies, and the operational evidence counter restarts.
+    """
+
+    def __init__(self, old_assessor: BlackBoxAssessor):
+        self.old_assessor = old_assessor
+
+    def adjusted_confidence(
+        self, new_assessor: BlackBoxAssessor, target_pfd: float
+    ) -> float:
+        """Confidence the composite may publish for the upgraded WS."""
+        old_confidence = self.old_assessor.confidence(target_pfd)
+        new_confidence = new_assessor.confidence(target_pfd)
+        return min(old_confidence, new_confidence)

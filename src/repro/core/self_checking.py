@@ -1,0 +1,131 @@
+"""Self-checking adjudication (paper §4.2, mode 1's stronger variant).
+
+"Various adjudication mechanisms can be used which range from tolerating
+evident failures only to detecting and tolerating non-evident failures.
+In the latter case some form of self-checking may be needed which will
+allow for diagnosing which of the releases has produced a
+(non-evidently) incorrect response before the adjudicated response can
+be determined."
+
+An :class:`AcceptanceTest` is that self-check: an application-supplied
+predicate over (request, result) that rejects some wrong-but-valid
+responses (recovery-block style — the paper's lineage through Randell's
+recovery blocks [3]).  :class:`SelfCheckingAdjudicator` filters the
+collected valid responses through the acceptance test before applying a
+base adjudicator, and exposes coverage accounting so experiments can
+sweep acceptance-test quality.
+"""
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.common.validation import check_probability
+from repro.core.adjudicators import (
+    Adjudication,
+    Adjudicator,
+    CollectedResponse,
+    PaperRuleAdjudicator,
+)
+from repro.services.message import RequestMessage
+
+#: Application acceptance test: (request, result) -> acceptable?
+AcceptanceTest = Callable[[RequestMessage, object], bool]
+
+
+def accept_all(request: RequestMessage, result: object) -> bool:
+    """The degenerate acceptance test (no self-checking)."""
+    return True
+
+
+@dataclass
+class SimulatedAcceptanceTest:
+    """A probabilistically imperfect acceptance test for simulation.
+
+    Uses the simulation's reference answer to decide ground truth, then
+    imposes the stated imperfection:
+
+    * a *wrong* result is caught with probability ``coverage``;
+    * a *correct* result is falsely rejected with probability
+      ``false_alarm_rate``.
+
+    The ``reference`` callable maps a request to its ground-truth
+    result; in our workloads that is the first argument.
+    """
+
+    coverage: float = 0.9
+    false_alarm_rate: float = 0.0
+    rng: Optional[np.random.Generator] = None
+    reference: Callable[[RequestMessage], object] = (
+        lambda request: request.arguments[0] if request.arguments else None
+    )
+
+    def __post_init__(self) -> None:
+        check_probability(self.coverage, "coverage")
+        check_probability(self.false_alarm_rate, "false_alarm_rate")
+        if self.rng is None:
+            self.rng = np.random.default_rng()
+
+    def __call__(self, request: RequestMessage, result: object) -> bool:
+        truth = self.reference(request)
+        if truth is None or result == truth:
+            # Correct (or unjudgeable) result: accept unless false alarm.
+            return not (
+                self.false_alarm_rate
+                and self.rng.random() < self.false_alarm_rate
+            )
+        # Wrong result: rejected with probability = coverage.
+        return not (self.rng.random() < self.coverage)
+
+
+class SelfCheckingAdjudicator(Adjudicator):
+    """Filter valid responses through an acceptance test, then adjudicate.
+
+    Responses failing the acceptance test are treated like evident
+    failures (they are *diagnosed* wrong).  If the test rejects
+    everything, the original valid set is restored and handed to the
+    base adjudicator — a total self-check outage must not make the
+    service less available than without self-checking.
+    """
+
+    name = "self-checking"
+
+    def __init__(
+        self,
+        acceptance_test: AcceptanceTest,
+        base: Optional[Adjudicator] = None,
+    ):
+        self.acceptance_test = acceptance_test
+        self.base = base or PaperRuleAdjudicator()
+        self.name = f"self-checking({self.base.name})"
+        self.rejected = 0
+        self.examined = 0
+
+    def adjudicate(
+        self,
+        request: RequestMessage,
+        collected: Sequence[CollectedResponse],
+        rng: np.random.Generator,
+    ) -> Adjudication:
+        valid = [item for item in collected if item.is_valid]
+        accepted = []
+        for item in valid:
+            self.examined += 1
+            if self.acceptance_test(request, item.response.result):
+                accepted.append(item)
+            else:
+                self.rejected += 1
+        faulty = [item for item in collected if not item.is_valid]
+        if valid and not accepted:
+            # Self-check rejected everything; fall back to the unfiltered
+            # set rather than declaring the service failed.
+            accepted = valid
+        return self.base.adjudicate(request, [*accepted, *faulty], rng)
+
+    @property
+    def rejection_rate(self) -> float:
+        """Fraction of examined valid responses the self-check rejected."""
+        if not self.examined:
+            return float("nan")
+        return self.rejected / self.examined

@@ -1,0 +1,310 @@
+"""Switching criteria for ending the managed upgrade (paper §5.1.1.2).
+
+Three alternative rules decide when the composite WS may stop the managed
+upgrade and switch to the new release:
+
+* **Criterion 1** — the new release reaches the dependability the *old*
+  release was credited with when the managed upgrade started: if the
+  prior gave ``P(pA <= X) = c``, switch once the posterior gives
+  ``P(pB <= X) >= c``.
+* **Criterion 2** — the new release meets an explicit target with given
+  confidence, e.g. ``P(pB <= 1e-3) >= 99%``; the old release's
+  dependability is irrelevant.
+* **Criterion 3** — with a given confidence the new release is at least
+  as good as the old one *as currently assessed*: ``TB{c}% <= TA{c}%``
+  on the posterior percentiles (both priors may drift during the
+  upgrade).
+
+Each criterion evaluates either a live :class:`~repro.bayes.whitebox.
+WhiteBoxAssessor` or a recorded :class:`~repro.bayes.runner.
+CheckpointRecord`; :func:`evaluate_history` turns a full assessment
+history into the Table-2 numbers (first satisfaction and, where the
+decision oscillates, the point after which it stays satisfied).
+"""
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.bayes.beta import TruncatedBeta
+from repro.bayes.runner import AssessmentHistory, CheckpointRecord
+from repro.bayes.whitebox import WhiteBoxAssessor
+from repro.common.errors import ConfigurationError
+from repro.common.validation import check_in_range, check_probability
+
+
+class SwitchingCriterion(ABC):
+    """Decides whether the managed upgrade may end."""
+
+    name: str = "criterion"
+
+    @abstractmethod
+    def is_satisfied(self, assessor: WhiteBoxAssessor) -> bool:
+        """Evaluate against a live assessor."""
+
+    @abstractmethod
+    def is_satisfied_record(self, record: CheckpointRecord) -> bool:
+        """Evaluate against a recorded checkpoint."""
+
+    def required_confidence_targets(self) -> tuple:
+        """pfd targets the sequential runner must record for this
+        criterion to be evaluable from checkpoints."""
+        return ()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class CriterionOne(SwitchingCriterion):
+    """New release reaches the old release's *prior* dependability level.
+
+    The reference bound ``X`` is the prior's ``confidence``-percentile of
+    pA, frozen at upgrade start; the criterion holds when the posterior
+    confidence that ``pB <= X`` reaches the same level.
+    """
+
+    name = "criterion-1"
+
+    def __init__(
+        self, prior_a: TruncatedBeta, confidence: float = 0.99
+    ):
+        self.confidence = check_in_range(confidence, 0.0, 1.0, "confidence")
+        self.prior_a = prior_a
+        self.reference_bound = float(prior_a.ppf(self.confidence))
+
+    def is_satisfied(self, assessor: WhiteBoxAssessor) -> bool:
+        return assessor.confidence_b(self.reference_bound) >= self.confidence
+
+    def is_satisfied_record(self, record: CheckpointRecord) -> bool:
+        return (
+            record.confidence_b(self.reference_bound) >= self.confidence
+        )
+
+    def required_confidence_targets(self) -> tuple:
+        return (self.reference_bound,)
+
+    def __repr__(self) -> str:
+        return (
+            f"CriterionOne(X={self.reference_bound:.6g}, "
+            f"confidence={self.confidence!r})"
+        )
+
+
+class CriterionTwo(SwitchingCriterion):
+    """New release meets an explicit pfd target with given confidence."""
+
+    name = "criterion-2"
+
+    def __init__(self, target_pfd: float, confidence: float = 0.99):
+        self.target_pfd = check_probability(target_pfd, "target_pfd")
+        self.confidence = check_in_range(confidence, 0.0, 1.0, "confidence")
+
+    def is_satisfied(self, assessor: WhiteBoxAssessor) -> bool:
+        return assessor.confidence_b(self.target_pfd) >= self.confidence
+
+    def is_satisfied_record(self, record: CheckpointRecord) -> bool:
+        return record.confidence_b(self.target_pfd) >= self.confidence
+
+    def required_confidence_targets(self) -> tuple:
+        return (self.target_pfd,)
+
+    def __repr__(self) -> str:
+        return (
+            f"CriterionTwo(target={self.target_pfd!r}, "
+            f"confidence={self.confidence!r})"
+        )
+
+
+class CriterionThree(SwitchingCriterion):
+    """New release assessed at least as good as the old one: TB% <= TA%."""
+
+    name = "criterion-3"
+
+    def __init__(self, confidence: float = 0.99):
+        self.confidence = check_in_range(confidence, 0.0, 1.0, "confidence")
+
+    def is_satisfied(self, assessor: WhiteBoxAssessor) -> bool:
+        return assessor.percentile_b(self.confidence) <= assessor.percentile_a(
+            self.confidence
+        )
+
+    def is_satisfied_record(self, record: CheckpointRecord) -> bool:
+        if self.confidence != 0.99:
+            raise ConfigurationError(
+                "checkpoint records only carry 99% percentiles; use a live "
+                "assessor for other confidence levels"
+            )
+        return record.percentile_b_99 <= record.percentile_a_99
+
+    def __repr__(self) -> str:
+        return f"CriterionThree(confidence={self.confidence!r})"
+
+
+class AllOfCriterion(SwitchingCriterion):
+    """Conjunction of criteria: switch only when every part holds.
+
+    An extension beyond the paper's three singleton criteria: e.g.
+    require Criterion 3 (comparative correctness) *and* an availability
+    floor on the new release before retiring the old one.
+    """
+
+    name = "all-of"
+
+    def __init__(self, parts: "list[SwitchingCriterion]"):
+        if not parts:
+            raise ConfigurationError("AllOfCriterion needs >= 1 part")
+        self.parts = list(parts)
+        self.name = "all-of(" + ",".join(p.name for p in self.parts) + ")"
+
+    def is_satisfied(self, assessor: WhiteBoxAssessor) -> bool:
+        return all(part.is_satisfied(assessor) for part in self.parts)
+
+    def is_satisfied_record(self, record: CheckpointRecord) -> bool:
+        return all(part.is_satisfied_record(record) for part in self.parts)
+
+    def required_confidence_targets(self) -> tuple:
+        targets = []
+        for part in self.parts:
+            targets.extend(part.required_confidence_targets())
+        return tuple(sorted(set(targets)))
+
+    def __repr__(self) -> str:
+        return f"AllOfCriterion({self.parts!r})"
+
+
+class AnyOfCriterion(SwitchingCriterion):
+    """Disjunction of criteria: switch when any part holds."""
+
+    name = "any-of"
+
+    def __init__(self, parts: "list[SwitchingCriterion]"):
+        if not parts:
+            raise ConfigurationError("AnyOfCriterion needs >= 1 part")
+        self.parts = list(parts)
+        self.name = "any-of(" + ",".join(p.name for p in self.parts) + ")"
+
+    def is_satisfied(self, assessor: WhiteBoxAssessor) -> bool:
+        return any(part.is_satisfied(assessor) for part in self.parts)
+
+    def is_satisfied_record(self, record: CheckpointRecord) -> bool:
+        return any(part.is_satisfied_record(record) for part in self.parts)
+
+    def required_confidence_targets(self) -> tuple:
+        targets = []
+        for part in self.parts:
+            targets.extend(part.required_confidence_targets())
+        return tuple(sorted(set(targets)))
+
+    def __repr__(self) -> str:
+        return f"AnyOfCriterion({self.parts!r})"
+
+
+class AvailabilityCriterion(SwitchingCriterion):
+    """New release's availability meets a floor with given confidence.
+
+    An extension using the §6.1 "confidence in availability" assessors:
+    the new release must be *reachable* dependably, not just correct
+    when it answers.  Evaluated against the monitoring subsystem rather
+    than the white-box correctness assessor, so it composes with the
+    correctness criteria via :class:`AllOfCriterion`.
+    """
+
+    name = "availability-floor"
+
+    def __init__(
+        self,
+        monitor,
+        release: str,
+        target_availability: float = 0.95,
+        confidence: float = 0.95,
+    ):
+        self.monitor = monitor
+        self.release = release
+        self.target_availability = check_in_range(
+            target_availability, 0.0, 1.0, "target_availability"
+        )
+        self.confidence = check_in_range(confidence, 0.0, 1.0, "confidence")
+
+    def is_satisfied(self, assessor: WhiteBoxAssessor) -> bool:
+        del assessor  # availability lives in the monitor, not here
+        return (
+            self.monitor.confidence_in_availability(
+                self.release, self.target_availability
+            )
+            >= self.confidence
+        )
+
+    def is_satisfied_record(self, record: CheckpointRecord) -> bool:
+        raise ConfigurationError(
+            "availability confidence is not recorded in checkpoint "
+            "records; evaluate against a live monitor"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"AvailabilityCriterion(release={self.release!r}, "
+            f"target={self.target_availability!r}, "
+            f"confidence={self.confidence!r})"
+        )
+
+
+@dataclass(frozen=True)
+class SwitchDecision:
+    """Outcome of evaluating a criterion over an assessment history.
+
+    Attributes
+    ----------
+    first_satisfied:
+        Demands at the first checkpoint where the criterion held, or
+        None if never ("not attainable" in Table 2).
+    stable_from:
+        Demands from which the criterion held at every later checkpoint;
+        differs from *first_satisfied* when the decision oscillates (the
+        paper's "22,000, oscillates till 26,000" cell).
+    oscillated:
+        True when the two differ.
+    """
+
+    first_satisfied: Optional[int]
+    stable_from: Optional[int]
+
+    @property
+    def oscillated(self) -> bool:
+        return (
+            self.first_satisfied is not None
+            and self.stable_from is not None
+            and self.stable_from != self.first_satisfied
+        )
+
+    @property
+    def attainable(self) -> bool:
+        return self.first_satisfied is not None
+
+    def describe(self, horizon: int) -> str:
+        """Render the Table-2 cell text."""
+        if not self.attainable:
+            return f"not attainable (> {horizon:,})"
+        if self.oscillated:
+            return (
+                f"{self.first_satisfied:,} demands "
+                f"(oscillates till {self.stable_from:,})"
+            )
+        return f"{self.first_satisfied:,} demands"
+
+
+def evaluate_history(
+    criterion: SwitchingCriterion, history: AssessmentHistory
+) -> SwitchDecision:
+    """Compute first-satisfaction and stabilisation points of a criterion."""
+    first: Optional[int] = None
+    stable: Optional[int] = None
+    for record in history.records:
+        satisfied = criterion.is_satisfied_record(record)
+        if satisfied:
+            if first is None:
+                first = record.demands
+            if stable is None:
+                stable = record.demands
+        else:
+            stable = None
+    return SwitchDecision(first_satisfied=first, stable_from=stable)

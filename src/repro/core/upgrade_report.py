@@ -1,0 +1,129 @@
+"""Managed-upgrade reports (the §4.1 "logging ... for further analysis").
+
+Turns a finished (or in-flight) managed upgrade — monitor, management
+log, controller state — into a human-readable report: per-release
+dependability summary, joint-evidence table, current confidence, the
+switch decision, and the administrative audit trail.  Used by the
+examples and available to any deployment embedding the middleware.
+"""
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.common.tables import render_table
+from repro.core.controller import UpgradeController
+from repro.core.management import ManagementSubsystem
+from repro.core.monitor import MonitoringSubsystem
+
+
+@dataclass(frozen=True)
+class ReleaseSummary:
+    """One release's dependability roll-up."""
+
+    release: str
+    demands: int
+    availability: float
+    mean_execution_time: float
+    observed_failure_rate: float
+
+
+def summarize_release(
+    monitor: MonitoringSubsystem, release: str
+) -> ReleaseSummary:
+    """Roll one release's observation log up into a summary."""
+    tally = monitor.log.tally(release)
+    return ReleaseSummary(
+        release=release,
+        demands=tally.demands,
+        availability=tally.availability,
+        mean_execution_time=tally.mean_execution_time,
+        observed_failure_rate=tally.observed_failure_rate,
+    )
+
+
+def upgrade_report(
+    monitor: MonitoringSubsystem,
+    management: Optional[ManagementSubsystem] = None,
+    controller: Optional[UpgradeController] = None,
+    confidence_levels: tuple = (0.9, 0.99),
+) -> str:
+    """Render the full managed-upgrade report as text.
+
+    Sections: per-release dependability, joint evidence + posterior
+    bounds (when a white-box assessor is attached), the switch decision,
+    and the management audit trail.
+    """
+    sections: List[str] = []
+
+    releases = monitor.log.release_names()
+    rows = []
+    for release in releases:
+        summary = summarize_release(monitor, release)
+        rows.append([
+            summary.release,
+            summary.demands,
+            summary.availability,
+            summary.mean_execution_time,
+            summary.observed_failure_rate,
+        ])
+    sections.append(render_table(
+        ["Release", "Demands", "Availability", "MET",
+         "Observed failure rate"],
+        rows,
+        title="Per-release dependability",
+    ))
+
+    if monitor.watched_pair is not None and monitor.whitebox is not None:
+        old_name, new_name = monitor.watched_pair
+        counts = monitor.whitebox.counts
+        sections.append(
+            "Joint evidence (both releases responded): "
+            f"both-fail={counts.both_fail}, "
+            f"only {old_name} fails={counts.only_first_fails}, "
+            f"only {new_name} fails={counts.only_second_fails}, "
+            f"both-ok={counts.both_succeed}"
+        )
+        bound_rows = []
+        for level in confidence_levels:
+            bound_rows.append([
+                f"{level:.0%}",
+                monitor.whitebox.percentile_a(level),
+                monitor.whitebox.percentile_b(level),
+            ])
+        sections.append(render_table(
+            ["Confidence", f"pfd bound {old_name}",
+             f"pfd bound {new_name}"],
+            bound_rows,
+            title="Posterior pfd bounds",
+            float_digits=6,
+        ))
+
+    if controller is not None:
+        if controller.switched:
+            record = controller.switch_record
+            sections.append(
+                f"Switch decision: SWITCHED at demand "
+                f"{record.demand_index} (t={record.timestamp:.1f}s) by "
+                f"{record.criterion}; retired {record.removed_release}, "
+                f"now serving {record.kept_release}."
+            )
+        else:
+            sections.append(
+                "Switch decision: still in managed upgrade "
+                f"(criterion {controller.criterion.name} not yet "
+                "satisfied); serving 1-out-of-N — by construction no "
+                "worse than the most reliable release."
+            )
+
+    if management is not None and management.actions:
+        action_rows = [
+            [f"{action.timestamp:.1f}", action.action, action.detail]
+            for action in management.actions
+        ]
+        sections.append(render_table(
+            ["t (s)", "Action", "Detail"],
+            action_rows,
+            title="Management audit trail",
+        ))
+
+    return "\n\n".join(sections)

@@ -1,0 +1,69 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+* :mod:`repro.experiments.paper_params` — the paper's verbatim inputs;
+* :mod:`repro.experiments.scenarios` — the §5.1.1.1 Bayesian scenarios;
+* :mod:`repro.experiments.table2` — managed-upgrade durations (Table 2);
+* :mod:`repro.experiments.percentile_curves` — Figs 7 and 8;
+* :mod:`repro.experiments.event_sim` / :mod:`repro.experiments.table5` /
+  :mod:`repro.experiments.table6` — the §5.2 event-driven study;
+* :mod:`repro.experiments.calibration` — latency-profile calibration
+  ablation;
+* :mod:`repro.experiments.cli` — ``repro-experiments`` entry point.
+"""
+
+from repro.experiments.scenarios import (
+    Scenario,
+    detection_models,
+    scenario_1,
+    scenario_2,
+)
+from repro.experiments.table2 import Table2Result, run_table2
+from repro.experiments.percentile_curves import (
+    PercentileCurves,
+    run_fig7,
+    run_fig8,
+)
+from repro.experiments.table5 import run_table5
+from repro.experiments.table6 import run_table6
+from repro.experiments.event_sim import (
+    LatencyProfile,
+    SimulationTable,
+    calibrated_profile,
+    metrics_from_log,
+    paper_profile,
+    run_release_pair_simulation,
+)
+from repro.experiments.multi_release import (
+    MultiReleaseSweep,
+    run_n_release_simulation,
+    run_sweep,
+)
+from repro.experiments.fidelity import FidelityDiff, compare_to_paper
+from repro.experiments.robustness import RobustnessReport, run_robustness
+
+__all__ = [
+    "Scenario",
+    "detection_models",
+    "scenario_1",
+    "scenario_2",
+    "Table2Result",
+    "run_table2",
+    "PercentileCurves",
+    "run_fig7",
+    "run_fig8",
+    "run_table5",
+    "run_table6",
+    "LatencyProfile",
+    "SimulationTable",
+    "calibrated_profile",
+    "metrics_from_log",
+    "paper_profile",
+    "run_release_pair_simulation",
+    "MultiReleaseSweep",
+    "run_n_release_simulation",
+    "run_sweep",
+    "RobustnessReport",
+    "run_robustness",
+    "FidelityDiff",
+    "compare_to_paper",
+]

@@ -1,0 +1,208 @@
+"""Command-line entry point regenerating every table and figure.
+
+Usage (installed as ``repro-experiments``)::
+
+    python -m repro.experiments.cli table2    # Table 2 (full, ~1 min)
+    python -m repro.experiments.cli fig7      # Fig. 7 curve table
+    python -m repro.experiments.cli fig8      # Fig. 8 curve table
+    python -m repro.experiments.cli table5    # Table 5 (event-driven sim)
+    python -m repro.experiments.cli table6    # Table 6
+    python -m repro.experiments.cli calibrate # latency calibration sweep
+    python -m repro.experiments.cli all       # everything
+
+Options: ``--seed``, ``--fast`` (reduced sizes for smoke runs),
+``--profile {paper,calibrated}`` for the event-driven tables.
+"""
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.analysis.plots import plot_percentile_curves
+from repro.bayes.priors import GridSpec
+from repro.experiments.paper_params import DEFAULT_SEED
+from repro.experiments.calibration import render_calibration, run_calibration
+from repro.experiments.event_sim import calibrated_profile, paper_profile
+from repro.experiments.multi_release import run_sweep
+from repro.experiments.percentile_curves import run_fig7, run_fig8
+from repro.experiments.robustness import run_robustness
+from repro.experiments.table2 import run_table2
+from repro.experiments.table5 import run_table5
+from repro.experiments.table6 import run_table6
+
+
+def _profile(name: str):
+    return calibrated_profile() if name == "calibrated" else paper_profile()
+
+
+def cmd_table2(args) -> str:
+    kwargs = {}
+    if args.fast:
+        kwargs.update(total_demands=10_000, checkpoint_every=1_000,
+                      grid=GridSpec(96, 96, 32))
+    result = run_table2(seed=args.seed, **kwargs)
+    return result.render()
+
+
+def cmd_fig7(args) -> str:
+    kwargs = {}
+    if args.fast:
+        kwargs.update(total_demands=10_000, checkpoint_every=2_000,
+                      grid=GridSpec(96, 96, 32))
+    curves = run_fig7(seed=args.seed, **kwargs)
+    bound = curves.detection_confidence_error_ok()
+    return "\n\n".join([
+        curves.render(),
+        plot_percentile_curves(curves),
+        f"90%-perfect <= 99%-omission everywhere (the <9% confidence "
+        f"error bound): {bound}",
+    ])
+
+
+def cmd_fig8(args) -> str:
+    kwargs = {}
+    if args.fast:
+        kwargs.update(total_demands=5_000, checkpoint_every=500,
+                      grid=GridSpec(96, 96, 32))
+    curves = run_fig8(seed=args.seed, **kwargs)
+    bound = curves.detection_confidence_error_ok()
+    return "\n\n".join([
+        curves.render(),
+        plot_percentile_curves(curves),
+        f"90%-perfect <= 99%-omission everywhere (the <9% confidence "
+        f"error bound): {bound}",
+    ])
+
+
+def cmd_table5(args) -> str:
+    requests = 2_000 if args.fast else 10_000
+    table = run_table5(
+        seed=args.seed, requests=requests, profile=_profile(args.profile)
+    )
+    return table.render()
+
+
+def cmd_table6(args) -> str:
+    requests = 2_000 if args.fast else 10_000
+    table = run_table6(
+        seed=args.seed, requests=requests, profile=_profile(args.profile)
+    )
+    return table.render()
+
+
+def cmd_calibrate(args) -> str:
+    samples = 20_000 if args.fast else 100_000
+    fits, best = run_calibration(samples=samples, seed=args.seed)
+    return render_calibration(fits) + f"\n\nBest fit: {best.profile_name}"
+
+
+def cmd_fidelity(args) -> str:
+    from repro.experiments.fidelity import compare_to_paper
+    from repro.experiments.paper_reported import TABLE5, TABLE6
+
+    requests = 2_000 if args.fast else 10_000
+    latency = calibrated_profile()
+    diff5 = compare_to_paper(
+        run_table5(seed=args.seed, requests=requests, profile=latency),
+        TABLE5, "Table 5 (calibrated)",
+    )
+    diff6 = compare_to_paper(
+        run_table6(seed=args.seed, requests=requests, profile=latency),
+        TABLE6, "Table 6 (calibrated)",
+    )
+    return diff5.render() + "\n\n" + diff6.render()
+
+
+def cmd_multirelease(args) -> str:
+    requests = 1_500 if args.fast else 5_000
+    sweep = run_sweep(requests=requests, seed=args.seed)
+    return sweep.render()
+
+
+def cmd_report(args) -> str:
+    from repro.experiments.report import generate_report, write_report
+
+    if args.output:
+        write_report(args.output, seed=args.seed, fast=args.fast,
+                     profile=args.profile)
+        return f"report written to {args.output}"
+    return generate_report(seed=args.seed, fast=args.fast,
+                           profile=args.profile)
+
+
+def cmd_robustness(args) -> str:
+    kwargs = {}
+    seeds = (1, 2, 3) if args.fast else (1, 2, 3, 4, 5)
+    if args.fast:
+        kwargs.update(total_demands=10_000, checkpoint_every=1_000,
+                      grid=GridSpec(64, 64, 24))
+    report = run_robustness(seeds=seeds, **kwargs)
+    return report.render()
+
+
+COMMANDS = {
+    "table2": cmd_table2,
+    "fig7": cmd_fig7,
+    "fig8": cmd_fig8,
+    "table5": cmd_table5,
+    "table6": cmd_table6,
+    "calibrate": cmd_calibrate,
+    "fidelity": cmd_fidelity,
+    "multirelease": cmd_multirelease,
+    "report": cmd_report,
+    "robustness": cmd_robustness,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the tables and figures of 'Dependable Composite "
+            "Web Services with Components Upgraded Online' (DSN 2004)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(COMMANDS) + ["all"],
+        help="which experiment to run",
+    )
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help=f"root random seed (default {DEFAULT_SEED})")
+    parser.add_argument("--fast", action="store_true",
+                        help="reduced sizes for a quick smoke run")
+    parser.add_argument(
+        "--profile",
+        choices=("paper", "calibrated"),
+        default="paper",
+        help="latency profile for the event-driven tables",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="for 'report': write the markdown report to this path",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "all":
+        # 'report' re-runs every experiment itself; keep 'all' to the
+        # individual experiments.
+        names = sorted(name for name in COMMANDS if name != "report")
+    else:
+        names = [args.experiment]
+    for name in names:
+        started = time.time()
+        output = COMMANDS[name](args)
+        elapsed = time.time() - started
+        print(f"=== {name} (seed={args.seed}, {elapsed:.1f}s) ===")
+        print(output)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,116 @@
+"""Mechanical fidelity comparison against the paper's reported tables.
+
+Diffs a regenerated :class:`~repro.experiments.event_sim.SimulationTable`
+cell-by-cell against the verbatim Tables 5/6 transcriptions in
+:mod:`repro.experiments.paper_reported` and summarises the relative
+errors per observable — turning EXPERIMENTS.md's "within ~1-5% of every
+reported cell" claim into an assertion the fidelity bench enforces.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.common.tables import render_table
+from repro.experiments.event_sim import SimulationTable
+from repro.simulation.metrics import ReleaseMetrics
+
+#: Observables diffed per column (count rows are scaled by requests).
+#: "EER+NER" pools the two failure classes: the paper's *split* of the
+#: adjudicated system's failures between EER and NER is inconsistent
+#: with its own §5.2.1 rules (its system CR fraction matches the
+#: analytic random-valid prediction exactly, while the split does not),
+#: so the pooled count is the comparable quantity.
+OBSERVABLES = ("MET", "CR", "EER", "NER", "EER+NER", "Total", "NRDT")
+
+
+@dataclass
+class FidelityDiff:
+    """Relative errors of one regenerated table against the paper's."""
+
+    label: str
+    #: observable -> list of |ours - paper| / paper over all cells.
+    errors: Dict[str, List[float]] = field(default_factory=dict)
+
+    def add(self, observable: str, ours: float, reported: float) -> None:
+        if reported == 0:
+            return  # avoid dividing by zero on empty paper cells
+        self.errors.setdefault(observable, []).append(
+            abs(ours - reported) / abs(reported)
+        )
+
+    def mean_error(self, observable: str) -> float:
+        values = self.errors.get(observable, [])
+        return float(np.mean(values)) if values else float("nan")
+
+    def max_error(self, observable: str) -> float:
+        values = self.errors.get(observable, [])
+        return float(np.max(values)) if values else float("nan")
+
+    def overall_mean(self) -> float:
+        everything = [e for values in self.errors.values() for e in values]
+        return float(np.mean(everything)) if everything else float("nan")
+
+    def render(self) -> str:
+        rows = [
+            [observable, self.mean_error(observable),
+             self.max_error(observable)]
+            for observable in OBSERVABLES
+        ]
+        rows.append(["overall", self.overall_mean(), None])
+        return render_table(
+            ["Observable", "Mean rel. error", "Max rel. error"],
+            rows,
+            title=f"Fidelity vs paper — {self.label}",
+        )
+
+
+def _row_values(metrics: ReleaseMetrics, requests_scale: float) -> Dict[str, float]:
+    row = metrics.as_row()
+    return {
+        "MET": row["MET"],
+        "CR": row["CR"] * requests_scale,
+        "EER": row["EER"] * requests_scale,
+        "NER": row["NER"] * requests_scale,
+        "EER+NER": (row["EER"] + row["NER"]) * requests_scale,
+        "Total": row["Total"] * requests_scale,
+        "NRDT": row["NRDT"] * requests_scale,
+    }
+
+
+def compare_to_paper(
+    table: SimulationTable,
+    reported: Dict[int, Dict[float, Dict[str, Dict[str, float]]]],
+    label: str,
+    paper_requests: int = 10_000,
+) -> FidelityDiff:
+    """Diff a regenerated table against the transcribed reported one.
+
+    Count rows are rescaled to the paper's 10,000-request basis so
+    reduced-size regenerations remain comparable.
+    """
+    diff = FidelityDiff(label=label)
+    for result in table.results:
+        reported_cell = reported.get(result.run, {}).get(result.timeout)
+        if reported_cell is None:
+            continue
+        requests = result.metrics.system.total_requests
+        scale = paper_requests / requests if requests else 1.0
+        columns = {
+            "Rel1": result.metrics.releases[0],
+            "Rel2": result.metrics.releases[1],
+            "System": result.metrics.system,
+        }
+        for column, metrics in columns.items():
+            ours = _row_values(metrics, scale)
+            for observable in OBSERVABLES:
+                if observable == "EER+NER":
+                    reported_value = (
+                        reported_cell[column]["EER"]
+                        + reported_cell[column]["NER"]
+                    )
+                else:
+                    reported_value = reported_cell[column][observable]
+                diff.add(observable, ours[observable], reported_value)
+    return diff

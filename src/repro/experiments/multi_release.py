@@ -1,0 +1,155 @@
+"""Extension experiment: 1-out-of-N with several operational releases.
+
+The paper's architecture (§4.1) runs "several releases of the WS" but
+its evaluation stops at two.  This extension sweeps the number of
+simultaneously deployed releases (the old release plus N-1 successors,
+outcome-correlated along the release chain via
+:class:`~repro.simulation.correlation.ChainedOutcomeModel`) and measures
+what each extra release buys:
+
+* availability keeps improving (any release answering within TimeOut
+  suffices);
+* correct responses improve with diminishing returns — chained
+  correlation means each new release shares most failure behaviour with
+  its ancestor;
+* system MET grows toward the TimeOut (the middleware waits for the
+  slowest of N) — the §4.2 mode-1 capacity/latency price.
+"""
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.common.seeding import SeedSequenceFactory
+from repro.common.tables import render_table
+from repro.core.adjudicators import PaperRuleAdjudicator
+from repro.core.middleware import UpgradeMiddleware
+from repro.core.monitor import MonitoringSubsystem
+from repro.experiments import paper_params as P
+from repro.experiments.event_sim import (
+    LatencyProfile,
+    calibrated_profile,
+    metrics_from_log,
+)
+from repro.experiments.paper_params import DEFAULT_SEED
+from repro.services.endpoint import ServiceEndpoint
+from repro.services.message import RequestMessage
+from repro.services.wsdl import default_wsdl
+from repro.simulation.correlation import ChainedOutcomeModel
+from repro.simulation.engine import Simulator
+from repro.simulation.metrics import SystemMetrics
+from repro.simulation.release_model import ReleaseBehaviour
+from repro.simulation.timing import SystemTimingPolicy
+
+
+def chained_model(run: int = 1) -> ChainedOutcomeModel:
+    """Chain the Table-3 marginal through the Table-4 conditional."""
+    first, _second = P.TABLE3_MARGINALS[run]
+    from repro.simulation.correlation import ConditionalOutcomeMatrix
+
+    return ChainedOutcomeModel(
+        first, ConditionalOutcomeMatrix.symmetric(P.TABLE4_DIAGONALS[run])
+    )
+
+
+def run_n_release_simulation(
+    n_releases: int,
+    timeout: float = 2.0,
+    requests: int = 5_000,
+    seed: int = DEFAULT_SEED,
+    run: int = 1,
+    profile: Optional[LatencyProfile] = None,
+) -> SystemMetrics:
+    """One 1-out-of-N cell through the full event-driven stack."""
+    if n_releases < 1:
+        raise ConfigurationError(f"n_releases must be >= 1: {n_releases!r}")
+    profile = profile or calibrated_profile()
+    model = chained_model(run)
+    seeds = SeedSequenceFactory(seed)
+    simulator = Simulator()
+
+    # Reuse the profile's per-release latency template for every release.
+    latency_template = profile.release_latencies[0]
+    endpoints: List[ServiceEndpoint] = []
+    for index in range(n_releases):
+        endpoints.append(
+            ServiceEndpoint(
+                default_wsdl("Web-Service", f"node-{index + 1}",
+                             release=f"1.{index}"),
+                ReleaseBehaviour(
+                    f"Web-Service 1.{index}",
+                    model.marginal_nth(index),
+                    latency_template,
+                ),
+                seeds.generator(f"ep{index}"),
+            )
+        )
+
+    monitor = MonitoringSubsystem(seeds.generator("monitor"))
+    middleware = UpgradeMiddleware(
+        endpoints=endpoints,
+        timing=SystemTimingPolicy(
+            timeout=timeout, adjudication_delay=P.ADJUDICATION_DELAY
+        ),
+        rng=seeds.generator("middleware"),
+        adjudicator=PaperRuleAdjudicator(),
+        monitor=monitor,
+        joint_outcome_model=model if n_releases >= 2 else None,
+        demand_difficulty=profile.demand_difficulty,
+    )
+    spacing = timeout + P.ADJUDICATION_DELAY + 0.5
+    for i in range(requests):
+        request = RequestMessage("operation1", arguments=(i,))
+        simulator.schedule_at(
+            i * spacing,
+            lambda r=request, answer=i: middleware.submit(
+                simulator, r, lambda resp: None, reference_answer=answer
+            ),
+        )
+    simulator.run()
+    return metrics_from_log(
+        monitor.log, [endpoint.name for endpoint in endpoints]
+    )
+
+
+@dataclass
+class MultiReleaseSweep:
+    """Results of a 1-out-of-N sweep."""
+
+    release_counts: List[int]
+    metrics: List[SystemMetrics]
+
+    def render(self) -> str:
+        rows = []
+        for n, metric in zip(self.release_counts, self.metrics):
+            system = metric.system
+            rows.append([
+                n,
+                system.availability,
+                system.reliability,
+                system.counts.non_evident,
+                system.mean_execution_time,
+            ])
+        return render_table(
+            ["Releases (1-out-of-N)", "Availability", "Reliability",
+             "Delivered NER", "System MET"],
+            rows,
+            title="Multi-release sweep (chained correlation, run 1)",
+        )
+
+
+def run_sweep(
+    release_counts: Sequence[int] = (1, 2, 3, 4),
+    timeout: float = 2.0,
+    requests: int = 5_000,
+    seed: int = DEFAULT_SEED,
+    run: int = 1,
+) -> MultiReleaseSweep:
+    """Sweep the number of deployed releases."""
+    metrics = [
+        run_n_release_simulation(
+            n, timeout=timeout, requests=requests, seed=seed, run=run
+        )
+        for n in release_counts
+    ]
+    return MultiReleaseSweep(list(release_counts), metrics)

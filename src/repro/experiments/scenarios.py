@@ -1,0 +1,109 @@
+"""The paper's two Bayesian assessment scenarios (§5.1.1.1), packaged.
+
+Each :class:`Scenario` bundles the ground-truth failure process, the
+white-box prior and the study dimensions, and can build the three
+switching criteria of §5.1.1.2 parameterised exactly as the paper uses
+them.
+"""
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.bayes.beta import TruncatedBeta
+from repro.bayes.demand_process import TwoReleaseGroundTruth
+from repro.bayes.detection import (
+    BackToBackDetection,
+    DetectionModel,
+    OmissionDetection,
+    PerfectDetection,
+)
+from repro.bayes.priors import WhiteBoxPrior
+from repro.core.switching import (
+    CriterionOne,
+    CriterionThree,
+    CriterionTwo,
+    SwitchingCriterion,
+)
+from repro.experiments import paper_params as P
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One §5.1.1.1 scenario: ground truth + prior + study dimensions."""
+
+    name: str
+    ground_truth: TwoReleaseGroundTruth
+    prior: WhiteBoxPrior
+    total_demands: int
+    checkpoint_every: int
+
+    def criteria(self) -> Dict[str, SwitchingCriterion]:
+        """The three §5.1.1.2 switching criteria for this scenario."""
+        return {
+            "criterion-1": CriterionOne(
+                self.prior.marginal_a, confidence=P.CONFIDENCE_LEVEL
+            ),
+            "criterion-2": CriterionTwo(
+                P.CRITERION2_TARGET, confidence=P.CRITERION2_CONFIDENCE
+            ),
+            "criterion-3": CriterionThree(confidence=P.CONFIDENCE_LEVEL),
+        }
+
+    def confidence_targets(self) -> tuple:
+        """All pfd targets the sequential runner must record."""
+        targets = []
+        for criterion in self.criteria().values():
+            targets.extend(criterion.required_confidence_targets())
+        return tuple(sorted(set(targets)))
+
+
+def detection_models() -> Dict[str, DetectionModel]:
+    """The three §5.1.1.3 detection regimes of Table 2, in paper order."""
+    return {
+        "perfect": PerfectDetection(),
+        "omission": OmissionDetection(P.P_OMIT),
+        "back-to-back": BackToBackDetection(),
+    }
+
+
+def scenario_1(checkpoint_every: int = 500) -> Scenario:
+    """Scenario 1: well-measured old release, close-to-target new release.
+
+    Old release: pfd believed 1e-3 with low uncertainty (Beta(20,20) on
+    [0, 0.002]); new release believed slightly better but very uncertain
+    (Beta(2,3) on [0, 0.002]).  Truth: PA = 1e-3, PB = 0.8e-3, with 30 %
+    of old-release failures coinciding with new-release failures.
+    """
+    return Scenario(
+        name="scenario-1",
+        ground_truth=TwoReleaseGroundTruth(
+            P.SC1_PA, P.SC1_PB_GIVEN_A, P.SC1_PB_GIVEN_NOT_A
+        ),
+        prior=WhiteBoxPrior(
+            TruncatedBeta(**P.SC1_PRIOR_A), TruncatedBeta(**P.SC1_PRIOR_B)
+        ),
+        total_demands=P.SCENARIO_DEMANDS,
+        checkpoint_every=checkpoint_every,
+    )
+
+
+def scenario_2(checkpoint_every: int = 100) -> Scenario:
+    """Scenario 2: barely-measured old release that is actually worse.
+
+    Old release: short failure-free exposure (Beta(1,10) on [0, 0.01],
+    expectation ~1e-3) but truth PA = 5e-3 — five times worse than
+    believed.  New release: an order of magnitude better (PB = 0.5e-3,
+    never failing alone).  Targets are far from the truth, so far fewer
+    demands are needed than in Scenario 1.
+    """
+    return Scenario(
+        name="scenario-2",
+        ground_truth=TwoReleaseGroundTruth(
+            P.SC2_PA, P.SC2_PB_GIVEN_A, P.SC2_PB_GIVEN_NOT_A
+        ),
+        prior=WhiteBoxPrior(
+            TruncatedBeta(**P.SC2_PRIOR_A), TruncatedBeta(**P.SC2_PRIOR_B)
+        ),
+        total_demands=P.SCENARIO_DEMANDS,
+        checkpoint_every=checkpoint_every,
+    )

@@ -1,0 +1,103 @@
+"""Simulated Web-Service substrate (WSDL / UDDI / SOAP analogues).
+
+Everything the paper's architecture assumes from the WS world, rebuilt
+in-process:
+
+* :mod:`repro.services.message` — SOAP-like envelopes;
+* :mod:`repro.services.wsdl` — WSDL-like descriptions with the §6.2
+  confidence-publishing schema transforms;
+* :mod:`repro.services.registry` — UDDI-like registry with upgrade
+  events and published confidence;
+* :mod:`repro.services.endpoint` — deployed releases on the event kernel;
+* :mod:`repro.services.transport` — lossy/latent message channels;
+* :mod:`repro.services.client` — consumers with client-side timeouts;
+* :mod:`repro.services.composite` — composite WS orchestration;
+* :mod:`repro.services.faults` — failure-mode injection (§2.1);
+* :mod:`repro.services.notification` — the §7.2 upgrade-notification
+  mechanisms;
+* :mod:`repro.services.confidence_publishing`, :mod:`repro.services.
+  handlers`, :mod:`repro.services.mediator` — the §6.2 strategies for
+  publishing confidence.
+"""
+
+from repro.services.message import (
+    RequestMessage,
+    ResponseMessage,
+    fault_response,
+    result_response,
+)
+from repro.services.wsdl import (
+    OperationSpec,
+    Parameter,
+    WsdlDescription,
+    default_wsdl,
+)
+from repro.services.registry import RegistryEntry, UddiRegistry
+from repro.services.endpoint import ServiceEndpoint
+from repro.services.transport import SimulatedTransport
+from repro.services.client import ConsumerStats, EndpointPort, ServiceConsumer
+from repro.services.composite import CompositeService, OrchestrationStep
+from repro.services.faults import (
+    DowntimeInjector,
+    RegressionInjector,
+    TransientBurstInjector,
+)
+from repro.services.notification import (
+    CallbackNotifier,
+    NotificationService,
+    RegistryPoller,
+    UpgradeEvent,
+)
+from repro.services.confidence_publishing import (
+    ConfidenceOperationPublisher,
+    ConfidentVariantPublisher,
+    ResponseExtensionPublisher,
+    StaticConfidenceSource,
+)
+from repro.services.handlers import ClientSideHandler, ServiceSideHandler
+from repro.services.mediator import ConfidenceMediator
+from repro.services.retry import RetryPolicy, RetryingPort
+from repro.services.soap import (
+    parse_request,
+    render_request,
+    render_response,
+)
+
+__all__ = [
+    "RequestMessage",
+    "ResponseMessage",
+    "fault_response",
+    "result_response",
+    "OperationSpec",
+    "Parameter",
+    "WsdlDescription",
+    "default_wsdl",
+    "RegistryEntry",
+    "UddiRegistry",
+    "ServiceEndpoint",
+    "SimulatedTransport",
+    "ConsumerStats",
+    "EndpointPort",
+    "ServiceConsumer",
+    "CompositeService",
+    "OrchestrationStep",
+    "DowntimeInjector",
+    "RegressionInjector",
+    "TransientBurstInjector",
+    "CallbackNotifier",
+    "NotificationService",
+    "RegistryPoller",
+    "UpgradeEvent",
+    "ConfidenceOperationPublisher",
+    "ConfidentVariantPublisher",
+    "ResponseExtensionPublisher",
+    "StaticConfidenceSource",
+    "ClientSideHandler",
+    "ServiceSideHandler",
+    "ConfidenceMediator",
+    "RetryPolicy",
+    "RetryingPort",
+    "parse_request",
+    "render_request",
+    "render_response",
+]

@@ -1,0 +1,123 @@
+"""Service consumers (requesters).
+
+A :class:`ServiceConsumer` issues requests against any *port* — an object
+with a ``submit(simulator, request, deliver)`` method; both the upgrade
+middleware and :class:`EndpointPort` (a thin adapter over a single
+release) satisfy the protocol.  The consumer applies its own client-side
+timeout and keeps simple satisfaction statistics, which the examples use
+to show the consumer-visible effect of a managed upgrade.
+"""
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.common.validation import check_positive
+from repro.simulation.engine import Simulator
+from repro.services.endpoint import ServiceEndpoint
+from repro.services.message import RequestMessage, ResponseMessage
+
+
+@dataclass
+class ConsumerStats:
+    """What a consumer experienced over a run."""
+
+    issued: int = 0
+    answered: int = 0
+    faults: int = 0
+    timeouts: int = 0
+    response_times: List[float] = field(default_factory=list)
+
+    @property
+    def mean_response_time(self) -> float:
+        if not self.response_times:
+            return float("nan")
+        return float(np.mean(self.response_times))
+
+
+class EndpointPort:
+    """Adapter exposing a single release as a consumer port.
+
+    This is the no-middleware baseline: the consumer talks straight to
+    one release, as in the single-operational-release scenario (§3.2).
+    """
+
+    def __init__(self, endpoint: ServiceEndpoint):
+        self.endpoint = endpoint
+
+    def submit(
+        self,
+        simulator: Simulator,
+        request: RequestMessage,
+        deliver: Callable[[ResponseMessage], None],
+        reference_answer: object = None,
+    ) -> None:
+        self.endpoint.invoke(
+            simulator, request, deliver, reference_answer=reference_answer
+        )
+
+
+class ServiceConsumer:
+    """A consumer issuing requests with a client-side timeout.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in logs.
+    port:
+        Where requests go (middleware, mediator or a bare endpoint port).
+    timeout:
+        Client-side deadline; a missing response is counted as a timeout.
+    """
+
+    def __init__(self, name: str, port, timeout: float = 5.0):
+        self.name = name
+        self.port = port
+        self.timeout = check_positive(timeout, "timeout")
+        self.stats = ConsumerStats()
+        self._pending: Dict[str, object] = {}
+
+    def issue(
+        self,
+        simulator: Simulator,
+        request: RequestMessage,
+        reference_answer: object = None,
+        on_response: Optional[Callable[[ResponseMessage], None]] = None,
+    ) -> None:
+        """Send one request; account for the response or its absence."""
+        self.stats.issued += 1
+        issued_at = simulator.now
+
+        timeout_event = simulator.schedule(
+            self.timeout,
+            lambda: self._on_timeout(request.message_id),
+            label=f"client-timeout:{request.message_id}",
+        )
+        self._pending[request.message_id] = timeout_event
+
+        def deliver(response: ResponseMessage) -> None:
+            pending = self._pending.pop(request.message_id, None)
+            if pending is None:
+                return  # response arrived after the client gave up
+            pending.cancel()
+            self.stats.answered += 1
+            if response.is_fault:
+                self.stats.faults += 1
+            self.stats.response_times.append(simulator.now - issued_at)
+            if on_response is not None:
+                on_response(response)
+
+        self.port.submit(
+            simulator, request, deliver, reference_answer=reference_answer
+        )
+
+    def _on_timeout(self, message_id: str) -> None:
+        if self._pending.pop(message_id, None) is not None:
+            self.stats.timeouts += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"ServiceConsumer(name={self.name!r}, issued={self.stats.issued}, "
+            f"timeouts={self.stats.timeouts})"
+        )

@@ -1,0 +1,184 @@
+"""Confidence-publishing strategies (paper §6.2).
+
+The paper evaluates five ways to expose "confidence in correctness" to
+consumers.  Each strategy here takes a live confidence source — any
+zero-argument callable returning the current confidence for an operation
+— and exposes it the corresponding way:
+
+1. :class:`ResponseExtensionPublisher` — piggyback the confidence on
+   every response (WSDL option 1; breaks backward compatibility).
+2. :class:`ConfidenceOperationPublisher` — a separate ``OperationConf``
+   query operation (option 2; backward compatible, extra round trip).
+3. :class:`ConfidentVariantPublisher` — ``<op>Conf`` operation variants
+   (option 3; combines the advantages).
+4. Protocol handlers (see :mod:`repro.services.handlers`) — transparent
+   header-based publication.
+5. A trusted mediator (see :mod:`repro.services.mediator`) — a
+   third-party proxy that measures and publishes confidence itself.
+
+The registry path ("clients get this information directly from the UDDI
+archive") is implemented by :meth:`repro.services.registry.UddiRegistry.
+publish_confidence`.
+"""
+
+from typing import Callable, Dict
+
+from repro.common.errors import UnknownOperationError
+from repro.simulation.engine import Simulator
+from repro.services.message import (
+    RequestMessage,
+    ResponseMessage,
+    result_response,
+)
+
+#: A live confidence source: operation name -> current confidence.
+ConfidenceSource = Callable[[str], float]
+
+#: Response-header / result-field key under which confidence is published.
+CONFIDENCE_FIELD = "confidence"
+
+
+class ResponseExtensionPublisher:
+    """Option 1: every response carries the operation's confidence.
+
+    Wraps a port; responses are rewritten so their ``result`` becomes
+    ``{"value": original, "confidence": c}`` — the data-level analogue of
+    adding the ``Op1Conf`` element to the response schema.
+    """
+
+    def __init__(self, port, source: ConfidenceSource):
+        self.port = port
+        self.source = source
+
+    def submit(
+        self,
+        simulator: Simulator,
+        request: RequestMessage,
+        deliver: Callable[[ResponseMessage], None],
+        reference_answer: object = None,
+    ) -> None:
+        def rewrite(response: ResponseMessage) -> None:
+            if response.is_fault:
+                deliver(response)
+                return
+            enriched = ResponseMessage(
+                in_reply_to=response.in_reply_to,
+                operation=response.operation,
+                result={
+                    "value": response.result,
+                    CONFIDENCE_FIELD: self.source(response.operation),
+                },
+                headers=response.headers,
+                responder=response.responder,
+            )
+            deliver(enriched)
+
+        self.port.submit(
+            simulator, request, rewrite, reference_answer=reference_answer
+        )
+
+
+class ConfidenceOperationPublisher:
+    """Option 2: a separate ``OperationConf`` operation.
+
+    Requests for ``OperationConf`` are answered locally with the current
+    confidence of the operation named in the first argument; everything
+    else passes through untouched (backward compatible).
+    """
+
+    CONF_OPERATION = "OperationConf"
+
+    def __init__(self, port, source: ConfidenceSource):
+        self.port = port
+        self.source = source
+
+    def submit(
+        self,
+        simulator: Simulator,
+        request: RequestMessage,
+        deliver: Callable[[ResponseMessage], None],
+        reference_answer: object = None,
+    ) -> None:
+        if request.operation == self.CONF_OPERATION:
+            if not request.arguments:
+                raise UnknownOperationError(
+                    "OperationConf requires the target operation name"
+                )
+            target = str(request.arguments[0])
+            confidence = self.source(target)
+            simulator.schedule(
+                0.0,
+                lambda: deliver(
+                    result_response(request, confidence, "confidence-op")
+                ),
+            )
+            return
+        self.port.submit(
+            simulator, request, deliver, reference_answer=reference_answer
+        )
+
+
+class ConfidentVariantPublisher:
+    """Option 3: ``<op>Conf`` variants of every operation.
+
+    A request for ``operation1Conf`` is forwarded as ``operation1`` and
+    its response is extended with the confidence; plain ``operation1``
+    requests pass through untouched, so legacy clients keep working while
+    confidence-conscious clients get per-invocation confidence.
+    """
+
+    SUFFIX = "Conf"
+
+    def __init__(self, port, source: ConfidenceSource):
+        self.port = port
+        self.source = source
+
+    def submit(
+        self,
+        simulator: Simulator,
+        request: RequestMessage,
+        deliver: Callable[[ResponseMessage], None],
+        reference_answer: object = None,
+    ) -> None:
+        if not request.operation.endswith(self.SUFFIX):
+            self.port.submit(
+                simulator, request, deliver, reference_answer=reference_answer
+            )
+            return
+        base_operation = request.operation[: -len(self.SUFFIX)]
+        forwarded = RequestMessage(
+            operation=base_operation,
+            arguments=request.arguments,
+            headers=request.headers,
+            reply_to=request.reply_to,
+        )
+
+        def rewrite(response: ResponseMessage) -> None:
+            if response.is_fault:
+                deliver(response)
+                return
+            deliver(
+                ResponseMessage(
+                    in_reply_to=request.message_id,
+                    operation=request.operation,
+                    result={
+                        "value": response.result,
+                        CONFIDENCE_FIELD: self.source(base_operation),
+                    },
+                    responder=response.responder,
+                )
+            )
+
+        self.port.submit(
+            simulator, forwarded, rewrite, reference_answer=reference_answer
+        )
+
+
+class StaticConfidenceSource:
+    """A fixed confidence table — the provider's published figures."""
+
+    def __init__(self, table: Dict[str, float]):
+        self.table = dict(table)
+
+    def __call__(self, operation: str) -> float:
+        return self.table.get(operation, 0.0)

@@ -1,0 +1,158 @@
+"""Deployed service releases (endpoints) on the discrete-event kernel.
+
+A :class:`ServiceEndpoint` is one operational release of a WS: it owns a
+WSDL description, a stochastic :class:`~repro.simulation.release_model.
+ReleaseBehaviour`, and an online/offline flag (driven by the fault
+injector).  The upgrade middleware invokes endpoints directly; standalone
+consumers can too.
+
+The execution time of a response is ``demand_difficulty + T2`` where the
+caller supplies the demand-difficulty component ``T1`` (shared across
+releases on the same demand, eq. 7) and the endpoint samples its own
+``T2`` from its latency law.
+"""
+
+import math
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.simulation.engine import Simulator
+from repro.simulation.outcomes import Outcome
+from repro.simulation.release_model import ReleaseBehaviour
+from repro.services.message import (
+    RequestMessage,
+    ResponseMessage,
+    fault_response,
+    result_response,
+)
+from repro.services.wsdl import WsdlDescription
+
+ResponseHandler = Callable[[ResponseMessage], None]
+
+
+class ServiceEndpoint:
+    """One operational release of a Web Service.
+
+    Example
+    -------
+    >>> from repro.simulation import Exponential
+    >>> from repro.simulation.correlation import OutcomeDistribution
+    >>> from repro.services.wsdl import default_wsdl
+    >>> rng = np.random.default_rng(0)
+    >>> behaviour = ReleaseBehaviour(
+    ...     "WS 1.0",
+    ...     OutcomeDistribution(0.9, 0.05, 0.05),
+    ...     Exponential(0.7),
+    ... )
+    >>> endpoint = ServiceEndpoint(default_wsdl("WS", "node-1"), behaviour, rng)
+    """
+
+    def __init__(
+        self,
+        wsdl: WsdlDescription,
+        behaviour: ReleaseBehaviour,
+        rng: np.random.Generator,
+    ):
+        self.wsdl = wsdl
+        self.behaviour = behaviour
+        self._rng = rng
+        self.online = True
+        self.invocations = 0
+        self.responses = 0
+
+    @property
+    def name(self) -> str:
+        """Display name, e.g. ``"Web-Service 1.0"``."""
+        return f"{self.wsdl.service_name} {self.wsdl.release}"
+
+    @property
+    def release(self) -> str:
+        return self.wsdl.release
+
+    # ------------------------------------------------------------------
+    # administrative control (used by the fault injector & management)
+    # ------------------------------------------------------------------
+
+    def take_offline(self) -> None:
+        """Stop responding to new invocations (denial of service)."""
+        self.online = False
+
+    def bring_online(self) -> None:
+        """Resume responding."""
+        self.online = True
+
+    # ------------------------------------------------------------------
+    # invocation
+    # ------------------------------------------------------------------
+
+    def invoke(
+        self,
+        simulator: Simulator,
+        request: RequestMessage,
+        deliver: ResponseHandler,
+        reference_answer: object = None,
+        forced_outcome: Optional[Outcome] = None,
+        demand_difficulty: float = 0.0,
+    ) -> None:
+        """Process *request*, delivering the response asynchronously.
+
+        Parameters
+        ----------
+        simulator:
+            The discrete-event kernel driving the run.
+        request:
+            The consumer's (or middleware's) request envelope.
+        deliver:
+            Called with the :class:`ResponseMessage` once the sampled
+            execution time has elapsed.  Never called while offline —
+            the caller's timeout is the only detection mechanism, as for
+            a real unreachable WS.
+        reference_answer:
+            Ground-truth result for this demand (simulation oracle input).
+        forced_outcome:
+            Pre-sampled outcome imposed by the middleware's correlated
+            joint outcome model; None samples this release's marginal.
+        demand_difficulty:
+            The shared T1 execution-time component of eq. (7).
+        """
+        self.invocations += 1
+        if not self.online:
+            return
+        if not self.wsdl.has_operation(request.operation):
+            # Unknown operation: an immediate, evident fault.
+            response = fault_response(
+                request, f"unknown operation {request.operation!r}", self.name
+            )
+            simulator.schedule(0.0, lambda: self._finish(deliver, response))
+            return
+        simulated = self.behaviour.sample_response(
+            self._rng,
+            reference_answer=reference_answer,
+            forced_outcome=forced_outcome,
+        )
+        execution_time = demand_difficulty + simulated.execution_time
+        if not math.isfinite(execution_time):
+            # An infinite latency models a hang / lost response: nothing is
+            # ever delivered and the caller's timeout is the only signal.
+            return
+        if simulated.outcome is Outcome.EVIDENT_FAILURE:
+            response = fault_response(request, "internal error", self.name)
+        else:
+            response = result_response(request, simulated.payload, self.name)
+        simulator.schedule(
+            execution_time,
+            lambda: self._finish(deliver, response),
+            label=f"response:{self.name}",
+        )
+
+    def _finish(self, deliver: ResponseHandler, response: ResponseMessage) -> None:
+        self.responses += 1
+        deliver(response)
+
+    def __repr__(self) -> str:
+        state = "online" if self.online else "OFFLINE"
+        return (
+            f"ServiceEndpoint(name={self.name!r}, {state}, "
+            f"invocations={self.invocations})"
+        )

@@ -1,0 +1,134 @@
+"""Fault injection for simulated services (failure modes of §2.1).
+
+The paper distinguishes transient vs non-transient and evident vs
+non-evident failures.  The endpoint's outcome distribution already models
+steady-state evident/non-evident failures; this module injects the
+*time-structured* modes on top:
+
+* :class:`DowntimeInjector` — periods during which a release returns no
+  response at all (denial of service — an evident failure detected by
+  timeout);
+* :class:`TransientBurstInjector` — windows during which a release's
+  failure probabilities are temporarily inflated (transient conditions
+  tolerable by retry, §2.1);
+* :class:`RegressionInjector` — a deterministic, non-transient fault:
+  every demand whose key matches a predicate fails non-evidently
+  (models the "new faults in the new release" risk that motivates the
+  managed upgrade).
+"""
+
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.simulation.engine import Simulator
+from repro.simulation.outcomes import Outcome
+from repro.services.endpoint import ServiceEndpoint
+
+
+class DowntimeInjector:
+    """Schedule offline windows for an endpoint.
+
+    Each window is a ``(start, duration)`` pair in simulated seconds.
+    """
+
+    def __init__(self, windows: Sequence[Tuple[float, float]]):
+        for start, duration in windows:
+            if start < 0 or duration <= 0:
+                raise ConfigurationError(
+                    f"bad downtime window: ({start!r}, {duration!r})"
+                )
+        self.windows = sorted(windows)
+
+    def arm(self, simulator: Simulator, endpoint: ServiceEndpoint) -> None:
+        """Schedule all offline/online transitions on *simulator*."""
+        for start, duration in self.windows:
+            simulator.schedule_at(
+                max(start, simulator.now),
+                endpoint.take_offline,
+                label=f"down:{endpoint.name}",
+            )
+            simulator.schedule_at(
+                max(start + duration, simulator.now),
+                endpoint.bring_online,
+                label=f"up:{endpoint.name}",
+            )
+
+
+class TransientBurstInjector:
+    """Temporarily degrade an endpoint's outcome distribution.
+
+    During each window the endpoint's behaviour is replaced by a degraded
+    one; outside the windows the original behaviour is restored.
+    """
+
+    def __init__(
+        self,
+        windows: Sequence[Tuple[float, float]],
+        degraded_distribution,
+    ):
+        self.windows = sorted(windows)
+        self.degraded_distribution = degraded_distribution
+
+    def arm(self, simulator: Simulator, endpoint: ServiceEndpoint) -> None:
+        original = endpoint.behaviour.outcome_distribution
+
+        def degrade() -> None:
+            endpoint.behaviour.outcome_distribution = (
+                self.degraded_distribution
+            )
+
+        def restore() -> None:
+            endpoint.behaviour.outcome_distribution = original
+
+        for start, duration in self.windows:
+            simulator.schedule_at(
+                max(start, simulator.now), degrade,
+                label=f"burst-on:{endpoint.name}",
+            )
+            simulator.schedule_at(
+                max(start + duration, simulator.now), restore,
+                label=f"burst-off:{endpoint.name}",
+            )
+
+
+class RegressionInjector:
+    """Deterministic non-evident failures on a demand subdomain.
+
+    Wraps an endpoint's behaviour so that demands whose reference answer
+    satisfies *predicate* always fail non-evidently — the classic
+    regression introduced by an upgrade, only detectable back-to-back
+    against the old release.
+    """
+
+    def __init__(self, predicate: Callable[[object], bool]):
+        self.predicate = predicate
+        self.triggered = 0
+
+    def wrap(self, endpoint: ServiceEndpoint) -> None:
+        behaviour = endpoint.behaviour
+        inner_sample = behaviour.sample_response
+        injector = self
+
+        def sample_response(
+            rng: np.random.Generator,
+            reference_answer: object = None,
+            forced_outcome: Outcome = None,
+        ):
+            if reference_answer is not None and injector.predicate(
+                reference_answer
+            ):
+                injector.triggered += 1
+                return inner_sample(
+                    rng,
+                    reference_answer=reference_answer,
+                    forced_outcome=Outcome.NON_EVIDENT_FAILURE,
+                )
+            return inner_sample(
+                rng,
+                reference_answer=reference_answer,
+                forced_outcome=forced_outcome,
+            )
+
+        behaviour.sample_response = sample_response  # type: ignore[method-assign]

@@ -1,0 +1,103 @@
+"""Protocol handlers that piggyback confidence on message headers (§6.2).
+
+"...uses protocol handlers on the service and client sides to
+transparently add/remove additional information describing confidence
+to/from each XML message sent between the WS and clients."
+
+:class:`ServiceSideHandler` wraps a port and stamps every outgoing
+response header with the current confidence; :class:`ClientSideHandler`
+strips the header and hands it to an application callback.  If the client
+handler is absent the application still functions — the header is simply
+ignored — which is exactly the compatibility property the paper claims
+for this solution.
+"""
+
+from typing import Callable, Optional
+
+from repro.simulation.engine import Simulator
+from repro.services.confidence_publishing import ConfidenceSource
+from repro.services.message import RequestMessage, ResponseMessage
+from repro.services.wsdl import CONFIDENCE_HEADER
+
+
+class ServiceSideHandler:
+    """Adds a confidence header to every response leaving the service."""
+
+    def __init__(self, port, source: ConfidenceSource):
+        self.port = port
+        self.source = source
+        self.stamped = 0
+
+    def submit(
+        self,
+        simulator: Simulator,
+        request: RequestMessage,
+        deliver: Callable[[ResponseMessage], None],
+        reference_answer: object = None,
+    ) -> None:
+        def stamp(response: ResponseMessage) -> None:
+            self.stamped += 1
+            deliver(
+                response.with_header(
+                    CONFIDENCE_HEADER, self.source(response.operation)
+                )
+            )
+
+        self.port.submit(
+            simulator, request, stamp, reference_answer=reference_answer
+        )
+
+
+class ClientSideHandler:
+    """Strips the confidence header before the application sees a response.
+
+    Parameters
+    ----------
+    port:
+        The downstream port (typically a :class:`ServiceSideHandler`-
+        wrapped service, but works against any port).
+    on_confidence:
+        Called with ``(operation, confidence)`` whenever a response
+        carried the header; None just discards it.
+    """
+
+    def __init__(
+        self,
+        port,
+        on_confidence: Optional[Callable[[str, float], None]] = None,
+    ):
+        self.port = port
+        self.on_confidence = on_confidence
+        self.last_confidence: Optional[float] = None
+
+    def submit(
+        self,
+        simulator: Simulator,
+        request: RequestMessage,
+        deliver: Callable[[ResponseMessage], None],
+        reference_answer: object = None,
+    ) -> None:
+        def strip(response: ResponseMessage) -> None:
+            confidence = response.headers.get(CONFIDENCE_HEADER)
+            if confidence is not None:
+                self.last_confidence = float(confidence)
+                if self.on_confidence is not None:
+                    self.on_confidence(response.operation, float(confidence))
+                headers = {
+                    k: v
+                    for k, v in response.headers.items()
+                    if k != CONFIDENCE_HEADER
+                }
+                response = ResponseMessage(
+                    in_reply_to=response.in_reply_to,
+                    operation=response.operation,
+                    result=response.result,
+                    fault=response.fault,
+                    headers=headers,
+                    responder=response.responder,
+                )
+            deliver(response)
+
+        self.port.submit(
+            simulator, request, strip, reference_answer=reference_answer
+        )

@@ -1,0 +1,127 @@
+"""Trusted confidence mediator (paper §6.2, last alternative; Fig. 4).
+
+"...a dedicated trusted confidence service functioning as a mediator for
+all messages sent to and from the WS.  This mediator can monitor all
+messages and express the confidence in a convenient way..."
+
+The :class:`ConfidenceMediator` proxies a port, judges each response it
+relays (with a pluggable oracle) and maintains a black-box Bayesian
+assessor per operation.  The paper's caveat — confidence goes stale when
+traffic bypasses the intermediary — is observable: feed some consumers
+directly to the backend and the mediator's demand counts fall behind
+(tracked by :attr:`bypass_estimate`).
+"""
+
+from typing import Callable, Dict
+
+from repro.bayes.beta import TruncatedBeta
+from repro.bayes.blackbox import BlackBoxAssessor
+from repro.simulation.engine import Simulator
+from repro.services.message import RequestMessage, ResponseMessage
+
+#: Oracle signature: (response, reference_answer) -> True if failed.
+ResponseOracle = Callable[[ResponseMessage, object], bool]
+
+
+def default_oracle(response: ResponseMessage, reference_answer: object) -> bool:
+    """Judge a response failed if it faults or mismatches the reference."""
+    if response.is_fault:
+        return True
+    if reference_answer is None:
+        return False
+    return response.result != reference_answer
+
+
+class ConfidenceMediator:
+    """Third-party proxy measuring and publishing per-operation confidence.
+
+    Parameters
+    ----------
+    name:
+        The mediator's identity (a trusted third party).
+    port:
+        The backend WS (or middleware) being mediated.
+    prior:
+        pfd prior used for every operation's black-box assessor.
+    target_pfd:
+        The pfd target against which confidence is published.
+    oracle:
+        How the mediator judges correctness; the default compares against
+        the demand's reference answer when available and otherwise counts
+        only evident faults (which is all a real mediator could see).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        port,
+        prior: TruncatedBeta,
+        target_pfd: float = 1e-3,
+        oracle: ResponseOracle = default_oracle,
+    ):
+        self.name = name
+        self.port = port
+        self.prior = prior
+        self.target_pfd = target_pfd
+        self.oracle = oracle
+        self._assessors: Dict[str, BlackBoxAssessor] = {}
+        self.relayed = 0
+
+    def assessor_for(self, operation: str) -> BlackBoxAssessor:
+        """The (lazily created) assessor of one operation."""
+        if operation not in self._assessors:
+            self._assessors[operation] = BlackBoxAssessor(self.prior)
+        return self._assessors[operation]
+
+    # ------------------------------------------------------------------
+    # port protocol: relay + monitor
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        simulator: Simulator,
+        request: RequestMessage,
+        deliver: Callable[[ResponseMessage], None],
+        reference_answer: object = None,
+    ) -> None:
+        self.relayed += 1
+        assessor = self.assessor_for(request.operation)
+
+        def monitor(response: ResponseMessage) -> None:
+            failed = self.oracle(response, reference_answer)
+            assessor.observe(demands=1, failures=1 if failed else 0)
+            deliver(response)
+
+        self.port.submit(
+            simulator, request, monitor, reference_answer=reference_answer
+        )
+
+    # ------------------------------------------------------------------
+    # published figures
+    # ------------------------------------------------------------------
+
+    def confidence(self, operation: str) -> float:
+        """Published P(pfd <= target) for *operation* (usable as a
+        :data:`~repro.services.confidence_publishing.ConfidenceSource`)."""
+        return self.assessor_for(operation).confidence(self.target_pfd)
+
+    def demands_observed(self, operation: str) -> int:
+        """How many demands the mediator has actually seen."""
+        return self.assessor_for(operation).demands
+
+    def bypass_estimate(self, operation: str, true_traffic: int) -> float:
+        """Fraction of *true_traffic* that bypassed the mediator.
+
+        The paper's stated disadvantage of the mediator solution: if
+        significant traffic bypasses it, the published confidence is
+        based on a stale, partial view.
+        """
+        if true_traffic <= 0:
+            return 0.0
+        seen = self.demands_observed(operation)
+        return max(0.0, 1.0 - seen / true_traffic)
+
+    def __repr__(self) -> str:
+        return (
+            f"ConfidenceMediator(name={self.name!r}, relayed={self.relayed})"
+        )

@@ -1,0 +1,105 @@
+"""SOAP-like message envelopes for the simulated WS substrate.
+
+The paper's architecture moves XML messages (SOAP) between consumers,
+middleware and releases.  Our in-process substrate models the same
+contract with plain data objects: an envelope with headers (used by the
+§6.2 protocol handlers to piggyback confidence) and a body (operation
+name + parameters, or a result / fault).
+"""
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+_message_ids = itertools.count(1)
+
+
+def next_message_id() -> str:
+    """Allocate a process-unique message identifier."""
+    return f"msg-{next(_message_ids)}"
+
+
+@dataclass(frozen=True)
+class RequestMessage:
+    """A consumer-to-service invocation envelope.
+
+    Attributes
+    ----------
+    operation:
+        Name of the WSDL operation invoked (e.g. ``"operation1"``).
+    arguments:
+        Positional operation parameters.
+    headers:
+        SOAP-header analogue; protocol handlers may add entries.
+    message_id:
+        Unique id used to correlate responses.
+    reply_to:
+        Logical address of the consumer (for logging/tracing only).
+    """
+
+    operation: str
+    arguments: Tuple = ()
+    headers: Dict[str, object] = field(default_factory=dict)
+    message_id: str = field(default_factory=next_message_id)
+    reply_to: str = "consumer"
+
+    def with_header(self, key: str, value: object) -> "RequestMessage":
+        """Return a copy with one extra header (messages are immutable)."""
+        headers = dict(self.headers)
+        headers[key] = value
+        return replace(self, headers=headers)
+
+
+@dataclass(frozen=True)
+class ResponseMessage:
+    """A service-to-consumer response envelope.
+
+    ``fault`` is None for successful responses; a fault code string for
+    evident failures (the SOAP-fault analogue).  A *non-evident* failure
+    is, by definition, indistinguishable from success at this level: it is
+    a normal-looking response whose ``result`` is wrong.
+    """
+
+    in_reply_to: str
+    operation: str
+    result: object = None
+    fault: Optional[str] = None
+    headers: Dict[str, object] = field(default_factory=dict)
+    responder: str = ""
+    message_id: str = field(default_factory=next_message_id)
+
+    @property
+    def is_fault(self) -> bool:
+        """True if this response is an evident (declared) failure."""
+        return self.fault is not None
+
+    def with_header(self, key: str, value: object) -> "ResponseMessage":
+        """Return a copy with one extra header."""
+        headers = dict(self.headers)
+        headers[key] = value
+        return replace(self, headers=headers)
+
+
+def fault_response(
+    request: RequestMessage, fault: str, responder: str = ""
+) -> ResponseMessage:
+    """Build an evident-failure response to *request*."""
+    return ResponseMessage(
+        in_reply_to=request.message_id,
+        operation=request.operation,
+        result=None,
+        fault=fault,
+        responder=responder,
+    )
+
+
+def result_response(
+    request: RequestMessage, result: object, responder: str = ""
+) -> ResponseMessage:
+    """Build a normal response to *request* carrying *result*."""
+    return ResponseMessage(
+        in_reply_to=request.message_id,
+        operation=request.operation,
+        result=result,
+        responder=responder,
+    )

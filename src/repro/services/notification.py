@@ -1,0 +1,117 @@
+"""Upgrade-notification mechanisms (paper §7.2).
+
+The paper lists three ways a consumer (or a managed-upgrade deployment)
+can learn that a component WS has a new release:
+
+1. **Registry polling** — the WSDL entry in the registry gains a
+   reference to the new release; consumers detect it by comparing the
+   release list against what they last saw (:class:`RegistryPoller`).
+2. **Notification service** — a separate publish/subscribe channel
+   (:class:`NotificationService`), the WS-Notification analogue.
+3. **Callbacks** — providers explicitly call back registered consumers
+   (:class:`CallbackNotifier`).
+
+All three deliver :class:`UpgradeEvent` records; the upgrade controller
+consumes them to start a managed upgrade.
+"""
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Set
+
+from repro.services.registry import UddiRegistry
+
+
+@dataclass(frozen=True)
+class UpgradeEvent:
+    """A detected component upgrade."""
+
+    service_name: str
+    new_release: str
+    mechanism: str
+
+
+UpgradeHandler = Callable[[UpgradeEvent], None]
+
+
+class RegistryPoller:
+    """Detect upgrades by diffing the registry's release lists.
+
+    Call :meth:`poll` periodically (e.g. from a scheduled simulator
+    event); newly appeared releases produce events exactly once.
+    """
+
+    def __init__(self, registry: UddiRegistry, handler: UpgradeHandler):
+        self.registry = registry
+        self.handler = handler
+        self._seen: Dict[str, Set[str]] = {}
+        self.polls = 0
+
+    def poll(self) -> List[UpgradeEvent]:
+        """Diff current registry state against the last poll."""
+        self.polls += 1
+        events: List[UpgradeEvent] = []
+        for name in self.registry.service_names():
+            releases = set(self.registry.find(name).release_labels)
+            known = self._seen.get(name)
+            if known is None:
+                # First sighting of the service: baseline, no events.
+                self._seen[name] = releases
+                continue
+            for release in sorted(releases - known):
+                event = UpgradeEvent(name, release, "registry-poll")
+                events.append(event)
+                self.handler(event)
+            self._seen[name] = releases
+        return events
+
+
+class NotificationService:
+    """Publish/subscribe upgrade channel (WS-Notification analogue)."""
+
+    def __init__(self):
+        self._subscribers: Dict[str, List[UpgradeHandler]] = {}
+        self.published = 0
+
+    def subscribe(self, service_name: str, handler: UpgradeHandler) -> None:
+        """Subscribe to upgrade notifications for *service_name*."""
+        self._subscribers.setdefault(service_name, []).append(handler)
+
+    def publish_upgrade(self, service_name: str, new_release: str) -> int:
+        """Notify all subscribers; returns how many were notified."""
+        self.published += 1
+        event = UpgradeEvent(service_name, new_release, "notification-service")
+        handlers = list(self._subscribers.get(service_name, []))
+        for handler in handlers:
+            handler(event)
+        return len(handlers)
+
+    @classmethod
+    def bridged_to(cls, registry: UddiRegistry) -> "NotificationService":
+        """A notification service fed automatically by registry events."""
+        service = cls()
+
+        def on_registry_event(event: str, name: str, release: str) -> None:
+            if event == "upgraded":
+                service.publish_upgrade(name, release)
+
+        registry.subscribe(on_registry_event)
+        return service
+
+
+class CallbackNotifier:
+    """Provider-side explicit consumer callbacks."""
+
+    def __init__(self, service_name: str):
+        self.service_name = service_name
+        self._callbacks: List[UpgradeHandler] = []
+
+    def register(self, handler: UpgradeHandler) -> None:
+        """A consumer registers its callback with the provider."""
+        self._callbacks.append(handler)
+
+    def announce(self, new_release: str) -> int:
+        """The provider announces a new release to all registered consumers."""
+        event = UpgradeEvent(self.service_name, new_release, "callback")
+        for handler in list(self._callbacks):
+            handler(event)
+        return len(self._callbacks)

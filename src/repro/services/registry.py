@@ -1,0 +1,180 @@
+"""UDDI-like service registry with upgrade-notification hooks.
+
+Providers *publish* service descriptions (WSDL analogues); consumers
+*find* them.  Two paper-specific extensions:
+
+* an entry may list **several operational releases** of the same service
+  (§3.1: "extend the WSDL description of a WS by adding a reference to a
+  new release"), which is one of the §7.2 notification mechanisms —
+  consumers polling the registry can detect the new release while both
+  stay operational;
+* an entry carries published **confidence records** per operation
+  (§6.2: "The clients will be able to get this information directly from
+  the UDDI archive").
+
+Subscribers registered with :meth:`UddiRegistry.subscribe` get callbacks
+on publish/upgrade events — the "WS notification service" alternative.
+"""
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.common.errors import ServiceError
+from repro.services.wsdl import WsdlDescription
+
+
+@dataclass
+class RegistryEntry:
+    """One service's registry record: all operational releases + metadata."""
+
+    service_name: str
+    releases: List[WsdlDescription] = field(default_factory=list)
+    confidence: Dict[str, float] = field(default_factory=dict)
+    provider: str = ""
+
+    @property
+    def latest(self) -> WsdlDescription:
+        """The most recently published release."""
+        if not self.releases:
+            raise ServiceError(
+                f"service {self.service_name!r} has no published releases"
+            )
+        return self.releases[-1]
+
+    @property
+    def release_labels(self) -> List[str]:
+        return [wsdl.release for wsdl in self.releases]
+
+    def release(self, label: str) -> WsdlDescription:
+        """Look up a specific release by label."""
+        for wsdl in self.releases:
+            if wsdl.release == label:
+                return wsdl
+        raise ServiceError(
+            f"service {self.service_name!r} has no release {label!r} "
+            f"(has {self.release_labels!r})"
+        )
+
+
+#: Signature of upgrade-event callbacks:
+#: ``(event, service_name, release_label)`` with event in
+#: {"published", "upgraded", "withdrawn"}.
+RegistryListener = Callable[[str, str, str], None]
+
+
+class UddiRegistry:
+    """In-process UDDI analogue.
+
+    Example
+    -------
+    >>> from repro.services.wsdl import default_wsdl
+    >>> registry = UddiRegistry()
+    >>> entry = registry.publish(default_wsdl("Stock", "node-1",
+    ...                                       release="1.0"))
+    >>> registry.find("Stock").latest.release
+    '1.0'
+    """
+
+    def __init__(self):
+        self._entries: Dict[str, RegistryEntry] = {}
+        self._listeners: List[RegistryListener] = []
+
+    # ------------------------------------------------------------------
+    # provider side
+    # ------------------------------------------------------------------
+
+    def publish(
+        self, wsdl: WsdlDescription, provider: str = ""
+    ) -> RegistryEntry:
+        """Publish a (new release of a) service.
+
+        The first publication creates the entry ("published" event);
+        subsequent ones append a release and fire "upgraded" — existing
+        releases stay operational, per the §3.1 scenario.
+        """
+        entry = self._entries.get(wsdl.service_name)
+        if entry is None:
+            entry = RegistryEntry(
+                service_name=wsdl.service_name,
+                releases=[wsdl],
+                provider=provider,
+            )
+            self._entries[wsdl.service_name] = entry
+            self._notify("published", wsdl.service_name, wsdl.release)
+            return entry
+        if wsdl.release in entry.release_labels:
+            raise ServiceError(
+                f"release {wsdl.release!r} of {wsdl.service_name!r} "
+                "is already published"
+            )
+        entry.releases.append(wsdl)
+        self._notify("upgraded", wsdl.service_name, wsdl.release)
+        return entry
+
+    def withdraw(self, service_name: str, release: str) -> None:
+        """Remove one release (e.g. phasing out the old one post-switch)."""
+        entry = self.find(service_name)
+        remaining = [w for w in entry.releases if w.release != release]
+        if len(remaining) == len(entry.releases):
+            raise ServiceError(
+                f"cannot withdraw unknown release {release!r} of "
+                f"{service_name!r}"
+            )
+        entry.releases = remaining
+        self._notify("withdrawn", service_name, release)
+
+    def publish_confidence(
+        self, service_name: str, operation: str, confidence: float
+    ) -> None:
+        """Attach/update a published confidence figure (§6.2, UDDI path)."""
+        entry = self.find(service_name)
+        if not 0.0 <= confidence <= 1.0:
+            raise ServiceError(
+                f"confidence must be a probability: {confidence!r}"
+            )
+        entry.confidence[operation] = float(confidence)
+
+    # ------------------------------------------------------------------
+    # consumer side
+    # ------------------------------------------------------------------
+
+    def find(self, service_name: str) -> RegistryEntry:
+        """Look a service up by name."""
+        try:
+            return self._entries[service_name]
+        except KeyError:
+            raise ServiceError(
+                f"no service {service_name!r} in the registry"
+            ) from None
+
+    def has_service(self, service_name: str) -> bool:
+        return service_name in self._entries
+
+    def service_names(self) -> List[str]:
+        return sorted(self._entries)
+
+    def confidence_of(
+        self, service_name: str, operation: str
+    ) -> Optional[float]:
+        """Published confidence for an operation, or None if unpublished."""
+        return self.find(service_name).confidence.get(operation)
+
+    # ------------------------------------------------------------------
+    # notification (§7.2)
+    # ------------------------------------------------------------------
+
+    def subscribe(self, listener: RegistryListener) -> Callable[[], None]:
+        """Register an upgrade-event callback; returns an unsubscribe fn."""
+        self._listeners.append(listener)
+
+        def unsubscribe() -> None:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def _notify(self, event: str, service_name: str, release: str) -> None:
+        for listener in list(self._listeners):
+            listener(event, service_name, release)

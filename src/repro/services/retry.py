@@ -1,0 +1,146 @@
+"""Retry against transient failures (paper §2.1).
+
+"Transient failure — a failure triggered by transient conditions which
+can be tolerated by using generic recovery techniques such as rollback
+and retry even if the same code is used."
+
+:class:`RetryingPort` wraps any port with bounded retry of *evident*
+failures (faults and per-attempt timeouts).  Non-evident failures pass
+through untouched — by definition retry cannot see them; that is what
+the diverse redundancy of the managed upgrade is for.  Composes freely:
+a consumer can retry around the upgrade middleware, or the middleware's
+endpoints can be wrapped individually.
+"""
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.common.validation import check_non_negative
+from repro.services.message import (
+    RequestMessage,
+    ResponseMessage,
+    fault_response,
+)
+from repro.simulation.engine import Simulator
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry configuration.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total attempts including the first (>= 1).
+    backoff:
+        Fixed delay before each retry (seconds).
+    attempt_timeout:
+        Per-attempt deadline; an attempt with no response within it is
+        abandoned and retried.  None disables per-attempt timeouts (the
+        caller's own deadline then governs).
+    """
+
+    max_attempts: int = 3
+    backoff: float = 0.0
+    attempt_timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1: {self.max_attempts!r}"
+            )
+        check_non_negative(self.backoff, "backoff")
+        if self.attempt_timeout is not None and self.attempt_timeout <= 0:
+            raise ConfigurationError(
+                f"attempt_timeout must be > 0: {self.attempt_timeout!r}"
+            )
+
+
+class RetryingPort:
+    """Wrap a port with retry of evident failures."""
+
+    def __init__(self, port, policy: Optional[RetryPolicy] = None):
+        self.port = port
+        self.policy = policy or RetryPolicy()
+        self.attempts = 0
+        self.retries = 0
+
+    def submit(
+        self,
+        simulator: Simulator,
+        request: RequestMessage,
+        deliver: Callable[[ResponseMessage], None],
+        reference_answer: object = None,
+    ) -> None:
+        state = {"finished": False, "attempt": 0}
+        policy = self.policy
+        wrapper = self
+
+        def attempt() -> None:
+            state["attempt"] += 1
+            wrapper.attempts += 1
+            attempt_number = state["attempt"]
+            timeout_event = None
+            if policy.attempt_timeout is not None:
+                timeout_event = simulator.schedule(
+                    policy.attempt_timeout,
+                    lambda: on_attempt_timeout(attempt_number),
+                    label=f"retry-timeout:{request.message_id}",
+                )
+
+            def on_response(response: ResponseMessage) -> None:
+                if state["finished"] or state["attempt"] != attempt_number:
+                    return  # a stale attempt's late response
+                if timeout_event is not None:
+                    timeout_event.cancel()
+                if response.is_fault and (
+                    state["attempt"] < policy.max_attempts
+                ):
+                    retry()
+                    return
+                finish(response)
+
+            # Fresh message id per attempt (a real client would resend).
+            resent = RequestMessage(
+                operation=request.operation,
+                arguments=request.arguments,
+                headers=dict(request.headers),
+                reply_to=request.reply_to,
+            )
+            wrapper.port.submit(
+                simulator, resent, on_response,
+                reference_answer=reference_answer,
+            )
+
+        def on_attempt_timeout(attempt_number: int) -> None:
+            if state["finished"] or state["attempt"] != attempt_number:
+                return
+            if state["attempt"] < policy.max_attempts:
+                retry()
+            else:
+                finish(
+                    fault_response(
+                        request,
+                        f"no response after {policy.max_attempts} "
+                        "attempts",
+                        "retry",
+                    )
+                )
+
+        def retry() -> None:
+            wrapper.retries += 1
+            simulator.schedule(policy.backoff, attempt,
+                               label="retry-backoff")
+
+        def finish(response: ResponseMessage) -> None:
+            state["finished"] = True
+            deliver(response)
+
+        attempt()
+
+    def __repr__(self) -> str:
+        return (
+            f"RetryingPort(policy={self.policy!r}, "
+            f"attempts={self.attempts}, retries={self.retries})"
+        )

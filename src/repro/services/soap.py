@@ -1,0 +1,161 @@
+"""SOAP 1.2 envelope rendering for the message analogues.
+
+The in-process substrate moves :class:`~repro.services.message.
+RequestMessage` / :class:`~repro.services.message.ResponseMessage`
+objects; this module renders them as SOAP envelopes (and parses them
+back), so examples and tests can show the wire-level artefacts the
+paper's §6.2 discussion is about — in particular how the protocol
+handlers' confidence header and the response-extension option actually
+look on the wire.
+
+The renderer covers the subset the substrate uses: positional parameters
+of int/float/str/bool, fault bodies, and string/float headers.  It is a
+faithful *shape* of SOAP 1.2, not a general implementation.
+"""
+
+import re
+from typing import Dict, List, Tuple
+from xml.sax.saxutils import escape, unescape
+
+from repro.common.errors import ServiceError
+from repro.services.message import RequestMessage, ResponseMessage
+
+ENVELOPE_NS = "http://www.w3.org/2003/05/soap-envelope"
+HEADER_NS = "urn:repro:confidence"
+
+
+def _render_headers(headers: Dict[str, object]) -> str:
+    if not headers:
+        return "  <env:Header/>"
+    lines = ["  <env:Header>"]
+    for key, value in sorted(headers.items()):
+        tag = escape(str(key))
+        lines.append(
+            f'    <conf:{tag} xmlns:conf="{HEADER_NS}">'
+            f"{escape(str(value))}</conf:{tag}>"
+        )
+    lines.append("  </env:Header>")
+    return "\n".join(lines)
+
+
+def _render_value(value: object) -> Tuple[str, str]:
+    """(xsi type, text) for one parameter value."""
+    if isinstance(value, bool):
+        return "xsd:boolean", "true" if value else "false"
+    if isinstance(value, int):
+        return "xsd:int", str(value)
+    if isinstance(value, float):
+        return "xsd:double", repr(value)
+    return "xsd:string", escape(str(value))
+
+
+def _parse_value(xsi_type: str, text: str) -> object:
+    if xsi_type == "xsd:int":
+        return int(text)
+    if xsi_type == "xsd:double":
+        return float(text)
+    if xsi_type == "xsd:boolean":
+        return text == "true"
+    return unescape(text)
+
+
+def render_request(request: RequestMessage) -> str:
+    """Render a request as a SOAP 1.2 envelope."""
+    params = []
+    for index, argument in enumerate(request.arguments):
+        xsi, text = _render_value(argument)
+        params.append(
+            f'      <param{index} xsi:type="{xsi}">{text}</param{index}>'
+        )
+    body = "\n".join(params)
+    return (
+        f'<?xml version="1.0"?>\n'
+        f'<env:Envelope xmlns:env="{ENVELOPE_NS}"\n'
+        f'              xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance"\n'
+        f'              xmlns:xsd="http://www.w3.org/2001/XMLSchema">\n'
+        f"{_render_headers(request.headers)}\n"
+        f"  <env:Body>\n"
+        f'    <m:{request.operation} xmlns:m="urn:repro:service"\n'
+        f'       messageId="{escape(request.message_id)}"\n'
+        f'       replyTo="{escape(request.reply_to)}">\n'
+        f"{body}\n"
+        f"    </m:{request.operation}>\n"
+        f"  </env:Body>\n"
+        f"</env:Envelope>"
+    )
+
+
+def render_response(response: ResponseMessage) -> str:
+    """Render a response (or SOAP fault) as a SOAP 1.2 envelope."""
+    if response.is_fault:
+        body = (
+            f"    <env:Fault>\n"
+            f"      <env:Code><env:Value>env:Receiver</env:Value>"
+            f"</env:Code>\n"
+            f"      <env:Reason><env:Text>{escape(response.fault)}"
+            f"</env:Text></env:Reason>\n"
+            f"    </env:Fault>"
+        )
+    else:
+        xsi, text = _render_value(response.result)
+        body = (
+            f'    <m:{response.operation}Response '
+            f'xmlns:m="urn:repro:service"\n'
+            f'       inReplyTo="{escape(response.in_reply_to)}"\n'
+            f'       responder="{escape(response.responder)}">\n'
+            f'      <result xsi:type="{xsi}">{text}</result>\n'
+            f"    </m:{response.operation}Response>"
+        )
+    return (
+        f'<?xml version="1.0"?>\n'
+        f'<env:Envelope xmlns:env="{ENVELOPE_NS}"\n'
+        f'              xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance"\n'
+        f'              xmlns:xsd="http://www.w3.org/2001/XMLSchema">\n'
+        f"{_render_headers(response.headers)}\n"
+        f"  <env:Body>\n"
+        f"{body}\n"
+        f"  </env:Body>\n"
+        f"</env:Envelope>"
+    )
+
+
+_REQUEST_RE = re.compile(
+    r'<m:(?P<op>[\w]+) xmlns:m="urn:repro:service"\s*'
+    r'messageId="(?P<mid>[^"]*)"\s*replyTo="(?P<reply>[^"]*)">',
+)
+_PARAM_RE = re.compile(
+    r'<param(?P<idx>\d+) xsi:type="(?P<type>[\w:]+)">(?P<text>.*?)'
+    r"</param(?P=idx)>",
+    re.S,
+)
+_HEADER_RE = re.compile(
+    rf'<conf:(?P<key>[\w-]+) xmlns:conf="{HEADER_NS}">(?P<value>.*?)'
+    r"</conf:(?P=key)>",
+    re.S,
+)
+
+
+def parse_request(envelope: str) -> RequestMessage:
+    """Parse a rendered request envelope back into a message object.
+
+    Round-trips everything :func:`render_request` emits; raises
+    :class:`ServiceError` on anything else.
+    """
+    match = _REQUEST_RE.search(envelope)
+    if match is None:
+        raise ServiceError("not a repro SOAP request envelope")
+    arguments: List[object] = []
+    for param in _PARAM_RE.finditer(envelope):
+        arguments.append(
+            _parse_value(param.group("type"), param.group("text"))
+        )
+    headers: Dict[str, object] = {}
+    for header in _HEADER_RE.finditer(envelope):
+        headers[header.group("key")] = unescape(header.group("value"))
+    return RequestMessage(
+        operation=match.group("op"),
+        arguments=tuple(arguments),
+        headers=headers,
+        message_id=unescape(match.group("mid")),
+        reply_to=unescape(match.group("reply")),
+    )

@@ -1,0 +1,70 @@
+"""Simulated message transport.
+
+Moves request/response envelopes between consumers, middleware and
+endpoints over the discrete-event kernel, with configurable one-way
+latency and loss.  The §5.2 experiments use the default loss-free,
+zero-latency transport so that execution times follow eq. (7) exactly;
+the examples use lossy/latent transports to exercise timeout handling.
+"""
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.common.validation import check_probability
+from repro.simulation.distributions import Deterministic, Distribution
+from repro.simulation.engine import Simulator
+
+
+class SimulatedTransport:
+    """One-way message channel with latency and loss.
+
+    Parameters
+    ----------
+    latency:
+        Distribution of the one-way delivery delay (default: 0 s).
+    loss_probability:
+        Probability a message silently disappears (default: 0).
+    """
+
+    def __init__(
+        self,
+        latency: Optional[Distribution] = None,
+        loss_probability: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.latency = latency if latency is not None else Deterministic(0.0)
+        self.loss_probability = check_probability(
+            loss_probability, "loss_probability"
+        )
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self.sent = 0
+        self.lost = 0
+
+    def deliver(
+        self,
+        simulator: Simulator,
+        message: object,
+        handler: Callable[[object], None],
+        extra_delay: float = 0.0,
+    ) -> None:
+        """Schedule *handler(message)* after transport latency.
+
+        *extra_delay* lets callers add processing time on top of the wire
+        latency (e.g. a release's execution time on the response leg).
+        Lost messages are counted and never delivered — the receiver's
+        timeout is the only way to notice.
+        """
+        self.sent += 1
+        if self.loss_probability and self._rng.random() < self.loss_probability:
+            self.lost += 1
+            return
+        delay = self.latency.sample(self._rng) + extra_delay
+        simulator.schedule(delay, lambda: handler(message), label="deliver")
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulatedTransport(latency={self.latency!r}, "
+            f"loss={self.loss_probability!r}, sent={self.sent}, "
+            f"lost={self.lost})"
+        )

@@ -1,0 +1,213 @@
+"""WSDL-like service descriptions, including the §6.2 confidence options.
+
+A :class:`WsdlDescription` captures what the paper's WSDL fragments show:
+named operations with typed request/response elements.  Three transforms
+implement the paper's alternatives for *publishing confidence*:
+
+1. :meth:`WsdlDescription.with_confidence_in_response` — extend every
+   operation's response with an ``OpConf`` double (not backward
+   compatible);
+2. :meth:`WsdlDescription.with_confidence_operation` — add a separate
+   ``OperationConf`` operation mapping operation name -> confidence
+   (backward compatible, but needs an extra invocation);
+3. :meth:`WsdlDescription.with_confident_variants` — add an
+   ``<op>Conf`` variant per operation whose response carries the
+   confidence (backward compatible *and* per-invocation).
+
+:meth:`WsdlDescription.to_xml` renders a faithful analogue of the paper's
+``<types>`` fragment so examples/tests can show real WSDL text.
+"""
+
+from dataclasses import dataclass, replace
+from typing import List, Tuple
+
+from repro.common.errors import ConfigurationError
+
+#: XML-schema type names used in the paper's fragments.
+XSD_TYPES = ("s:int", "s:string", "s:double", "s:boolean", "s:float")
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """One typed element of a request or response message."""
+
+    name: str
+    xsd_type: str = "s:string"
+
+    def __post_init__(self) -> None:
+        if self.xsd_type not in XSD_TYPES:
+            raise ConfigurationError(
+                f"unsupported xsd type {self.xsd_type!r}; expected one of "
+                f"{XSD_TYPES}"
+            )
+
+    def to_xml(self, indent: str = "          ") -> str:
+        return (
+            f'{indent}<s:element minOccurs="0" maxOccurs="1"\n'
+            f'{indent}   name="{self.name}" type="{self.xsd_type}"/>'
+        )
+
+
+@dataclass(frozen=True)
+class OperationSpec:
+    """One WSDL operation: a request element and a response element."""
+
+    name: str
+    inputs: Tuple[Parameter, ...] = ()
+    outputs: Tuple[Parameter, ...] = ()
+
+    def request_element(self) -> str:
+        return self._element(f"{_cap(self.name)}Request", self.inputs)
+
+    def response_element(self) -> str:
+        return self._element(f"{_cap(self.name)}Response", self.outputs)
+
+    @staticmethod
+    def _element(name: str, params: Tuple[Parameter, ...]) -> str:
+        body = "\n".join(p.to_xml() for p in params)
+        return (
+            f'    <s:element name="{name}">\n'
+            f"      <s:complexType>\n"
+            f"        <s:sequence>\n"
+            f"{body}\n"
+            f"        </s:sequence>\n"
+            f"      </s:complexType>\n"
+            f"    </s:element>"
+        )
+
+
+def _cap(name: str) -> str:
+    return name[:1].upper() + name[1:]
+
+
+#: Header name under which handler-published confidence travels (§6.2).
+CONFIDENCE_HEADER = "x-ws-confidence"
+
+
+@dataclass(frozen=True)
+class WsdlDescription:
+    """A service's published interface (WSDL analogue).
+
+    Attributes
+    ----------
+    service_name:
+        The service's advertised name.
+    url:
+        Deployment node ("URL: Node 1" in the paper's figures).
+    operations:
+        The published operations.
+    release:
+        Release label (e.g. "1.0", "1.1"); the paper notes that a release
+        number on the interface is what lets consumers *detect* upgrades
+        (§3.2).
+    """
+
+    service_name: str
+    url: str
+    operations: Tuple[OperationSpec, ...] = ()
+    release: str = "1.0"
+
+    def operation(self, name: str) -> OperationSpec:
+        """Look up an operation; raises ConfigurationError if unknown."""
+        for op in self.operations:
+            if op.name == name:
+                return op
+        raise ConfigurationError(
+            f"service {self.service_name!r} has no operation {name!r}"
+        )
+
+    def has_operation(self, name: str) -> bool:
+        return any(op.name == name for op in self.operations)
+
+    def operation_names(self) -> List[str]:
+        return [op.name for op in self.operations]
+
+    # ------------------------------------------------------------------
+    # §6.2 confidence-publishing transforms
+    # ------------------------------------------------------------------
+
+    def with_confidence_in_response(self) -> "WsdlDescription":
+        """Option 1: every response gains an ``<Op>Conf`` double element.
+
+        Not backward compatible — existing clients parsing the response
+        schema strictly will break — which the paper deems acceptable only
+        for newly deployed services.
+        """
+        new_ops = tuple(
+            replace(
+                op,
+                outputs=op.outputs
+                + (Parameter(f"{_cap(op.name)}Conf", "s:double"),),
+            )
+            for op in self.operations
+        )
+        return replace(self, operations=new_ops)
+
+    def with_confidence_operation(self) -> "WsdlDescription":
+        """Option 2: add a separate ``OperationConf`` query operation."""
+        if self.has_operation("OperationConf"):
+            return self
+        conf_op = OperationSpec(
+            "OperationConf",
+            inputs=(Parameter("operation", "s:string"),),
+            outputs=(Parameter("OpConf", "s:double"),),
+        )
+        return replace(self, operations=self.operations + (conf_op,))
+
+    def with_confident_variants(self) -> "WsdlDescription":
+        """Option 3: add an ``<op>Conf`` variant of every operation.
+
+        Confidence-conscious consumers switch to the variant; legacy
+        clients keep using the original — backward compatibility is
+        preserved while confidence still rides on every execution.
+        """
+        variants = tuple(
+            OperationSpec(
+                f"{op.name}Conf",
+                inputs=op.inputs,
+                outputs=op.outputs
+                + (Parameter(f"{_cap(op.name)}Conf", "s:double"),),
+            )
+            for op in self.operations
+            if not op.name.endswith("Conf")
+        )
+        return replace(self, operations=self.operations + variants)
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+
+    def to_xml(self) -> str:
+        """Render the ``<types>`` section as in the paper's fragments."""
+        elements = []
+        for op in self.operations:
+            elements.append(op.request_element())
+            elements.append(op.response_element())
+        body = "\n".join(elements)
+        return (
+            f"<!-- service: {self.service_name} release {self.release} "
+            f"at {self.url} -->\n"
+            "<types>\n"
+            '  <s:schema elementFormDefault="qualified">\n'
+            f"{body}\n"
+            "  </s:schema>\n"
+            "</types>"
+        )
+
+
+def default_wsdl(
+    service_name: str, url: str, release: str = "1.0"
+) -> WsdlDescription:
+    """The paper's contrived example interface: ``operation1(int, string)``.
+
+    ``operation1`` takes ``param1: int`` and ``param2: string`` and
+    returns ``Op1Result: string``.
+    """
+    op = OperationSpec(
+        "operation1",
+        inputs=(Parameter("param1", "s:int"), Parameter("param2", "s:string")),
+        outputs=(Parameter("Op1Result", "s:string"),),
+    )
+    return WsdlDescription(
+        service_name=service_name, url=url, operations=(op,), release=release
+    )

@@ -1,0 +1,74 @@
+"""Discrete-event simulation substrate (paper Section 5.2).
+
+This subpackage rebuilds the MATLAB event-driven model the paper uses to
+evaluate the managed-upgrade architecture:
+
+* :mod:`repro.simulation.engine` — heap-based discrete-event kernel;
+* :mod:`repro.simulation.distributions` — latency distributions;
+* :mod:`repro.simulation.timing` — the ``T1 + T2(i)`` execution-time model
+  of eq. (7) and the system time of eq. (8);
+* :mod:`repro.simulation.outcomes` — CR / ER / NER response types;
+* :mod:`repro.simulation.correlation` — the marginal (Table 3) and
+  conditional (Table 4) outcome models, plus the independence variant;
+* :mod:`repro.simulation.release_model` — a release's stochastic behaviour;
+* :mod:`repro.simulation.workload` — request stream generators;
+* :mod:`repro.simulation.metrics` — MET / outcome-count / NRDT collectors.
+"""
+
+from repro.simulation.clock import SimulationClock
+from repro.simulation.engine import Event, Simulator
+from repro.simulation.distributions import (
+    Deterministic,
+    Exponential,
+    LogNormal,
+    ShiftedExponential,
+    Uniform,
+)
+from repro.simulation.outcomes import Outcome, ResponseKind
+from repro.simulation.correlation import (
+    ChainedOutcomeModel,
+    ConditionalOutcomeModel,
+    IndependentOutcomeModel,
+    JointOutcomeModel,
+    OutcomeDistribution,
+)
+from repro.simulation.timing import ExecutionTimeModel, SystemTimingPolicy
+from repro.simulation.release_model import ReleaseBehaviour, SimulatedResponse
+from repro.simulation.workload import (
+    ClosedLoopWorkload,
+    PoissonWorkload,
+    Request,
+)
+from repro.simulation.metrics import (
+    OutcomeCounts,
+    ReleaseMetrics,
+    SystemMetrics,
+)
+
+__all__ = [
+    "SimulationClock",
+    "Event",
+    "Simulator",
+    "Deterministic",
+    "Exponential",
+    "LogNormal",
+    "ShiftedExponential",
+    "Uniform",
+    "Outcome",
+    "ResponseKind",
+    "ChainedOutcomeModel",
+    "ConditionalOutcomeModel",
+    "IndependentOutcomeModel",
+    "JointOutcomeModel",
+    "OutcomeDistribution",
+    "ExecutionTimeModel",
+    "SystemTimingPolicy",
+    "ReleaseBehaviour",
+    "SimulatedResponse",
+    "ClosedLoopWorkload",
+    "PoissonWorkload",
+    "Request",
+    "OutcomeCounts",
+    "ReleaseMetrics",
+    "SystemMetrics",
+]

@@ -1,0 +1,43 @@
+"""Simulation clock.
+
+A tiny value object separated from the engine so that non-event-driven
+components (e.g. the monitoring subsystem's observation log) can timestamp
+records without holding a reference to the full simulator.
+"""
+
+from repro.common.errors import SimulationError
+
+
+class SimulationClock:
+    """Monotonically non-decreasing simulated time in seconds."""
+
+    def __init__(self, start: float = 0.0):
+        if start < 0.0:
+            raise SimulationError(f"clock cannot start negative: {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move the clock forward to *timestamp*.
+
+        Raises :class:`SimulationError` if *timestamp* is in the past —
+        time travel indicates a scheduling bug, never a recoverable state.
+        """
+        if timestamp < self._now:
+            raise SimulationError(
+                f"cannot advance clock backwards: {timestamp!r} < {self._now!r}"
+            )
+        self._now = float(timestamp)
+
+    def advance_by(self, delta: float) -> None:
+        """Move the clock forward by a non-negative *delta*."""
+        if delta < 0.0:
+            raise SimulationError(f"negative clock delta: {delta!r}")
+        self._now += float(delta)
+
+    def __repr__(self) -> str:
+        return f"SimulationClock(now={self._now!r})"

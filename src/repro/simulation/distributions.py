@@ -1,0 +1,213 @@
+"""Latency / execution-time distributions.
+
+The paper models execution-time components as exponentially distributed
+random variables (Section 5.2.1): ``T1 ~ exp(T1Mean)`` common to both
+releases plus a per-release ``T2(i) ~ exp(T2Mean_i)``.  Additional
+distributions are provided for the calibration ablation and for fault
+injection in the WS substrate.
+
+All distributions implement the :class:`Distribution` protocol: a
+``sample(rng)`` method drawing one float and a ``mean`` property.
+"""
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.common.validation import check_non_negative, check_positive
+
+
+class Distribution(ABC):
+    """A non-negative continuous distribution used for delays and latencies."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one value using *rng*."""
+
+    @abstractmethod
+    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw *size* values at once (vectorised fast path)."""
+
+    @property
+    @abstractmethod
+    def mean(self) -> float:
+        """Theoretical mean of the distribution."""
+
+
+class Exponential(Distribution):
+    """Exponential distribution parameterised by its *mean* (as the paper).
+
+    ``Exponential(0.7)`` is the paper's ``exp(T1Mean)`` with
+    ``T1Mean = 0.7 s``.
+    """
+
+    def __init__(self, mean: float):
+        self._mean = check_positive(mean, "mean")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self._mean))
+
+    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.exponential(self._mean, size=size)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    def __repr__(self) -> str:
+        return f"Exponential(mean={self._mean!r})"
+
+
+class Deterministic(Distribution):
+    """A degenerate distribution returning a fixed value.
+
+    Used for the middleware's adjudication overhead ``dT`` (0.1 s in the
+    paper) and in tests where stochastic latency is unwanted.
+    """
+
+    def __init__(self, value: float):
+        self._value = check_non_negative(value, "value")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self._value
+
+    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return np.full(size, self._value)
+
+    @property
+    def mean(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Deterministic(value={self._value!r})"
+
+
+class Uniform(Distribution):
+    """Uniform distribution on ``[low, high]``."""
+
+    def __init__(self, low: float, high: float):
+        self._low = check_non_negative(low, "low")
+        self._high = check_non_negative(high, "high")
+        if high < low:
+            raise ValueError(f"high < low: {high!r} < {low!r}")
+        self._low, self._high = float(low), float(high)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self._low, self._high))
+
+    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.uniform(self._low, self._high, size=size)
+
+    @property
+    def mean(self) -> float:
+        return 0.5 * (self._low + self._high)
+
+    def __repr__(self) -> str:
+        return f"Uniform(low={self._low!r}, high={self._high!r})"
+
+
+class LogNormal(Distribution):
+    """Log-normal distribution parameterised by its mean and sigma.
+
+    Used by the calibration ablation (`repro.experiments.calibration`),
+    which asks which latency law reproduces the paper's MET/NRDT pairs —
+    the exponential model stated in §5.2.2 has a heavier tail than the
+    reported table entries imply.
+    """
+
+    def __init__(self, mean: float, sigma: float):
+        self._mean = check_positive(mean, "mean")
+        self._sigma = check_positive(sigma, "sigma")
+        # Solve for the underlying normal's mu so the log-normal mean is
+        # exactly `mean`: E = exp(mu + sigma^2 / 2).
+        self._mu = math.log(self._mean) - 0.5 * self._sigma ** 2
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.lognormal(self._mu, self._sigma))
+
+    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.lognormal(self._mu, self._sigma, size=size)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def sigma(self) -> float:
+        return self._sigma
+
+    def __repr__(self) -> str:
+        return f"LogNormal(mean={self._mean!r}, sigma={self._sigma!r})"
+
+
+class WithHangs(Distribution):
+    """A base latency law with a probability of never responding.
+
+    With probability ``p_hang`` the sample is ``+inf`` — the service hangs
+    (or the response is lost) and only the caller's timeout notices.  Used
+    by the calibration ablation to model the residual per-release NRDT the
+    paper reports even at the largest TimeOut.
+    """
+
+    def __init__(self, base: Distribution, p_hang: float):
+        if not 0.0 <= p_hang < 1.0:
+            raise ValueError(f"p_hang must be in [0, 1): {p_hang!r}")
+        self._base = base
+        self._p_hang = float(p_hang)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if self._p_hang and rng.random() < self._p_hang:
+            return math.inf
+        return self._base.sample(rng)
+
+    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        values = self._base.sample_many(rng, size)
+        if self._p_hang:
+            hangs = rng.random(size) < self._p_hang
+            values = np.where(hangs, np.inf, values)
+        return values
+
+    @property
+    def mean(self) -> float:
+        """Mean of the *responding* fraction (the full mean is infinite)."""
+        return self._base.mean
+
+    @property
+    def p_hang(self) -> float:
+        return self._p_hang
+
+    def __repr__(self) -> str:
+        return f"WithHangs(base={self._base!r}, p_hang={self._p_hang!r})"
+
+
+class ShiftedExponential(Distribution):
+    """A minimum latency plus an exponential tail.
+
+    Models a service with a floor cost (marshalling, network round trip)
+    plus stochastic processing time; another calibration candidate.
+    """
+
+    def __init__(self, shift: float, tail_mean: float):
+        self._shift = check_non_negative(shift, "shift")
+        self._tail_mean = check_positive(tail_mean, "tail_mean")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self._shift + float(rng.exponential(self._tail_mean))
+
+    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return self._shift + rng.exponential(self._tail_mean, size=size)
+
+    @property
+    def mean(self) -> float:
+        return self._shift + self._tail_mean
+
+    @property
+    def shift(self) -> float:
+        return self._shift
+
+    def __repr__(self) -> str:
+        return (
+            f"ShiftedExponential(shift={self._shift!r}, "
+            f"tail_mean={self._tail_mean!r})"
+        )

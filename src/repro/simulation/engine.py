@@ -1,0 +1,207 @@
+"""Heap-based discrete-event simulation kernel.
+
+This replaces the paper's MATLAB 6.0 event-driven model (Section 5.2.1)
+with an equivalent pure-Python kernel.  The kernel is deliberately minimal:
+events are ``(time, sequence, callback)`` triples dispatched in time order,
+with stable FIFO ordering for simultaneous events and O(log n) cancellation
+via tombstones.
+
+The managed-upgrade middleware builds on three primitives:
+
+* :meth:`Simulator.schedule` — a release's response arriving after its
+  sampled execution time;
+* :meth:`Simulator.cancel` — a pending timeout withdrawn because all
+  responses already arrived;
+* :meth:`Simulator.run` — drive the simulation to quiescence or a horizon.
+"""
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.common.errors import SimulationError
+from repro.simulation.clock import SimulationClock
+
+#: Type of an event callback.  Callbacks receive no arguments; closures are
+#: used to carry context (explicit and picklable enough for our needs).
+EventCallback = Callable[[], None]
+
+
+@dataclass(order=True)
+class _HeapEntry:
+    time: float
+    sequence: int
+    event: "Event" = field(compare=False)
+
+
+class Event:
+    """Handle to a scheduled event; supports cancellation and inspection."""
+
+    __slots__ = ("time", "callback", "label", "_cancelled", "_dispatched")
+
+    def __init__(self, time: float, callback: EventCallback, label: str = ""):
+        self.time = time
+        self.callback = callback
+        self.label = label
+        self._cancelled = False
+        self._dispatched = False
+
+    @property
+    def cancelled(self) -> bool:
+        """True if the event was cancelled before dispatch."""
+        return self._cancelled
+
+    @property
+    def dispatched(self) -> bool:
+        """True once the kernel has run the event's callback."""
+        return self._dispatched
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (idempotent; no-op if run)."""
+        self._cancelled = True
+
+    def __repr__(self) -> str:
+        state = (
+            "dispatched"
+            if self._dispatched
+            else "cancelled"
+            if self._cancelled
+            else "pending"
+        )
+        return f"Event(t={self.time!r}, label={self.label!r}, {state})"
+
+
+class Simulator:
+    """Discrete-event simulator with a single global clock.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> arrived = []
+    >>> _ = sim.schedule(1.5, lambda: arrived.append(sim.now))
+    >>> sim.run()
+    1
+    >>> arrived
+    [1.5]
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._clock = SimulationClock(start_time)
+        self._heap: List[_HeapEntry] = []
+        self._sequence = itertools.count()
+        self._dispatched_count = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds)."""
+        return self._clock.now
+
+    @property
+    def clock(self) -> SimulationClock:
+        """The underlying clock object (shared with observers)."""
+        return self._clock
+
+    @property
+    def pending_count(self) -> int:
+        """Number of scheduled, not-yet-dispatched, not-cancelled events."""
+        return sum(1 for e in self._heap if not e.event.cancelled)
+
+    @property
+    def dispatched_count(self) -> int:
+        """Total number of events whose callbacks have run."""
+        return self._dispatched_count
+
+    def schedule(
+        self, delay: float, callback: EventCallback, label: str = ""
+    ) -> Event:
+        """Schedule *callback* to run ``delay`` seconds from now."""
+        if delay < 0.0:
+            raise SimulationError(f"cannot schedule in the past: {delay!r}")
+        return self.schedule_at(self._clock.now + delay, callback, label)
+
+    def schedule_at(
+        self, time: float, callback: EventCallback, label: str = ""
+    ) -> Event:
+        """Schedule *callback* at absolute simulated *time*."""
+        if time < self._clock.now:
+            raise SimulationError(
+                f"cannot schedule at {time!r}, now is {self._clock.now!r}"
+            )
+        event = Event(time, callback, label)
+        heapq.heappush(self._heap, _HeapEntry(time, next(self._sequence), event))
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel *event*; lazily removed from the heap on pop."""
+        event.cancel()
+
+    def step(self) -> Optional[Event]:
+        """Dispatch the single next event; return it, or None if drained."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            event = entry.event
+            if event.cancelled:
+                continue
+            self._clock.advance_to(entry.time)
+            event._dispatched = True
+            self._dispatched_count += 1
+            event.callback()
+            return event
+        return None
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Dispatch events in time order.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would be strictly after this time; the
+            clock is then advanced to *until* (events at exactly *until* are
+            dispatched).  ``None`` runs to quiescence.
+        max_events:
+            Safety valve against runaway feedback loops.
+
+        Returns the number of events dispatched by this call.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        dispatched = 0
+        try:
+            while self._heap:
+                if max_events is not None and dispatched >= max_events:
+                    break
+                head = self._peek()
+                if head is None:
+                    break
+                if until is not None and head.time > until:
+                    break
+                if self.step() is not None:
+                    dispatched += 1
+            if until is not None and until > self._clock.now:
+                self._clock.advance_to(until)
+        finally:
+            self._running = False
+        return dispatched
+
+    def _peek(self) -> Optional[Event]:
+        """Return the next live event without dispatching it."""
+        while self._heap:
+            entry = self._heap[0]
+            if entry.event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return entry.event
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator(now={self.now!r}, pending={self.pending_count}, "
+            f"dispatched={self._dispatched_count})"
+        )

@@ -1,0 +1,87 @@
+"""Response outcome taxonomy (paper Sections 2.1 and 5.2.1).
+
+The paper classifies a release's response to one demand as
+
+* **CR** — correct response;
+* **ER** — evident failure (exception, denial of service, or detectable by
+  a general-purpose mechanism such as a timeout);
+* **NER** — non-evident failure (wrong answer that looks valid; detectable
+  only through application-level redundancy such as diverse releases).
+
+A fourth observable, *no response within TimeOut* (NRDT in Tables 5-6), is
+a property of timing rather than of the response content, so it is modelled
+separately by :class:`ResponseKind`.
+"""
+
+import enum
+from typing import Tuple
+
+
+class Outcome(enum.Enum):
+    """Content-level outcome of one release processing one demand."""
+
+    CORRECT = "CR"
+    EVIDENT_FAILURE = "ER"
+    NON_EVIDENT_FAILURE = "NER"
+
+    @property
+    def is_failure(self) -> bool:
+        """True for both evident and non-evident failures."""
+        return self is not Outcome.CORRECT
+
+    @property
+    def is_valid(self) -> bool:
+        """True if the response *looks* acceptable to the middleware.
+
+        The adjudication rules of Section 5.2.1 treat correct and
+        non-evidently-incorrect responses alike ("valid"): only evident
+        failures can be filtered without diversity.
+        """
+        return self is not Outcome.EVIDENT_FAILURE
+
+    @classmethod
+    def from_code(cls, code: str) -> "Outcome":
+        """Parse the paper's CR/ER/NER codes (NER also accepts 'EER')."""
+        table = {
+            "CR": cls.CORRECT,
+            "ER": cls.EVIDENT_FAILURE,
+            "EER": cls.EVIDENT_FAILURE,
+            "NER": cls.NON_EVIDENT_FAILURE,
+        }
+        try:
+            return table[code.upper()]
+        except KeyError:
+            raise ValueError(f"unknown outcome code: {code!r}") from None
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Canonical outcome ordering used by probability vectors (Table 3 order).
+OUTCOME_ORDER: Tuple[Outcome, Outcome, Outcome] = (
+    Outcome.CORRECT,
+    Outcome.EVIDENT_FAILURE,
+    Outcome.NON_EVIDENT_FAILURE,
+)
+
+
+class ResponseKind(enum.Enum):
+    """What the middleware observed for one release on one demand."""
+
+    #: A response (of whatever content outcome) arrived within TimeOut.
+    COLLECTED = "collected"
+    #: The release's execution time exceeded TimeOut (counts towards NRDT).
+    TIMED_OUT = "timed-out"
+    #: The release is administratively offline (removed by management).
+    OFFLINE = "offline"
+
+
+def joint_code(first: Outcome, second: Outcome) -> str:
+    """Two-character failure code used by Table 1 of the paper.
+
+    '1' means the release failed (evidently or not), '0' means it
+    succeeded; e.g. both-fail is ``"11"``.
+    """
+    return ("1" if first.is_failure else "0") + (
+        "1" if second.is_failure else "0"
+    )

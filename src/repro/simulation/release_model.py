@@ -1,0 +1,103 @@
+"""Stochastic behaviour of a deployed release.
+
+A :class:`ReleaseBehaviour` bundles what the paper parameterises per
+release: the content outcome process (possibly correlated with a sibling
+release) and the latency process.  It is consumed in two ways:
+
+* the fast Monte-Carlo path (Tables 5-6 experiments) samples whole vectors
+  of outcomes/latencies at once;
+* the discrete-event path (`repro.services.endpoint`) asks for one
+  :class:`SimulatedResponse` per incoming request.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulation.distributions import Distribution
+from repro.simulation.outcomes import Outcome
+
+
+@dataclass(frozen=True)
+class SimulatedResponse:
+    """One release's reaction to one demand.
+
+    Attributes
+    ----------
+    outcome:
+        Content-level outcome (CR / ER / NER).
+    execution_time:
+        Seconds between the request reaching the release and its response
+        being ready.
+    payload:
+        The response body the consumer would see.  Correct responses carry
+        the demand's reference answer; non-evident failures carry a
+        plausible-but-wrong value; evident failures carry a fault marker.
+    """
+
+    outcome: Outcome
+    execution_time: float
+    payload: object = None
+
+
+class ReleaseBehaviour:
+    """Samples per-demand behaviour for a single release in isolation.
+
+    This is the *uncorrelated* building block: the outcome distribution is
+    the release's marginal.  Correlated two-release sampling lives in
+    :class:`repro.simulation.correlation.ConditionalOutcomeModel`, which
+    operates on outcome pairs; the discrete-event substrate wires the
+    correlation through the shared demand object instead (the demand
+    carries pre-sampled outcomes for every release so that correlation
+    survives the asynchronous execution order).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        outcome_distribution,
+        latency: Distribution,
+    ):
+        self.name = name
+        self.outcome_distribution = outcome_distribution
+        self.latency = latency
+
+    def sample_response(
+        self,
+        rng: np.random.Generator,
+        reference_answer: object = None,
+        forced_outcome: Outcome = None,
+    ) -> SimulatedResponse:
+        """Sample one response.
+
+        *forced_outcome* lets the caller impose a pre-sampled (e.g.
+        correlated) outcome while still drawing latency from this release's
+        latency law.
+        """
+        outcome = (
+            forced_outcome
+            if forced_outcome is not None
+            else self.outcome_distribution.sample(rng)
+        )
+        execution_time = self.latency.sample(rng)
+        payload = self._payload_for(outcome, reference_answer)
+        return SimulatedResponse(outcome, execution_time, payload)
+
+    def _payload_for(self, outcome: Outcome, reference_answer: object) -> object:
+        if outcome is Outcome.CORRECT:
+            return reference_answer
+        if outcome is Outcome.NON_EVIDENT_FAILURE:
+            # A plausible but wrong value: perturb the reference answer in a
+            # type-preserving way so naive validity checks pass.
+            if isinstance(reference_answer, (int, float)):
+                return reference_answer + 1
+            if isinstance(reference_answer, str):
+                return reference_answer + "*"
+            return ("corrupted", reference_answer)
+        return ("fault", self.name)
+
+    def __repr__(self) -> str:
+        return (
+            f"ReleaseBehaviour(name={self.name!r}, "
+            f"outcomes={self.outcome_distribution!r}, latency={self.latency!r})"
+        )

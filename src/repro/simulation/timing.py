@@ -1,0 +1,117 @@
+"""Execution-time model of the paper (eq. 7 and 8, Section 5.2.1).
+
+Equation (7):  ``Ex.Time(Release(i)) = T1 + T2(i)`` where ``T1`` models the
+computational difficulty of the demand (shared by both releases) and
+``T2(i)`` models per-release differences.  Both are exponential in the
+paper's settings (means 0.7 s).
+
+Equation (8):  ``Ex.time(WS) = min(TimeOut, max_i Ex.time(Release(i))) + dT``
+where ``dT`` is the middleware's adjudication overhead (0.1 s).
+"""
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.common.validation import check_non_negative, check_positive
+from repro.simulation.distributions import Distribution, Exponential
+
+
+class ExecutionTimeModel:
+    """Samples correlated execution times for N releases per eq. (7).
+
+    Parameters
+    ----------
+    common:
+        Distribution of the demand-difficulty component ``T1`` shared by
+        all releases on the same demand.
+    per_release:
+        One distribution ``T2(i)`` per deployed release.
+    """
+
+    def __init__(self, common: Distribution, per_release: Sequence[Distribution]):
+        if not per_release:
+            raise ConfigurationError("need at least one per-release component")
+        self._common = common
+        self._per_release = tuple(per_release)
+
+    @classmethod
+    def paper_defaults(cls, release_count: int = 2) -> "ExecutionTimeModel":
+        """The Section 5.2.2 parameters: T1Mean = T2Mean_i = 0.7 s."""
+        return cls(
+            Exponential(0.7), [Exponential(0.7) for _ in range(release_count)]
+        )
+
+    @property
+    def release_count(self) -> int:
+        return len(self._per_release)
+
+    @property
+    def mean_times(self) -> Tuple[float, ...]:
+        """Theoretical mean execution time per release."""
+        return tuple(
+            self._common.mean + t2.mean for t2 in self._per_release
+        )
+
+    def sample(self, rng: np.random.Generator) -> Tuple[float, ...]:
+        """Sample one execution time per release for a single demand."""
+        t1 = self._common.sample(rng)
+        return tuple(t1 + t2.sample(rng) for t2 in self._per_release)
+
+    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Sample a ``(size, release_count)`` matrix of execution times."""
+        t1 = self._common.sample_many(rng, size)
+        columns = [
+            t1 + t2.sample_many(rng, size) for t2 in self._per_release
+        ]
+        return np.column_stack(columns)
+
+
+@dataclass(frozen=True)
+class SystemTimingPolicy:
+    """TimeOut and adjudication overhead of the upgrade middleware (eq. 8).
+
+    Attributes
+    ----------
+    timeout:
+        Maximum time the middleware waits for release responses (the
+        paper sweeps 1.5 s, 2.0 s and 3.0 s).
+    adjudication_delay:
+        The constant ``dT`` added for adjudicating responses (0.1 s).
+    """
+
+    timeout: float
+    adjudication_delay: float = 0.1
+
+    def __post_init__(self) -> None:
+        check_positive(self.timeout, "timeout")
+        check_non_negative(self.adjudication_delay, "adjudication_delay")
+
+    def system_time(self, release_times: Sequence[float]) -> float:
+        """Composite execution time per eq. (8).
+
+        ``min(TimeOut, max_i t_i) + dT`` — the middleware waits for the
+        slowest release, but never past the TimeOut.
+        """
+        if not len(release_times):
+            return self.timeout + self.adjudication_delay
+        slowest = max(release_times)
+        return min(self.timeout, slowest) + self.adjudication_delay
+
+    def collected_mask(self, release_times: Sequence[float]) -> Tuple[bool, ...]:
+        """Which releases responded within the TimeOut."""
+        return tuple(t <= self.timeout for t in release_times)
+
+    def system_times_many(self, release_times: np.ndarray) -> np.ndarray:
+        """Vectorised eq. (8) over a ``(n, releases)`` matrix."""
+        slowest = release_times.max(axis=1)
+        return np.minimum(self.timeout, slowest) + self.adjudication_delay
+
+
+#: The TimeOut sweep used by Tables 5 and 6 of the paper.
+PAPER_TIMEOUTS: Tuple[float, float, float] = (1.5, 2.0, 3.0)
+
+#: The paper's adjudication overhead dT.
+PAPER_ADJUDICATION_DELAY: float = 0.1

@@ -1,0 +1,110 @@
+"""Tests for recovering the correlation structure from monitoring logs."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.correlation_estimation import (
+    estimate_conditional_matrix,
+    estimate_correlation,
+    estimate_marginal,
+)
+from repro.core.database import ObservationLog
+from repro.experiments import paper_params as P
+from repro.experiments.event_sim import run_release_pair_simulation
+
+
+@pytest.fixture(scope="module")
+def run1_log():
+    """A run-1 (correlation 0.9) simulation's raw observation log."""
+    from repro.common.seeding import SeedSequenceFactory
+    from repro.core.middleware import UpgradeMiddleware
+    from repro.core.monitor import MonitoringSubsystem
+    from repro.services.endpoint import ServiceEndpoint
+    from repro.services.message import RequestMessage
+    from repro.services.wsdl import default_wsdl
+    from repro.simulation.distributions import Deterministic
+    from repro.simulation.engine import Simulator
+    from repro.simulation.release_model import ReleaseBehaviour
+    from repro.simulation.timing import SystemTimingPolicy
+
+    model = P.correlated_model(1)
+    seeds = SeedSequenceFactory(11)
+    simulator = Simulator()
+    endpoints = [
+        ServiceEndpoint(
+            default_wsdl("WS", "n", release=f"1.{i}"),
+            ReleaseBehaviour(
+                f"WS 1.{i}",
+                model.marginal_first() if i == 0
+                else model.marginal_second(),
+                Deterministic(0.1),
+            ),
+            seeds.generator(f"ep{i}"),
+        )
+        for i in range(2)
+    ]
+    monitor = MonitoringSubsystem(seeds.generator("monitor"))
+    middleware = UpgradeMiddleware(
+        endpoints=endpoints,
+        timing=SystemTimingPolicy(timeout=1.5),
+        rng=seeds.generator("mw"),
+        monitor=monitor,
+        joint_outcome_model=model,
+    )
+    for i in range(8_000):
+        request = RequestMessage("operation1", arguments=(i,))
+        simulator.schedule_at(
+            i * 2.0,
+            lambda r=request, a=i: middleware.submit(
+                simulator, r, lambda resp: None, reference_answer=a
+            ),
+        )
+    simulator.run()
+    return monitor.log
+
+
+class TestEstimateCorrelation:
+    def test_recovers_table4_diagonal(self, run1_log):
+        estimate = estimate_correlation(run1_log, "WS 1.0", "WS 1.1")
+        assert estimate.joint_demands > 7_000
+        # Run 1's imposed agreement is 0.9.
+        assert estimate.agreement_rate == pytest.approx(0.9, abs=0.02)
+
+    def test_coincident_failure_fraction(self, run1_log):
+        estimate = estimate_correlation(run1_log, "WS 1.0", "WS 1.1")
+        # Given release 1 failed (ER or NER, p=0.3), release 2 fails too
+        # with probability ~0.9 + cross terms: ~0.95 under the Table-4
+        # matrix (diag 0.9 + off-diagonal failure-to-failure 0.05).
+        assert estimate.coincident_failure_fraction == pytest.approx(
+            0.95, abs=0.03
+        )
+
+    def test_empty_log(self):
+        estimate = estimate_correlation(ObservationLog(), "A", "B")
+        assert estimate.joint_demands == 0
+        import math
+        assert math.isnan(estimate.agreement_rate)
+
+
+class TestEstimateConditionalMatrix:
+    def test_recovers_imposed_matrix(self, run1_log):
+        matrix = estimate_conditional_matrix(run1_log, "WS 1.0", "WS 1.1")
+        assert matrix is not None
+        imposed = P.correlated_model(1).conditional.as_matrix()
+        recovered = matrix.as_matrix()
+        assert np.allclose(recovered, imposed, atol=0.05)
+
+    def test_insufficient_data_returns_none(self):
+        assert estimate_conditional_matrix(
+            ObservationLog(), "A", "B"
+        ) is None
+
+
+class TestEstimateMarginal:
+    def test_recovers_table3_marginal(self, run1_log):
+        marginal = estimate_marginal(run1_log, "WS 1.0")
+        assert marginal is not None
+        assert marginal.p_correct == pytest.approx(0.70, abs=0.02)
+
+    def test_unknown_release_returns_none(self, run1_log):
+        assert estimate_marginal(run1_log, "nope") is None

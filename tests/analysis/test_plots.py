@@ -1,0 +1,67 @@
+"""Unit tests for the ASCII plot helpers."""
+
+import pytest
+
+from repro.analysis.plots import ascii_plot, plot_percentile_curves
+from repro.common.errors import ValidationError
+
+
+class TestAsciiPlot:
+    def test_basic_shape(self):
+        out = ascii_plot(
+            {"up": [0.0, 1.0, 2.0], "down": [2.0, 1.0, 0.0]},
+            [0, 50, 100],
+            width=40,
+            height=8,
+            title="T",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        # height rows + axis + x labels + legend
+        assert len(lines) == 1 + 8 + 3
+        assert "o=up" in lines[-1] and "x=down" in lines[-1]
+
+    def test_extremes_land_on_edges(self):
+        out = ascii_plot({"s": [0.0, 10.0]}, [0, 1], width=20, height=5)
+        lines = out.splitlines()
+        assert "o" in lines[0]        # max on the top row
+        assert "o" in lines[4]        # min on the bottom row
+
+    def test_y_labels_present(self):
+        out = ascii_plot({"s": [1.0, 3.0]}, [0, 1], width=20, height=5)
+        assert "3.000e+00" in out and "1.000e+00" in out
+
+    def test_flat_series_does_not_crash(self):
+        out = ascii_plot({"s": [5.0, 5.0, 5.0]}, [0, 1, 2],
+                         width=20, height=5)
+        assert "o" in out
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValidationError):
+            ascii_plot({}, [0, 1])
+        with pytest.raises(ValidationError):
+            ascii_plot({"s": [1.0]}, [0])
+        with pytest.raises(ValidationError):
+            ascii_plot({"s": [1.0, 2.0, 3.0]}, [0, 1])
+        with pytest.raises(ValidationError):
+            ascii_plot({"s": [1.0, 2.0]}, [0, 1], width=4)
+        with pytest.raises(ValidationError):
+            ascii_plot({"s": [1.0, 2.0]}, [0, 0])
+
+    def test_too_many_series_rejected(self):
+        series = {f"s{i}": [0.0, 1.0] for i in range(9)}
+        with pytest.raises(ValidationError):
+            ascii_plot(series, [0, 1])
+
+
+class TestPlotPercentileCurves:
+    def test_short_legend(self):
+        from repro.experiments.percentile_curves import PercentileCurves
+
+        curves = PercentileCurves(scenario="scenario-2",
+                                  demands=[500, 1000, 1500])
+        for label in PercentileCurves.PAPER_CURVES:
+            curves.series[label] = [3e-3, 2e-3, 1e-3]
+        out = plot_percentile_curves(curves)
+        assert "B99-omission" in out
+        assert "scenario-2" in out

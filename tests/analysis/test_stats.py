@@ -1,0 +1,68 @@
+"""Unit tests for the analysis helpers."""
+
+import pytest
+
+from repro.analysis.stats import (
+    confidence_error_bound,
+    reliability_ordering,
+    summarize_metrics,
+)
+from repro.simulation.metrics import ReleaseMetrics, SystemMetrics
+from repro.simulation.outcomes import Outcome
+
+
+def make_metrics(rel1_correct, rel2_correct, system_correct, total=100):
+    metrics = SystemMetrics(
+        releases=[ReleaseMetrics("Rel1"), ReleaseMetrics("Rel2")]
+    )
+    specs = [
+        (metrics.releases[0], rel1_correct),
+        (metrics.releases[1], rel2_correct),
+        (metrics.system, system_correct),
+    ]
+    for row, correct in specs:
+        for _ in range(correct):
+            row.record_response(Outcome.CORRECT, 1.0)
+        for _ in range(total - correct):
+            row.record_response(Outcome.NON_EVIDENT_FAILURE, 1.0)
+    return metrics
+
+
+class TestReliabilityOrdering:
+    def test_above_both(self):
+        assert reliability_ordering(make_metrics(70, 60, 75)) == "above-both"
+
+    def test_between(self):
+        assert reliability_ordering(make_metrics(70, 60, 65)) == "between"
+
+    def test_below_both(self):
+        assert reliability_ordering(make_metrics(70, 60, 50)) == "below-both"
+
+    def test_boundary_counts_as_above(self):
+        assert reliability_ordering(make_metrics(70, 60, 70)) == "above-both"
+
+
+class TestSummarize:
+    def test_keys(self):
+        summary = summarize_metrics(make_metrics(70, 60, 65))
+        assert set(summary) == {"Rel1", "Rel2", "System"}
+        assert summary["Rel1"]["reliability"] == pytest.approx(0.70)
+        assert summary["System"]["availability"] == pytest.approx(1.0)
+
+
+class TestConfidenceErrorBound:
+    def test_holds_everywhere(self):
+        holds, fraction = confidence_error_bound(
+            [1.0, 2.0, 3.0], [1.5, 2.5, 3.5]
+        )
+        assert holds and fraction == 1.0
+
+    def test_partial_violation(self):
+        holds, fraction = confidence_error_bound(
+            [1.0, 3.0], [1.5, 2.5]
+        )
+        assert not holds and fraction == pytest.approx(0.5)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            confidence_error_bound([1.0], [1.0, 2.0])

@@ -1,0 +1,133 @@
+"""Unit tests for availability/responsiveness confidence assessors."""
+
+import pytest
+
+from repro.bayes.attributes import (
+    AvailabilityAssessor,
+    ResponsivenessAssessor,
+)
+from repro.common.errors import InferenceError, ValidationError
+
+
+class TestAvailabilityAssessor:
+    def test_uniform_prior_confidence(self):
+        assessor = AvailabilityAssessor()
+        # Under Beta(1,1), P(availability >= 0.5) = 0.5.
+        assert assessor.confidence(0.5) == pytest.approx(0.5)
+
+    def test_clean_responses_raise_confidence(self):
+        assessor = AvailabilityAssessor()
+        before = assessor.confidence(0.95)
+        assessor.observe_many(responded=1_000, missed=0)
+        assert assessor.confidence(0.95) > before
+
+    def test_misses_lower_confidence(self):
+        clean = AvailabilityAssessor()
+        clean.observe_many(1_000, 0)
+        flaky = AvailabilityAssessor()
+        flaky.observe_many(900, 100)
+        assert flaky.confidence(0.95) < clean.confidence(0.95)
+
+    def test_observe_single(self):
+        assessor = AvailabilityAssessor()
+        assessor.observe(True)
+        assessor.observe(False)
+        assert assessor.responded == 1 and assessor.missed == 1
+        assert assessor.demands == 2
+
+    def test_posterior_mean_tracks_rate(self):
+        assessor = AvailabilityAssessor()
+        assessor.observe_many(9_000, 1_000)
+        assert assessor.posterior_mean() == pytest.approx(0.9, abs=0.01)
+
+    def test_lower_bound_duality(self):
+        assessor = AvailabilityAssessor()
+        assessor.observe_many(950, 50)
+        bound = assessor.lower_bound(0.99)
+        assert assessor.confidence(bound) >= 0.99 - 1e-9
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(InferenceError):
+            AvailabilityAssessor().observe_many(-1, 0)
+
+    def test_rejects_bad_prior(self):
+        with pytest.raises(ValidationError):
+            AvailabilityAssessor(prior_alpha=0.0)
+
+
+class TestResponsivenessAssessor:
+    def test_deadline_classification(self):
+        assessor = ResponsivenessAssessor(deadline=1.0)
+        assessor.observe(0.5)
+        assessor.observe(1.0)   # boundary counts as on time
+        assessor.observe(1.5)
+        assert assessor.on_time == 2 and assessor.late == 1
+        assert assessor.responses == 3
+
+    def test_confidence_grows_with_fast_responses(self):
+        assessor = ResponsivenessAssessor(deadline=1.0)
+        before = assessor.confidence(0.9)
+        for _ in range(500):
+            assessor.observe(0.3)
+        assert assessor.confidence(0.9) > before
+
+    def test_empirical_quantiles_sorted(self):
+        assessor = ResponsivenessAssessor(deadline=2.0)
+        for latency in (0.9, 0.1, 0.5, 0.3, 0.7):
+            assessor.observe(latency)
+        assert assessor.empirical_quantile(0.0) == 0.1
+        assert assessor.empirical_quantile(0.5) == pytest.approx(0.5)
+        assert assessor.empirical_quantile(1.0) == 0.9
+
+    def test_quantile_without_data_raises(self):
+        with pytest.raises(InferenceError):
+            ResponsivenessAssessor(deadline=1.0).empirical_quantile(0.5)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(InferenceError):
+            ResponsivenessAssessor(deadline=1.0).observe(-0.1)
+
+    def test_posterior_mean(self):
+        assessor = ResponsivenessAssessor(deadline=1.0)
+        for _ in range(80):
+            assessor.observe(0.5)
+        for _ in range(20):
+            assessor.observe(2.0)
+        assert assessor.posterior_mean() == pytest.approx(0.8, abs=0.02)
+
+
+class TestMonitorIntegration:
+    def test_monitor_tracks_attributes(self):
+        import numpy as np
+        from repro.core.monitor import MonitoringSubsystem
+        from repro.core.adjudicators import Adjudication, CollectedResponse
+        from repro.services.message import RequestMessage, result_response
+
+        monitor = MonitoringSubsystem(
+            np.random.default_rng(0), responsiveness_deadline=1.0
+        )
+        request = RequestMessage("op")
+        response = result_response(request, 1)
+        item = CollectedResponse("A", response, 0.4)
+        adjudication = Adjudication("result", response, "A")
+        for _ in range(50):
+            monitor.record_demand(
+                request.message_id, 0.0, ["A", "B"], [item],
+                adjudication, 0.5, 1,
+            )
+        # A responded every time; B never did.
+        assert monitor.confidence_in_availability("A", 0.5) > 0.99
+        assert monitor.confidence_in_availability("B", 0.5) < 0.01
+        assert monitor.confidence_in_responsiveness("A", 0.5) > 0.99
+        assert monitor.responsiveness_for("A").empirical_quantile(0.5) == (
+            pytest.approx(0.4)
+        )
+
+    def test_responsiveness_disabled_by_default(self):
+        import numpy as np
+        from repro.common.errors import ConfigurationError
+        from repro.core.monitor import MonitoringSubsystem
+
+        monitor = MonitoringSubsystem(np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            monitor.responsiveness_for("A")

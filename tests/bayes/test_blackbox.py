@@ -1,0 +1,97 @@
+"""Unit tests for the black-box assessor (eq. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.bayes.beta import TruncatedBeta
+from repro.bayes.blackbox import BlackBoxAssessor
+from repro.common.errors import InferenceError
+
+
+@pytest.fixture
+def assessor():
+    return BlackBoxAssessor(TruncatedBeta(1, 10, upper=0.01))
+
+
+class TestPriorState:
+    def test_prior_confidence_matches_cdf(self, assessor):
+        prior = assessor.prior
+        for target in (1e-3, 5e-3):
+            assert assessor.confidence(target) == pytest.approx(
+                float(prior.cdf(target)), abs=0.01
+            )
+
+    def test_prior_percentile_matches_ppf(self, assessor):
+        assert assessor.percentile(0.99) == pytest.approx(
+            float(assessor.prior.ppf(0.99)), rel=0.01
+        )
+
+    def test_counters_start_at_zero(self, assessor):
+        assert assessor.demands == 0 and assessor.failures == 0
+
+
+class TestUpdating:
+    def test_failure_free_exposure_raises_confidence(self, assessor):
+        before = assessor.confidence(1e-3)
+        assessor.observe(demands=5_000, failures=0)
+        assert assessor.confidence(1e-3) > before
+
+    def test_failures_lower_confidence(self, assessor):
+        assessor.observe(demands=1_000, failures=0)
+        confident = assessor.confidence(1e-3)
+        assessor.reset()
+        assessor.observe(demands=1_000, failures=10)
+        assert assessor.confidence(1e-3) < confident
+
+    def test_posterior_concentrates_on_truth(self):
+        # With lots of data the posterior mean approaches r/n.
+        assessor = BlackBoxAssessor(TruncatedBeta(1, 1, upper=0.01))
+        assessor.observe(demands=200_000, failures=1_000)  # rate 5e-3
+        assert assessor.posterior_mean() == pytest.approx(5e-3, rel=0.05)
+
+    def test_updates_accumulate(self, assessor):
+        assessor.observe(demands=100, failures=1)
+        assessor.observe(demands=200, failures=2)
+        assert assessor.demands == 300 and assessor.failures == 3
+
+    def test_reset_restores_prior(self, assessor):
+        prior_conf = assessor.confidence(1e-3)
+        assessor.observe(demands=10_000, failures=0)
+        assessor.reset()
+        assert assessor.confidence(1e-3) == pytest.approx(prior_conf)
+
+    def test_rejects_inconsistent_observation(self, assessor):
+        with pytest.raises(InferenceError):
+            assessor.observe(demands=1, failures=2)
+        with pytest.raises(InferenceError):
+            assessor.observe(demands=-1, failures=0)
+
+
+class TestQueries:
+    def test_confidence_monotone_in_target(self, assessor):
+        assessor.observe(demands=1_000, failures=2)
+        c1 = assessor.confidence(1e-3)
+        c2 = assessor.confidence(5e-3)
+        c3 = assessor.confidence(1e-2)
+        assert c1 <= c2 <= c3 == pytest.approx(1.0)
+
+    def test_percentile_monotone_in_level(self, assessor):
+        assessor.observe(demands=1_000, failures=2)
+        assert assessor.percentile(0.5) <= assessor.percentile(0.9) <= (
+            assessor.percentile(0.99)
+        )
+
+    def test_percentile_rejects_bad_level(self, assessor):
+        with pytest.raises(InferenceError):
+            assessor.percentile(0.0)
+        with pytest.raises(InferenceError):
+            assessor.percentile(1.0)
+
+    def test_posterior_mass_sums_to_one(self, assessor):
+        assessor.observe(demands=500, failures=1)
+        _, mass = assessor.posterior()
+        assert mass.sum() == pytest.approx(1.0)
+
+    def test_grid_too_coarse_rejected(self):
+        with pytest.raises(InferenceError):
+            BlackBoxAssessor(TruncatedBeta(1, 1, upper=0.01), grid_points=4)

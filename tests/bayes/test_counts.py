@@ -1,0 +1,54 @@
+"""Unit tests for JointCounts (Table 1 events)."""
+
+import numpy as np
+import pytest
+
+from repro.bayes.counts import JointCounts
+
+
+class TestConstruction:
+    def test_totals(self):
+        counts = JointCounts(1, 2, 3, 4)
+        assert counts.total == 10
+        assert counts.first_failures == 3   # r1 + r2
+        assert counts.second_failures == 4  # r1 + r3
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            JointCounts(both_fail=-1)
+
+    def test_as_tuple_order(self):
+        assert JointCounts(1, 2, 3, 4).as_tuple() == (1, 2, 3, 4)
+
+    def test_default_is_empty(self):
+        assert JointCounts().total == 0
+
+
+class TestFromObservations:
+    def test_tally(self):
+        a = np.array([True, True, False, False, True])
+        b = np.array([True, False, True, False, False])
+        counts = JointCounts.from_observations(a, b)
+        assert counts.both_fail == 1
+        assert counts.only_first_fails == 2
+        assert counts.only_second_fails == 1
+        assert counts.both_succeed == 1
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            JointCounts.from_observations([True], [True, False])
+
+    def test_accepts_lists(self):
+        counts = JointCounts.from_observations([True], [False])
+        assert counts.only_first_fails == 1
+
+
+class TestAddition:
+    def test_add_componentwise(self):
+        total = JointCounts(1, 2, 3, 4) + JointCounts(10, 20, 30, 40)
+        assert total.as_tuple() == (11, 22, 33, 44)
+
+    def test_counts_immutable(self):
+        counts = JointCounts(1, 2, 3, 4)
+        with pytest.raises(AttributeError):
+            counts.both_fail = 5

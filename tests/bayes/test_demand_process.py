@@ -1,0 +1,56 @@
+"""Unit tests for the two-release ground-truth process."""
+
+import numpy as np
+import pytest
+
+from repro.bayes.demand_process import TwoReleaseGroundTruth
+from repro.common.errors import ValidationError
+
+
+class TestDerivedProbabilities:
+    def test_scenario1_values(self):
+        gt = TwoReleaseGroundTruth(1e-3, 0.3, 0.5e-3)
+        assert gt.p_ab == pytest.approx(3e-4)
+        # PB = 1e-3 * 0.3 + (1 - 1e-3) * 0.5e-3 = 0.7995e-3; the paper
+        # rounds this to "0.8e-3".
+        assert gt.p_b == pytest.approx(0.7995e-3, rel=1e-6)
+
+    def test_scenario2_values(self):
+        gt = TwoReleaseGroundTruth(5e-3, 0.1, 0.0)
+        assert gt.p_b == pytest.approx(0.5e-3)
+        assert gt.p_ab == pytest.approx(0.5e-3)
+
+    def test_event_probabilities_sum_to_one(self):
+        gt = TwoReleaseGroundTruth(0.01, 0.5, 0.001)
+        assert sum(gt.event_probabilities()) == pytest.approx(1.0)
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ValidationError):
+            TwoReleaseGroundTruth(1.5, 0.0, 0.0)
+
+
+class TestSampling:
+    def test_marginal_rates(self, rng):
+        gt = TwoReleaseGroundTruth(0.02, 0.5, 0.01)
+        a, b = gt.sample(rng, 200_000)
+        assert np.mean(a) == pytest.approx(0.02, rel=0.1)
+        assert np.mean(b) == pytest.approx(gt.p_b, rel=0.1)
+        assert np.mean(a & b) == pytest.approx(gt.p_ab, rel=0.2)
+
+    def test_conditional_structure(self, rng):
+        gt = TwoReleaseGroundTruth(0.1, 0.9, 0.0)
+        a, b = gt.sample(rng, 100_000)
+        # B fails only when A fails.
+        assert not np.any(b & ~a)
+
+    def test_zero_demands(self, rng):
+        a, b = TwoReleaseGroundTruth(0.1, 0.5, 0.0).sample(rng, 0)
+        assert len(a) == 0 and len(b) == 0
+
+    def test_negative_demands_rejected(self, rng):
+        with pytest.raises(ValueError):
+            TwoReleaseGroundTruth(0.1, 0.5, 0.0).sample(rng, -1)
+
+    def test_describe_mentions_derived(self):
+        text = TwoReleaseGroundTruth(1e-3, 0.3, 0.5e-3).describe()
+        assert "PA=0.001" in text and "PB=" in text

@@ -1,0 +1,102 @@
+"""Unit tests for the imperfect failure-detection models (§5.1.1.3)."""
+
+import numpy as np
+import pytest
+
+from repro.bayes.detection import (
+    BackToBackDetection,
+    FalseAlarmDetection,
+    OmissionDetection,
+    PerfectDetection,
+)
+from repro.common.errors import ValidationError
+
+
+@pytest.fixture
+def truth(rng):
+    a = rng.random(100_000) < 0.05
+    b = rng.random(100_000) < 0.03
+    return a, b
+
+
+class TestPerfectDetection:
+    def test_identity(self, truth, rng):
+        a, b = truth
+        oa, ob = PerfectDetection().observe(a, b, rng)
+        assert np.array_equal(oa, a) and np.array_equal(ob, b)
+
+    def test_returns_copies(self, truth, rng):
+        a, b = truth
+        oa, _ = PerfectDetection().observe(a, b, rng)
+        oa[:] = False
+        assert a.any()  # original untouched
+
+
+class TestOmissionDetection:
+    def test_miss_rate(self, truth, rng):
+        a, b = truth
+        oa, ob = OmissionDetection(0.15).observe(a, b, rng)
+        missed_a = np.sum(a & ~oa) / np.sum(a)
+        assert missed_a == pytest.approx(0.15, abs=0.02)
+
+    def test_never_invents_failures(self, truth, rng):
+        a, b = truth
+        oa, ob = OmissionDetection(0.15).observe(a, b, rng)
+        assert not np.any(oa & ~a)
+        assert not np.any(ob & ~b)
+
+    def test_omission_one_hides_everything(self, truth, rng):
+        a, b = truth
+        oa, ob = OmissionDetection(1.0).observe(a, b, rng)
+        assert not oa.any() and not ob.any()
+
+    def test_independent_per_release(self, rng):
+        # Coincident failures are missed independently, so some '11'
+        # demands become '10' or '01', not only '00'.
+        a = np.ones(50_000, dtype=bool)
+        b = np.ones(50_000, dtype=bool)
+        oa, ob = OmissionDetection(0.5).observe(a, b, rng)
+        assert np.any(oa & ~ob) and np.any(~oa & ob)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValidationError):
+            OmissionDetection(1.5)
+
+
+class TestBackToBackDetection:
+    def test_coincident_failures_hidden(self, rng):
+        a = np.array([True, True, False, False])
+        b = np.array([True, False, True, False])
+        oa, ob = BackToBackDetection().observe(a, b, rng)
+        # '11' -> '00'; discordant demands scored exactly.
+        assert list(oa) == [False, True, False, False]
+        assert list(ob) == [False, False, True, False]
+
+    def test_observed_counts_never_exceed_truth(self, truth, rng):
+        a, b = truth
+        oa, ob = BackToBackDetection().observe(a, b, rng)
+        assert oa.sum() <= a.sum() and ob.sum() <= b.sum()
+
+
+class TestFalseAlarmDetection:
+    def test_flags_valid_responses(self, rng):
+        a = np.zeros(100_000, dtype=bool)
+        b = np.zeros(100_000, dtype=bool)
+        oa, ob = FalseAlarmDetection(0.1).observe(a, b, rng)
+        assert np.mean(oa) == pytest.approx(0.1, abs=0.01)
+
+    def test_never_hides_failures(self, truth, rng):
+        a, b = truth
+        oa, ob = FalseAlarmDetection(0.1).observe(a, b, rng)
+        assert np.all(oa[a]) and np.all(ob[b])
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValidationError):
+            FalseAlarmDetection(-0.1)
+
+
+def test_detection_names():
+    assert PerfectDetection().name == "perfect"
+    assert OmissionDetection(0.1).name == "omission"
+    assert BackToBackDetection().name == "back-to-back"
+    assert FalseAlarmDetection(0.1).name == "false-alarm"

@@ -1,0 +1,124 @@
+"""Unit tests for the stopping-rule planners."""
+
+import pytest
+
+from repro.bayes.beta import TruncatedBeta
+from repro.bayes.stopping import (
+    classical_demands_required,
+    expected_demands_required,
+    failure_free_demands_required,
+    plan_managed_upgrade,
+)
+from repro.common.errors import InferenceError
+
+
+class TestClassicalBound:
+    def test_textbook_value(self):
+        # ~4,603 failure-free demands for pfd 1e-3 at 99%.
+        n = classical_demands_required(1e-3, 0.99)
+        assert n == pytest.approx(4_603, abs=3)
+
+    def test_monotone_in_confidence(self):
+        assert classical_demands_required(1e-3, 0.999) > (
+            classical_demands_required(1e-3, 0.99)
+        )
+
+    def test_monotone_in_target(self):
+        assert classical_demands_required(1e-4, 0.99) > (
+            classical_demands_required(1e-3, 0.99)
+        )
+
+    def test_zero_confidence(self):
+        assert classical_demands_required(1e-3, 0.0) == 0
+
+    def test_rejects_zero_target(self):
+        with pytest.raises(InferenceError):
+            classical_demands_required(0.0, 0.99)
+
+
+class TestBayesianFailureFree:
+    def test_informative_prior_needs_less_than_classical(self):
+        # The Scenario-1 new-release prior already puts most mass below
+        # 1.36e-3; reaching 99% there needs far less than the classical
+        # prior-free bound for the same target.
+        prior = TruncatedBeta(2, 3, upper=0.002)
+        target = 1.36e-3
+        bayes = failure_free_demands_required(prior, target, 0.99)
+        classical = classical_demands_required(target, 0.99)
+        assert bayes is not None
+        assert bayes < classical
+
+    def test_already_satisfied_prior_is_zero(self):
+        prior = TruncatedBeta(2, 3, upper=0.002)
+        assert failure_free_demands_required(prior, 0.0021, 0.99) == 0
+
+    def test_verifies_against_assessor(self):
+        from repro.bayes.blackbox import BlackBoxAssessor
+
+        prior = TruncatedBeta(2, 3, upper=0.01)
+        target = 1e-3
+        n = failure_free_demands_required(prior, target, 0.99)
+        assert n is not None and n > 0
+        at = BlackBoxAssessor(prior)
+        at.observe(n, 0)
+        assert at.confidence(target) >= 0.99
+        before = BlackBoxAssessor(prior)
+        before.observe(n - 1, 0)
+        assert before.confidence(target) < 0.99
+
+    def test_unreachable_returns_none(self):
+        prior = TruncatedBeta(2, 3, upper=0.01)
+        assert failure_free_demands_required(
+            prior, 1e-3, 0.99, max_demands=100
+        ) is None
+
+
+class TestExpectedTrajectory:
+    def test_matches_failure_free_when_rate_negligible(self):
+        prior = TruncatedBeta(2, 3, upper=0.01)
+        free = failure_free_demands_required(prior, 1e-3, 0.99)
+        budgeted = expected_demands_required(prior, 1e-3, 1e-7, 0.99)
+        assert budgeted == pytest.approx(free, rel=0.1)
+
+    def test_near_target_rate_blows_up(self):
+        # Scenario 1's situation: anticipated pfd 0.8e-3 against target
+        # 1e-3 — the expected trajectory needs far more demands than the
+        # failure-free one (and may be unattainable), as in Table 2.
+        prior = TruncatedBeta(2, 3, upper=0.002)
+        free = failure_free_demands_required(prior, 1e-3, 0.99)
+        budgeted = expected_demands_required(
+            prior, 1e-3, 0.8e-3, 0.99, max_demands=200_000
+        )
+        assert free is not None
+        assert budgeted is None or budgeted > 5 * free
+
+    def test_above_target_rate_unattainable(self):
+        prior = TruncatedBeta(2, 3, upper=0.01)
+        assert expected_demands_required(
+            prior, 1e-3, 5e-3, 0.99, max_demands=200_000
+        ) is None
+
+
+class TestPlanner:
+    def test_plan_brackets(self):
+        prior = TruncatedBeta(2, 3, upper=0.01)
+        plan = plan_managed_upgrade(
+            prior, target_pfd=1e-3, anticipated_pfd=0.5e-3,
+            confidence=0.99, max_demands=500_000,
+        )
+        assert set(plan) == {
+            "classical_failure_free",
+            "bayesian_failure_free",
+            "bayesian_expected",
+        }
+        assert plan["bayesian_failure_free"] <= plan["bayesian_expected"]
+
+    def test_plan_predicts_scenario2_magnitude(self):
+        # Scenario 2's Criterion-2 realised duration was ~6-10k demands;
+        # the expected-trajectory plan should land in that ballpark.
+        prior = TruncatedBeta(2, 3, upper=0.01)
+        plan = plan_managed_upgrade(
+            prior, target_pfd=1e-3, anticipated_pfd=0.5e-3,
+            confidence=0.99, max_demands=500_000,
+        )
+        assert 2_000 < plan["bayesian_expected"] < 50_000

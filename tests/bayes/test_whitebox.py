@@ -1,0 +1,159 @@
+"""Unit tests for the white-box trivariate assessor (eq. 2-6)."""
+
+import numpy as np
+import pytest
+
+from repro.bayes.beta import TruncatedBeta
+from repro.bayes.counts import JointCounts
+from repro.bayes.priors import GridSpec, WhiteBoxPrior
+from repro.bayes.whitebox import WhiteBoxAssessor
+from repro.common.errors import InferenceError
+
+
+@pytest.fixture
+def assessor(scenario1_prior, small_grid):
+    return WhiteBoxAssessor(scenario1_prior, small_grid)
+
+
+class TestPriorState:
+    def test_prior_marginal_a_matches_beta(self, assessor, scenario1_prior):
+        # With no observations the pA marginal is the prior itself.
+        values, mass = assessor.marginal_a()
+        cdf_at_mean = mass[values <= scenario1_prior.marginal_a.mean].sum()
+        expected = float(
+            scenario1_prior.marginal_a.cdf(scenario1_prior.marginal_a.mean)
+        )
+        assert cdf_at_mean == pytest.approx(expected, abs=0.03)
+
+    def test_prior_percentiles_match_betas(self, assessor, scenario1_prior):
+        assert assessor.percentile_a(0.99) == pytest.approx(
+            float(scenario1_prior.marginal_a.ppf(0.99)), rel=0.03
+        )
+        assert assessor.percentile_b(0.99) == pytest.approx(
+            float(scenario1_prior.marginal_b.ppf(0.99)), rel=0.03
+        )
+
+    def test_prior_pab_mean_half_of_min(self, assessor, scenario1_prior):
+        # The indifference prior E[pAB | pA, pB] = min(pA, pB) / 2.
+        mean_ab = assessor.posterior_mean_ab()
+        assert 0.0 < mean_ab
+        # pAB <= min marginal means; its mean is near half of E[min].
+        cap = min(
+            scenario1_prior.marginal_a.mean, scenario1_prior.marginal_b.mean
+        )
+        assert mean_ab < cap
+
+    def test_marginal_masses_sum_to_one(self, assessor):
+        for values, mass in (
+            assessor.marginal_a(),
+            assessor.marginal_b(),
+            assessor.marginal_ab(),
+        ):
+            assert mass.sum() == pytest.approx(1.0)
+
+
+class TestUpdating:
+    def test_observations_accumulate(self, assessor):
+        assessor.observe(JointCounts(1, 2, 3, 94))
+        assessor.observe(JointCounts(0, 1, 0, 99))
+        assert assessor.counts.as_tuple() == (1, 3, 3, 193)
+
+    def test_replace_counts(self, assessor):
+        assessor.observe(JointCounts(1, 1, 1, 97))
+        assessor.replace_counts(JointCounts(0, 0, 0, 1000))
+        assert assessor.counts.total == 1000
+
+    def test_reset(self, assessor):
+        prior_p99 = assessor.percentile_b(0.99)
+        assessor.observe(JointCounts(0, 0, 0, 50_000))
+        assessor.reset()
+        assert assessor.percentile_b(0.99) == pytest.approx(prior_p99)
+
+    def test_failure_free_run_shrinks_percentiles(self, assessor):
+        before = assessor.percentile_b(0.99)
+        assessor.observe(JointCounts(0, 0, 0, 50_000))
+        after = assessor.percentile_b(0.99)
+        assert after < before
+
+    def test_b_failures_raise_b_percentile(self, assessor):
+        assessor.observe(JointCounts(0, 0, 0, 10_000))
+        clean = assessor.percentile_b(0.99)
+        assessor.reset()
+        assessor.observe(JointCounts(0, 0, 30, 9_970))
+        dirty = assessor.percentile_b(0.99)
+        assert dirty > clean
+
+    def test_a_only_failures_inflate_a_not_b(self, assessor):
+        # r2 (A-only failures) inflates the pA marginal.  Through the
+        # pAB coupling it is also (correctly) evidence that B survives
+        # A's failure points, so pB's bound must not *grow*.
+        assessor.observe(JointCounts(0, 0, 0, 10_000))
+        clean_b = assessor.percentile_b(0.99)
+        clean_a = assessor.percentile_a(0.99)
+        assessor.reset()
+        assessor.observe(JointCounts(0, 40, 0, 9_960))
+        assert assessor.percentile_a(0.99) > clean_a
+        assert assessor.percentile_b(0.99) <= clean_b
+
+
+class TestPosteriorConsistency:
+    def test_posterior_concentrates_near_truth(self, scenario1_prior):
+        # Feed counts matching PA=1e-3, PB=0.8e-3, PAB=0.3e-3 over 100k.
+        assessor = WhiteBoxAssessor(scenario1_prior, GridSpec(96, 96, 32))
+        n = 100_000
+        r1 = 30          # pAB = 3e-4
+        r2 = 100 - 30    # pA = 1e-3
+        r3 = 80 - 30     # pB = 0.8e-3
+        assessor.observe(JointCounts(r1, r2, r3, n - r1 - r2 - r3))
+        assert assessor.posterior_mean_a() == pytest.approx(1e-3, rel=0.2)
+        assert assessor.posterior_mean_b() == pytest.approx(0.8e-3, rel=0.2)
+        assert assessor.posterior_mean_ab() == pytest.approx(3e-4, rel=0.3)
+
+    def test_confidence_matches_marginal_cdf(self, assessor):
+        assessor.observe(JointCounts(1, 3, 2, 9_994))
+        values, mass = assessor.marginal_b()
+        target = 1.2e-3
+        assert assessor.confidence_b(target) == pytest.approx(
+            mass[values <= target].sum()
+        )
+
+    def test_percentile_inverts_confidence(self, assessor):
+        assessor.observe(JointCounts(0, 2, 1, 4_997))
+        t = assessor.percentile_b(0.9)
+        assert assessor.confidence_b(t) >= 0.9
+
+    def test_pab_bounded_by_marginals(self, assessor):
+        assessor.observe(JointCounts(2, 5, 3, 9_990))
+        # P(pAB <= min marginal 99% bounds) must be essentially certain.
+        bound = min(assessor.percentile_a(0.999),
+                    assessor.percentile_b(0.999))
+        assert assessor.confidence_ab(bound) > 0.99
+
+    def test_overwhelming_failure_rate_pins_at_support_cap(
+        self, scenario1_prior, small_grid
+    ):
+        # pA is capped at 0.002 by the prior support; a 50% observed
+        # failure rate concentrates the posterior at the cap instead of
+        # following the data beyond it.
+        assessor = WhiteBoxAssessor(scenario1_prior, small_grid)
+        assessor.observe(JointCounts(0, 5_000, 0, 5_000))
+        # The mean sits in the topmost grid cells, just below the cap.
+        assert assessor.posterior_mean_a() > 0.0018
+
+    def test_percentile_rejects_bad_level(self, assessor):
+        with pytest.raises(InferenceError):
+            assessor.percentile_a(1.5)
+
+
+class TestGridSpec:
+    def test_cells(self):
+        assert GridSpec(10, 20, 4).cells == 800
+
+    def test_rejects_too_coarse(self):
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            GridSpec(2, 10, 10)
+
+    def test_prior_describe_mentions_uniform(self, scenario1_prior):
+        assert "Uniform(0, min(pA, pB))" in scenario1_prior.describe()

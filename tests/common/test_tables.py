@@ -1,0 +1,51 @@
+"""Unit tests for repro.common.tables."""
+
+import pytest
+
+from repro.common.tables import format_cell, render_markdown_table, render_table
+
+
+class TestFormatCell:
+    def test_none_renders_dash(self):
+        assert format_cell(None) == "-"
+
+    def test_float_respects_digits(self):
+        assert format_cell(1.23456, float_digits=2) == "1.23"
+
+    def test_int_keeps_natural_form(self):
+        assert format_cell(10000) == "10000"
+
+    def test_bool_renders_yes_no(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        out = render_table(["a", "bb"], [[1, 2], [33, 4]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        # All data lines have equal width.
+        assert len(lines[3]) == len(lines[4])
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a"], [])
+        assert "a" in out
+
+
+class TestRenderMarkdownTable:
+    def test_shape(self):
+        out = render_markdown_table(["x", "y"], [[1, 2.5]])
+        lines = out.splitlines()
+        assert lines[0] == "| x | y |"
+        assert lines[1] == "|---|---|"
+        assert lines[2].startswith("| 1 | 2.5")
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_markdown_table(["x"], [[1, 2]])

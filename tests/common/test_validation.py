@@ -1,0 +1,98 @@
+"""Unit tests for repro.common.validation."""
+
+import math
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.common.validation import (
+    check_distribution,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_sorted_unique,
+)
+
+
+class TestCheckProbability:
+    def test_accepts_bounds(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+        assert check_probability(0.5, "p") == 0.5
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            check_probability(-0.1, "p")
+        with pytest.raises(ValidationError):
+            check_probability(1.1, "p")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            check_probability(math.nan, "p")
+
+    def test_rejects_non_numbers(self):
+        with pytest.raises(ValidationError):
+            check_probability("0.5", "p")
+        with pytest.raises(ValidationError):
+            check_probability(True, "p")
+
+    def test_message_names_parameter(self):
+        with pytest.raises(ValidationError, match="my_param"):
+            check_probability(2.0, "my_param")
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(0.001, "x") == 0.001
+
+    def test_rejects_zero_and_negative(self):
+        with pytest.raises(ValidationError):
+            check_positive(0.0, "x")
+        with pytest.raises(ValidationError):
+            check_positive(-1.0, "x")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative(0.0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_non_negative(-1e-9, "x")
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range(1.5, 1.5, 3.0, "t") == 1.5
+        assert check_in_range(3.0, 1.5, 3.0, "t") == 3.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValidationError):
+            check_in_range(3.01, 1.5, 3.0, "t")
+
+
+class TestCheckDistribution:
+    def test_accepts_valid(self):
+        assert check_distribution((0.7, 0.15, 0.15), "d") == (0.7, 0.15, 0.15)
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ValidationError, match="sum to 1"):
+            check_distribution((0.7, 0.2, 0.2), "d")
+
+    def test_rejects_negative_entry(self):
+        with pytest.raises(ValidationError):
+            check_distribution((1.2, -0.1, -0.1), "d")
+
+
+class TestCheckSortedUnique:
+    def test_accepts_increasing(self):
+        assert check_sorted_unique([1.0, 2.0, 3.0], "s") == (1.0, 2.0, 3.0)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValidationError):
+            check_sorted_unique([1.0, 1.0], "s")
+
+    def test_rejects_decreasing(self):
+        with pytest.raises(ValidationError):
+            check_sorted_unique([2.0, 1.0], "s")

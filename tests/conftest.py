@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.bayes.beta import TruncatedBeta
+from repro.bayes.priors import GridSpec, WhiteBoxPrior
+from repro.common.seeding import SeedSequenceFactory
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for stochastic tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def seeds():
+    """A seed factory rooted at a fixed seed."""
+    return SeedSequenceFactory(12345)
+
+
+@pytest.fixture
+def small_grid():
+    """A coarse posterior grid adequate for unit-level assertions."""
+    return GridSpec(48, 48, 16)
+
+
+@pytest.fixture
+def scenario1_prior():
+    """The paper's Scenario 1 white-box prior."""
+    return WhiteBoxPrior(
+        TruncatedBeta(20, 20, upper=0.002),
+        TruncatedBeta(2, 3, upper=0.002),
+    )

@@ -1,0 +1,168 @@
+"""Unit tests for the adjudication strategies (§5.2.1 rules)."""
+
+import numpy as np
+import pytest
+
+from repro.core.adjudicators import (
+    CollectedResponse,
+    FastestValidAdjudicator,
+    MajorityVoteAdjudicator,
+    PaperRuleAdjudicator,
+)
+from repro.services.message import RequestMessage, fault_response, result_response
+
+
+@pytest.fixture
+def request_message():
+    return RequestMessage("operation1")
+
+
+def collected(request, release, result=None, fault=None, t=1.0):
+    if fault is not None:
+        response = fault_response(request, fault, release)
+    else:
+        response = result_response(request, result, release)
+    return CollectedResponse(release=release, response=response,
+                            execution_time=t)
+
+
+class TestPaperRuleAdjudicator:
+    def test_no_responses_unavailable(self, request_message, rng):
+        adjudication = PaperRuleAdjudicator().adjudicate(
+            request_message, [], rng
+        )
+        assert adjudication.verdict == "unavailable"
+        assert adjudication.response.is_fault
+        assert "unavailable" in adjudication.response.fault
+
+    def test_all_evident_raises_exception_response(self, request_message, rng):
+        items = [
+            collected(request_message, "a", fault="x"),
+            collected(request_message, "b", fault="y"),
+        ]
+        adjudication = PaperRuleAdjudicator().adjudicate(
+            request_message, items, rng
+        )
+        assert adjudication.verdict == "all-evident"
+        assert adjudication.response.is_fault
+
+    def test_identical_valid_responses_returned(self, request_message, rng):
+        items = [
+            collected(request_message, "a", result=42),
+            collected(request_message, "b", result=42),
+        ]
+        adjudication = PaperRuleAdjudicator().adjudicate(
+            request_message, items, rng
+        )
+        assert adjudication.verdict == "result"
+        assert adjudication.response.result == 42
+
+    def test_single_valid_response_returned(self, request_message, rng):
+        items = [
+            collected(request_message, "a", fault="x"),
+            collected(request_message, "b", result=7),
+        ]
+        adjudication = PaperRuleAdjudicator().adjudicate(
+            request_message, items, rng
+        )
+        assert adjudication.verdict == "result"
+        assert adjudication.response.result == 7
+        assert adjudication.chosen_release == "b"
+
+    def test_divergent_valid_responses_random_pick(self, request_message):
+        items = [
+            collected(request_message, "a", result=1),
+            collected(request_message, "b", result=2),
+        ]
+        picks = set()
+        adjudicator = PaperRuleAdjudicator()
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            picks.add(
+                adjudicator.adjudicate(request_message, items, rng)
+                .response.result
+            )
+        # Rule 4: sometimes the wrong one is picked — both must appear.
+        assert picks == {1, 2}
+
+
+class TestMajorityVoteAdjudicator:
+    def test_strict_majority_wins(self, request_message, rng):
+        items = [
+            collected(request_message, "a", result=1),
+            collected(request_message, "b", result=2),
+            collected(request_message, "c", result=2),
+        ]
+        adjudication = MajorityVoteAdjudicator().adjudicate(
+            request_message, items, rng
+        )
+        assert adjudication.response.result == 2
+
+    def test_tie_falls_back_to_random_valid(self, request_message):
+        items = [
+            collected(request_message, "a", result=1),
+            collected(request_message, "b", result=2),
+        ]
+        rng = np.random.default_rng(0)
+        results = {
+            MajorityVoteAdjudicator()
+            .adjudicate(request_message, items, rng)
+            .response.result
+            for _ in range(100)
+        }
+        assert results == {1, 2}
+
+    def test_faults_excluded_from_vote(self, request_message, rng):
+        items = [
+            collected(request_message, "a", fault="x"),
+            collected(request_message, "b", fault="y"),
+            collected(request_message, "c", result=3),
+        ]
+        adjudication = MajorityVoteAdjudicator().adjudicate(
+            request_message, items, rng
+        )
+        assert adjudication.response.result == 3
+
+    def test_all_evident(self, request_message, rng):
+        items = [collected(request_message, "a", fault="x")]
+        adjudication = MajorityVoteAdjudicator().adjudicate(
+            request_message, items, rng
+        )
+        assert adjudication.verdict == "all-evident"
+
+    def test_empty_unavailable(self, request_message, rng):
+        adjudication = MajorityVoteAdjudicator().adjudicate(
+            request_message, [], rng
+        )
+        assert adjudication.verdict == "unavailable"
+
+
+class TestFastestValidAdjudicator:
+    def test_picks_earliest_valid(self, request_message, rng):
+        items = [
+            collected(request_message, "slow", result=1, t=2.0),
+            collected(request_message, "fast", result=2, t=0.5),
+            collected(request_message, "faulty", fault="x", t=0.1),
+        ]
+        adjudication = FastestValidAdjudicator().adjudicate(
+            request_message, items, rng
+        )
+        assert adjudication.chosen_release == "fast"
+
+    def test_all_evident(self, request_message, rng):
+        items = [collected(request_message, "a", fault="x")]
+        adjudication = FastestValidAdjudicator().adjudicate(
+            request_message, items, rng
+        )
+        assert adjudication.verdict == "all-evident"
+
+    def test_empty(self, request_message, rng):
+        adjudication = FastestValidAdjudicator().adjudicate(
+            request_message, [], rng
+        )
+        assert adjudication.verdict == "unavailable"
+
+
+def test_collected_response_validity(request_message):
+    assert collected(request_message, "a", result=1).is_valid
+    assert not collected(request_message, "a", fault="x").is_valid

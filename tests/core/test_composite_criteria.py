@@ -1,0 +1,99 @@
+"""Unit tests for the composite and availability switching criteria."""
+
+import numpy as np
+import pytest
+
+from repro.bayes.counts import JointCounts
+from repro.bayes.priors import GridSpec
+from repro.bayes.whitebox import WhiteBoxAssessor
+from repro.common.errors import ConfigurationError
+from repro.core.monitor import MonitoringSubsystem
+from repro.core.switching import (
+    AllOfCriterion,
+    AnyOfCriterion,
+    AvailabilityCriterion,
+    CriterionTwo,
+)
+
+
+@pytest.fixture
+def assessor(scenario1_prior, small_grid):
+    assessor = WhiteBoxAssessor(scenario1_prior, small_grid)
+    assessor.observe(JointCounts(0, 0, 0, 20_000))
+    return assessor
+
+
+def always(satisfied: bool):
+    return CriterionTwo(1.9e-3 if satisfied else 1e-9,
+                        confidence=0.5 if satisfied else 0.999999)
+
+
+class TestAllOf:
+    def test_requires_every_part(self, assessor):
+        assert AllOfCriterion([always(True), always(True)]).is_satisfied(
+            assessor
+        )
+        assert not AllOfCriterion(
+            [always(True), always(False)]
+        ).is_satisfied(assessor)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            AllOfCriterion([])
+
+    def test_name_and_targets_aggregate(self):
+        criterion = AllOfCriterion(
+            [CriterionTwo(1e-3), CriterionTwo(2e-3)]
+        )
+        assert "criterion-2" in criterion.name
+        assert criterion.required_confidence_targets() == (1e-3, 2e-3)
+
+
+class TestAnyOf:
+    def test_any_part_suffices(self, assessor):
+        assert AnyOfCriterion([always(False), always(True)]).is_satisfied(
+            assessor
+        )
+        assert not AnyOfCriterion(
+            [always(False), always(False)]
+        ).is_satisfied(assessor)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            AnyOfCriterion([])
+
+
+class TestAvailabilityCriterion:
+    def make_monitor(self, responded, missed):
+        monitor = MonitoringSubsystem(np.random.default_rng(0))
+        monitor.availability_for("WS 1.1").observe_many(responded, missed)
+        return monitor
+
+    def test_satisfied_with_clean_record(self, assessor):
+        monitor = self.make_monitor(2_000, 10)
+        criterion = AvailabilityCriterion(
+            monitor, "WS 1.1", target_availability=0.95, confidence=0.95
+        )
+        assert criterion.is_satisfied(assessor)
+
+    def test_unsatisfied_with_flaky_record(self, assessor):
+        monitor = self.make_monitor(800, 200)
+        criterion = AvailabilityCriterion(
+            monitor, "WS 1.1", target_availability=0.95, confidence=0.95
+        )
+        assert not criterion.is_satisfied(assessor)
+
+    def test_record_evaluation_unsupported(self):
+        monitor = self.make_monitor(10, 0)
+        criterion = AvailabilityCriterion(monitor, "WS 1.1")
+        with pytest.raises(ConfigurationError):
+            criterion.is_satisfied_record(None)
+
+    def test_composes_with_correctness(self, assessor):
+        monitor = self.make_monitor(800, 200)  # flaky availability
+        combined = AllOfCriterion([
+            always(True),
+            AvailabilityCriterion(monitor, "WS 1.1", 0.95, 0.95),
+        ])
+        # Correctness alone would switch; the availability floor blocks.
+        assert not combined.is_satisfied(assessor)

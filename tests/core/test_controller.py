@@ -1,0 +1,141 @@
+"""Unit tests for the upgrade controller."""
+
+import numpy as np
+import pytest
+
+from repro.bayes.priors import GridSpec
+from repro.bayes.whitebox import WhiteBoxAssessor
+from repro.common.errors import ConfigurationError
+from repro.core.controller import UpgradeController
+from repro.core.management import ManagementSubsystem
+from repro.core.middleware import UpgradeMiddleware
+from repro.core.monitor import MonitoringSubsystem
+from repro.core.switching import CriterionOne, CriterionTwo
+from repro.services.endpoint import ServiceEndpoint
+from repro.services.message import RequestMessage
+from repro.services.wsdl import default_wsdl
+from repro.simulation.correlation import OutcomeDistribution
+from repro.simulation.distributions import Deterministic
+from repro.simulation.engine import Simulator
+from repro.simulation.release_model import ReleaseBehaviour
+from repro.simulation.timing import SystemTimingPolicy
+
+
+def make_endpoint(name, seed=0):
+    behaviour = ReleaseBehaviour(
+        name, OutcomeDistribution(1.0, 0.0, 0.0), Deterministic(0.2)
+    )
+    return ServiceEndpoint(
+        default_wsdl("WS", "n", release=name.split()[-1]),
+        behaviour,
+        np.random.default_rng(seed),
+    )
+
+
+def make_stack(scenario1_prior, criterion, evaluate_every=10,
+               min_demands=10):
+    simulator = Simulator()
+    whitebox = WhiteBoxAssessor(scenario1_prior, GridSpec(48, 48, 16))
+    monitor = MonitoringSubsystem(
+        np.random.default_rng(0),
+        watched_pair=("WS 1.0", "WS 1.1"),
+        whitebox_assessor=whitebox,
+    )
+    middleware = UpgradeMiddleware(
+        endpoints=[make_endpoint("WS 1.0"), make_endpoint("WS 1.1", 1)],
+        timing=SystemTimingPolicy(timeout=1.5, adjudication_delay=0.1),
+        rng=np.random.default_rng(2),
+        monitor=monitor,
+    )
+    management = ManagementSubsystem(middleware, simulator.clock)
+    controller = UpgradeController(
+        middleware, management, criterion,
+        evaluate_every=evaluate_every, min_demands=min_demands,
+    )
+    return simulator, middleware, controller
+
+
+def drive(simulator, middleware, demands):
+    start = simulator.now
+    for i in range(demands):
+        request = RequestMessage("operation1", arguments=(i,))
+        simulator.schedule_at(
+            start + i * 2.0,
+            lambda r=request, a=i: middleware.submit(
+                simulator, r, lambda resp: None, reference_answer=a
+            ),
+        )
+    simulator.run()
+
+
+class TestSwitch:
+    def test_switches_once_criterion_satisfied(self, scenario1_prior):
+        # A permissive criterion: satisfied as soon as min_demands pass.
+        criterion = CriterionTwo(1.9e-3, confidence=0.5)
+        simulator, middleware, controller = make_stack(
+            scenario1_prior, criterion
+        )
+        drive(simulator, middleware, 50)
+        assert controller.switched
+        record = controller.switch_record
+        assert record.removed_release == "WS 1.0"
+        assert record.kept_release == "WS 1.1"
+        assert middleware.release_names() == ["WS 1.1"]
+        assert record.demand_index >= 10
+
+    def test_does_not_switch_before_min_demands(self, scenario1_prior):
+        criterion = CriterionTwo(1.9e-3, confidence=0.5)
+        simulator, middleware, controller = make_stack(
+            scenario1_prior, criterion, min_demands=1_000
+        )
+        drive(simulator, middleware, 50)
+        assert not controller.switched
+
+    def test_never_switches_when_criterion_unreachable(self, scenario1_prior):
+        criterion = CriterionTwo(1e-6, confidence=0.999999)
+        simulator, middleware, controller = make_stack(
+            scenario1_prior, criterion
+        )
+        drive(simulator, middleware, 50)
+        assert not controller.switched
+        assert middleware.release_names() == ["WS 1.0", "WS 1.1"]
+
+    def test_switch_happens_at_most_once(self, scenario1_prior):
+        criterion = CriterionTwo(1.9e-3, confidence=0.5)
+        simulator, middleware, controller = make_stack(
+            scenario1_prior, criterion
+        )
+        drive(simulator, middleware, 100)
+        assert controller.switched
+        # Continued traffic must not attempt a second removal.
+        drive(simulator, middleware, 20)
+        assert middleware.release_names() == ["WS 1.1"]
+
+
+class TestValidation:
+    def test_requires_monitor_with_whitebox(self):
+        middleware = UpgradeMiddleware(
+            endpoints=[make_endpoint("WS 1.0")],
+            timing=SystemTimingPolicy(timeout=1.5),
+            rng=np.random.default_rng(0),
+        )
+        simulator = Simulator()
+        management = ManagementSubsystem(middleware, simulator.clock)
+        with pytest.raises(ConfigurationError):
+            UpgradeController(
+                middleware, management, CriterionTwo(1e-3)
+            )
+
+    def test_rejects_bad_cadence(self, scenario1_prior):
+        with pytest.raises(ConfigurationError):
+            make_stack(scenario1_prior, CriterionTwo(1e-3),
+                       evaluate_every=0)
+
+    def test_repr_reflects_state(self, scenario1_prior):
+        criterion = CriterionTwo(1.9e-3, confidence=0.5)
+        simulator, middleware, controller = make_stack(
+            scenario1_prior, criterion
+        )
+        assert "assessing" in repr(controller)
+        drive(simulator, middleware, 50)
+        assert "switched" in repr(controller)

@@ -1,0 +1,116 @@
+"""Unit tests for the observation database (§4.3)."""
+
+import math
+
+import pytest
+
+from repro.core.database import (
+    DemandRecord,
+    ObservationLog,
+    ReleaseObservation,
+)
+from repro.simulation.outcomes import Outcome
+
+
+def record(request_id, a=None, b=None, verdict="result",
+           system_outcome=Outcome.CORRECT, system_time=1.2, ts=0.0):
+    releases = {}
+    if a is not None:
+        releases["A"] = a
+    if b is not None:
+        releases["B"] = b
+    return DemandRecord(
+        request_id=str(request_id),
+        timestamp=ts,
+        releases=releases,
+        system_verdict=verdict,
+        system_outcome=system_outcome,
+        system_time=system_time,
+    )
+
+
+def obs(collected=True, time=1.0, outcome=Outcome.CORRECT, failed=False):
+    if not collected:
+        return ReleaseObservation(collected=False)
+    return ReleaseObservation(
+        collected=True, execution_time=time, true_outcome=outcome,
+        observed_failure=failed,
+    )
+
+
+class TestTally:
+    def test_availability_and_met(self):
+        log = ObservationLog()
+        log.append(record(1, a=obs(time=1.0)))
+        log.append(record(2, a=obs(time=2.0, failed=True)))
+        log.append(record(3, a=obs(collected=False)))
+        tally = log.tally("A")
+        assert tally.demands == 3
+        assert tally.availability == pytest.approx(2 / 3)
+        assert tally.mean_execution_time == pytest.approx(1.5)
+        assert tally.observed_failure_rate == pytest.approx(0.5)
+
+    def test_empty_tally_is_nan(self):
+        tally = ObservationLog().tally("A")
+        assert math.isnan(tally.availability)
+        assert math.isnan(tally.mean_execution_time)
+        assert math.isnan(tally.observed_failure_rate)
+
+    def test_windowed_tally(self):
+        log = ObservationLog()
+        log.append(record(1, a=obs(failed=True)))
+        for i in range(2, 5):
+            log.append(record(i, a=obs()))
+        assert log.tally("A", last=3).observed_failures == 0
+        assert log.tally("A").observed_failures == 1
+
+    def test_window_non_positive_empty(self):
+        log = ObservationLog()
+        log.append(record(1, a=obs()))
+        assert log.window(0) == []
+
+
+class TestJointCounts:
+    def test_counts_only_when_both_collected(self):
+        log = ObservationLog()
+        log.append(record(1, a=obs(failed=True), b=obs(failed=True)))
+        log.append(record(2, a=obs(failed=True), b=obs(failed=False)))
+        log.append(record(3, a=obs(failed=False), b=obs(failed=True)))
+        log.append(record(4, a=obs(), b=obs()))
+        log.append(record(5, a=obs(collected=False), b=obs(failed=True)))
+        counts = log.joint_counts("A", "B")
+        assert counts.as_tuple() == (1, 1, 1, 1)
+
+    def test_missing_release_ignored(self):
+        log = ObservationLog()
+        log.append(record(1, a=obs()))
+        assert log.joint_counts("A", "B").total == 0
+
+
+class TestSystemTally:
+    def test_counts_by_verdict(self):
+        log = ObservationLog()
+        log.append(record(1, a=obs(), verdict="result"))
+        log.append(record(2, a=obs(), verdict="result"))
+        log.append(record(3, a=obs(), verdict="unavailable",
+                          system_outcome=None))
+        assert log.system_tally() == {"result": 2, "unavailable": 1}
+
+
+class TestLogBasics:
+    def test_len_and_iter(self):
+        log = ObservationLog()
+        log.append(record(1, a=obs()))
+        log.append(record(2, a=obs()))
+        assert len(log) == 2
+        assert [r.request_id for r in log] == ["1", "2"]
+
+    def test_release_names_in_first_seen_order(self):
+        log = ObservationLog()
+        log.append(record(1, a=obs()))
+        log.append(record(2, a=obs(), b=obs()))
+        assert log.release_names() == ["A", "B"]
+
+    def test_observation_lookup(self):
+        r = record(1, a=obs())
+        assert r.observation("A").collected

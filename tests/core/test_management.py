@@ -1,0 +1,122 @@
+"""Unit tests for the management subsystem (§4.4 / §6.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.adjudicators import MajorityVoteAdjudicator
+from repro.core.management import ManagementSubsystem
+from repro.core.middleware import UpgradeMiddleware
+from repro.core.modes import ModeConfig
+from repro.core.monitor import MonitoringSubsystem
+from repro.bayes.beta import TruncatedBeta
+from repro.services.endpoint import ServiceEndpoint
+from repro.services.message import RequestMessage
+from repro.services.wsdl import default_wsdl
+from repro.simulation.correlation import OutcomeDistribution
+from repro.simulation.distributions import Deterministic
+from repro.simulation.engine import Simulator
+from repro.simulation.release_model import ReleaseBehaviour
+from repro.simulation.timing import SystemTimingPolicy
+
+
+def make_endpoint(name, seed=0):
+    behaviour = ReleaseBehaviour(
+        name, OutcomeDistribution(1.0, 0.0, 0.0), Deterministic(0.5)
+    )
+    return ServiceEndpoint(
+        default_wsdl("WS", "n", release=name.split()[-1]),
+        behaviour,
+        np.random.default_rng(seed),
+    )
+
+
+@pytest.fixture
+def stack():
+    simulator = Simulator()
+    monitor = MonitoringSubsystem(
+        np.random.default_rng(0),
+        blackbox_prior=TruncatedBeta(1, 10, upper=0.01),
+    )
+    middleware = UpgradeMiddleware(
+        endpoints=[make_endpoint("WS 1.0")],
+        timing=SystemTimingPolicy(timeout=1.5, adjudication_delay=0.1),
+        rng=np.random.default_rng(1),
+        monitor=monitor,
+    )
+    management = ManagementSubsystem(middleware, simulator.clock)
+    return simulator, middleware, management
+
+
+class TestReleaseManagement:
+    def test_add_and_remove_logged(self, stack):
+        _sim, middleware, management = stack
+        management.add_release(make_endpoint("WS 1.1", seed=2))
+        assert middleware.release_names() == ["WS 1.0", "WS 1.1"]
+        management.remove_release("WS 1.0")
+        assert middleware.release_names() == ["WS 1.1"]
+        actions = [(a.action, a.detail) for a in management.actions]
+        assert ("add-release", "WS 1.1") in actions
+        assert ("remove-release", "WS 1.0") in actions
+
+    def test_recover_release(self, stack):
+        _sim, middleware, management = stack
+        middleware.endpoints[0].take_offline()
+        management.recover_release("WS 1.0")
+        assert middleware.endpoints[0].online
+
+    def test_recover_unknown_raises(self, stack):
+        _sim, _middleware, management = stack
+        with pytest.raises(LookupError):
+            management.recover_release("WS 9.9")
+
+
+class TestModeControl:
+    def test_set_mode(self, stack):
+        _sim, middleware, management = stack
+        management.set_mode(ModeConfig.max_responsiveness())
+        assert middleware.mode.mode.value == "parallel-responsiveness"
+
+    def test_set_timing(self, stack):
+        _sim, middleware, management = stack
+        management.set_timing(SystemTimingPolicy(timeout=3.0))
+        assert middleware.timing.timeout == 3.0
+
+    def test_set_adjudicator(self, stack):
+        _sim, middleware, management = stack
+        management.set_adjudicator(MajorityVoteAdjudicator())
+        assert middleware.adjudicator.name == "majority-vote"
+        assert management.actions[-1].detail == "majority-vote"
+
+
+class TestConfidenceReadback:
+    def test_read_confidence_after_traffic(self, stack):
+        simulator, middleware, management = stack
+        for i in range(20):
+            middleware.submit(
+                simulator, RequestMessage("operation1"), lambda r: None,
+                reference_answer=i,
+            )
+        simulator.run()
+        confidence = management.read_confidence("WS 1.0", 5e-3)
+        assert confidence is not None and 0.0 < confidence <= 1.0
+        availability = management.read_availability("WS 1.0")
+        assert availability == pytest.approx(1.0)
+
+    def test_read_confidence_without_monitor_is_none(self):
+        middleware = UpgradeMiddleware(
+            endpoints=[make_endpoint("WS 1.0")],
+            timing=SystemTimingPolicy(timeout=1.5),
+            rng=np.random.default_rng(0),
+        )
+        simulator = Simulator()
+        management = ManagementSubsystem(middleware, simulator.clock)
+        assert management.read_confidence("WS 1.0", 1e-3) is None
+        assert management.read_availability("WS 1.0") is None
+
+    def test_action_timestamps_use_clock(self, stack):
+        simulator, _middleware, management = stack
+        simulator.schedule(5.0, lambda: management.set_timing(
+            SystemTimingPolicy(timeout=2.0)
+        ))
+        simulator.run()
+        assert management.actions[-1].timestamp == pytest.approx(5.0)

@@ -1,0 +1,334 @@
+"""Unit tests for the upgrade middleware state machines."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.middleware import UpgradeMiddleware
+from repro.core.modes import ModeConfig, SequentialOrder
+from repro.core.monitor import MonitoringSubsystem
+from repro.services.endpoint import ServiceEndpoint
+from repro.services.message import RequestMessage
+from repro.services.wsdl import default_wsdl
+from repro.simulation.correlation import (
+    ConditionalOutcomeMatrix,
+    ConditionalOutcomeModel,
+    OutcomeDistribution,
+)
+from repro.simulation.distributions import Deterministic
+from repro.simulation.engine import Simulator
+from repro.simulation.release_model import ReleaseBehaviour
+from repro.simulation.timing import SystemTimingPolicy
+
+
+def make_endpoint(name, latency, cr=1.0, er=0.0, ner=0.0, seed=0):
+    behaviour = ReleaseBehaviour(
+        name, OutcomeDistribution(cr, er, ner), Deterministic(latency)
+    )
+    return ServiceEndpoint(
+        default_wsdl("WS", "n", release=name.split()[-1]),
+        behaviour,
+        np.random.default_rng(seed),
+    )
+
+
+def make_middleware(endpoints, timeout=1.5, mode=None, monitor=None,
+                    joint=None, seed=1):
+    return UpgradeMiddleware(
+        endpoints=endpoints,
+        timing=SystemTimingPolicy(timeout=timeout, adjudication_delay=0.1),
+        rng=np.random.default_rng(seed),
+        mode=mode,
+        monitor=monitor,
+        joint_outcome_model=joint,
+    )
+
+
+class TestParallelReliability:
+    def test_waits_for_slowest_then_adjudicates(self):
+        sim = Simulator()
+        endpoints = [
+            make_endpoint("WS 1.0", 0.5),
+            make_endpoint("WS 1.1", 1.0),
+        ]
+        mw = make_middleware(endpoints)
+        got = []
+        mw.submit(sim, RequestMessage("operation1"),
+                  lambda r: got.append((sim.now, r)), reference_answer=9)
+        sim.run()
+        at, response = got[0]
+        # max(0.5, 1.0) + dT = 1.1
+        assert at == pytest.approx(1.1)
+        assert response.result == 9
+
+    def test_timeout_caps_wait(self):
+        sim = Simulator()
+        endpoints = [
+            make_endpoint("WS 1.0", 0.5),
+            make_endpoint("WS 1.1", 10.0),
+        ]
+        mw = make_middleware(endpoints, timeout=1.5)
+        got = []
+        mw.submit(sim, RequestMessage("operation1"),
+                  lambda r: got.append((sim.now, r)), reference_answer=9)
+        sim.run()
+        at, response = got[0]
+        assert at == pytest.approx(1.6)
+        assert response.result == 9  # single collected valid response
+
+    def test_nothing_collected_returns_unavailable(self):
+        sim = Simulator()
+        endpoints = [make_endpoint("WS 1.0", 10.0)]
+        mw = make_middleware(endpoints, timeout=1.0)
+        got = []
+        mw.submit(sim, RequestMessage("operation1"), got.append)
+        sim.run()
+        assert got[0].is_fault and "unavailable" in got[0].fault
+
+    def test_all_evident_failure_exception(self):
+        sim = Simulator()
+        endpoints = [
+            make_endpoint("WS 1.0", 0.5, cr=0.0, er=1.0),
+            make_endpoint("WS 1.1", 0.6, cr=0.0, er=1.0),
+        ]
+        mw = make_middleware(endpoints)
+        got = []
+        mw.submit(sim, RequestMessage("operation1"), got.append)
+        sim.run()
+        assert got[0].is_fault and "evidently" in got[0].fault
+
+    def test_offline_release_only_timeout_detects(self):
+        sim = Simulator()
+        down = make_endpoint("WS 1.0", 0.5)
+        down.take_offline()
+        up = make_endpoint("WS 1.1", 0.5)
+        mw = make_middleware([down, up], timeout=1.5)
+        got = []
+        mw.submit(sim, RequestMessage("operation1"),
+                  lambda r: got.append((sim.now, r)), reference_answer=2)
+        sim.run()
+        at, response = got[0]
+        assert response.result == 2
+        assert at == pytest.approx(1.6)  # waited full timeout for WS 1.0
+
+
+class TestParallelResponsiveness:
+    def test_first_valid_wins(self):
+        sim = Simulator()
+        endpoints = [
+            make_endpoint("WS 1.0", 2.0),
+            make_endpoint("WS 1.1", 0.5),
+        ]
+        mw = make_middleware(
+            endpoints, mode=ModeConfig.max_responsiveness(), timeout=3.0
+        )
+        got = []
+        mw.submit(sim, RequestMessage("operation1"),
+                  lambda r: got.append((sim.now, r)), reference_answer=4)
+        sim.run()
+        at, response = got[0]
+        assert at == pytest.approx(0.6)  # 0.5 + dT
+        assert response.result == 4
+        assert len(got) == 1  # delivered exactly once
+
+    def test_evident_first_response_skipped(self):
+        sim = Simulator()
+        endpoints = [
+            make_endpoint("WS 1.0", 0.3, cr=0.0, er=1.0),
+            make_endpoint("WS 1.1", 0.8),
+        ]
+        mw = make_middleware(
+            endpoints, mode=ModeConfig.max_responsiveness(), timeout=3.0
+        )
+        got = []
+        mw.submit(sim, RequestMessage("operation1"),
+                  lambda r: got.append((sim.now, r)), reference_answer=4)
+        sim.run()
+        at, response = got[0]
+        assert response.result == 4
+        assert at == pytest.approx(0.9)
+
+
+class TestParallelDynamic:
+    def test_adjudicates_after_k_responses(self):
+        sim = Simulator()
+        endpoints = [
+            make_endpoint("WS 1.0", 0.5),
+            make_endpoint("WS 1.1", 5.0),
+        ]
+        mw = make_middleware(
+            endpoints, mode=ModeConfig.dynamic(1), timeout=10.0
+        )
+        got = []
+        mw.submit(sim, RequestMessage("operation1"),
+                  lambda r: got.append((sim.now, r)), reference_answer=4)
+        sim.run()
+        at, response = got[0]
+        assert at == pytest.approx(0.6)
+
+    def test_k_larger_than_releases_behaves_like_reliability(self):
+        sim = Simulator()
+        endpoints = [make_endpoint("WS 1.0", 0.5)]
+        mw = make_middleware(
+            endpoints, mode=ModeConfig.dynamic(5), timeout=3.0
+        )
+        got = []
+        mw.submit(sim, RequestMessage("operation1"),
+                  lambda r: got.append((sim.now, r)), reference_answer=4)
+        sim.run()
+        assert got[0][0] == pytest.approx(0.6)
+
+
+class TestSequential:
+    def test_first_valid_response_ends_demand(self):
+        sim = Simulator()
+        endpoints = [
+            make_endpoint("WS 1.0", 0.5),
+            make_endpoint("WS 1.1", 0.5),
+        ]
+        mw = make_middleware(endpoints, mode=ModeConfig.sequential())
+        got = []
+        mw.submit(sim, RequestMessage("operation1"),
+                  lambda r: got.append((sim.now, r)), reference_answer=4)
+        sim.run()
+        at, response = got[0]
+        assert at == pytest.approx(0.6)  # only the first release ran
+        assert endpoints[1].invocations == 0
+
+    def test_escalates_on_evident_failure(self):
+        sim = Simulator()
+        endpoints = [
+            make_endpoint("WS 1.0", 0.5, cr=0.0, er=1.0),
+            make_endpoint("WS 1.1", 0.5),
+        ]
+        mw = make_middleware(endpoints, mode=ModeConfig.sequential(),
+                             timeout=5.0)
+        got = []
+        mw.submit(sim, RequestMessage("operation1"),
+                  lambda r: got.append((sim.now, r)), reference_answer=4)
+        sim.run()
+        at, response = got[0]
+        assert response.result == 4
+        assert at == pytest.approx(1.1)  # 0.5 + 0.5 + dT
+        assert endpoints[1].invocations == 1
+
+    def test_timeout_ends_sequential_demand(self):
+        sim = Simulator()
+        endpoints = [
+            make_endpoint("WS 1.0", 2.0, cr=0.0, er=1.0),
+            make_endpoint("WS 1.1", 2.0),
+        ]
+        mw = make_middleware(endpoints, mode=ModeConfig.sequential(),
+                             timeout=3.0)
+        got = []
+        mw.submit(sim, RequestMessage("operation1"),
+                  lambda r: got.append((sim.now, r)))
+        sim.run()
+        at, response = got[0]
+        # First release faults at 2.0; second would respond at 4.0 > 3.0.
+        assert at == pytest.approx(3.1)
+
+    def test_random_order_visits_both(self):
+        first_invocations = 0
+        for seed in range(20):
+            sim = Simulator()
+            endpoints = [
+                make_endpoint("WS 1.0", 0.5),
+                make_endpoint("WS 1.1", 0.5),
+            ]
+            mw = make_middleware(
+                endpoints,
+                mode=ModeConfig.sequential(SequentialOrder.RANDOM),
+                seed=seed,
+            )
+            mw.submit(sim, RequestMessage("operation1"), lambda r: None,
+                      reference_answer=1)
+            sim.run()
+            first_invocations += endpoints[0].invocations
+        # Randomised order: WS 1.0 should not always be first.
+        assert 0 < first_invocations < 20
+
+
+class TestCorrelatedOutcomes:
+    def test_joint_model_forces_outcomes(self):
+        sim = Simulator()
+        # Marginal says always-correct, but the joint model forces
+        # evident failures on both releases: the joint model must win.
+        always_fail = OutcomeDistribution(0.0, 1.0, 0.0)
+        joint = ConditionalOutcomeModel(
+            always_fail, ConditionalOutcomeMatrix.symmetric(1.0)
+        )
+        endpoints = [
+            make_endpoint("WS 1.0", 0.5, cr=1.0),
+            make_endpoint("WS 1.1", 0.5, cr=1.0),
+        ]
+        mw = make_middleware(endpoints, joint=joint)
+        got = []
+        mw.submit(sim, RequestMessage("operation1"), got.append,
+                  reference_answer=1)
+        sim.run()
+        assert got[0].is_fault
+
+
+class TestReconfiguration:
+    def test_add_and_remove_endpoints(self):
+        endpoints = [make_endpoint("WS 1.0", 0.5)]
+        mw = make_middleware(endpoints)
+        new = make_endpoint("WS 1.1", 0.5)
+        mw.add_endpoint(new)
+        assert mw.release_names() == ["WS 1.0", "WS 1.1"]
+        removed = mw.remove_endpoint("WS 1.0")
+        assert removed.name == "WS 1.0"
+        assert mw.release_names() == ["WS 1.1"]
+
+    def test_cannot_remove_last_release(self):
+        mw = make_middleware([make_endpoint("WS 1.0", 0.5)])
+        with pytest.raises(ConfigurationError):
+            mw.remove_endpoint("WS 1.0")
+
+    def test_cannot_add_duplicate(self):
+        mw = make_middleware([make_endpoint("WS 1.0", 0.5)])
+        with pytest.raises(ConfigurationError):
+            mw.add_endpoint(make_endpoint("WS 1.0", 0.6))
+
+    def test_remove_unknown_raises(self):
+        mw = make_middleware([make_endpoint("WS 1.0", 0.5),
+                              make_endpoint("WS 1.1", 0.5)])
+        with pytest.raises(ConfigurationError):
+            mw.remove_endpoint("WS 9.9")
+
+    def test_needs_at_least_one_release(self):
+        with pytest.raises(ConfigurationError):
+            make_middleware([])
+
+
+class TestMonitoringIntegration:
+    def test_demand_recorded_with_per_release_observations(self):
+        sim = Simulator()
+        monitor = MonitoringSubsystem(np.random.default_rng(0))
+        endpoints = [
+            make_endpoint("WS 1.0", 0.5),
+            make_endpoint("WS 1.1", 10.0),
+        ]
+        mw = make_middleware(endpoints, timeout=1.5, monitor=monitor)
+        mw.submit(sim, RequestMessage("operation1"), lambda r: None,
+                  reference_answer=1)
+        sim.run()
+        record = next(iter(monitor.log))
+        assert record.releases["WS 1.0"].collected
+        assert not record.releases["WS 1.1"].collected
+        assert record.system_time == pytest.approx(1.6)
+
+    def test_after_demand_hook_fires(self):
+        sim = Simulator()
+        monitor = MonitoringSubsystem(np.random.default_rng(0))
+        mw = make_middleware(
+            [make_endpoint("WS 1.0", 0.5)], monitor=monitor
+        )
+        seen = []
+        mw.on_demand_closed(seen.append)
+        mw.submit(sim, RequestMessage("operation1"), lambda r: None,
+                  reference_answer=1)
+        sim.run()
+        assert len(seen) == 1
+        assert seen[0].releases["WS 1.0"].collected

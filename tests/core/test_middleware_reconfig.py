@@ -1,0 +1,140 @@
+"""Tests for mid-run middleware reconfiguration (§4.2 mode 3's promise).
+
+"The number of responses and the timeout can be changed dynamically so
+that different configurations for the adjudicated response can be
+defined" — these tests change mode, timing and the release set while
+traffic is flowing and check the changes take effect on subsequent
+demands without corrupting in-flight ones.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.middleware import UpgradeMiddleware
+from repro.core.modes import ModeConfig
+from repro.core.monitor import MonitoringSubsystem
+from repro.services.endpoint import ServiceEndpoint
+from repro.services.message import RequestMessage
+from repro.services.wsdl import default_wsdl
+from repro.simulation.correlation import OutcomeDistribution
+from repro.simulation.distributions import Deterministic
+from repro.simulation.engine import Simulator
+from repro.simulation.release_model import ReleaseBehaviour
+from repro.simulation.timing import SystemTimingPolicy
+
+
+def make_endpoint(name, latency, seed=0):
+    return ServiceEndpoint(
+        default_wsdl("WS", "n", release=name.split()[-1]),
+        ReleaseBehaviour(
+            name, OutcomeDistribution(1.0, 0.0, 0.0),
+            Deterministic(latency),
+        ),
+        np.random.default_rng(seed),
+    )
+
+
+@pytest.fixture
+def stack():
+    simulator = Simulator()
+    monitor = MonitoringSubsystem(np.random.default_rng(0))
+    middleware = UpgradeMiddleware(
+        endpoints=[make_endpoint("WS 1.0", 0.4),
+                   make_endpoint("WS 1.1", 0.8, seed=1)],
+        timing=SystemTimingPolicy(timeout=2.0, adjudication_delay=0.1),
+        rng=np.random.default_rng(2),
+        monitor=monitor,
+    )
+    return simulator, middleware, monitor
+
+
+def submit_at(simulator, middleware, t, answer, sink):
+    request = RequestMessage("operation1", arguments=(answer,))
+    simulator.schedule_at(
+        t,
+        lambda: middleware.submit(
+            simulator, request,
+            lambda r: sink.append((simulator.now, r)),
+            reference_answer=answer,
+        ),
+    )
+
+
+class TestModeChangeMidRun:
+    def test_new_mode_applies_to_later_demands_only(self, stack):
+        simulator, middleware, _monitor = stack
+        got = []
+        submit_at(simulator, middleware, 0.0, 1, got)       # reliability
+        simulator.schedule_at(
+            5.0,
+            lambda: middleware.set_mode(ModeConfig.max_responsiveness()),
+        )
+        submit_at(simulator, middleware, 10.0, 2, got)      # responsiveness
+        simulator.run()
+        first_time = got[0][0] - 0.0
+        second_time = got[1][0] - 10.0
+        # Reliability waits for the 0.8s release; responsiveness returns
+        # after the 0.4s one.
+        assert first_time == pytest.approx(0.9)
+        assert second_time == pytest.approx(0.5)
+
+    def test_timing_change_applies_to_later_demands(self, stack):
+        simulator, middleware, _monitor = stack
+        got = []
+        simulator.schedule_at(
+            5.0,
+            lambda: middleware.set_timing(
+                SystemTimingPolicy(timeout=0.5, adjudication_delay=0.1)
+            ),
+        )
+        submit_at(simulator, middleware, 0.0, 1, got)
+        submit_at(simulator, middleware, 10.0, 2, got)
+        simulator.run()
+        assert got[0][0] - 0.0 == pytest.approx(0.9)   # old 2.0s timeout
+        assert got[1][0] - 10.0 == pytest.approx(0.6)  # new 0.5s timeout
+        # Second demand: only the 0.4s release made the cut.
+        assert got[1][1].result == 2
+
+    def test_in_flight_demand_unaffected_by_mode_change(self, stack):
+        simulator, middleware, _monitor = stack
+        got = []
+        submit_at(simulator, middleware, 0.0, 1, got)
+        # Change mode while the demand is in flight (t=0.2).
+        simulator.schedule_at(
+            0.2,
+            lambda: middleware.set_mode(ModeConfig.max_responsiveness()),
+        )
+        simulator.run()
+        # The in-flight demand keeps reliability semantics (waits 0.8+dT).
+        assert got[0][0] == pytest.approx(0.9)
+
+
+class TestReleaseSetChangeMidRun:
+    def test_added_release_serves_later_demands(self, stack):
+        simulator, middleware, monitor = stack
+        got = []
+        submit_at(simulator, middleware, 0.0, 1, got)
+        simulator.schedule_at(
+            5.0,
+            lambda: middleware.add_endpoint(
+                make_endpoint("WS 1.2", 0.3, seed=3)
+            ),
+        )
+        submit_at(simulator, middleware, 10.0, 2, got)
+        simulator.run()
+        records = list(monitor.log)
+        assert set(records[0].releases) == {"WS 1.0", "WS 1.1"}
+        assert set(records[1].releases) == {"WS 1.0", "WS 1.1", "WS 1.2"}
+
+    def test_removed_release_not_invoked_later(self, stack):
+        simulator, middleware, monitor = stack
+        got = []
+        submit_at(simulator, middleware, 0.0, 1, got)
+        simulator.schedule_at(
+            5.0, lambda: middleware.remove_endpoint("WS 1.1")
+        )
+        submit_at(simulator, middleware, 10.0, 2, got)
+        simulator.run()
+        records = list(monitor.log)
+        assert set(records[1].releases) == {"WS 1.0"}
+        assert got[1][0] - 10.0 == pytest.approx(0.5)

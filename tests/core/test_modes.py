@@ -1,0 +1,44 @@
+"""Unit tests for operating-mode configuration (§4.2)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.modes import ModeConfig, OperatingMode, SequentialOrder
+
+
+class TestModeConfig:
+    def test_default_is_max_reliability(self):
+        config = ModeConfig()
+        assert config.mode is OperatingMode.PARALLEL_RELIABILITY
+
+    def test_factories(self):
+        assert (
+            ModeConfig.max_reliability().mode
+            is OperatingMode.PARALLEL_RELIABILITY
+        )
+        assert (
+            ModeConfig.max_responsiveness().mode
+            is OperatingMode.PARALLEL_RESPONSIVENESS
+        )
+        dynamic = ModeConfig.dynamic(2)
+        assert dynamic.mode is OperatingMode.PARALLEL_DYNAMIC
+        assert dynamic.min_responses == 2
+        sequential = ModeConfig.sequential(SequentialOrder.RANDOM)
+        assert sequential.mode is OperatingMode.SEQUENTIAL
+        assert sequential.sequential_order is SequentialOrder.RANDOM
+
+    def test_dynamic_requires_min_responses(self):
+        with pytest.raises(ConfigurationError):
+            ModeConfig(OperatingMode.PARALLEL_DYNAMIC)
+        with pytest.raises(ConfigurationError):
+            ModeConfig.dynamic(0)
+
+    def test_min_responses_rejected_outside_dynamic(self):
+        with pytest.raises(ConfigurationError):
+            ModeConfig(
+                OperatingMode.PARALLEL_RELIABILITY, min_responses=2
+            )
+
+    def test_is_parallel(self):
+        assert OperatingMode.PARALLEL_DYNAMIC.is_parallel
+        assert not OperatingMode.SEQUENTIAL.is_parallel

@@ -1,0 +1,231 @@
+"""Unit tests for the monitoring subsystem (§4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.bayes.beta import TruncatedBeta
+from repro.bayes.priors import GridSpec, WhiteBoxPrior
+from repro.bayes.whitebox import WhiteBoxAssessor
+from repro.common.errors import ConfigurationError
+from repro.core.adjudicators import Adjudication, CollectedResponse
+from repro.core.monitor import (
+    BackToBackOnlinePolicy,
+    MonitoringSubsystem,
+    OmissionOnlinePolicy,
+    OnlineDetectionPolicy,
+)
+from repro.services.message import (
+    RequestMessage,
+    fault_response,
+    result_response,
+)
+from repro.simulation.outcomes import Outcome
+
+
+def collected(request, release, result=None, fault=None, t=1.0):
+    if fault is not None:
+        response = fault_response(request, fault, release)
+    else:
+        response = result_response(request, result, release)
+    return CollectedResponse(release, response, t)
+
+
+def make_monitor(**kwargs):
+    defaults = dict(rng=np.random.default_rng(0))
+    defaults.update(kwargs)
+    return MonitoringSubsystem(**defaults)
+
+
+class TestClassify:
+    def test_fault_is_evident(self):
+        request = RequestMessage("op")
+        response = fault_response(request, "x")
+        assert MonitoringSubsystem.classify(response, 1) is (
+            Outcome.EVIDENT_FAILURE
+        )
+
+    def test_matching_result_correct(self):
+        request = RequestMessage("op")
+        response = result_response(request, 1)
+        assert MonitoringSubsystem.classify(response, 1) is Outcome.CORRECT
+
+    def test_mismatch_is_non_evident(self):
+        request = RequestMessage("op")
+        response = result_response(request, 2)
+        assert MonitoringSubsystem.classify(response, 1) is (
+            Outcome.NON_EVIDENT_FAILURE
+        )
+
+    def test_no_reference_treated_correct(self):
+        request = RequestMessage("op")
+        response = result_response(request, 2)
+        assert MonitoringSubsystem.classify(response, None) is Outcome.CORRECT
+
+
+class TestRecordDemand:
+    def test_record_stores_per_release_observations(self):
+        monitor = make_monitor()
+        request = RequestMessage("op")
+        items = [
+            collected(request, "A", result=1, t=0.8),
+            collected(request, "B", result=2, t=1.1),
+        ]
+        adjudication = Adjudication("result", items[0].response, "A")
+        record = monitor.record_demand(
+            request_id=request.message_id,
+            timestamp=0.0,
+            active_releases=["A", "B"],
+            collected=items,
+            adjudication=adjudication,
+            system_time=1.2,
+            reference_answer=1,
+        )
+        assert record.releases["A"].true_outcome is Outcome.CORRECT
+        assert record.releases["B"].true_outcome is (
+            Outcome.NON_EVIDENT_FAILURE
+        )
+        assert record.system_outcome is Outcome.CORRECT
+        assert len(monitor.log) == 1
+
+    def test_missing_release_marked_not_collected(self):
+        monitor = make_monitor()
+        request = RequestMessage("op")
+        items = [collected(request, "A", result=1)]
+        adjudication = Adjudication("result", items[0].response, "A")
+        record = monitor.record_demand(
+            request.message_id, 0.0, ["A", "B"], items, adjudication, 1.2, 1
+        )
+        assert not record.releases["B"].collected
+        assert record.releases["B"].observed_failure is None
+
+    def test_unavailable_demand_has_no_system_outcome(self):
+        monitor = make_monitor()
+        request = RequestMessage("op")
+        adjudication = Adjudication(
+            "unavailable", fault_response(request, "unavailable")
+        )
+        record = monitor.record_demand(
+            request.message_id, 0.0, ["A"], [], adjudication, 1.6, 1
+        )
+        assert record.system_outcome is None
+        assert record.system_verdict == "unavailable"
+
+
+class TestAssessorWiring:
+    def test_blackbox_updates_per_release(self):
+        monitor = make_monitor(
+            blackbox_prior=TruncatedBeta(1, 10, upper=0.01)
+        )
+        request = RequestMessage("op")
+        items = [
+            collected(request, "A", result=1),
+            collected(request, "B", fault="x"),
+        ]
+        adjudication = Adjudication("result", items[0].response, "A")
+        monitor.record_demand(
+            request.message_id, 0.0, ["A", "B"], items, adjudication, 1.2, 1
+        )
+        assert monitor.blackbox_for("A").failures == 0
+        assert monitor.blackbox_for("B").failures == 1
+        assert monitor.confidence_in_correctness("A", 1e-3) > 0
+
+    def test_blackbox_disabled_raises(self):
+        monitor = make_monitor()
+        with pytest.raises(ConfigurationError):
+            monitor.blackbox_for("A")
+
+    def test_whitebox_updates_on_joint_demands(self, scenario1_prior):
+        whitebox = WhiteBoxAssessor(scenario1_prior, GridSpec(48, 48, 16))
+        monitor = make_monitor(
+            watched_pair=("A", "B"), whitebox_assessor=whitebox
+        )
+        request = RequestMessage("op")
+        items = [
+            collected(request, "A", fault="x"),
+            collected(request, "B", result=1),
+        ]
+        adjudication = Adjudication("result", items[1].response, "B")
+        monitor.record_demand(
+            request.message_id, 0.0, ["A", "B"], items, adjudication, 1.2, 1
+        )
+        assert whitebox.counts.as_tuple() == (0, 1, 0, 0)
+
+    def test_whitebox_skips_partial_demands(self, scenario1_prior):
+        whitebox = WhiteBoxAssessor(scenario1_prior, GridSpec(48, 48, 16))
+        monitor = make_monitor(
+            watched_pair=("A", "B"), whitebox_assessor=whitebox
+        )
+        request = RequestMessage("op")
+        items = [collected(request, "A", result=1)]
+        adjudication = Adjudication("result", items[0].response, "A")
+        monitor.record_demand(
+            request.message_id, 0.0, ["A", "B"], items, adjudication, 1.2, 1
+        )
+        assert whitebox.counts.total == 0
+
+    def test_watched_pair_requires_assessor(self):
+        with pytest.raises(ConfigurationError):
+            make_monitor(watched_pair=("A", "B"))
+
+
+class TestOnlinePolicies:
+    def test_perfect_policy_observes_truth(self, rng):
+        policy = OnlineDetectionPolicy()
+        verdicts = policy.judge(
+            {"A": Outcome.NON_EVIDENT_FAILURE, "B": Outcome.CORRECT},
+            {"A": 2, "B": 1},
+            rng,
+        )
+        assert verdicts == {"A": True, "B": False}
+
+    def test_omission_policy_misses_some_ner(self):
+        policy = OmissionOnlinePolicy(0.5)
+        rng = np.random.default_rng(0)
+        misses = 0
+        for _ in range(1_000):
+            verdict = policy.judge(
+                {"A": Outcome.NON_EVIDENT_FAILURE}, {"A": 2}, rng
+            )
+            misses += not verdict["A"]
+        assert 400 < misses < 600
+
+    def test_omission_policy_never_misses_evident(self, rng):
+        policy = OmissionOnlinePolicy(1.0)
+        verdict = policy.judge(
+            {"A": Outcome.EVIDENT_FAILURE}, {"A": None}, rng
+        )
+        assert verdict["A"] is True
+
+    def test_omission_rejects_bad_probability(self):
+        with pytest.raises(ConfigurationError):
+            OmissionOnlinePolicy(2.0)
+
+    def test_back_to_back_hides_identical_coincident_ner(self, rng):
+        policy = BackToBackOnlinePolicy()
+        verdicts = policy.judge(
+            {
+                "A": Outcome.NON_EVIDENT_FAILURE,
+                "B": Outcome.NON_EVIDENT_FAILURE,
+            },
+            {"A": 43, "B": 43},  # identical wrong payloads
+            rng,
+        )
+        assert verdicts == {"A": False, "B": False}
+
+    def test_back_to_back_detects_discordant_ner(self, rng):
+        policy = BackToBackOnlinePolicy()
+        verdicts = policy.judge(
+            {"A": Outcome.NON_EVIDENT_FAILURE, "B": Outcome.CORRECT},
+            {"A": 43, "B": 42},
+            rng,
+        )
+        assert verdicts["A"] is True and verdicts["B"] is False
+
+    def test_back_to_back_evident_always_detected(self, rng):
+        policy = BackToBackOnlinePolicy()
+        verdicts = policy.judge(
+            {"A": Outcome.EVIDENT_FAILURE, "B": Outcome.CORRECT},
+            {"A": None, "B": 42},
+            rng,
+        )
+        assert verdicts["A"] is True

@@ -1,0 +1,122 @@
+"""Unit tests for upgrade policies and the delivered-failure model."""
+
+import pytest
+
+from repro.bayes.beta import TruncatedBeta
+from repro.bayes.blackbox import BlackBoxAssessor
+from repro.bayes.demand_process import TwoReleaseGroundTruth
+from repro.common.errors import ConfigurationError
+from repro.core.policies import (
+    ConservativeSingleReleaseAdjustment,
+    ImmediateSwitchPolicy,
+    ManagedUpgradePolicy,
+    NeverSwitchPolicy,
+    expected_incorrect_responses,
+)
+
+
+@pytest.fixture
+def ground_truth():
+    # Old release worse than the new one (Scenario 2 flavour).
+    return TwoReleaseGroundTruth(5e-3, 0.1, 0.0)
+
+
+class TestServingSchedules:
+    def test_immediate(self):
+        assert ImmediateSwitchPolicy().serving(0) == (False, True)
+
+    def test_never(self):
+        assert NeverSwitchPolicy().serving(10**6) == (True, False)
+
+    def test_managed_before_and_after_switch(self):
+        policy = ManagedUpgradePolicy(switch_at=100)
+        assert policy.serving(99) == (True, True)
+        assert policy.serving(100) == (False, True)
+
+    def test_managed_without_switch_runs_both_forever(self):
+        policy = ManagedUpgradePolicy(switch_at=None)
+        assert policy.serving(10**9) == (True, True)
+
+    def test_rejects_negative_switch(self):
+        with pytest.raises(ConfigurationError):
+            ManagedUpgradePolicy(switch_at=-1)
+
+
+class TestExpectedIncorrectResponses:
+    def test_single_release_policies(self, ground_truth):
+        horizon = 10_000
+        never = expected_incorrect_responses(
+            NeverSwitchPolicy(), ground_truth, horizon
+        )
+        immediate = expected_incorrect_responses(
+            ImmediateSwitchPolicy(), ground_truth, horizon
+        )
+        assert never == pytest.approx(horizon * ground_truth.p_a)
+        assert immediate == pytest.approx(horizon * ground_truth.p_b)
+
+    def test_managed_with_perfect_detection_only_coincident_escape(
+        self, ground_truth
+    ):
+        horizon = 10_000
+        managed = expected_incorrect_responses(
+            ManagedUpgradePolicy(None), ground_truth, horizon,
+            detection_coverage=1.0,
+        )
+        assert managed == pytest.approx(horizon * ground_truth.p_ab)
+
+    def test_managed_never_worse_than_better_release(self, ground_truth):
+        # The paper's key safety claim: 1-out-of-2 is no worse than the
+        # more reliable channel (with perfect evident-failure detection).
+        horizon = 10_000
+        managed = expected_incorrect_responses(
+            ManagedUpgradePolicy(None), ground_truth, horizon
+        )
+        best_single = min(
+            expected_incorrect_responses(
+                NeverSwitchPolicy(), ground_truth, horizon
+            ),
+            expected_incorrect_responses(
+                ImmediateSwitchPolicy(), ground_truth, horizon
+            ),
+        )
+        assert managed <= best_single
+
+    def test_detection_coverage_degrades_gracefully(self, ground_truth):
+        horizon = 1_000
+        perfect = expected_incorrect_responses(
+            ManagedUpgradePolicy(None), ground_truth, horizon, 1.0
+        )
+        imperfect = expected_incorrect_responses(
+            ManagedUpgradePolicy(None), ground_truth, horizon, 0.0
+        )
+        assert perfect < imperfect
+
+    def test_rejects_bad_horizon(self, ground_truth):
+        with pytest.raises(ConfigurationError):
+            expected_incorrect_responses(
+                NeverSwitchPolicy(), ground_truth, 0
+            )
+
+
+class TestConservativeAdjustment:
+    def test_published_confidence_is_minimum(self):
+        prior = TruncatedBeta(1, 10, upper=0.01)
+        old = BlackBoxAssessor(prior)
+        old.observe(demands=50_000, failures=0)
+        new = BlackBoxAssessor(prior)
+        adjustment = ConservativeSingleReleaseAdjustment(old)
+        published = adjustment.adjusted_confidence(new, 1e-3)
+        # The new release has no evidence, so the published confidence
+        # must not exceed its own (prior) confidence.
+        assert published == pytest.approx(new.confidence(1e-3))
+        assert published <= old.confidence(1e-3)
+
+    def test_old_release_caps_when_new_looks_better(self):
+        prior = TruncatedBeta(1, 10, upper=0.01)
+        old = BlackBoxAssessor(prior)
+        old.observe(demands=100, failures=5)
+        new = BlackBoxAssessor(prior)
+        new.observe(demands=100_000, failures=0)
+        adjustment = ConservativeSingleReleaseAdjustment(old)
+        published = adjustment.adjusted_confidence(new, 1e-3)
+        assert published == pytest.approx(old.confidence(1e-3))

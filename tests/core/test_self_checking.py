@@ -1,0 +1,126 @@
+"""Unit tests for self-checking adjudication."""
+
+import numpy as np
+import pytest
+
+from repro.core.adjudicators import CollectedResponse
+from repro.core.self_checking import (
+    SelfCheckingAdjudicator,
+    SimulatedAcceptanceTest,
+    accept_all,
+)
+from repro.services.message import (
+    RequestMessage,
+    fault_response,
+    result_response,
+)
+
+
+def collected(request, release, result=None, fault=None, t=1.0):
+    if fault is not None:
+        response = fault_response(request, fault, release)
+    else:
+        response = result_response(request, result, release)
+    return CollectedResponse(release, response, t)
+
+
+@pytest.fixture
+def request_message():
+    return RequestMessage("operation1", arguments=(42,))
+
+
+class TestPerfectSelfCheck:
+    def test_wrong_response_filtered_out(self, request_message, rng):
+        perfect = SimulatedAcceptanceTest(
+            coverage=1.0, rng=np.random.default_rng(0)
+        )
+        adjudicator = SelfCheckingAdjudicator(perfect)
+        items = [
+            collected(request_message, "good", result=42),
+            collected(request_message, "bad", result=43),
+        ]
+        # With the wrong response diagnosed, the pick is deterministic.
+        for _ in range(20):
+            adjudication = adjudicator.adjudicate(
+                request_message, items, rng
+            )
+            assert adjudication.response.result == 42
+
+    def test_rejection_accounted(self, request_message, rng):
+        perfect = SimulatedAcceptanceTest(
+            coverage=1.0, rng=np.random.default_rng(0)
+        )
+        adjudicator = SelfCheckingAdjudicator(perfect)
+        items = [
+            collected(request_message, "good", result=42),
+            collected(request_message, "bad", result=43),
+        ]
+        adjudicator.adjudicate(request_message, items, rng)
+        assert adjudicator.examined == 2
+        assert adjudicator.rejected == 1
+        assert adjudicator.rejection_rate == pytest.approx(0.5)
+
+    def test_all_rejected_falls_back_to_unfiltered(self, request_message,
+                                                   rng):
+        reject_everything = SimulatedAcceptanceTest(
+            coverage=1.0, false_alarm_rate=1.0,
+            rng=np.random.default_rng(0),
+        )
+        adjudicator = SelfCheckingAdjudicator(reject_everything)
+        items = [collected(request_message, "good", result=42)]
+        adjudication = adjudicator.adjudicate(request_message, items, rng)
+        # Availability preserved: the response is still returned.
+        assert adjudication.verdict == "result"
+        assert adjudication.response.result == 42
+
+
+class TestImperfectSelfCheck:
+    def test_partial_coverage_between_extremes(self, request_message):
+        wrong_delivered = {0.0: 0, 0.5: 0, 1.0: 0}
+        for coverage in wrong_delivered:
+            test = SimulatedAcceptanceTest(
+                coverage=coverage, rng=np.random.default_rng(1)
+            )
+            adjudicator = SelfCheckingAdjudicator(test)
+            rng = np.random.default_rng(2)
+            for _ in range(400):
+                items = [
+                    collected(request_message, "good", result=42),
+                    collected(request_message, "bad", result=43),
+                ]
+                adjudication = adjudicator.adjudicate(
+                    request_message, items, rng
+                )
+                if adjudication.response.result != 42:
+                    wrong_delivered[coverage] += 1
+        assert wrong_delivered[1.0] == 0
+        assert wrong_delivered[0.0] > wrong_delivered[0.5] > 0
+
+    def test_rejects_bad_probabilities(self):
+        from repro.common.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            SimulatedAcceptanceTest(coverage=1.5)
+
+
+class TestBasics:
+    def test_accept_all(self, request_message):
+        assert accept_all(request_message, object())
+
+    def test_faults_pass_through(self, request_message, rng):
+        adjudicator = SelfCheckingAdjudicator(accept_all)
+        items = [collected(request_message, "a", fault="x")]
+        adjudication = adjudicator.adjudicate(request_message, items, rng)
+        assert adjudication.verdict == "all-evident"
+
+    def test_empty_rejection_rate_nan(self):
+        import math
+
+        assert math.isnan(
+            SelfCheckingAdjudicator(accept_all).rejection_rate
+        )
+
+    def test_name_includes_base(self):
+        assert "paper-random-valid" in SelfCheckingAdjudicator(
+            accept_all
+        ).name

@@ -1,0 +1,148 @@
+"""Unit tests for the §5.1.1.2 switching criteria."""
+
+import pytest
+
+from repro.bayes.beta import TruncatedBeta
+from repro.bayes.counts import JointCounts
+from repro.bayes.demand_process import TwoReleaseGroundTruth
+from repro.bayes.priors import GridSpec, WhiteBoxPrior
+from repro.bayes.runner import AssessmentHistory, CheckpointRecord
+from repro.bayes.whitebox import WhiteBoxAssessor
+from repro.common.errors import ConfigurationError
+from repro.core.switching import (
+    CriterionOne,
+    CriterionThree,
+    CriterionTwo,
+    SwitchDecision,
+    evaluate_history,
+)
+
+
+def make_record(demands, ta99=1e-3, tb99=1e-3, tb90=0.8e-3, conf=None):
+    return CheckpointRecord(
+        demands=demands,
+        counts=JointCounts(0, 0, 0, demands),
+        percentile_a_99=ta99,
+        percentile_b_99=tb99,
+        percentile_b_90=tb90,
+        confidence_b_at=conf or {},
+    )
+
+
+def make_history(records):
+    return AssessmentHistory(
+        ground_truth=TwoReleaseGroundTruth(1e-3, 0.3, 0.5e-3),
+        detection_name="perfect",
+        records=records,
+    )
+
+
+class TestCriterionOne:
+    def test_reference_bound_from_prior(self):
+        prior_a = TruncatedBeta(20, 20, upper=0.002)
+        criterion = CriterionOne(prior_a, confidence=0.99)
+        assert criterion.reference_bound == pytest.approx(
+            float(prior_a.ppf(0.99))
+        )
+        assert criterion.required_confidence_targets() == (
+            criterion.reference_bound,
+        )
+
+    def test_record_evaluation(self):
+        prior_a = TruncatedBeta(20, 20, upper=0.002)
+        criterion = CriterionOne(prior_a)
+        bound = criterion.reference_bound
+        ok = make_record(100, conf={bound: 0.995})
+        bad = make_record(100, conf={bound: 0.98})
+        assert criterion.is_satisfied_record(ok)
+        assert not criterion.is_satisfied_record(bad)
+
+    def test_live_assessor_evaluation(self, scenario1_prior, small_grid):
+        criterion = CriterionOne(scenario1_prior.marginal_a)
+        assessor = WhiteBoxAssessor(scenario1_prior, small_grid)
+        # Long failure-free run: B's confidence rises above the bar.
+        assessor.observe(JointCounts(0, 0, 0, 100_000))
+        assert criterion.is_satisfied(assessor)
+
+
+class TestCriterionTwo:
+    def test_record_evaluation(self):
+        criterion = CriterionTwo(1e-3, confidence=0.99)
+        assert criterion.is_satisfied_record(
+            make_record(1, conf={1e-3: 0.992})
+        )
+        assert not criterion.is_satisfied_record(
+            make_record(1, conf={1e-3: 0.5})
+        )
+
+    def test_live_assessor(self, scenario1_prior, small_grid):
+        criterion = CriterionTwo(1.9e-3, confidence=0.9)
+        assessor = WhiteBoxAssessor(scenario1_prior, small_grid)
+        assert criterion.is_satisfied(assessor)  # prior almost all below
+
+    def test_rejects_bad_target(self):
+        from repro.common.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            CriterionTwo(1.5)
+
+
+class TestCriterionThree:
+    def test_record_evaluation(self):
+        criterion = CriterionThree(confidence=0.99)
+        assert criterion.is_satisfied_record(
+            make_record(1, ta99=1e-3, tb99=0.9e-3)
+        )
+        assert not criterion.is_satisfied_record(
+            make_record(1, ta99=1e-3, tb99=1.1e-3)
+        )
+
+    def test_non_99_levels_need_live_assessor(self):
+        criterion = CriterionThree(confidence=0.95)
+        with pytest.raises(ConfigurationError):
+            criterion.is_satisfied_record(make_record(1))
+
+    def test_live_assessor(self, scenario1_prior, small_grid):
+        criterion = CriterionThree()
+        assessor = WhiteBoxAssessor(scenario1_prior, small_grid)
+        # B-only failures push TB99 above TA99.
+        assessor.observe(JointCounts(0, 0, 200, 99_800))
+        assert not criterion.is_satisfied(assessor)
+
+
+class TestEvaluateHistory:
+    def test_first_and_stable_coincide_when_monotone(self):
+        criterion = CriterionTwo(1e-3)
+        history = make_history([
+            make_record(100, conf={1e-3: 0.5}),
+            make_record(200, conf={1e-3: 0.995}),
+            make_record(300, conf={1e-3: 0.999}),
+        ])
+        decision = evaluate_history(criterion, history)
+        assert decision.first_satisfied == 200
+        assert decision.stable_from == 200
+        assert not decision.oscillated
+
+    def test_oscillation_detected(self):
+        criterion = CriterionTwo(1e-3)
+        history = make_history([
+            make_record(100, conf={1e-3: 0.995}),
+            make_record(200, conf={1e-3: 0.9}),
+            make_record(300, conf={1e-3: 0.995}),
+        ])
+        decision = evaluate_history(criterion, history)
+        assert decision.first_satisfied == 100
+        assert decision.stable_from == 300
+        assert decision.oscillated
+
+    def test_never_satisfied(self):
+        criterion = CriterionTwo(1e-3)
+        history = make_history([make_record(100, conf={1e-3: 0.5})])
+        decision = evaluate_history(criterion, history)
+        assert not decision.attainable
+        assert decision.describe(50_000) == "not attainable (> 50,000)"
+
+    def test_describe_formats(self):
+        assert SwitchDecision(1500, 1500).describe(50_000) == "1,500 demands"
+        text = SwitchDecision(1500, 2500).describe(50_000)
+        assert "oscillates till 2,500" in text

@@ -1,0 +1,121 @@
+"""Unit tests for the managed-upgrade report generator."""
+
+import numpy as np
+import pytest
+
+from repro.bayes.beta import TruncatedBeta
+from repro.bayes.priors import GridSpec, WhiteBoxPrior
+from repro.bayes.whitebox import WhiteBoxAssessor
+from repro.core.adjudicators import Adjudication, CollectedResponse
+from repro.core.controller import UpgradeController
+from repro.core.management import ManagementSubsystem
+from repro.core.middleware import UpgradeMiddleware
+from repro.core.monitor import MonitoringSubsystem
+from repro.core.switching import CriterionTwo
+from repro.core.upgrade_report import summarize_release, upgrade_report
+from repro.services.endpoint import ServiceEndpoint
+from repro.services.message import RequestMessage, result_response
+from repro.services.wsdl import default_wsdl
+from repro.simulation.correlation import OutcomeDistribution
+from repro.simulation.distributions import Deterministic
+from repro.simulation.engine import Simulator
+from repro.simulation.release_model import ReleaseBehaviour
+from repro.simulation.timing import SystemTimingPolicy
+
+
+def make_monitor_with_traffic(demands=20):
+    prior = WhiteBoxPrior(TruncatedBeta(1, 5, upper=0.5),
+                          TruncatedBeta(1, 5, upper=0.5))
+    monitor = MonitoringSubsystem(
+        np.random.default_rng(0),
+        watched_pair=("WS 1.0", "WS 1.1"),
+        whitebox_assessor=WhiteBoxAssessor(prior, GridSpec(48, 48, 16)),
+    )
+    for i in range(demands):
+        request = RequestMessage("op", arguments=(i,))
+        items = [
+            CollectedResponse("WS 1.0", result_response(request, i), 0.4),
+            CollectedResponse("WS 1.1", result_response(request, i), 0.3),
+        ]
+        monitor.record_demand(
+            request.message_id, float(i), ["WS 1.0", "WS 1.1"], items,
+            Adjudication("result", items[0].response, "WS 1.0"), 0.5, i,
+        )
+    return monitor
+
+
+class TestSummarizeRelease:
+    def test_rollup(self):
+        monitor = make_monitor_with_traffic(10)
+        summary = summarize_release(monitor, "WS 1.0")
+        assert summary.demands == 10
+        assert summary.availability == pytest.approx(1.0)
+        assert summary.mean_execution_time == pytest.approx(0.4)
+        assert summary.observed_failure_rate == pytest.approx(0.0)
+
+
+class TestUpgradeReport:
+    def test_monitor_only_report(self):
+        monitor = make_monitor_with_traffic()
+        text = upgrade_report(monitor)
+        assert "Per-release dependability" in text
+        assert "WS 1.0" in text and "WS 1.1" in text
+        assert "Joint evidence" in text
+        assert "Posterior pfd bounds" in text
+
+    def test_full_stack_report_mentions_switch(self):
+        simulator = Simulator()
+        monitor = make_monitor_with_traffic()
+
+        def endpoint(release, seed):
+            return ServiceEndpoint(
+                default_wsdl("WS", "n", release=release),
+                ReleaseBehaviour(
+                    f"WS {release}",
+                    OutcomeDistribution(1.0, 0.0, 0.0),
+                    Deterministic(0.2),
+                ),
+                np.random.default_rng(seed),
+            )
+
+        middleware = UpgradeMiddleware(
+            endpoints=[endpoint("1.0", 0), endpoint("1.1", 1)],
+            timing=SystemTimingPolicy(timeout=1.5),
+            rng=np.random.default_rng(2),
+            monitor=monitor,
+        )
+        management = ManagementSubsystem(middleware, simulator.clock)
+        controller = UpgradeController(
+            middleware, management,
+            CriterionTwo(0.49, confidence=0.5),
+            evaluate_every=5, min_demands=5,
+        )
+        for i in range(20):
+            request = RequestMessage("op", arguments=(i,))
+            simulator.schedule_at(
+                i * 2.0,
+                lambda r=request, a=i: middleware.submit(
+                    simulator, r, lambda resp: None, reference_answer=a
+                ),
+            )
+        simulator.run()
+        text = upgrade_report(monitor, management, controller)
+        if controller.switched:
+            assert "SWITCHED" in text
+            assert "Management audit trail" in text
+        else:
+            assert "still in managed upgrade" in text
+
+    def test_report_without_whitebox(self):
+        monitor = MonitoringSubsystem(np.random.default_rng(0))
+        request = RequestMessage("op")
+        items = [
+            CollectedResponse("WS 1.0", result_response(request, 1), 0.4)
+        ]
+        monitor.record_demand(
+            request.message_id, 0.0, ["WS 1.0"], items,
+            Adjudication("result", items[0].response, "WS 1.0"), 0.5, 1,
+        )
+        text = upgrade_report(monitor)
+        assert "Joint evidence" not in text
+        assert "Per-release dependability" in text

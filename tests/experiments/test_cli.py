@@ -1,0 +1,54 @@
+"""Tests for the repro-experiments CLI."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["table2"])
+        assert args.experiment == "table2"
+        assert args.seed == 3
+        assert not args.fast
+        assert args.profile == "paper"
+
+    def test_all_experiments_accepted(self):
+        parser = build_parser()
+        for name in ("table2", "fig7", "fig8", "table5", "table6",
+                     "calibrate", "all"):
+            assert parser.parse_args([name]).experiment == name
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table9"])
+
+
+class TestMain:
+    def test_calibrate_fast(self, capsys):
+        assert main(["calibrate", "--fast", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "calibrate" in out and "Best fit" in out
+
+    def test_table5_fast_profile_calibrated(self, capsys):
+        assert main(
+            ["table5", "--fast", "--profile", "calibrated", "--seed", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Table 5" in out and "NRDT" in out
+
+    def test_multirelease_fast(self, capsys):
+        assert main(["multirelease", "--fast", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "1-out-of-N" in out
+
+    def test_all_excludes_report(self):
+        from repro.experiments.cli import COMMANDS
+
+        assert "report" in COMMANDS
+        # 'all' must not recurse into the report command.
+        import repro.experiments.cli as cli_module
+        import inspect
+
+        source = inspect.getsource(cli_module.main)
+        assert "report" in source  # the exclusion is explicit

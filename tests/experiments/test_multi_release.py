@@ -1,0 +1,52 @@
+"""Tests for the 1-out-of-N extension experiment (reduced sizes)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.experiments.multi_release import (
+    chained_model,
+    run_n_release_simulation,
+    run_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_sweep(release_counts=(1, 2, 3), requests=1_200, seed=3)
+
+
+class TestSweep:
+    def test_all_counts_present(self, sweep):
+        assert sweep.release_counts == [1, 2, 3]
+        for n, metrics in zip(sweep.release_counts, sweep.metrics):
+            assert len(metrics.releases) == n
+            metrics.check_consistency()
+
+    def test_availability_monotone_in_releases(self, sweep):
+        availabilities = [m.system.availability for m in sweep.metrics]
+        for fewer, more in zip(availabilities, availabilities[1:]):
+            assert more >= fewer - 0.01
+
+    def test_met_grows_with_releases(self, sweep):
+        mets = [m.system.mean_execution_time for m in sweep.metrics]
+        for fewer, more in zip(mets, mets[1:]):
+            assert more >= fewer
+
+    def test_render(self, sweep):
+        text = sweep.render()
+        assert "1-out-of-N" in text
+
+
+class TestSingleRun:
+    def test_rejects_zero_releases(self):
+        with pytest.raises(ConfigurationError):
+            run_n_release_simulation(0, requests=10)
+
+    def test_single_release_has_no_forcing(self):
+        metrics = run_n_release_simulation(1, requests=300, seed=5)
+        assert len(metrics.releases) == 1
+        assert metrics.system.total_requests == 300
+
+    def test_chained_model_marginals(self):
+        model = chained_model(1)
+        assert model.marginal_first().p_correct == pytest.approx(0.70)

@@ -1,0 +1,58 @@
+"""Tests for the Fig. 7/8 percentile-curve experiments (reduced sizes)."""
+
+import pytest
+
+from repro.bayes.priors import GridSpec
+from repro.experiments.percentile_curves import run_fig7, run_fig8
+
+
+@pytest.fixture(scope="module")
+def fig8_small():
+    return run_fig8(
+        seed=3,
+        grid=GridSpec(64, 64, 24),
+        total_demands=4_000,
+        checkpoint_every=500,
+    )
+
+
+class TestCurveBundle:
+    def test_all_paper_curves_present(self, fig8_small):
+        assert set(fig8_small.series) == set(fig8_small.PAPER_CURVES)
+
+    def test_axes_aligned(self, fig8_small):
+        n = len(fig8_small.demands)
+        for series in fig8_small.series.values():
+            assert len(series) == n
+
+    def test_90_below_99_same_detection(self, fig8_small):
+        p90 = fig8_small.series["Ch B: 90% percentile (perfect)"]
+        p99 = fig8_small.series["Ch B: 99% percentile (perfect)"]
+        assert all(a <= b for a, b in zip(p90, p99))
+
+    def test_percentiles_shrink_with_evidence(self, fig8_small):
+        # Truth PB = 0.5e-3, far below the prior mean 4e-3: the bound
+        # must come down substantially over the run.
+        p99 = fig8_small.series["Ch B: 99% percentile (perfect)"]
+        assert p99[-1] < p99[0]
+
+    def test_detection_error_bound_holds(self, fig8_small):
+        # The §5.1.1.4 claim at these sizes.
+        assert fig8_small.detection_confidence_error_ok()
+
+    def test_render_table(self, fig8_small):
+        text = fig8_small.render(stride=2)
+        assert "Demands" in text
+        assert "Ch A: 99% percentile (perfect)" in text
+
+
+class TestFig7Small:
+    def test_runs_and_has_curves(self):
+        curves = run_fig7(
+            seed=3,
+            grid=GridSpec(48, 48, 16),
+            total_demands=4_000,
+            checkpoint_every=1_000,
+        )
+        assert curves.scenario == "scenario-1"
+        assert len(curves.demands) == 4

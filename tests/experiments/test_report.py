@@ -1,0 +1,65 @@
+"""Tests for the markdown report generator (section level, small sizes)."""
+
+import pytest
+
+from repro.bayes.priors import GridSpec
+from repro.experiments import report as report_mod
+from repro.experiments.percentile_curves import run_fig8
+from repro.experiments.table5 import run_table5
+
+
+class TestSections:
+    def test_table2_section(self):
+        sizes = report_mod.ReportSizes(fast=True)
+        sizes.table2_demands = 3_000
+        sizes.table2_checkpoint = 1_000
+        sizes.grid = GridSpec(48, 48, 16)
+        text = report_mod._table2_section(seed=3, sizes=sizes)
+        assert text.startswith("## Table 2")
+        assert "| scenario-1 | perfect |" in text
+
+    def test_figure_section(self):
+        curves = run_fig8(
+            seed=3, grid=GridSpec(48, 48, 16),
+            total_demands=2_000, checkpoint_every=500,
+        )
+        text = report_mod._figure_section("Fig. 8", curves)
+        assert text.startswith("## Fig. 8")
+        assert "| Demands |" in text
+        assert "99%-omission everywhere" in text
+
+    def test_event_table_section(self):
+        table = run_table5(seed=3, requests=300, timeouts=(1.5,),
+                           runs=(1,))
+        text = report_mod._event_table_section("Table 5", table)
+        assert "| Run | TimeOut |" in text
+        assert "above-both" in text or "between" in text
+
+    def test_multi_release_section(self):
+        sizes = report_mod.ReportSizes(fast=True)
+        sizes.sweep_requests = 300
+        text = report_mod._multi_release_section(sizes, seed=3)
+        assert "1-out-of-N" in text
+
+    def test_calibration_section(self):
+        sizes = report_mod.ReportSizes(fast=True)
+        sizes.calibration_samples = 5_000
+        text = report_mod._calibration_section(sizes, seed=3)
+        assert "Best fit" in text
+        assert "| paper |" in text
+
+
+class TestWriteReport:
+    def test_report_sizes_toggle(self):
+        fast = report_mod.ReportSizes(fast=True)
+        full = report_mod.ReportSizes(fast=False)
+        assert fast.requests < full.requests
+        assert fast.grid.cells < full.grid.cells
+
+    def test_cli_output_flag_parsed(self):
+        from repro.experiments.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["report", "--output", "/tmp/x.md"]
+        )
+        assert args.output == "/tmp/x.md"

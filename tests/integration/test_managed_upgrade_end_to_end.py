@@ -1,0 +1,166 @@
+"""End-to-end integration: the full third-party managed upgrade (Fig. 4).
+
+Builds the whole stack — registry, notification, endpoints, middleware,
+monitor with a white-box assessor, management, controller — publishes a
+new release mid-run, and checks that the controller eventually switches
+and that consumers never see an interruption.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bayes.priors import GridSpec
+from repro.bayes.whitebox import WhiteBoxAssessor
+from repro.bayes.beta import TruncatedBeta
+from repro.bayes.priors import WhiteBoxPrior
+from repro.common.seeding import SeedSequenceFactory
+from repro.core.controller import UpgradeController
+from repro.core.management import ManagementSubsystem
+from repro.core.middleware import UpgradeMiddleware
+from repro.core.monitor import MonitoringSubsystem
+from repro.core.switching import CriterionThree
+from repro.services.client import ServiceConsumer
+from repro.services.endpoint import ServiceEndpoint
+from repro.services.message import RequestMessage
+from repro.services.notification import NotificationService
+from repro.services.registry import UddiRegistry
+from repro.services.wsdl import default_wsdl
+from repro.simulation.correlation import OutcomeDistribution
+from repro.simulation.distributions import Deterministic
+from repro.simulation.engine import Simulator
+from repro.simulation.release_model import ReleaseBehaviour
+from repro.simulation.timing import SystemTimingPolicy
+
+
+@pytest.fixture
+def stack():
+    seeds = SeedSequenceFactory(777)
+    simulator = Simulator()
+    registry = UddiRegistry()
+    notifications = NotificationService.bridged_to(registry)
+
+    old_wsdl = default_wsdl("Stock", "node-1", release="1.0")
+    registry.publish(old_wsdl, provider="acme")
+    old = ServiceEndpoint(
+        old_wsdl,
+        ReleaseBehaviour(
+            "Stock 1.0",
+            OutcomeDistribution(0.98, 0.01, 0.01),
+            Deterministic(0.2),
+        ),
+        seeds.generator("old"),
+    )
+
+    prior = WhiteBoxPrior(
+        TruncatedBeta(2, 8, upper=0.2), TruncatedBeta(2, 8, upper=0.2)
+    )
+    whitebox = WhiteBoxAssessor(prior, GridSpec(48, 48, 16))
+    monitor = MonitoringSubsystem(
+        seeds.generator("monitor"),
+        watched_pair=("Stock 1.0", "Stock 1.1"),
+        whitebox_assessor=whitebox,
+        blackbox_prior=TruncatedBeta(2, 8, upper=0.2),
+    )
+    middleware = UpgradeMiddleware(
+        endpoints=[old],
+        timing=SystemTimingPolicy(timeout=1.5, adjudication_delay=0.1),
+        rng=seeds.generator("mw"),
+        monitor=monitor,
+    )
+    management = ManagementSubsystem(middleware, simulator.clock)
+    controller = UpgradeController(
+        middleware, management, CriterionThree(confidence=0.9),
+        evaluate_every=25, min_demands=50,
+    )
+
+    # When the registry announces the upgrade, deploy the new release
+    # next to the old one (the managed-upgrade entry path).
+    def on_upgrade(event):
+        new_wsdl = registry.find(event.service_name).release(
+            event.new_release
+        )
+        new = ServiceEndpoint(
+            new_wsdl,
+            ReleaseBehaviour(
+                "Stock 1.1",
+                OutcomeDistribution(0.995, 0.0025, 0.0025),
+                Deterministic(0.15),
+            ),
+            seeds.generator("new"),
+        )
+        management.add_release(new)
+
+    notifications.subscribe("Stock", on_upgrade)
+    return simulator, registry, middleware, management, controller, seeds
+
+
+def test_full_upgrade_lifecycle(stack):
+    simulator, registry, middleware, management, controller, seeds = stack
+    consumer = ServiceConsumer("client", middleware, timeout=3.0)
+
+    # Publish the new release after 100 demands' worth of traffic.
+    simulator.schedule_at(
+        100 * 2.0,
+        lambda: registry.publish(
+            default_wsdl("Stock", "node-2", release="1.1"), provider="acme"
+        ),
+    )
+    for i in range(600):
+        request = RequestMessage("operation1", arguments=(i,))
+        simulator.schedule_at(
+            i * 2.0,
+            lambda r=request, a=i: consumer.issue(
+                simulator, r, reference_answer=a
+            ),
+        )
+    simulator.run()
+
+    # 1. Service never interrupted: every demand produced a response.
+    assert consumer.stats.issued == 600
+    assert consumer.stats.answered == 600
+    assert consumer.stats.timeouts == 0
+
+    # 2. The new release was deployed alongside the old one at upgrade
+    #    time, and the controller eventually switched to it alone.
+    assert controller.switched
+    assert middleware.release_names() == ["Stock 1.1"]
+    actions = [a.action for a in management.actions]
+    assert actions.count("add-release") == 1
+    assert actions.count("remove-release") == 1
+
+    # 3. The switch consumed real operational evidence.
+    assert controller.switch_record.demand_index >= 50
+
+    # 4. Monitoring recorded the transition: the white-box assessor saw
+    #    only the demands where both releases were deployed.
+    whitebox = middleware.monitor.whitebox
+    assert 0 < whitebox.counts.total < 600
+
+
+def test_upgrade_without_switch_keeps_both_releases(stack):
+    simulator, registry, middleware, management, controller, seeds = stack
+    # Make the criterion unattainable by replacing it with a fresh
+    # controller whose threshold cannot be met.
+    from repro.core.switching import CriterionTwo
+
+    strict = UpgradeController(
+        middleware, management, CriterionTwo(1e-9, confidence=0.999999),
+        evaluate_every=25, min_demands=10,
+    )
+    # Make the fixture's controller equally strict so neither switches.
+    controller.criterion = strict.criterion
+
+    registry.publish(default_wsdl("Stock", "node-2", release="1.1"))
+    consumer = ServiceConsumer("client", middleware, timeout=3.0)
+    for i in range(100):
+        request = RequestMessage("operation1", arguments=(i,))
+        simulator.schedule_at(
+            i * 2.0,
+            lambda r=request, a=i: consumer.issue(
+                simulator, r, reference_answer=a
+            ),
+        )
+    simulator.run()
+    assert not strict.switched
+    # The paper's point: staying in 1-out-of-2 indefinitely is safe.
+    assert set(middleware.release_names()) >= {"Stock 1.0", "Stock 1.1"}

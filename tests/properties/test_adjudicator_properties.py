@@ -1,0 +1,101 @@
+"""Property-based tests on adjudication invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adjudicators import (
+    CollectedResponse,
+    FastestValidAdjudicator,
+    MajorityVoteAdjudicator,
+    PaperRuleAdjudicator,
+)
+from repro.services.message import (
+    RequestMessage,
+    fault_response,
+    result_response,
+)
+
+ADJUDICATORS = [
+    PaperRuleAdjudicator(),
+    MajorityVoteAdjudicator(),
+    FastestValidAdjudicator(),
+]
+
+
+@st.composite
+def collected_sets(draw):
+    request = RequestMessage("operation1")
+    count = draw(st.integers(0, 6))
+    items = []
+    for index in range(count):
+        is_fault = draw(st.booleans())
+        t = draw(st.floats(0.01, 5.0, allow_nan=False))
+        if is_fault:
+            response = fault_response(request, "x", f"r{index}")
+        else:
+            result = draw(st.integers(0, 3))
+            response = result_response(request, result, f"r{index}")
+        items.append(CollectedResponse(f"r{index}", response, t))
+    return request, items
+
+
+class TestUniversalInvariants:
+    @given(collected_sets(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=120, deadline=None)
+    def test_verdict_consistency(self, data, seed):
+        request, items = data
+        rng = np.random.default_rng(seed)
+        valid = [c for c in items if c.is_valid]
+        for adjudicator in ADJUDICATORS:
+            adjudication = adjudicator.adjudicate(request, items, rng)
+            if not items:
+                assert adjudication.verdict == "unavailable"
+            elif not valid:
+                assert adjudication.verdict == "all-evident"
+            else:
+                assert adjudication.verdict == "result"
+                # The returned response must be one of the valid ones.
+                assert adjudication.response.result in {
+                    c.response.result for c in valid
+                }
+                assert not adjudication.response.is_fault
+
+    @given(collected_sets(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_response_always_present(self, data, seed):
+        request, items = data
+        rng = np.random.default_rng(seed)
+        for adjudicator in ADJUDICATORS:
+            adjudication = adjudicator.adjudicate(request, items, rng)
+            assert adjudication.response is not None
+
+    @given(collected_sets(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_unanimous_valid_result_always_returned(self, data, seed):
+        request, items = data
+        rng = np.random.default_rng(seed)
+        valid = [c for c in items if c.is_valid]
+        if not valid:
+            return
+        unanimous = {c.response.result for c in valid}
+        if len(unanimous) != 1:
+            return
+        expected = next(iter(unanimous))
+        for adjudicator in ADJUDICATORS:
+            adjudication = adjudicator.adjudicate(request, items, rng)
+            assert adjudication.response.result == expected
+
+    @given(collected_sets(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_fastest_valid_is_minimal_time(self, data, seed):
+        request, items = data
+        rng = np.random.default_rng(seed)
+        valid = [c for c in items if c.is_valid]
+        if not valid:
+            return
+        adjudication = FastestValidAdjudicator().adjudicate(
+            request, items, rng
+        )
+        fastest = min(valid, key=lambda c: c.execution_time)
+        assert adjudication.chosen_release == fastest.release

@@ -1,0 +1,111 @@
+"""Property-based tests on outcome and latency distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bayes.counts import JointCounts
+from repro.bayes.demand_process import TwoReleaseGroundTruth
+from repro.bayes.detection import (
+    BackToBackDetection,
+    OmissionDetection,
+    PerfectDetection,
+)
+from repro.simulation.correlation import (
+    ConditionalOutcomeMatrix,
+    ConditionalOutcomeModel,
+    OutcomeDistribution,
+)
+
+
+@st.composite
+def outcome_distributions(draw):
+    a = draw(st.floats(0.01, 1.0))
+    b = draw(st.floats(0.0, 1.0))
+    c = draw(st.floats(0.0, 1.0))
+    total = a + b + c
+    return OutcomeDistribution(a / total, b / total, c / total)
+
+
+@st.composite
+def ground_truths(draw):
+    return TwoReleaseGroundTruth(
+        draw(st.floats(0.0, 0.5)),
+        draw(st.floats(0.0, 1.0)),
+        draw(st.floats(0.0, 0.5)),
+    )
+
+
+class TestOutcomeDistributionProperties:
+    @given(outcome_distributions())
+    @settings(max_examples=60, deadline=None)
+    def test_vector_normalised(self, dist):
+        assert dist.as_vector().sum() == pytest.approx(1.0)
+        assert dist.p_failure == pytest.approx(1.0 - dist.p_correct)
+
+    @given(outcome_distributions(), st.floats(0.0, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_implied_marginal_is_distribution(self, dist, diagonal):
+        matrix = ConditionalOutcomeMatrix.symmetric(diagonal)
+        implied = matrix.implied_marginal(dist)
+        assert implied.as_vector().sum() == pytest.approx(1.0)
+
+    @given(outcome_distributions(), st.floats(0.0, 1.0),
+           st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_conditional_sampling_agreement_rate(self, dist, diagonal, seed):
+        model = ConditionalOutcomeModel(
+            dist, ConditionalOutcomeMatrix.symmetric(diagonal)
+        )
+        rng = np.random.default_rng(seed)
+        i, j = model.sample_pairs(rng, 3_000)
+        agreement = float(np.mean(i == j))
+        assert agreement == pytest.approx(diagonal, abs=0.06)
+
+
+class TestGroundTruthProperties:
+    @given(ground_truths())
+    @settings(max_examples=60, deadline=None)
+    def test_event_probabilities_form_distribution(self, gt):
+        probs = gt.event_probabilities()
+        assert all(p >= -1e-12 for p in probs)
+        assert sum(probs) == pytest.approx(1.0)
+
+    @given(ground_truths())
+    @settings(max_examples=60, deadline=None)
+    def test_pab_bounded(self, gt):
+        assert gt.p_ab <= min(gt.p_a, gt.p_b) + 1e-12
+
+
+class TestDetectionProperties:
+    @given(ground_truths(), st.floats(0.0, 1.0), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_omission_only_hides(self, gt, p_omit, seed):
+        rng = np.random.default_rng(seed)
+        a, b = gt.sample(rng, 2_000)
+        oa, ob = OmissionDetection(p_omit).observe(a, b, rng)
+        assert not np.any(oa & ~a) and not np.any(ob & ~b)
+
+    @given(ground_truths(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_back_to_back_counts_consistent(self, gt, seed):
+        rng = np.random.default_rng(seed)
+        a, b = gt.sample(rng, 2_000)
+        oa, ob = BackToBackDetection().observe(a, b, rng)
+        true_counts = JointCounts.from_observations(a, b)
+        observed = JointCounts.from_observations(oa, ob)
+        # Exactly the coincident failures move from '11' to '00'.
+        assert observed.both_fail == 0
+        assert observed.both_succeed == (
+            true_counts.both_succeed + true_counts.both_fail
+        )
+        assert observed.only_first_fails == true_counts.only_first_fails
+
+    @given(ground_truths(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_perfect_is_identity(self, gt, seed):
+        rng = np.random.default_rng(seed)
+        a, b = gt.sample(rng, 500)
+        oa, ob = PerfectDetection().observe(a, b, rng)
+        assert np.array_equal(oa, a) and np.array_equal(ob, b)

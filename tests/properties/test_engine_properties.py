@@ -1,0 +1,59 @@
+"""Property-based tests on the discrete-event kernel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.engine import Simulator
+
+
+class TestDispatchOrder:
+    @given(st.lists(st.floats(0.0, 100.0, allow_nan=False), max_size=50))
+    @settings(max_examples=80, deadline=None)
+    def test_events_fire_in_nondecreasing_time(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(
+        st.lists(st.floats(0.0, 100.0, allow_nan=False), max_size=30),
+        st.sets(st.integers(0, 29)),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_cancellation_removes_exactly_those_events(
+        self, delays, cancel_indices
+    ):
+        sim = Simulator()
+        fired = []
+        events = []
+        for index, delay in enumerate(delays):
+            events.append(
+                sim.schedule(delay, lambda i=index: fired.append(i))
+            )
+        for index in cancel_indices:
+            if index < len(events):
+                events[index].cancel()
+        sim.run()
+        cancelled = {i for i in cancel_indices if i < len(delays)}
+        assert set(fired) == set(range(len(delays))) - cancelled
+
+    @given(
+        st.lists(st.floats(0.0, 50.0, allow_nan=False), min_size=1,
+                 max_size=30),
+        st.floats(0.0, 60.0, allow_nan=False),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_run_until_partitions_events(self, delays, horizon):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda d=delay: fired.append(d))
+        sim.run(until=horizon)
+        assert all(d <= horizon for d in fired)
+        remaining = [d for d in delays if d > horizon]
+        assert sim.pending_count == len(remaining)
+        sim.run()
+        assert len(fired) == len(delays)

@@ -1,0 +1,67 @@
+"""Property-based tests on the metrics accounting invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.metrics import ReleaseMetrics, SystemMetrics
+from repro.simulation.outcomes import Outcome
+
+events = st.lists(
+    st.one_of(
+        st.tuples(
+            st.sampled_from(list(Outcome)),
+            st.floats(0.0, 10.0, allow_nan=False),
+        ),
+        st.none(),  # None = no response within TimeOut
+    ),
+    max_size=200,
+)
+
+
+@given(events)
+@settings(max_examples=100, deadline=None)
+def test_accounting_closes(event_list):
+    metrics = ReleaseMetrics("rel")
+    for event in event_list:
+        if event is None:
+            metrics.record_no_response()
+        else:
+            outcome, time = event
+            metrics.record_response(outcome, time)
+    assert metrics.counts.total + metrics.no_response == (
+        metrics.total_requests
+    )
+    assert metrics.total_requests == len(event_list)
+    responded = [e for e in event_list if e is not None]
+    if responded:
+        assert 0.0 <= metrics.availability <= 1.0
+        assert metrics.reliability <= metrics.availability + 1e-12
+        times = [time for _outcome, time in responded]
+        assert min(times) - 1e-9 <= metrics.mean_execution_time
+        assert metrics.mean_execution_time <= max(times) + 1e-9
+
+
+@given(events, events)
+@settings(max_examples=50, deadline=None)
+def test_system_consistency_check_accepts_valid_runs(first, second):
+    # Pad the shorter stream so both releases see every demand.
+    length = max(len(first), len(second))
+    first = list(first) + [None] * (length - len(first))
+    second = list(second) + [None] * (length - len(second))
+    metrics = SystemMetrics(
+        releases=[ReleaseMetrics("a"), ReleaseMetrics("b")]
+    )
+    for event_a, event_b in zip(first, second):
+        for row, event in ((metrics.releases[0], event_a),
+                           (metrics.releases[1], event_b)):
+            if event is None:
+                row.record_no_response()
+            else:
+                row.record_response(*event)
+        # System: responds when either release did.
+        if event_a is None and event_b is None:
+            metrics.system.record_no_response(1.6)
+        else:
+            chosen = event_a if event_a is not None else event_b
+            metrics.system.record_response(chosen[0], chosen[1] + 0.1)
+    metrics.check_consistency()  # must not raise

@@ -1,0 +1,117 @@
+"""Property-based tests over the middleware's end-to-end invariants.
+
+For random configurations (mode, timeout, latencies, outcome mixes), a
+batch of demands through the full event-driven stack must satisfy:
+
+* exactly one adjudicated response is delivered per demand;
+* exactly one observation record is logged per demand;
+* every record satisfies ``Total + NRDT == requests`` per release;
+* consumer-visible time never exceeds ``TimeOut + dT`` (+ float eps);
+* the simulator drains (no stuck state machines).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.middleware import UpgradeMiddleware
+from repro.core.modes import ModeConfig, SequentialOrder
+from repro.core.monitor import MonitoringSubsystem
+from repro.experiments.event_sim import metrics_from_log
+from repro.services.endpoint import ServiceEndpoint
+from repro.services.message import RequestMessage
+from repro.services.wsdl import default_wsdl
+from repro.simulation.correlation import OutcomeDistribution
+from repro.simulation.distributions import Exponential
+from repro.simulation.engine import Simulator
+from repro.simulation.release_model import ReleaseBehaviour
+from repro.simulation.timing import SystemTimingPolicy
+
+
+@st.composite
+def configurations(draw):
+    mode_choice = draw(st.sampled_from([
+        ModeConfig.max_reliability(),
+        ModeConfig.max_responsiveness(),
+        ModeConfig.dynamic(1),
+        ModeConfig.dynamic(2),
+        ModeConfig.sequential(),
+        ModeConfig.sequential(SequentialOrder.RANDOM),
+    ]))
+    timeout = draw(st.floats(0.5, 3.0))
+    releases = draw(st.integers(1, 3))
+    outcome_mixes = []
+    for _ in range(releases):
+        cr = draw(st.floats(0.05, 1.0))
+        er = draw(st.floats(0.0, 1.0))
+        ner = draw(st.floats(0.0, 1.0))
+        total = cr + er + ner
+        outcome_mixes.append((cr / total, er / total, ner / total))
+    latency_means = [
+        draw(st.floats(0.05, 2.0)) for _ in range(releases)
+    ]
+    seed = draw(st.integers(0, 2**31 - 1))
+    return mode_choice, timeout, outcome_mixes, latency_means, seed
+
+
+@given(configurations())
+@settings(max_examples=30, deadline=None)
+def test_every_demand_closes_exactly_once(config):
+    mode, timeout, outcome_mixes, latency_means, seed = config
+    demands = 40
+    simulator = Simulator()
+    rng_root = np.random.default_rng(seed)
+    endpoints = []
+    for index, (mix, latency) in enumerate(
+        zip(outcome_mixes, latency_means)
+    ):
+        endpoints.append(
+            ServiceEndpoint(
+                default_wsdl("WS", f"n{index}", release=f"1.{index}"),
+                ReleaseBehaviour(
+                    f"WS 1.{index}",
+                    OutcomeDistribution(*mix),
+                    Exponential(latency),
+                ),
+                np.random.default_rng(rng_root.integers(2**31)),
+            )
+        )
+    monitor = MonitoringSubsystem(
+        np.random.default_rng(rng_root.integers(2**31))
+    )
+    middleware = UpgradeMiddleware(
+        endpoints=endpoints,
+        timing=SystemTimingPolicy(timeout=timeout,
+                                  adjudication_delay=0.1),
+        rng=np.random.default_rng(rng_root.integers(2**31)),
+        mode=mode,
+        monitor=monitor,
+    )
+    delivered = []
+    spacing = timeout + 1.0
+    for i in range(demands):
+        request = RequestMessage("operation1", arguments=(i,))
+        simulator.schedule_at(
+            i * spacing,
+            lambda r=request, a=i: middleware.submit(
+                simulator, r, delivered.append, reference_answer=a
+            ),
+        )
+    simulator.run()
+
+    # 1. one delivery per demand
+    assert len(delivered) == demands
+    # 2. one log record per demand
+    assert len(monitor.log) == demands
+    # 3. per-release accounting closes
+    metrics = metrics_from_log(
+        monitor.log, [endpoint.name for endpoint in endpoints]
+    )
+    metrics.check_consistency()
+    # 4. consumer-visible system time bounded by TimeOut + dT
+    for record in monitor.log:
+        if record.system_time is not None:
+            assert record.system_time <= timeout + 0.1 + 1e-9
+    # 5. kernel drained
+    assert simulator.pending_count == 0

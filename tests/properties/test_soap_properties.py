@@ -1,0 +1,53 @@
+"""Property-based round-trip tests for the SOAP envelope renderer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.services.message import RequestMessage
+from repro.services.soap import parse_request, render_request
+
+# Text without the XML-forbidden control characters and without \r
+# (which XML normalises), but including markup-significant characters.
+safe_text = st.text(
+    alphabet=st.characters(
+        blacklist_categories=("Cs", "Cc"),
+    ),
+    max_size=40,
+)
+
+arguments = st.lists(
+    st.one_of(
+        st.integers(-(2**31), 2**31 - 1),
+        st.booleans(),
+        safe_text,
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+    ),
+    max_size=5,
+)
+
+operation_names = st.from_regex(r"[A-Za-z][A-Za-z0-9]{0,20}",
+                                fullmatch=True)
+
+
+class TestRoundTrip:
+    @given(operation_names, arguments)
+    @settings(max_examples=100, deadline=None)
+    def test_request_round_trips(self, operation, args):
+        original = RequestMessage(operation, arguments=tuple(args))
+        parsed = parse_request(render_request(original))
+        assert parsed.operation == original.operation
+        assert parsed.message_id == original.message_id
+        assert len(parsed.arguments) == len(original.arguments)
+        for ours, theirs in zip(parsed.arguments, original.arguments):
+            if isinstance(theirs, float) and not isinstance(theirs, bool):
+                assert ours == theirs
+            else:
+                assert ours == theirs
+                assert type(ours) is type(theirs)
+
+    @given(safe_text)
+    @settings(max_examples=100, deadline=None)
+    def test_string_payload_escaping(self, text):
+        original = RequestMessage("op", arguments=(text,))
+        parsed = parse_request(render_request(original))
+        assert parsed.arguments == (text,)

@@ -1,0 +1,80 @@
+"""Unit tests for service consumers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.services.client import EndpointPort, ServiceConsumer
+from repro.services.endpoint import ServiceEndpoint
+from repro.services.message import RequestMessage
+from repro.services.wsdl import default_wsdl
+from repro.simulation.correlation import OutcomeDistribution
+from repro.simulation.distributions import Deterministic
+from repro.simulation.engine import Simulator
+from repro.simulation.release_model import ReleaseBehaviour
+
+
+def make_port(latency=0.5, er=0.0):
+    behaviour = ReleaseBehaviour(
+        "WS 1.0",
+        OutcomeDistribution(1.0 - er, er, 0.0),
+        Deterministic(latency),
+    )
+    endpoint = ServiceEndpoint(
+        default_wsdl("WS", "n"), behaviour, np.random.default_rng(0)
+    )
+    return EndpointPort(endpoint)
+
+
+class TestServiceConsumer:
+    def test_successful_round_trip(self):
+        sim = Simulator()
+        consumer = ServiceConsumer("c1", make_port(latency=0.5), timeout=2.0)
+        responses = []
+        consumer.issue(
+            sim, RequestMessage("operation1"), reference_answer=7,
+            on_response=responses.append,
+        )
+        sim.run()
+        assert consumer.stats.issued == 1
+        assert consumer.stats.answered == 1
+        assert consumer.stats.timeouts == 0
+        assert responses[0].result == 7
+        assert consumer.stats.mean_response_time == pytest.approx(0.5)
+
+    def test_timeout_counted_when_service_slow(self):
+        sim = Simulator()
+        consumer = ServiceConsumer("c1", make_port(latency=5.0), timeout=1.0)
+        responses = []
+        consumer.issue(sim, RequestMessage("operation1"),
+                       on_response=responses.append)
+        sim.run()
+        assert consumer.stats.timeouts == 1
+        assert consumer.stats.answered == 0
+        assert responses == []
+
+    def test_fault_counted(self):
+        sim = Simulator()
+        consumer = ServiceConsumer("c1", make_port(er=1.0), timeout=2.0)
+        consumer.issue(sim, RequestMessage("operation1"))
+        sim.run()
+        assert consumer.stats.faults == 1
+        assert consumer.stats.answered == 1
+
+    def test_multiple_requests_tracked_independently(self):
+        sim = Simulator()
+        consumer = ServiceConsumer("c1", make_port(latency=0.5), timeout=2.0)
+        for _ in range(5):
+            consumer.issue(sim, RequestMessage("operation1"))
+        sim.run()
+        assert consumer.stats.answered == 5
+        assert consumer.stats.timeouts == 0
+
+    def test_empty_stats_mean_is_nan(self):
+        consumer = ServiceConsumer("c1", make_port(), timeout=1.0)
+        assert math.isnan(consumer.stats.mean_response_time)
+
+    def test_rejects_non_positive_timeout(self):
+        with pytest.raises(Exception):
+            ServiceConsumer("c1", make_port(), timeout=0.0)

@@ -1,0 +1,167 @@
+"""Unit tests for composite service orchestration."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.services.client import EndpointPort
+from repro.services.composite import CompositeService, OrchestrationStep
+from repro.services.endpoint import ServiceEndpoint
+from repro.services.message import RequestMessage
+from repro.services.wsdl import default_wsdl
+from repro.simulation.correlation import OutcomeDistribution
+from repro.simulation.distributions import Deterministic
+from repro.simulation.engine import Simulator
+from repro.simulation.release_model import ReleaseBehaviour
+
+
+def make_port(latency=0.1, er=0.0, seed=0):
+    behaviour = ReleaseBehaviour(
+        "c",
+        OutcomeDistribution(1.0 - er, er, 0.0),
+        Deterministic(latency),
+    )
+    endpoint = ServiceEndpoint(
+        default_wsdl("Component", "n"), behaviour,
+        np.random.default_rng(seed),
+    )
+    return EndpointPort(endpoint)
+
+
+def make_composite(component_ports):
+    steps = [
+        OrchestrationStep(component=key, operation="operation1")
+        for key in component_ports
+    ]
+    return CompositeService(
+        wsdl=default_wsdl("Composite", "my-node"),
+        components=component_ports,
+        plan=steps,
+        combine=lambda results: sorted(results),
+    )
+
+
+class TestOrchestration:
+    def test_sequential_steps_all_run(self):
+        sim = Simulator()
+        composite = make_composite({"ws1": make_port(), "ws2": make_port()})
+        got = []
+        composite.submit(
+            sim, RequestMessage("operation1"), got.append,
+            reference_answer=5,
+        )
+        sim.run()
+        assert len(got) == 1
+        assert not got[0].is_fault
+        # combine() received one result per step.
+        assert len(got[0].result) == 2
+
+    def test_component_fault_aborts_workflow(self):
+        sim = Simulator()
+        composite = make_composite(
+            {"ws1": make_port(er=1.0), "ws2": make_port()}
+        )
+        got = []
+        composite.submit(sim, RequestMessage("operation1"), got.append)
+        sim.run()
+        assert got[0].is_fault
+        assert "ws1" in got[0].fault
+        assert composite.composite_faults == 1
+
+    def test_steps_execute_in_order(self):
+        sim = Simulator()
+        order = []
+
+        class RecordingPort:
+            def __init__(self, key):
+                self.key = key
+
+            def submit(self, simulator, request, deliver,
+                       reference_answer=None):
+                order.append(self.key)
+                from repro.services.message import result_response
+                simulator.schedule(
+                    0.1, lambda: deliver(result_response(request, self.key))
+                )
+
+        composite = CompositeService(
+            wsdl=default_wsdl("Composite", "n"),
+            components={"a": RecordingPort("a"), "b": RecordingPort("b")},
+            plan=[
+                OrchestrationStep("a", "operation1"),
+                OrchestrationStep("b", "operation1"),
+            ],
+            combine=lambda results: results,
+        )
+        composite.submit(sim, RequestMessage("operation1"), lambda r: None)
+        sim.run()
+        assert order == ["a", "b"]
+
+    def test_step_arguments_can_depend_on_prior_results(self):
+        sim = Simulator()
+
+        captured = {}
+
+        class EchoPort:
+            def submit(self, simulator, request, deliver,
+                       reference_answer=None):
+                captured["args"] = request.arguments
+                from repro.services.message import result_response
+                simulator.schedule(
+                    0.0, lambda: deliver(result_response(request, "r1"))
+                )
+
+        composite = CompositeService(
+            wsdl=default_wsdl("Composite", "n"),
+            components={"a": EchoPort(), "b": EchoPort()},
+            plan=[
+                OrchestrationStep("a", "operation1"),
+                OrchestrationStep(
+                    "b",
+                    "operation1",
+                    build_arguments=lambda req, results: (
+                        results["a:0"],
+                    ),
+                ),
+            ],
+            combine=lambda results: results,
+        )
+        composite.submit(sim, RequestMessage("operation1", arguments=(9,)),
+                         lambda r: None)
+        sim.run()
+        assert captured["args"] == ("r1",)
+
+    def test_composites_nest(self):
+        sim = Simulator()
+        inner = make_composite({"ws1": make_port()})
+        outer = CompositeService(
+            wsdl=default_wsdl("Outer", "n"),
+            components={"inner": inner},
+            plan=[OrchestrationStep("inner", "operation1")],
+            combine=lambda results: results,
+        )
+        got = []
+        outer.submit(sim, RequestMessage("operation1"), got.append,
+                     reference_answer=3)
+        sim.run()
+        assert len(got) == 1 and not got[0].is_fault
+
+
+class TestValidation:
+    def test_empty_plan_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CompositeService(
+                wsdl=default_wsdl("C", "n"),
+                components={"a": make_port()},
+                plan=[],
+                combine=lambda r: r,
+            )
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CompositeService(
+                wsdl=default_wsdl("C", "n"),
+                components={"a": make_port()},
+                plan=[OrchestrationStep("missing", "operation1")],
+                combine=lambda r: r,
+            )

@@ -1,0 +1,129 @@
+"""Unit tests for the §6.2 confidence-publishing strategies."""
+
+import numpy as np
+import pytest
+
+from repro.services.client import EndpointPort
+from repro.services.confidence_publishing import (
+    ConfidenceOperationPublisher,
+    ConfidentVariantPublisher,
+    ResponseExtensionPublisher,
+    StaticConfidenceSource,
+)
+from repro.services.endpoint import ServiceEndpoint
+from repro.services.message import RequestMessage
+from repro.services.wsdl import default_wsdl
+from repro.simulation.correlation import OutcomeDistribution
+from repro.simulation.distributions import Deterministic
+from repro.simulation.engine import Simulator
+from repro.simulation.release_model import ReleaseBehaviour
+
+
+@pytest.fixture
+def port():
+    behaviour = ReleaseBehaviour(
+        "WS 1.0",
+        OutcomeDistribution(1.0, 0.0, 0.0),
+        Deterministic(0.1),
+    )
+    endpoint = ServiceEndpoint(
+        default_wsdl("WS", "n"), behaviour, np.random.default_rng(0)
+    )
+    return EndpointPort(endpoint)
+
+
+@pytest.fixture
+def source():
+    return StaticConfidenceSource({"operation1": 0.97})
+
+
+class TestResponseExtensionPublisher:
+    def test_result_carries_confidence(self, port, source):
+        sim = Simulator()
+        publisher = ResponseExtensionPublisher(port, source)
+        got = []
+        publisher.submit(sim, RequestMessage("operation1"), got.append,
+                         reference_answer=5)
+        sim.run()
+        assert got[0].result == {"value": 5, "confidence": 0.97}
+
+    def test_faults_pass_through_unchanged(self, source):
+        sim = Simulator()
+        behaviour = ReleaseBehaviour(
+            "WS 1.0", OutcomeDistribution(0.0, 1.0, 0.0), Deterministic(0.1)
+        )
+        endpoint = ServiceEndpoint(
+            default_wsdl("WS", "n"), behaviour, np.random.default_rng(0)
+        )
+        publisher = ResponseExtensionPublisher(EndpointPort(endpoint), source)
+        got = []
+        publisher.submit(sim, RequestMessage("operation1"), got.append)
+        sim.run()
+        assert got[0].is_fault and got[0].result is None
+
+
+class TestConfidenceOperationPublisher:
+    def test_conf_operation_answered_locally(self, port, source):
+        sim = Simulator()
+        publisher = ConfidenceOperationPublisher(port, source)
+        got = []
+        publisher.submit(
+            sim,
+            RequestMessage("OperationConf", arguments=("operation1",)),
+            got.append,
+        )
+        sim.run()
+        assert got[0].result == 0.97
+
+    def test_regular_operations_pass_through(self, port, source):
+        sim = Simulator()
+        publisher = ConfidenceOperationPublisher(port, source)
+        got = []
+        publisher.submit(sim, RequestMessage("operation1"), got.append,
+                         reference_answer=3)
+        sim.run()
+        assert got[0].result == 3  # untouched — backward compatible
+
+    def test_missing_argument_rejected(self, port, source):
+        from repro.common.errors import UnknownOperationError
+
+        publisher = ConfidenceOperationPublisher(port, source)
+        with pytest.raises(UnknownOperationError):
+            publisher.submit(
+                Simulator(), RequestMessage("OperationConf"), lambda r: None
+            )
+
+    def test_unknown_operation_confidence_is_zero(self, port, source):
+        sim = Simulator()
+        publisher = ConfidenceOperationPublisher(port, source)
+        got = []
+        publisher.submit(
+            sim,
+            RequestMessage("OperationConf", arguments=("bogus",)),
+            got.append,
+        )
+        sim.run()
+        assert got[0].result == 0.0
+
+
+class TestConfidentVariantPublisher:
+    def test_variant_carries_confidence(self, port, source):
+        sim = Simulator()
+        publisher = ConfidentVariantPublisher(port, source)
+        got = []
+        publisher.submit(
+            sim, RequestMessage("operation1Conf", arguments=(1,)),
+            got.append, reference_answer=8,
+        )
+        sim.run()
+        assert got[0].result == {"value": 8, "confidence": 0.97}
+        assert got[0].operation == "operation1Conf"
+
+    def test_plain_operation_backward_compatible(self, port, source):
+        sim = Simulator()
+        publisher = ConfidentVariantPublisher(port, source)
+        got = []
+        publisher.submit(sim, RequestMessage("operation1"), got.append,
+                         reference_answer=8)
+        sim.run()
+        assert got[0].result == 8

@@ -1,0 +1,135 @@
+"""Unit tests for service endpoints on the event kernel."""
+
+import numpy as np
+import pytest
+
+from repro.services.endpoint import ServiceEndpoint
+from repro.services.message import RequestMessage
+from repro.services.wsdl import default_wsdl
+from repro.simulation.correlation import OutcomeDistribution
+from repro.simulation.distributions import Deterministic, WithHangs
+from repro.simulation.engine import Simulator
+from repro.simulation.outcomes import Outcome
+from repro.simulation.release_model import ReleaseBehaviour
+
+
+def make_endpoint(cr=1.0, er=0.0, ner=0.0, latency=0.5, seed=0,
+                  release="1.0"):
+    behaviour = ReleaseBehaviour(
+        f"WS {release}",
+        OutcomeDistribution(cr, er, ner),
+        Deterministic(latency),
+    )
+    return ServiceEndpoint(
+        default_wsdl("WS", "node", release=release),
+        behaviour,
+        np.random.default_rng(seed),
+    )
+
+
+class TestInvocation:
+    def test_correct_response_delivered_after_latency(self):
+        sim = Simulator()
+        endpoint = make_endpoint(latency=0.5)
+        got = []
+        endpoint.invoke(
+            sim, RequestMessage("operation1"),
+            lambda r: got.append((sim.now, r)), reference_answer=42,
+        )
+        sim.run()
+        assert len(got) == 1
+        at, response = got[0]
+        assert at == pytest.approx(0.5)
+        assert response.result == 42 and not response.is_fault
+
+    def test_demand_difficulty_adds_to_latency(self):
+        sim = Simulator()
+        endpoint = make_endpoint(latency=0.5)
+        times = []
+        endpoint.invoke(
+            sim, RequestMessage("operation1"),
+            lambda r: times.append(sim.now), demand_difficulty=0.7,
+        )
+        sim.run()
+        assert times == [pytest.approx(1.2)]
+
+    def test_evident_failure_is_fault(self):
+        sim = Simulator()
+        endpoint = make_endpoint(cr=0.0, er=1.0)
+        got = []
+        endpoint.invoke(sim, RequestMessage("operation1"), got.append,
+                        reference_answer=42)
+        sim.run()
+        assert got[0].is_fault
+
+    def test_non_evident_failure_looks_valid(self):
+        sim = Simulator()
+        endpoint = make_endpoint(cr=0.0, ner=1.0)
+        got = []
+        endpoint.invoke(sim, RequestMessage("operation1"), got.append,
+                        reference_answer=42)
+        sim.run()
+        assert not got[0].is_fault
+        assert got[0].result != 42
+
+    def test_forced_outcome_wins(self):
+        sim = Simulator()
+        endpoint = make_endpoint(cr=1.0)
+        got = []
+        endpoint.invoke(
+            sim, RequestMessage("operation1"), got.append,
+            reference_answer=42,
+            forced_outcome=Outcome.EVIDENT_FAILURE,
+        )
+        sim.run()
+        assert got[0].is_fault
+
+    def test_unknown_operation_faults_immediately(self):
+        sim = Simulator()
+        endpoint = make_endpoint()
+        got = []
+        endpoint.invoke(sim, RequestMessage("bogus"), got.append)
+        sim.run()
+        assert got[0].is_fault and "unknown operation" in got[0].fault
+
+
+class TestAvailability:
+    def test_offline_endpoint_never_responds(self):
+        sim = Simulator()
+        endpoint = make_endpoint()
+        endpoint.take_offline()
+        got = []
+        endpoint.invoke(sim, RequestMessage("operation1"), got.append)
+        sim.run()
+        assert got == []
+        assert endpoint.invocations == 1 and endpoint.responses == 0
+
+    def test_bring_online_restores_service(self):
+        sim = Simulator()
+        endpoint = make_endpoint()
+        endpoint.take_offline()
+        endpoint.bring_online()
+        got = []
+        endpoint.invoke(sim, RequestMessage("operation1"), got.append)
+        sim.run()
+        assert len(got) == 1
+
+    def test_hanging_latency_never_responds(self):
+        sim = Simulator()
+        behaviour = ReleaseBehaviour(
+            "WS 1.0",
+            OutcomeDistribution(1.0, 0.0, 0.0),
+            WithHangs(Deterministic(0.5), 1.0 - 1e-12),
+        )
+        endpoint = ServiceEndpoint(
+            default_wsdl("WS", "n"), behaviour, np.random.default_rng(0)
+        )
+        got = []
+        endpoint.invoke(sim, RequestMessage("operation1"), got.append)
+        sim.run()
+        assert got == []
+
+    def test_name_and_repr(self):
+        endpoint = make_endpoint(release="1.1")
+        assert endpoint.name == "WS 1.1"
+        assert "online" in repr(endpoint)

@@ -1,0 +1,118 @@
+"""Unit tests for fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.services.endpoint import ServiceEndpoint
+from repro.services.faults import (
+    DowntimeInjector,
+    RegressionInjector,
+    TransientBurstInjector,
+)
+from repro.services.message import RequestMessage
+from repro.services.wsdl import default_wsdl
+from repro.simulation.correlation import OutcomeDistribution
+from repro.simulation.distributions import Deterministic
+from repro.simulation.engine import Simulator
+from repro.simulation.release_model import ReleaseBehaviour
+
+
+def make_endpoint(seed=0):
+    behaviour = ReleaseBehaviour(
+        "WS 1.0",
+        OutcomeDistribution(1.0, 0.0, 0.0),
+        Deterministic(0.1),
+    )
+    return ServiceEndpoint(
+        default_wsdl("WS", "n"), behaviour, np.random.default_rng(seed)
+    )
+
+
+class TestDowntimeInjector:
+    def test_offline_window_blocks_responses(self):
+        sim = Simulator()
+        endpoint = make_endpoint()
+        DowntimeInjector([(1.0, 2.0)]).arm(sim, endpoint)
+        got = []
+        # Invoke at t=0 (up), t=2 (down), t=4 (up again).
+        for t in (0.0, 2.0, 4.0):
+            sim.schedule_at(
+                t,
+                lambda: endpoint.invoke(
+                    sim, RequestMessage("operation1"), got.append
+                ),
+            )
+        sim.run()
+        assert len(got) == 2
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            DowntimeInjector([(-1.0, 2.0)])
+        with pytest.raises(ConfigurationError):
+            DowntimeInjector([(1.0, 0.0)])
+
+
+class TestTransientBurstInjector:
+    def test_burst_degrades_then_restores(self):
+        sim = Simulator()
+        endpoint = make_endpoint()
+        degraded = OutcomeDistribution(0.0, 1.0, 0.0)
+        TransientBurstInjector([(1.0, 2.0)], degraded).arm(sim, endpoint)
+        results = {}
+
+        def invoke_at(t, key):
+            sim.schedule_at(
+                t,
+                lambda: endpoint.invoke(
+                    sim,
+                    RequestMessage("operation1"),
+                    lambda r: results.__setitem__(key, r),
+                    reference_answer=1,
+                ),
+            )
+
+        invoke_at(0.0, "before")
+        invoke_at(2.0, "during")
+        invoke_at(4.0, "after")
+        sim.run()
+        assert not results["before"].is_fault
+        assert results["during"].is_fault
+        assert not results["after"].is_fault
+
+
+class TestRegressionInjector:
+    def test_subdomain_fails_non_evidently(self):
+        sim = Simulator()
+        endpoint = make_endpoint()
+        injector = RegressionInjector(lambda answer: answer % 2 == 0)
+        injector.wrap(endpoint)
+        results = {}
+        for answer in (1, 2, 3, 4):
+            endpoint.invoke(
+                sim,
+                RequestMessage("operation1"),
+                lambda r, a=answer: results.__setitem__(a, r),
+                reference_answer=answer,
+            )
+        sim.run()
+        # Odd demands correct; even demands wrong but not faults.
+        assert results[1].result == 1
+        assert results[3].result == 3
+        assert results[2].result != 2 and not results[2].is_fault
+        assert results[4].result != 4 and not results[4].is_fault
+        assert injector.triggered == 2
+
+    def test_forced_outcomes_still_pass_through(self):
+        sim = Simulator()
+        endpoint = make_endpoint()
+        RegressionInjector(lambda answer: False).wrap(endpoint)
+        from repro.simulation.outcomes import Outcome
+
+        got = []
+        endpoint.invoke(
+            sim, RequestMessage("operation1"), got.append,
+            reference_answer=1, forced_outcome=Outcome.EVIDENT_FAILURE,
+        )
+        sim.run()
+        assert got[0].is_fault

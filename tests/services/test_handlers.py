@@ -1,0 +1,86 @@
+"""Unit tests for the confidence protocol handlers (§6.2)."""
+
+import numpy as np
+import pytest
+
+from repro.services.client import EndpointPort
+from repro.services.confidence_publishing import StaticConfidenceSource
+from repro.services.endpoint import ServiceEndpoint
+from repro.services.handlers import ClientSideHandler, ServiceSideHandler
+from repro.services.message import RequestMessage
+from repro.services.wsdl import CONFIDENCE_HEADER, default_wsdl
+from repro.simulation.correlation import OutcomeDistribution
+from repro.simulation.distributions import Deterministic
+from repro.simulation.engine import Simulator
+from repro.simulation.release_model import ReleaseBehaviour
+
+
+@pytest.fixture
+def port():
+    behaviour = ReleaseBehaviour(
+        "WS 1.0",
+        OutcomeDistribution(1.0, 0.0, 0.0),
+        Deterministic(0.1),
+    )
+    endpoint = ServiceEndpoint(
+        default_wsdl("WS", "n"), behaviour, np.random.default_rng(0)
+    )
+    return EndpointPort(endpoint)
+
+
+@pytest.fixture
+def source():
+    return StaticConfidenceSource({"operation1": 0.93})
+
+
+class TestServiceSideHandler:
+    def test_stamps_header(self, port, source):
+        sim = Simulator()
+        handler = ServiceSideHandler(port, source)
+        got = []
+        handler.submit(sim, RequestMessage("operation1"), got.append,
+                       reference_answer=2)
+        sim.run()
+        assert got[0].headers[CONFIDENCE_HEADER] == 0.93
+        assert got[0].result == 2
+        assert handler.stamped == 1
+
+
+class TestClientSideHandler:
+    def test_strips_header_and_reports(self, port, source):
+        sim = Simulator()
+        reported = []
+        stack = ClientSideHandler(
+            ServiceSideHandler(port, source),
+            on_confidence=lambda op, c: reported.append((op, c)),
+        )
+        got = []
+        stack.submit(sim, RequestMessage("operation1"), got.append,
+                     reference_answer=2)
+        sim.run()
+        assert CONFIDENCE_HEADER not in got[0].headers
+        assert reported == [("operation1", 0.93)]
+        assert stack.last_confidence == 0.93
+        assert got[0].result == 2  # application payload untouched
+
+    def test_without_service_handler_client_still_works(self, port):
+        # The paper's compatibility property: missing peer handler is OK.
+        sim = Simulator()
+        stack = ClientSideHandler(port)
+        got = []
+        stack.submit(sim, RequestMessage("operation1"), got.append,
+                     reference_answer=2)
+        sim.run()
+        assert got[0].result == 2
+        assert stack.last_confidence is None
+
+    def test_without_client_handler_header_simply_ignored(self, port, source):
+        sim = Simulator()
+        stack = ServiceSideHandler(port, source)
+        got = []
+        stack.submit(sim, RequestMessage("operation1"), got.append,
+                     reference_answer=2)
+        sim.run()
+        # Application can read the payload; the header just tags along.
+        assert got[0].result == 2
+        assert CONFIDENCE_HEADER in got[0].headers

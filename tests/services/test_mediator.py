@@ -1,0 +1,105 @@
+"""Unit tests for the trusted confidence mediator."""
+
+import numpy as np
+import pytest
+
+from repro.bayes.beta import TruncatedBeta
+from repro.services.client import EndpointPort
+from repro.services.endpoint import ServiceEndpoint
+from repro.services.mediator import ConfidenceMediator, default_oracle
+from repro.services.message import RequestMessage, fault_response, result_response
+from repro.services.wsdl import default_wsdl
+from repro.simulation.correlation import OutcomeDistribution
+from repro.simulation.distributions import Deterministic
+from repro.simulation.engine import Simulator
+from repro.simulation.release_model import ReleaseBehaviour
+
+
+def make_port(cr=1.0, er=0.0, ner=0.0, seed=0):
+    behaviour = ReleaseBehaviour(
+        "WS 1.0",
+        OutcomeDistribution(cr, er, ner),
+        Deterministic(0.1),
+    )
+    endpoint = ServiceEndpoint(
+        default_wsdl("WS", "n"), behaviour, np.random.default_rng(seed)
+    )
+    return EndpointPort(endpoint)
+
+
+def make_mediator(port):
+    return ConfidenceMediator(
+        "broker", port, TruncatedBeta(1, 10, upper=0.01), target_pfd=1e-3
+    )
+
+
+class TestDefaultOracle:
+    def test_fault_is_failure(self):
+        request = RequestMessage("op")
+        assert default_oracle(fault_response(request, "x"), 1)
+
+    def test_mismatch_is_failure(self):
+        request = RequestMessage("op")
+        assert default_oracle(result_response(request, 2), 1)
+
+    def test_match_is_success(self):
+        request = RequestMessage("op")
+        assert not default_oracle(result_response(request, 1), 1)
+
+    def test_no_reference_counts_only_faults(self):
+        request = RequestMessage("op")
+        assert not default_oracle(result_response(request, 2), None)
+
+
+class TestMediation:
+    def test_relays_and_observes(self):
+        sim = Simulator()
+        mediator = make_mediator(make_port())
+        got = []
+        for i in range(50):
+            mediator.submit(sim, RequestMessage("operation1"), got.append,
+                            reference_answer=i)
+        sim.run()
+        assert len(got) == 50
+        assert mediator.demands_observed("operation1") == 50
+        assert mediator.relayed == 50
+
+    def test_confidence_grows_with_clean_traffic(self):
+        sim = Simulator()
+        mediator = make_mediator(make_port())
+        before = mediator.confidence("operation1")
+        for i in range(2_000):
+            mediator.submit(sim, RequestMessage("operation1"),
+                            lambda r: None, reference_answer=i)
+        sim.run()
+        assert mediator.confidence("operation1") > before
+
+    def test_failures_observed(self):
+        sim = Simulator()
+        mediator = make_mediator(make_port(cr=0.0, er=1.0))
+        for i in range(100):
+            mediator.submit(sim, RequestMessage("operation1"),
+                            lambda r: None, reference_answer=i)
+        sim.run()
+        assessor = mediator.assessor_for("operation1")
+        assert assessor.failures == 100
+
+    def test_bypass_estimate(self):
+        sim = Simulator()
+        port = make_port()
+        mediator = make_mediator(port)
+        # 30 requests through the mediator, 70 direct to the backend.
+        for i in range(30):
+            mediator.submit(sim, RequestMessage("operation1"),
+                            lambda r: None, reference_answer=i)
+        for i in range(70):
+            port.submit(sim, RequestMessage("operation1"), lambda r: None,
+                        reference_answer=i)
+        sim.run()
+        assert mediator.bypass_estimate("operation1", 100) == pytest.approx(
+            0.7
+        )
+
+    def test_bypass_estimate_zero_traffic(self):
+        mediator = make_mediator(make_port())
+        assert mediator.bypass_estimate("operation1", 0) == 0.0

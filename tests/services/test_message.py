@@ -1,0 +1,51 @@
+"""Unit tests for message envelopes."""
+
+from repro.services.message import (
+    RequestMessage,
+    ResponseMessage,
+    fault_response,
+    result_response,
+)
+
+
+class TestRequestMessage:
+    def test_unique_ids(self):
+        a = RequestMessage("operation1")
+        b = RequestMessage("operation1")
+        assert a.message_id != b.message_id
+
+    def test_with_header_is_immutable_copy(self):
+        original = RequestMessage("op", headers={"k": 1})
+        updated = original.with_header("extra", 2)
+        assert updated.headers == {"k": 1, "extra": 2}
+        assert original.headers == {"k": 1}
+        assert updated.message_id == original.message_id
+
+    def test_arguments_default_empty(self):
+        assert RequestMessage("op").arguments == ()
+
+
+class TestResponseMessage:
+    def test_fault_flag(self):
+        request = RequestMessage("op")
+        assert fault_response(request, "boom").is_fault
+        assert not result_response(request, 42).is_fault
+
+    def test_correlation(self):
+        request = RequestMessage("op")
+        response = result_response(request, 42, responder="WS 1.0")
+        assert response.in_reply_to == request.message_id
+        assert response.operation == "op"
+        assert response.responder == "WS 1.0"
+        assert response.result == 42
+
+    def test_fault_carries_code(self):
+        request = RequestMessage("op")
+        response = fault_response(request, "internal error")
+        assert response.fault == "internal error"
+        assert response.result is None
+
+    def test_with_header(self):
+        request = RequestMessage("op")
+        response = result_response(request, 1).with_header("conf", 0.9)
+        assert response.headers["conf"] == 0.9

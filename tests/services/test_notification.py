@@ -1,0 +1,79 @@
+"""Unit tests for the §7.2 upgrade-notification mechanisms."""
+
+from repro.services.notification import (
+    CallbackNotifier,
+    NotificationService,
+    RegistryPoller,
+)
+from repro.services.registry import UddiRegistry
+from repro.services.wsdl import default_wsdl
+
+
+class TestRegistryPoller:
+    def test_detects_new_release_once(self):
+        registry = UddiRegistry()
+        registry.publish(default_wsdl("S", "n", release="1.0"))
+        events = []
+        poller = RegistryPoller(registry, events.append)
+        poller.poll()  # baseline
+        registry.publish(default_wsdl("S", "n", release="1.1"))
+        first = poller.poll()
+        second = poller.poll()
+        assert [e.new_release for e in first] == ["1.1"]
+        assert second == []
+        assert events[0].mechanism == "registry-poll"
+
+    def test_first_sighting_is_baseline_not_event(self):
+        registry = UddiRegistry()
+        registry.publish(default_wsdl("S", "n", release="1.0"))
+        poller = RegistryPoller(registry, lambda e: None)
+        assert poller.poll() == []
+
+    def test_multiple_new_releases_reported_sorted(self):
+        registry = UddiRegistry()
+        registry.publish(default_wsdl("S", "n", release="1.0"))
+        poller = RegistryPoller(registry, lambda e: None)
+        poller.poll()
+        registry.publish(default_wsdl("S", "n", release="1.2"))
+        registry.publish(default_wsdl("S", "n", release="1.1"))
+        events = poller.poll()
+        assert [e.new_release for e in events] == ["1.1", "1.2"]
+
+
+class TestNotificationService:
+    def test_publish_reaches_subscribers(self):
+        service = NotificationService()
+        got = []
+        service.subscribe("S", got.append)
+        service.subscribe("S", got.append)
+        notified = service.publish_upgrade("S", "2.0")
+        assert notified == 2
+        assert all(e.new_release == "2.0" for e in got)
+
+    def test_other_services_not_notified(self):
+        service = NotificationService()
+        got = []
+        service.subscribe("Other", got.append)
+        service.publish_upgrade("S", "2.0")
+        assert got == []
+
+    def test_bridged_to_registry(self):
+        registry = UddiRegistry()
+        service = NotificationService.bridged_to(registry)
+        got = []
+        service.subscribe("S", got.append)
+        registry.publish(default_wsdl("S", "n", release="1.0"))
+        assert got == []  # first publication is not an upgrade
+        registry.publish(default_wsdl("S", "n", release="1.1"))
+        assert [e.new_release for e in got] == ["1.1"]
+
+
+class TestCallbackNotifier:
+    def test_announce_calls_registered_consumers(self):
+        notifier = CallbackNotifier("S")
+        got = []
+        notifier.register(got.append)
+        notifier.register(got.append)
+        assert notifier.announce("3.0") == 2
+        assert got[0].service_name == "S"
+        assert got[0].mechanism == "callback"

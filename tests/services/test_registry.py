@@ -1,0 +1,103 @@
+"""Unit tests for the UDDI-like registry."""
+
+import pytest
+
+from repro.common.errors import ServiceError
+from repro.services.registry import UddiRegistry
+from repro.services.wsdl import default_wsdl
+
+
+@pytest.fixture
+def registry():
+    return UddiRegistry()
+
+
+class TestPublish:
+    def test_publish_and_find(self, registry):
+        registry.publish(default_wsdl("Stock", "n1", release="1.0"))
+        entry = registry.find("Stock")
+        assert entry.latest.release == "1.0"
+        assert registry.has_service("Stock")
+
+    def test_upgrade_keeps_both_releases(self, registry):
+        registry.publish(default_wsdl("Stock", "n1", release="1.0"))
+        registry.publish(default_wsdl("Stock", "n2", release="1.1"))
+        entry = registry.find("Stock")
+        assert entry.release_labels == ["1.0", "1.1"]
+        assert entry.latest.release == "1.1"
+        assert entry.release("1.0").url == "n1"
+
+    def test_duplicate_release_rejected(self, registry):
+        registry.publish(default_wsdl("Stock", "n1", release="1.0"))
+        with pytest.raises(ServiceError):
+            registry.publish(default_wsdl("Stock", "n1", release="1.0"))
+
+    def test_unknown_service_raises(self, registry):
+        with pytest.raises(ServiceError):
+            registry.find("Nope")
+
+    def test_service_names_sorted(self, registry):
+        registry.publish(default_wsdl("B", "n"))
+        registry.publish(default_wsdl("A", "n"))
+        assert registry.service_names() == ["A", "B"]
+
+
+class TestWithdraw:
+    def test_withdraw_removes_release(self, registry):
+        registry.publish(default_wsdl("S", "n", release="1.0"))
+        registry.publish(default_wsdl("S", "n", release="1.1"))
+        registry.withdraw("S", "1.0")
+        assert registry.find("S").release_labels == ["1.1"]
+
+    def test_withdraw_unknown_release_raises(self, registry):
+        registry.publish(default_wsdl("S", "n", release="1.0"))
+        with pytest.raises(ServiceError):
+            registry.withdraw("S", "9.9")
+
+
+class TestConfidence:
+    def test_publish_and_read_confidence(self, registry):
+        registry.publish(default_wsdl("S", "n"))
+        registry.publish_confidence("S", "operation1", 0.97)
+        assert registry.confidence_of("S", "operation1") == 0.97
+
+    def test_unpublished_confidence_is_none(self, registry):
+        registry.publish(default_wsdl("S", "n"))
+        assert registry.confidence_of("S", "operation1") is None
+
+    def test_rejects_non_probability(self, registry):
+        registry.publish(default_wsdl("S", "n"))
+        with pytest.raises(ServiceError):
+            registry.publish_confidence("S", "operation1", 1.5)
+
+
+class TestNotification:
+    def test_events_fired_in_order(self, registry):
+        events = []
+        registry.subscribe(lambda *args: events.append(args))
+        registry.publish(default_wsdl("S", "n", release="1.0"))
+        registry.publish(default_wsdl("S", "n", release="1.1"))
+        registry.withdraw("S", "1.0")
+        assert events == [
+            ("published", "S", "1.0"),
+            ("upgraded", "S", "1.1"),
+            ("withdrawn", "S", "1.0"),
+        ]
+
+    def test_unsubscribe_stops_events(self, registry):
+        events = []
+        unsubscribe = registry.subscribe(lambda *args: events.append(args))
+        unsubscribe()
+        registry.publish(default_wsdl("S", "n"))
+        assert events == []
+
+    def test_unsubscribe_idempotent(self, registry):
+        unsubscribe = registry.subscribe(lambda *args: None)
+        unsubscribe()
+        unsubscribe()  # must not raise
+
+    def test_empty_entry_latest_raises(self, registry):
+        from repro.services.registry import RegistryEntry
+
+        with pytest.raises(ServiceError):
+            RegistryEntry("S").latest

@@ -1,0 +1,197 @@
+"""Unit tests for retry against transient failures (§2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.services.client import EndpointPort
+from repro.services.endpoint import ServiceEndpoint
+from repro.services.message import RequestMessage, result_response, fault_response
+from repro.services.retry import RetryPolicy, RetryingPort
+from repro.services.wsdl import default_wsdl
+from repro.simulation.correlation import OutcomeDistribution
+from repro.simulation.distributions import Deterministic
+from repro.simulation.engine import Simulator
+from repro.simulation.release_model import ReleaseBehaviour
+
+
+class ScriptedPort:
+    """Answers according to a script of 'ok' / 'fault' / 'silent'."""
+
+    def __init__(self, script, latency=0.1):
+        self.script = list(script)
+        self.latency = latency
+        self.calls = 0
+
+    def submit(self, simulator, request, deliver, reference_answer=None):
+        action = self.script[min(self.calls, len(self.script) - 1)]
+        self.calls += 1
+        if action == "silent":
+            return
+        if action == "fault":
+            response = fault_response(request, "transient", "svc")
+        else:
+            response = result_response(request, reference_answer, "svc")
+        simulator.schedule(self.latency, lambda: deliver(response))
+
+
+class TestRetryPolicy:
+    def test_defaults(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 3 and policy.backoff == 0.0
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(attempt_timeout=0.0)
+
+
+class TestRetryBehaviour:
+    def test_transient_fault_retried_to_success(self):
+        sim = Simulator()
+        port = ScriptedPort(["fault", "fault", "ok"])
+        retrying = RetryingPort(port, RetryPolicy(max_attempts=3))
+        got = []
+        retrying.submit(sim, RequestMessage("op"), got.append,
+                        reference_answer=7)
+        sim.run()
+        assert got[0].result == 7 and not got[0].is_fault
+        assert port.calls == 3
+        assert retrying.retries == 2
+
+    def test_attempts_exhausted_delivers_last_fault(self):
+        sim = Simulator()
+        port = ScriptedPort(["fault", "fault", "fault"])
+        retrying = RetryingPort(port, RetryPolicy(max_attempts=3))
+        got = []
+        retrying.submit(sim, RequestMessage("op"), got.append)
+        sim.run()
+        assert got[0].is_fault
+        assert port.calls == 3
+
+    def test_success_on_first_attempt_no_retry(self):
+        sim = Simulator()
+        port = ScriptedPort(["ok"])
+        retrying = RetryingPort(port)
+        got = []
+        retrying.submit(sim, RequestMessage("op"), got.append,
+                        reference_answer=1)
+        sim.run()
+        assert got[0].result == 1
+        assert retrying.retries == 0
+
+    def test_backoff_delays_retries(self):
+        sim = Simulator()
+        port = ScriptedPort(["fault", "ok"], latency=0.1)
+        retrying = RetryingPort(
+            port, RetryPolicy(max_attempts=2, backoff=1.0)
+        )
+        times = []
+        retrying.submit(sim, RequestMessage("op"),
+                        lambda r: times.append(sim.now),
+                        reference_answer=1)
+        sim.run()
+        # 0.1 (fault) + 1.0 (backoff) + 0.1 (success) = 1.2
+        assert times[0] == pytest.approx(1.2)
+
+    def test_attempt_timeout_retries_silent_service(self):
+        sim = Simulator()
+        port = ScriptedPort(["silent", "ok"], latency=0.1)
+        retrying = RetryingPort(
+            port, RetryPolicy(max_attempts=2, attempt_timeout=0.5)
+        )
+        got = []
+        retrying.submit(sim, RequestMessage("op"), got.append,
+                        reference_answer=4)
+        sim.run()
+        assert got[0].result == 4
+        assert port.calls == 2
+
+    def test_all_attempts_silent_synthesizes_fault(self):
+        sim = Simulator()
+        port = ScriptedPort(["silent"])
+        retrying = RetryingPort(
+            port, RetryPolicy(max_attempts=2, attempt_timeout=0.5)
+        )
+        got = []
+        retrying.submit(sim, RequestMessage("op"), got.append)
+        sim.run()
+        assert got[0].is_fault
+        assert "no response after 2 attempts" in got[0].fault
+
+    def test_delivers_exactly_once(self):
+        sim = Simulator()
+        # Slow success arrives after the attempt timeout fired a retry;
+        # the stale response must be ignored.
+        port = ScriptedPort(["ok", "ok"], latency=0.8)
+        retrying = RetryingPort(
+            port, RetryPolicy(max_attempts=2, attempt_timeout=0.5)
+        )
+        got = []
+        retrying.submit(sim, RequestMessage("op"), got.append,
+                        reference_answer=3)
+        sim.run()
+        assert len(got) == 1
+
+    def test_non_evident_failures_pass_through(self):
+        # Retry cannot see a wrong-but-valid answer (§2.1): it must be
+        # delivered on the first attempt.
+        sim = Simulator()
+        behaviour = ReleaseBehaviour(
+            "WS 1.0",
+            OutcomeDistribution(0.0, 0.0, 1.0),
+            Deterministic(0.1),
+        )
+        endpoint = ServiceEndpoint(
+            default_wsdl("WS", "n"), behaviour, np.random.default_rng(0)
+        )
+        retrying = RetryingPort(EndpointPort(endpoint))
+        got = []
+        retrying.submit(sim, RequestMessage("operation1"), got.append,
+                        reference_answer=5)
+        sim.run()
+        assert got[0].result != 5 and not got[0].is_fault
+        assert retrying.retries == 0
+
+
+class TestTransientToleranceEndToEnd:
+    def test_retry_masks_transient_burst(self):
+        from repro.services.faults import TransientBurstInjector
+
+        sim = Simulator()
+        behaviour = ReleaseBehaviour(
+            "WS 1.0",
+            OutcomeDistribution(1.0, 0.0, 0.0),
+            Deterministic(0.05),
+        )
+        endpoint = ServiceEndpoint(
+            default_wsdl("WS", "n"), behaviour, np.random.default_rng(0)
+        )
+        # Burst of evident failures between t=10 and t=20 that recovers
+        # within one retry backoff.
+        TransientBurstInjector(
+            [(10.0, 10.0)], OutcomeDistribution(0.0, 1.0, 0.0)
+        ).arm(sim, endpoint)
+        retrying = RetryingPort(
+            EndpointPort(endpoint),
+            RetryPolicy(max_attempts=4, backoff=5.0),
+        )
+        faults = []
+        oks = []
+        for i in range(30):
+            request = RequestMessage("operation1", arguments=(i,))
+            sim.schedule_at(
+                i * 1.0,
+                lambda r=request, a=i: retrying.submit(
+                    sim, r,
+                    lambda resp: (faults if resp.is_fault else oks).append(
+                        resp
+                    ),
+                    reference_answer=a,
+                ),
+            )
+        sim.run()
+        # Every demand eventually succeeds: retries outlive the burst.
+        assert len(oks) == 30 and len(faults) == 0
+        assert retrying.retries > 0

@@ -1,0 +1,82 @@
+"""Unit tests for SOAP envelope rendering/parsing."""
+
+import pytest
+
+from repro.common.errors import ServiceError
+from repro.services.message import (
+    RequestMessage,
+    fault_response,
+    result_response,
+)
+from repro.services.soap import (
+    parse_request,
+    render_request,
+    render_response,
+)
+from repro.services.wsdl import CONFIDENCE_HEADER
+
+
+class TestRenderRequest:
+    def test_contains_operation_and_params(self):
+        request = RequestMessage("operation1", arguments=(7, "x"))
+        xml = render_request(request)
+        assert "<m:operation1" in xml
+        assert '<param0 xsi:type="xsd:int">7</param0>' in xml
+        assert '<param1 xsi:type="xsd:string">x</param1>' in xml
+        assert request.message_id in xml
+
+    def test_headers_rendered(self):
+        request = RequestMessage("op").with_header(CONFIDENCE_HEADER, 0.97)
+        xml = render_request(request)
+        assert "<env:Header>" in xml and "0.97" in xml
+
+    def test_no_headers_self_closing(self):
+        xml = render_request(RequestMessage("op"))
+        assert "<env:Header/>" in xml
+
+    def test_special_characters_escaped(self):
+        request = RequestMessage("op", arguments=("<&>",))
+        xml = render_request(request)
+        assert "&lt;&amp;&gt;" in xml
+
+
+class TestRenderResponse:
+    def test_result_body(self):
+        request = RequestMessage("operation1")
+        xml = render_response(result_response(request, 3.5, "WS 1.0"))
+        assert "<m:operation1Response" in xml
+        assert 'xsi:type="xsd:double"' in xml
+        assert request.message_id in xml
+
+    def test_fault_body(self):
+        request = RequestMessage("operation1")
+        xml = render_response(fault_response(request, "boom"))
+        assert "<env:Fault>" in xml and "boom" in xml
+
+    def test_boolean_result(self):
+        request = RequestMessage("op")
+        xml = render_response(result_response(request, True))
+        assert ">true</result>" in xml
+
+
+class TestRoundTrip:
+    def test_request_round_trip(self):
+        original = RequestMessage(
+            "operation1", arguments=(42, "hello", 2.5, True),
+            reply_to="client-9",
+        ).with_header("x-trace", "abc")
+        parsed = parse_request(render_request(original))
+        assert parsed.operation == original.operation
+        assert parsed.arguments == original.arguments
+        assert parsed.message_id == original.message_id
+        assert parsed.reply_to == original.reply_to
+        assert parsed.headers["x-trace"] == "abc"
+
+    def test_parse_garbage_raises(self):
+        with pytest.raises(ServiceError):
+            parse_request("<xml>nope</xml>")
+
+    def test_escaped_strings_round_trip(self):
+        original = RequestMessage("op", arguments=("<tag>&co",))
+        parsed = parse_request(render_request(original))
+        assert parsed.arguments == ("<tag>&co",)

@@ -1,0 +1,65 @@
+"""Unit tests for the simulated transport."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.services.transport import SimulatedTransport
+from repro.simulation.distributions import Deterministic
+from repro.simulation.engine import Simulator
+
+
+class TestDelivery:
+    def test_delivers_after_latency(self):
+        sim = Simulator()
+        transport = SimulatedTransport(latency=Deterministic(0.2))
+        got = []
+        transport.deliver(sim, "hello", lambda m: got.append((sim.now, m)))
+        sim.run()
+        assert got == [(pytest.approx(0.2), "hello")]
+
+    def test_extra_delay_added(self):
+        sim = Simulator()
+        transport = SimulatedTransport(latency=Deterministic(0.2))
+        times = []
+        transport.deliver(
+            sim, "x", lambda m: times.append(sim.now), extra_delay=0.5
+        )
+        sim.run()
+        assert times == [pytest.approx(0.7)]
+
+    def test_default_transport_is_instant(self):
+        sim = Simulator()
+        transport = SimulatedTransport()
+        times = []
+        transport.deliver(sim, "x", lambda m: times.append(sim.now))
+        sim.run()
+        assert times == [0.0]
+
+
+class TestLoss:
+    def test_lossy_channel_drops_messages(self):
+        sim = Simulator()
+        transport = SimulatedTransport(
+            loss_probability=0.5, rng=np.random.default_rng(1)
+        )
+        got = []
+        for i in range(1_000):
+            transport.deliver(sim, i, got.append)
+        sim.run()
+        assert transport.sent == 1_000
+        assert transport.lost == 1_000 - len(got)
+        assert 400 < len(got) < 600
+
+    def test_lossless_channel_delivers_all(self):
+        sim = Simulator()
+        transport = SimulatedTransport(loss_probability=0.0)
+        got = []
+        for i in range(100):
+            transport.deliver(sim, i, got.append)
+        sim.run()
+        assert len(got) == 100 and transport.lost == 0
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValidationError):
+            SimulatedTransport(loss_probability=1.5)

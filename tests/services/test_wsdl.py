@@ -1,0 +1,88 @@
+"""Unit tests for the WSDL analogue and the §6.2 schema transforms."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.services.wsdl import (
+    OperationSpec,
+    Parameter,
+    WsdlDescription,
+    default_wsdl,
+)
+
+
+class TestDefaultWsdl:
+    def test_paper_example_interface(self):
+        wsdl = default_wsdl("WS", "node-1")
+        op = wsdl.operation("operation1")
+        assert [p.name for p in op.inputs] == ["param1", "param2"]
+        assert [p.xsd_type for p in op.inputs] == ["s:int", "s:string"]
+        assert [p.name for p in op.outputs] == ["Op1Result"]
+
+    def test_release_label(self):
+        assert default_wsdl("WS", "n", release="1.1").release == "1.1"
+
+    def test_unknown_operation_raises(self):
+        with pytest.raises(ConfigurationError):
+            default_wsdl("WS", "n").operation("nope")
+
+    def test_has_operation(self):
+        wsdl = default_wsdl("WS", "n")
+        assert wsdl.has_operation("operation1")
+        assert not wsdl.has_operation("operation2")
+
+
+class TestParameter:
+    def test_rejects_unknown_type(self):
+        with pytest.raises(ConfigurationError):
+            Parameter("p", "s:blob")
+
+
+class TestConfidenceTransforms:
+    def test_response_extension_adds_conf_element(self):
+        wsdl = default_wsdl("WS", "n").with_confidence_in_response()
+        outputs = [p.name for p in wsdl.operation("operation1").outputs]
+        assert outputs == ["Op1Result", "Operation1Conf"]
+        conf = wsdl.operation("operation1").outputs[-1]
+        assert conf.xsd_type == "s:double"
+
+    def test_confidence_operation_added(self):
+        wsdl = default_wsdl("WS", "n").with_confidence_operation()
+        op = wsdl.operation("OperationConf")
+        assert [p.name for p in op.inputs] == ["operation"]
+        # Original operation untouched (backward compatible).
+        assert [p.name for p in wsdl.operation("operation1").outputs] == [
+            "Op1Result"
+        ]
+
+    def test_confidence_operation_idempotent(self):
+        wsdl = default_wsdl("WS", "n").with_confidence_operation()
+        again = wsdl.with_confidence_operation()
+        assert len(again.operations) == len(wsdl.operations)
+
+    def test_confident_variants_added(self):
+        wsdl = default_wsdl("WS", "n").with_confident_variants()
+        names = wsdl.operation_names()
+        assert "operation1" in names and "operation1Conf" in names
+        variant = wsdl.operation("operation1Conf")
+        assert [p.name for p in variant.outputs] == [
+            "Op1Result", "Operation1Conf",
+        ]
+
+    def test_variants_not_created_for_variants(self):
+        wsdl = default_wsdl("WS", "n").with_confident_variants()
+        again = wsdl.with_confident_variants()
+        assert "operation1ConfConf" not in again.operation_names()
+
+
+class TestXmlRendering:
+    def test_renders_paper_fragment_shape(self):
+        xml = default_wsdl("WS", "node-1").to_xml()
+        assert '<s:element name="Operation1Request">' in xml
+        assert '<s:element name="Operation1Response">' in xml
+        assert 'name="param1" type="s:int"' in xml
+        assert "<types>" in xml and "</types>" in xml
+
+    def test_extension_visible_in_xml(self):
+        xml = default_wsdl("WS", "n").with_confidence_in_response().to_xml()
+        assert 'name="Operation1Conf" type="s:double"' in xml

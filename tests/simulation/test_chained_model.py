@@ -1,0 +1,79 @@
+"""Unit tests for the N-release chained outcome model."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.simulation.correlation import (
+    ChainedOutcomeModel,
+    ConditionalOutcomeMatrix,
+    IndependentOutcomeModel,
+    OutcomeDistribution,
+)
+from repro.simulation.outcomes import Outcome
+
+
+@pytest.fixture
+def model():
+    return ChainedOutcomeModel(
+        OutcomeDistribution(0.7, 0.15, 0.15),
+        ConditionalOutcomeMatrix.symmetric(0.9),
+    )
+
+
+class TestSampleTuple:
+    def test_tuple_length(self, model, rng):
+        for count in (1, 2, 5):
+            outcomes = model.sample_tuple(rng, count)
+            assert len(outcomes) == count
+            assert all(isinstance(o, Outcome) for o in outcomes)
+
+    def test_adjacent_correlation(self, model, rng):
+        agreements = 0
+        trials = 5_000
+        for _ in range(trials):
+            a, b, c = model.sample_tuple(rng, 3)
+            agreements += (a is b) + (b is c)
+        rate = agreements / (2 * trials)
+        assert rate == pytest.approx(0.9, abs=0.02)
+
+    def test_rejects_zero_count(self, model, rng):
+        with pytest.raises(ValidationError):
+            model.sample_tuple(rng, 0)
+
+    def test_pairwise_view_consistent(self, model, rng):
+        a, b = model.sample_pair(rng)
+        assert isinstance(a, Outcome) and isinstance(b, Outcome)
+        i, j = model.sample_pairs(rng, 1_000)
+        assert len(i) == len(j) == 1_000
+
+
+class TestMarginalDrift:
+    def test_marginal_nth_drifts_toward_uniform(self, model):
+        # Chaining a symmetric conditional diffuses the marginal: each
+        # step moves P(CR) toward 1/3.
+        p_correct = [model.marginal_nth(k).p_correct for k in range(5)]
+        assert p_correct[0] == pytest.approx(0.7)
+        for earlier, later in zip(p_correct, p_correct[1:]):
+            assert later < earlier
+        assert p_correct[-1] > 1 / 3
+
+    def test_marginal_second_matches_nth(self, model):
+        assert model.marginal_second().p_correct == pytest.approx(
+            model.marginal_nth(1).p_correct
+        )
+
+    def test_rejects_negative_index(self, model):
+        with pytest.raises(ValidationError):
+            model.marginal_nth(-1)
+
+
+class TestPairwiseModelsRejectOtherCounts:
+    def test_independent_model_sample_tuple_only_two(self, rng):
+        model = IndependentOutcomeModel(
+            OutcomeDistribution(1.0, 0.0, 0.0),
+            OutcomeDistribution(1.0, 0.0, 0.0),
+        )
+        assert len(model.sample_tuple(rng, 2)) == 2
+        with pytest.raises(ValidationError):
+            model.sample_tuple(rng, 3)

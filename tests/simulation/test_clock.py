@@ -1,0 +1,49 @@
+"""Unit tests for the simulation clock."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.simulation.clock import SimulationClock
+
+
+def test_starts_at_given_time():
+    assert SimulationClock(5.0).now == 5.0
+
+
+def test_default_start_is_zero():
+    assert SimulationClock().now == 0.0
+
+
+def test_advance_to_moves_forward():
+    clock = SimulationClock()
+    clock.advance_to(3.0)
+    assert clock.now == 3.0
+
+
+def test_advance_to_same_time_allowed():
+    clock = SimulationClock(2.0)
+    clock.advance_to(2.0)
+    assert clock.now == 2.0
+
+
+def test_advance_backwards_rejected():
+    clock = SimulationClock(2.0)
+    with pytest.raises(SimulationError):
+        clock.advance_to(1.0)
+
+
+def test_advance_by_accumulates():
+    clock = SimulationClock()
+    clock.advance_by(1.5)
+    clock.advance_by(0.5)
+    assert clock.now == 2.0
+
+
+def test_negative_delta_rejected():
+    with pytest.raises(SimulationError):
+        SimulationClock().advance_by(-0.1)
+
+
+def test_negative_start_rejected():
+    with pytest.raises(SimulationError):
+        SimulationClock(-1.0)

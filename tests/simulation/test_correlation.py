@@ -1,0 +1,139 @@
+"""Unit tests for the outcome-correlation models (Tables 3-4)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.simulation.correlation import (
+    ConditionalOutcomeMatrix,
+    ConditionalOutcomeModel,
+    IndependentOutcomeModel,
+    OutcomeDistribution,
+)
+from repro.simulation.outcomes import OUTCOME_ORDER, Outcome
+
+
+class TestOutcomeDistribution:
+    def test_accessors(self):
+        dist = OutcomeDistribution(0.7, 0.15, 0.15)
+        assert dist.p_correct == 0.7
+        assert dist.p_evident == 0.15
+        assert dist.p_non_evident == 0.15
+        assert abs(dist.p_failure - 0.3) < 1e-12
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ValidationError):
+            OutcomeDistribution(0.7, 0.2, 0.2)
+
+    def test_sampling_matches_probabilities(self, rng):
+        dist = OutcomeDistribution(0.6, 0.2, 0.2)
+        idx = dist.sample_many(rng, 100_000)
+        freqs = np.bincount(idx, minlength=3) / len(idx)
+        assert np.allclose(freqs, [0.6, 0.2, 0.2], atol=0.01)
+
+    def test_single_sample_is_outcome(self, rng):
+        assert OutcomeDistribution(1.0, 0.0, 0.0).sample(rng) is Outcome.CORRECT
+
+    def test_from_mapping(self):
+        dist = OutcomeDistribution.from_mapping(
+            {
+                Outcome.CORRECT: 0.5,
+                Outcome.EVIDENT_FAILURE: 0.25,
+                Outcome.NON_EVIDENT_FAILURE: 0.25,
+            }
+        )
+        assert dist.p_correct == 0.5
+
+    def test_from_mapping_rejects_missing(self):
+        with pytest.raises(ValidationError):
+            OutcomeDistribution.from_mapping({Outcome.CORRECT: 1.0})
+
+
+class TestConditionalOutcomeMatrix:
+    def test_symmetric_rows(self):
+        matrix = ConditionalOutcomeMatrix.symmetric(0.9)
+        for outcome in OUTCOME_ORDER:
+            row = matrix.row(outcome)
+            assert abs(row.probability(outcome) - 0.9) < 1e-12
+
+    def test_symmetric_off_diagonals_split_equally(self):
+        matrix = ConditionalOutcomeMatrix.symmetric(0.8).as_matrix()
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+        assert abs(matrix[0, 1] - 0.1) < 1e-12
+
+    def test_rejects_out_of_range_diagonal(self):
+        with pytest.raises(ValidationError):
+            ConditionalOutcomeMatrix.symmetric(1.5)
+
+    def test_implied_marginal_close_to_table3(self):
+        # Paper run 2: Rel1 (0.7, .15, .15) with diagonal 0.8 implies a
+        # Rel2 marginal near the stated (0.6, 0.2, 0.2).
+        first = OutcomeDistribution(0.70, 0.15, 0.15)
+        implied = ConditionalOutcomeMatrix.symmetric(0.8).implied_marginal(
+            first
+        )
+        assert abs(implied.p_correct - 0.60) < 0.02
+        assert abs(implied.p_evident - 0.20) < 0.02
+
+    def test_rejects_missing_row(self):
+        with pytest.raises(ValidationError):
+            ConditionalOutcomeMatrix({Outcome.CORRECT: (1.0, 0.0, 0.0)})
+
+
+class TestConditionalOutcomeModel:
+    def test_pairwise_correlation(self, rng):
+        first = OutcomeDistribution(0.7, 0.15, 0.15)
+        model = ConditionalOutcomeModel(
+            first, ConditionalOutcomeMatrix.symmetric(0.9)
+        )
+        i, j = model.sample_pairs(rng, 100_000)
+        agreement = np.mean(i == j)
+        assert abs(agreement - 0.9) < 0.01
+
+    def test_sample_pair_returns_outcomes(self, rng):
+        model = ConditionalOutcomeModel(
+            OutcomeDistribution(0.7, 0.15, 0.15),
+            ConditionalOutcomeMatrix.symmetric(0.9),
+        )
+        a, b = model.sample_pair(rng)
+        assert isinstance(a, Outcome) and isinstance(b, Outcome)
+
+    def test_vectorised_matches_marginals(self, rng):
+        first = OutcomeDistribution(0.6, 0.2, 0.2)
+        model = ConditionalOutcomeModel(
+            first, ConditionalOutcomeMatrix.symmetric(0.4)
+        )
+        i, j = model.sample_pairs(rng, 200_000)
+        first_freqs = np.bincount(i, minlength=3) / len(i)
+        assert np.allclose(first_freqs, first.as_vector(), atol=0.01)
+        implied = model.marginal_second().as_vector()
+        second_freqs = np.bincount(j, minlength=3) / len(j)
+        assert np.allclose(second_freqs, implied, atol=0.01)
+
+
+class TestIndependentOutcomeModel:
+    def test_independence(self, rng):
+        first = OutcomeDistribution(0.7, 0.15, 0.15)
+        second = OutcomeDistribution(0.5, 0.25, 0.25)
+        model = IndependentOutcomeModel(first, second)
+        i, j = model.sample_pairs(rng, 200_000)
+        # P(both correct) factorises under independence.
+        both_correct = np.mean((i == 0) & (j == 0))
+        assert abs(both_correct - 0.7 * 0.5) < 0.01
+
+    def test_marginals_returned_verbatim(self):
+        first = OutcomeDistribution(0.7, 0.15, 0.15)
+        second = OutcomeDistribution(0.5, 0.25, 0.25)
+        model = IndependentOutcomeModel(first, second)
+        assert model.marginal_first() is first
+        assert model.marginal_second() is second
+
+    def test_sample_pair(self, rng):
+        model = IndependentOutcomeModel(
+            OutcomeDistribution(1.0, 0.0, 0.0),
+            OutcomeDistribution(0.0, 1.0, 0.0),
+        )
+        a, b = model.sample_pair(rng)
+        assert a is Outcome.CORRECT
+        assert b is Outcome.EVIDENT_FAILURE

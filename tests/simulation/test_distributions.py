@@ -1,0 +1,101 @@
+"""Unit tests for latency distributions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.simulation.distributions import (
+    Deterministic,
+    Exponential,
+    LogNormal,
+    ShiftedExponential,
+    Uniform,
+    WithHangs,
+)
+
+
+class TestExponential:
+    def test_mean_matches_parameter(self, rng):
+        dist = Exponential(0.7)
+        samples = dist.sample_many(rng, 200_000)
+        assert dist.mean == 0.7
+        assert abs(samples.mean() - 0.7) < 0.01
+
+    def test_single_sample_positive(self, rng):
+        assert Exponential(0.7).sample(rng) > 0.0
+
+    def test_rejects_non_positive_mean(self):
+        with pytest.raises(ValidationError):
+            Exponential(0.0)
+
+
+class TestDeterministic:
+    def test_always_returns_value(self, rng):
+        dist = Deterministic(0.1)
+        assert dist.sample(rng) == 0.1
+        assert (dist.sample_many(rng, 10) == 0.1).all()
+        assert dist.mean == 0.1
+
+    def test_zero_allowed(self, rng):
+        assert Deterministic(0.0).sample(rng) == 0.0
+
+
+class TestUniform:
+    def test_bounds_respected(self, rng):
+        dist = Uniform(0.5, 1.5)
+        samples = dist.sample_many(rng, 10_000)
+        assert samples.min() >= 0.5 and samples.max() <= 1.5
+        assert abs(dist.mean - 1.0) < 1e-12
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            Uniform(2.0, 1.0)
+
+
+class TestLogNormal:
+    def test_mean_matches_parameter(self, rng):
+        dist = LogNormal(1.0, 0.25)
+        samples = dist.sample_many(rng, 200_000)
+        assert abs(samples.mean() - 1.0) < 0.01
+
+    def test_tail_lighter_than_exponential(self, rng):
+        # The calibration rationale: same mean, much thinner tail.
+        lognormal = LogNormal(1.0, 0.25).sample_many(rng, 100_000)
+        exponential = Exponential(1.0).sample_many(rng, 100_000)
+        assert np.mean(lognormal > 2.0) < np.mean(exponential > 2.0)
+
+
+class TestWithHangs:
+    def test_hang_fraction(self, rng):
+        dist = WithHangs(Deterministic(1.0), 0.1)
+        samples = dist.sample_many(rng, 50_000)
+        hang_rate = np.mean(np.isinf(samples))
+        assert abs(hang_rate - 0.1) < 0.01
+
+    def test_zero_hang_probability_passthrough(self, rng):
+        dist = WithHangs(Deterministic(1.0), 0.0)
+        assert np.isfinite(dist.sample_many(rng, 100)).all()
+        assert dist.sample(rng) == 1.0
+
+    def test_single_sample_can_hang(self):
+        dist = WithHangs(Deterministic(1.0), 1.0 - 1e-12)
+        rng = np.random.default_rng(0)
+        assert math.isinf(dist.sample(rng))
+
+    def test_rejects_certain_hang(self):
+        with pytest.raises(ValueError):
+            WithHangs(Deterministic(1.0), 1.0)
+
+    def test_mean_is_body_mean(self):
+        assert WithHangs(Deterministic(2.0), 0.5).mean == 2.0
+
+
+class TestShiftedExponential:
+    def test_floor_respected(self, rng):
+        dist = ShiftedExponential(0.3, 0.5)
+        samples = dist.sample_many(rng, 10_000)
+        assert samples.min() >= 0.3
+        assert abs(dist.mean - 0.8) < 1e-12
+        assert dist.sample(rng) >= 0.3

@@ -1,0 +1,142 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.simulation.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_dispatch_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_simultaneous_events_fifo(self):
+        sim = Simulator()
+        order = []
+        for label in "abc":
+            sim.schedule(1.0, lambda l=label: order.append(l))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+        assert sim.now == 2.5
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_events_scheduled_during_dispatch(self):
+        sim = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(1.0, lambda: order.append("nested"))
+
+        sim.schedule(1.0, first)
+        sim.schedule(3.0, lambda: order.append("last"))
+        sim.run()
+        assert order == ["first", "nested", "last"]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append(1))
+        sim.cancel(event)
+        sim.run()
+        assert fired == []
+        assert event.cancelled and not event.dispatched
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.run()
+        assert event.cancelled
+
+    def test_cancelled_events_not_counted_pending(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        assert sim.pending_count == 1
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(5.0, lambda: fired.append(5))
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.now == 2.0
+        sim.run()
+        assert fired == [1, 5]
+
+    def test_run_until_includes_boundary_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run(until=2.0)
+        assert fired == [2]
+
+    def test_max_events_bounds_dispatch(self):
+        sim = Simulator()
+        for _ in range(10):
+            sim.schedule(1.0, lambda: None)
+        dispatched = sim.run(max_events=4)
+        assert dispatched == 4
+        assert sim.pending_count == 6
+
+    def test_run_returns_dispatch_count(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.run() == 2
+        assert sim.dispatched_count == 2
+
+    def test_run_not_reentrant(self):
+        sim = Simulator()
+        errors = []
+
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule(1.0, reenter)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_step_returns_none_when_drained(self):
+        sim = Simulator()
+        assert sim.step() is None
+
+    def test_repr_mentions_state(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        assert "pending=1" in repr(sim)

@@ -1,0 +1,84 @@
+"""Unit tests for the Table-5/6 metrics collectors."""
+
+import math
+
+import pytest
+
+from repro.simulation.metrics import (
+    OutcomeCounts,
+    ReleaseMetrics,
+    SystemMetrics,
+)
+from repro.simulation.outcomes import Outcome
+
+
+class TestOutcomeCounts:
+    def test_record_and_total(self):
+        counts = OutcomeCounts()
+        counts.record(Outcome.CORRECT)
+        counts.record(Outcome.CORRECT)
+        counts.record(Outcome.EVIDENT_FAILURE)
+        counts.record(Outcome.NON_EVIDENT_FAILURE)
+        assert counts.as_dict() == {"CR": 2, "EER": 1, "NER": 1, "Total": 4}
+
+
+class TestReleaseMetrics:
+    def test_met_over_collected_responses(self):
+        metrics = ReleaseMetrics("Rel1")
+        metrics.record_response(Outcome.CORRECT, 1.0)
+        metrics.record_response(Outcome.EVIDENT_FAILURE, 2.0)
+        metrics.record_no_response()
+        assert metrics.mean_execution_time == pytest.approx(1.5)
+        assert metrics.no_response == 1
+        assert metrics.total_requests == 3
+
+    def test_availability_and_reliability(self):
+        metrics = ReleaseMetrics("Rel1")
+        metrics.record_response(Outcome.CORRECT, 1.0)
+        metrics.record_response(Outcome.NON_EVIDENT_FAILURE, 1.0)
+        metrics.record_no_response()
+        metrics.record_no_response()
+        assert metrics.availability == pytest.approx(0.5)
+        assert metrics.reliability == pytest.approx(0.25)
+
+    def test_empty_metrics_are_nan(self):
+        metrics = ReleaseMetrics("Rel1")
+        assert math.isnan(metrics.mean_execution_time)
+        assert math.isnan(metrics.availability)
+
+    def test_no_response_may_carry_system_time(self):
+        # The system row pins time at TimeOut + dT even with no response.
+        metrics = ReleaseMetrics("System")
+        metrics.record_no_response(execution_time=1.6)
+        assert metrics.mean_execution_time == pytest.approx(1.6)
+
+    def test_as_row_format(self):
+        metrics = ReleaseMetrics("Rel1")
+        metrics.record_response(Outcome.CORRECT, 1.0)
+        row = metrics.as_row()
+        assert set(row) == {
+            "MET", "CR", "EER", "NER", "Total", "NRDT", "Total requests",
+        }
+
+
+class TestSystemMetrics:
+    def test_consistency_invariant_holds(self):
+        metrics = SystemMetrics(releases=[ReleaseMetrics("Rel1")])
+        metrics.releases[0].record_response(Outcome.CORRECT, 1.0)
+        metrics.releases[0].record_no_response()
+        metrics.system.record_response(Outcome.CORRECT, 1.1)
+        metrics.system.record_no_response(1.6)
+        metrics.check_consistency()  # should not raise
+
+    def test_consistency_violation_detected(self):
+        metrics = SystemMetrics(releases=[ReleaseMetrics("Rel1")])
+        metrics.releases[0].total_requests = 5  # corrupt
+        with pytest.raises(AssertionError):
+            metrics.check_consistency()
+
+    def test_all_rows_keys(self):
+        metrics = SystemMetrics(
+            releases=[ReleaseMetrics("a"), ReleaseMetrics("b")]
+        )
+        rows = metrics.all_rows()
+        assert set(rows) == {"Rel1", "Rel2", "System"}

@@ -1,0 +1,62 @@
+"""Unit tests for the outcome taxonomy."""
+
+import pytest
+
+from repro.simulation.outcomes import (
+    OUTCOME_ORDER,
+    Outcome,
+    ResponseKind,
+    joint_code,
+)
+
+
+class TestOutcome:
+    def test_failure_classification(self):
+        assert not Outcome.CORRECT.is_failure
+        assert Outcome.EVIDENT_FAILURE.is_failure
+        assert Outcome.NON_EVIDENT_FAILURE.is_failure
+
+    def test_validity_classification(self):
+        # "Valid" = not evidently incorrect (§5.2.1): NER looks valid.
+        assert Outcome.CORRECT.is_valid
+        assert Outcome.NON_EVIDENT_FAILURE.is_valid
+        assert not Outcome.EVIDENT_FAILURE.is_valid
+
+    def test_from_code_paper_spellings(self):
+        assert Outcome.from_code("CR") is Outcome.CORRECT
+        assert Outcome.from_code("ER") is Outcome.EVIDENT_FAILURE
+        assert Outcome.from_code("EER") is Outcome.EVIDENT_FAILURE
+        assert Outcome.from_code("ner") is Outcome.NON_EVIDENT_FAILURE
+
+    def test_from_code_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            Outcome.from_code("XX")
+
+    def test_str_is_paper_code(self):
+        assert str(Outcome.CORRECT) == "CR"
+
+    def test_order_matches_table3_columns(self):
+        assert OUTCOME_ORDER == (
+            Outcome.CORRECT,
+            Outcome.EVIDENT_FAILURE,
+            Outcome.NON_EVIDENT_FAILURE,
+        )
+
+
+class TestJointCode:
+    def test_table1_codes(self):
+        assert joint_code(Outcome.CORRECT, Outcome.CORRECT) == "00"
+        assert joint_code(Outcome.EVIDENT_FAILURE, Outcome.CORRECT) == "10"
+        assert joint_code(Outcome.CORRECT, Outcome.NON_EVIDENT_FAILURE) == "01"
+        assert (
+            joint_code(
+                Outcome.NON_EVIDENT_FAILURE, Outcome.EVIDENT_FAILURE
+            )
+            == "11"
+        )
+
+
+def test_response_kind_values():
+    assert ResponseKind.COLLECTED.value == "collected"
+    assert ResponseKind.TIMED_OUT.value == "timed-out"
+    assert ResponseKind.OFFLINE.value == "offline"

@@ -1,0 +1,67 @@
+"""Unit tests for the release behaviour model."""
+
+import numpy as np
+
+from repro.simulation.correlation import OutcomeDistribution
+from repro.simulation.distributions import Deterministic
+from repro.simulation.outcomes import Outcome
+from repro.simulation.release_model import ReleaseBehaviour
+
+
+def make_behaviour(cr=1.0, er=0.0, ner=0.0, latency=0.5):
+    return ReleaseBehaviour(
+        "WS 1.0", OutcomeDistribution(cr, er, ner), Deterministic(latency)
+    )
+
+
+class TestSampleResponse:
+    def test_correct_response_carries_reference(self, rng):
+        response = make_behaviour().sample_response(rng, reference_answer=42)
+        assert response.outcome is Outcome.CORRECT
+        assert response.payload == 42
+        assert response.execution_time == 0.5
+
+    def test_forced_outcome_overrides_distribution(self, rng):
+        response = make_behaviour().sample_response(
+            rng, reference_answer=42,
+            forced_outcome=Outcome.NON_EVIDENT_FAILURE,
+        )
+        assert response.outcome is Outcome.NON_EVIDENT_FAILURE
+
+    def test_non_evident_payload_is_plausible_but_wrong(self, rng):
+        behaviour = make_behaviour(0.0, 0.0, 1.0)
+        response = behaviour.sample_response(rng, reference_answer=42)
+        assert isinstance(response.payload, int)
+        assert response.payload != 42
+
+    def test_non_evident_string_payload(self, rng):
+        behaviour = make_behaviour(0.0, 0.0, 1.0)
+        response = behaviour.sample_response(rng, reference_answer="abc")
+        assert isinstance(response.payload, str)
+        assert response.payload != "abc"
+
+    def test_non_evident_opaque_payload(self, rng):
+        behaviour = make_behaviour(0.0, 0.0, 1.0)
+        response = behaviour.sample_response(rng, reference_answer=[1, 2])
+        assert response.payload != [1, 2]
+
+    def test_evident_failure_payload_marks_fault(self, rng):
+        behaviour = make_behaviour(0.0, 1.0, 0.0)
+        response = behaviour.sample_response(rng, reference_answer=42)
+        assert response.outcome is Outcome.EVIDENT_FAILURE
+        assert response.payload == ("fault", "WS 1.0")
+
+    def test_latency_sampled_even_with_forced_outcome(self, rng):
+        behaviour = make_behaviour(latency=0.25)
+        response = behaviour.sample_response(
+            rng, forced_outcome=Outcome.CORRECT
+        )
+        assert response.execution_time == 0.25
+
+    def test_outcome_frequencies(self, rng):
+        behaviour = make_behaviour(0.6, 0.3, 0.1)
+        outcomes = [
+            behaviour.sample_response(rng).outcome for _ in range(5_000)
+        ]
+        rate_correct = np.mean([o is Outcome.CORRECT for o in outcomes])
+        assert abs(rate_correct - 0.6) < 0.03

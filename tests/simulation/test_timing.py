@@ -1,0 +1,78 @@
+"""Unit tests for the execution-time model (eq. 7-8)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError, ValidationError
+from repro.simulation.distributions import Deterministic, Exponential
+from repro.simulation.timing import (
+    PAPER_ADJUDICATION_DELAY,
+    PAPER_TIMEOUTS,
+    ExecutionTimeModel,
+    SystemTimingPolicy,
+)
+
+
+class TestExecutionTimeModel:
+    def test_shared_component_correlates_releases(self, rng):
+        # With deterministic T2, the entire spread comes from T1, shared.
+        model = ExecutionTimeModel(
+            Exponential(0.7), [Deterministic(0.1), Deterministic(0.2)]
+        )
+        times = model.sample_many(rng, 10_000)
+        diffs = times[:, 1] - times[:, 0]
+        assert np.allclose(diffs, 0.1)
+
+    def test_mean_times(self):
+        model = ExecutionTimeModel(
+            Exponential(0.7), [Exponential(0.7), Exponential(0.5)]
+        )
+        assert model.mean_times == (1.4, 1.2)
+
+    def test_paper_defaults(self):
+        model = ExecutionTimeModel.paper_defaults()
+        assert model.release_count == 2
+        assert model.mean_times == (1.4, 1.4)
+
+    def test_sample_returns_tuple_per_release(self, rng):
+        model = ExecutionTimeModel.paper_defaults(3)
+        sample = model.sample(rng)
+        assert len(sample) == 3
+        assert all(t > 0 for t in sample)
+
+    def test_rejects_empty_release_list(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionTimeModel(Exponential(0.7), [])
+
+
+class TestSystemTimingPolicy:
+    def test_eq8_waits_for_slowest(self):
+        policy = SystemTimingPolicy(timeout=3.0, adjudication_delay=0.1)
+        assert policy.system_time([1.0, 2.0]) == pytest.approx(2.1)
+
+    def test_eq8_caps_at_timeout(self):
+        policy = SystemTimingPolicy(timeout=1.5, adjudication_delay=0.1)
+        assert policy.system_time([1.0, 9.0]) == pytest.approx(1.6)
+
+    def test_no_responses_pins_at_timeout(self):
+        policy = SystemTimingPolicy(timeout=1.5, adjudication_delay=0.1)
+        assert policy.system_time([]) == pytest.approx(1.6)
+
+    def test_collected_mask(self):
+        policy = SystemTimingPolicy(timeout=2.0)
+        assert policy.collected_mask([1.0, 2.0, 2.1]) == (True, True, False)
+
+    def test_vectorised_matches_scalar(self, rng):
+        policy = SystemTimingPolicy(timeout=1.5, adjudication_delay=0.1)
+        times = rng.exponential(1.0, size=(100, 2))
+        vector = policy.system_times_many(times)
+        scalar = np.array([policy.system_time(row) for row in times])
+        assert np.allclose(vector, scalar)
+
+    def test_rejects_non_positive_timeout(self):
+        with pytest.raises(ValidationError):
+            SystemTimingPolicy(timeout=0.0)
+
+    def test_paper_constants(self):
+        assert PAPER_TIMEOUTS == (1.5, 2.0, 3.0)
+        assert PAPER_ADJUDICATION_DELAY == 0.1

@@ -1,0 +1,56 @@
+"""Unit tests for workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.workload import ClosedLoopWorkload, PoissonWorkload
+
+
+class TestClosedLoopWorkload:
+    def test_yields_requested_count(self):
+        workload = ClosedLoopWorkload(100)
+        requests = list(workload.requests())
+        assert len(requests) == 100 == len(workload)
+
+    def test_reference_answer_is_request_id(self):
+        requests = list(ClosedLoopWorkload(5).requests())
+        assert [r.reference_answer for r in requests] == [0, 1, 2, 3, 4]
+        assert [r.request_id for r in requests] == [0, 1, 2, 3, 4]
+
+    def test_operation_propagates(self):
+        request = next(ClosedLoopWorkload(1, operation="op2").requests())
+        assert request.operation == "op2"
+
+    def test_rejects_non_positive_count(self):
+        with pytest.raises(ValueError):
+            ClosedLoopWorkload(0)
+
+
+class TestPoissonWorkload:
+    def test_rate_matches(self):
+        rng = np.random.default_rng(1)
+        workload = PoissonWorkload(rate=10.0, total_requests=20_000, rng=rng)
+        times = workload.arrival_times()
+        observed_rate = len(times) / times[-1]
+        assert abs(observed_rate - 10.0) / 10.0 < 0.05
+
+    def test_arrivals_increasing(self):
+        rng = np.random.default_rng(2)
+        workload = PoissonWorkload(rate=5.0, total_requests=1_000, rng=rng)
+        times = workload.arrival_times()
+        assert (np.diff(times) > 0).all()
+
+    def test_requests_carry_issue_times(self):
+        rng = np.random.default_rng(3)
+        workload = PoissonWorkload(rate=1.0, total_requests=10, rng=rng)
+        requests = list(workload.requests())
+        assert len(requests) == 10
+        assert all(r.issue_time is not None for r in requests)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            PoissonWorkload(rate=0.0, total_requests=10)
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            PoissonWorkload(rate=1.0, total_requests=0)

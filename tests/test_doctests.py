@@ -1,0 +1,36 @@
+"""Run the library's docstring examples as tests.
+
+Public-API docstrings carry runnable examples; this keeps them honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.bayes.beta
+import repro.bayes.blackbox
+import repro.bayes.whitebox
+import repro.common.seeding
+import repro.services.registry
+import repro.simulation.engine
+
+MODULES = [
+    repro,
+    repro.bayes.beta,
+    repro.bayes.blackbox,
+    repro.bayes.whitebox,
+    repro.common.seeding,
+    repro.services.registry,
+    repro.simulation.engine,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=[m.__name__ for m in MODULES]
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, (
+        f"{results.failed} doctest failures in {module.__name__}"
+    )
