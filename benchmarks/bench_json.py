@@ -1,0 +1,127 @@
+"""Quick benchmark harness writing machine-readable ``BENCH_engine.json``.
+
+Measures the three numbers the runtime work is accountable for —
+
+* kernel event throughput (events/sec),
+* middleware demand throughput (demands/sec),
+* Table-5 cell wall-time on the vectorised fast path, with the legacy
+  per-request (``live``) sampling time and the resulting speedup,
+
+plus the ``--jobs`` scaling of a small Table-5 grid.  CI runs
+``python benchmarks/bench_json.py --quick`` and archives the JSON;
+committed numbers come from a full run (``--requests 5000``).
+
+This module intentionally defines no ``test_*`` functions: the
+pytest-benchmark suite lives in ``bench_engine_perf.py``; this harness
+exists so CI and developers get one comparable JSON artefact without the
+plugin's statistics machinery.
+"""
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments import paper_params as P
+from repro.experiments.event_sim import run_release_pair_simulation
+from repro.experiments.table5 import run_table5
+from repro.simulation.engine import Simulator
+
+
+def bench_kernel_events(events: int = 50_000) -> float:
+    """Events dispatched per second by the bare kernel."""
+    sim = Simulator()
+    count = [0]
+
+    def tick():
+        count[0] += 1
+
+    started = time.perf_counter()
+    for i in range(events):
+        sim.schedule(float(i % 100) / 10.0, tick)
+    sim.run()
+    elapsed = time.perf_counter() - started
+    assert count[0] == events
+    return events / elapsed
+
+
+def bench_cell(requests: int, sampling: str) -> float:
+    """Wall-time of one Table-5 cell (run 1, TimeOut 1.5 s)."""
+    # Warm the code paths so the measured run is steady-state.
+    run_release_pair_simulation(
+        P.correlated_model(1), timeout=1.5, requests=200, seed=3,
+        sampling=sampling,
+    )
+    started = time.perf_counter()
+    metrics = run_release_pair_simulation(
+        P.correlated_model(1), timeout=1.5, requests=requests, seed=3,
+        sampling=sampling,
+    )
+    elapsed = time.perf_counter() - started
+    assert metrics.system.total_requests == requests
+    return elapsed
+
+
+def bench_grid(requests: int, jobs: int) -> float:
+    """Wall-time of the full 12-cell Table-5 grid."""
+    started = time.perf_counter()
+    run_table5(seed=3, requests=requests, jobs=jobs)
+    return time.perf_counter() - started
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=5_000,
+                        help="requests per benchmark cell (default 5000)")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced sizes for CI (1000-request cells)")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker count for the scaling measurement")
+    parser.add_argument("--output", default="BENCH_engine.json",
+                        help="output path (default BENCH_engine.json)")
+    args = parser.parse_args(argv)
+    requests = 1_000 if args.quick else args.requests
+
+    events_per_sec = bench_kernel_events()
+    vectorized = bench_cell(requests, "vectorized")
+    live = bench_cell(requests, "live")
+    sequential = bench_grid(requests, jobs=1)
+    parallel = bench_grid(requests, jobs=args.jobs)
+
+    # ~6 kernel events and exactly one adjudicated demand per request.
+    payload = {
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "machine": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "cpu_count": __import__("os").cpu_count(),
+        },
+        "kernel": {"events_per_sec": round(events_per_sec)},
+        "cell": {
+            "requests": requests,
+            "vectorized_seconds": round(vectorized, 4),
+            "live_seconds": round(live, 4),
+            "speedup_vs_live": round(live / vectorized, 2),
+            "demands_per_sec": round(requests / vectorized),
+        },
+        "grid": {
+            "cells": 12,
+            "requests_per_cell": requests,
+            "jobs": args.jobs,
+            "sequential_seconds": round(sequential, 4),
+            "parallel_seconds": round(parallel, 4),
+            "scaling": round(sequential / parallel, 2),
+        },
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.common.errors import ConfigurationError
+from repro.common.seeding import SeedSequenceFactory
 from repro.bayes.counts import JointCounts
 from repro.bayes.demand_process import TwoReleaseGroundTruth
 from repro.bayes.detection import DetectionModel
@@ -196,3 +197,48 @@ class SequentialAssessment:
             )
             history.records.append(record)
         return history
+
+
+def _replication_cell(
+    assessment: SequentialAssessment, seed: int
+) -> AssessmentHistory:
+    """One Monte-Carlo replication; module-level so worker processes can
+    unpickle it."""
+    return assessment.run(np.random.default_rng(seed))
+
+
+def run_replications(
+    assessment: SequentialAssessment,
+    replications: int,
+    seed: int,
+    jobs: int = 1,
+) -> List[AssessmentHistory]:
+    """Monte-Carlo replications of one assessment across demand streams.
+
+    Each replication draws its own ground-truth stream from a child seed
+    of *seed* (via
+    :meth:`~repro.common.seeding.SeedSequenceFactory.child_seed`), so the
+    set of histories is bit-identical for any ``jobs`` value and any
+    single replication can be reproduced in isolation from its index.
+    """
+    # Imported lazily: keeps the bayes layer importable without pulling
+    # in the runtime/simulation stack.
+    from repro.runtime.parallel import CellSpec, run_cells
+
+    if replications <= 0:
+        raise ConfigurationError(
+            f"replications must be > 0: {replications!r}"
+        )
+    seeds = SeedSequenceFactory(seed)
+    cells = [
+        CellSpec(
+            experiment="bayes-replications",
+            fn=_replication_cell,
+            kwargs=dict(
+                assessment=assessment,
+                seed=seeds.child_seed(f"replication/{index}"),
+            ),
+        )
+        for index in range(replications)
+    ]
+    return run_cells(cells, jobs=jobs)

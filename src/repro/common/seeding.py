@@ -75,6 +75,19 @@ class SeedSequenceFactory:
         """Return a generator for the independent stream called *name*."""
         return np.random.default_rng(self.seed_sequence(name))
 
+    def child_seed(self, name: str) -> int:
+        """A derived integer root seed for an independent child cell.
+
+        The parallel experiment runtime gives every grid cell its own
+        root seed, derived deterministically from (root seed, cell name).
+        A cell seeded this way is reproducible in isolation — the same
+        cell re-run alone, inline, or in any worker of a process pool
+        draws identical streams.  The value is a stable 63-bit integer
+        (platform-independent, like the stream keys).
+        """
+        state = self.seed_sequence(name).generate_state(1, dtype=np.uint64)
+        return int(state[0] & 0x7FFFFFFFFFFFFFFF)
+
     def issued_streams(self) -> Dict[str, int]:
         """Mapping of stream names to spawn keys issued so far (for audit)."""
         return dict(self._issued)

@@ -19,7 +19,7 @@ experiment consumes them.
 """
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,6 +30,8 @@ from repro.experiments.event_sim import (
     calibrated_profile,
     paper_profile,
 )
+from repro.runtime.cache import ResultCache
+from repro.runtime.parallel import CellSpec, run_cells
 from repro.simulation.distributions import LogNormal, WithHangs
 
 #: The paper's reported observables (Table 5, run 1).
@@ -145,13 +147,27 @@ def candidate_profiles() -> List[LatencyProfile]:
 
 
 def run_calibration(
-    samples: int = 100_000, seed: int = 7
+    samples: int = 100_000,
+    seed: int = 7,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> Tuple[List[LatencyFit], LatencyFit]:
-    """Evaluate all candidates; return (all fits, best fit)."""
-    fits = [
-        evaluate_profile(profile, samples=samples, seed=seed)
+    """Evaluate all candidates; return (all fits, best fit).
+
+    Each candidate profile is an independent Monte-Carlo cell, so the
+    sweep fans across the parallel runtime (profile names encode their
+    parameters, making them stable cache keys).
+    """
+    cells = [
+        CellSpec(
+            experiment="calibration",
+            fn=evaluate_profile,
+            kwargs=dict(profile=profile, samples=samples, seed=seed),
+            key=dict(profile=profile.name, samples=samples, seed=seed),
+        )
         for profile in candidate_profiles()
     ]
+    fits = run_cells(cells, jobs=jobs, cache=cache)
     best = min(fits, key=lambda fit: fit.error())
     return fits, best
 

@@ -11,7 +11,11 @@ Usage (installed as ``repro-experiments``)::
     python -m repro.experiments.cli all       # everything
 
 Options: ``--seed``, ``--fast`` (reduced sizes for smoke runs),
-``--profile {paper,calibrated}`` for the event-driven tables.
+``--profile {paper,calibrated}`` for the event-driven tables,
+``--jobs N`` to fan independent experiment cells across N worker
+processes (results are bit-identical to a sequential run), and
+``--no-cache`` / ``--cache-dir`` / ``--clear-cache`` to control the
+on-disk result cache.
 """
 
 import argparse
@@ -30,10 +34,18 @@ from repro.experiments.robustness import run_robustness
 from repro.experiments.table2 import run_table2
 from repro.experiments.table5 import run_table5
 from repro.experiments.table6 import run_table6
+from repro.runtime.cache import ResultCache, default_cache_dir
 
 
 def _profile(name: str):
     return calibrated_profile() if name == "calibrated" else paper_profile()
+
+
+def _cache(args) -> Optional[ResultCache]:
+    """The result cache selected by the cache flags (None = disabled)."""
+    if args.no_cache:
+        return None
+    return ResultCache(args.cache_dir or default_cache_dir())
 
 
 def cmd_table2(args) -> str:
@@ -41,7 +53,7 @@ def cmd_table2(args) -> str:
     if args.fast:
         kwargs.update(total_demands=10_000, checkpoint_every=1_000,
                       grid=GridSpec(96, 96, 32))
-    result = run_table2(seed=args.seed, **kwargs)
+    result = run_table2(seed=args.seed, jobs=args.jobs, **kwargs)
     return result.render()
 
 
@@ -50,7 +62,7 @@ def cmd_fig7(args) -> str:
     if args.fast:
         kwargs.update(total_demands=10_000, checkpoint_every=2_000,
                       grid=GridSpec(96, 96, 32))
-    curves = run_fig7(seed=args.seed, **kwargs)
+    curves = run_fig7(seed=args.seed, jobs=args.jobs, **kwargs)
     bound = curves.detection_confidence_error_ok()
     return "\n\n".join([
         curves.render(),
@@ -65,7 +77,7 @@ def cmd_fig8(args) -> str:
     if args.fast:
         kwargs.update(total_demands=5_000, checkpoint_every=500,
                       grid=GridSpec(96, 96, 32))
-    curves = run_fig8(seed=args.seed, **kwargs)
+    curves = run_fig8(seed=args.seed, jobs=args.jobs, **kwargs)
     bound = curves.detection_confidence_error_ok()
     return "\n\n".join([
         curves.render(),
@@ -78,7 +90,8 @@ def cmd_fig8(args) -> str:
 def cmd_table5(args) -> str:
     requests = 2_000 if args.fast else 10_000
     table = run_table5(
-        seed=args.seed, requests=requests, profile=_profile(args.profile)
+        seed=args.seed, requests=requests, profile=_profile(args.profile),
+        jobs=args.jobs, cache=_cache(args),
     )
     return table.render()
 
@@ -86,14 +99,16 @@ def cmd_table5(args) -> str:
 def cmd_table6(args) -> str:
     requests = 2_000 if args.fast else 10_000
     table = run_table6(
-        seed=args.seed, requests=requests, profile=_profile(args.profile)
+        seed=args.seed, requests=requests, profile=_profile(args.profile),
+        jobs=args.jobs, cache=_cache(args),
     )
     return table.render()
 
 
 def cmd_calibrate(args) -> str:
     samples = 20_000 if args.fast else 100_000
-    fits, best = run_calibration(samples=samples, seed=args.seed)
+    fits, best = run_calibration(samples=samples, seed=args.seed,
+                                 jobs=args.jobs, cache=_cache(args))
     return render_calibration(fits) + f"\n\nBest fit: {best.profile_name}"
 
 
@@ -104,11 +119,13 @@ def cmd_fidelity(args) -> str:
     requests = 2_000 if args.fast else 10_000
     latency = calibrated_profile()
     diff5 = compare_to_paper(
-        run_table5(seed=args.seed, requests=requests, profile=latency),
+        run_table5(seed=args.seed, requests=requests, profile=latency,
+                   jobs=args.jobs, cache=_cache(args)),
         TABLE5, "Table 5 (calibrated)",
     )
     diff6 = compare_to_paper(
-        run_table6(seed=args.seed, requests=requests, profile=latency),
+        run_table6(seed=args.seed, requests=requests, profile=latency,
+                   jobs=args.jobs, cache=_cache(args)),
         TABLE6, "Table 6 (calibrated)",
     )
     return diff5.render() + "\n\n" + diff6.render()
@@ -116,7 +133,8 @@ def cmd_fidelity(args) -> str:
 
 def cmd_multirelease(args) -> str:
     requests = 1_500 if args.fast else 5_000
-    sweep = run_sweep(requests=requests, seed=args.seed)
+    sweep = run_sweep(requests=requests, seed=args.seed,
+                      jobs=args.jobs, cache=_cache(args))
     return sweep.render()
 
 
@@ -125,10 +143,12 @@ def cmd_report(args) -> str:
 
     if args.output:
         write_report(args.output, seed=args.seed, fast=args.fast,
-                     profile=args.profile)
+                     profile=args.profile, jobs=args.jobs,
+                     cache=_cache(args))
         return f"report written to {args.output}"
     return generate_report(seed=args.seed, fast=args.fast,
-                           profile=args.profile)
+                           profile=args.profile, jobs=args.jobs,
+                           cache=_cache(args))
 
 
 def cmd_robustness(args) -> str:
@@ -137,7 +157,7 @@ def cmd_robustness(args) -> str:
     if args.fast:
         kwargs.update(total_demands=10_000, checkpoint_every=1_000,
                       grid=GridSpec(64, 64, 24))
-    report = run_robustness(seeds=seeds, **kwargs)
+    report = run_robustness(seeds=seeds, jobs=args.jobs, **kwargs)
     return report.render()
 
 
@@ -165,6 +185,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
+        nargs="?",
         choices=sorted(COMMANDS) + ["all"],
         help="which experiment to run",
     )
@@ -183,11 +204,46 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="for 'report': write the markdown report to this path",
     )
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1,
+        help=(
+            "worker processes for independent experiment cells "
+            "(default 1 = sequential; 0 = all CPUs; results are "
+            "bit-identical for any value)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help=(
+            "result cache directory (default $REPRO_CACHE_DIR or "
+            "~/.cache/repro-dsn2004)"
+        ),
+    )
+    parser.add_argument(
+        "--clear-cache", action="store_true",
+        help=(
+            "remove all cached results before running (may be used "
+            "without an experiment to just clear)"
+        ),
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.clear_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+        removed = cache.clear()
+        print(f"cleared {removed} cached result(s) from {cache.root}")
+        if args.experiment is None:
+            return 0
+    if args.experiment is None:
+        parser.error("an experiment is required unless --clear-cache is given")
     if args.experiment == "all":
         # 'report' re-runs every experiment itself; keep 'all' to the
         # individual experiments.

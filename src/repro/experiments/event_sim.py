@@ -8,9 +8,10 @@ row format (MET, CR/EER/NER counts, NRDT per release and for the
 adjudicated system).
 """
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.common.errors import ConfigurationError
 from repro.common.seeding import SeedSequenceFactory
 from repro.common.tables import render_table
 from repro.core.adjudicators import PaperRuleAdjudicator
@@ -20,6 +21,7 @@ from repro.core.monitor import MonitoringSubsystem
 from repro.core.database import ObservationLog
 from repro.experiments import paper_params as P
 from repro.experiments.paper_params import DEFAULT_SEED
+from repro.runtime.sampling import build_demand_script
 from repro.services.endpoint import ServiceEndpoint
 from repro.services.message import RequestMessage
 from repro.services.wsdl import default_wsdl
@@ -35,6 +37,15 @@ from repro.simulation.metrics import ReleaseMetrics, SystemMetrics
 from repro.simulation.outcomes import Outcome
 from repro.simulation.release_model import ReleaseBehaviour
 from repro.simulation.timing import SystemTimingPolicy
+from repro.simulation.workload import StreamingArrivalSource
+
+#: Sampling strategies for the event-driven cells.  ``vectorized``
+#: pre-draws all per-demand randomness in numpy blocks (the fast path);
+#: ``scalar`` draws the same streams one value at a time (bit-identical,
+#: ~20x slower — exists to prove the equivalence); ``live`` draws
+#: per-request inside the event loop exactly as the original seed code
+#: did (a different, legacy stream layout).
+SAMPLING_MODES = ("vectorized", "scalar", "live")
 
 
 @dataclass(frozen=True)
@@ -96,15 +107,35 @@ def run_release_pair_simulation(
     profile: Optional[LatencyProfile] = None,
     mode: Optional[ModeConfig] = None,
     adjudicator=None,
+    sampling: str = "vectorized",
 ) -> SystemMetrics:
     """One Table-5/6 cell: a full event-driven run.
+
+    *sampling* picks the randomness strategy (see :data:`SAMPLING_MODES`);
+    ``vectorized`` and ``scalar`` are bit-identical by construction and
+    differ only in how fast the demand script is drawn.
 
     Returns the reduced :class:`SystemMetrics` (Rel1 / Rel2 / System
     rows).
     """
+    if sampling not in SAMPLING_MODES:
+        raise ConfigurationError(
+            f"sampling must be one of {SAMPLING_MODES}: {sampling!r}"
+        )
     profile = profile or paper_profile()
     seeds = SeedSequenceFactory(seed)
     simulator = Simulator()
+
+    script = None
+    if sampling != "live":
+        script = build_demand_script(
+            joint_model,
+            profile.demand_difficulty,
+            profile.release_latencies,
+            requests,
+            seeds,
+            vectorized=(sampling == "vectorized"),
+        )
 
     endpoints = []
     for index, latency in enumerate(profile.release_latencies):
@@ -115,6 +146,8 @@ def run_release_pair_simulation(
         )
         wsdl = default_wsdl("Web-Service", f"node-{index + 1}",
                             release=f"1.{index}")
+        if script is not None:
+            latency = script.release_latency(index, base=latency)
         behaviour = ReleaseBehaviour(
             f"Web-Service 1.{index}", marginal, latency
         )
@@ -132,20 +165,28 @@ def run_release_pair_simulation(
         adjudicator=adjudicator or PaperRuleAdjudicator(),
         mode=mode or ModeConfig.max_reliability(),
         monitor=monitor,
-        joint_outcome_model=joint_model,
-        demand_difficulty=profile.demand_difficulty,
+        joint_outcome_model=(
+            script.joint_model(base=joint_model)
+            if script is not None
+            else joint_model
+        ),
+        demand_difficulty=(
+            script.demand_difficulty(base=profile.demand_difficulty)
+            if script is not None
+            else profile.demand_difficulty
+        ),
     )
 
     spacing = timeout + P.ADJUDICATION_DELAY + 0.5
     sink: List[object] = []
-    for i in range(requests):
+
+    def submit(i: int) -> None:
         request = RequestMessage(operation="operation1", arguments=(i,))
-        simulator.schedule_at(
-            i * spacing,
-            lambda r=request, answer=i: middleware.submit(
-                simulator, r, sink.append, reference_answer=answer
-            ),
+        middleware.submit(
+            simulator, request, sink.append, reference_answer=i
         )
+
+    StreamingArrivalSource(simulator, requests, spacing, submit).start()
     simulator.run()
     return metrics_from_log(
         monitor.log, [endpoint.name for endpoint in endpoints]
@@ -194,12 +235,24 @@ class SimulationTable:
 
     label: str
     results: List[SimulationRunResult]
+    #: Lazily built (run, timeout) -> result index for O(1) cell lookup;
+    #: rebuilt whenever the results list changes length.
+    _index: Optional[Dict[Tuple[int, float], SimulationRunResult]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def cell(self, run: int, timeout: float) -> SimulationRunResult:
-        for result in self.results:
-            if result.run == run and result.timeout == timeout:
-                return result
-        raise KeyError((run, timeout))
+        index = self._index
+        if index is None or len(index) != len(self.results):
+            index = {
+                (result.run, result.timeout): result
+                for result in self.results
+            }
+            self._index = index
+        try:
+            return index[(run, timeout)]
+        except KeyError:
+            raise KeyError((run, timeout)) from None
 
     def runs(self) -> List[int]:
         return sorted({result.run for result in self.results})

@@ -27,11 +27,15 @@ from repro.core.middleware import UpgradeMiddleware
 from repro.core.monitor import MonitoringSubsystem
 from repro.experiments import paper_params as P
 from repro.experiments.event_sim import (
+    SAMPLING_MODES,
     LatencyProfile,
     calibrated_profile,
     metrics_from_log,
 )
 from repro.experiments.paper_params import DEFAULT_SEED
+from repro.runtime.cache import ResultCache
+from repro.runtime.parallel import CellSpec, run_cells
+from repro.runtime.sampling import build_demand_script
 from repro.services.endpoint import ServiceEndpoint
 from repro.services.message import RequestMessage
 from repro.services.wsdl import default_wsdl
@@ -40,6 +44,7 @@ from repro.simulation.engine import Simulator
 from repro.simulation.metrics import SystemMetrics
 from repro.simulation.release_model import ReleaseBehaviour
 from repro.simulation.timing import SystemTimingPolicy
+from repro.simulation.workload import StreamingArrivalSource
 
 
 def chained_model(run: int = 1) -> ChainedOutcomeModel:
@@ -59,10 +64,21 @@ def run_n_release_simulation(
     seed: int = DEFAULT_SEED,
     run: int = 1,
     profile: Optional[LatencyProfile] = None,
+    sampling: str = "vectorized",
 ) -> SystemMetrics:
-    """One 1-out-of-N cell through the full event-driven stack."""
+    """One 1-out-of-N cell through the full event-driven stack.
+
+    *sampling* picks the randomness strategy exactly as in
+    :func:`~repro.experiments.event_sim.run_release_pair_simulation`; the
+    chained outcome tuples, shared T1 and per-release T2 values are
+    pre-drawn in numpy blocks on the ``vectorized`` path.
+    """
     if n_releases < 1:
         raise ConfigurationError(f"n_releases must be >= 1: {n_releases!r}")
+    if sampling not in SAMPLING_MODES:
+        raise ConfigurationError(
+            f"sampling must be one of {SAMPLING_MODES}: {sampling!r}"
+        )
     profile = profile or calibrated_profile()
     model = chained_model(run)
     seeds = SeedSequenceFactory(seed)
@@ -70,8 +86,24 @@ def run_n_release_simulation(
 
     # Reuse the profile's per-release latency template for every release.
     latency_template = profile.release_latencies[0]
+    script = None
+    if sampling != "live":
+        script = build_demand_script(
+            model if n_releases >= 2 else None,
+            profile.demand_difficulty,
+            [latency_template] * n_releases,
+            requests,
+            seeds,
+            vectorized=(sampling == "vectorized"),
+        )
+
     endpoints: List[ServiceEndpoint] = []
     for index in range(n_releases):
+        latency = (
+            script.release_latency(index, base=latency_template)
+            if script is not None
+            else latency_template
+        )
         endpoints.append(
             ServiceEndpoint(
                 default_wsdl("Web-Service", f"node-{index + 1}",
@@ -79,12 +111,13 @@ def run_n_release_simulation(
                 ReleaseBehaviour(
                     f"Web-Service 1.{index}",
                     model.marginal_nth(index),
-                    latency_template,
+                    latency,
                 ),
                 seeds.generator(f"ep{index}"),
             )
         )
 
+    base_joint = model if n_releases >= 2 else None
     monitor = MonitoringSubsystem(seeds.generator("monitor"))
     middleware = UpgradeMiddleware(
         endpoints=endpoints,
@@ -94,18 +127,26 @@ def run_n_release_simulation(
         rng=seeds.generator("middleware"),
         adjudicator=PaperRuleAdjudicator(),
         monitor=monitor,
-        joint_outcome_model=model if n_releases >= 2 else None,
-        demand_difficulty=profile.demand_difficulty,
+        joint_outcome_model=(
+            script.joint_model(base=base_joint)
+            if script is not None and base_joint is not None
+            else base_joint
+        ),
+        demand_difficulty=(
+            script.demand_difficulty(base=profile.demand_difficulty)
+            if script is not None
+            else profile.demand_difficulty
+        ),
     )
     spacing = timeout + P.ADJUDICATION_DELAY + 0.5
-    for i in range(requests):
+
+    def submit(i: int) -> None:
         request = RequestMessage("operation1", arguments=(i,))
-        simulator.schedule_at(
-            i * spacing,
-            lambda r=request, answer=i: middleware.submit(
-                simulator, r, lambda resp: None, reference_answer=answer
-            ),
+        middleware.submit(
+            simulator, request, lambda resp: None, reference_answer=i
         )
+
+    StreamingArrivalSource(simulator, requests, spacing, submit).start()
     simulator.run()
     return metrics_from_log(
         monitor.log, [endpoint.name for endpoint in endpoints]
@@ -144,12 +185,41 @@ def run_sweep(
     requests: int = 5_000,
     seed: int = DEFAULT_SEED,
     run: int = 1,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    sampling: str = "vectorized",
 ) -> MultiReleaseSweep:
-    """Sweep the number of deployed releases."""
-    metrics = [
-        run_n_release_simulation(
-            n, timeout=timeout, requests=requests, seed=seed, run=run
+    """Sweep the number of deployed releases.
+
+    Each N is an independent cell fanned across the parallel runtime;
+    every cell derives its own root seed so results are bit-identical for
+    any ``jobs`` value.
+    """
+    seeds = SeedSequenceFactory(seed)
+    cells = []
+    for n in release_counts:
+        cell_seed = seeds.child_seed(f"multi-release/n-{n}")
+        cells.append(
+            CellSpec(
+                experiment="multi_release",
+                fn=run_n_release_simulation,
+                kwargs=dict(
+                    n_releases=n,
+                    timeout=timeout,
+                    requests=requests,
+                    seed=cell_seed,
+                    run=run,
+                    sampling=sampling,
+                ),
+                key=dict(
+                    n_releases=n,
+                    timeout=timeout,
+                    requests=requests,
+                    seed=cell_seed,
+                    run=run,
+                    sampling=sampling,
+                ),
+            )
         )
-        for n in release_counts
-    ]
+    metrics = run_cells(cells, jobs=jobs, cache=cache)
     return MultiReleaseSweep(list(release_counts), metrics)

@@ -102,14 +102,20 @@ def run_figure(
     grid: GridSpec = GridSpec(),
     total_demands: Optional[int] = None,
     checkpoint_every: Optional[int] = None,
+    jobs: int = 1,
 ) -> PercentileCurves:
-    """Produce one figure's curves from scratch."""
+    """Produce one figure's curves from scratch.
+
+    ``jobs`` fans the three detection-regime assessments across worker
+    processes (see :func:`~repro.experiments.table2.run_scenario_histories`).
+    """
     histories = run_scenario_histories(
         scenario,
         seed=seed,
         grid=grid,
         total_demands=total_demands,
         checkpoint_every=checkpoint_every,
+        jobs=jobs,
     )
     return curves_from_histories(scenario.name, histories)
 
@@ -119,6 +125,7 @@ def run_fig7(
     grid: GridSpec = GridSpec(),
     total_demands: Optional[int] = None,
     checkpoint_every: int = 2000,
+    jobs: int = 1,
 ) -> PercentileCurves:
     """Fig. 7: Scenario 1 percentile curves (to 50,000 demands)."""
     return run_figure(
@@ -127,6 +134,7 @@ def run_fig7(
         grid=grid,
         total_demands=total_demands,
         checkpoint_every=checkpoint_every,
+        jobs=jobs,
     )
 
 
@@ -135,6 +143,7 @@ def run_fig8(
     grid: GridSpec = GridSpec(),
     total_demands: int = 10_000,
     checkpoint_every: int = 500,
+    jobs: int = 1,
 ) -> PercentileCurves:
     """Fig. 8: Scenario 2 percentile curves (to 10,000 demands)."""
     return run_figure(
@@ -143,4 +152,5 @@ def run_fig8(
         grid=grid,
         total_demands=total_demands,
         checkpoint_every=checkpoint_every,
+        jobs=jobs,
     )

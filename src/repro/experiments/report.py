@@ -8,12 +8,13 @@ want the raw regenerated tables without prose.
 """
 
 import time
-from typing import List
+from typing import List, Optional
 
 from repro.analysis.stats import reliability_ordering
 from repro.bayes.priors import GridSpec
 from repro.common.tables import render_markdown_table
 from repro.experiments.calibration import run_calibration
+from repro.runtime.cache import ResultCache
 from repro.experiments.event_sim import (
     calibrated_profile,
     paper_profile,
@@ -39,12 +40,13 @@ class ReportSizes:
         self.sweep_requests = 1_500 if fast else 5_000
 
 
-def _table2_section(seed: int, sizes: ReportSizes) -> str:
+def _table2_section(seed: int, sizes: ReportSizes, jobs: int = 1) -> str:
     result = run_table2(
         seed=seed,
         grid=sizes.grid,
         total_demands=sizes.table2_demands,
         checkpoint_every=sizes.table2_checkpoint,
+        jobs=jobs,
     )
     rows = []
     for (scenario, detection) in result.histories:
@@ -101,9 +103,14 @@ def _event_table_section(label: str, table) -> str:
     )
 
 
-def _calibration_section(sizes: ReportSizes, seed: int) -> str:
+def _calibration_section(
+    sizes: ReportSizes,
+    seed: int,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> str:
     fits, best = run_calibration(
-        samples=sizes.calibration_samples, seed=seed
+        samples=sizes.calibration_samples, seed=seed, jobs=jobs, cache=cache
     )
     ordered = sorted(fits, key=lambda fit: fit.error())[:5]
     paper_fit = next(fit for fit in fits if fit.profile_name == "paper")
@@ -123,8 +130,15 @@ def _calibration_section(sizes: ReportSizes, seed: int) -> str:
     )
 
 
-def _multi_release_section(sizes: ReportSizes, seed: int) -> str:
-    sweep = run_sweep(requests=sizes.sweep_requests, seed=seed)
+def _multi_release_section(
+    sizes: ReportSizes,
+    seed: int,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> str:
+    sweep = run_sweep(
+        requests=sizes.sweep_requests, seed=seed, jobs=jobs, cache=cache
+    )
     rows = [
         [n, m.system.availability, m.system.reliability,
          m.system.mean_execution_time]
@@ -142,8 +156,14 @@ def generate_report(
     seed: int = DEFAULT_SEED,
     fast: bool = False,
     profile: str = "calibrated",
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> str:
-    """Regenerate every experiment and return the markdown report."""
+    """Regenerate every experiment and return the markdown report.
+
+    ``jobs`` / ``cache`` are threaded through every section's experiment
+    runner; the report's numbers are identical for any ``jobs`` value.
+    """
     sizes = ReportSizes(fast)
     latency = (
         calibrated_profile() if profile == "calibrated" else paper_profile()
@@ -155,30 +175,31 @@ def generate_report(
         f"Generated {started}; seed {seed}; "
         f"{'fast' if fast else 'full'} sizes; latency profile "
         f"'{latency.name}'.",
-        _table2_section(seed, sizes),
+        _table2_section(seed, sizes, jobs=jobs),
         _figure_section(
             "Fig. 7",
             run_fig7(
                 seed=seed, grid=sizes.grid,
                 total_demands=sizes.table2_demands,
+                jobs=jobs,
             ),
         ),
         _figure_section(
             "Fig. 8",
-            run_fig8(seed=seed, grid=sizes.grid),
+            run_fig8(seed=seed, grid=sizes.grid, jobs=jobs),
         ),
         _event_table_section(
             "Table 5 — correlated releases",
             run_table5(seed=seed, requests=sizes.requests,
-                       profile=latency),
+                       profile=latency, jobs=jobs, cache=cache),
         ),
         _event_table_section(
             "Table 6 — independent releases",
             run_table6(seed=seed, requests=sizes.requests,
-                       profile=latency),
+                       profile=latency, jobs=jobs, cache=cache),
         ),
-        _calibration_section(sizes, seed),
-        _multi_release_section(sizes, seed),
+        _calibration_section(sizes, seed, jobs=jobs, cache=cache),
+        _multi_release_section(sizes, seed, jobs=jobs, cache=cache),
     ]
     return "\n\n".join(sections) + "\n"
 
@@ -188,9 +209,12 @@ def write_report(
     seed: int = DEFAULT_SEED,
     fast: bool = False,
     profile: str = "calibrated",
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> str:
     """Generate the report and write it to *path*; returns the text."""
-    text = generate_report(seed=seed, fast=fast, profile=profile)
+    text = generate_report(seed=seed, fast=fast, profile=profile,
+                           jobs=jobs, cache=cache)
     with open(path, "w") as handle:
         handle.write(text)
     return text

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.bayes.priors import GridSpec
 from repro.common.tables import render_table
 from repro.experiments.table2 import run_table2
+from repro.runtime.parallel import CellSpec, run_cells
 
 
 @dataclass
@@ -91,16 +92,29 @@ def run_robustness(
     grid: GridSpec = GridSpec(96, 96, 32),
     total_demands: Optional[int] = None,
     checkpoint_every: Optional[int] = None,
+    jobs: int = 1,
 ) -> RobustnessReport:
-    """Rerun Table 2 across *seeds* and collect per-cell summaries."""
+    """Rerun Table 2 across *seeds* and collect per-cell summaries.
+
+    Each seed's Table-2 study is an independent cell fanned across the
+    parallel runtime (the seeds *are* the experiment design, so no child
+    seeds are derived here).
+    """
     report = RobustnessReport(seeds=list(seeds))
-    for seed in seeds:
-        result = run_table2(
-            seed=seed,
-            grid=grid,
-            total_demands=total_demands,
-            checkpoint_every=checkpoint_every,
+    cells = [
+        CellSpec(
+            experiment="robustness",
+            fn=run_table2,
+            kwargs=dict(
+                seed=seed,
+                grid=grid,
+                total_demands=total_demands,
+                checkpoint_every=checkpoint_every,
+            ),
         )
+        for seed in seeds
+    ]
+    for result in run_cells(cells, jobs=jobs):
         for cell in result.cells:
             key = (cell.scenario, cell.detection, cell.criterion)
             if key not in report.cells:

@@ -22,6 +22,7 @@ from repro.experiments.scenarios import (
     scenario_1,
     scenario_2,
 )
+from repro.runtime.parallel import CellSpec, run_cells
 
 
 @dataclass
@@ -75,12 +76,46 @@ class Table2Result:
         )
 
 
+def _detection_history_cell(
+    scenario: Scenario,
+    detection_name: str,
+    seed: int,
+    grid: GridSpec,
+    demands: int,
+    every: int,
+    assessor: Optional[WhiteBoxAssessor] = None,
+) -> AssessmentHistory:
+    """One (scenario, detection) assessment; module-level so worker
+    processes can unpickle it.
+
+    The stream generator is re-derived from (*seed*, scenario name)
+    inside the cell, so the same ground-truth demand stream is seen by
+    every detection regime regardless of which process runs it.
+    """
+    detection = detection_models()[detection_name]
+    assessment = SequentialAssessment(
+        ground_truth=scenario.ground_truth,
+        detection=detection,
+        prior=scenario.prior,
+        total_demands=demands,
+        checkpoint_every=every,
+        confidence_targets=scenario.confidence_targets(),
+        grid=grid,
+    )
+    # Identical stream seed across regimes; the detection model draws
+    # from the same generator after the stream, which is fine — the
+    # underlying true failure sequence is identical.
+    rng = SeedSequenceFactory(seed).generator(f"{scenario.name}/stream")
+    return assessment.run(rng, assessor=assessor)
+
+
 def run_scenario_histories(
     scenario: Scenario,
     seed: int,
     grid: GridSpec = GridSpec(),
     total_demands: Optional[int] = None,
     checkpoint_every: Optional[int] = None,
+    jobs: int = 1,
 ) -> Dict[str, AssessmentHistory]:
     """Assessment histories of one scenario under all detection regimes.
 
@@ -88,30 +123,42 @@ def run_scenario_histories(
     regimes (as in the paper: one set of 50,000 observations per
     scenario, distorted by each detection mechanism), so differences
     between rows are attributable to detection alone.
+
+    With ``jobs=1`` the three regimes share one assessor (its precomputed
+    likelihood grids are reset between runs); with ``jobs>1`` each regime
+    is an independent cell with its own assessor — same results, the grid
+    precomputation is simply repeated per worker.
     """
     demands = total_demands or scenario.total_demands
     every = checkpoint_every or scenario.checkpoint_every
-    histories: Dict[str, AssessmentHistory] = {}
-    # One assessor per scenario prior: its precomputed likelihood grids
-    # are reused (reset) across the three detection regimes.
-    assessor = WhiteBoxAssessor(scenario.prior, grid)
-    seeds = SeedSequenceFactory(seed)
-    for name, detection in detection_models().items():
-        assessment = SequentialAssessment(
-            ground_truth=scenario.ground_truth,
-            detection=detection,
-            prior=scenario.prior,
-            total_demands=demands,
-            checkpoint_every=every,
-            confidence_targets=scenario.confidence_targets(),
-            grid=grid,
+    names = list(detection_models())
+    if jobs <= 1:
+        # One assessor per scenario prior: its precomputed likelihood
+        # grids are reused (reset) across the three detection regimes.
+        assessor = WhiteBoxAssessor(scenario.prior, grid)
+        return {
+            name: _detection_history_cell(
+                scenario, name, seed, grid, demands, every, assessor
+            )
+            for name in names
+        }
+    cells = [
+        CellSpec(
+            experiment="table2",
+            fn=_detection_history_cell,
+            kwargs=dict(
+                scenario=scenario,
+                detection_name=name,
+                seed=seed,
+                grid=grid,
+                demands=demands,
+                every=every,
+            ),
         )
-        # Identical stream seed across regimes; the detection model draws
-        # from the same generator after the stream, which is fine — the
-        # underlying true failure sequence is identical.
-        rng = seeds.generator(f"{scenario.name}/stream")
-        histories[name] = assessment.run(rng, assessor=assessor)
-    return histories
+        for name in names
+    ]
+    results = run_cells(cells, jobs=jobs)
+    return dict(zip(names, results))
 
 
 def run_table2(
@@ -120,11 +167,13 @@ def run_table2(
     total_demands: Optional[int] = None,
     checkpoint_every: Optional[int] = None,
     scenarios: Optional[List[Scenario]] = None,
+    jobs: int = 1,
 ) -> Table2Result:
     """Run the full Table 2 study.
 
     *total_demands* / *checkpoint_every* override the scenario defaults
-    (used by the fast benchmark configuration).
+    (used by the fast benchmark configuration).  ``jobs`` fans the
+    per-detection assessment cells across worker processes.
     """
     result = Table2Result()
     if scenarios is None:
@@ -136,6 +185,7 @@ def run_table2(
             grid=grid,
             total_demands=total_demands,
             checkpoint_every=checkpoint_every,
+            jobs=jobs,
         )
         criteria = scenario.criteria()
         for detection_name, history in histories.items():

@@ -3,10 +3,18 @@
 Four runs (Table 3 marginals + Table 4 conditionals, correlation 0.9 down
 to 0.4) x three TimeOuts (1.5 / 2.0 / 3.0 s), 10,000 requests each,
 through the full event-driven managed-upgrade stack.
+
+Every (run, TimeOut) cell is independent, so the grid fans across the
+parallel runtime: ``jobs=N`` runs cells in N worker processes with
+bit-identical results to ``jobs=1`` (each cell derives its own root seed
+from the grid seed via ``SeedSequenceFactory.child_seed``), and a
+:class:`~repro.runtime.cache.ResultCache` replays completed cells from
+disk.
 """
 
 from typing import Optional, Sequence
 
+from repro.common.seeding import SeedSequenceFactory
 from repro.experiments import paper_params as P
 from repro.experiments.paper_params import DEFAULT_SEED
 from repro.experiments.event_sim import (
@@ -15,6 +23,29 @@ from repro.experiments.event_sim import (
     SimulationTable,
     run_release_pair_simulation,
 )
+from repro.runtime.cache import ResultCache
+from repro.runtime.parallel import CellSpec, run_cells
+
+
+def _table5_cell(
+    run: int,
+    timeout: float,
+    requests: int,
+    seed: int,
+    profile: Optional[LatencyProfile],
+    sampling: str,
+) -> SimulationRunResult:
+    """One (run, TimeOut) cell; module-level so worker processes can
+    unpickle it."""
+    metrics = run_release_pair_simulation(
+        joint_model=P.correlated_model(run),
+        timeout=timeout,
+        requests=requests,
+        seed=seed,
+        profile=profile,
+        sampling=sampling,
+    )
+    return SimulationRunResult(run, timeout, metrics)
 
 
 def run_table5(
@@ -23,20 +54,44 @@ def run_table5(
     timeouts: Sequence[float] = P.TIMEOUTS,
     runs: Sequence[int] = (1, 2, 3, 4),
     profile: Optional[LatencyProfile] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    sampling: str = "vectorized",
 ) -> SimulationTable:
-    """Run the Table 5 grid (correlated releases)."""
-    results = []
+    """Run the Table 5 grid (correlated releases).
+
+    All cells of one run share a seed (derived from *seed* and the run
+    index), so the TimeOut sweep observes one workload per run, as in the
+    paper.  Results are bit-identical for every ``jobs`` value.
+    """
+    seeds = SeedSequenceFactory(seed)
+    cells = []
     for run in runs:
-        joint = P.correlated_model(run)
+        cell_seed = seeds.child_seed(f"table5/run-{run}")
         for timeout in timeouts:
-            metrics = run_release_pair_simulation(
-                joint_model=joint,
-                timeout=timeout,
-                requests=requests,
-                seed=seed + run,  # fresh streams per run, stable per cell
-                profile=profile,
+            cells.append(
+                CellSpec(
+                    experiment="table5",
+                    fn=_table5_cell,
+                    kwargs=dict(
+                        run=run,
+                        timeout=timeout,
+                        requests=requests,
+                        seed=cell_seed,
+                        profile=profile,
+                        sampling=sampling,
+                    ),
+                    key=dict(
+                        run=run,
+                        timeout=timeout,
+                        requests=requests,
+                        seed=cell_seed,
+                        profile=repr(profile) if profile else "paper",
+                        sampling=sampling,
+                    ),
+                )
             )
-            results.append(SimulationRunResult(run, timeout, metrics))
+    results = run_cells(cells, jobs=jobs, cache=cache)
     return SimulationTable(
         label="Table 5 (positive correlation between release failures)",
         results=results,

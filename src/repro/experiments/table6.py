@@ -8,6 +8,7 @@ the adjudicated system beats both releases on reliability.
 
 from typing import Optional, Sequence
 
+from repro.common.seeding import SeedSequenceFactory
 from repro.experiments import paper_params as P
 from repro.experiments.paper_params import DEFAULT_SEED
 from repro.experiments.event_sim import (
@@ -16,6 +17,29 @@ from repro.experiments.event_sim import (
     SimulationTable,
     run_release_pair_simulation,
 )
+from repro.runtime.cache import ResultCache
+from repro.runtime.parallel import CellSpec, run_cells
+
+
+def _table6_cell(
+    run: int,
+    timeout: float,
+    requests: int,
+    seed: int,
+    profile: Optional[LatencyProfile],
+    sampling: str,
+) -> SimulationRunResult:
+    """One (run, TimeOut) cell; module-level so worker processes can
+    unpickle it."""
+    metrics = run_release_pair_simulation(
+        joint_model=P.independent_model(run),
+        timeout=timeout,
+        requests=requests,
+        seed=seed,
+        profile=profile,
+        sampling=sampling,
+    )
+    return SimulationRunResult(run, timeout, metrics)
 
 
 def run_table6(
@@ -24,20 +48,45 @@ def run_table6(
     timeouts: Sequence[float] = P.TIMEOUTS,
     runs: Sequence[int] = (1, 2, 3, 4),
     profile: Optional[LatencyProfile] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    sampling: str = "vectorized",
 ) -> SimulationTable:
-    """Run the Table 6 grid (independent releases)."""
-    results = []
+    """Run the Table 6 grid (independent releases).
+
+    Cells fan across the parallel runtime exactly as in
+    :func:`repro.experiments.table5.run_table5`; per-run child seeds keep
+    the TimeOut sweep on one workload per run and results bit-identical
+    for every ``jobs`` value.
+    """
+    seeds = SeedSequenceFactory(seed)
+    cells = []
     for run in runs:
-        joint = P.independent_model(run)
+        cell_seed = seeds.child_seed(f"table6/run-{run}")
         for timeout in timeouts:
-            metrics = run_release_pair_simulation(
-                joint_model=joint,
-                timeout=timeout,
-                requests=requests,
-                seed=seed + 10 * run,
-                profile=profile,
+            cells.append(
+                CellSpec(
+                    experiment="table6",
+                    fn=_table6_cell,
+                    kwargs=dict(
+                        run=run,
+                        timeout=timeout,
+                        requests=requests,
+                        seed=cell_seed,
+                        profile=profile,
+                        sampling=sampling,
+                    ),
+                    key=dict(
+                        run=run,
+                        timeout=timeout,
+                        requests=requests,
+                        seed=cell_seed,
+                        profile=repr(profile) if profile else "paper",
+                        sampling=sampling,
+                    ),
+                )
             )
-            results.append(SimulationRunResult(run, timeout, metrics))
+    results = run_cells(cells, jobs=jobs, cache=cache)
     return SimulationTable(
         label="Table 6 (independence of release failures)",
         results=results,

@@ -1,0 +1,124 @@
+"""On-disk result cache for completed experiment cells.
+
+Each cell of an experiment grid (one Table-5 run x TimeOut, one
+calibration profile, one assessment trajectory) is a pure function of
+``(experiment, params, requests, seed)``.  The cache stores each cell's
+reduced result under a content address derived from that key, so a
+repeated benchmark or report run replays completed cells from disk
+instead of re-simulating them.
+
+Layout: ``<root>/<experiment>/<sha256-of-key>.pkl``.  Entries are pickled
+Python objects written atomically (temp file + rename).  The cache is
+versioned: bump :data:`CACHE_VERSION` whenever a change to the simulation
+code alters cell results, which invalidates every prior entry at once.
+
+The default root is ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-dsn2004``;
+``repro-experiments --no-cache`` bypasses it and ``--clear-cache`` wipes
+it.
+"""
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Mapping, Optional, Tuple, Union
+
+#: Bump to invalidate all previously cached cell results (e.g. after a
+#: change to the simulation kernel or sampling layout).
+CACHE_VERSION = 1
+
+_MISS = object()
+
+
+def default_cache_dir() -> Path:
+    """The cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-dsn2004``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-dsn2004"
+
+
+def canonical_key(experiment: str, key: Mapping[str, Any]) -> str:
+    """Stable serialisation of a cell key (sorted-key JSON + version)."""
+    payload = {
+        "version": CACHE_VERSION,
+        "experiment": experiment,
+        "key": {name: key[name] for name in sorted(key)},
+    }
+    return json.dumps(payload, sort_keys=True, default=repr)
+
+
+class ResultCache:
+    """Content-addressed pickle store for experiment cell results."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def _path(self, experiment: str, key: Mapping[str, Any]) -> Path:
+        digest = hashlib.sha256(
+            canonical_key(experiment, key).encode("utf-8")
+        ).hexdigest()
+        return self.root / experiment / f"{digest}.pkl"
+
+    def get(
+        self, experiment: str, key: Mapping[str, Any]
+    ) -> Tuple[bool, Any]:
+        """Look a cell up; returns ``(hit, value)``.
+
+        Unreadable or corrupt entries count as misses (and are removed),
+        so a torn write can never poison a run.
+        """
+        path = self._path(experiment, key)
+        try:
+            with open(path, "rb") as handle:
+                return True, pickle.load(handle)
+        except FileNotFoundError:
+            return False, None
+        except Exception:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return False, None
+
+    def put(self, experiment: str, key: Mapping[str, Any], value: Any) -> None:
+        """Store a cell result atomically (temp file + rename)."""
+        path = self._path(experiment, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, temp_name = tempfile.mkstemp(
+            dir=path.parent, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.rglob("*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def entry_count(self) -> int:
+        """Number of cached cell results currently on disk."""
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.rglob("*.pkl"))
+
+    def __repr__(self) -> str:
+        return f"ResultCache(root={str(self.root)!r})"

@@ -60,11 +60,22 @@ class ServiceEndpoint:
         self.online = True
         self.invocations = 0
         self.responses = 0
+        self._name_cache = None
 
     @property
     def name(self) -> str:
-        """Display name, e.g. ``"Web-Service 1.0"``."""
-        return f"{self.wsdl.service_name} {self.wsdl.release}"
+        """Display name, e.g. ``"Web-Service 1.0"``.
+
+        Cached against the current WSDL object: the name is read on every
+        response/observation (hot path), while the WSDL practically never
+        changes after construction.
+        """
+        wsdl = self.wsdl
+        cached = self._name_cache
+        if cached is None or cached[0] is not wsdl:
+            cached = (wsdl, f"{wsdl.service_name} {wsdl.release}")
+            self._name_cache = cached
+        return cached[1]
 
     @property
     def release(self) -> str:

@@ -117,7 +117,16 @@ class WsdlDescription:
         )
 
     def has_operation(self, name: str) -> bool:
-        return any(op.name == name for op in self.operations)
+        # Called once per endpoint invocation (hot path of the
+        # event-driven grids): membership is tested against a lazily
+        # built name set instead of scanning the operation tuple.  The
+        # cache is stored outside the (frozen) dataclass fields, so
+        # equality / repr / replace() semantics are unchanged.
+        names = self.__dict__.get("_operation_names")
+        if names is None:
+            names = frozenset(op.name for op in self.operations)
+            object.__setattr__(self, "_operation_names", names)
+        return name in names
 
     def operation_names(self) -> List[str]:
         return [op.name for op in self.operations]

@@ -75,8 +75,26 @@ class OutcomeDistribution:
         return OUTCOME_ORDER[int(index)]
 
     def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
-        """Draw *size* outcome indices (into :data:`OUTCOME_ORDER`)."""
+        """Draw *size* outcome indices (into :data:`OUTCOME_ORDER`).
+
+        Bit-identical to *size* successive :meth:`sample` calls on a
+        generator in the same state (numpy's block ``choice`` consumes one
+        uniform per draw, exactly like the scalar call) — the property the
+        vectorised experiment runtime relies on.
+        """
         return rng.choice(len(OUTCOME_ORDER), size=size, p=self.as_vector())
+
+    def sample_many_scalar(
+        self, rng: np.random.Generator, size: int
+    ) -> np.ndarray:
+        """Scalar reference for :meth:`sample_many` (one draw at a time)."""
+        vector = self.as_vector()
+        return np.array(
+            [
+                int(rng.choice(len(OUTCOME_ORDER), p=vector))
+                for _ in range(size)
+            ]
+        )
 
     def __repr__(self) -> str:
         return (
@@ -151,7 +169,18 @@ class JointOutcomeModel:
     def sample_pairs(
         self, rng: np.random.Generator, size: int
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """Vectorised draw of *size* pairs as outcome-index arrays."""
+        """Vectorised draw of *size* pairs as outcome-index arrays.
+
+        Contract: bit-identical to :meth:`sample_pairs_scalar` on a
+        generator in the same state (both consume the stream leg by leg:
+        all first-release draws, then all second-release draws).
+        """
+        raise NotImplementedError
+
+    def sample_pairs_scalar(
+        self, rng: np.random.Generator, size: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Scalar reference for :meth:`sample_pairs` (one draw at a time)."""
         raise NotImplementedError
 
     def marginal_first(self) -> OutcomeDistribution:
@@ -216,6 +245,18 @@ class ConditionalOutcomeModel(JointOutcomeModel):
         second_idx = np.minimum(second_idx, len(OUTCOME_ORDER) - 1)
         return first_idx, second_idx
 
+    def sample_pairs_scalar(
+        self, rng: np.random.Generator, size: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        first_idx = self._first.sample_many_scalar(rng, size)
+        cdf = np.cumsum(self._conditional.as_matrix(), axis=1)
+        second = []
+        for i in range(size):
+            u = rng.random()
+            row = cdf[first_idx[i]]
+            second.append(min(int((u > row).sum()), len(OUTCOME_ORDER) - 1))
+        return first_idx, np.array(second)
+
     def marginal_first(self) -> OutcomeDistribution:
         return self._first
 
@@ -267,6 +308,52 @@ class ChainedOutcomeModel(JointOutcomeModel):
         pairwise = ConditionalOutcomeModel(self._first, self._conditional)
         return pairwise.sample_pairs(rng, size)
 
+    def sample_pairs_scalar(
+        self, rng: np.random.Generator, size: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        pairwise = ConditionalOutcomeModel(self._first, self._conditional)
+        return pairwise.sample_pairs_scalar(rng, size)
+
+    def sample_chain(
+        self, rng: np.random.Generator, size: int, count: int
+    ) -> np.ndarray:
+        """Vectorised draw of *size* outcome chains of length *count*.
+
+        Returns a ``(size, count)`` index array into :data:`OUTCOME_ORDER`.
+        The stream is consumed leg by leg (release 1's block, then one
+        uniform block per subsequent release), bit-identical to
+        :meth:`sample_chain_scalar`.
+        """
+        if count < 1:
+            raise ValidationError(f"count must be >= 1: {count!r}")
+        chain = np.empty((size, count), dtype=np.intp)
+        chain[:, 0] = self._first.sample_many(rng, size)
+        cdf = np.cumsum(self._conditional.as_matrix(), axis=1)
+        for level in range(1, count):
+            u = rng.random(size)
+            row_cdfs = cdf[chain[:, level - 1]]
+            nxt = (u[:, None] > row_cdfs).sum(axis=1)
+            chain[:, level] = np.minimum(nxt, len(OUTCOME_ORDER) - 1)
+        return chain
+
+    def sample_chain_scalar(
+        self, rng: np.random.Generator, size: int, count: int
+    ) -> np.ndarray:
+        """Scalar reference for :meth:`sample_chain` (same leg order)."""
+        if count < 1:
+            raise ValidationError(f"count must be >= 1: {count!r}")
+        chain = np.empty((size, count), dtype=np.intp)
+        chain[:, 0] = self._first.sample_many_scalar(rng, size)
+        cdf = np.cumsum(self._conditional.as_matrix(), axis=1)
+        for level in range(1, count):
+            for i in range(size):
+                u = rng.random()
+                row = cdf[chain[i, level - 1]]
+                chain[i, level] = min(
+                    int((u > row).sum()), len(OUTCOME_ORDER) - 1
+                )
+        return chain
+
     def marginal_first(self) -> OutcomeDistribution:
         return self._first
 
@@ -303,6 +390,14 @@ class IndependentOutcomeModel(JointOutcomeModel):
         return (
             self._first.sample_many(rng, size),
             self._second.sample_many(rng, size),
+        )
+
+    def sample_pairs_scalar(
+        self, rng: np.random.Generator, size: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        return (
+            self._first.sample_many_scalar(rng, size),
+            self._second.sample_many_scalar(rng, size),
         )
 
     def marginal_first(self) -> OutcomeDistribution:

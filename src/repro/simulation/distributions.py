@@ -27,7 +27,28 @@ class Distribution(ABC):
 
     @abstractmethod
     def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
-        """Draw *size* values at once (vectorised fast path)."""
+        """Draw *size* values at once (vectorised fast path).
+
+        Contract: bit-identical to :meth:`sample_many_scalar` on a
+        generator in the same state — the vectorised block and the scalar
+        reference consume the underlying stream identically, which is what
+        lets the experiment runtime pre-draw whole request blocks while
+        staying reproducible draw-for-draw (see
+        :mod:`repro.runtime.sampling`).
+        """
+
+    def sample_many_scalar(
+        self, rng: np.random.Generator, size: int
+    ) -> np.ndarray:
+        """Scalar reference implementation of :meth:`sample_many`.
+
+        Draws one value at a time in block order.  For simple laws this is
+        ``size`` successive :meth:`sample` calls; compound laws (e.g.
+        :class:`WithHangs`) override it to mirror their block's leg order.
+        Exists so tests can assert the vectorised fast path is
+        bit-identical to sequential scalar sampling.
+        """
+        return np.array([self.sample(rng) for _ in range(size)])
 
     @property
     @abstractmethod
@@ -165,6 +186,21 @@ class WithHangs(Distribution):
         values = self._base.sample_many(rng, size)
         if self._p_hang:
             hangs = rng.random(size) < self._p_hang
+            values = np.where(hangs, np.inf, values)
+        return values
+
+    def sample_many_scalar(
+        self, rng: np.random.Generator, size: int
+    ) -> np.ndarray:
+        # Mirror sample_many's leg order exactly (base block first, then
+        # the hang uniforms) so scalar and vectorised draws are
+        # bit-identical; a per-sample interleaving would consume the
+        # stream differently.
+        values = self._base.sample_many_scalar(rng, size)
+        if self._p_hang:
+            hangs = np.array(
+                [rng.random() for _ in range(size)]
+            ) < self._p_hang
             values = np.where(hangs, np.inf, values)
         return values
 

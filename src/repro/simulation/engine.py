@@ -2,7 +2,7 @@
 
 This replaces the paper's MATLAB 6.0 event-driven model (Section 5.2.1)
 with an equivalent pure-Python kernel.  The kernel is deliberately minimal:
-events are ``(time, sequence, callback)`` triples dispatched in time order,
+events are ``(time, sequence, event)`` triples dispatched in time order,
 with stable FIFO ordering for simultaneous events and O(log n) cancellation
 via tombstones.
 
@@ -13,12 +13,22 @@ The managed-upgrade middleware builds on three primitives:
 * :meth:`Simulator.cancel` — a pending timeout withdrawn because all
   responses already arrived;
 * :meth:`Simulator.run` — drive the simulation to quiescence or a horizon.
+
+Kernel fast paths (the experiment grids dispatch ~6 events per request,
+so this module caps throughput for every Table-5/6 cell):
+
+* heap entries are plain ``(time, sequence, event)`` tuples, compared in C
+  (the sequence number is unique, so the :class:`Event` itself is never
+  compared);
+* :attr:`Simulator.pending_count` is O(1) via a live-event counter
+  maintained on schedule / cancel / dispatch;
+* cancelled entries are tombstoned lazily, and the heap is compacted once
+  tombstones exceed half of its entries, so mass cancellation (every
+  demand cancels its timeout) cannot grow the heap without bound.
 """
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.common.errors import SimulationError
 from repro.simulation.clock import SimulationClock
@@ -28,24 +38,25 @@ from repro.simulation.clock import SimulationClock
 EventCallback = Callable[[], None]
 
 
-@dataclass(order=True)
-class _HeapEntry:
-    time: float
-    sequence: int
-    event: "Event" = field(compare=False)
-
-
 class Event:
     """Handle to a scheduled event; supports cancellation and inspection."""
 
-    __slots__ = ("time", "callback", "label", "_cancelled", "_dispatched")
+    __slots__ = ("time", "callback", "label", "_cancelled", "_dispatched",
+                 "_simulator")
 
-    def __init__(self, time: float, callback: EventCallback, label: str = ""):
+    def __init__(
+        self,
+        time: float,
+        callback: EventCallback,
+        label: str = "",
+        simulator: "Optional[Simulator]" = None,
+    ):
         self.time = time
         self.callback = callback
         self.label = label
         self._cancelled = False
         self._dispatched = False
+        self._simulator = simulator
 
     @property
     def cancelled(self) -> bool:
@@ -59,7 +70,11 @@ class Event:
 
     def cancel(self) -> None:
         """Prevent the callback from running (idempotent; no-op if run)."""
+        if self._cancelled or self._dispatched:
+            return
         self._cancelled = True
+        if self._simulator is not None:
+            self._simulator._note_cancelled(self)
 
     def __repr__(self) -> str:
         state = (
@@ -86,11 +101,17 @@ class Simulator:
     [1.5]
     """
 
+    #: Compaction never triggers below this heap size; rebuilding a
+    #: handful of entries costs more than the tombstones it reclaims.
+    COMPACT_MIN_HEAP = 64
+
     def __init__(self, start_time: float = 0.0):
         self._clock = SimulationClock(start_time)
-        self._heap: List[_HeapEntry] = []
-        self._sequence = itertools.count()
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._next_sequence = 0
         self._dispatched_count = 0
+        self._live_count = 0
+        self._tombstones = 0
         self._running = False
 
     @property
@@ -105,13 +126,22 @@ class Simulator:
 
     @property
     def pending_count(self) -> int:
-        """Number of scheduled, not-yet-dispatched, not-cancelled events."""
-        return sum(1 for e in self._heap if not e.event.cancelled)
+        """Number of scheduled, not-yet-dispatched, not-cancelled events.
+
+        O(1): maintained as a live counter on schedule / cancel / dispatch
+        rather than scanning the heap.
+        """
+        return self._live_count
 
     @property
     def dispatched_count(self) -> int:
         """Total number of events whose callbacks have run."""
         return self._dispatched_count
+
+    @property
+    def heap_size(self) -> int:
+        """Entries currently in the heap, including cancelled tombstones."""
+        return len(self._heap)
 
     def schedule(
         self, delay: float, callback: EventCallback, label: str = ""
@@ -129,24 +159,56 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time!r}, now is {self._clock.now!r}"
             )
-        event = Event(time, callback, label)
-        heapq.heappush(self._heap, _HeapEntry(time, next(self._sequence), event))
+        event = Event(time, callback, label, simulator=self)
+        sequence = self._next_sequence
+        self._next_sequence = sequence + 1
+        heapq.heappush(self._heap, (time, sequence, event))
+        self._live_count += 1
         return event
 
     def cancel(self, event: Event) -> None:
         """Cancel *event*; lazily removed from the heap on pop."""
         event.cancel()
 
+    def _note_cancelled(self, event: Event) -> None:
+        """Bookkeeping for a pending event that was just cancelled.
+
+        Called exactly once per event by :meth:`Event.cancel` (which
+        guards against double-cancel and cancel-after-dispatch, so the
+        counters cannot be double-decremented).
+        """
+        self._live_count -= 1
+        self._tombstones += 1
+        if (
+            self._tombstones * 2 > len(self._heap)
+            and len(self._heap) >= self.COMPACT_MIN_HEAP
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled tombstones and re-heapify the live entries.
+
+        ``(time, sequence)`` keys are unique, so heapify reproduces the
+        exact dispatch order the lazy tombstone path would have yielded.
+        """
+        self._heap = [
+            entry for entry in self._heap if not entry[2]._cancelled
+        ]
+        heapq.heapify(self._heap)
+        self._tombstones = 0
+
     def step(self) -> Optional[Event]:
         """Dispatch the single next event; return it, or None if drained."""
-        while self._heap:
-            entry = heapq.heappop(self._heap)
-            event = entry.event
-            if event.cancelled:
+        heap = self._heap
+        while heap:
+            time, _sequence, event = heapq.heappop(heap)
+            if event._cancelled:
+                self._tombstones -= 1
                 continue
-            self._clock.advance_to(entry.time)
+            self._clock.advance_to(time)
             event._dispatched = True
             self._dispatched_count += 1
+            self._live_count -= 1
             event.callback()
             return event
         return None
@@ -174,30 +236,40 @@ class Simulator:
         self._running = True
         dispatched = 0
         try:
-            while self._heap:
-                if max_events is not None and dispatched >= max_events:
-                    break
-                head = self._peek()
-                if head is None:
-                    break
-                if until is not None and head.time > until:
-                    break
-                if self.step() is not None:
+            if until is None:
+                # Run-to-quiescence fast path: step() already skips
+                # tombstones, so no per-iteration peek is needed.
+                while self._heap:
+                    if max_events is not None and dispatched >= max_events:
+                        break
+                    if self.step() is None:
+                        break
                     dispatched += 1
-            if until is not None and until > self._clock.now:
-                self._clock.advance_to(until)
+            else:
+                while self._heap:
+                    if max_events is not None and dispatched >= max_events:
+                        break
+                    head = self._peek()
+                    if head is None or head.time > until:
+                        break
+                    if self.step() is not None:
+                        dispatched += 1
+                if until > self._clock.now:
+                    self._clock.advance_to(until)
         finally:
             self._running = False
         return dispatched
 
     def _peek(self) -> Optional[Event]:
         """Return the next live event without dispatching it."""
-        while self._heap:
-            entry = self._heap[0]
-            if entry.event.cancelled:
-                heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heap[0][2]
+            if event._cancelled:
+                heapq.heappop(heap)
+                self._tombstones -= 1
                 continue
-            return entry.event
+            return event
         return None
 
     def __repr__(self) -> str:

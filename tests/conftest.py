@@ -8,6 +8,17 @@ from repro.bayes.priors import GridSpec, WhiteBoxPrior
 from repro.common.seeding import SeedSequenceFactory
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the on-disk result cache at a per-test directory.
+
+    Keeps the suite from reading or polluting the user's real cache
+    (``~/.cache/repro-dsn2004``) through CLI/report code paths that
+    enable caching by default.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 @pytest.fixture
 def rng():
     """A deterministic generator for stochastic tests."""

@@ -1,0 +1,67 @@
+"""Tests for the CLI's parallel-runtime and cache flags."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+from repro.runtime.cache import ResultCache
+
+
+class TestParsing:
+    def test_jobs_default_is_sequential(self):
+        assert build_parser().parse_args(["table5"]).jobs == 1
+
+    def test_jobs_flag(self):
+        assert build_parser().parse_args(["table5", "--jobs", "4"]).jobs == 4
+        assert build_parser().parse_args(["table5", "-j", "0"]).jobs == 0
+
+    def test_cache_flags(self):
+        args = build_parser().parse_args(
+            ["table5", "--no-cache", "--cache-dir", "/tmp/x"]
+        )
+        assert args.no_cache and args.cache_dir == "/tmp/x"
+        assert not build_parser().parse_args(["table5"]).no_cache
+
+    def test_experiment_optional_only_for_clear_cache(self):
+        assert build_parser().parse_args(["--clear-cache"]).experiment is None
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestCacheLifecycle:
+    def test_run_populates_and_clear_cache_empties(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        argv = ["table5", "--fast", "--seed", "1",
+                "--cache-dir", str(cache_dir)]
+        strip = lambda text: [
+            line for line in text.splitlines() if not line.startswith("===")
+        ]
+        assert main(argv) == 0
+        assert ResultCache(cache_dir).entry_count() == 12
+        first = strip(capsys.readouterr().out)
+
+        # Replay from cache: identical table (header timing differs).
+        assert main(argv) == 0
+        assert strip(capsys.readouterr().out) == first
+
+        assert main(["--clear-cache", "--cache-dir", str(cache_dir)]) == 0
+        assert "cleared 12" in capsys.readouterr().out
+        assert ResultCache(cache_dir).entry_count() == 0
+
+    def test_no_cache_leaves_directory_empty(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main(["table5", "--fast", "--seed", "1", "--no-cache",
+                     "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        assert ResultCache(cache_dir).entry_count() == 0
+
+    def test_jobs_output_matches_sequential(self, capsys):
+        assert main(["table5", "--fast", "--seed", "1", "--no-cache",
+                     "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert main(["table5", "--fast", "--seed", "1", "--no-cache"]) == 0
+        sequential = capsys.readouterr().out
+        # Strip the timing header line, which is wall-clock dependent.
+        strip = lambda text: [
+            line for line in text.splitlines() if not line.startswith("===")
+        ]
+        assert strip(parallel) == strip(sequential)

@@ -1,0 +1,80 @@
+"""Tests for the on-disk result cache."""
+
+import os
+
+import pytest
+
+from repro.runtime.cache import (
+    CACHE_VERSION,
+    ResultCache,
+    canonical_key,
+    default_cache_dir,
+)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestCanonicalKey:
+    def test_key_order_is_irrelevant(self):
+        assert canonical_key("t5", {"a": 1, "b": 2}) == canonical_key(
+            "t5", {"b": 2, "a": 1}
+        )
+
+    def test_version_is_part_of_key(self):
+        assert str(CACHE_VERSION) in canonical_key("t5", {})
+
+    def test_non_json_values_serialise_via_repr(self):
+        # Profile objects etc. fall back to repr() rather than failing.
+        assert "float" in canonical_key("t5", {"x": float})
+
+
+class TestResultCache:
+    def test_miss_then_roundtrip(self, cache):
+        hit, value = cache.get("table5", {"run": 1})
+        assert not hit and value is None
+        cache.put("table5", {"run": 1}, {"met": 1.25})
+        hit, value = cache.get("table5", {"run": 1})
+        assert hit and value == {"met": 1.25}
+
+    def test_distinct_keys_distinct_entries(self, cache):
+        cache.put("table5", {"run": 1}, "one")
+        cache.put("table5", {"run": 2}, "two")
+        assert cache.entry_count() == 2
+        assert cache.get("table5", {"run": 2}) == (True, "two")
+
+    def test_experiments_are_namespaced(self, cache):
+        cache.put("table5", {"run": 1}, "t5")
+        assert cache.get("table6", {"run": 1}) == (False, None)
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, cache):
+        cache.put("table5", {"run": 1}, "value")
+        (path,) = list(cache.root.rglob("*.pkl"))
+        path.write_bytes(b"not a pickle")
+        assert cache.get("table5", {"run": 1}) == (False, None)
+        assert not path.exists()
+
+    def test_clear(self, cache):
+        for run in range(4):
+            cache.put("table5", {"run": run}, run)
+        assert cache.clear() == 4
+        assert cache.entry_count() == 0
+        assert cache.clear() == 0
+
+    def test_put_is_atomic_no_temp_residue(self, cache):
+        cache.put("table5", {"run": 1}, "value")
+        leftovers = list(cache.root.rglob("*.tmp"))
+        assert leftovers == []
+
+
+class TestDefaultCacheDir:
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_cache_dir() == tmp_path / "custom"
+
+    def test_fallback_under_home(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert default_cache_dir().name == "repro-dsn2004"
+        assert str(default_cache_dir()).startswith(os.path.expanduser("~"))

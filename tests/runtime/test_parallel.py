@@ -1,0 +1,105 @@
+"""Tests for the process-pool cell executor."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.cache import ResultCache
+from repro.runtime.parallel import CellSpec, resolve_jobs, run_cells
+
+
+def _square(x):
+    return x * x
+
+
+def _draw(seed):
+    return float(np.random.default_rng(seed).random())
+
+
+def _touch_and_square(x, marker_dir):
+    # Leaves a per-call marker so tests can count actual executions even
+    # when cells run in worker processes.
+    import os
+    import tempfile
+
+    fd, _ = tempfile.mkstemp(dir=marker_dir, suffix=".ran")
+    os.close(fd)
+    return x * x
+
+
+def _cells(values, marker_dir=None):
+    specs = []
+    for value in values:
+        kwargs = {"x": value}
+        fn = _square
+        if marker_dir is not None:
+            kwargs["marker_dir"] = str(marker_dir)
+            fn = _touch_and_square
+        specs.append(
+            CellSpec(
+                experiment="unit",
+                fn=fn,
+                kwargs=kwargs,
+                key={"x": value},
+            )
+        )
+    return specs
+
+
+class TestResolveJobs:
+    def test_explicit_value_passes_through(self):
+        assert resolve_jobs(3) == 3
+
+    def test_none_and_zero_mean_all_cpus(self):
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(0) == resolve_jobs(None)
+
+
+class TestRunCells:
+    def test_inline_preserves_order(self):
+        assert run_cells(_cells([3, 1, 2])) == [9, 1, 4]
+
+    def test_pool_preserves_order(self):
+        assert run_cells(_cells(list(range(8))), jobs=4) == [
+            x * x for x in range(8)
+        ]
+
+    def test_empty_cell_list(self):
+        assert run_cells([], jobs=4) == []
+
+    def test_parallel_results_bit_identical_to_inline(self):
+        cells = [
+            CellSpec("unit", _draw, {"seed": seed}) for seed in range(10)
+        ]
+        assert run_cells(cells, jobs=1) == run_cells(cells, jobs=4)
+
+    def test_cache_hits_skip_execution(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        markers = tmp_path / "markers"
+        markers.mkdir()
+        cells = _cells([1, 2, 3], marker_dir=markers)
+        first = run_cells(cells, jobs=1, cache=cache)
+        assert first == [1, 4, 9]
+        assert len(list(markers.iterdir())) == 3
+        second = run_cells(cells, jobs=1, cache=cache)
+        assert second == first
+        # No new markers: every cell replayed from the cache.
+        assert len(list(markers.iterdir())) == 3
+
+    def test_cache_written_from_pool_run(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_cells(_cells([1, 2, 3, 4]), jobs=2, cache=cache)
+        assert cache.entry_count() == 4
+        # A sequential rerun sees all hits.
+        markers = tmp_path / "markers"
+        markers.mkdir()
+        rerun = run_cells(
+            _cells([1, 2, 3, 4], marker_dir=markers), jobs=1, cache=cache
+        )
+        assert rerun == [1, 4, 9, 16]
+        assert list(markers.iterdir()) == []
+
+    def test_unkeyed_cells_never_cached(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cells = [CellSpec("unit", _square, {"x": 5})]  # key=None
+        assert run_cells(cells, cache=cache) == [25]
+        assert cache.entry_count() == 0

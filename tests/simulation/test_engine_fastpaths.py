@@ -1,0 +1,127 @@
+"""Tests for the kernel fast paths: O(1) pending_count bookkeeping and
+lazy-tombstone heap compaction."""
+
+import pytest
+
+from repro.simulation.engine import Simulator
+
+
+def _noop():
+    pass
+
+
+class TestLivePendingCount:
+    def test_counts_schedule_cancel_dispatch(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i), _noop) for i in range(5)]
+        assert sim.pending_count == 5
+        events[2].cancel()
+        assert sim.pending_count == 4
+        sim.run()
+        assert sim.pending_count == 0
+        assert sim.dispatched_count == 4
+
+    def test_double_cancel_decrements_once(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, _noop)
+        other = sim.schedule(2.0, _noop)
+        event.cancel()
+        event.cancel()
+        event.cancel()
+        assert sim.pending_count == 1
+        sim.run()
+        assert sim.pending_count == 0
+        assert other.dispatched
+
+    def test_cancel_after_dispatch_is_a_noop(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, _noop)
+        sim.schedule(2.0, _noop)
+        sim.run(until=1.5)
+        assert event.dispatched
+        event.cancel()
+        assert not event.cancelled
+        assert sim.pending_count == 1
+        sim.run()
+        assert sim.pending_count == 0
+
+    def test_cancel_inside_callback(self):
+        sim = Simulator()
+        victim = sim.schedule(5.0, _noop)
+        sim.schedule(1.0, victim.cancel)
+        assert sim.pending_count == 2
+        sim.run()
+        assert sim.pending_count == 0
+        assert victim.cancelled and not victim.dispatched
+
+
+class TestHeapCompaction:
+    def test_mass_cancellation_shrinks_heap(self):
+        sim = Simulator()
+        keep = [sim.schedule(1000.0 + i, _noop) for i in range(10)]
+        doomed = [sim.schedule(float(i), _noop) for i in range(500)]
+        assert sim.heap_size == 510
+        for event in doomed:
+            event.cancel()
+        # Compaction runs every time tombstones exceed half the heap, so
+        # the heap must have shed almost all 500 cancelled entries; only
+        # a residue below the compaction minimum may remain.
+        assert sim.heap_size < Simulator.COMPACT_MIN_HEAP
+        assert sim.pending_count == len(keep)
+        assert sim.run() == len(keep)
+
+    def test_no_compaction_below_minimum_heap(self):
+        sim = Simulator()
+        doomed = [sim.schedule(float(i), _noop) for i in range(8)]
+        for event in doomed[:-1]:
+            event.cancel()
+        # Tiny heaps are left to the lazy pop path.
+        assert sim.heap_size == 8
+        assert sim.pending_count == 1
+
+    def test_dispatch_order_preserved_across_compaction(self):
+        sim = Simulator()
+        order = []
+        events = []
+        for i in range(200):
+            events.append(
+                sim.schedule(float(i % 7), lambda i=i: order.append(i))
+            )
+        # Cancel two thirds so compaction actually triggers mid-stream.
+        cancelled = {i for i in range(200) if i % 3 != 0}
+        for i in cancelled:
+            events[i].cancel()
+
+        reference = Simulator()
+        expected_order = []
+        for i in range(200):
+            if i not in cancelled:
+                reference.schedule(
+                    float(i % 7), lambda i=i: expected_order.append(i)
+                )
+        sim.run()
+        reference.run()
+        assert order == expected_order
+
+    def test_tombstone_counter_survives_mixed_pop_and_compact(self):
+        sim = Simulator()
+        for round_ in range(5):
+            events = [
+                sim.schedule_at(float(round_) + i / 100.0, _noop)
+                for i in range(80)
+            ]
+            for event in events[::2]:
+                event.cancel()
+            sim.run(until=float(round_) + 1.0)
+            assert sim.pending_count == 0
+            assert sim.heap_size == 0
+
+
+class TestFifoTieBreak:
+    def test_simultaneous_events_fifo(self):
+        sim = Simulator()
+        seen = []
+        for i in range(10):
+            sim.schedule(1.0, lambda i=i: seen.append(i))
+        sim.run()
+        assert seen == list(range(10))
