@@ -7,7 +7,9 @@ Measures the three numbers the runtime work is accountable for —
 * Table-5 cell wall-time on the vectorised fast path, with the legacy
   per-request (``live``) sampling time and the resulting speedup,
 
-plus the ``--jobs`` scaling of a small Table-5 grid.  CI runs
+plus the ``--jobs`` scaling of a small Table-5 grid and the wall-time of
+the ``repro.lint`` determinism linter over ``src/`` (it gates every CI
+run, so its cost is tracked like any other hot path).  CI runs
 ``python benchmarks/bench_json.py --quick`` and archives the JSON;
 committed numbers come from a full run (``--requests 5000``).
 
@@ -29,6 +31,8 @@ import numpy as np
 from repro.experiments import paper_params as P
 from repro.experiments.event_sim import run_release_pair_simulation
 from repro.experiments.table5 import run_table5
+from repro.lint import run_lint
+from repro.lint.version import LINT_VERSION
 from repro.simulation.engine import Simulator
 
 
@@ -73,6 +77,21 @@ def bench_grid(requests: int, jobs: int) -> float:
     return time.perf_counter() - started
 
 
+def bench_lint(src_dir: Path) -> dict:
+    """Wall-time and file count for one linter pass over ``src/``."""
+    run_lint([str(src_dir)])  # warm: imports, rule construction
+    started = time.perf_counter()
+    run = run_lint([str(src_dir)])
+    elapsed = time.perf_counter() - started
+    return {
+        "version": LINT_VERSION,
+        "files": run.files_checked,
+        "findings": len(run.findings),
+        "seconds": round(elapsed, 4),
+        "files_per_sec": round(run.files_checked / elapsed),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--requests", type=int, default=5_000,
@@ -91,6 +110,7 @@ def main(argv=None) -> int:
     live = bench_cell(requests, "live")
     sequential = bench_grid(requests, jobs=1)
     parallel = bench_grid(requests, jobs=args.jobs)
+    lint = bench_lint(Path(__file__).resolve().parents[1] / "src")
 
     # ~6 kernel events and exactly one adjudicated demand per request.
     payload = {
@@ -117,6 +137,7 @@ def main(argv=None) -> int:
             "parallel_seconds": round(parallel, 4),
             "scaling": round(sequential / parallel, 2),
         },
+        "lint": lint,
     }
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
     print(json.dumps(payload, indent=2))

@@ -118,7 +118,7 @@ def estimate_marginal(
         ):
             continue
         counts[observation.true_outcome] += 1
-    total = sum(counts.values())
+    total = sum(counts[outcome] for outcome in OUTCOME_ORDER)
     if total == 0:
         return None
     return OutcomeDistribution(

@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.common.errors import ConfigurationError
-from repro.common.seeding import SeedSequenceFactory
+from repro.common.seeding import SeedSequenceFactory, spawn_generator
 from repro.bayes.counts import JointCounts
 from repro.bayes.demand_process import TwoReleaseGroundTruth
 from repro.bayes.detection import DetectionModel
@@ -204,7 +204,7 @@ def _replication_cell(
 ) -> AssessmentHistory:
     """One Monte-Carlo replication; module-level so worker processes can
     unpickle it."""
-    return assessment.run(np.random.default_rng(seed))
+    return assessment.run(spawn_generator(seed))
 
 
 def run_replications(

@@ -1,0 +1,46 @@
+"""Order-independent numeric accumulation helpers.
+
+Floating-point addition is not associative, so ``sum()`` over a
+collection whose iteration order is not fixed (a set, or a dict whose
+insertion history differs between sequential and parallel runs) can
+round differently run-to-run.  These helpers make accumulation
+independent of iteration order — :func:`math.fsum` is exactly rounded,
+so its result is the same for every permutation of the summands — which
+is what lets the parallel experiment runtime promise bit-identical
+results for any ``--jobs`` value.  ``repro.lint`` rule REPRO105 points
+stats/metrics code here.
+"""
+
+import math
+from typing import Iterable, Mapping
+
+__all__ = ["stable_sum", "stable_mean", "stable_dot_sum"]
+
+
+def stable_sum(values: Iterable[float]) -> float:
+    """Exactly-rounded sum, independent of iteration order.
+
+    Safe over sets, dict views, and generator output in any order.
+    Integer inputs come back as an integral float (``fsum`` always
+    returns ``float``); callers needing an ``int`` should wrap in
+    ``int(...)`` after checking integrality.
+    """
+    return math.fsum(values)
+
+
+def stable_mean(values: Iterable[float]) -> float:
+    """Order-independent arithmetic mean (NaN for an empty iterable)."""
+    items = list(values)
+    if not items:
+        return float("nan")
+    return math.fsum(items) / len(items)
+
+
+def stable_dot_sum(weights: Mapping[object, float]) -> float:
+    """Order-independent sum of a mapping's values.
+
+    Provided for accumulator dicts (label -> weight) so call sites
+    don't have to spell ``stable_sum(mapping.values())`` and re-explain
+    why the view's order doesn't matter.
+    """
+    return math.fsum(weights.values())

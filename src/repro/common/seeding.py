@@ -15,12 +15,21 @@ import numpy as np
 
 from repro.common.errors import ConfigurationError
 
+#: Root seed used by components whose caller supplied no generator
+#: (``SimulatedTransport``, ``PoissonWorkload``, ``SimulatedAcceptanceTest``).
+#: A *fixed* fallback keeps even exploratory, no-arguments usage
+#: reproducible — an OS-entropy default would be exactly the silent
+#: nondeterminism repro.lint rule REPRO101 exists to ban.
+DEFAULT_COMPONENT_SEED = 0
+
 
 def spawn_generator(seed: Optional[int] = None) -> np.random.Generator:
     """Return a fresh :class:`numpy.random.Generator` for *seed*.
 
     ``None`` yields OS-entropy seeding, which is appropriate only for
-    exploratory use; all experiment entry points pass explicit seeds.
+    exploratory use; all experiment entry points pass explicit seeds,
+    and library components default to :data:`DEFAULT_COMPONENT_SEED`
+    rather than ``None``.
     """
     return np.random.default_rng(seed)
 

@@ -6,7 +6,7 @@ boundary instead of deep inside numerics.
 """
 
 import math
-from typing import Iterable, Sequence
+from typing import Iterable, Sequence, Tuple
 
 from repro.common.errors import ValidationError
 
@@ -52,7 +52,9 @@ def check_in_range(value: float, low: float, high: float, name: str) -> float:
     return float(value)
 
 
-def check_distribution(values: Sequence[float], name: str) -> tuple:
+def check_distribution(
+    values: Sequence[float], name: str
+) -> Tuple[float, ...]:
     """Validate that *values* form a probability distribution.
 
     Every entry must be a probability and the entries must sum to one
@@ -70,7 +72,9 @@ def check_distribution(values: Sequence[float], name: str) -> tuple:
     return probs
 
 
-def check_sorted_unique(values: Iterable[float], name: str) -> tuple:
+def check_sorted_unique(
+    values: Iterable[float], name: str
+) -> Tuple[float, ...]:
     """Validate that *values* are strictly increasing; return them as tuple."""
     out = tuple(float(v) for v in values)
     for previous, current in zip(out, out[1:]):

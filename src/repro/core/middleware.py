@@ -20,6 +20,7 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from repro.common.errors import ConfigurationError, ValidationError
+from repro.common.seeding import spawn_generator
 from repro.core.adjudicators import (
     Adjudication,
     Adjudicator,
@@ -98,8 +99,8 @@ class UpgradeMiddleware:
         # Adjudication tie-breaks draw from their own derived stream so
         # that swapping adjudicators cannot perturb the demand/outcome
         # stream — ablations then compare identical workloads.
-        self._adjudication_rng = np.random.default_rng(
-            rng.integers(2**63)
+        self._adjudication_rng = spawn_generator(
+            int(rng.integers(2**63))
         )
         self._after_demand: List[AfterDemandHook] = []
         self.demands = 0

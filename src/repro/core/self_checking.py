@@ -21,6 +21,7 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from repro.common.seeding import DEFAULT_COMPONENT_SEED, spawn_generator
 from repro.common.validation import check_probability
 from repro.core.adjudicators import (
     Adjudication,
@@ -65,7 +66,9 @@ class SimulatedAcceptanceTest:
         check_probability(self.coverage, "coverage")
         check_probability(self.false_alarm_rate, "false_alarm_rate")
         if self.rng is None:
-            self.rng = np.random.default_rng()
+            # Fixed-seed fallback: acceptance-test draws must stay
+            # reproducible even in no-arguments usage (REPRO101).
+            self.rng = spawn_generator(DEFAULT_COMPONENT_SEED)
 
     def __call__(self, request: RequestMessage, result: object) -> bool:
         truth = self.reference(request)

@@ -23,6 +23,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.common.seeding import spawn_generator
 from repro.common.tables import render_table
 from repro.experiments import paper_params as P
 from repro.experiments.event_sim import (
@@ -72,7 +73,7 @@ def evaluate_profile(
     timeouts: Sequence[float] = P.TIMEOUTS,
 ) -> LatencyFit:
     """Monte-Carlo the profile's MET / NRDT / system observables."""
-    rng = np.random.default_rng(seed)
+    rng = spawn_generator(seed)
     t1 = profile.demand_difficulty.sample_many(rng, samples)
     release_times = [
         t1 + latency.sample_many(rng, samples)

@@ -25,7 +25,7 @@ from typing import List, Optional
 
 from repro.analysis.plots import plot_percentile_curves
 from repro.bayes.priors import GridSpec
-from repro.experiments.paper_params import DEFAULT_SEED
+from repro.experiments.paper_params import DEFAULT_SEED, REQUESTS_PER_RUN
 from repro.experiments.calibration import render_calibration, run_calibration
 from repro.experiments.event_sim import calibrated_profile, paper_profile
 from repro.experiments.multi_release import run_sweep
@@ -35,6 +35,12 @@ from repro.experiments.table2 import run_table2
 from repro.experiments.table5 import run_table5
 from repro.experiments.table6 import run_table6
 from repro.runtime.cache import ResultCache, default_cache_dir
+
+
+#: Reduced demand count for --fast Bayesian runs.  Coincidentally equal
+#: to the paper's requests-per-run for Tables 5/6; this is a smoke-run
+#: size, not that parameter, hence the lint suppression.
+FAST_DEMANDS = 10_000  # repro-lint: disable=REPRO106
 
 
 def _profile(name: str):
@@ -51,7 +57,7 @@ def _cache(args) -> Optional[ResultCache]:
 def cmd_table2(args) -> str:
     kwargs = {}
     if args.fast:
-        kwargs.update(total_demands=10_000, checkpoint_every=1_000,
+        kwargs.update(total_demands=FAST_DEMANDS, checkpoint_every=1_000,
                       grid=GridSpec(96, 96, 32))
     result = run_table2(seed=args.seed, jobs=args.jobs, **kwargs)
     return result.render()
@@ -60,7 +66,7 @@ def cmd_table2(args) -> str:
 def cmd_fig7(args) -> str:
     kwargs = {}
     if args.fast:
-        kwargs.update(total_demands=10_000, checkpoint_every=2_000,
+        kwargs.update(total_demands=FAST_DEMANDS, checkpoint_every=2_000,
                       grid=GridSpec(96, 96, 32))
     curves = run_fig7(seed=args.seed, jobs=args.jobs, **kwargs)
     bound = curves.detection_confidence_error_ok()
@@ -88,7 +94,7 @@ def cmd_fig8(args) -> str:
 
 
 def cmd_table5(args) -> str:
-    requests = 2_000 if args.fast else 10_000
+    requests = 2_000 if args.fast else REQUESTS_PER_RUN
     table = run_table5(
         seed=args.seed, requests=requests, profile=_profile(args.profile),
         jobs=args.jobs, cache=_cache(args),
@@ -97,7 +103,7 @@ def cmd_table5(args) -> str:
 
 
 def cmd_table6(args) -> str:
-    requests = 2_000 if args.fast else 10_000
+    requests = 2_000 if args.fast else REQUESTS_PER_RUN
     table = run_table6(
         seed=args.seed, requests=requests, profile=_profile(args.profile),
         jobs=args.jobs, cache=_cache(args),
@@ -116,7 +122,7 @@ def cmd_fidelity(args) -> str:
     from repro.experiments.fidelity import compare_to_paper
     from repro.experiments.paper_reported import TABLE5, TABLE6
 
-    requests = 2_000 if args.fast else 10_000
+    requests = 2_000 if args.fast else REQUESTS_PER_RUN
     latency = calibrated_profile()
     diff5 = compare_to_paper(
         run_table5(seed=args.seed, requests=requests, profile=latency,
@@ -155,7 +161,7 @@ def cmd_robustness(args) -> str:
     kwargs = {}
     seeds = (1, 2, 3) if args.fast else (1, 2, 3, 4, 5)
     if args.fast:
-        kwargs.update(total_demands=10_000, checkpoint_every=1_000,
+        kwargs.update(total_demands=FAST_DEMANDS, checkpoint_every=1_000,
                       grid=GridSpec(64, 64, 24))
     report = run_robustness(seeds=seeds, jobs=args.jobs, **kwargs)
     return report.render()

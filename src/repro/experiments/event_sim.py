@@ -34,7 +34,6 @@ from repro.simulation.distributions import (
 )
 from repro.simulation.engine import Simulator
 from repro.simulation.metrics import ReleaseMetrics, SystemMetrics
-from repro.simulation.outcomes import Outcome
 from repro.simulation.release_model import ReleaseBehaviour
 from repro.simulation.timing import SystemTimingPolicy
 from repro.simulation.workload import StreamingArrivalSource

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.common.tables import render_table
 from repro.experiments.event_sim import SimulationTable
+from repro.experiments.paper_params import REQUESTS_PER_RUN
 from repro.simulation.metrics import ReleaseMetrics
 
 #: Observables diffed per column (count rows are scaled by requests).
@@ -83,7 +84,7 @@ def compare_to_paper(
     table: SimulationTable,
     reported: Dict[int, Dict[float, Dict[str, Dict[str, float]]]],
     label: str,
-    paper_requests: int = 10_000,
+    paper_requests: int = REQUESTS_PER_RUN,
 ) -> FidelityDiff:
     """Diff a regenerated table against the transcribed reported one.
 

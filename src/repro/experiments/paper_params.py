@@ -101,6 +101,10 @@ def independent_model(run: int) -> IndependentOutcomeModel:
 #: Total simulated observations per scenario.
 SCENARIO_DEMANDS = 50_000
 
+#: Fig. 8 plots Scenario 2 to 10,000 demands (Fig. 7 runs the full
+#: SCENARIO_DEMANDS).
+FIG8_DEMANDS = 10_000
+
 #: Scenario 1 ground truth.
 SC1_PA = 1e-3
 SC1_PB_GIVEN_A = 0.3

@@ -18,7 +18,7 @@ from typing import Dict, List, Optional
 from repro.bayes.priors import GridSpec
 from repro.bayes.runner import AssessmentHistory
 from repro.common.tables import render_table
-from repro.experiments.paper_params import DEFAULT_SEED
+from repro.experiments.paper_params import DEFAULT_SEED, FIG8_DEMANDS
 from repro.experiments.scenarios import Scenario, scenario_1, scenario_2
 from repro.experiments.table2 import run_scenario_histories
 
@@ -141,7 +141,7 @@ def run_fig7(
 def run_fig8(
     seed: int = DEFAULT_SEED,
     grid: GridSpec = GridSpec(),
-    total_demands: int = 10_000,
+    total_demands: int = FIG8_DEMANDS,
     checkpoint_every: int = 500,
     jobs: int = 1,
 ) -> PercentileCurves:

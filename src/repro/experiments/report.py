@@ -20,7 +20,7 @@ from repro.experiments.event_sim import (
     paper_profile,
 )
 from repro.experiments.multi_release import run_sweep
-from repro.experiments.paper_params import DEFAULT_SEED
+from repro.experiments.paper_params import DEFAULT_SEED, REQUESTS_PER_RUN
 from repro.experiments.percentile_curves import run_fig7, run_fig8
 from repro.experiments.table2 import run_table2
 from repro.experiments.table5 import run_table5
@@ -32,10 +32,12 @@ class ReportSizes:
 
     def __init__(self, fast: bool):
         self.fast = fast
-        self.table2_demands = 10_000 if fast else None
+        # Fast-mode demand count; equals REQUESTS_PER_RUN only by
+        # coincidence (it is a smoke-run size, not the table parameter).
+        self.table2_demands = 10_000 if fast else None  # repro-lint: disable=REPRO106
         self.table2_checkpoint = 1_000 if fast else None
         self.grid = GridSpec(96, 96, 32) if fast else GridSpec()
-        self.requests = 2_000 if fast else 10_000
+        self.requests = 2_000 if fast else REQUESTS_PER_RUN
         self.calibration_samples = 20_000 if fast else 100_000
         self.sweep_requests = 1_500 if fast else 5_000
 

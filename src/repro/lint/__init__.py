@@ -1,0 +1,50 @@
+"""Determinism & concurrency static analysis for the repro tree.
+
+The paper's confidence-in-correctness results are only trustworthy if
+every run is bit-reproducible — and the parallel experiment runtime
+makes that contract load-bearing (a cell must be byte-identical whether
+it ran inline or in a worker process).  This package enforces the
+contract statically, with six AST rules:
+
+========  =====================  =========================================
+ID        name                   catches
+========  =====================  =========================================
+REPRO101  rng-discipline         RNG construction / module-level random.*
+                                 outside ``repro.common.seeding``
+REPRO102  wall-clock-ban         host-clock reads in simulated-time code
+REPRO103  pool-hygiene           unpicklable or state-sharing cells
+                                 submitted to ``repro.runtime.parallel``
+REPRO104  unordered-iteration    set iteration order leaking into results
+REPRO105  float-accumulation     order-sensitive ``sum()`` in stats paths
+REPRO106  paper-parameter-       inline duplicates of ``paper_params``
+          literal                constants
+========  =====================  =========================================
+
+Run it with ``python -m repro.lint src/``; suppress a deliberate
+exception with a line comment ``# repro-lint: disable=REPRO10x``.
+"""
+
+from repro.lint.config import DEFAULT_CONFIG, LintConfig
+from repro.lint.engine import (
+    LintRun,
+    ModuleInfo,
+    lint_module,
+    lint_paths,
+    run_lint,
+)
+from repro.lint.findings import Finding
+from repro.lint.rules import all_rules
+from repro.lint.version import LINT_VERSION
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "Finding",
+    "LintConfig",
+    "LintRun",
+    "LINT_VERSION",
+    "ModuleInfo",
+    "all_rules",
+    "lint_module",
+    "lint_paths",
+    "run_lint",
+]

@@ -1,0 +1,103 @@
+"""``python -m repro.lint`` — the determinism linter's command line.
+
+Exit status is 0 when no findings survive suppression filtering and 1
+otherwise (2 for usage errors), so the command slots directly into CI::
+
+    python -m repro.lint src/                 # text report
+    python -m repro.lint --format json src/   # machine-readable
+    python -m repro.lint --select REPRO101,REPRO102 src/
+    python -m repro.lint --list-rules
+"""
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.lint.config import DEFAULT_CONFIG, LintConfig
+from repro.lint.engine import run_lint
+from repro.lint.report import render_json, render_text
+from repro.lint.rules import all_rules
+from repro.lint.version import LINT_VERSION
+
+
+def _parse_rule_ids(raw: Optional[str]) -> Optional[frozenset]:
+    if raw is None:
+        return None
+    ids = frozenset(part.strip() for part in raw.split(",") if part.strip())
+    return ids or None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "Static analysis for reproduction-breaking patterns: RNG "
+            "discipline, wall-clock reads, process-pool hygiene, "
+            "unordered iteration, float accumulation order, and "
+            "paper-parameter literals."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated rule IDs to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="IDS",
+        help="comma-separated rule IDs to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro.lint {LINT_VERSION}",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.name}: {rule.description}")
+        return 0
+
+    config = LintConfig(
+        select=_parse_rule_ids(args.select),
+        ignore=_parse_rule_ids(args.ignore) or frozenset(),
+        seeding_module=DEFAULT_CONFIG.seeding_module,
+        wallclock_scopes=DEFAULT_CONFIG.wallclock_scopes,
+        wallclock_allow=DEFAULT_CONFIG.wallclock_allow,
+        unordered_scopes=DEFAULT_CONFIG.unordered_scopes,
+        floatsum_scopes=DEFAULT_CONFIG.floatsum_scopes,
+        literal_scopes=DEFAULT_CONFIG.literal_scopes,
+        literal_exempt=DEFAULT_CONFIG.literal_exempt,
+    )
+    result = run_lint(args.paths, config)
+    if args.format == "json":
+        print(render_json(result.findings, result.files_checked))
+    else:
+        print(render_text(result.findings, result.files_checked))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

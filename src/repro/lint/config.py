@@ -1,0 +1,98 @@
+"""Configuration for the repro.lint ruleset.
+
+The defaults encode this repository's determinism contract (see
+README.md "Determinism contract"); every scope is expressed as a dotted
+module prefix so the rules keep working as packages grow.  Fixture
+modules outside ``src/`` can opt into a scope with a
+``# repro-lint: module=<dotted.name>`` override comment near the top of
+the file (see :mod:`repro.lint.suppressions`).
+"""
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Mapping, Optional, Tuple
+
+#: Paper constants (from ``repro.experiments.paper_params``) distinctive
+#: enough that an inline numeric literal with the same value almost
+#: certainly duplicates the parameter instead of importing it.
+#: Deliberately excludes ubiquitous values (0.7, 0.1, the TimeOuts)
+#: whose collisions would swamp the rule with false positives.
+PAPER_LITERALS: Mapping[float, str] = {
+    10_000: "REQUESTS_PER_RUN",
+    50_000: "SCENARIO_DEMANDS",
+    0.99: "CONFIDENCE_LEVEL / CRITERION2_CONFIDENCE",
+    1e-3: "SC1_PA / CRITERION2_TARGET",
+    5e-3: "SC2_PA",
+    5e-4: "SC1_PB_GIVEN_NOT_A",
+    0.15: "P_OMIT / Table-3 marginal",
+}
+
+
+def module_in(module: str, scopes: Tuple[str, ...]) -> bool:
+    """True when *module* equals or sits under any dotted prefix in *scopes*."""
+    return any(
+        module == scope or module.startswith(scope + ".") for scope in scopes
+    )
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Which rules run where.
+
+    ``select``/``ignore`` filter by rule ID; everything else scopes
+    individual rules to the parts of the tree where their invariant is
+    load-bearing.
+    """
+
+    #: Only run these rule IDs (None = all registered rules).
+    select: Optional[FrozenSet[str]] = None
+    #: Never run these rule IDs.
+    ignore: FrozenSet[str] = frozenset()
+
+    #: The one module allowed to construct fresh RNGs (REPRO101).
+    seeding_module: str = "repro.common.seeding"
+
+    #: Packages where wall-clock reads break sim-time determinism (REPRO102).
+    wallclock_scopes: Tuple[str, ...] = (
+        "repro.simulation",
+        "repro.bayes",
+        "repro.core",
+    )
+    #: Modules exempt from the wall-clock ban (the CLI's elapsed timer).
+    wallclock_allow: Tuple[str, ...] = ("repro.experiments.cli",)
+
+    #: Result-aggregation / serialisation packages where iterating an
+    #: unordered collection leaks set order into output (REPRO104).
+    unordered_scopes: Tuple[str, ...] = (
+        "repro.experiments",
+        "repro.analysis",
+    )
+
+    #: Stats/metrics packages where float accumulation order matters
+    #: (REPRO105).
+    floatsum_scopes: Tuple[str, ...] = (
+        "repro.analysis",
+        "repro.simulation.metrics",
+        "repro.bayes",
+    )
+
+    #: Packages checked for inline paper-parameter duplicates (REPRO106) ...
+    literal_scopes: Tuple[str, ...] = ("repro.experiments",)
+    #: ... except the modules that *define* or transcribe those values.
+    literal_exempt: Tuple[str, ...] = (
+        "repro.experiments.paper_params",
+        "repro.experiments.paper_reported",
+    )
+    #: value -> paper_params name, for the REPRO106 message.
+    paper_literals: Mapping[float, str] = field(
+        default_factory=lambda: dict(PAPER_LITERALS)
+    )
+
+    def rule_enabled(self, rule_id: str) -> bool:
+        if rule_id in self.ignore:
+            return False
+        if self.select is not None:
+            return rule_id in self.select
+        return True
+
+
+DEFAULT_CONFIG = LintConfig()

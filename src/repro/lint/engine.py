@@ -1,0 +1,181 @@
+"""Walks files, parses modules, runs rules, filters suppressions."""
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from repro.lint.config import DEFAULT_CONFIG, LintConfig
+from repro.lint.findings import Finding
+from repro.lint.imports import ImportMap, resolved_call_name
+from repro.lint.suppressions import (
+    is_suppressed,
+    parse_module_override,
+    parse_suppressions,
+)
+
+#: Directories never descended into when walking a tree.
+SKIP_DIRS = {
+    "__pycache__",
+    ".git",
+    ".mypy_cache",
+    ".ruff_cache",
+    ".pytest_cache",
+}
+
+
+@dataclass
+class ModuleInfo:
+    """Everything a rule needs to know about one parsed source file."""
+
+    path: Path
+    module: str
+    tree: ast.Module
+    lines: List[str]
+    imports: ImportMap
+    _parents: Optional[Dict[ast.AST, ast.AST]] = field(
+        default=None, repr=False
+    )
+
+    @classmethod
+    def parse(cls, path: Path) -> "ModuleInfo":
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        lines = source.splitlines()
+        module = parse_module_override(lines) or derive_module_name(path)
+        return cls(
+            path=path,
+            module=module,
+            tree=tree,
+            lines=lines,
+            imports=ImportMap.from_tree(tree),
+        )
+
+    def resolve_call(self, call: ast.Call) -> Optional[str]:
+        """Fully resolved dotted name of *call*'s target, if static."""
+        return resolved_call_name(call, self.imports)
+
+    def parents(self) -> Dict[ast.AST, ast.AST]:
+        """Child -> parent map over the whole tree (built lazily)."""
+        if self._parents is None:
+            table: Dict[ast.AST, ast.AST] = {}
+            for parent in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(parent):
+                    table[child] = parent
+            self._parents = table
+        return self._parents
+
+    def finding(
+        self, node: ast.AST, rule_id: str, message: str
+    ) -> Finding:
+        return Finding(
+            path=str(self.path),
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            rule_id=rule_id,
+            message=message,
+        )
+
+
+def derive_module_name(path: Path) -> str:
+    """Dotted module name from a file path (rooted at ``repro`` if present).
+
+    Files outside a ``repro`` package (test fixtures, scripts) fall back
+    to their stem; they can opt into scoped rules with a
+    ``# repro-lint: module=...`` override instead.
+    """
+    parts = list(path.parts)
+    name = path.stem
+    if "repro" in parts[:-1]:
+        anchor = len(parts) - 2 - parts[:-1][::-1].index("repro")
+        dotted = parts[anchor:-1] + ([] if name == "__init__" else [name])
+        return ".".join(dotted)
+    return name
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Yield ``.py`` files under *paths* in sorted, deterministic order."""
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            if not any(part in SKIP_DIRS for part in candidate.parts):
+                yield candidate
+
+
+def lint_module(
+    info: ModuleInfo, config: LintConfig = DEFAULT_CONFIG
+) -> List[Finding]:
+    """Run every enabled rule over one parsed module."""
+    # Imported here so rule modules can import engine helpers freely.
+    from repro.lint.rules import all_rules
+
+    suppressions = parse_suppressions(info.lines)
+    findings: List[Finding] = []
+    for rule in all_rules():
+        if not config.rule_enabled(rule.rule_id):
+            continue
+        for finding in rule.check(info, config):
+            if not is_suppressed(
+                suppressions, finding.line, finding.rule_id
+            ):
+                findings.append(finding)
+    return findings
+
+
+@dataclass
+class LintRun:
+    """Outcome of linting a set of paths."""
+
+    findings: List[Finding]
+    files_checked: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def run_lint(
+    paths: Iterable[str],
+    config: LintConfig = DEFAULT_CONFIG,
+) -> LintRun:
+    """Lint every Python file under *paths*; findings come back sorted.
+
+    Files that fail to parse produce a ``REPRO100`` syntax finding
+    rather than aborting the run, so one broken file cannot hide the
+    rest of the report.
+    """
+    findings: List[Finding] = []
+    seen: Set[Path] = set()
+    for path in iter_python_files([Path(p) for p in paths]):
+        if path in seen:
+            continue
+        seen.add(path)
+        try:
+            info = ModuleInfo.parse(path)
+        except SyntaxError as error:
+            findings.append(
+                Finding(
+                    path=str(path),
+                    line=error.lineno or 1,
+                    column=(error.offset or 0) + 1,
+                    rule_id="REPRO100",
+                    message=f"file does not parse: {error.msg}",
+                )
+            )
+            continue
+        findings.extend(lint_module(info, config))
+    return LintRun(
+        findings=sorted(findings, key=Finding.sort_key),
+        files_checked=len(seen),
+    )
+
+
+def lint_paths(
+    paths: Iterable[str],
+    config: LintConfig = DEFAULT_CONFIG,
+) -> List[Finding]:
+    """Convenience wrapper around :func:`run_lint` returning findings only."""
+    return run_lint(paths, config).findings

@@ -1,0 +1,38 @@
+"""The :class:`Finding` record produced by every lint rule."""
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Sorts by (path, line, column, rule) so reports are stable across
+    filesystem walk order — the linter's own output must be as
+    deterministic as the code it polices.
+    """
+
+    path: str
+    line: int
+    column: int
+    rule_id: str
+    message: str
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.column, self.rule_id)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "rule": self.rule_id,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.rule_id} {self.message}"
+        )

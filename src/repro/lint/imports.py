@@ -1,0 +1,75 @@
+"""Import-alias resolution for qualified-name matching.
+
+Rules match *resolved* dotted names (``numpy.random.default_rng``), so a
+module can't dodge them by aliasing (``import numpy as np``,
+``from numpy import random as nr``, ``from time import time as t``).
+Resolution is purely syntactic: it rewrites the leading identifier of a
+dotted reference through the module's import bindings and makes no
+attempt at data-flow (``rng_factory = np.random.default_rng;
+rng_factory()`` escapes — an accepted approximation, ratcheted by the
+fact that such indirection never survives code review here).
+"""
+
+import ast
+from typing import Dict, Optional
+
+
+class ImportMap:
+    """Mapping from locally bound names to the dotted names they import."""
+
+    def __init__(self) -> None:
+        self._bindings: Dict[str, str] = {}
+
+    @classmethod
+    def from_tree(cls, tree: ast.AST) -> "ImportMap":
+        imports = cls()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        imports._bindings[alias.asname] = alias.name
+                    else:
+                        # ``import a.b`` binds ``a`` (to itself).
+                        root = alias.name.split(".", 1)[0]
+                        imports._bindings.setdefault(root, root)
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue  # relative imports stay unresolved
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    imports._bindings[bound] = f"{node.module}.{alias.name}"
+        return imports
+
+    def resolve(self, dotted: str) -> str:
+        """Rewrite the leading identifier of *dotted* through the imports."""
+        head, _, rest = dotted.partition(".")
+        target = self._bindings.get(head)
+        if target is None:
+            return dotted
+        return f"{target}.{rest}" if rest else target
+
+    def binds(self, name: str) -> bool:
+        """True when *name* is bound by an import in this module."""
+        return name in self._bindings
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """The source-level dotted name of an attribute chain, if it is one."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def resolved_call_name(
+    call: ast.Call, imports: ImportMap
+) -> Optional[str]:
+    """The fully resolved dotted name a call dispatches to, if static."""
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    return imports.resolve(name)

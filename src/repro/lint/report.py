@@ -1,0 +1,28 @@
+"""Text and JSON rendering of lint findings."""
+
+import json
+from typing import List
+
+from repro.lint.findings import Finding
+from repro.lint.version import LINT_VERSION
+
+
+def render_text(findings: List[Finding], files_checked: int) -> str:
+    """Human-readable report: one finding per line plus a summary."""
+    lines = [finding.render() for finding in findings]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(
+        f"repro.lint {LINT_VERSION}: {len(findings)} {noun} "
+        f"in {files_checked} files"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: List[Finding], files_checked: int) -> str:
+    """Machine-readable report (stable key order)."""
+    payload = {
+        "version": LINT_VERSION,
+        "files_checked": files_checked,
+        "findings": [finding.as_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,42 @@
+"""Rule registry for repro.lint.
+
+Rules register here in rule-ID order; :func:`all_rules` returns one
+instance of each.  Adding a rule is: write the visitor module, import
+it below, bump :data:`repro.lint.version.LINT_VERSION`.
+"""
+
+from typing import List, Tuple
+
+from repro.lint.rules.base import Rule
+from repro.lint.rules.floatsum import FloatAccumulationRule
+from repro.lint.rules.literals import PaperLiteralRule
+from repro.lint.rules.pool import PoolHygieneRule
+from repro.lint.rules.rng import RngDisciplineRule
+from repro.lint.rules.unordered import UnorderedIterationRule
+from repro.lint.rules.wallclock import WallClockRule
+
+_RULE_CLASSES: Tuple[type, ...] = (
+    RngDisciplineRule,
+    WallClockRule,
+    PoolHygieneRule,
+    UnorderedIterationRule,
+    FloatAccumulationRule,
+    PaperLiteralRule,
+)
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, in rule-ID order."""
+    return [cls() for cls in _RULE_CLASSES]
+
+
+__all__ = [
+    "Rule",
+    "all_rules",
+    "FloatAccumulationRule",
+    "PaperLiteralRule",
+    "PoolHygieneRule",
+    "RngDisciplineRule",
+    "UnorderedIterationRule",
+    "WallClockRule",
+]

@@ -1,0 +1,82 @@
+"""Rule base class and shared AST helpers."""
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import ModuleInfo
+from repro.lint.findings import Finding
+
+
+class Rule:
+    """One determinism check.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding a :class:`Finding` per violation.  Rules must be pure
+    functions of the module under analysis — no filesystem access, no
+    state between files — so the report is reproducible and files can
+    be linted in any order.
+    """
+
+    rule_id: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check(
+        self, module: ModuleInfo, config: LintConfig
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(id={self.rule_id!r})"
+
+
+def is_set_expression(node: ast.AST, module: ModuleInfo) -> bool:
+    """True when *node* statically evaluates to a set/frozenset.
+
+    Covers set displays, set comprehensions, ``set()``/``frozenset()``
+    calls, and set-algebra expressions (``a | {…}``) over any of those.
+    Plain names are not tracked — data-flow is out of scope.
+    """
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        resolved = module.resolve_call(node)
+        if resolved in {"set", "frozenset"}:
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return is_set_expression(node.left, module) or is_set_expression(
+            node.right, module
+        )
+    return False
+
+
+def is_unordered_view_call(node: ast.AST) -> bool:
+    """True for ``<expr>.keys()`` / ``.values()`` / ``.items()`` calls.
+
+    Mapping views iterate in insertion order, which is deterministic for
+    a fixed insertion history — but the insertion history of an
+    accumulator dict is exactly what differs between sequential and
+    parallel runs, so accumulation paths must not depend on it.
+    """
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in {"keys", "values", "items"}
+        and not node.args
+        and not node.keywords
+    )
+
+
+def call_argument(
+    call: ast.Call, name: str, position: int
+) -> Optional[ast.expr]:
+    """The argument bound to parameter *name* (kwarg) or *position*."""
+    for keyword in call.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    if len(call.args) > position:
+        return call.args[position]
+    return None

@@ -1,0 +1,71 @@
+"""REPRO105 — float-accumulation order in stats/metrics paths.
+
+Floating-point addition is not associative: ``sum()`` over a collection
+whose iteration order is not fixed (a set, or a dict view whose
+insertion history differs between sequential and parallel runs) can
+round differently run-to-run, breaking the bit-identical contract at
+the last ulp — the hardest discrepancy to debug.  In the statistics and
+metrics packages such sums must go through the order-independent
+helpers (:func:`repro.common.numerics.stable_sum` /
+:func:`math.fsum`, which are exactly rounded and therefore
+order-insensitive) or an explicitly ``sorted(...)`` iterable.
+"""
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.config import LintConfig, module_in
+from repro.lint.engine import ModuleInfo
+from repro.lint.findings import Finding
+from repro.lint.rules.base import (
+    Rule,
+    is_set_expression,
+    is_unordered_view_call,
+)
+
+
+def _unordered_reason(
+    arg: ast.expr, module: ModuleInfo
+) -> Optional[str]:
+    """Why *arg*'s iteration order is unreliable, or None if it is fine."""
+    if is_set_expression(arg, module):
+        return "a set"
+    if is_unordered_view_call(arg):
+        return f"a dict .{arg.func.attr}() view"  # type: ignore[attr-defined]
+    if isinstance(arg, (ast.GeneratorExp, ast.ListComp)):
+        source = arg.generators[0].iter
+        if is_set_expression(source, module):
+            return "a comprehension over a set"
+        if is_unordered_view_call(source):
+            return "a comprehension over a dict view"
+    return None
+
+
+class FloatAccumulationRule(Rule):
+    rule_id = "REPRO105"
+    name = "float-accumulation-order"
+    description = (
+        "sum() over unordered collections in stats/metrics code must "
+        "use repro.common.numerics.stable_sum (math.fsum) or a "
+        "sorted(...) iterable."
+    )
+
+    def check(
+        self, module: ModuleInfo, config: LintConfig
+    ) -> Iterator[Finding]:
+        if not module_in(module.module, config.floatsum_scopes):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if module.resolve_call(node) != "sum" or not node.args:
+                continue
+            reason = _unordered_reason(node.args[0], module)
+            if reason is not None:
+                yield module.finding(
+                    node,
+                    self.rule_id,
+                    f"sum() over {reason} accumulates in unstable "
+                    "order; use repro.common.numerics.stable_sum "
+                    "(exactly-rounded fsum) or sort the iterable",
+                )

@@ -1,0 +1,54 @@
+"""REPRO106 — inline duplicates of paper parameters.
+
+Every constant the paper states lives once, in
+``repro.experiments.paper_params``.  A numeric literal elsewhere in the
+experiment layer that equals one of the distinctive values (10,000
+requests per run, 50,000 scenario demands, the 0.99 confidence level,
+the scenario pfd targets, the 0.15 omission probability) almost always
+duplicates the parameter instead of importing it — and silently stops
+tracking it if the canonical value is ever corrected.  Deliberate
+coincidences (a fast-mode size that happens to equal a paper value)
+carry a line suppression explaining themselves.
+"""
+
+import ast
+from typing import Iterator
+
+from repro.lint.config import LintConfig, module_in
+from repro.lint.engine import ModuleInfo
+from repro.lint.findings import Finding
+from repro.lint.rules.base import Rule
+
+
+class PaperLiteralRule(Rule):
+    rule_id = "REPRO106"
+    name = "paper-parameter-literal"
+    description = (
+        "Numeric literals duplicating paper_params values must import "
+        "the named constant instead."
+    )
+
+    def check(
+        self, module: ModuleInfo, config: LintConfig
+    ) -> Iterator[Finding]:
+        if not module_in(module.module, config.literal_scopes):
+            return
+        if module_in(module.module, config.literal_exempt):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Constant):
+                continue
+            value = node.value
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float)
+            ):
+                continue
+            name = config.paper_literals.get(float(value))
+            if name is not None:
+                yield module.finding(
+                    node,
+                    self.rule_id,
+                    f"literal {value!r} duplicates paper parameter "
+                    f"{name}; import it from "
+                    "repro.experiments.paper_params",
+                )

@@ -1,0 +1,195 @@
+"""REPRO103 — process-pool hygiene for parallel experiment cells.
+
+Cells submitted through :mod:`repro.runtime.parallel` execute in worker
+processes.  A cell that reads module-level mutable state computes
+against a *copy* of that state frozen at fork time — mutations made by
+the parent or by sibling cells are silently invisible, the classic
+cross-process race that produces jobs-dependent results.  A cell that
+is a ``lambda``/nested function fails to pickle at all (but only on the
+``jobs > 1`` path, so tests that run inline never see it), and a
+generator cell returns an unpicklable iterator instead of a value.
+
+The rule checks every ``CellSpec(...)`` construction site:
+
+* ``fn`` must be a module-level (or imported) function — not a lambda,
+  not a function defined inside the enclosing scope;
+* a cell function defined in the same module must not be a generator
+  and must not read names bound at module level to mutable containers
+  (list/dict/set displays or constructor calls).
+"""
+
+import ast
+from typing import Dict, Iterator, Optional, Set
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import ModuleInfo
+from repro.lint.findings import Finding
+from repro.lint.rules.base import Rule, call_argument
+
+CELLSPEC = "repro.runtime.parallel.CellSpec"
+
+#: Constructor calls whose result is mutable shared state.
+MUTABLE_FACTORIES = {
+    "list",
+    "dict",
+    "set",
+    "bytearray",
+    "collections.defaultdict",
+    "collections.Counter",
+    "collections.OrderedDict",
+    "collections.deque",
+}
+
+
+def _module_level_functions(
+    tree: ast.Module,
+) -> Dict[str, ast.FunctionDef]:
+    return {
+        node.name: node
+        for node in tree.body
+        if isinstance(node, ast.FunctionDef)
+    }
+
+
+def _mutable_globals(tree: ast.Module, module: ModuleInfo) -> Dict[str, int]:
+    """Module-level names bound to mutable containers -> definition line."""
+    table: Dict[str, int] = {}
+    for node in tree.body:
+        targets = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if value is None:
+            continue
+        mutable = isinstance(
+            value, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                    ast.DictComp, ast.SetComp)
+        )
+        if not mutable and isinstance(value, ast.Call):
+            mutable = module.resolve_call(value) in MUTABLE_FACTORIES
+        if not mutable:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                table[target.id] = node.lineno
+    return table
+
+
+def _local_bindings(fn: ast.FunctionDef) -> Set[str]:
+    """Names bound inside *fn* (params + assignments), which shadow globals."""
+    bound = {arg.arg for arg in fn.args.args}
+    bound.update(arg.arg for arg in fn.args.posonlyargs)
+    bound.update(arg.arg for arg in fn.args.kwonlyargs)
+    if fn.args.vararg:
+        bound.add(fn.args.vararg.arg)
+    if fn.args.kwarg:
+        bound.add(fn.args.kwarg.arg)
+    declared_global: Set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+        elif isinstance(node, ast.Name) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            bound.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node is not fn:
+                bound.add(node.name)
+    return bound - declared_global
+
+
+class PoolHygieneRule(Rule):
+    rule_id = "REPRO103"
+    name = "pool-hygiene"
+    description = (
+        "Callables submitted through repro.runtime.parallel must be "
+        "module-level, non-generator functions that do not read "
+        "module-level mutable state."
+    )
+
+    def check(
+        self, module: ModuleInfo, config: LintConfig
+    ) -> Iterator[Finding]:
+        if not module.imports.binds("CellSpec") and all(
+            "repro.runtime.parallel" not in line for line in module.lines
+        ):
+            return
+        toplevel = _module_level_functions(module.tree)
+        mutable = _mutable_globals(module.tree, module)
+        checked: Set[str] = set()
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if module.resolve_call(node) != CELLSPEC:
+                continue
+            fn_arg = call_argument(node, "fn", 1)
+            if fn_arg is None:
+                continue
+            if isinstance(fn_arg, ast.Lambda):
+                yield module.finding(
+                    fn_arg,
+                    self.rule_id,
+                    "CellSpec fn is a lambda — not picklable, so the "
+                    "cell only works inline (jobs=1); define a "
+                    "module-level function",
+                )
+                continue
+            if not isinstance(fn_arg, ast.Name):
+                continue  # attribute refs (imported fns) assumed clean
+            name = fn_arg.id
+            if name not in toplevel:
+                if not module.imports.binds(name):
+                    yield module.finding(
+                        fn_arg,
+                        self.rule_id,
+                        f"CellSpec fn {name!r} is not a module-level "
+                        "function — nested functions don't pickle into "
+                        "worker processes",
+                    )
+                continue
+            if name in checked:
+                continue
+            checked.add(name)
+            yield from self._check_cell_function(
+                module, toplevel[name], mutable
+            )
+
+    def _check_cell_function(
+        self,
+        module: ModuleInfo,
+        fn: ast.FunctionDef,
+        mutable: Dict[str, int],
+    ) -> Iterator[Finding]:
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                yield module.finding(
+                    node,
+                    self.rule_id,
+                    f"cell function {fn.name!r} is a generator — it "
+                    "returns an unpicklable iterator; return a "
+                    "materialised result",
+                )
+                return
+        if not mutable:
+            return
+        local = _local_bindings(fn)
+        reported: Set[str] = set()
+        for node in ast.walk(fn):
+            if (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and node.id in mutable
+                and node.id not in local
+                and node.id not in reported
+            ):
+                reported.add(node.id)
+                yield module.finding(
+                    node,
+                    self.rule_id,
+                    f"cell function {fn.name!r} reads module-level "
+                    f"mutable {node.id!r} (defined at line "
+                    f"{mutable[node.id]}) — worker processes see a "
+                    "fork-time copy; pass it through kwargs instead",
+                )

@@ -1,0 +1,100 @@
+"""REPRO101 — RNG discipline.
+
+All randomness must flow through :mod:`repro.common.seeding`: that is
+the property that makes a parallel cell bit-identical to its sequential
+twin.  Constructing a generator anywhere else — seeded or not — creates
+a stream whose draws are invisible to the seed audit, and an *unseeded*
+one (``np.random.default_rng()`` with no argument) makes the run
+irreproducible outright.
+"""
+
+import ast
+from typing import Iterator
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import ModuleInfo
+from repro.lint.findings import Finding
+from repro.lint.rules.base import Rule
+
+#: Generator/state factories that mint new random streams.
+BANNED_FACTORIES = {
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "numpy.random.Generator",
+    "numpy.random.seed",
+    "random.Random",
+    "random.SystemRandom",
+    "random.seed",
+}
+
+#: Module-level ``random.*`` draws (the hidden global-state stream).
+MODULE_RANDOM_FUNCS = {
+    "betavariate",
+    "choice",
+    "choices",
+    "expovariate",
+    "gammavariate",
+    "gauss",
+    "getrandbits",
+    "lognormvariate",
+    "normalvariate",
+    "paretovariate",
+    "randbytes",
+    "randint",
+    "random",
+    "randrange",
+    "sample",
+    "shuffle",
+    "triangular",
+    "uniform",
+    "vonmisesvariate",
+    "weibullvariate",
+}
+
+
+class RngDisciplineRule(Rule):
+    rule_id = "REPRO101"
+    name = "rng-discipline"
+    description = (
+        "RNG construction and module-level random.* draws are only "
+        "allowed in repro.common.seeding; route everything else through "
+        "SeedSequenceFactory / spawn_generator."
+    )
+
+    def check(
+        self, module: ModuleInfo, config: LintConfig
+    ) -> Iterator[Finding]:
+        if module.module == config.seeding_module:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = module.resolve_call(node)
+            if resolved is None:
+                continue
+            if resolved in BANNED_FACTORIES:
+                unseeded = not node.args and not node.keywords
+                detail = (
+                    "unseeded — irreproducible by construction"
+                    if unseeded
+                    else "creates a stream outside the seed audit"
+                )
+                yield module.finding(
+                    node,
+                    self.rule_id,
+                    f"call to {resolved}() outside "
+                    f"{config.seeding_module} ({detail}); use "
+                    "repro.common.seeding.spawn_generator or "
+                    "SeedSequenceFactory",
+                )
+            elif (
+                resolved.startswith("random.")
+                and resolved[len("random.") :] in MODULE_RANDOM_FUNCS
+            ):
+                yield module.finding(
+                    node,
+                    self.rule_id,
+                    f"module-level {resolved}() draws from the hidden "
+                    "global stream; take an explicit "
+                    "numpy.random.Generator parameter instead",
+                )

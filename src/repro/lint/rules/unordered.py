@@ -1,0 +1,93 @@
+"""REPRO104 — unordered-iteration hazard in aggregation paths.
+
+Python sets iterate in hash order, which varies with insertion history
+and (for str keys under hash randomisation) across processes.  In the
+experiment/report layer, iterating a set straight into a result list,
+table, or serialised artefact embeds that order in the output.  The
+rule flags set-valued expressions consumed by order-sensitive contexts
+(``for`` loops, comprehensions, ``list``/``tuple``/``enumerate``/
+``reversed``/``str.join``) unless wrapped in ``sorted(...)``; order-
+insensitive consumers (``len``, ``min``, ``max``, ``any``, ``all``,
+membership tests, set algebra) pass.
+"""
+
+import ast
+from typing import Iterator
+
+from repro.lint.config import LintConfig, module_in
+from repro.lint.engine import ModuleInfo
+from repro.lint.findings import Finding
+from repro.lint.rules.base import Rule, is_set_expression
+
+#: Builtins whose result does not depend on argument order.
+ORDER_INSENSITIVE = {
+    "sorted",
+    "len",
+    "min",
+    "max",
+    "any",
+    "all",
+    "bool",
+    "set",
+    "frozenset",
+    "sum",  # accumulation order is REPRO105's concern
+}
+
+#: Builtins that freeze iteration order into their result.
+ORDER_SENSITIVE = {"list", "tuple", "enumerate", "reversed", "iter"}
+
+_ADVICE = "wrap it in sorted(...) to fix the order"
+
+
+class UnorderedIterationRule(Rule):
+    rule_id = "REPRO104"
+    name = "unordered-iteration"
+    description = (
+        "Iterating a set into result aggregation/serialisation without "
+        "sorted(...) embeds hash order in experiment output."
+    )
+
+    def check(
+        self, module: ModuleInfo, config: LintConfig
+    ) -> Iterator[Finding]:
+        if not module_in(module.module, config.unordered_scopes):
+            return
+        parents = module.parents()
+        for node in ast.walk(module.tree):
+            if not is_set_expression(node, module):
+                continue
+            parent = parents.get(node)
+            if isinstance(parent, (ast.For, ast.AsyncFor)) and parent.iter is node:
+                yield module.finding(
+                    node,
+                    self.rule_id,
+                    f"for-loop over a set in {module.module}; {_ADVICE}",
+                )
+            elif isinstance(parent, ast.comprehension) and parent.iter is node:
+                yield module.finding(
+                    node,
+                    self.rule_id,
+                    f"comprehension over a set in {module.module}; "
+                    f"{_ADVICE}",
+                )
+            elif isinstance(parent, ast.Call) and node in parent.args:
+                resolved = module.resolve_call(parent)
+                if resolved in ORDER_INSENSITIVE:
+                    continue
+                if resolved in ORDER_SENSITIVE:
+                    yield module.finding(
+                        node,
+                        self.rule_id,
+                        f"{resolved}() over a set freezes hash order "
+                        f"into the result; {_ADVICE}",
+                    )
+                elif (
+                    isinstance(parent.func, ast.Attribute)
+                    and parent.func.attr == "join"
+                ):
+                    yield module.finding(
+                        node,
+                        self.rule_id,
+                        f"str.join over a set serialises hash order; "
+                        f"{_ADVICE}",
+                    )

@@ -1,0 +1,64 @@
+"""REPRO102 — wall-clock ban in simulated-time packages.
+
+Simulation, inference, and middleware code must take time from the
+discrete-event clock (:mod:`repro.simulation.clock`), never from the
+host.  A wall-clock read in these packages couples results to scheduler
+jitter and machine speed — the one nondeterminism class no seed can
+fix.  The experiment CLI's elapsed-time banner is allowlisted by
+module (see :class:`~repro.lint.config.LintConfig.wallclock_allow`).
+"""
+
+import ast
+from typing import Iterator
+
+from repro.lint.config import LintConfig, module_in
+from repro.lint.engine import ModuleInfo
+from repro.lint.findings import Finding
+from repro.lint.rules.base import Rule
+
+#: Host-clock reads (resolved names).
+BANNED_CLOCKS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+class WallClockRule(Rule):
+    rule_id = "REPRO102"
+    name = "wall-clock-ban"
+    description = (
+        "time.time()/time.monotonic()/datetime.now() are forbidden in "
+        "repro.simulation, repro.bayes, and repro.core — simulated time "
+        "must come from the sim clock."
+    )
+
+    def check(
+        self, module: ModuleInfo, config: LintConfig
+    ) -> Iterator[Finding]:
+        if not module_in(module.module, config.wallclock_scopes):
+            return
+        if module_in(module.module, config.wallclock_allow):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = module.resolve_call(node)
+            if resolved in BANNED_CLOCKS:
+                yield module.finding(
+                    node,
+                    self.rule_id,
+                    f"wall-clock read {resolved}() in {module.module}; "
+                    "simulated components must read the sim clock "
+                    "(repro.simulation.clock) so runs are "
+                    "machine-independent",
+                )

@@ -1,0 +1,58 @@
+"""Per-line suppressions and module-name overrides.
+
+Two magic comments are recognised:
+
+``# repro-lint: disable=RULE[,RULE...]``
+    Suppress the named rules (or ``all``) for findings reported *on that
+    physical line*.  Suppressions are deliberately line-scoped — a
+    file-wide escape hatch would invite the drift this linter exists to
+    prevent.
+
+``# repro-lint: module=dotted.name``
+    Pretend the file is the named module when applying scope rules.
+    Used by test fixtures that live outside ``src/`` but must exercise
+    scoped rules (e.g. the wall-clock ban, which only applies inside
+    ``repro.simulation``/``repro.bayes``/``repro.core``).  Only honoured
+    within the first :data:`MODULE_OVERRIDE_WINDOW` lines.
+"""
+
+import re
+from typing import Dict, Optional, Sequence, Set
+
+#: How far into a file a ``module=`` override is honoured.
+MODULE_OVERRIDE_WINDOW = 10
+
+_DISABLE_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+_MODULE_RE = re.compile(r"#\s*repro-lint:\s*module=([A-Za-z0-9_.]+)")
+
+
+def parse_suppressions(lines: Sequence[str]) -> Dict[int, Set[str]]:
+    """Map 1-based line numbers to the rule IDs suppressed on them."""
+    table: Dict[int, Set[str]] = {}
+    for number, line in enumerate(lines, start=1):
+        match = _DISABLE_RE.search(line)
+        if match:
+            rules = {part.strip() for part in match.group(1).split(",")}
+            table[number] = {rule for rule in rules if rule}
+    return table
+
+
+def parse_module_override(lines: Sequence[str]) -> Optional[str]:
+    """The ``module=`` override near the top of the file, if any."""
+    for line in lines[:MODULE_OVERRIDE_WINDOW]:
+        match = _MODULE_RE.search(line)
+        if match:
+            return match.group(1)
+    return None
+
+
+def is_suppressed(
+    table: Dict[int, Set[str]], line: int, rule_id: str
+) -> bool:
+    """True when *rule_id* is disabled on *line* (or ``all`` is)."""
+    rules = table.get(line)
+    if not rules:
+        return False
+    return rule_id in rules or "all" in rules

@@ -1,0 +1,14 @@
+"""Linter / ruleset version.
+
+Kept in its own leaf module so that :mod:`repro.runtime.cache` can fold
+the ruleset version into cache keys without importing the analysis
+machinery (and without creating an import cycle).
+
+Bump :data:`LINT_VERSION` whenever a rule is added, removed, or changes
+what it accepts: the on-disk result cache treats the version as part of
+every cell key, so results produced under a weaker ruleset cannot mask a
+behaviour change that a newer rule would have caught.
+"""
+
+#: Version of the repro.lint ruleset (part of every cache key).
+LINT_VERSION = "1.0.0"

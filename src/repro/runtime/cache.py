@@ -25,6 +25,8 @@ import tempfile
 from pathlib import Path
 from typing import Any, Mapping, Optional, Tuple, Union
 
+from repro.lint.version import LINT_VERSION
+
 #: Bump to invalidate all previously cached cell results (e.g. after a
 #: change to the simulation kernel or sampling layout).
 CACHE_VERSION = 1
@@ -41,9 +43,16 @@ def default_cache_dir() -> Path:
 
 
 def canonical_key(experiment: str, key: Mapping[str, Any]) -> str:
-    """Stable serialisation of a cell key (sorted-key JSON + version)."""
+    """Stable serialisation of a cell key (sorted-key JSON + versions).
+
+    The repro.lint ruleset version is part of every key: results cached
+    under a weaker ruleset predate whatever violations the newer rules
+    would have caught, so they must not mask a behaviour change — a
+    lint upgrade invalidates the cache wholesale, like a kernel change.
+    """
     payload = {
         "version": CACHE_VERSION,
+        "lint": LINT_VERSION,
         "experiment": experiment,
         "key": {name: key[name] for name in sorted(key)},
     }

@@ -64,7 +64,7 @@ def _execute_cell(spec: CellSpec) -> Any:
     return spec.fn(**spec.kwargs)
 
 
-def _pool_context():
+def _pool_context() -> multiprocessing.context.BaseContext:
     # fork shares the already-imported interpreter with workers — much
     # cheaper than spawn and safe here (workers only compute pure cells).
     methods = multiprocessing.get_all_start_methods()

@@ -24,7 +24,7 @@ Streams are derived per leg from the cell's
 """
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -121,7 +121,7 @@ class ScriptedOutcomeSource:
             raise ValidationError("scripted outcome source has no base model")
         return self._base.probability(outcome)
 
-    def __getattr__(self, name):
+    def __getattr__(self, name: str) -> Any:
         # Delegate the read-only OutcomeDistribution surface (p_correct,
         # as_vector, ...) to the base marginal when one was supplied.
         # Underscored names never delegate (guards against recursion

@@ -11,6 +11,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.common.seeding import DEFAULT_COMPONENT_SEED, spawn_generator
 from repro.common.validation import check_probability
 from repro.simulation.distributions import Deterministic, Distribution
 from repro.simulation.engine import Simulator
@@ -37,7 +38,13 @@ class SimulatedTransport:
         self.loss_probability = check_probability(
             loss_probability, "loss_probability"
         )
-        self._rng = rng if rng is not None else np.random.default_rng()
+        # No generator supplied: fall back to a *fixed* seed so a bare
+        # SimulatedTransport() is still reproducible (REPRO101).
+        self._rng = (
+            rng
+            if rng is not None
+            else spawn_generator(DEFAULT_COMPONENT_SEED)
+        )
         self.sent = 0
         self.lost = 0
 

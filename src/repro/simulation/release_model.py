@@ -11,9 +11,11 @@ release) and the latency process.  It is consumed in two ways:
 """
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
+from repro.simulation.correlation import OutcomeDistribution
 from repro.simulation.distributions import Distribution
 from repro.simulation.outcomes import Outcome
 
@@ -55,7 +57,7 @@ class ReleaseBehaviour:
     def __init__(
         self,
         name: str,
-        outcome_distribution,
+        outcome_distribution: OutcomeDistribution,
         latency: Distribution,
     ):
         self.name = name
@@ -66,7 +68,7 @@ class ReleaseBehaviour:
         self,
         rng: np.random.Generator,
         reference_answer: object = None,
-        forced_outcome: Outcome = None,
+        forced_outcome: Optional[Outcome] = None,
     ) -> SimulatedResponse:
         """Sample one response.
 

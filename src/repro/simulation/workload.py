@@ -15,11 +15,13 @@ operational environment (profile)".  Two workload shapes cover both:
 
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Iterator, Optional
+from typing import Callable, Iterator, Optional, Tuple
 
 import numpy as np
 
+from repro.common.seeding import DEFAULT_COMPONENT_SEED, spawn_generator
 from repro.common.validation import check_positive
+from repro.simulation.engine import Simulator
 
 
 @dataclass(frozen=True)
@@ -44,7 +46,7 @@ class Request:
 
     request_id: int
     operation: str = "operation1"
-    arguments: tuple = ()
+    arguments: Tuple[object, ...] = ()
     reference_answer: object = None
     issue_time: Optional[float] = None
 
@@ -109,7 +111,7 @@ class StreamingArrivalSource:
 
     def __init__(
         self,
-        simulator,
+        simulator: Simulator,
         count: int,
         spacing: float,
         submit: Callable[[int], None],
@@ -161,7 +163,13 @@ class PoissonWorkload:
             raise ValueError(f"total_requests must be > 0: {total_requests!r}")
         self.total_requests = int(total_requests)
         self.operation = operation
-        self._rng = rng if rng is not None else np.random.default_rng()
+        # Arrival times shape every downstream measurement, so the
+        # no-generator fallback must be deterministic too (REPRO101).
+        self._rng = (
+            rng
+            if rng is not None
+            else spawn_generator(DEFAULT_COMPONENT_SEED)
+        )
 
     def arrival_times(self) -> np.ndarray:
         """Sample the absolute arrival times of the whole stream."""

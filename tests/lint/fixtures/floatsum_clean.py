@@ -1,0 +1,21 @@
+"""Fixture: clean twin of floatsum_violations — stable accumulation."""
+# repro-lint: module=repro.analysis.fake_stats
+
+from repro.common.numerics import stable_dot_sum, stable_sum
+
+
+def total_over_set(values):
+    return stable_sum(set(values))
+
+
+def total_over_view(weights):
+    return stable_dot_sum(weights)
+
+
+def total_comprehension(weights):
+    return stable_sum(w * 2 for w in weights.values())
+
+
+def total_ordered(rows):
+    # sum() over an explicitly ordered iterable is fine.
+    return sum(sorted(rows))

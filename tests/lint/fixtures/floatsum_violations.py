@@ -1,0 +1,18 @@
+"""Fixture: REPRO105 order-sensitive sums in a stats module."""
+# repro-lint: module=repro.analysis.fake_stats
+
+
+def total_over_set(values):
+    return sum(set(values))              # line 6: sum over set
+
+
+def total_over_view(weights):
+    return sum(weights.values())         # line 10: sum over dict view
+
+
+def total_comprehension(weights):
+    return sum(w * 2 for w in weights.values())   # line 14: gen over view
+
+
+def total_set_literal():
+    return sum({0.1, 0.2, 0.3})          # line 18: sum over set literal

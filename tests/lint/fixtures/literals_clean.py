@@ -1,0 +1,20 @@
+"""Fixture: clean twin of literals_violations — imports the constants."""
+# repro-lint: module=repro.experiments.fake_experiment
+
+from repro.experiments.paper_params import (
+    CONFIDENCE_LEVEL,
+    REQUESTS_PER_RUN,
+    SCENARIO_DEMANDS,
+)
+
+
+def run_cells(seed: int):
+    requests = REQUESTS_PER_RUN
+    demands = SCENARIO_DEMANDS
+    # Values outside the distinctive set stay allowed inline.
+    checkpoint = 2_500
+    return requests, demands, checkpoint, seed
+
+
+def stop_when(confidence: float = CONFIDENCE_LEVEL) -> bool:
+    return confidence >= CONFIDENCE_LEVEL

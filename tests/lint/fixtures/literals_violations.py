@@ -1,0 +1,12 @@
+"""Fixture: REPRO106 inline duplicates of paper parameters."""
+# repro-lint: module=repro.experiments.fake_experiment
+
+
+def run_cells(seed: int):
+    requests = 10_000                    # line 6: REQUESTS_PER_RUN
+    demands = 50_000                     # line 7: SCENARIO_DEMANDS
+    return requests, demands, seed
+
+
+def stop_when(confidence: float = 0.99) -> bool:   # line 11: CONFIDENCE_LEVEL
+    return confidence >= 0.99            # line 12: CONFIDENCE_LEVEL

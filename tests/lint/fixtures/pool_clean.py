@@ -1,0 +1,22 @@
+"""Fixture: clean twin of pool_violations — picklable, stateless cells."""
+
+from typing import Dict, List
+
+from repro.runtime.parallel import CellSpec, run_cells
+
+#: Immutable module state is safe to share with forked workers.
+GRID_RUNS = (1, 2, 3, 4)
+
+
+def pure_cell(run: int, offset: int) -> int:
+    partial: Dict[int, int] = {}
+    partial[run] = run + offset
+    return partial[run]
+
+
+def build_cells() -> List[int]:
+    cells = [
+        CellSpec("grid", fn=pure_cell, kwargs={"run": run, "offset": 10})
+        for run in GRID_RUNS
+    ]
+    return run_cells(cells)

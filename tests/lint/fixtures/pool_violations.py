@@ -1,0 +1,28 @@
+"""Fixture: REPRO103 process-pool hygiene violations."""
+
+from repro.runtime.parallel import CellSpec, run_cells
+
+ACCUMULATOR = {}                         # module-level mutable state
+RESULTS = []                             # module-level mutable state
+
+
+def leaky_cell(run: int) -> int:
+    ACCUMULATOR[run] = run               # line 10: reads mutable global
+    return run
+
+
+def generator_cell(run: int):
+    yield run                            # line 15: generator cell
+
+
+def build_cells():
+    def nested_cell(run: int) -> int:
+        return run
+
+    cells = [
+        CellSpec("grid", fn=lambda: 0),              # line 23: lambda
+        CellSpec("grid", fn=nested_cell, kwargs={"run": 1}),  # line 24
+        CellSpec("grid", fn=leaky_cell, kwargs={"run": 2}),
+        CellSpec("grid", fn=generator_cell, kwargs={"run": 3}),
+    ]
+    return run_cells(cells)

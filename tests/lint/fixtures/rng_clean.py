@@ -1,0 +1,20 @@
+"""Fixture: the clean twin of rng_violations (no REPRO101 findings)."""
+
+from typing import Optional
+
+import numpy as np
+
+from repro.common.seeding import SeedSequenceFactory, spawn_generator
+
+rng_a = spawn_generator(42)
+factory = SeedSequenceFactory(7)
+rng_b = factory.generator("workload")
+
+
+def draw(rng: np.random.Generator) -> float:
+    return float(rng.random())
+
+
+def pick(items, rng: Optional[np.random.Generator] = None):
+    rng = rng if rng is not None else spawn_generator(0)
+    return items[int(rng.integers(len(items)))]

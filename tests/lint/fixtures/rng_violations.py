@@ -1,0 +1,20 @@
+"""Fixture: every REPRO101 violation class (violating twin)."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+rng_a = np.random.default_rng()          # line 8: unseeded factory
+rng_b = np.random.default_rng(42)        # line 9: seeded, still banned
+rng_c = default_rng(7)                   # line 10: via from-import
+legacy = np.random.RandomState(3)        # line 11: legacy state object
+stdlib = random.Random(5)                # line 12: stdlib generator
+
+
+def draw() -> float:
+    return random.random()               # line 16: hidden global stream
+
+
+def pick(items):
+    return random.choice(items)          # line 20: hidden global stream

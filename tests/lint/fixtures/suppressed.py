@@ -1,0 +1,22 @@
+"""Fixture: line suppressions silence exactly the named rule."""
+# repro-lint: module=repro.simulation.fake_suppressed
+
+import time
+
+import numpy as np
+
+rng = np.random.default_rng()  # repro-lint: disable=REPRO101
+
+
+def stamp() -> float:
+    return time.time()  # repro-lint: disable=REPRO102
+
+
+def both() -> float:
+    rng2 = np.random.default_rng()  # repro-lint: disable=REPRO101,REPRO102
+    return float(rng2.random()) + time.time()  # repro-lint: disable=all
+
+
+def still_flagged() -> float:
+    # disable=REPRO102 does NOT cover an RNG violation on the same line:
+    return float(np.random.default_rng().random())  # repro-lint: disable=REPRO102

@@ -1,0 +1,28 @@
+"""Fixture: clean twin of unordered_violations — sorted before use."""
+# repro-lint: module=repro.experiments.fake_report
+
+releases = {"1.0", "1.1", "1.2"}
+
+
+def aggregate():
+    rows = []
+    for name in sorted(releases | {"2.0"}):
+        rows.append(name)
+    return rows
+
+
+def tabulate():
+    return sorted({"a", "b"})
+
+
+def serialise():
+    return ",".join(sorted({"x", "y"}))
+
+
+def collect(counts):
+    return [c for c in sorted(set(counts))]
+
+
+def cardinality(counts):
+    # Order-insensitive consumers are fine unsorted.
+    return len(set(counts)), max({1, 2, 3})

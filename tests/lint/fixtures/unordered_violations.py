@@ -1,0 +1,23 @@
+"""Fixture: REPRO104 set-iteration hazards in an aggregation module."""
+# repro-lint: module=repro.experiments.fake_report
+
+releases = {"1.0", "1.1", "1.2"}
+
+
+def aggregate():
+    rows = []
+    for name in releases | {"2.0"}:      # line 9: for over set expr
+        rows.append(name)
+    return rows
+
+
+def tabulate():
+    return list({"a", "b"})              # line 15: list() over set
+
+
+def serialise():
+    return ",".join({"x", "y"})          # line 19: join over set
+
+
+def collect(counts):
+    return [c for c in set(counts)]      # line 23: comprehension over set

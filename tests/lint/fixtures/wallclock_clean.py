@@ -1,0 +1,17 @@
+"""Fixture: clean twin of wallclock_violations — sim-clock time only.
+
+Also proves the scope rule: the same calls in a module *outside*
+``repro.simulation``/``repro.bayes``/``repro.core`` (this file carries
+no module override) produce no findings.
+"""
+
+import time
+
+
+def sim_stamp(simulator) -> float:
+    return float(simulator.now)
+
+
+def cli_elapsed(started: float) -> float:
+    # Outside the simulated-time packages the host clock is fine.
+    return time.time() - started

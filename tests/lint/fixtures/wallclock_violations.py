@@ -1,0 +1,22 @@
+"""Fixture: REPRO102 wall-clock reads inside a simulated-time module."""
+# repro-lint: module=repro.simulation.fake_component
+
+import time
+from datetime import datetime
+from time import monotonic
+
+
+def stamp() -> float:
+    return time.time()                   # line 10: wall clock
+
+
+def elapsed() -> float:
+    return monotonic()                   # line 14: via from-import
+
+
+def label() -> str:
+    return datetime.now().isoformat()    # line 18: datetime.now
+
+
+def precise() -> float:
+    return time.perf_counter()           # line 22: perf counter

@@ -1,0 +1,80 @@
+"""CLI behaviour + the repo-wide self-check (`python -m repro.lint src/`)."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.lint.cli import main
+from repro.lint.version import LINT_VERSION
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestSelfCheck:
+    def test_src_tree_is_clean(self, capsys):
+        # The repository's own source must satisfy its own linter.
+        exit_code = main([str(REPO_ROOT / "src")])
+        out = capsys.readouterr().out
+        assert exit_code == 0, out
+        assert "0 findings" in out
+
+    def test_module_invocation_matches_api(self):
+        # `python -m repro.lint src/` is the documented CI entry point.
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(REPO_ROOT / "src")],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+
+
+class TestCliBehaviour:
+    def test_nonzero_exit_and_rule_ids_on_fixtures(self, capsys):
+        exit_code = main([str(FIXTURES / "rng_violations.py")])
+        out = capsys.readouterr().out
+        assert exit_code == 1
+        assert "REPRO101" in out
+        assert "rng_violations.py:8" in out
+
+    def test_json_format(self, capsys):
+        exit_code = main(
+            ["--format", "json", str(FIXTURES / "wallclock_violations.py")]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 1
+        assert payload["version"] == LINT_VERSION
+        assert payload["files_checked"] == 1
+        assert [f["rule"] for f in payload["findings"]] == ["REPRO102"] * 4
+        assert [f["line"] for f in payload["findings"]] == [10, 14, 18, 22]
+
+    def test_select_limits_rules(self, capsys):
+        exit_code = main(
+            ["--select", "REPRO102", str(FIXTURES / "rng_violations.py")]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "0 findings" in out
+
+    def test_ignore_drops_rules(self, capsys):
+        exit_code = main(
+            ["--ignore", "REPRO101", str(FIXTURES / "rng_violations.py")]
+        )
+        assert exit_code == 0
+        capsys.readouterr()
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in (
+            "REPRO101",
+            "REPRO102",
+            "REPRO103",
+            "REPRO104",
+            "REPRO105",
+            "REPRO106",
+        ):
+            assert rule_id in out

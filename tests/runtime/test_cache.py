@@ -1,9 +1,11 @@
 """Tests for the on-disk result cache."""
 
 import os
+from unittest import mock
 
 import pytest
 
+from repro.lint.version import LINT_VERSION
 from repro.runtime.cache import (
     CACHE_VERSION,
     ResultCache,
@@ -30,6 +32,14 @@ class TestCanonicalKey:
         # Profile objects etc. fall back to repr() rather than failing.
         assert "float" in canonical_key("t5", {"x": float})
 
+    def test_lint_version_is_part_of_key(self):
+        # A ruleset upgrade must invalidate the whole cache: results
+        # produced under a weaker ruleset can't mask behaviour changes.
+        assert LINT_VERSION in canonical_key("t5", {})
+        with mock.patch("repro.runtime.cache.LINT_VERSION", "0.0.0-test"):
+            changed = canonical_key("t5", {})
+        assert changed != canonical_key("t5", {})
+
 
 class TestResultCache:
     def test_miss_then_roundtrip(self, cache):
@@ -55,6 +65,31 @@ class TestResultCache:
         path.write_bytes(b"not a pickle")
         assert cache.get("table5", {"run": 1}) == (False, None)
         assert not path.exists()
+
+    def test_truncated_entry_is_a_miss_not_a_crash(self, cache):
+        # A torn write (process killed mid-put without the atomic
+        # rename, disk full, ...) leaves a prefix of a valid pickle.
+        cache.put("table5", {"run": 1}, {"met": 1.25, "rows": list(range(50))})
+        (path,) = list(cache.root.rglob("*.pkl"))
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        assert cache.get("table5", {"run": 1}) == (False, None)
+        assert not path.exists()
+        # The slot is usable again after the corrupt entry is evicted.
+        cache.put("table5", {"run": 1}, "fresh")
+        assert cache.get("table5", {"run": 1}) == (True, "fresh")
+
+    def test_garbage_json_entry_is_a_miss(self, cache):
+        cache.put("table5", {"run": 1}, "value")
+        (path,) = list(cache.root.rglob("*.pkl"))
+        path.write_text('{"truncated": [1, 2,')
+        assert cache.get("table5", {"run": 1}) == (False, None)
+
+    def test_empty_entry_is_a_miss(self, cache):
+        cache.put("table5", {"run": 1}, "value")
+        (path,) = list(cache.root.rglob("*.pkl"))
+        path.write_bytes(b"")
+        assert cache.get("table5", {"run": 1}) == (False, None)
 
     def test_clear(self, cache):
         for run in range(4):
