@@ -7,9 +7,12 @@ Measures the three numbers the runtime work is accountable for —
 * Table-5 cell wall-time on the vectorised fast path, with the legacy
   per-request (``live``) sampling time and the resulting speedup,
 
-plus the ``--jobs`` scaling of a small Table-5 grid and the wall-time of
+plus the ``--jobs`` scaling of a small Table-5 grid, the wall-time of
 the ``repro.lint`` determinism linter over ``src/`` (it gates every CI
-run, so its cost is tracked like any other hot path).  CI runs
+run, so its cost is tracked like any other hot path), the overhead of
+``repro.obs`` tracing (enabled vs disabled cell wall-time — the
+disabled path must stay within noise of the pre-obs kernel) and the
+operational metrics snapshot of the grid run.  CI runs
 ``python benchmarks/bench_json.py --quick`` and archives the JSON;
 committed numbers come from a full run (``--requests 5000``).
 
@@ -23,6 +26,7 @@ import argparse
 import json
 import platform
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -33,6 +37,7 @@ from repro.experiments.event_sim import run_release_pair_simulation
 from repro.experiments.table5 import run_table5
 from repro.lint import run_lint
 from repro.lint.version import LINT_VERSION
+from repro.obs.metrics import MetricsRegistry
 from repro.simulation.engine import Simulator
 
 
@@ -77,6 +82,40 @@ def bench_grid(requests: int, jobs: int) -> float:
     return time.perf_counter() - started
 
 
+def bench_tracing_overhead(requests: int) -> dict:
+    """Traced vs untraced cell wall-time (run 1, TimeOut 1.5 s).
+
+    The untraced number here is the honest baseline for the
+    zero-overhead-when-disabled claim: both cells run the instrumented
+    kernel, one with a JSONL tracer attached and one with none.
+    """
+    untraced = bench_cell(requests, "vectorized")
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = str(Path(tmp) / "bench-cell.jsonl")
+        started = time.perf_counter()
+        run_release_pair_simulation(
+            P.correlated_model(1), timeout=1.5, requests=requests,
+            seed=3, sampling="vectorized", trace_path=trace_path,
+            trace_cell="bench",
+        )
+        traced = time.perf_counter() - started
+        events = sum(1 for _ in open(trace_path))
+    return {
+        "requests": requests,
+        "untraced_seconds": round(untraced, 4),
+        "traced_seconds": round(traced, 4),
+        "overhead_ratio": round(traced / untraced, 3),
+        "events": events,
+    }
+
+
+def grid_metrics_snapshot(requests: int) -> dict:
+    """Operational metrics of one sequential 12-cell grid run."""
+    registry = MetricsRegistry()
+    run_table5(seed=3, requests=requests, jobs=1, metrics=registry)
+    return registry.as_dict()
+
+
 def bench_lint(src_dir: Path) -> dict:
     """Wall-time and file count for one linter pass over ``src/``."""
     run_lint([str(src_dir)])  # warm: imports, rule construction
@@ -111,6 +150,8 @@ def main(argv=None) -> int:
     sequential = bench_grid(requests, jobs=1)
     parallel = bench_grid(requests, jobs=args.jobs)
     lint = bench_lint(Path(__file__).resolve().parents[1] / "src")
+    tracing = bench_tracing_overhead(requests)
+    grid_metrics = grid_metrics_snapshot(requests)
 
     # ~6 kernel events and exactly one adjudicated demand per request.
     payload = {
@@ -138,6 +179,10 @@ def main(argv=None) -> int:
             "scaling": round(sequential / parallel, 2),
         },
         "lint": lint,
+        "obs": {
+            "tracing": tracing,
+            "grid_metrics": grid_metrics,
+        },
     }
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
     print(json.dumps(payload, indent=2))

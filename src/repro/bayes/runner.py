@@ -20,6 +20,7 @@ from repro.bayes.demand_process import TwoReleaseGroundTruth
 from repro.bayes.detection import DetectionModel
 from repro.bayes.priors import GridSpec, WhiteBoxPrior
 from repro.bayes.whitebox import WhiteBoxAssessor
+from repro.obs.trace import Tracer
 
 
 @dataclass(frozen=True)
@@ -148,17 +149,23 @@ class SequentialAssessment:
         self,
         rng: np.random.Generator,
         assessor: Optional[WhiteBoxAssessor] = None,
+        tracer: Optional[Tracer] = None,
     ) -> AssessmentHistory:
         """Simulate the stream and assess at each checkpoint.
 
         An existing *assessor* can be supplied to reuse its (expensive)
         precomputed likelihood grid across runs with the same prior; its
-        observations are reset first.
+        observations are reset first.  A *tracer* (see
+        :mod:`repro.obs.trace`) receives one ``checkpoint`` event per
+        posterior evaluation — the demand count, the cumulative Table-1
+        counts and the recorded percentiles; fields are functions of the
+        seeded stream only, so the trace is reproducible.
         """
         if assessor is None:
             assessor = WhiteBoxAssessor(self.prior, self.grid)
         else:
             assessor.reset()
+        trace = tracer if tracer is not None and tracer.enabled else None
 
         a_true, b_true = self.ground_truth.sample(rng, self.total_demands)
         a_obs, b_obs = self.detection.observe(a_true, b_true, rng)
@@ -196,6 +203,18 @@ class SequentialAssessment:
                 },
             )
             history.records.append(record)
+            if trace is not None:
+                trace.emit(
+                    "checkpoint",
+                    demands=n,
+                    both_fail=counts.both_fail,
+                    only_first_fails=counts.only_first_fails,
+                    only_second_fails=counts.only_second_fails,
+                    both_succeed=counts.both_succeed,
+                    percentile_a_99=record.percentile_a_99,
+                    percentile_b_99=record.percentile_b_99,
+                    percentile_b_90=record.percentile_b_90,
+                )
         return history
 
 

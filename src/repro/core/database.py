@@ -34,12 +34,27 @@ class ReleaseObservation:
         The oracle's verdict after any detection imperfection; None when
         no response was collected (nothing to judge — the availability
         accounting covers it).
+    invoked:
+        Whether the middleware actually sent this release the request.
+        In sequential mode an earlier release's valid response ends the
+        demand without invoking the rest; those releases are *not
+        invoked* rather than unavailable, and carry no availability
+        evidence.  ``invoked-but-silent`` (``invoked and not
+        collected``) is the only state that counts against availability.
     """
 
     collected: bool
     execution_time: Optional[float] = None
     true_outcome: Optional[Outcome] = None
     observed_failure: Optional[bool] = None
+    invoked: bool = True
+
+    def __post_init__(self) -> None:
+        if self.collected and not self.invoked:
+            raise ValueError(
+                "a response cannot be collected from a release that "
+                "was never invoked"
+            )
 
 
 @dataclass(frozen=True)
@@ -59,16 +74,25 @@ class DemandRecord:
 
 @dataclass
 class ReleaseTally:
-    """Aggregated per-release statistics over a log (or a window of it)."""
+    """Aggregated per-release statistics over a log (or a window of it).
+
+    ``demands`` counts every demand the release was deployed for;
+    ``invoked`` counts the demands on which the middleware actually sent
+    it the request (in the parallel modes the two are equal; in
+    sequential mode ``invoked <= demands``).  Availability is
+    responses-per-*invocation*: a release that was simply never asked is
+    not thereby unavailable.
+    """
 
     demands: int = 0
+    invoked: int = 0
     collected: int = 0
     observed_failures: int = 0
     total_execution_time: float = 0.0
 
     @property
     def availability(self) -> float:
-        return self.collected / self.demands if self.demands else float("nan")
+        return self.collected / self.invoked if self.invoked else float("nan")
 
     @property
     def mean_execution_time(self) -> float:
@@ -123,6 +147,8 @@ class ObservationLog:
             if observation is None:
                 continue
             out.demands += 1
+            if observation.invoked:
+                out.invoked += 1
             if observation.collected:
                 out.collected += 1
                 if observation.execution_time is not None:

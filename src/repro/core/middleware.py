@@ -157,7 +157,13 @@ class UpgradeMiddleware:
         deliver: Callable[[ResponseMessage], None],
         reference_answer: object = None,
     ) -> None:
-        """Serve one consumer demand under the current configuration."""
+        """Serve one consumer demand under the current configuration.
+
+        Delivery guarantee: *deliver* is called exactly once per demand,
+        always with a non-None :class:`ResponseMessage` — an adjudicated
+        result when one exists, a middleware fault (timeout /
+        unavailable) otherwise.
+        """
         self.demands += 1
         if self.mode.mode is OperatingMode.SEQUENTIAL:
             _SequentialDemand(self, simulator, request, deliver,
@@ -187,6 +193,26 @@ class UpgradeMiddleware:
             for endpoint, outcome in zip(active, outcomes)
         }
 
+    @staticmethod
+    def _guaranteed_response(
+        request: RequestMessage, adjudication: Adjudication
+    ) -> ResponseMessage:
+        """The response owed to the consumer for *adjudication*.
+
+        Part of the delivery-guarantee contract: when an adjudicator
+        produces no response object (e.g. a custom adjudicator declaring
+        the demand undecidable), the consumer still receives an evident
+        middleware fault rather than ``None`` — or, worse, nothing.
+        """
+        if adjudication.response is not None:
+            return adjudication.response
+        return fault_response(
+            request,
+            f"no adjudicated response within TimeOut "
+            f"({adjudication.verdict})",
+            "middleware",
+        )
+
     def _close_demand(
         self,
         request: RequestMessage,
@@ -197,6 +223,7 @@ class UpgradeMiddleware:
         system_time: Optional[float],
         timestamp: float,
         reference_answer: object,
+        invoked_names: Optional[List[str]] = None,
     ) -> None:
         record = None
         if self.monitor is not None:
@@ -208,6 +235,7 @@ class UpgradeMiddleware:
                 adjudication=adjudication,
                 system_time=system_time,
                 reference_answer=reference_answer,
+                invoked_releases=invoked_names,
             )
         for hook in list(self._after_demand):
             hook(record)
@@ -238,9 +266,19 @@ class _ParallelDemand:
         self.delivered = False
         self.closed = False
         self.timeout_event = None
+        # The demand id is per-middleware, so traces of one cell are
+        # reproducible regardless of process-global message counters.
+        self.demand_id = mw.demands
+        self._trace = simulator.tracer
 
     def start(self) -> None:
         mw = self.mw
+        if self._trace is not None:
+            self._trace.emit(
+                "demand", t=self.start_time, demand=self.demand_id,
+                mode=self.mode.mode.value,
+                releases=[endpoint.name for endpoint in self.active],
+            )
         if not self.active:
             self._finalize_and_close()
             return
@@ -249,9 +287,14 @@ class _ParallelDemand:
         self.timeout_event = self.simulator.schedule(
             self.timing.timeout,
             self._on_timeout,
-            label=f"timeout:{self.request.message_id}",
+            label=f"timeout:d{self.demand_id}",
         )
         for endpoint in self.active:
+            if self._trace is not None:
+                self._trace.emit(
+                    "invoke", t=self.simulator.now, demand=self.demand_id,
+                    release=endpoint.name,
+                )
             endpoint.invoke(
                 self.simulator,
                 self.request,
@@ -265,13 +308,18 @@ class _ParallelDemand:
         def on_arrival(response: ResponseMessage) -> None:
             if self.closed:
                 return
-            self.collected.append(
-                CollectedResponse(
-                    release=endpoint.name,
-                    response=response,
-                    execution_time=self.simulator.now - self.start_time,
-                )
+            item = CollectedResponse(
+                release=endpoint.name,
+                response=response,
+                execution_time=self.simulator.now - self.start_time,
             )
+            self.collected.append(item)
+            if self._trace is not None:
+                self._trace.emit(
+                    "collect", t=self.simulator.now, demand=self.demand_id,
+                    release=endpoint.name, valid=item.is_valid,
+                    execution_time=item.execution_time,
+                )
             self._maybe_decide()
 
         return on_arrival
@@ -299,7 +347,21 @@ class _ParallelDemand:
 
     def _on_timeout(self) -> None:
         if not self.closed:
+            if self._trace is not None:
+                self._trace.emit(
+                    "timeout", t=self.simulator.now, demand=self.demand_id,
+                    collected=len(self.collected),
+                )
             self._finalize_and_close()
+
+    def _send(self, response: ResponseMessage) -> None:
+        """Hand *response* to the consumer (the one deliver per demand)."""
+        self.deliver(response)
+        if self._trace is not None:
+            self._trace.emit(
+                "deliver", t=self.simulator.now, demand=self.demand_id,
+                fault=response.is_fault,
+            )
 
     def _deliver_now(self, response: ResponseMessage, release: str) -> None:
         self.delivered = True
@@ -309,7 +371,7 @@ class _ParallelDemand:
         )
         delay = self.timing.adjudication_delay
         self.simulator.schedule(
-            delay, lambda: self.deliver(response), label="adjudicated"
+            delay, lambda: self._send(response), label="adjudicated"
         )
 
     def _finalize_and_close(self) -> None:
@@ -325,30 +387,39 @@ class _ParallelDemand:
             adjudication = self.mw.adjudicator.adjudicate(
                 self.request, self.collected, self.mw._adjudication_rng
             )
+        if self._trace is not None:
+            self._trace.emit(
+                "adjudicate", t=self.simulator.now, demand=self.demand_id,
+                verdict=adjudication.verdict,
+                release=adjudication.chosen_release,
+                collected=len(self.collected),
+            )
         decision_time = self.simulator.now
         system_time = decision_time - self.start_time
         system_time = (
             min(system_time, self.timing.timeout)
             + self.timing.adjudication_delay
         )
-        if self.mode.mode is OperatingMode.PARALLEL_RESPONSIVENESS:
-            if self.delivered:
-                # Consumer-visible time was set at first-valid delivery.
-                system_time = (
-                    getattr(self, "decision_time", decision_time)
-                    - self.start_time
-                    + self.timing.adjudication_delay
-                )
-            elif adjudication.response is not None:
-                self.simulator.schedule(
-                    self.timing.adjudication_delay,
-                    lambda: self.deliver(adjudication.response),
-                    label="adjudicated",
-                )
+        if self.delivered:
+            # Consumer-visible time was set at first-valid delivery.
+            system_time = (
+                getattr(self, "decision_time", decision_time)
+                - self.start_time
+                + self.timing.adjudication_delay
+            )
         else:
+            # Delivery guarantee: every demand not already answered by
+            # the responsiveness fast path delivers exactly once here,
+            # substituting an evident middleware fault when adjudication
+            # produced no response (previously a responsiveness demand
+            # timing out with no valid response never delivered at all,
+            # and the other modes could deliver a bare None).
+            response = self.mw._guaranteed_response(
+                self.request, adjudication
+            )
             self.simulator.schedule(
                 self.timing.adjudication_delay,
-                lambda: self.deliver(adjudication.response),
+                lambda: self._send(response),
                 label="adjudicated",
             )
         self.mw._close_demand(
@@ -382,9 +453,18 @@ class _SequentialDemand:
         self.closed = False
         self.timeout_event = None
         self._order: List[ServiceEndpoint] = []
+        self._next_index = 0
+        self.demand_id = mw.demands
+        self._trace = simulator.tracer
 
     def start(self) -> None:
         mw = self.mw
+        if self._trace is not None:
+            self._trace.emit(
+                "demand", t=self.start_time, demand=self.demand_id,
+                mode=self.mode.mode.value,
+                releases=[endpoint.name for endpoint in self.active],
+            )
         if not self.active:
             self._finish()
             return
@@ -393,11 +473,10 @@ class _SequentialDemand:
             mw._rng.shuffle(self._order)
         self._forced = mw._sample_forced_outcomes(self.active)
         self._difficulty = mw.demand_difficulty.sample(mw._rng)
-        self._next_index = 0
         self.timeout_event = self.simulator.schedule(
             self.timing.timeout,
             self._on_timeout,
-            label=f"timeout:{self.request.message_id}",
+            label=f"timeout:d{self.demand_id}",
         )
         self._invoke_next()
 
@@ -409,7 +488,11 @@ class _SequentialDemand:
             return
         endpoint = self._order[self._next_index]
         self._next_index += 1
-        invoked_at = self.simulator.now
+        if self._trace is not None:
+            self._trace.emit(
+                "invoke", t=self.simulator.now, demand=self.demand_id,
+                release=endpoint.name,
+            )
 
         def on_arrival(response: ResponseMessage) -> None:
             if self.closed:
@@ -420,6 +503,12 @@ class _SequentialDemand:
                 execution_time=self.simulator.now - self.start_time,
             )
             self.collected.append(item)
+            if self._trace is not None:
+                self._trace.emit(
+                    "collect", t=self.simulator.now, demand=self.demand_id,
+                    release=endpoint.name, valid=item.is_valid,
+                    execution_time=item.execution_time,
+                )
             if item.is_valid:
                 self._finish()
             else:
@@ -437,6 +526,11 @@ class _SequentialDemand:
 
     def _on_timeout(self) -> None:
         if not self.closed:
+            if self._trace is not None:
+                self._trace.emit(
+                    "timeout", t=self.simulator.now, demand=self.demand_id,
+                    collected=len(self.collected),
+                )
             self._finish()
 
     def _finish(self) -> None:
@@ -446,14 +540,24 @@ class _SequentialDemand:
         adjudication = self.mw.adjudicator.adjudicate(
             self.request, self.collected, self.mw._adjudication_rng
         )
+        if self._trace is not None:
+            self._trace.emit(
+                "adjudicate", t=self.simulator.now, demand=self.demand_id,
+                verdict=adjudication.verdict,
+                release=adjudication.chosen_release,
+                collected=len(self.collected),
+            )
         decision_time = self.simulator.now
         system_time = (
             min(decision_time - self.start_time, self.timing.timeout)
             + self.timing.adjudication_delay
         )
+        # Delivery guarantee: the consumer always receives a response
+        # object, even when the adjudicator returned none.
+        response = self.mw._guaranteed_response(self.request, adjudication)
         self.simulator.schedule(
             self.timing.adjudication_delay,
-            lambda: self.deliver(adjudication.response),
+            lambda: self._send(response),
             label="adjudicated",
         )
         self.mw._close_demand(
@@ -465,4 +569,19 @@ class _SequentialDemand:
             system_time,
             decision_time,
             self.reference_answer,
+            # Releases after the escalation point were never invoked on
+            # this demand; the monitor must not score them unavailable.
+            invoked_names=[
+                endpoint.name
+                for endpoint in self._order[:self._next_index]
+            ],
         )
+
+    def _send(self, response: ResponseMessage) -> None:
+        """Hand *response* to the consumer (the one deliver per demand)."""
+        self.deliver(response)
+        if self._trace is not None:
+            self._trace.emit(
+                "deliver", t=self.simulator.now, demand=self.demand_id,
+                fault=response.is_fault,
+            )

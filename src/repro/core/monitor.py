@@ -203,8 +203,18 @@ class MonitoringSubsystem:
         adjudication: Adjudication,
         system_time: Optional[float],
         reference_answer: object = None,
+        invoked_releases: Optional[Sequence[str]] = None,
     ) -> DemandRecord:
-        """Store one demand's observations and update the assessors."""
+        """Store one demand's observations and update the assessors.
+
+        *invoked_releases* names the active releases the middleware
+        actually sent the request to; ``None`` means all of them (the
+        parallel modes).  A release that is active but was never invoked
+        (sequential mode after an earlier valid response) is recorded
+        with ``invoked=False`` and contributes **no** availability
+        evidence — only invoked-but-silent releases count as
+        unavailable.
+        """
         self.demands_seen += 1
         outcomes: Dict[str, Outcome] = {}
         payloads: Dict[str, object] = {}
@@ -218,6 +228,11 @@ class MonitoringSubsystem:
 
         verdicts = self.detection.judge(outcomes, payloads, self._rng)
 
+        invoked = (
+            set(invoked_releases)
+            if invoked_releases is not None
+            else set(active_releases)
+        )
         releases: Dict[str, ReleaseObservation] = {}
         for name in active_releases:
             if name in outcomes:
@@ -228,7 +243,9 @@ class MonitoringSubsystem:
                     observed_failure=verdicts[name],
                 )
             else:
-                releases[name] = ReleaseObservation(collected=False)
+                releases[name] = ReleaseObservation(
+                    collected=False, invoked=name in invoked
+                )
 
         system_outcome = (
             self.classify(adjudication.response, reference_answer)
@@ -250,7 +267,11 @@ class MonitoringSubsystem:
 
     def _update_assessors(self, record: DemandRecord) -> None:
         for name, observation in record.releases.items():
-            self.availability_for(name).observe(observation.collected)
+            if observation.invoked:
+                # Not-invoked releases carry no availability evidence;
+                # feeding them as failures would corrupt the assessor
+                # (sequential mode would score an idle release as down).
+                self.availability_for(name).observe(observation.collected)
             if (
                 self.responsiveness_deadline is not None
                 and observation.collected

@@ -16,12 +16,25 @@ Options: ``--seed``, ``--fast`` (reduced sizes for smoke runs),
 processes (results are bit-identical to a sequential run), and
 ``--no-cache`` / ``--cache-dir`` / ``--clear-cache`` to control the
 on-disk result cache.
+
+Observability (see :mod:`repro.obs`): ``--trace PATH`` writes the
+event-driven tables' kernel + demand-span event stream as one merged
+JSONL trace (per-cell parts merged in deterministic order, so the file
+is bit-identical for any ``--jobs`` value — compare runs with
+``python -m repro.obs.diff``); ``--metrics-json PATH`` snapshots the
+cache / pool / kernel metrics registry; ``--requests N`` overrides the
+per-run request count of the event-driven tables (CI uses small cells).
 """
 
 import argparse
+import os
 import sys
+import tempfile
 import time
 from typing import List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import merge_traces
 
 from repro.analysis.plots import plot_percentile_curves
 from repro.bayes.priors import GridSpec
@@ -51,7 +64,17 @@ def _cache(args) -> Optional[ResultCache]:
     """The result cache selected by the cache flags (None = disabled)."""
     if args.no_cache:
         return None
-    return ResultCache(args.cache_dir or default_cache_dir())
+    return ResultCache(
+        args.cache_dir or default_cache_dir(),
+        metrics=getattr(args, "metrics_registry", None),
+    )
+
+
+def _requests(args, fast_default: int) -> int:
+    """Per-run request count for the event-driven tables."""
+    if args.requests is not None:
+        return args.requests
+    return fast_default if args.fast else REQUESTS_PER_RUN
 
 
 def cmd_table2(args) -> str:
@@ -94,19 +117,23 @@ def cmd_fig8(args) -> str:
 
 
 def cmd_table5(args) -> str:
-    requests = 2_000 if args.fast else REQUESTS_PER_RUN
     table = run_table5(
-        seed=args.seed, requests=requests, profile=_profile(args.profile),
+        seed=args.seed, requests=_requests(args, 2_000),
+        profile=_profile(args.profile),
         jobs=args.jobs, cache=_cache(args),
+        trace_dir=getattr(args, "trace_dir_runtime", None),
+        metrics=getattr(args, "metrics_registry", None),
     )
     return table.render()
 
 
 def cmd_table6(args) -> str:
-    requests = 2_000 if args.fast else REQUESTS_PER_RUN
     table = run_table6(
-        seed=args.seed, requests=requests, profile=_profile(args.profile),
+        seed=args.seed, requests=_requests(args, 2_000),
+        profile=_profile(args.profile),
         jobs=args.jobs, cache=_cache(args),
+        trace_dir=getattr(args, "trace_dir_runtime", None),
+        metrics=getattr(args, "metrics_registry", None),
     )
     return table.render()
 
@@ -122,7 +149,7 @@ def cmd_fidelity(args) -> str:
     from repro.experiments.fidelity import compare_to_paper
     from repro.experiments.paper_reported import TABLE5, TABLE6
 
-    requests = 2_000 if args.fast else REQUESTS_PER_RUN
+    requests = _requests(args, 2_000)
     latency = calibrated_profile()
     diff5 = compare_to_paper(
         run_table5(seed=args.seed, requests=requests, profile=latency,
@@ -236,6 +263,28 @@ def build_parser() -> argparse.ArgumentParser:
             "without an experiment to just clear)"
         ),
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help=(
+            "write the event-driven tables' JSONL trace (kernel events "
+            "+ per-demand spans) to PATH; deterministic for any --jobs "
+            "value, diffable with 'python -m repro.obs.diff'"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-json", default=None, metavar="PATH",
+        help=(
+            "write the cache / pool / kernel metrics snapshot to PATH "
+            "as JSON"
+        ),
+    )
+    parser.add_argument(
+        "--requests", type=int, default=None, metavar="N",
+        help=(
+            "override the per-run request count of the event-driven "
+            "tables (default: paper size, or the --fast smoke size)"
+        ),
+    )
     return parser
 
 
@@ -256,6 +305,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         names = sorted(name for name in COMMANDS if name != "report")
     else:
         names = [args.experiment]
+
+    args.metrics_registry = (
+        MetricsRegistry() if args.metrics_json is not None else None
+    )
+    args.trace_dir_runtime = (
+        tempfile.mkdtemp(prefix="repro-trace-")
+        if args.trace is not None
+        else None
+    )
+
     for name in names:
         started = time.time()
         output = COMMANDS[name](args)
@@ -263,6 +322,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"=== {name} (seed={args.seed}, {elapsed:.1f}s) ===")
         print(output)
         print()
+
+    if args.trace_dir_runtime is not None:
+        # Per-cell trace parts merge in sorted-filename order — a pure
+        # function of the grid, never of worker scheduling — so the
+        # merged trace is bit-identical for any --jobs value.
+        parts = sorted(
+            os.path.join(args.trace_dir_runtime, entry)
+            for entry in os.listdir(args.trace_dir_runtime)
+            if entry.endswith(".jsonl")
+        )
+        count = merge_traces(parts, args.trace)
+        print(
+            f"trace: {count} events from {len(parts)} cell(s) "
+            f"-> {args.trace}"
+        )
+    if args.metrics_registry is not None:
+        args.metrics_registry.write_json(args.metrics_json)
+        print(f"metrics -> {args.metrics_json}")
     return 0
 
 

@@ -21,6 +21,8 @@ from repro.core.monitor import MonitoringSubsystem
 from repro.core.database import ObservationLog
 from repro.experiments import paper_params as P
 from repro.experiments.paper_params import DEFAULT_SEED
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import JsonlTracer, Tracer
 from repro.runtime.sampling import build_demand_script
 from repro.services.endpoint import ServiceEndpoint
 from repro.services.message import RequestMessage
@@ -107,12 +109,23 @@ def run_release_pair_simulation(
     mode: Optional[ModeConfig] = None,
     adjudicator=None,
     sampling: str = "vectorized",
+    trace_path: Optional[str] = None,
+    trace_cell: str = "",
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> SystemMetrics:
     """One Table-5/6 cell: a full event-driven run.
 
     *sampling* picks the randomness strategy (see :data:`SAMPLING_MODES`);
     ``vectorized`` and ``scalar`` are bit-identical by construction and
     differ only in how fast the demand script is drawn.
+
+    Observability (all opt-in, see :mod:`repro.obs`): *trace_path*
+    writes the cell's kernel + demand-span event stream as JSONL
+    (labelled *trace_cell*); an explicit *tracer* can be passed instead;
+    *metrics* collects kernel statistics (dispatched events, peak heap,
+    compactions) after the run.  Traced fields carry simulated time
+    only, so the stream is bit-identical for any ``--jobs`` value.
 
     Returns the reduced :class:`SystemMetrics` (Rel1 / Rel2 / System
     rows).
@@ -121,9 +134,18 @@ def run_release_pair_simulation(
         raise ConfigurationError(
             f"sampling must be one of {SAMPLING_MODES}: {sampling!r}"
         )
+    if trace_path is not None and tracer is not None:
+        raise ConfigurationError(
+            "pass trace_path or tracer, not both"
+        )
     profile = profile or paper_profile()
     seeds = SeedSequenceFactory(seed)
-    simulator = Simulator()
+    own_tracer = (
+        JsonlTracer(trace_path, cell=trace_cell)
+        if trace_path is not None
+        else None
+    )
+    simulator = Simulator(tracer=own_tracer or tracer)
 
     script = None
     if sampling != "live":
@@ -186,7 +208,17 @@ def run_release_pair_simulation(
         )
 
     StreamingArrivalSource(simulator, requests, spacing, submit).start()
-    simulator.run()
+    try:
+        simulator.run()
+    finally:
+        if own_tracer is not None:
+            own_tracer.close()
+    if metrics is not None:
+        metrics.counter("kernel.dispatched").inc(simulator.dispatched_count)
+        metrics.counter("kernel.compactions").inc(simulator.compactions)
+        metrics.histogram("kernel.peak_heap").observe(
+            simulator.peak_heap_size
+        )
     return metrics_from_log(
         monitor.log, [endpoint.name for endpoint in endpoints]
     )
@@ -202,6 +234,11 @@ def metrics_from_log(
     index = {name: i for i, name in enumerate(release_names)}
     for record in log:
         for name, observation in record.releases.items():
+            if not observation.invoked:
+                # Sequential mode: an active release the middleware never
+                # asked is not thereby unavailable — it contributes
+                # nothing to this demand's per-release row.
+                continue
             row = metrics.releases[index[name]]
             if observation.collected:
                 row.record_response(

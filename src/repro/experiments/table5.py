@@ -12,6 +12,7 @@ from the grid seed via ``SeedSequenceFactory.child_seed``), and a
 disk.
 """
 
+import os
 from typing import Optional, Sequence
 
 from repro.common.seeding import SeedSequenceFactory
@@ -23,6 +24,7 @@ from repro.experiments.event_sim import (
     SimulationTable,
     run_release_pair_simulation,
 )
+from repro.obs.metrics import MetricsRegistry
 from repro.runtime.cache import ResultCache
 from repro.runtime.parallel import CellSpec, run_cells
 
@@ -34,18 +36,24 @@ def _table5_cell(
     seed: int,
     profile: Optional[LatencyProfile],
     sampling: str,
+    trace_path: Optional[str] = None,
+    trace_cell: str = "",
+    metrics: Optional[MetricsRegistry] = None,
 ) -> SimulationRunResult:
     """One (run, TimeOut) cell; module-level so worker processes can
     unpickle it."""
-    metrics = run_release_pair_simulation(
+    metrics_ = run_release_pair_simulation(
         joint_model=P.correlated_model(run),
         timeout=timeout,
         requests=requests,
         seed=seed,
         profile=profile,
         sampling=sampling,
+        trace_path=trace_path,
+        trace_cell=trace_cell,
+        metrics=metrics,
     )
-    return SimulationRunResult(run, timeout, metrics)
+    return SimulationRunResult(run, timeout, metrics_)
 
 
 def run_table5(
@@ -57,18 +65,32 @@ def run_table5(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     sampling: str = "vectorized",
+    trace_dir: Optional[str] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> SimulationTable:
     """Run the Table 5 grid (correlated releases).
 
     All cells of one run share a seed (derived from *seed* and the run
     index), so the TimeOut sweep observes one workload per run, as in the
     paper.  Results are bit-identical for every ``jobs`` value.
+
+    With *trace_dir* set, each cell writes its event trace to
+    ``<trace_dir>/table5-run<run>-t<timeout>.jsonl`` (traced cells
+    bypass the result cache: a cache hit skips simulation and would
+    leave an empty trace).  *metrics* collects pool and cache counters;
+    kernel counters are recorded only on the inline ``jobs=1`` path —
+    worker-process registries cannot report back to the parent.
     """
     seeds = SeedSequenceFactory(seed)
     cells = []
     for run in runs:
         cell_seed = seeds.child_seed(f"table5/run-{run}")
         for timeout in timeouts:
+            trace_path = None
+            if trace_dir is not None:
+                trace_path = os.path.join(
+                    trace_dir, f"table5-run{run}-t{timeout}.jsonl"
+                )
             cells.append(
                 CellSpec(
                     experiment="table5",
@@ -80,8 +102,13 @@ def run_table5(
                         seed=cell_seed,
                         profile=profile,
                         sampling=sampling,
+                        trace_path=trace_path,
+                        trace_cell=f"table5/run{run}/t{timeout}",
+                        metrics=metrics if jobs == 1 else None,
                     ),
-                    key=dict(
+                    key=None
+                    if trace_path is not None
+                    else dict(
                         run=run,
                         timeout=timeout,
                         requests=requests,
@@ -91,7 +118,7 @@ def run_table5(
                     ),
                 )
             )
-    results = run_cells(cells, jobs=jobs, cache=cache)
+    results = run_cells(cells, jobs=jobs, cache=cache, metrics=metrics)
     return SimulationTable(
         label="Table 5 (positive correlation between release failures)",
         results=results,

@@ -6,6 +6,7 @@ paper) independence reference point under which "fault-tolerance works":
 the adjudicated system beats both releases on reliability.
 """
 
+import os
 from typing import Optional, Sequence
 
 from repro.common.seeding import SeedSequenceFactory
@@ -17,6 +18,7 @@ from repro.experiments.event_sim import (
     SimulationTable,
     run_release_pair_simulation,
 )
+from repro.obs.metrics import MetricsRegistry
 from repro.runtime.cache import ResultCache
 from repro.runtime.parallel import CellSpec, run_cells
 
@@ -28,18 +30,24 @@ def _table6_cell(
     seed: int,
     profile: Optional[LatencyProfile],
     sampling: str,
+    trace_path: Optional[str] = None,
+    trace_cell: str = "",
+    metrics: Optional[MetricsRegistry] = None,
 ) -> SimulationRunResult:
     """One (run, TimeOut) cell; module-level so worker processes can
     unpickle it."""
-    metrics = run_release_pair_simulation(
+    metrics_ = run_release_pair_simulation(
         joint_model=P.independent_model(run),
         timeout=timeout,
         requests=requests,
         seed=seed,
         profile=profile,
         sampling=sampling,
+        trace_path=trace_path,
+        trace_cell=trace_cell,
+        metrics=metrics,
     )
-    return SimulationRunResult(run, timeout, metrics)
+    return SimulationRunResult(run, timeout, metrics_)
 
 
 def run_table6(
@@ -51,19 +59,28 @@ def run_table6(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     sampling: str = "vectorized",
+    trace_dir: Optional[str] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> SimulationTable:
     """Run the Table 6 grid (independent releases).
 
     Cells fan across the parallel runtime exactly as in
     :func:`repro.experiments.table5.run_table5`; per-run child seeds keep
     the TimeOut sweep on one workload per run and results bit-identical
-    for every ``jobs`` value.
+    for every ``jobs`` value.  *trace_dir* / *metrics* behave as in
+    ``run_table5`` (per-cell JSONL traces bypassing the cache; pool and
+    cache counters, kernel counters on the inline path only).
     """
     seeds = SeedSequenceFactory(seed)
     cells = []
     for run in runs:
         cell_seed = seeds.child_seed(f"table6/run-{run}")
         for timeout in timeouts:
+            trace_path = None
+            if trace_dir is not None:
+                trace_path = os.path.join(
+                    trace_dir, f"table6-run{run}-t{timeout}.jsonl"
+                )
             cells.append(
                 CellSpec(
                     experiment="table6",
@@ -75,8 +92,13 @@ def run_table6(
                         seed=cell_seed,
                         profile=profile,
                         sampling=sampling,
+                        trace_path=trace_path,
+                        trace_cell=f"table6/run{run}/t{timeout}",
+                        metrics=metrics if jobs == 1 else None,
                     ),
-                    key=dict(
+                    key=None
+                    if trace_path is not None
+                    else dict(
                         run=run,
                         timeout=timeout,
                         requests=requests,
@@ -86,7 +108,7 @@ def run_table6(
                     ),
                 )
             )
-    results = run_cells(cells, jobs=jobs, cache=cache)
+    results = run_cells(cells, jobs=jobs, cache=cache, metrics=metrics)
     return SimulationTable(
         label="Table 6 (independence of release failures)",
         results=results,

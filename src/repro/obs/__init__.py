@@ -1,0 +1,51 @@
+"""Observability layer: demand tracing, metrics, trace diffing.
+
+``repro.obs`` is the opt-in, zero-overhead-when-disabled observability
+layer threaded through the stack:
+
+* :mod:`repro.obs.trace` — structured JSONL tracing of kernel events and
+  per-demand middleware spans (``--trace PATH`` on the experiment CLI);
+* :mod:`repro.obs.metrics` — a counter/gauge/histogram registry fed by
+  the result cache, the process pool and the simulation kernel
+  (``--metrics-json PATH``);
+* :mod:`repro.obs.diff` — ``python -m repro.obs.diff`` compares two
+  traces and localises the first diverging event, turning the static
+  determinism contract of :mod:`repro.lint` into a dynamic check.
+
+Every instrumented component holds ``Optional[Tracer]`` /
+``Optional[MetricsRegistry]`` and skips instrumentation entirely when
+none is attached.
+"""
+
+# repro.obs.diff is deliberately NOT imported here: it doubles as the
+# ``python -m repro.obs.diff`` entry point, and importing it from the
+# package __init__ would re-execute it under two module names (with a
+# RuntimeWarning) on every CLI invocation.  Import TraceDiff /
+# diff_traces / render_diff from repro.obs.diff directly.
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    JsonlTracer,
+    MemoryTracer,
+    Tracer,
+    merge_traces,
+    read_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlTracer",
+    "MemoryTracer",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "Tracer",
+    "merge_traces",
+    "read_trace",
+]

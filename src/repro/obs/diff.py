@@ -1,0 +1,179 @@
+"""Trace diff: localise the first diverging event between two runs.
+
+``repro.lint`` checks the determinism contract *statically*;
+``python -m repro.obs.diff`` completes it *dynamically*: record a trace
+of the same experiment twice (e.g. ``--jobs 1`` vs ``--jobs 4``) and the
+diff either certifies the traces identical or pinpoints the first event
+where the two executions took different paths — the place to start
+debugging, rather than a mismatched table cell thousands of events
+later.
+
+Usage::
+
+    python -m repro.obs.diff A.jsonl B.jsonl [--context N]
+                             [--ignore-field NAME ...]
+
+Exit status: 0 when the traces are identical, 1 on divergence (or a
+length mismatch), 2 on unreadable input.
+"""
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.trace import read_trace
+
+#: Sentinel distinguishing "field absent" from "field is None".
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class TraceDiff:
+    """Outcome of comparing two traces event by event.
+
+    ``divergence_index`` is the position of the first differing event
+    (``None`` when the traces are identical); when one trace is a strict
+    prefix of the other, it is the length of the shorter one and the
+    missing side's event is ``None``.
+    """
+
+    events_a: int
+    events_b: int
+    divergence_index: Optional[int] = None
+    event_a: Optional[Dict[str, Any]] = None
+    event_b: Optional[Dict[str, Any]] = None
+    differing_fields: Tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def identical(self) -> bool:
+        return self.divergence_index is None
+
+
+def _normalise(
+    event: Dict[str, Any], ignore: Sequence[str]
+) -> Dict[str, Any]:
+    if not ignore:
+        return event
+    return {key: event[key] for key in event if key not in ignore}
+
+
+def diff_traces(
+    events_a: List[Dict[str, Any]],
+    events_b: List[Dict[str, Any]],
+    ignore_fields: Sequence[str] = (),
+) -> TraceDiff:
+    """Compare two event lists; return the first divergence, if any."""
+    for index, (a, b) in enumerate(zip(events_a, events_b)):
+        na, nb = _normalise(a, ignore_fields), _normalise(b, ignore_fields)
+        if na != nb:
+            differing = tuple(sorted(
+                key
+                for key in set(na) | set(nb)
+                if na.get(key, _MISSING) != nb.get(key, _MISSING)
+            ))
+            return TraceDiff(
+                events_a=len(events_a),
+                events_b=len(events_b),
+                divergence_index=index,
+                event_a=a,
+                event_b=b,
+                differing_fields=differing,
+            )
+    if len(events_a) != len(events_b):
+        index = min(len(events_a), len(events_b))
+        longer = events_a if len(events_a) > len(events_b) else events_b
+        return TraceDiff(
+            events_a=len(events_a),
+            events_b=len(events_b),
+            divergence_index=index,
+            event_a=events_a[index] if index < len(events_a) else None,
+            event_b=events_b[index] if index < len(events_b) else None,
+            differing_fields=tuple(sorted(longer[index])),
+        )
+    return TraceDiff(events_a=len(events_a), events_b=len(events_b))
+
+
+def _render_event(event: Optional[Dict[str, Any]]) -> str:
+    if event is None:
+        return "<no event — trace ended>"
+    return json.dumps(event, sort_keys=True)
+
+
+def render_diff(
+    diff: TraceDiff,
+    name_a: str,
+    name_b: str,
+    events_a: Optional[List[Dict[str, Any]]] = None,
+    context: int = 0,
+) -> str:
+    """Human-readable report of a :class:`TraceDiff`."""
+    if diff.identical:
+        return (
+            f"traces identical: {diff.events_a} events\n"
+            f"  A: {name_a}\n  B: {name_b}"
+        )
+    index = diff.divergence_index
+    lines = [
+        f"traces diverge at event #{index} "
+        f"(A has {diff.events_a} events, B has {diff.events_b})",
+        f"  A: {name_a}\n  B: {name_b}",
+    ]
+    if diff.differing_fields:
+        lines.append(
+            "differing fields: " + ", ".join(diff.differing_fields)
+        )
+    if context and events_a and index is not None:
+        start = max(0, index - context)
+        if start < index:
+            lines.append(f"shared context (events #{start}..#{index - 1}):")
+            for position in range(start, index):
+                lines.append(f"  = {_render_event(events_a[position])}")
+    lines.append(f"  A#{index}: {_render_event(diff.event_a)}")
+    lines.append(f"  B#{index}: {_render_event(diff.event_b)}")
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.diff",
+        description=(
+            "Compare two repro.obs JSONL traces and localise the first "
+            "diverging event (dynamic determinism check)."
+        ),
+    )
+    parser.add_argument("trace_a", help="first trace (JSONL)")
+    parser.add_argument("trace_b", help="second trace (JSONL)")
+    parser.add_argument(
+        "--context", type=int, default=3,
+        help="shared events to print before the divergence (default 3)",
+    )
+    parser.add_argument(
+        "--ignore-field", action="append", default=[], metavar="NAME",
+        help="event field to ignore when comparing (repeatable)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the report; communicate via exit status only",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        events_a = read_trace(args.trace_a)
+        events_b = read_trace(args.trace_b)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    diff = diff_traces(events_a, events_b, args.ignore_field)
+    if not args.quiet:
+        print(render_diff(diff, args.trace_a, args.trace_b,
+                          events_a=events_a, context=args.context))
+    return 0 if diff.identical else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

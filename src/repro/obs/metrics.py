@@ -1,0 +1,178 @@
+"""Counter / gauge / histogram registry (``repro.obs``).
+
+A :class:`MetricsRegistry` aggregates operational measurements from the
+runtime — result-cache hits and misses, process-pool cell wall times and
+queue waits, kernel heap statistics — into one deterministic, JSON-ready
+snapshot.  It is pull-based and dependency-free: instrumented components
+hold ``Optional[MetricsRegistry]`` and skip the update entirely when no
+registry is attached, so the disabled path costs a single ``is None``
+check.
+
+Instruments:
+
+* :class:`Counter` — monotonically increasing count (``cache.hit``);
+* :class:`Gauge` — last-set value (``pool.utilization``);
+* :class:`Histogram` — streaming summary (count / sum / min / max /
+  mean) of an observed quantity (``cell.wall_seconds``).  No binning:
+  the summary is exact and its serialisation deterministic.
+
+Histogram sums use :func:`math.fsum` over retained observations so the
+reported sum does not depend on observation order beyond the values
+themselves.
+"""
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: cannot add {amount!r}")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """A point-in-time value; ``set`` overwrites."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """Streaming summary of an observed quantity.
+
+    Observations are retained so the sum can be reduced with
+    :func:`math.fsum` (order-independent for a given multiset of
+    values); the experiment grids observe at most a few thousand values
+    per histogram, so retention is cheap.
+    """
+
+    __slots__ = ("name", "_values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self._values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def sum(self) -> float:
+        return math.fsum(self._values)
+
+    @property
+    def min(self) -> float:
+        return min(self._values) if self._values else float("nan")
+
+    @property
+    def max(self) -> float:
+        return max(self._values) if self._values else float("nan")
+
+    @property
+    def mean(self) -> float:
+        if not self._values:
+            return float("nan")
+        return math.fsum(self._values) / len(self._values)
+
+    def summary(self) -> Dict[str, float]:
+        """The JSON-ready reduction of this histogram."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count})"
+
+
+class MetricsRegistry:
+    """Named instruments, lazily created, snapshot as one sorted dict."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter called *name* (created on first use)."""
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called *name* (created on first use)."""
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called *name* (created on first use)."""
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Deterministic snapshot: instruments sorted by name."""
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value
+                for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: self._histograms[name].summary()
+                for name in sorted(self._histograms)
+            },
+        }
+
+    def write_json(self, path: Union[str, Path]) -> None:
+        """Write the snapshot to *path* as indented JSON."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, "
+            f"histograms={len(self._histograms)})"
+        )

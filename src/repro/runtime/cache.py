@@ -26,6 +26,7 @@ from pathlib import Path
 from typing import Any, Mapping, Optional, Tuple, Union
 
 from repro.lint.version import LINT_VERSION
+from repro.obs.metrics import MetricsRegistry
 
 #: Bump to invalidate all previously cached cell results (e.g. after a
 #: change to the simulation kernel or sampling layout).
@@ -60,10 +61,25 @@ def canonical_key(experiment: str, key: Mapping[str, Any]) -> str:
 
 
 class ResultCache:
-    """Content-addressed pickle store for experiment cell results."""
+    """Content-addressed pickle store for experiment cell results.
 
-    def __init__(self, root: Optional[Union[str, Path]] = None):
+    Pass a :class:`~repro.obs.metrics.MetricsRegistry` to count hits,
+    misses, corrupt-entry evictions and writes (``cache.hit`` /
+    ``cache.miss`` / ``cache.corrupt`` / ``cache.put``); with none
+    attached every instrumentation site is a single ``is None`` check.
+    """
+
+    def __init__(
+        self,
+        root: Optional[Union[str, Path]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         self.root = Path(root) if root is not None else default_cache_dir()
+        self.metrics = metrics
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc()
 
     def _path(self, experiment: str, key: Mapping[str, Any]) -> Path:
         digest = hashlib.sha256(
@@ -82,15 +98,20 @@ class ResultCache:
         path = self._path(experiment, key)
         try:
             with open(path, "rb") as handle:
-                return True, pickle.load(handle)
+                value = pickle.load(handle)
         except FileNotFoundError:
+            self._count("cache.miss")
             return False, None
         except Exception:
             try:
                 path.unlink()
             except OSError:
                 pass
+            self._count("cache.corrupt")
+            self._count("cache.miss")
             return False, None
+        self._count("cache.hit")
+        return True, value
 
     def put(self, experiment: str, key: Mapping[str, Any], value: Any) -> None:
         """Store a cell result atomically (temp file + rename)."""
@@ -103,6 +124,7 @@ class ResultCache:
             with os.fdopen(fd, "wb") as handle:
                 pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(temp_name, path)
+            self._count("cache.put")
         except BaseException:
             try:
                 os.unlink(temp_name)

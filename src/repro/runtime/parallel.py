@@ -21,11 +21,13 @@ results picklable; everything in the experiment layer already is.
 
 import multiprocessing
 import os
+import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.obs.metrics import MetricsRegistry
 from repro.runtime.cache import ResultCache
 
 
@@ -64,6 +66,18 @@ def _execute_cell(spec: CellSpec) -> Any:
     return spec.fn(**spec.kwargs)
 
 
+def _execute_cell_timed(spec: CellSpec) -> Tuple[Any, float, float]:
+    """Run a cell and report ``(value, started_wall, elapsed)``.
+
+    Wall-clock timing is legitimate here: these numbers describe the
+    *host's* execution of a cell, never anything inside the simulated
+    world (repro.runtime is outside the repro.lint wall-clock scopes).
+    """
+    started = time.time()
+    value = spec.fn(**spec.kwargs)
+    return value, started, time.time() - started
+
+
 def _pool_context() -> multiprocessing.context.BaseContext:
     # fork shares the already-imported interpreter with workers — much
     # cheaper than spawn and safe here (workers only compute pure cells).
@@ -77,6 +91,7 @@ def run_cells(
     cells: Sequence[CellSpec],
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> List[Any]:
     """Execute *cells*, returning their results in cell order.
 
@@ -85,6 +100,13 @@ def run_cells(
     bit-identical results because each cell is a pure function of its
     kwargs.  If the platform cannot provide a process pool the call
     degrades to inline execution with a warning rather than failing.
+
+    With a :class:`~repro.obs.metrics.MetricsRegistry` attached, each
+    executed cell records its wall time (``pool.cell_seconds``) and
+    queue wait (``pool.queue_wait_seconds``), and the batch records
+    worker utilization (``pool.utilization`` — busy worker-seconds over
+    ``jobs`` x batch span).  The timed path pickles a couple of extra
+    floats per cell; results are unaffected.
     """
     jobs = resolve_jobs(jobs)
     results: List[Any] = [None] * len(cells)
@@ -97,9 +119,23 @@ def run_cells(
                 continue
         todo.append(index)
 
+    execute: Callable[[CellSpec], Any] = (
+        _execute_cell_timed if metrics is not None else _execute_cell
+    )
+    batch_started = time.time() if metrics is not None else 0.0
+    timings: List[Tuple[float, float]] = []
+
+    def unpack(index: int, outcome: Any) -> None:
+        if metrics is None:
+            results[index] = outcome
+        else:
+            value, started, elapsed = outcome
+            results[index] = value
+            timings.append((started, elapsed))
+
     if jobs <= 1 or len(todo) <= 1:
         for index in todo:
-            results[index] = _execute_cell(cells[index])
+            unpack(index, execute(cells[index]))
     else:
         try:
             with ProcessPoolExecutor(
@@ -107,11 +143,11 @@ def run_cells(
                 mp_context=_pool_context(),
             ) as pool:
                 futures = {
-                    index: pool.submit(_execute_cell, cells[index])
+                    index: pool.submit(execute, cells[index])
                     for index in todo
                 }
                 for index, future in futures.items():
-                    results[index] = future.result()
+                    unpack(index, future.result())
         except (OSError, PermissionError) as error:
             warnings.warn(
                 f"process pool unavailable ({error!r}); "
@@ -120,7 +156,25 @@ def run_cells(
                 stacklevel=2,
             )
             for index in todo:
-                results[index] = _execute_cell(cells[index])
+                unpack(index, execute(cells[index]))
+
+    if metrics is not None and timings:
+        span = max(
+            started + elapsed for started, elapsed in timings
+        ) - batch_started
+        busy = 0.0
+        for started, elapsed in timings:
+            metrics.histogram("pool.cell_seconds").observe(elapsed)
+            metrics.histogram("pool.queue_wait_seconds").observe(
+                max(0.0, started - batch_started)
+            )
+            busy += elapsed
+        metrics.counter("pool.cells_executed").inc(len(timings))
+        metrics.gauge("pool.jobs").set(float(jobs))
+        if span > 0.0:
+            metrics.gauge("pool.utilization").set(
+                busy / (min(jobs, max(1, len(todo))) * span)
+            )
 
     if cache is not None:
         for index in todo:

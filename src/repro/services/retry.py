@@ -58,13 +58,22 @@ class RetryPolicy:
 
 
 class RetryingPort:
-    """Wrap a port with retry of evident failures."""
+    """Wrap a port with retry of evident failures.
+
+    Delivery guarantee: each :meth:`submit` delivers exactly one
+    response.  The *first valid* response wins, whichever attempt
+    produced it — an attempt superseded by its own timeout stays live,
+    and its late valid response is accepted rather than discarded
+    (``late_accepted`` counts these).  Only faults from superseded
+    attempts are ignored: the retry they triggered is already running.
+    """
 
     def __init__(self, port, policy: Optional[RetryPolicy] = None):
         self.port = port
         self.policy = policy or RetryPolicy()
         self.attempts = 0
         self.retries = 0
+        self.late_accepted = 0
 
     def submit(
         self,
@@ -90,8 +99,21 @@ class RetryingPort:
                 )
 
             def on_response(response: ResponseMessage) -> None:
-                if state["finished"] or state["attempt"] != attempt_number:
-                    return  # a stale attempt's late response
+                if state["finished"]:
+                    return
+                superseded = state["attempt"] != attempt_number
+                if superseded:
+                    # The attempt timed out and a retry is in flight, but
+                    # the attempt itself was never cancelled: a late
+                    # *valid* response still settles the demand (first
+                    # valid response across all live attempts wins).  A
+                    # late fault carries no new information — the retry
+                    # it triggered is already running.
+                    if response.is_fault:
+                        return
+                    wrapper.late_accepted += 1
+                    finish(response)
+                    return
                 if timeout_event is not None:
                     timeout_event.cancel()
                 if response.is_fault and (

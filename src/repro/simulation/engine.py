@@ -25,12 +25,19 @@ so this module caps throughput for every Table-5/6 cell):
 * cancelled entries are tombstoned lazily, and the heap is compacted once
   tombstones exceed half of its entries, so mass cancellation (every
   demand cancels its timeout) cannot grow the heap without bound.
+
+Observability: pass a :class:`repro.obs.trace.Tracer` to the constructor
+and the kernel emits a ``schedule`` / ``dispatch`` / ``cancel`` /
+``compact`` event stream in simulated time (see :mod:`repro.obs`).  With
+no tracer attached every instrumentation site is a single ``is None``
+check, so the disabled path stays at full throughput.
 """
 
 import heapq
 from typing import Callable, List, Optional, Tuple
 
 from repro.common.errors import SimulationError
+from repro.obs.trace import Tracer
 from repro.simulation.clock import SimulationClock
 
 #: Type of an event callback.  Callbacks receive no arguments; closures are
@@ -105,7 +112,9 @@ class Simulator:
     #: handful of entries costs more than the tombstones it reclaims.
     COMPACT_MIN_HEAP = 64
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(
+        self, start_time: float = 0.0, tracer: Optional[Tracer] = None
+    ):
         self._clock = SimulationClock(start_time)
         self._heap: List[Tuple[float, int, Event]] = []
         self._next_sequence = 0
@@ -113,6 +122,13 @@ class Simulator:
         self._live_count = 0
         self._tombstones = 0
         self._running = False
+        self._compactions = 0
+        self._peak_heap = 0
+        # The disabled path must cost nothing beyond one None check per
+        # instrumentation site, so a disabled tracer is normalised away.
+        self._trace: Optional[Tracer] = (
+            tracer if tracer is not None and tracer.enabled else None
+        )
 
     @property
     def now(self) -> float:
@@ -143,6 +159,26 @@ class Simulator:
         """Entries currently in the heap, including cancelled tombstones."""
         return len(self._heap)
 
+    @property
+    def peak_heap_size(self) -> int:
+        """Largest heap (live + tombstones) seen so far."""
+        return max(self._peak_heap, len(self._heap))
+
+    @property
+    def compactions(self) -> int:
+        """Number of tombstone compactions performed."""
+        return self._compactions
+
+    @property
+    def tracer(self) -> Optional[Tracer]:
+        """The attached trace sink, if tracing is enabled.
+
+        Components driven by this simulator (the middleware's demand
+        state machines) read it to emit their own span events into the
+        same trace.
+        """
+        return self._trace
+
     def schedule(
         self, delay: float, callback: EventCallback, label: str = ""
     ) -> Event:
@@ -164,6 +200,13 @@ class Simulator:
         self._next_sequence = sequence + 1
         heapq.heappush(self._heap, (time, sequence, event))
         self._live_count += 1
+        if len(self._heap) > self._peak_heap:
+            self._peak_heap = len(self._heap)
+        if self._trace is not None:
+            self._trace.emit(
+                "schedule", t=self._clock.now, at=time, eid=sequence,
+                label=label,
+            )
         return event
 
     def cancel(self, event: Event) -> None:
@@ -179,6 +222,11 @@ class Simulator:
         """
         self._live_count -= 1
         self._tombstones += 1
+        if self._trace is not None:
+            self._trace.emit(
+                "cancel", t=self._clock.now, at=event.time,
+                label=event.label,
+            )
         if (
             self._tombstones * 2 > len(self._heap)
             and len(self._heap) >= self.COMPACT_MIN_HEAP
@@ -191,17 +239,24 @@ class Simulator:
         ``(time, sequence)`` keys are unique, so heapify reproduces the
         exact dispatch order the lazy tombstone path would have yielded.
         """
+        before = len(self._heap)
         self._heap = [
             entry for entry in self._heap if not entry[2]._cancelled
         ]
         heapq.heapify(self._heap)
         self._tombstones = 0
+        self._compactions += 1
+        if self._trace is not None:
+            self._trace.emit(
+                "compact", t=self._clock.now, before=before,
+                after=len(self._heap),
+            )
 
     def step(self) -> Optional[Event]:
         """Dispatch the single next event; return it, or None if drained."""
         heap = self._heap
         while heap:
-            time, _sequence, event = heapq.heappop(heap)
+            time, sequence, event = heapq.heappop(heap)
             if event._cancelled:
                 self._tombstones -= 1
                 continue
@@ -209,6 +264,10 @@ class Simulator:
             event._dispatched = True
             self._dispatched_count += 1
             self._live_count -= 1
+            if self._trace is not None:
+                self._trace.emit(
+                    "dispatch", t=time, eid=sequence, label=event.label
+                )
             event.callback()
             return event
         return None

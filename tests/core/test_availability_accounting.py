@@ -1,0 +1,168 @@
+"""Availability accounting: invoked vs not-invoked releases.
+
+Regression tests for the sequential-mode availability pollution bug: a
+release the middleware never asked (because an earlier release already
+answered) used to be recorded ``collected=False`` with no further
+qualification and scored *unavailable* by the availability assessor.
+Only invoked-but-silent releases may count against availability.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.adjudicators import (
+    Adjudication,
+    CollectedResponse,
+)
+from repro.core.database import ReleaseObservation
+from repro.core.middleware import UpgradeMiddleware
+from repro.core.modes import ModeConfig
+from repro.core.monitor import MonitoringSubsystem
+from repro.services.endpoint import ServiceEndpoint
+from repro.services.message import RequestMessage, ResponseMessage
+from repro.services.wsdl import default_wsdl
+from repro.simulation.correlation import OutcomeDistribution
+from repro.simulation.distributions import Deterministic
+from repro.simulation.engine import Simulator
+from repro.simulation.release_model import ReleaseBehaviour
+from repro.simulation.timing import SystemTimingPolicy
+
+
+def _response(request, result):
+    return ResponseMessage(
+        in_reply_to=request.message_id,
+        operation=request.operation,
+        result=result,
+        responder="r1",
+    )
+
+
+def _record(monitor, active, collected_from, invoked=None, request_id="d1"):
+    request = RequestMessage("operation1", arguments=(0,))
+    collected = [
+        CollectedResponse(name, _response(request, 42), 0.1)
+        for name in collected_from
+    ]
+    response = collected[0].response if collected else None
+    return monitor.record_demand(
+        request_id=request_id,
+        timestamp=0.0,
+        active_releases=active,
+        collected=collected,
+        adjudication=Adjudication("result" if response else "unavailable",
+                                  response),
+        system_time=0.2,
+        reference_answer=42,
+        invoked_releases=invoked,
+    )
+
+
+class TestReleaseObservation:
+    def test_default_is_invoked(self):
+        observation = ReleaseObservation(collected=False)
+        assert observation.invoked
+
+    def test_collected_but_not_invoked_rejected(self):
+        with pytest.raises(ValueError):
+            ReleaseObservation(collected=True, invoked=False)
+
+
+class TestRecordDemandInvoked:
+    def test_default_marks_all_active_invoked(self):
+        monitor = MonitoringSubsystem(np.random.default_rng(0))
+        record = _record(monitor, active=["a", "b"], collected_from=["a"])
+        assert record.releases["a"].invoked
+        assert record.releases["b"].invoked
+        assert not record.releases["b"].collected
+
+    def test_subset_marks_rest_not_invoked(self):
+        monitor = MonitoringSubsystem(np.random.default_rng(0))
+        record = _record(
+            monitor, active=["a", "b", "c"],
+            collected_from=["a"], invoked=["a", "b"],
+        )
+        assert record.releases["b"].invoked  # asked, stayed silent
+        assert not record.releases["c"].invoked  # never asked
+
+    def test_assessor_sees_only_invoked(self):
+        monitor = MonitoringSubsystem(np.random.default_rng(0))
+        _record(monitor, active=["a", "b"], collected_from=["a"],
+                invoked=["a"])
+        assert monitor.availability_for("a").demands == 1
+        assert monitor.availability_for("a").responded == 1
+        # "b" was never asked: no availability evidence at all.
+        assert monitor.availability_for("b").demands == 0
+
+    def test_invoked_but_silent_counts_as_missed(self):
+        monitor = MonitoringSubsystem(np.random.default_rng(0))
+        _record(monitor, active=["a", "b"], collected_from=["a"],
+                invoked=["a", "b"])
+        assert monitor.availability_for("b").missed == 1
+
+
+class TestTallyAvailability:
+    def test_availability_is_per_invocation(self):
+        monitor = MonitoringSubsystem(np.random.default_rng(0))
+        # Three demands: "b" asked once (answered), skipped twice.
+        _record(monitor, ["a", "b"], ["b"], invoked=["a", "b"],
+                request_id="d1")
+        _record(monitor, ["a", "b"], ["a"], invoked=["a"], request_id="d2")
+        _record(monitor, ["a", "b"], ["a"], invoked=["a"], request_id="d3")
+        tally = monitor.log.tally("b")
+        assert tally.demands == 3
+        assert tally.invoked == 1
+        assert tally.collected == 1
+        assert tally.availability == 1.0
+
+    def test_never_invoked_availability_is_nan(self):
+        monitor = MonitoringSubsystem(np.random.default_rng(0))
+        _record(monitor, ["a", "b"], ["a"], invoked=["a"])
+        assert math.isnan(monitor.log.tally("b").availability)
+
+
+class TestSequentialEndToEnd:
+    def _run(self, demands=20):
+        simulator = Simulator()
+        endpoints = [
+            ServiceEndpoint(
+                default_wsdl("WS", f"n{i}", release=f"1.{i}"),
+                ReleaseBehaviour(
+                    f"WS 1.{i}",
+                    OutcomeDistribution(1.0, 0.0, 0.0),
+                    Deterministic(0.1),
+                ),
+                np.random.default_rng(30 + i),
+            )
+            for i in range(2)
+        ]
+        monitor = MonitoringSubsystem(np.random.default_rng(0))
+        middleware = UpgradeMiddleware(
+            endpoints=endpoints,
+            timing=SystemTimingPolicy(timeout=1.0, adjudication_delay=0.05),
+            rng=np.random.default_rng(1),
+            monitor=monitor,
+            mode=ModeConfig.sequential(),
+        )
+        for i in range(demands):
+            middleware.submit(
+                simulator, RequestMessage("operation1", arguments=(i,)),
+                lambda response: None, reference_answer=i,
+            )
+            simulator.run()
+        return monitor
+
+    def test_unasked_release_not_scored_unavailable(self):
+        monitor = self._run()
+        # Fixed sequential order with an always-correct first release:
+        # "WS 1.1" is never invoked, so it must have no availability
+        # evidence rather than 20 recorded misses.
+        first = monitor.availability_for("WS 1.0")
+        second = monitor.availability_for("WS 1.1")
+        assert first.demands == 20 and first.missed == 0
+        assert second.demands == 0
+        tally = monitor.log.tally("WS 1.1")
+        assert tally.demands == 20
+        assert tally.invoked == 0
+        assert math.isnan(tally.availability)

@@ -1,0 +1,170 @@
+"""Regression tests for the middleware delivery guarantee.
+
+Every ``submit`` must call *deliver* exactly once with a non-None
+:class:`ResponseMessage`, in every operating mode.  Two historical bugs
+are pinned here:
+
+* parallel max-responsiveness: a demand timing out with no valid
+  response never delivered anything (the consumer hung forever);
+* all modes: an adjudicator returning ``Adjudication(response=None)``
+  leaked ``None`` to the consumer instead of an evident fault.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.adjudicators import Adjudication, Adjudicator
+from repro.core.middleware import UpgradeMiddleware
+from repro.core.modes import ModeConfig, SequentialOrder
+from repro.services.endpoint import ServiceEndpoint
+from repro.services.message import RequestMessage, ResponseMessage
+from repro.services.wsdl import default_wsdl
+from repro.simulation.correlation import OutcomeDistribution
+from repro.simulation.distributions import Deterministic
+from repro.simulation.engine import Simulator
+from repro.simulation.release_model import ReleaseBehaviour
+from repro.simulation.timing import SystemTimingPolicy
+
+ALL_MODES = [
+    ModeConfig.max_reliability(),
+    ModeConfig.max_responsiveness(),
+    ModeConfig.dynamic(1),
+    ModeConfig.dynamic(2),
+    ModeConfig.sequential(),
+    ModeConfig.sequential(SequentialOrder.RANDOM),
+]
+
+MODE_IDS = [
+    "reliability", "responsiveness", "dynamic-1", "dynamic-2",
+    "sequential-fixed", "sequential-random",
+]
+
+
+class UndecidedAdjudicator(Adjudicator):
+    """A custom adjudicator that never produces a response object."""
+
+    name = "undecided"
+
+    def adjudicate(self, request, collected, rng):
+        return Adjudication("undecidable", None, None)
+
+
+def _middleware(mode, adjudicator=None, latency=0.1, timeout=1.0,
+                outcome=(1.0, 0.0, 0.0), releases=2):
+    endpoints = [
+        ServiceEndpoint(
+            default_wsdl("WS", f"n{i}", release=f"1.{i}"),
+            ReleaseBehaviour(
+                f"WS 1.{i}",
+                OutcomeDistribution(*outcome),
+                Deterministic(latency),
+            ),
+            np.random.default_rng(20 + i),
+        )
+        for i in range(releases)
+    ]
+    return UpgradeMiddleware(
+        endpoints=endpoints,
+        timing=SystemTimingPolicy(timeout=timeout,
+                                  adjudication_delay=0.05),
+        rng=np.random.default_rng(1),
+        adjudicator=adjudicator,
+        mode=mode,
+    )
+
+
+def _drive(middleware, demands=1):
+    simulator = Simulator()
+    delivered = []
+    for i in range(demands):
+        middleware.submit(
+            simulator, RequestMessage("operation1", arguments=(i,)),
+            delivered.append, reference_answer=i,
+        )
+        simulator.run()
+    return delivered
+
+
+class TestResponsivenessTimeoutDelivers:
+    def test_timeout_with_no_valid_response_delivers_fault(self):
+        # The historical hang: all responses arrive after TimeOut in
+        # max-responsiveness mode -> no first-valid fast path, and the
+        # old timeout path returned without delivering.
+        middleware = _middleware(
+            ModeConfig.max_responsiveness(), latency=5.0, timeout=1.0
+        )
+        delivered = _drive(middleware)
+        assert len(delivered) == 1
+        assert isinstance(delivered[0], ResponseMessage)
+        assert delivered[0].is_fault
+
+    def test_all_evident_within_timeout_delivers_fault(self):
+        # Every response arrives in time but is evidently incorrect:
+        # responsiveness mode has no valid response to fast-path, so the
+        # close path must deliver the adjudicated all-evident fault.
+        middleware = _middleware(
+            ModeConfig.max_responsiveness(), outcome=(0.0, 1.0, 0.0)
+        )
+        delivered = _drive(middleware)
+        assert len(delivered) == 1
+        assert delivered[0].is_fault
+
+    def test_happy_path_unchanged(self):
+        middleware = _middleware(ModeConfig.max_responsiveness())
+        delivered = _drive(middleware)
+        assert len(delivered) == 1
+        assert not delivered[0].is_fault
+
+
+class TestNoneAdjudicationNeverLeaks:
+    @pytest.mark.parametrize("mode", ALL_MODES, ids=MODE_IDS)
+    def test_undecided_adjudicator_yields_middleware_fault(self, mode):
+        # All-evident outcomes so no mode can fast-path a valid response
+        # around the adjudicator.
+        middleware = _middleware(
+            mode, adjudicator=UndecidedAdjudicator(),
+            outcome=(0.0, 1.0, 0.0),
+        )
+        delivered = _drive(middleware, demands=3)
+        assert len(delivered) == 3
+        for response in delivered:
+            assert isinstance(response, ResponseMessage)
+            assert response.is_fault
+            assert "undecidable" in response.fault
+
+    @pytest.mark.parametrize("mode", ALL_MODES, ids=MODE_IDS)
+    def test_timeout_plus_undecided_adjudicator(self, mode):
+        middleware = _middleware(
+            mode, adjudicator=UndecidedAdjudicator(),
+            latency=5.0, timeout=1.0,
+        )
+        delivered = _drive(middleware)
+        assert len(delivered) == 1
+        assert delivered[0].is_fault
+
+    def test_responsiveness_fast_path_bypasses_undecided(self):
+        # The first-valid fast path delivers the raw response before any
+        # adjudication, so an undecided adjudicator cannot break it.
+        middleware = _middleware(
+            ModeConfig.max_responsiveness(),
+            adjudicator=UndecidedAdjudicator(),
+        )
+        delivered = _drive(middleware)
+        assert len(delivered) == 1
+        assert not delivered[0].is_fault
+
+
+class TestDeliveryTiming:
+    @pytest.mark.parametrize("mode", ALL_MODES, ids=MODE_IDS)
+    def test_delivery_not_before_adjudication_delay(self, mode):
+        simulator = Simulator()
+        middleware = _middleware(mode)
+        times = []
+        middleware.submit(
+            simulator, RequestMessage("operation1", arguments=(0,)),
+            lambda response: times.append(simulator.now),
+            reference_answer=0,
+        )
+        simulator.run()
+        assert len(times) == 1
+        assert times[0] >= 0.05  # adjudication delay dT

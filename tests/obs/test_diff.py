@@ -1,0 +1,123 @@
+"""Unit tests for repro.obs.diff (trace comparison + CLI)."""
+
+from repro.obs.diff import diff_traces, main, render_diff
+from repro.obs.trace import JsonlTracer
+
+
+def event(seq, kind="dispatch", **fields):
+    out = {"seq": seq, "kind": kind}
+    out.update(fields)
+    return out
+
+
+class TestDiffTraces:
+    def test_identical(self):
+        events = [event(0, t=1.0), event(1, t=2.0)]
+        diff = diff_traces(events, list(events))
+        assert diff.identical
+        assert diff.divergence_index is None
+        assert diff.events_a == diff.events_b == 2
+
+    def test_first_divergence_localised(self):
+        a = [event(0, t=1.0), event(1, t=2.0), event(2, t=9.0)]
+        b = [event(0, t=1.0), event(1, t=2.5), event(2, t=8.0)]
+        diff = diff_traces(a, b)
+        assert not diff.identical
+        assert diff.divergence_index == 1
+        assert diff.differing_fields == ("t",)
+        assert diff.event_a["t"] == 2.0 and diff.event_b["t"] == 2.5
+
+    def test_missing_field_detected(self):
+        a = [event(0, label="x")]
+        b = [event(0)]
+        diff = diff_traces(a, b)
+        assert diff.divergence_index == 0
+        assert diff.differing_fields == ("label",)
+
+    def test_prefix_length_mismatch(self):
+        a = [event(0), event(1)]
+        b = [event(0)]
+        diff = diff_traces(a, b)
+        assert diff.divergence_index == 1
+        assert diff.event_a == event(1)
+        assert diff.event_b is None
+
+    def test_ignore_fields(self):
+        a = [event(0, t=1.0, wall=123.0)]
+        b = [event(0, t=1.0, wall=456.0)]
+        assert not diff_traces(a, b).identical
+        assert diff_traces(a, b, ignore_fields=("wall",)).identical
+
+
+class TestRenderDiff:
+    def test_identical_report(self):
+        diff = diff_traces([event(0)], [event(0)])
+        text = render_diff(diff, "a.jsonl", "b.jsonl")
+        assert "traces identical" in text
+
+    def test_divergence_report_with_context(self):
+        a = [event(0, t=1.0), event(1, t=2.0), event(2, t=3.0)]
+        b = [event(0, t=1.0), event(1, t=2.0), event(2, t=4.0)]
+        diff = diff_traces(a, b)
+        text = render_diff(diff, "A", "B", events_a=a, context=2)
+        assert "diverge at event #2" in text
+        assert "differing fields: t" in text
+        assert "shared context" in text
+        assert "A#2" in text and "B#2" in text
+
+
+class TestDiffCli:
+    def _write(self, path, events):
+        with JsonlTracer(path) as tracer:
+            for kind, fields in events:
+                tracer.emit(kind, **fields)
+
+    def test_exit_zero_on_identical(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        self._write(a, [("x", {"t": 1.0})])
+        self._write(b, [("x", {"t": 1.0})])
+        assert main([str(a), str(b)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_exit_one_on_divergence(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        self._write(a, [("x", {"t": 1.0})])
+        self._write(b, [("x", {"t": 2.0})])
+        assert main([str(a), str(b)]) == 1
+        assert "diverge" in capsys.readouterr().out
+
+    def test_exit_two_on_unreadable(self, tmp_path, capsys):
+        a = tmp_path / "a.jsonl"
+        self._write(a, [("x", {})])
+        assert main([str(a), str(tmp_path / "missing.jsonl")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_quiet_suppresses_output(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        self._write(a, [("x", {"t": 1.0})])
+        self._write(b, [("x", {"t": 2.0})])
+        assert main([str(a), str(b), "--quiet"]) == 1
+        assert capsys.readouterr().out == ""
+
+    def test_ignore_field_flag(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        self._write(a, [("x", {"t": 1.0, "noise": 1})])
+        self._write(b, [("x", {"t": 1.0, "noise": 2})])
+        assert main([str(a), str(b), "--ignore-field", "noise",
+                     "--quiet"]) == 0
+
+    def test_module_entry_point(self, tmp_path):
+        # `python -m repro.obs.diff` is the documented interface.
+        import subprocess
+        import sys
+
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        self._write(a, [("x", {"t": 1.0})])
+        self._write(b, [("x", {"t": 1.0})])
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.obs.diff", str(a), str(b)],
+            capture_output=True, text=True,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "identical" in result.stdout
+        assert "RuntimeWarning" not in result.stderr

@@ -1,0 +1,87 @@
+"""Unit tests for repro.obs.metrics (counter/gauge/histogram registry)."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("cache.hit")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative_amount(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        gauge = Gauge("pool.utilization")
+        gauge.set(0.5)
+        gauge.set(0.75)
+        assert gauge.value == 0.75
+
+
+class TestHistogram:
+    def test_empty_summary_is_nan(self):
+        histogram = Histogram("t")
+        assert histogram.count == 0
+        assert math.isnan(histogram.mean)
+        assert math.isnan(histogram.min)
+        assert math.isnan(histogram.max)
+
+    def test_summary_statistics(self):
+        histogram = Histogram("t")
+        for value in (1.0, 2.0, 3.0):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 3
+        assert summary["sum"] == pytest.approx(6.0)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["mean"] == pytest.approx(2.0)
+
+    def test_sum_is_order_independent(self):
+        values = [0.1, 1e10, -1e10, 0.2, 0.3]
+        forward = Histogram("f")
+        backward = Histogram("b")
+        for value in values:
+            forward.observe(value)
+        for value in reversed(values):
+            backward.observe(value)
+        assert forward.sum == backward.sum
+
+
+class TestMetricsRegistry:
+    def test_instruments_are_lazily_created_and_cached(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_as_dict_sorted_and_complete(self):
+        registry = MetricsRegistry()
+        registry.counter("b.count").inc(2)
+        registry.counter("a.count").inc()
+        registry.gauge("util").set(0.5)
+        registry.histogram("lat").observe(1.5)
+        snapshot = registry.as_dict()
+        assert list(snapshot["counters"]) == ["a.count", "b.count"]
+        assert snapshot["counters"]["b.count"] == 2
+        assert snapshot["gauges"]["util"] == 0.5
+        assert snapshot["histograms"]["lat"]["count"] == 1
+
+    def test_write_json(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("cache.hit").inc(3)
+        path = tmp_path / "out" / "metrics.json"
+        registry.write_json(path)
+        payload = json.loads(path.read_text())
+        assert payload["counters"]["cache.hit"] == 3

@@ -1,0 +1,144 @@
+"""Unit tests for repro.obs.trace (tracers, JSONL IO, merging)."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    JsonlTracer,
+    MemoryTracer,
+    Tracer,
+    merge_traces,
+    read_trace,
+)
+
+
+class TestNullTracer:
+    def test_base_tracer_is_disabled_noop(self):
+        tracer = Tracer()
+        assert tracer.enabled is False
+        tracer.emit("anything", t=1.0)  # must not raise
+        tracer.close()
+
+    def test_shared_null_tracer(self):
+        assert NULL_TRACER.enabled is False
+        NULL_TRACER.emit("kind", field=1)
+
+    def test_context_manager_closes(self):
+        with Tracer() as tracer:
+            tracer.emit("x")
+
+
+class TestMemoryTracer:
+    def test_records_events_with_sequence(self):
+        tracer = MemoryTracer()
+        tracer.emit("schedule", t=0.0, at=1.5)
+        tracer.emit("dispatch", t=1.5)
+        assert tracer.events == [
+            {"seq": 0, "kind": "schedule", "t": 0.0, "at": 1.5},
+            {"seq": 1, "kind": "dispatch", "t": 1.5},
+        ]
+
+    def test_cell_label_stamped(self):
+        tracer = MemoryTracer(cell="table5/run1")
+        tracer.emit("demand", demand=0)
+        assert tracer.events[0]["cell"] == "table5/run1"
+
+    def test_of_kind_filters(self):
+        tracer = MemoryTracer()
+        tracer.emit("a", x=1)
+        tracer.emit("b", x=2)
+        tracer.emit("a", x=3)
+        assert [e["x"] for e in tracer.of_kind("a")] == [1, 3]
+
+
+class TestJsonlTracer:
+    def test_writes_canonical_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTracer(path, cell="c1") as tracer:
+            tracer.emit("schedule", t=0.0, label="timeout:d1")
+            tracer.emit("dispatch", t=1.5, eid=3)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        # Canonical form: sorted keys, compact separators.
+        assert lines[0] == json.dumps(
+            json.loads(lines[0]), sort_keys=True, separators=(",", ":")
+        )
+        first = json.loads(lines[0])
+        assert first == {
+            "seq": 0, "kind": "schedule", "cell": "c1",
+            "t": 0.0, "label": "timeout:d1",
+        }
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "trace.jsonl"
+        with JsonlTracer(path) as tracer:
+            tracer.emit("x")
+        assert path.exists()
+
+    def test_emit_after_close_raises(self, tmp_path):
+        tracer = JsonlTracer(tmp_path / "t.jsonl")
+        tracer.close()
+        with pytest.raises(ValueError):
+            tracer.emit("x")
+
+    def test_close_idempotent(self, tmp_path):
+        tracer = JsonlTracer(tmp_path / "t.jsonl")
+        tracer.close()
+        tracer.close()
+
+
+class TestReadTrace:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlTracer(path) as tracer:
+            tracer.emit("a", t=1.0)
+            tracer.emit("b", t=2.0)
+        events = read_trace(path)
+        assert [e["kind"] for e in events] == ["a", "b"]
+
+    def test_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"seq":0,"kind":"a"}\n\n{"seq":1,"kind":"b"}\n')
+        assert len(read_trace(path)) == 2
+
+    def test_invalid_json_reports_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"seq":0,"kind":"a"}\nnot json\n')
+        with pytest.raises(ValueError, match=":2:"):
+            read_trace(path)
+
+    def test_non_object_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("[1,2,3]\n")
+        with pytest.raises(ValueError, match="objects"):
+            read_trace(path)
+
+
+class TestMergeTraces:
+    def test_concatenates_in_given_order(self, tmp_path):
+        part1 = tmp_path / "a.jsonl"
+        part2 = tmp_path / "b.jsonl"
+        with JsonlTracer(part1, cell="a") as t:
+            t.emit("x")
+        with JsonlTracer(part2, cell="b") as t:
+            t.emit("y")
+            t.emit("z")
+        merged = tmp_path / "merged.jsonl"
+        count = merge_traces([part1, part2], merged)
+        assert count == 3
+        events = read_trace(merged)
+        assert [e["cell"] for e in events] == ["a", "b", "b"]
+
+    def test_merge_is_order_sensitive(self, tmp_path):
+        part1 = tmp_path / "a.jsonl"
+        part2 = tmp_path / "b.jsonl"
+        for part, kind in ((part1, "one"), (part2, "two")):
+            with JsonlTracer(part) as t:
+                t.emit(kind)
+        ab = tmp_path / "ab.jsonl"
+        ba = tmp_path / "ba.jsonl"
+        merge_traces([part1, part2], ab)
+        merge_traces([part2, part1], ba)
+        assert read_trace(ab) != read_trace(ba)

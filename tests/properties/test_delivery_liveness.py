@@ -1,0 +1,123 @@
+"""Property-based liveness test for the delivery guarantee.
+
+For every operating mode, fault mix, timeout and adjudicator — including
+a pathological adjudicator that never produces a response object — every
+``submit`` must deliver **exactly one non-None ResponseMessage**.  The
+built-in adjudicators always attach a response (a fault at worst), which
+is why the older property test could not see the leak: the guarantee has
+to hold for *any* adjudicator and for the responsiveness timeout path
+where no valid response ever arrives.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adjudicators import (
+    Adjudication,
+    Adjudicator,
+    PaperRuleAdjudicator,
+)
+from repro.core.middleware import UpgradeMiddleware
+from repro.core.modes import ModeConfig, SequentialOrder
+from repro.services.endpoint import ServiceEndpoint
+from repro.services.message import RequestMessage, ResponseMessage
+from repro.services.wsdl import default_wsdl
+from repro.simulation.correlation import OutcomeDistribution
+from repro.simulation.distributions import Exponential
+from repro.simulation.engine import Simulator
+from repro.simulation.release_model import ReleaseBehaviour
+from repro.simulation.timing import SystemTimingPolicy
+
+
+class NeverDecides(Adjudicator):
+    """Worst-case adjudicator: no verdict response, ever."""
+
+    name = "never-decides"
+
+    def adjudicate(self, request, collected, rng):
+        return Adjudication("undecidable", None, None)
+
+
+@st.composite
+def scenarios(draw):
+    mode = draw(st.sampled_from([
+        ModeConfig.max_reliability(),
+        ModeConfig.max_responsiveness(),
+        ModeConfig.dynamic(1),
+        ModeConfig.dynamic(2),
+        ModeConfig.sequential(),
+        ModeConfig.sequential(SequentialOrder.RANDOM),
+    ]))
+    adjudicator = draw(st.sampled_from(["paper-rule", "never-decides"]))
+    timeout = draw(st.floats(0.3, 2.5))
+    releases = draw(st.integers(1, 3))
+    mixes = []
+    for _ in range(releases):
+        correct = draw(st.floats(0.0, 1.0))
+        evident = draw(st.floats(0.0, 1.0))
+        non_evident = draw(st.floats(0.0, 1.0))
+        total = correct + evident + non_evident
+        if total == 0.0:
+            mixes.append((1.0, 0.0, 0.0))
+        else:
+            mixes.append(
+                (correct / total, evident / total, non_evident / total)
+            )
+    latency_means = [draw(st.floats(0.05, 3.0)) for _ in range(releases)]
+    seed = draw(st.integers(0, 2**31 - 1))
+    return mode, adjudicator, timeout, mixes, latency_means, seed
+
+
+@given(scenarios())
+@settings(max_examples=40, deadline=None)
+def test_exactly_one_non_none_delivery_per_demand(scenario):
+    mode, adjudicator_name, timeout, mixes, latency_means, seed = scenario
+    adjudicator = (
+        PaperRuleAdjudicator()
+        if adjudicator_name == "paper-rule"
+        else NeverDecides()
+    )
+    demands = 25
+    simulator = Simulator()
+    rng_root = np.random.default_rng(seed)
+    endpoints = []
+    for index, (mix, latency) in enumerate(zip(mixes, latency_means)):
+        endpoints.append(
+            ServiceEndpoint(
+                default_wsdl("WS", f"n{index}", release=f"1.{index}"),
+                ReleaseBehaviour(
+                    f"WS 1.{index}",
+                    OutcomeDistribution(*mix),
+                    Exponential(latency),
+                ),
+                np.random.default_rng(rng_root.integers(2**31)),
+            )
+        )
+    middleware = UpgradeMiddleware(
+        endpoints=endpoints,
+        timing=SystemTimingPolicy(timeout=timeout, adjudication_delay=0.1),
+        rng=np.random.default_rng(rng_root.integers(2**31)),
+        adjudicator=adjudicator,
+        mode=mode,
+    )
+    delivered = []
+    spacing = timeout + 1.0
+    for i in range(demands):
+        request = RequestMessage("operation1", arguments=(i,))
+        simulator.schedule_at(
+            i * spacing,
+            lambda r=request, a=i: middleware.submit(
+                simulator, r, delivered.append, reference_answer=a
+            ),
+        )
+    simulator.run()
+
+    # The liveness guarantee: one delivery per submit, never None, and a
+    # real ResponseMessage every time.
+    assert len(delivered) == demands
+    for response in delivered:
+        assert response is not None
+        assert isinstance(response, ResponseMessage)
+    # Kernel drained — no demand left half-closed.
+    assert simulator.pending_count == 0

@@ -16,15 +16,24 @@ from repro.simulation.release_model import ReleaseBehaviour
 
 
 class ScriptedPort:
-    """Answers according to a script of 'ok' / 'fault' / 'silent'."""
+    """Answers according to a script of 'ok' / 'fault' / 'silent'.
+
+    *latency* may be a single number or a per-call sequence (the last
+    entry repeats), so tests can stage races between attempts.
+    """
 
     def __init__(self, script, latency=0.1):
         self.script = list(script)
-        self.latency = latency
+        self.latencies = (
+            list(latency)
+            if isinstance(latency, (list, tuple))
+            else [latency]
+        )
         self.calls = 0
 
     def submit(self, simulator, request, deliver, reference_answer=None):
         action = self.script[min(self.calls, len(self.script) - 1)]
+        latency = self.latencies[min(self.calls, len(self.latencies) - 1)]
         self.calls += 1
         if action == "silent":
             return
@@ -32,7 +41,7 @@ class ScriptedPort:
             response = fault_response(request, "transient", "svc")
         else:
             response = result_response(request, reference_answer, "svc")
-        simulator.schedule(self.latency, lambda: deliver(response))
+        simulator.schedule(latency, lambda: deliver(response))
 
 
 class TestRetryPolicy:
@@ -123,16 +132,58 @@ class TestRetryBehaviour:
     def test_delivers_exactly_once(self):
         sim = Simulator()
         # Slow success arrives after the attempt timeout fired a retry;
-        # the stale response must be ignored.
+        # the first valid response wins and the demand delivers once.
         port = ScriptedPort(["ok", "ok"], latency=0.8)
         retrying = RetryingPort(
             port, RetryPolicy(max_attempts=2, attempt_timeout=0.5)
         )
         got = []
-        retrying.submit(sim, RequestMessage("op"), got.append,
+        times = []
+        retrying.submit(sim, RequestMessage("op"),
+                        lambda r: (got.append(r), times.append(sim.now)),
                         reference_answer=3)
         sim.run()
         assert len(got) == 1
+
+        # The winner is attempt 1's late success at t=0.8, not attempt
+        # 2's at t=1.3: the superseded attempt stays live.
+        assert times[0] == pytest.approx(0.8)
+        assert retrying.late_accepted == 1
+
+    def test_late_valid_response_accepted_after_timeout_retry(self):
+        # Regression: attempt 1 answers at t=0.8 (after its 0.5s
+        # timeout), attempt 2 is silent.  The old code discarded the
+        # late success and synthesized a fault; now it is delivered.
+        sim = Simulator()
+        port = ScriptedPort(["ok", "silent"], latency=0.8)
+        retrying = RetryingPort(
+            port, RetryPolicy(max_attempts=2, attempt_timeout=0.5)
+        )
+        got = []
+        retrying.submit(sim, RequestMessage("op"), got.append,
+                        reference_answer=9)
+        sim.run()
+        assert len(got) == 1
+        assert not got[0].is_fault and got[0].result == 9
+        assert retrying.late_accepted == 1
+
+    def test_stale_fault_still_ignored(self):
+        # A superseded attempt's late *fault* must not finish the
+        # demand: the retry it triggered is already running.  Attempt
+        # 1's fault lands at t=0.8 (after its 0.5s timeout fired the
+        # retry) just before attempt 2's success, also at t=0.8.
+        sim = Simulator()
+        port = ScriptedPort(["fault", "ok"], latency=[0.8, 0.3])
+        retrying = RetryingPort(
+            port, RetryPolicy(max_attempts=2, attempt_timeout=0.5)
+        )
+        got = []
+        retrying.submit(sim, RequestMessage("op"), got.append,
+                        reference_answer=6)
+        sim.run()
+        assert len(got) == 1
+        assert not got[0].is_fault and got[0].result == 6
+        assert retrying.late_accepted == 0
 
     def test_non_evident_failures_pass_through(self):
         # Retry cannot see a wrong-but-valid answer (§2.1): it must be
