@@ -36,6 +36,7 @@ from repro.experiments import paper_params as P
 from repro.experiments.event_sim import run_release_pair_simulation
 from repro.experiments.table5 import run_table5
 from repro.lint import run_lint
+from repro.pipeline import ExperimentOptions, get_spec, run_experiment
 from repro.lint.version import LINT_VERSION
 from repro.obs.metrics import MetricsRegistry
 from repro.simulation.engine import Simulator
@@ -109,6 +110,31 @@ def bench_tracing_overhead(requests: int) -> dict:
     }
 
 
+def bench_pipeline_overhead(requests: int) -> dict:
+    """Unified-engine wall-time vs calling the experiment directly.
+
+    Both paths run the identical 12-cell Table-5 grid (sequential, no
+    cache); the difference is what the declarative spec layer — size
+    resolution, grid validation, reduce/render hooks — costs per run.
+    """
+    spec = get_spec("table5")
+    options = ExperimentOptions(seed=3, requests=requests, jobs=1)
+    run_experiment(spec, options)  # warm
+    started = time.perf_counter()
+    run_experiment(spec, options)
+    engine = time.perf_counter() - started
+    started = time.perf_counter()
+    run_table5(seed=3, requests=requests, jobs=1)
+    direct = time.perf_counter() - started
+    return {
+        "requests_per_cell": requests,
+        "engine_seconds": round(engine, 4),
+        "direct_seconds": round(direct, 4),
+        "overhead_seconds": round(engine - direct, 4),
+        "overhead_ratio": round(engine / direct, 3),
+    }
+
+
 def grid_metrics_snapshot(requests: int) -> dict:
     """Operational metrics of one sequential 12-cell grid run."""
     registry = MetricsRegistry()
@@ -151,6 +177,7 @@ def main(argv=None) -> int:
     parallel = bench_grid(requests, jobs=args.jobs)
     lint = bench_lint(Path(__file__).resolve().parents[1] / "src")
     tracing = bench_tracing_overhead(requests)
+    pipeline = bench_pipeline_overhead(requests)
     grid_metrics = grid_metrics_snapshot(requests)
 
     # ~6 kernel events and exactly one adjudicated demand per request.
@@ -179,6 +206,7 @@ def main(argv=None) -> int:
             "scaling": round(sequential / parallel, 2),
         },
         "lint": lint,
+        "pipeline": pipeline,
         "obs": {
             "tracing": tracing,
             "grid_metrics": grid_metrics,

@@ -9,7 +9,7 @@ criteria (which live in :mod:`repro.core.switching`).
 """
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -21,6 +21,9 @@ from repro.bayes.detection import DetectionModel
 from repro.bayes.priors import GridSpec, WhiteBoxPrior
 from repro.bayes.whitebox import WhiteBoxAssessor
 from repro.obs.trace import Tracer
+
+if TYPE_CHECKING:  # import kept lazy at runtime (see run_replications)
+    from repro.runtime.cache import ResultCache
 
 
 @dataclass(frozen=True)
@@ -132,6 +135,24 @@ class SequentialAssessment:
         self.confidence_targets = tuple(confidence_targets)
         self.grid = grid
 
+    def describe(self) -> str:
+        """Stable textual identity of this assessment's configuration.
+
+        Used as a result-cache key component: every constituent
+        (ground truth, detection model, prior, grid) has a stable
+        ``repr`` that encodes its parameters, so equal configurations
+        describe equally across processes and sessions.
+        """
+        return (
+            f"ground_truth={self.ground_truth!r}, "
+            f"detection={self.detection!r}, "
+            f"prior={self.prior!r}, "
+            f"total_demands={self.total_demands}, "
+            f"checkpoint_every={self.checkpoint_every}, "
+            f"confidence_targets={self.confidence_targets!r}, "
+            f"grid={self.grid!r}"
+        )
+
     def checkpoints(self) -> List[int]:
         """Demand counts at which the posterior is evaluated."""
         points = list(
@@ -231,6 +252,7 @@ def run_replications(
     replications: int,
     seed: int,
     jobs: int = 1,
+    cache: Optional["ResultCache"] = None,
 ) -> List[AssessmentHistory]:
     """Monte-Carlo replications of one assessment across demand streams.
 
@@ -239,6 +261,9 @@ def run_replications(
     :meth:`~repro.common.seeding.SeedSequenceFactory.child_seed`), so the
     set of histories is bit-identical for any ``jobs`` value and any
     single replication can be reproduced in isolation from its index.
+    A *cache* replays completed replications: the key combines
+    :meth:`SequentialAssessment.describe` with the replication's child
+    seed, so it is stable across processes and sessions.
     """
     # Imported lazily: keeps the bayes layer importable without pulling
     # in the runtime/simulation stack.
@@ -255,9 +280,11 @@ def run_replications(
             fn=_replication_cell,
             kwargs=dict(
                 assessment=assessment,
-                seed=seeds.child_seed(f"replication/{index}"),
+                seed=cell_seed,
             ),
+            key=dict(assessment=assessment.describe(), seed=cell_seed),
         )
         for index in range(replications)
+        for cell_seed in [seeds.child_seed(f"replication/{index}")]
     ]
-    return run_cells(cells, jobs=jobs)
+    return run_cells(cells, jobs=jobs, cache=cache)

@@ -19,7 +19,7 @@ experiment consumes them.
 """
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -31,6 +31,7 @@ from repro.experiments.event_sim import (
     calibrated_profile,
     paper_profile,
 )
+from repro.pipeline import ExperimentOptions, ExperimentSpec, register
 from repro.runtime.cache import ResultCache
 from repro.runtime.parallel import CellSpec, run_cells
 from repro.simulation.distributions import LogNormal, WithHangs
@@ -147,6 +148,20 @@ def candidate_profiles() -> List[LatencyProfile]:
     return candidates
 
 
+def calibration_cells(samples: int, seed: int) -> List[CellSpec]:
+    """One Monte-Carlo cell per candidate profile (profile names encode
+    their parameters, making them stable cache keys)."""
+    return [
+        CellSpec(
+            experiment="calibration",
+            fn=evaluate_profile,
+            kwargs=dict(profile=profile, samples=samples, seed=seed),
+            key=dict(profile=profile.name, samples=samples, seed=seed),
+        )
+        for profile in candidate_profiles()
+    ]
+
+
 def run_calibration(
     samples: int = 100_000,
     seed: int = 7,
@@ -156,19 +171,9 @@ def run_calibration(
     """Evaluate all candidates; return (all fits, best fit).
 
     Each candidate profile is an independent Monte-Carlo cell, so the
-    sweep fans across the parallel runtime (profile names encode their
-    parameters, making them stable cache keys).
+    sweep fans across the parallel runtime.
     """
-    cells = [
-        CellSpec(
-            experiment="calibration",
-            fn=evaluate_profile,
-            kwargs=dict(profile=profile, samples=samples, seed=seed),
-            key=dict(profile=profile.name, samples=samples, seed=seed),
-        )
-        for profile in candidate_profiles()
-    ]
-    fits = run_cells(cells, jobs=jobs, cache=cache)
+    fits = run_cells(calibration_cells(samples, seed), jobs=jobs, cache=cache)
     best = min(fits, key=lambda fit: fit.error())
     return fits, best
 
@@ -209,3 +214,35 @@ def render_calibration(fits: Sequence[LatencyFit], top: int = 12) -> str:
             f"{PAPER_SYSTEM_NRDT_RATE[1.5]})"
         ),
     )
+
+
+def _build_cells(
+    options: ExperimentOptions, sizes: Mapping[str, Any]
+) -> List[CellSpec]:
+    return calibration_cells(samples=sizes["samples"], seed=options.seed)
+
+
+def _reduce(
+    fits: List[LatencyFit], options: ExperimentOptions
+) -> Tuple[List[LatencyFit], LatencyFit]:
+    return list(fits), min(fits, key=lambda fit: fit.error())
+
+
+def _render(
+    result: Tuple[List[LatencyFit], LatencyFit], options: ExperimentOptions
+) -> str:
+    fits, best = result
+    return render_calibration(fits) + f"\n\nBest fit: {best.profile_name}"
+
+
+CALIBRATION_SPEC = register(ExperimentSpec(
+    name="calibrate",
+    title="Latency calibration sweep vs paper-reported MET/NRDT (§5.2.2)",
+    build_cells=_build_cells,
+    reduce=_reduce,
+    render=_render,
+    full_sizes={"samples": 100_000},
+    fast_sizes={"samples": 20_000},
+    workload_key="samples",
+    cache_schema=("profile", "samples", "seed"),
+))

@@ -10,7 +10,13 @@ Usage (installed as ``repro-experiments``)::
     python -m repro.experiments.cli calibrate # latency calibration sweep
     python -m repro.experiments.cli all       # everything
 
-Options: ``--seed``, ``--fast`` (reduced sizes for smoke runs),
+The subcommand table is not hand-written: every experiment registers an
+:class:`~repro.pipeline.spec.ExperimentSpec` and this module renders the
+registry (:data:`COMMANDS`) into the parser, so a new experiment becomes
+a subcommand — with the full uniform flag set below — by registering a
+spec (see docs/TUTORIAL.md, "Adding an experiment").
+
+Options: ``--seed``, ``--fast`` (each spec's reduced smoke sizes),
 ``--profile {paper,calibrated}`` for the event-driven tables,
 ``--jobs N`` to fan independent experiment cells across N worker
 processes (results are bit-identical to a sequential run), and
@@ -18,12 +24,12 @@ processes (results are bit-identical to a sequential run), and
 on-disk result cache.
 
 Observability (see :mod:`repro.obs`): ``--trace PATH`` writes the
-event-driven tables' kernel + demand-span event stream as one merged
-JSONL trace (per-cell parts merged in deterministic order, so the file
-is bit-identical for any ``--jobs`` value — compare runs with
-``python -m repro.obs.diff``); ``--metrics-json PATH`` snapshots the
-cache / pool / kernel metrics registry; ``--requests N`` overrides the
-per-run request count of the event-driven tables (CI uses small cells).
+per-cell event stream as one merged JSONL trace (parts merged in
+deterministic order, so the file is bit-identical for any ``--jobs``
+value — compare runs with ``python -m repro.obs.diff``);
+``--metrics-json PATH`` snapshots the cache / pool / kernel metrics
+registry; ``--requests N`` overrides each spec's main workload knob
+(requests, samples or demands; CI uses small cells).
 """
 
 import argparse
@@ -36,176 +42,29 @@ from typing import List, Optional
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import merge_traces
 
-from repro.analysis.plots import plot_percentile_curves
-from repro.bayes.priors import GridSpec
-from repro.experiments.paper_params import DEFAULT_SEED, REQUESTS_PER_RUN
-from repro.experiments.calibration import render_calibration, run_calibration
-from repro.experiments.event_sim import calibrated_profile, paper_profile
-from repro.experiments.multi_release import run_sweep
-from repro.experiments.percentile_curves import run_fig7, run_fig8
-from repro.experiments.robustness import run_robustness
-from repro.experiments.table2 import run_table2
-from repro.experiments.table5 import run_table5
-from repro.experiments.table6 import run_table6
+from repro.experiments.paper_params import DEFAULT_SEED
+from repro.pipeline import (
+    ExperimentOptions,
+    discover,
+    registered_specs,
+    run_experiment,
+)
 from repro.runtime.cache import ResultCache, default_cache_dir
 
+discover()
 
-#: Reduced demand count for --fast Bayesian runs.  Coincidentally equal
-#: to the paper's requests-per-run for Tables 5/6; this is a smoke-run
-#: size, not that parameter, hence the lint suppression.
-FAST_DEMANDS = 10_000  # repro-lint: disable=REPRO106
-
-
-def _profile(name: str):
-    return calibrated_profile() if name == "calibrated" else paper_profile()
+#: Subcommand table, generated from the spec registry (name -> spec).
+COMMANDS = registered_specs()
 
 
-def _cache(args) -> Optional[ResultCache]:
-    """The result cache selected by the cache flags (None = disabled)."""
-    if args.no_cache:
-        return None
-    return ResultCache(
-        args.cache_dir or default_cache_dir(),
-        metrics=getattr(args, "metrics_registry", None),
-    )
-
-
-def _requests(args, fast_default: int) -> int:
-    """Per-run request count for the event-driven tables."""
-    if args.requests is not None:
-        return args.requests
-    return fast_default if args.fast else REQUESTS_PER_RUN
-
-
-def cmd_table2(args) -> str:
-    kwargs = {}
-    if args.fast:
-        kwargs.update(total_demands=FAST_DEMANDS, checkpoint_every=1_000,
-                      grid=GridSpec(96, 96, 32))
-    result = run_table2(seed=args.seed, jobs=args.jobs, **kwargs)
-    return result.render()
-
-
-def cmd_fig7(args) -> str:
-    kwargs = {}
-    if args.fast:
-        kwargs.update(total_demands=FAST_DEMANDS, checkpoint_every=2_000,
-                      grid=GridSpec(96, 96, 32))
-    curves = run_fig7(seed=args.seed, jobs=args.jobs, **kwargs)
-    bound = curves.detection_confidence_error_ok()
-    return "\n\n".join([
-        curves.render(),
-        plot_percentile_curves(curves),
-        f"90%-perfect <= 99%-omission everywhere (the <9% confidence "
-        f"error bound): {bound}",
-    ])
-
-
-def cmd_fig8(args) -> str:
-    kwargs = {}
-    if args.fast:
-        kwargs.update(total_demands=5_000, checkpoint_every=500,
-                      grid=GridSpec(96, 96, 32))
-    curves = run_fig8(seed=args.seed, jobs=args.jobs, **kwargs)
-    bound = curves.detection_confidence_error_ok()
-    return "\n\n".join([
-        curves.render(),
-        plot_percentile_curves(curves),
-        f"90%-perfect <= 99%-omission everywhere (the <9% confidence "
-        f"error bound): {bound}",
-    ])
-
-
-def cmd_table5(args) -> str:
-    table = run_table5(
-        seed=args.seed, requests=_requests(args, 2_000),
-        profile=_profile(args.profile),
-        jobs=args.jobs, cache=_cache(args),
-        trace_dir=getattr(args, "trace_dir_runtime", None),
-        metrics=getattr(args, "metrics_registry", None),
-    )
-    return table.render()
-
-
-def cmd_table6(args) -> str:
-    table = run_table6(
-        seed=args.seed, requests=_requests(args, 2_000),
-        profile=_profile(args.profile),
-        jobs=args.jobs, cache=_cache(args),
-        trace_dir=getattr(args, "trace_dir_runtime", None),
-        metrics=getattr(args, "metrics_registry", None),
-    )
-    return table.render()
-
-
-def cmd_calibrate(args) -> str:
-    samples = 20_000 if args.fast else 100_000
-    fits, best = run_calibration(samples=samples, seed=args.seed,
-                                 jobs=args.jobs, cache=_cache(args))
-    return render_calibration(fits) + f"\n\nBest fit: {best.profile_name}"
-
-
-def cmd_fidelity(args) -> str:
-    from repro.experiments.fidelity import compare_to_paper
-    from repro.experiments.paper_reported import TABLE5, TABLE6
-
-    requests = _requests(args, 2_000)
-    latency = calibrated_profile()
-    diff5 = compare_to_paper(
-        run_table5(seed=args.seed, requests=requests, profile=latency,
-                   jobs=args.jobs, cache=_cache(args)),
-        TABLE5, "Table 5 (calibrated)",
-    )
-    diff6 = compare_to_paper(
-        run_table6(seed=args.seed, requests=requests, profile=latency,
-                   jobs=args.jobs, cache=_cache(args)),
-        TABLE6, "Table 6 (calibrated)",
-    )
-    return diff5.render() + "\n\n" + diff6.render()
-
-
-def cmd_multirelease(args) -> str:
-    requests = 1_500 if args.fast else 5_000
-    sweep = run_sweep(requests=requests, seed=args.seed,
-                      jobs=args.jobs, cache=_cache(args))
-    return sweep.render()
-
-
-def cmd_report(args) -> str:
-    from repro.experiments.report import generate_report, write_report
-
-    if args.output:
-        write_report(args.output, seed=args.seed, fast=args.fast,
-                     profile=args.profile, jobs=args.jobs,
-                     cache=_cache(args))
-        return f"report written to {args.output}"
-    return generate_report(seed=args.seed, fast=args.fast,
-                           profile=args.profile, jobs=args.jobs,
-                           cache=_cache(args))
-
-
-def cmd_robustness(args) -> str:
-    kwargs = {}
-    seeds = (1, 2, 3) if args.fast else (1, 2, 3, 4, 5)
-    if args.fast:
-        kwargs.update(total_demands=FAST_DEMANDS, checkpoint_every=1_000,
-                      grid=GridSpec(64, 64, 24))
-    report = run_robustness(seeds=seeds, jobs=args.jobs, **kwargs)
-    return report.render()
-
-
-COMMANDS = {
-    "table2": cmd_table2,
-    "fig7": cmd_fig7,
-    "fig8": cmd_fig8,
-    "table5": cmd_table5,
-    "table6": cmd_table6,
-    "calibrate": cmd_calibrate,
-    "fidelity": cmd_fidelity,
-    "multirelease": cmd_multirelease,
-    "report": cmd_report,
-    "robustness": cmd_robustness,
-}
+def _command_listing() -> str:
+    """Registry-driven help epilog: one line per experiment."""
+    width = max(len(name) for name in COMMANDS)
+    lines = [
+        f"  {name:<{width}}  {spec.title}"
+        for name, spec in sorted(COMMANDS.items())
+    ]
+    return "experiments (from the spec registry):\n" + "\n".join(lines)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -215,6 +74,8 @@ def build_parser() -> argparse.ArgumentParser:
             "Regenerate the tables and figures of 'Dependable Composite "
             "Web Services with Components Upgraded Online' (DSN 2004)."
         ),
+        epilog=_command_listing(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
         "experiment",
@@ -266,9 +127,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--trace", default=None, metavar="PATH",
         help=(
-            "write the event-driven tables' JSONL trace (kernel events "
-            "+ per-demand spans) to PATH; deterministic for any --jobs "
-            "value, diffable with 'python -m repro.obs.diff'"
+            "write the experiment's JSONL trace (kernel events, "
+            "per-demand spans, posterior checkpoints) to PATH; "
+            "deterministic for any --jobs value, diffable with "
+            "'python -m repro.obs.diff'"
         ),
     )
     parser.add_argument(
@@ -281,11 +143,36 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--requests", type=int, default=None, metavar="N",
         help=(
-            "override the per-run request count of the event-driven "
-            "tables (default: paper size, or the --fast smoke size)"
+            "override the experiment's main workload knob — requests "
+            "per run, Monte-Carlo samples or demand-stream length "
+            "(default: paper size, or the --fast smoke size)"
         ),
     )
     return parser
+
+
+def _options(
+    args: argparse.Namespace,
+    trace_dir: Optional[str],
+    metrics: Optional[MetricsRegistry],
+) -> ExperimentOptions:
+    """Map the parsed flags onto the uniform engine options."""
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(
+            args.cache_dir or default_cache_dir(), metrics=metrics
+        )
+    return ExperimentOptions(
+        seed=args.seed,
+        fast=args.fast,
+        profile=args.profile,
+        jobs=args.jobs,
+        cache=cache,
+        requests=args.requests,
+        trace_dir=trace_dir,
+        metrics=metrics,
+        output=args.output,
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -300,36 +187,37 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.experiment is None:
         parser.error("an experiment is required unless --clear-cache is given")
     if args.experiment == "all":
-        # 'report' re-runs every experiment itself; keep 'all' to the
-        # individual experiments.
-        names = sorted(name for name in COMMANDS if name != "report")
+        # Composite experiments that re-run the others declare
+        # in_all=False (the 'report' spec), so 'all' never recurses.
+        names = sorted(
+            name for name, spec in COMMANDS.items() if spec.in_all
+        )
     else:
         names = [args.experiment]
 
-    args.metrics_registry = (
-        MetricsRegistry() if args.metrics_json is not None else None
-    )
-    args.trace_dir_runtime = (
+    metrics = MetricsRegistry() if args.metrics_json is not None else None
+    trace_dir = (
         tempfile.mkdtemp(prefix="repro-trace-")
         if args.trace is not None
         else None
     )
+    options = _options(args, trace_dir, metrics)
 
     for name in names:
         started = time.time()
-        output = COMMANDS[name](args)
+        outcome = run_experiment(COMMANDS[name], options)
         elapsed = time.time() - started
         print(f"=== {name} (seed={args.seed}, {elapsed:.1f}s) ===")
-        print(output)
+        print(outcome.text)
         print()
 
-    if args.trace_dir_runtime is not None:
+    if trace_dir is not None:
         # Per-cell trace parts merge in sorted-filename order — a pure
         # function of the grid, never of worker scheduling — so the
         # merged trace is bit-identical for any --jobs value.
         parts = sorted(
-            os.path.join(args.trace_dir_runtime, entry)
-            for entry in os.listdir(args.trace_dir_runtime)
+            os.path.join(trace_dir, entry)
+            for entry in os.listdir(trace_dir)
             if entry.endswith(".jsonl")
         )
         count = merge_traces(parts, args.trace)
@@ -337,8 +225,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"trace: {count} events from {len(parts)} cell(s) "
             f"-> {args.trace}"
         )
-    if args.metrics_registry is not None:
-        args.metrics_registry.write_json(args.metrics_json)
+    if metrics is not None:
+        metrics.write_json(args.metrics_json)
         print(f"metrics -> {args.metrics_json}")
     return 0
 

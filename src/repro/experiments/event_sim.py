@@ -8,6 +8,7 @@ row format (MET, CR/EER/NER counts, NRDT per release and for the
 adjudicated system).
 """
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -23,6 +24,7 @@ from repro.experiments import paper_params as P
 from repro.experiments.paper_params import DEFAULT_SEED
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import JsonlTracer, Tracer
+from repro.runtime.parallel import CellSpec
 from repro.runtime.sampling import build_demand_script
 from repro.services.endpoint import ServiceEndpoint
 from repro.services.message import RequestMessage
@@ -331,3 +333,144 @@ class SimulationTable:
                 )
             )
         return "\n\n".join(blocks)
+
+
+# ----------------------------------------------------------------------
+# Unified pipeline cells — Tables 5/6 and the fidelity diff share these
+# ----------------------------------------------------------------------
+
+#: Joint-outcome model family per grid: Table 5 samples release 2 from
+#: the Table-4 conditional (positive correlation), Table 6 samples both
+#: releases independently from their Table-3 marginals.
+#: The outcome-model families Tables 5 and 6 choose between.
+JOINT_MODEL_NAMES: Tuple[str, ...] = ("correlated", "independent")
+
+
+def joint_model(joint: str, run: int) -> JointOutcomeModel:
+    """The *run*-th outcome model of the *joint* family (function
+    dispatch, not a module-level table: cell functions must not read
+    module-level mutables — REPRO103)."""
+    if joint == "correlated":
+        return P.correlated_model(run)
+    if joint == "independent":
+        return P.independent_model(run)
+    raise ConfigurationError(
+        f"joint must be one of {list(JOINT_MODEL_NAMES)}: {joint!r}"
+    )
+
+
+def profile_by_name(name: str) -> LatencyProfile:
+    """The latency profile behind a CLI ``--profile`` value."""
+    if name == "calibrated":
+        return calibrated_profile()
+    if name == "paper":
+        return paper_profile()
+    raise ConfigurationError(
+        f"unknown latency profile {name!r}; expected 'paper' or "
+        f"'calibrated'"
+    )
+
+
+def run_joint_model_cell(
+    joint: str,
+    run: int,
+    timeout: float,
+    requests: int,
+    seed: int,
+    profile: Optional[LatencyProfile],
+    sampling: str,
+    trace_path: Optional[str] = None,
+    trace_cell: str = "",
+    metrics: Optional[MetricsRegistry] = None,
+) -> SimulationRunResult:
+    """One (run, TimeOut) cell of Table 5 or Table 6.
+
+    *joint* selects the outcome-model family (see
+    :data:`JOINT_MODEL_NAMES`) — the only difference between the two
+    tables' grids, which is why this single module-level (picklable)
+    cell function serves both.
+    """
+    metrics_ = run_release_pair_simulation(
+        joint_model=joint_model(joint, run),
+        timeout=timeout,
+        requests=requests,
+        seed=seed,
+        profile=profile,
+        sampling=sampling,
+        trace_path=trace_path,
+        trace_cell=trace_cell,
+        metrics=metrics,
+    )
+    return SimulationRunResult(run, timeout, metrics_)
+
+
+def release_pair_cells(
+    experiment: str,
+    joint: str,
+    seed: int,
+    requests: int,
+    timeouts: Sequence[float] = P.TIMEOUTS,
+    runs: Sequence[int] = (1, 2, 3, 4),
+    profile: Optional[LatencyProfile] = None,
+    sampling: str = "vectorized",
+    jobs: int = 1,
+    trace_dir: Optional[str] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    trace_prefix: Optional[str] = None,
+) -> List[CellSpec]:
+    """Build the Table-5/6 grid as pipeline cells.
+
+    All cells of one run share a seed (derived from *seed* and the run
+    index via ``child_seed(f"{experiment}/run-{run}")``), so the
+    TimeOut sweep observes one workload per run, as in the paper.
+    *experiment* is both the cache namespace and the seed-derivation
+    label — callers reusing a grid (the fidelity diff) pass the owning
+    table's name so seeds and cache entries are shared, and set
+    *trace_prefix* to keep their trace files distinct.
+
+    Traced cells carry ``key=None`` (a cache hit skips simulation and
+    would leave an empty trace); kernel counters are recorded only on
+    the inline ``jobs=1`` path — worker-process registries cannot
+    report back to the parent.
+    """
+    seeds = SeedSequenceFactory(seed)
+    prefix = trace_prefix if trace_prefix is not None else experiment
+    cells = []
+    for run in runs:
+        cell_seed = seeds.child_seed(f"{experiment}/run-{run}")
+        for timeout in timeouts:
+            trace_path = None
+            if trace_dir is not None:
+                trace_path = os.path.join(
+                    trace_dir, f"{prefix}-run{run}-t{timeout}.jsonl"
+                )
+            cells.append(
+                CellSpec(
+                    experiment=experiment,
+                    fn=run_joint_model_cell,
+                    kwargs=dict(
+                        joint=joint,
+                        run=run,
+                        timeout=timeout,
+                        requests=requests,
+                        seed=cell_seed,
+                        profile=profile,
+                        sampling=sampling,
+                        trace_path=trace_path,
+                        trace_cell=f"{prefix}/run{run}/t{timeout}",
+                        metrics=metrics if jobs == 1 else None,
+                    ),
+                    key=None
+                    if trace_path is not None
+                    else dict(
+                        joint=joint,
+                        run=run,
+                        timeout=timeout,
+                        requests=requests,
+                        seed=cell_seed,
+                        profile=repr(profile) if profile else "paper",
+                        sampling=sampling,
+                    ),
+                )
+            )
+    return cells

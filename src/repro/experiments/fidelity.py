@@ -8,13 +8,20 @@ reported cell" claim into an assertion the fidelity bench enforces.
 """
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Any, Dict, List, Mapping, Tuple
 
 import numpy as np
 
 from repro.common.tables import render_table
-from repro.experiments.event_sim import SimulationTable
+from repro.experiments.event_sim import (
+    SimulationRunResult,
+    SimulationTable,
+    calibrated_profile,
+    release_pair_cells,
+)
 from repro.experiments.paper_params import REQUESTS_PER_RUN
+from repro.pipeline import ExperimentOptions, ExperimentSpec, register
+from repro.runtime.parallel import CellSpec
 from repro.simulation.metrics import ReleaseMetrics
 
 #: Observables diffed per column (count rows are scaled by requests).
@@ -115,3 +122,70 @@ def compare_to_paper(
                     reported_value = reported_cell[column][observable]
                 diff.add(observable, ours[observable], reported_value)
     return diff
+
+
+def _build_cells(
+    options: ExperimentOptions, sizes: Mapping[str, Any]
+) -> List[CellSpec]:
+    # Seed-derivation labels and cache namespaces are the owning tables'
+    # ("table5"/"table6"): the regenerated grids are the same cells those
+    # experiments run under the calibrated profile, so they share cache
+    # entries; only the trace prefixes are fidelity's own.
+    cells = []
+    for table, joint in (("table5", "correlated"), ("table6", "independent")):
+        cells.extend(
+            release_pair_cells(
+                table,
+                joint,
+                seed=options.seed,
+                requests=sizes["requests"],
+                profile=calibrated_profile(),
+                jobs=options.jobs,
+                trace_dir=options.trace_dir,
+                metrics=options.metrics,
+                trace_prefix=f"fidelity-{table}",
+            )
+        )
+    return cells
+
+
+def _reduce(
+    results: List[SimulationRunResult], options: ExperimentOptions
+) -> Tuple[FidelityDiff, FidelityDiff]:
+    from repro.experiments.paper_reported import TABLE5, TABLE6
+
+    half = len(results) // 2
+    diff5 = compare_to_paper(
+        SimulationTable(label="Table 5 (calibrated)",
+                        results=list(results[:half])),
+        TABLE5, "Table 5 (calibrated)",
+    )
+    diff6 = compare_to_paper(
+        SimulationTable(label="Table 6 (calibrated)",
+                        results=list(results[half:])),
+        TABLE6, "Table 6 (calibrated)",
+    )
+    return diff5, diff6
+
+
+def _render(
+    diffs: Tuple[FidelityDiff, FidelityDiff], options: ExperimentOptions
+) -> str:
+    diff5, diff6 = diffs
+    return diff5.render() + "\n\n" + diff6.render()
+
+
+FIDELITY_SPEC = register(ExperimentSpec(
+    name="fidelity",
+    title="Fidelity diff vs the paper's reported Tables 5/6",
+    build_cells=_build_cells,
+    reduce=_reduce,
+    render=_render,
+    full_sizes={"requests": REQUESTS_PER_RUN},
+    fast_sizes={"requests": 2_000},
+    workload_key="requests",
+    cache_schema=(
+        "joint", "run", "timeout", "requests", "seed", "profile",
+        "sampling",
+    ),
+))

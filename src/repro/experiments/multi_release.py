@@ -17,7 +17,7 @@ what each extra release buys:
 """
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Any, List, Mapping, Optional, Sequence
 
 from repro.common.errors import ConfigurationError
 from repro.common.seeding import SeedSequenceFactory
@@ -33,6 +33,7 @@ from repro.experiments.event_sim import (
     metrics_from_log,
 )
 from repro.experiments.paper_params import DEFAULT_SEED
+from repro.pipeline import ExperimentOptions, ExperimentSpec, register
 from repro.runtime.cache import ResultCache
 from repro.runtime.parallel import CellSpec, run_cells
 from repro.runtime.sampling import build_demand_script
@@ -179,22 +180,16 @@ class MultiReleaseSweep:
         )
 
 
-def run_sweep(
+def sweep_cells(
     release_counts: Sequence[int] = (1, 2, 3, 4),
     timeout: float = 2.0,
     requests: int = 5_000,
     seed: int = DEFAULT_SEED,
     run: int = 1,
-    jobs: int = 1,
-    cache: Optional[ResultCache] = None,
     sampling: str = "vectorized",
-) -> MultiReleaseSweep:
-    """Sweep the number of deployed releases.
-
-    Each N is an independent cell fanned across the parallel runtime;
-    every cell derives its own root seed so results are bit-identical for
-    any ``jobs`` value.
-    """
+) -> List[CellSpec]:
+    """One 1-out-of-N cell per release count; every cell derives its own
+    root seed so results are bit-identical for any ``jobs`` value."""
     seeds = SeedSequenceFactory(seed)
     cells = []
     for n in release_counts:
@@ -221,5 +216,58 @@ def run_sweep(
                 ),
             )
         )
+    return cells
+
+
+def run_sweep(
+    release_counts: Sequence[int] = (1, 2, 3, 4),
+    timeout: float = 2.0,
+    requests: int = 5_000,
+    seed: int = DEFAULT_SEED,
+    run: int = 1,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    sampling: str = "vectorized",
+) -> MultiReleaseSweep:
+    """Sweep the number of deployed releases across the parallel runtime."""
+    cells = sweep_cells(
+        release_counts,
+        timeout=timeout,
+        requests=requests,
+        seed=seed,
+        run=run,
+        sampling=sampling,
+    )
     metrics = run_cells(cells, jobs=jobs, cache=cache)
     return MultiReleaseSweep(list(release_counts), metrics)
+
+
+def _build_cells(
+    options: ExperimentOptions, sizes: Mapping[str, Any]
+) -> List[CellSpec]:
+    return sweep_cells(requests=sizes["requests"], seed=options.seed)
+
+
+def _reduce(
+    metrics: List[SystemMetrics], options: ExperimentOptions
+) -> MultiReleaseSweep:
+    return MultiReleaseSweep([1, 2, 3, 4], list(metrics))
+
+
+def _render(sweep: MultiReleaseSweep, options: ExperimentOptions) -> str:
+    return sweep.render()
+
+
+MULTI_RELEASE_SPEC = register(ExperimentSpec(
+    name="multirelease",
+    title="Extension: 1-out-of-N sweep over deployed releases (§4.1)",
+    build_cells=_build_cells,
+    reduce=_reduce,
+    render=_render,
+    full_sizes={"requests": 5_000},
+    fast_sizes={"requests": 1_500},
+    workload_key="requests",
+    cache_schema=(
+        "n_releases", "timeout", "requests", "seed", "run", "sampling",
+    ),
+))

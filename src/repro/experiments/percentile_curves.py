@@ -8,19 +8,33 @@ claim: the 90% percentile with perfect detection stays below the 99%
 percentile with imperfect detection, so ~10-15% detection imperfection
 costs less than ~9 percentage points of confidence.
 
-This module reduces assessment histories to the exact curve set of each
-figure and computes that confidence-error bound check.
+Both figures are registered :class:`~repro.pipeline.spec.ExperimentSpec`
+grids over the same (scenario, detection) assessment cells as Table 2
+(shared ``assessment`` cache namespace), reduced to each figure's curve
+set plus the confidence-error bound check.
 """
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Callable, Dict, List, Mapping, Optional
 
 from repro.bayes.priors import GridSpec
 from repro.bayes.runner import AssessmentHistory
 from repro.common.tables import render_table
 from repro.experiments.paper_params import DEFAULT_SEED, FIG8_DEMANDS
-from repro.experiments.scenarios import Scenario, scenario_1, scenario_2
-from repro.experiments.table2 import run_scenario_histories
+from repro.experiments.scenarios import (
+    Scenario,
+    detection_models,
+    scenario_1,
+    scenario_2,
+)
+from repro.experiments.table2 import (
+    FAST_DEMANDS,
+    assessment_cells,
+    run_scenario_histories,
+)
+from repro.pipeline import ExperimentOptions, ExperimentSpec, register
+from repro.runtime.cache import ResultCache
+from repro.runtime.parallel import CellSpec
 
 
 @dataclass
@@ -96,6 +110,20 @@ def curves_from_histories(
     return curves
 
 
+def figure_text(curves: PercentileCurves) -> str:
+    """The full CLI/report rendering of one figure: curve table, ASCII
+    plot and the §5.1.1.4 confidence-error bound check."""
+    from repro.analysis.plots import plot_percentile_curves
+
+    bound = curves.detection_confidence_error_ok()
+    return "\n\n".join([
+        curves.render(),
+        plot_percentile_curves(curves),
+        f"90%-perfect <= 99%-omission everywhere (the <9% confidence "
+        f"error bound): {bound}",
+    ])
+
+
 def run_figure(
     scenario: Scenario,
     seed: int = DEFAULT_SEED,
@@ -103,11 +131,13 @@ def run_figure(
     total_demands: Optional[int] = None,
     checkpoint_every: Optional[int] = None,
     jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> PercentileCurves:
     """Produce one figure's curves from scratch.
 
     ``jobs`` fans the three detection-regime assessments across worker
-    processes (see :func:`~repro.experiments.table2.run_scenario_histories`).
+    processes (see :func:`~repro.experiments.table2.run_scenario_histories`);
+    *cache* replays completed assessment cells.
     """
     histories = run_scenario_histories(
         scenario,
@@ -116,6 +146,7 @@ def run_figure(
         total_demands=total_demands,
         checkpoint_every=checkpoint_every,
         jobs=jobs,
+        cache=cache,
     )
     return curves_from_histories(scenario.name, histories)
 
@@ -126,6 +157,7 @@ def run_fig7(
     total_demands: Optional[int] = None,
     checkpoint_every: int = 2000,
     jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> PercentileCurves:
     """Fig. 7: Scenario 1 percentile curves (to 50,000 demands)."""
     return run_figure(
@@ -135,6 +167,7 @@ def run_fig7(
         total_demands=total_demands,
         checkpoint_every=checkpoint_every,
         jobs=jobs,
+        cache=cache,
     )
 
 
@@ -144,6 +177,7 @@ def run_fig8(
     total_demands: int = FIG8_DEMANDS,
     checkpoint_every: int = 500,
     jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> PercentileCurves:
     """Fig. 8: Scenario 2 percentile curves (to 10,000 demands)."""
     return run_figure(
@@ -153,4 +187,84 @@ def run_fig8(
         total_demands=total_demands,
         checkpoint_every=checkpoint_every,
         jobs=jobs,
+        cache=cache,
     )
+
+
+def _figure_builder(
+    experiment: str, scenario_factory: Callable[[], Scenario]
+) -> Callable[[ExperimentOptions, Mapping[str, Any]], List[CellSpec]]:
+    def build(
+        options: ExperimentOptions, sizes: Mapping[str, Any]
+    ) -> List[CellSpec]:
+        return assessment_cells(
+            experiment,
+            [scenario_factory()],
+            seed=options.seed,
+            grid=sizes["grid"],
+            total_demands=sizes["total_demands"],
+            checkpoint_every=sizes["checkpoint_every"],
+            trace_dir=options.trace_dir,
+        )
+
+    return build
+
+
+def _figure_reducer(
+    scenario_factory: Callable[[], Scenario],
+) -> Callable[[List[AssessmentHistory], ExperimentOptions], PercentileCurves]:
+    def reduce(
+        results: List[AssessmentHistory], options: ExperimentOptions
+    ) -> PercentileCurves:
+        histories = dict(zip(detection_models(), results))
+        return curves_from_histories(scenario_factory().name, histories)
+
+    return reduce
+
+
+def _render(curves: PercentileCurves, options: ExperimentOptions) -> str:
+    return figure_text(curves)
+
+
+_ASSESSMENT_SCHEMA = (
+    "scenario", "detection", "seed", "grid", "demands", "every",
+)
+
+FIG7_SPEC = register(ExperimentSpec(
+    name="fig7",
+    title="Fig. 7: Scenario 1 posterior percentile curves (§5.1.2)",
+    build_cells=_figure_builder("fig7", scenario_1),
+    reduce=_figure_reducer(scenario_1),
+    render=_render,
+    full_sizes={
+        "grid": GridSpec(),
+        "total_demands": None,
+        "checkpoint_every": 2_000,
+    },
+    fast_sizes={
+        "grid": GridSpec(96, 96, 32),
+        "total_demands": FAST_DEMANDS,
+    },
+    workload_key="total_demands",
+    cache_schema=_ASSESSMENT_SCHEMA,
+))
+
+FIG8_SPEC = register(ExperimentSpec(
+    name="fig8",
+    title="Fig. 8: Scenario 2 posterior percentile curves (§5.1.2)",
+    build_cells=_figure_builder("fig8", scenario_2),
+    reduce=_figure_reducer(scenario_2),
+    render=_render,
+    full_sizes={
+        "grid": GridSpec(),
+        "total_demands": FIG8_DEMANDS,
+        "checkpoint_every": 500,
+    },
+    fast_sizes={
+        "grid": GridSpec(96, 96, 32),
+        "total_demands": 5_000,
+        "checkpoint_every": 500,
+    },
+    workload_key="total_demands",
+    cache_schema=_ASSESSMENT_SCHEMA,
+))

@@ -25,6 +25,7 @@ from repro.experiments.percentile_curves import run_fig7, run_fig8
 from repro.experiments.table2 import run_table2
 from repro.experiments.table5 import run_table5
 from repro.experiments.table6 import run_table6
+from repro.pipeline import ExperimentOptions, ExperimentSpec, register
 
 
 class ReportSizes:
@@ -42,13 +43,19 @@ class ReportSizes:
         self.sweep_requests = 1_500 if fast else 5_000
 
 
-def _table2_section(seed: int, sizes: ReportSizes, jobs: int = 1) -> str:
+def _table2_section(
+    seed: int,
+    sizes: ReportSizes,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> str:
     result = run_table2(
         seed=seed,
         grid=sizes.grid,
         total_demands=sizes.table2_demands,
         checkpoint_every=sizes.table2_checkpoint,
         jobs=jobs,
+        cache=cache,
     )
     rows = []
     for (scenario, detection) in result.histories:
@@ -177,18 +184,18 @@ def generate_report(
         f"Generated {started}; seed {seed}; "
         f"{'fast' if fast else 'full'} sizes; latency profile "
         f"'{latency.name}'.",
-        _table2_section(seed, sizes, jobs=jobs),
+        _table2_section(seed, sizes, jobs=jobs, cache=cache),
         _figure_section(
             "Fig. 7",
             run_fig7(
                 seed=seed, grid=sizes.grid,
                 total_demands=sizes.table2_demands,
-                jobs=jobs,
+                jobs=jobs, cache=cache,
             ),
         ),
         _figure_section(
             "Fig. 8",
-            run_fig8(seed=seed, grid=sizes.grid, jobs=jobs),
+            run_fig8(seed=seed, grid=sizes.grid, jobs=jobs, cache=cache),
         ),
         _event_table_section(
             "Table 5 — correlated releases",
@@ -220,3 +227,37 @@ def write_report(
     with open(path, "w") as handle:
         handle.write(text)
     return text
+
+
+def _composite(options: ExperimentOptions) -> str:
+    if options.output:
+        return write_report(
+            options.output,
+            seed=options.seed,
+            fast=options.fast,
+            profile=options.profile,
+            jobs=options.jobs,
+            cache=options.cache,
+        )
+    return generate_report(
+        seed=options.seed,
+        fast=options.fast,
+        profile=options.profile,
+        jobs=options.jobs,
+        cache=options.cache,
+    )
+
+
+def _render(text: str, options: ExperimentOptions) -> str:
+    if options.output:
+        return f"report written to {options.output}"
+    return text
+
+
+REPORT_SPEC = register(ExperimentSpec(
+    name="report",
+    title="Markdown reproduction report over every experiment",
+    composite=_composite,
+    render=_render,
+    in_all=False,
+))

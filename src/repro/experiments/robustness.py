@@ -11,11 +11,24 @@ at all — the numbers behind EXPERIMENTS.md's variance note.
 
 import statistics
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.bayes.priors import GridSpec
+from repro.bayes.runner import AssessmentHistory
 from repro.common.tables import render_table
-from repro.experiments.table2 import run_table2
+from repro.experiments.scenarios import (
+    Scenario,
+    detection_models,
+    scenario_1,
+    scenario_2,
+)
+from repro.experiments.table2 import (
+    FAST_DEMANDS,
+    assessment_cells,
+    table2_from_histories,
+)
+from repro.pipeline import ExperimentOptions, ExperimentSpec, register
+from repro.runtime.cache import ResultCache
 from repro.runtime.parallel import CellSpec, run_cells
 
 
@@ -87,34 +100,56 @@ class RobustnessReport:
         )
 
 
-def run_robustness(
-    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+def robustness_cells(
+    seeds: Sequence[int],
     grid: GridSpec = GridSpec(96, 96, 32),
     total_demands: Optional[int] = None,
     checkpoint_every: Optional[int] = None,
-    jobs: int = 1,
-) -> RobustnessReport:
-    """Rerun Table 2 across *seeds* and collect per-cell summaries.
+    trace_dir: Optional[str] = None,
+    scenarios: Optional[List[Scenario]] = None,
+) -> List[CellSpec]:
+    """The full seeds x scenarios x detections assessment grid.
 
-    Each seed's Table-2 study is an independent cell fanned across the
-    parallel runtime (the seeds *are* the experiment design, so no child
-    seeds are derived here).
+    The seeds *are* the experiment design (no child seeds are derived),
+    and each (seed, scenario, detection) assessment is its own cell in
+    the shared ``assessment`` cache namespace — so a robustness sweep
+    replays any cells a Table-2 / Fig-7 / Fig-8 run already computed at
+    the same sizes, and vice versa.
     """
-    report = RobustnessReport(seeds=list(seeds))
-    cells = [
-        CellSpec(
-            experiment="robustness",
-            fn=run_table2,
-            kwargs=dict(
+    if scenarios is None:
+        scenarios = [scenario_1(), scenario_2()]
+    cells: List[CellSpec] = []
+    for seed in seeds:
+        cells.extend(
+            assessment_cells(
+                "robustness",
+                scenarios,
                 seed=seed,
                 grid=grid,
                 total_demands=total_demands,
                 checkpoint_every=checkpoint_every,
-            ),
+                trace_dir=trace_dir,
+                trace_prefix=f"robustness-s{seed}",
+            )
         )
-        for seed in seeds
-    ]
-    for result in run_cells(cells, jobs=jobs):
+    return cells
+
+
+def report_from_histories(
+    seeds: Sequence[int],
+    histories: Sequence[AssessmentHistory],
+    scenarios: Optional[List[Scenario]] = None,
+) -> RobustnessReport:
+    """Reduce the :func:`robustness_cells` grid (cell order) to the
+    across-stream report."""
+    if scenarios is None:
+        scenarios = [scenario_1(), scenario_2()]
+    report = RobustnessReport(seeds=list(seeds))
+    per_seed = len(scenarios) * len(detection_models())
+    for index, _seed in enumerate(seeds):
+        result = table2_from_histories(
+            scenarios, histories[index * per_seed:(index + 1) * per_seed]
+        )
         for cell in result.cells:
             key = (cell.scenario, cell.detection, cell.criterion)
             if key not in report.cells:
@@ -123,3 +158,77 @@ def run_robustness(
                 cell.decision.first_satisfied
             )
     return report
+
+
+def run_robustness(
+    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+    grid: GridSpec = GridSpec(96, 96, 32),
+    total_demands: Optional[int] = None,
+    checkpoint_every: Optional[int] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    trace_dir: Optional[str] = None,
+) -> RobustnessReport:
+    """Rerun the Table-2 study across *seeds* and summarise per cell.
+
+    Every (seed, scenario, detection) assessment fans across the
+    parallel runtime independently, and a *cache* replays completed
+    assessments from earlier runs.
+    """
+    cells = robustness_cells(
+        seeds,
+        grid=grid,
+        total_demands=total_demands,
+        checkpoint_every=checkpoint_every,
+        trace_dir=trace_dir,
+    )
+    histories = run_cells(cells, jobs=jobs, cache=cache)
+    return report_from_histories(seeds, histories)
+
+
+def _build_cells(
+    options: ExperimentOptions, sizes: Mapping[str, Any]
+) -> List[CellSpec]:
+    return robustness_cells(
+        sizes["seeds"],
+        grid=sizes["grid"],
+        total_demands=sizes["total_demands"],
+        checkpoint_every=sizes["checkpoint_every"],
+        trace_dir=options.trace_dir,
+    )
+
+
+def _reduce(
+    histories: List[AssessmentHistory], options: ExperimentOptions
+) -> RobustnessReport:
+    sizes = ROBUSTNESS_SPEC.sizes(options)
+    return report_from_histories(sizes["seeds"], histories)
+
+
+def _render(report: RobustnessReport, options: ExperimentOptions) -> str:
+    return report.render()
+
+
+ROBUSTNESS_SPEC = register(ExperimentSpec(
+    name="robustness",
+    title="Extension: Table-2 durations across Monte-Carlo streams",
+    build_cells=_build_cells,
+    reduce=_reduce,
+    render=_render,
+    full_sizes={
+        "seeds": (1, 2, 3, 4, 5),
+        "grid": GridSpec(96, 96, 32),
+        "total_demands": None,
+        "checkpoint_every": None,
+    },
+    fast_sizes={
+        "seeds": (1, 2, 3),
+        "grid": GridSpec(64, 64, 24),
+        "total_demands": FAST_DEMANDS,
+        "checkpoint_every": 1_000,
+    },
+    workload_key="total_demands",
+    cache_schema=(
+        "scenario", "detection", "seed", "grid", "demands", "every",
+    ),
+))

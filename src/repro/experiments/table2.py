@@ -4,14 +4,20 @@ For each scenario (§5.1.1.1), each detection regime (§5.1.1.3) and each
 switching criterion (§5.1.1.2), determine after how many demands the
 criterion is (first and stably) satisfied.  Mirrors the paper's Table 2
 layout: rows = scenario x detection, columns = criteria.
+
+The Monte-Carlo work is a grid of independent (scenario, detection)
+assessment cells built by :func:`assessment_cells` — the same cells the
+Fig-7/8 curves and the multi-seed robustness sweep consume, all under
+the shared ``assessment`` cache namespace, so any of those experiments
+replays cells another one already computed.
 """
 
+import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.bayes.priors import GridSpec
 from repro.bayes.runner import AssessmentHistory, SequentialAssessment
-from repro.bayes.whitebox import WhiteBoxAssessor
 from repro.common.seeding import SeedSequenceFactory
 from repro.common.tables import render_table
 from repro.core.switching import SwitchDecision, evaluate_history
@@ -22,7 +28,19 @@ from repro.experiments.scenarios import (
     scenario_1,
     scenario_2,
 )
+from repro.obs.trace import JsonlTracer
+from repro.pipeline import ExperimentOptions, ExperimentSpec, register
+from repro.runtime.cache import ResultCache
 from repro.runtime.parallel import CellSpec, run_cells
+
+#: Cache namespace shared by every experiment built from assessment
+#: cells (table2, fig7, fig8, robustness) — equal cells hit one entry.
+ASSESSMENT_NAMESPACE = "assessment"
+
+#: Reduced demand count for --fast assessment runs.  Coincidentally
+#: equal to the paper's requests-per-run for Tables 5/6; this is a
+#: smoke-run size, not that parameter, hence the lint suppression.
+FAST_DEMANDS = 10_000  # repro-lint: disable=REPRO106
 
 
 @dataclass
@@ -83,14 +101,18 @@ def _detection_history_cell(
     grid: GridSpec,
     demands: int,
     every: int,
-    assessor: Optional[WhiteBoxAssessor] = None,
+    trace_path: Optional[str] = None,
+    trace_cell: str = "",
 ) -> AssessmentHistory:
     """One (scenario, detection) assessment; module-level so worker
     processes can unpickle it.
 
     The stream generator is re-derived from (*seed*, scenario name)
     inside the cell, so the same ground-truth demand stream is seen by
-    every detection regime regardless of which process runs it.
+    every detection regime regardless of which process runs it.  With
+    *trace_path* set, every posterior checkpoint is appended to a JSONL
+    trace (fields are functions of the seeded stream only, so the
+    trace is bit-identical for any ``jobs`` value).
     """
     detection = detection_models()[detection_name]
     assessment = SequentialAssessment(
@@ -106,89 +128,95 @@ def _detection_history_cell(
     # from the same generator after the stream, which is fine — the
     # underlying true failure sequence is identical.
     rng = SeedSequenceFactory(seed).generator(f"{scenario.name}/stream")
-    return assessment.run(rng, assessor=assessor)
+    tracer = (
+        JsonlTracer(trace_path, cell=trace_cell)
+        if trace_path is not None
+        else None
+    )
+    try:
+        return assessment.run(rng, tracer=tracer)
+    finally:
+        if tracer is not None:
+            tracer.close()
 
 
-def run_scenario_histories(
-    scenario: Scenario,
+def assessment_cells(
+    experiment: str,
+    scenarios: Sequence[Scenario],
     seed: int,
     grid: GridSpec = GridSpec(),
     total_demands: Optional[int] = None,
     checkpoint_every: Optional[int] = None,
-    jobs: int = 1,
-) -> Dict[str, AssessmentHistory]:
-    """Assessment histories of one scenario under all detection regimes.
+    trace_dir: Optional[str] = None,
+    trace_prefix: Optional[str] = None,
+) -> List[CellSpec]:
+    """Build (scenario, detection) assessment cells for the pipeline.
 
     The same ground-truth demand stream seed is used across detection
     regimes (as in the paper: one set of 50,000 observations per
     scenario, distorted by each detection mechanism), so differences
-    between rows are attributable to detection alone.
-
-    With ``jobs=1`` the three regimes share one assessor (its precomputed
-    likelihood grids are reset between runs); with ``jobs>1`` each regime
-    is an independent cell with its own assessor — same results, the grid
-    precomputation is simply repeated per worker.
+    between rows are attributable to detection alone.  *experiment*
+    labels trace files and cells; the cache namespace is always
+    :data:`ASSESSMENT_NAMESPACE`, so table2 / fig7 / fig8 / robustness
+    share cached cells.  Traced cells bypass the cache (``key=None``).
     """
-    demands = total_demands or scenario.total_demands
-    every = checkpoint_every or scenario.checkpoint_every
-    names = list(detection_models())
-    if jobs <= 1:
-        # One assessor per scenario prior: its precomputed likelihood
-        # grids are reused (reset) across the three detection regimes.
-        assessor = WhiteBoxAssessor(scenario.prior, grid)
-        return {
-            name: _detection_history_cell(
-                scenario, name, seed, grid, demands, every, assessor
+    prefix = trace_prefix if trace_prefix is not None else experiment
+    cells = []
+    for scenario in scenarios:
+        demands = total_demands or scenario.total_demands
+        every = checkpoint_every or scenario.checkpoint_every
+        for name in detection_models():
+            trace_path = None
+            if trace_dir is not None:
+                trace_path = os.path.join(
+                    trace_dir, f"{prefix}-{scenario.name}-{name}.jsonl"
+                )
+            cells.append(
+                CellSpec(
+                    experiment=ASSESSMENT_NAMESPACE,
+                    fn=_detection_history_cell,
+                    kwargs=dict(
+                        scenario=scenario,
+                        detection_name=name,
+                        seed=seed,
+                        grid=grid,
+                        demands=demands,
+                        every=every,
+                        trace_path=trace_path,
+                        trace_cell=f"{prefix}/{scenario.name}/{name}",
+                    ),
+                    key=None
+                    if trace_path is not None
+                    else dict(
+                        scenario=scenario.name,
+                        detection=name,
+                        seed=seed,
+                        grid=repr(grid),
+                        demands=demands,
+                        every=every,
+                    ),
+                )
             )
-            for name in names
-        }
-    cells = [
-        CellSpec(
-            experiment="table2",
-            fn=_detection_history_cell,
-            kwargs=dict(
-                scenario=scenario,
-                detection_name=name,
-                seed=seed,
-                grid=grid,
-                demands=demands,
-                every=every,
-            ),
-        )
-        for name in names
-    ]
-    results = run_cells(cells, jobs=jobs)
-    return dict(zip(names, results))
+    return cells
 
 
-def run_table2(
-    seed: int = DEFAULT_SEED,
-    grid: GridSpec = GridSpec(),
-    total_demands: Optional[int] = None,
-    checkpoint_every: Optional[int] = None,
-    scenarios: Optional[List[Scenario]] = None,
-    jobs: int = 1,
+def table2_from_histories(
+    scenarios: Sequence[Scenario],
+    histories: Sequence[AssessmentHistory],
 ) -> Table2Result:
-    """Run the full Table 2 study.
+    """Reduce assessment histories (cell order) to the Table-2 layout.
 
-    *total_demands* / *checkpoint_every* override the scenario defaults
-    (used by the fast benchmark configuration).  ``jobs`` fans the
-    per-detection assessment cells across worker processes.
+    *histories* must be in :func:`assessment_cells` grid order:
+    scenario-major, detection regimes in paper order within each.
     """
     result = Table2Result()
-    if scenarios is None:
-        scenarios = [scenario_1(), scenario_2()]
+    names = list(detection_models())
+    index = 0
     for scenario in scenarios:
-        histories = run_scenario_histories(
-            scenario,
-            seed=seed,
-            grid=grid,
-            total_demands=total_demands,
-            checkpoint_every=checkpoint_every,
-            jobs=jobs,
-        )
         criteria = scenario.criteria()
-        for detection_name, history in histories.items():
+        for detection_name in names:
+            history = histories[index]
+            index += 1
             result.histories[(scenario.name, detection_name)] = history
             horizon = history.final().demands
             for criterion_name, criterion in criteria.items():
@@ -203,3 +231,112 @@ def run_table2(
                     )
                 )
     return result
+
+
+def run_scenario_histories(
+    scenario: Scenario,
+    seed: int,
+    grid: GridSpec = GridSpec(),
+    total_demands: Optional[int] = None,
+    checkpoint_every: Optional[int] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    trace_dir: Optional[str] = None,
+    experiment: str = ASSESSMENT_NAMESPACE,
+) -> Dict[str, AssessmentHistory]:
+    """Assessment histories of one scenario under all detection regimes.
+
+    Each regime is an independent cell of the parallel runtime; results
+    are bit-identical for any ``jobs`` value, and a
+    :class:`~repro.runtime.cache.ResultCache` replays completed cells.
+    """
+    cells = assessment_cells(
+        experiment,
+        [scenario],
+        seed=seed,
+        grid=grid,
+        total_demands=total_demands,
+        checkpoint_every=checkpoint_every,
+        trace_dir=trace_dir,
+    )
+    results = run_cells(cells, jobs=jobs, cache=cache)
+    return dict(zip(detection_models(), results))
+
+
+def run_table2(
+    seed: int = DEFAULT_SEED,
+    grid: GridSpec = GridSpec(),
+    total_demands: Optional[int] = None,
+    checkpoint_every: Optional[int] = None,
+    scenarios: Optional[List[Scenario]] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    trace_dir: Optional[str] = None,
+) -> Table2Result:
+    """Run the full Table 2 study.
+
+    *total_demands* / *checkpoint_every* override the scenario defaults
+    (used by the fast benchmark configuration).  All six (scenario,
+    detection) cells fan across the parallel runtime at once, and a
+    *cache* replays completed assessments from disk.
+    """
+    if scenarios is None:
+        scenarios = [scenario_1(), scenario_2()]
+    cells = assessment_cells(
+        "table2",
+        scenarios,
+        seed=seed,
+        grid=grid,
+        total_demands=total_demands,
+        checkpoint_every=checkpoint_every,
+        trace_dir=trace_dir,
+    )
+    results = run_cells(cells, jobs=jobs, cache=cache)
+    return table2_from_histories(scenarios, results)
+
+
+def _build_cells(
+    options: ExperimentOptions, sizes: Mapping[str, object]
+) -> List[CellSpec]:
+    return assessment_cells(
+        "table2",
+        [scenario_1(), scenario_2()],
+        seed=options.seed,
+        grid=sizes["grid"],
+        total_demands=sizes["total_demands"],
+        checkpoint_every=sizes["checkpoint_every"],
+        trace_dir=options.trace_dir,
+    )
+
+
+def _reduce(
+    results: List[AssessmentHistory], options: ExperimentOptions
+) -> Table2Result:
+    return table2_from_histories([scenario_1(), scenario_2()], results)
+
+
+def _render(result: Table2Result, options: ExperimentOptions) -> str:
+    return result.render()
+
+
+TABLE2_SPEC = register(ExperimentSpec(
+    name="table2",
+    title="Table 2: duration of the managed upgrade (§5.1)",
+    build_cells=_build_cells,
+    reduce=_reduce,
+    render=_render,
+    full_sizes={
+        "grid": GridSpec(),
+        "total_demands": None,
+        "checkpoint_every": None,
+    },
+    fast_sizes={
+        "grid": GridSpec(96, 96, 32),
+        "total_demands": FAST_DEMANDS,
+        "checkpoint_every": 1_000,
+    },
+    workload_key="total_demands",
+    cache_schema=(
+        "scenario", "detection", "seed", "grid", "demands", "every",
+    ),
+))

@@ -4,56 +4,32 @@ Four runs (Table 3 marginals + Table 4 conditionals, correlation 0.9 down
 to 0.4) x three TimeOuts (1.5 / 2.0 / 3.0 s), 10,000 requests each,
 through the full event-driven managed-upgrade stack.
 
-Every (run, TimeOut) cell is independent, so the grid fans across the
-parallel runtime: ``jobs=N`` runs cells in N worker processes with
-bit-identical results to ``jobs=1`` (each cell derives its own root seed
-from the grid seed via ``SeedSequenceFactory.child_seed``), and a
-:class:`~repro.runtime.cache.ResultCache` replays completed cells from
-disk.
+The grid is declared as a :class:`~repro.pipeline.spec.ExperimentSpec`
+(cells built by
+:func:`~repro.experiments.event_sim.release_pair_cells`, the one cell
+builder Tables 5 and 6 share), so the unified engine supplies the
+process pool, the result cache, per-cell tracing and metrics: ``jobs=N``
+is bit-identical to ``jobs=1`` because every run derives its own root
+seed from the grid seed via ``SeedSequenceFactory.child_seed``.
 """
 
-import os
-from typing import Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
-from repro.common.seeding import SeedSequenceFactory
 from repro.experiments import paper_params as P
 from repro.experiments.paper_params import DEFAULT_SEED
 from repro.experiments.event_sim import (
     LatencyProfile,
     SimulationRunResult,
     SimulationTable,
-    run_release_pair_simulation,
+    profile_by_name,
+    release_pair_cells,
 )
 from repro.obs.metrics import MetricsRegistry
+from repro.pipeline import ExperimentOptions, ExperimentSpec, register
 from repro.runtime.cache import ResultCache
 from repro.runtime.parallel import CellSpec, run_cells
 
-
-def _table5_cell(
-    run: int,
-    timeout: float,
-    requests: int,
-    seed: int,
-    profile: Optional[LatencyProfile],
-    sampling: str,
-    trace_path: Optional[str] = None,
-    trace_cell: str = "",
-    metrics: Optional[MetricsRegistry] = None,
-) -> SimulationRunResult:
-    """One (run, TimeOut) cell; module-level so worker processes can
-    unpickle it."""
-    metrics_ = run_release_pair_simulation(
-        joint_model=P.correlated_model(run),
-        timeout=timeout,
-        requests=requests,
-        seed=seed,
-        profile=profile,
-        sampling=sampling,
-        trace_path=trace_path,
-        trace_cell=trace_cell,
-        metrics=metrics,
-    )
-    return SimulationRunResult(run, timeout, metrics_)
+TABLE5_LABEL = "Table 5 (positive correlation between release failures)"
 
 
 def run_table5(
@@ -68,58 +44,65 @@ def run_table5(
     trace_dir: Optional[str] = None,
     metrics: Optional[MetricsRegistry] = None,
 ) -> SimulationTable:
-    """Run the Table 5 grid (correlated releases).
+    """Run the Table 5 grid (correlated releases) programmatically.
 
-    All cells of one run share a seed (derived from *seed* and the run
-    index), so the TimeOut sweep observes one workload per run, as in the
-    paper.  Results are bit-identical for every ``jobs`` value.
-
-    With *trace_dir* set, each cell writes its event trace to
-    ``<trace_dir>/table5-run<run>-t<timeout>.jsonl`` (traced cells
-    bypass the result cache: a cache hit skips simulation and would
-    leave an empty trace).  *metrics* collects pool and cache counters;
-    kernel counters are recorded only on the inline ``jobs=1`` path —
-    worker-process registries cannot report back to the parent.
+    Equivalent to running the registered spec; kept as the documented
+    library entry point (tests, report sections and benchmarks call it
+    with explicit grid parameters).
     """
-    seeds = SeedSequenceFactory(seed)
-    cells = []
-    for run in runs:
-        cell_seed = seeds.child_seed(f"table5/run-{run}")
-        for timeout in timeouts:
-            trace_path = None
-            if trace_dir is not None:
-                trace_path = os.path.join(
-                    trace_dir, f"table5-run{run}-t{timeout}.jsonl"
-                )
-            cells.append(
-                CellSpec(
-                    experiment="table5",
-                    fn=_table5_cell,
-                    kwargs=dict(
-                        run=run,
-                        timeout=timeout,
-                        requests=requests,
-                        seed=cell_seed,
-                        profile=profile,
-                        sampling=sampling,
-                        trace_path=trace_path,
-                        trace_cell=f"table5/run{run}/t{timeout}",
-                        metrics=metrics if jobs == 1 else None,
-                    ),
-                    key=None
-                    if trace_path is not None
-                    else dict(
-                        run=run,
-                        timeout=timeout,
-                        requests=requests,
-                        seed=cell_seed,
-                        profile=repr(profile) if profile else "paper",
-                        sampling=sampling,
-                    ),
-                )
-            )
-    results = run_cells(cells, jobs=jobs, cache=cache, metrics=metrics)
-    return SimulationTable(
-        label="Table 5 (positive correlation between release failures)",
-        results=results,
+    cells = release_pair_cells(
+        "table5",
+        "correlated",
+        seed=seed,
+        requests=requests,
+        timeouts=timeouts,
+        runs=runs,
+        profile=profile,
+        sampling=sampling,
+        jobs=jobs,
+        trace_dir=trace_dir,
+        metrics=metrics,
     )
+    results = run_cells(cells, jobs=jobs, cache=cache, metrics=metrics)
+    return SimulationTable(label=TABLE5_LABEL, results=results)
+
+
+def _build_cells(
+    options: ExperimentOptions, sizes: Dict[str, Any]
+) -> List[CellSpec]:
+    return release_pair_cells(
+        "table5",
+        "correlated",
+        seed=options.seed,
+        requests=sizes["requests"],
+        profile=profile_by_name(options.profile),
+        jobs=options.jobs,
+        trace_dir=options.trace_dir,
+        metrics=options.metrics,
+    )
+
+
+def _reduce(
+    results: List[SimulationRunResult], options: ExperimentOptions
+) -> SimulationTable:
+    return SimulationTable(label=TABLE5_LABEL, results=list(results))
+
+
+def _render(table: SimulationTable, options: ExperimentOptions) -> str:
+    return table.render()
+
+
+TABLE5_SPEC = register(ExperimentSpec(
+    name="table5",
+    title="Table 5: event-driven simulation, correlated releases (§5.2)",
+    build_cells=_build_cells,
+    reduce=_reduce,
+    render=_render,
+    full_sizes={"requests": P.REQUESTS_PER_RUN},
+    fast_sizes={"requests": 2_000},
+    workload_key="requests",
+    cache_schema=(
+        "joint", "run", "timeout", "requests", "seed", "profile",
+        "sampling",
+    ),
+))

@@ -4,50 +4,30 @@ Identical grid to Table 5 but the two releases' outcomes are sampled
 independently from their Table 3 marginals — the (implausible, per the
 paper) independence reference point under which "fault-tolerance works":
 the adjudicated system beats both releases on reliability.
+
+The grid is the same :class:`~repro.pipeline.spec.ExperimentSpec` shape
+as Table 5 — both declare
+:func:`~repro.experiments.event_sim.release_pair_cells` grids and
+differ only in the ``joint`` outcome-model parameter.
 """
 
-import os
-from typing import Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
-from repro.common.seeding import SeedSequenceFactory
 from repro.experiments import paper_params as P
 from repro.experiments.paper_params import DEFAULT_SEED
 from repro.experiments.event_sim import (
     LatencyProfile,
     SimulationRunResult,
     SimulationTable,
-    run_release_pair_simulation,
+    profile_by_name,
+    release_pair_cells,
 )
 from repro.obs.metrics import MetricsRegistry
+from repro.pipeline import ExperimentOptions, ExperimentSpec, register
 from repro.runtime.cache import ResultCache
 from repro.runtime.parallel import CellSpec, run_cells
 
-
-def _table6_cell(
-    run: int,
-    timeout: float,
-    requests: int,
-    seed: int,
-    profile: Optional[LatencyProfile],
-    sampling: str,
-    trace_path: Optional[str] = None,
-    trace_cell: str = "",
-    metrics: Optional[MetricsRegistry] = None,
-) -> SimulationRunResult:
-    """One (run, TimeOut) cell; module-level so worker processes can
-    unpickle it."""
-    metrics_ = run_release_pair_simulation(
-        joint_model=P.independent_model(run),
-        timeout=timeout,
-        requests=requests,
-        seed=seed,
-        profile=profile,
-        sampling=sampling,
-        trace_path=trace_path,
-        trace_cell=trace_cell,
-        metrics=metrics,
-    )
-    return SimulationRunResult(run, timeout, metrics_)
+TABLE6_LABEL = "Table 6 (independence of release failures)"
 
 
 def run_table6(
@@ -62,54 +42,65 @@ def run_table6(
     trace_dir: Optional[str] = None,
     metrics: Optional[MetricsRegistry] = None,
 ) -> SimulationTable:
-    """Run the Table 6 grid (independent releases).
+    """Run the Table 6 grid (independent releases) programmatically.
 
-    Cells fan across the parallel runtime exactly as in
-    :func:`repro.experiments.table5.run_table5`; per-run child seeds keep
-    the TimeOut sweep on one workload per run and results bit-identical
-    for every ``jobs`` value.  *trace_dir* / *metrics* behave as in
-    ``run_table5`` (per-cell JSONL traces bypassing the cache; pool and
-    cache counters, kernel counters on the inline path only).
+    Per-run child seeds keep the TimeOut sweep on one workload per run
+    and results bit-identical for every ``jobs`` value; *trace_dir* /
+    *metrics* behave as in :func:`repro.experiments.table5.run_table5`.
     """
-    seeds = SeedSequenceFactory(seed)
-    cells = []
-    for run in runs:
-        cell_seed = seeds.child_seed(f"table6/run-{run}")
-        for timeout in timeouts:
-            trace_path = None
-            if trace_dir is not None:
-                trace_path = os.path.join(
-                    trace_dir, f"table6-run{run}-t{timeout}.jsonl"
-                )
-            cells.append(
-                CellSpec(
-                    experiment="table6",
-                    fn=_table6_cell,
-                    kwargs=dict(
-                        run=run,
-                        timeout=timeout,
-                        requests=requests,
-                        seed=cell_seed,
-                        profile=profile,
-                        sampling=sampling,
-                        trace_path=trace_path,
-                        trace_cell=f"table6/run{run}/t{timeout}",
-                        metrics=metrics if jobs == 1 else None,
-                    ),
-                    key=None
-                    if trace_path is not None
-                    else dict(
-                        run=run,
-                        timeout=timeout,
-                        requests=requests,
-                        seed=cell_seed,
-                        profile=repr(profile) if profile else "paper",
-                        sampling=sampling,
-                    ),
-                )
-            )
-    results = run_cells(cells, jobs=jobs, cache=cache, metrics=metrics)
-    return SimulationTable(
-        label="Table 6 (independence of release failures)",
-        results=results,
+    cells = release_pair_cells(
+        "table6",
+        "independent",
+        seed=seed,
+        requests=requests,
+        timeouts=timeouts,
+        runs=runs,
+        profile=profile,
+        sampling=sampling,
+        jobs=jobs,
+        trace_dir=trace_dir,
+        metrics=metrics,
     )
+    results = run_cells(cells, jobs=jobs, cache=cache, metrics=metrics)
+    return SimulationTable(label=TABLE6_LABEL, results=results)
+
+
+def _build_cells(
+    options: ExperimentOptions, sizes: Dict[str, Any]
+) -> List[CellSpec]:
+    return release_pair_cells(
+        "table6",
+        "independent",
+        seed=options.seed,
+        requests=sizes["requests"],
+        profile=profile_by_name(options.profile),
+        jobs=options.jobs,
+        trace_dir=options.trace_dir,
+        metrics=options.metrics,
+    )
+
+
+def _reduce(
+    results: List[SimulationRunResult], options: ExperimentOptions
+) -> SimulationTable:
+    return SimulationTable(label=TABLE6_LABEL, results=list(results))
+
+
+def _render(table: SimulationTable, options: ExperimentOptions) -> str:
+    return table.render()
+
+
+TABLE6_SPEC = register(ExperimentSpec(
+    name="table6",
+    title="Table 6: event-driven simulation, independent releases (§5.2)",
+    build_cells=_build_cells,
+    reduce=_reduce,
+    render=_render,
+    full_sizes={"requests": P.REQUESTS_PER_RUN},
+    fast_sizes={"requests": 2_000},
+    workload_key="requests",
+    cache_schema=(
+        "joint", "run", "timeout", "requests", "seed", "profile",
+        "sampling",
+    ),
+))

@@ -65,6 +65,7 @@ class LintConfig:
     unordered_scopes: Tuple[str, ...] = (
         "repro.experiments",
         "repro.analysis",
+        "repro.pipeline",
     )
 
     #: Stats/metrics packages where float accumulation order matters

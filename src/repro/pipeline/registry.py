@@ -1,0 +1,85 @@
+"""Module-scan registry of :class:`~repro.pipeline.spec.ExperimentSpec`.
+
+Experiment modules register their spec at import time::
+
+    TABLE5 = register(ExperimentSpec(name="table5", ...))
+
+and :func:`discover` walks every module of ``repro.experiments`` so
+that a registration is never missed because nothing happened to import
+its module yet.  The CLI, the tests and the benchmarks all consume the
+same registry: adding an experiment is writing a spec — the subcommand,
+cache, tracing and metrics wiring come from the engine for free.
+"""
+
+import importlib
+import pkgutil
+from typing import Dict, List
+
+from repro.common.errors import ConfigurationError
+from repro.pipeline.spec import ExperimentSpec
+
+#: The package whose modules are scanned for spec registrations.
+EXPERIMENTS_PACKAGE = "repro.experiments"
+
+_SPECS: Dict[str, ExperimentSpec] = {}
+_DISCOVERED = False
+
+
+def register(spec: ExperimentSpec) -> ExperimentSpec:
+    """Add *spec* to the registry; returns it for assignment.
+
+    Re-registering the *same* spec object is a no-op (modules may be
+    re-imported); a different spec under an existing name is an error —
+    two experiments must never compete for one CLI subcommand.
+    """
+    existing = _SPECS.get(spec.name)
+    if existing is not None and existing is not spec:
+        raise ConfigurationError(
+            f"duplicate experiment spec: {spec.name!r} is already "
+            f"registered"
+        )
+    _SPECS[spec.name] = spec
+    return spec
+
+
+def discover() -> None:
+    """Import every ``repro.experiments`` module so specs register.
+
+    Idempotent; the CLI module itself is skipped (it consumes the
+    registry rather than contributing to it), as are private modules.
+    """
+    global _DISCOVERED
+    if _DISCOVERED:
+        return
+    package = importlib.import_module(EXPERIMENTS_PACKAGE)
+    names: List[str] = sorted(
+        info.name
+        for info in pkgutil.iter_modules(package.__path__)
+        if not info.name.startswith("_") and info.name != "cli"
+    )
+    for name in names:
+        importlib.import_module(f"{EXPERIMENTS_PACKAGE}.{name}")
+    _DISCOVERED = True
+
+
+def get_spec(name: str) -> ExperimentSpec:
+    """Look an experiment up by name (runs :func:`discover` first)."""
+    discover()
+    try:
+        return _SPECS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; registered: "
+            f"{sorted(_SPECS)}"
+        ) from None
+
+
+def registered_specs() -> Dict[str, ExperimentSpec]:
+    """All registered specs, keyed and sorted by name."""
+    discover()
+    return {name: _SPECS[name] for name in sorted(_SPECS)}
+
+
+def experiment_names() -> List[str]:
+    """Sorted names of every registered experiment."""
+    return sorted(registered_specs())

@@ -1,0 +1,190 @@
+"""Declarative experiment descriptions (:class:`ExperimentSpec`).
+
+Every workload in this repository — the paper's Tables 2/5/6, the
+Fig-7/8 percentile curves, the calibration and robustness ablations —
+is structurally the same thing: a *grid* of independent Monte-Carlo
+cells, a per-cell seed derivation, a reduction of cell results into a
+result object, and a renderer.  An :class:`ExperimentSpec` captures
+that structure declaratively:
+
+* ``build_cells`` produces the grid as
+  :class:`~repro.runtime.parallel.CellSpec` values (parameter product,
+  per-cell child seeds, cache keys, per-cell trace paths);
+* ``reduce`` folds the cell results (in grid order) into the
+  experiment's result object;
+* ``render`` turns that object into the CLI's textual output;
+* ``full_sizes`` / ``fast_sizes`` are the declarative size knobs — the
+  engine merges ``fast_sizes`` over ``full_sizes`` when ``--fast`` is
+  given and applies the uniform ``--requests`` override to
+  ``workload_key``;
+* ``cache_schema`` names the fields every cacheable cell key must carry
+  (enforced by the engine, so key drift is caught at build time);
+* composite experiments that orchestrate other experiments (the
+  markdown report) supply ``composite`` instead of a grid.
+
+Specs are registered with :func:`repro.pipeline.registry.register` and
+executed by :func:`repro.pipeline.engine.run_experiment`, which applies
+the process pool, result cache, tracing and metrics uniformly — an
+experiment module never talks to the runtime directly.
+"""
+
+import os
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.common.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime.cache import ResultCache
+from repro.runtime.parallel import CellSpec
+
+
+@dataclass(frozen=True)
+class ExperimentOptions:
+    """Uniform run options, shared by every experiment.
+
+    One instance carries everything the CLI flags express: the root
+    seed, the ``--fast`` switch, the latency-profile name, the worker
+    count, the result cache (``None`` = disabled), the uniform
+    workload override (``--requests``), the per-cell trace directory,
+    the metrics registry and the report output path.
+    """
+
+    seed: int
+    fast: bool = False
+    profile: str = "paper"
+    jobs: int = 1
+    cache: Optional[ResultCache] = None
+    requests: Optional[int] = None
+    trace_dir: Optional[str] = None
+    metrics: Optional[MetricsRegistry] = None
+    output: Optional[str] = None
+
+    def trace_path(self, filename: str) -> Optional[str]:
+        """Per-cell trace file path, or ``None`` when tracing is off."""
+        if self.trace_dir is None:
+            return None
+        return os.path.join(self.trace_dir, filename)
+
+
+#: Builds the grid: (options, resolved sizes) -> cells.
+CellBuilder = Callable[
+    [ExperimentOptions, Dict[str, Any]], Sequence[CellSpec]
+]
+#: Folds cell results (grid order) into the experiment result object.
+Reducer = Callable[[List[Any], ExperimentOptions], Any]
+#: Renders the result object as the CLI's textual output.
+Renderer = Callable[[Any, ExperimentOptions], str]
+#: Escape hatch for composite experiments (the markdown report).
+CompositeRunner = Callable[[ExperimentOptions], Any]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment: grid + reduce + render + size knobs.
+
+    Attributes
+    ----------
+    name:
+        Registry key and CLI subcommand name.
+    title:
+        One-line description shown in the CLI listing.
+    build_cells / reduce / render:
+        The grid pipeline (see module docstring).  ``render`` is always
+        required; ``build_cells``/``reduce`` are replaced by
+        ``composite`` for orchestrating experiments.
+    composite:
+        Runs the whole experiment itself (e.g. the report, which
+        re-runs other experiments); mutually exclusive with the grid
+        hooks.  The engine still threads the options through, so
+        composite experiments inherit cache/jobs/metrics uniformly.
+    full_sizes / fast_sizes:
+        Declarative size knobs; ``fast_sizes`` overlays ``full_sizes``
+        under ``--fast``.
+    workload_key:
+        The size knob the uniform ``--requests N`` override rewrites
+        (``requests``, ``samples``, ``total_demands``, ...); ``None``
+        means the override is accepted but has no effect.
+    cache_schema:
+        Field names every cacheable cell key must consist of; the
+        engine rejects grids whose keys drift from the schema.
+    cacheable:
+        ``False`` opts the whole experiment out of the result cache.
+    in_all:
+        Whether ``repro-experiments all`` includes this experiment.
+    """
+
+    name: str
+    title: str
+    build_cells: Optional[CellBuilder] = None
+    reduce: Optional[Reducer] = None
+    render: Optional[Renderer] = None
+    composite: Optional[CompositeRunner] = None
+    description: str = ""
+    full_sizes: Mapping[str, Any] = field(default_factory=dict)
+    fast_sizes: Mapping[str, Any] = field(default_factory=dict)
+    workload_key: Optional[str] = None
+    cache_schema: Tuple[str, ...] = ()
+    cacheable: bool = True
+    in_all: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("experiment spec needs a name")
+        if self.render is None:
+            raise ConfigurationError(
+                f"experiment {self.name!r} needs a render hook"
+            )
+        if self.composite is None:
+            if self.build_cells is None or self.reduce is None:
+                raise ConfigurationError(
+                    f"experiment {self.name!r} needs build_cells and "
+                    f"reduce (or a composite runner)"
+                )
+        elif self.build_cells is not None or self.reduce is not None:
+            raise ConfigurationError(
+                f"experiment {self.name!r} is composite; it cannot also "
+                f"define grid hooks"
+            )
+        unknown = set(self.fast_sizes) - set(self.full_sizes)
+        if unknown:
+            raise ConfigurationError(
+                f"experiment {self.name!r} fast_sizes override unknown "
+                f"size knobs: {sorted(unknown)}"
+            )
+        if (
+            self.workload_key is not None
+            and self.workload_key not in self.full_sizes
+        ):
+            raise ConfigurationError(
+                f"experiment {self.name!r} workload_key "
+                f"{self.workload_key!r} is not a declared size knob"
+            )
+
+    @property
+    def is_composite(self) -> bool:
+        """True for orchestrating experiments with no grid of their own."""
+        return self.composite is not None
+
+    def sizes(self, options: ExperimentOptions) -> Dict[str, Any]:
+        """Resolve the size knobs for one run.
+
+        ``fast_sizes`` overlays ``full_sizes`` when ``options.fast``;
+        an explicit ``options.requests`` then rewrites the
+        ``workload_key`` knob.  The result is what ``build_cells``
+        receives as its second argument.
+        """
+        sizes = dict(self.full_sizes)
+        if options.fast:
+            sizes.update(self.fast_sizes)
+        if options.requests is not None and self.workload_key is not None:
+            sizes[self.workload_key] = options.requests
+        return sizes

@@ -1,0 +1,74 @@
+"""The CLI is a view of the spec registry, not a parallel table."""
+
+from repro.experiments import cli
+from repro.pipeline import ExperimentSpec, registered_specs
+
+
+class TestCommandsAreTheRegistry:
+    def test_commands_equal_registered_specs(self):
+        assert cli.COMMANDS == registered_specs()
+
+    def test_every_command_is_a_spec(self):
+        for name, spec in cli.COMMANDS.items():
+            assert isinstance(spec, ExperimentSpec)
+            assert spec.name == name
+
+    def test_parser_choices_come_from_registry(self):
+        parser = cli.build_parser()
+        for action in parser._actions:
+            if action.dest == "experiment":
+                assert action.choices == sorted(cli.COMMANDS) + ["all"]
+                break
+        else:  # pragma: no cover - parser wiring regression
+            raise AssertionError("no experiment positional found")
+
+    def test_help_epilog_lists_every_experiment(self):
+        listing = cli._command_listing()
+        for name, spec in cli.COMMANDS.items():
+            assert name in listing
+            assert spec.title in listing
+
+    def test_all_is_exactly_the_in_all_specs(self):
+        expected = sorted(
+            name for name, spec in cli.COMMANDS.items() if spec.in_all
+        )
+        assert "report" not in expected
+        assert set(expected) == set(cli.COMMANDS) - {"report"}
+
+
+class TestUniformFlags:
+    def test_requests_override_reaches_any_spec(self, capsys):
+        # calibrate's workload knob is 'samples'; the uniform --requests
+        # flag must rewrite it all the same.
+        assert cli.main([
+            "calibrate", "--fast", "--seed", "1", "--no-cache",
+            "--requests", "1000",
+        ]) == 0
+        assert "Best fit" in capsys.readouterr().out
+
+    def test_trace_flag_works_for_bayesian_grids(self, tmp_path, capsys):
+        trace = tmp_path / "t2.jsonl"
+        assert cli.main([
+            "table2", "--fast", "--seed", "1", "--no-cache",
+            "--requests", "2000", "--trace", str(trace),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        lines = trace.read_text().splitlines()
+        assert lines and all('"checkpoint"' in line for line in lines)
+
+    def test_metrics_json_reports_cache_hits(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        argv = ["multirelease", "--fast", "--seed", "1",
+                "--requests", "300", "--cache-dir", str(cache_dir)]
+        assert cli.main(argv + ["--metrics-json",
+                                str(tmp_path / "m1.json")]) == 0
+        assert cli.main(argv + ["--metrics-json",
+                                str(tmp_path / "m2.json")]) == 0
+        capsys.readouterr()
+        import json
+
+        first = json.load(open(tmp_path / "m1.json"))["counters"]
+        second = json.load(open(tmp_path / "m2.json"))["counters"]
+        assert first.get("cache.miss", 0) == 4
+        assert second.get("cache.hit", 0) == 4

@@ -1,0 +1,76 @@
+"""Engine guarantees, uniformly for every registered grid experiment.
+
+The unified engine promises every spec the same three properties the
+individual experiments used to assert ad hoc:
+
+* ``jobs=N`` renders bit-identically to ``jobs=1``;
+* a cached replay renders bit-identically to an uncached run;
+* the second cached run actually replays from the cache.
+
+Sizes are shrunk via the uniform ``requests`` override, so these run at
+smoke scale.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.pipeline import (
+    ExperimentOptions,
+    discover,
+    registered_specs,
+    run_experiment,
+)
+from repro.runtime.cache import ResultCache
+
+discover()
+
+#: Per-spec workload override keeping each grid at smoke scale (the
+#: key is each spec's own workload knob: requests, samples or demands).
+SMOKE_REQUESTS = {
+    "table2": 2_000,
+    "fig7": 4_000,
+    "fig8": 1_000,
+    "robustness": 2_000,
+    "calibrate": 2_000,
+    "table5": 300,
+    "table6": 300,
+    "fidelity": 200,
+    "multirelease": 300,
+}
+
+GRID_SPECS = sorted(
+    name for name, spec in registered_specs().items()
+    if not spec.is_composite
+)
+
+
+def _options(name: str, **overrides) -> ExperimentOptions:
+    base = ExperimentOptions(
+        seed=1, fast=True, requests=SMOKE_REQUESTS.get(name, 300)
+    )
+    return replace(base, **overrides)
+
+
+class TestEveryGridSpec:
+    def test_all_grid_specs_covered_by_smoke_sizes(self):
+        assert set(GRID_SPECS) <= set(SMOKE_REQUESTS)
+
+    @pytest.mark.parametrize("name", GRID_SPECS)
+    def test_jobs_bit_identical(self, name):
+        spec = registered_specs()[name]
+        sequential = run_experiment(spec, _options(name, jobs=1))
+        parallel = run_experiment(spec, _options(name, jobs=2))
+        assert sequential.text == parallel.text
+        assert sequential.cells == parallel.cells > 0
+
+    @pytest.mark.parametrize("name", GRID_SPECS)
+    def test_cached_replay_equals_uncached(self, name, tmp_path):
+        spec = registered_specs()[name]
+        uncached = run_experiment(spec, _options(name))
+        cache = ResultCache(tmp_path / "cache")
+        first = run_experiment(spec, _options(name, cache=cache))
+        assert cache.entry_count() == first.cells > 0
+        replay = run_experiment(spec, _options(name, cache=cache))
+        assert first.text == uncached.text
+        assert replay.text == uncached.text
