@@ -1,11 +1,14 @@
 """Quick benchmark harness writing machine-readable ``BENCH_engine.json``.
 
-Measures the three numbers the runtime work is accountable for —
+Measures the numbers the runtime work is accountable for —
 
 * kernel event throughput (events/sec),
 * middleware demand throughput (demands/sec),
 * Table-5 cell wall-time on the vectorised fast path, with the legacy
   per-request (``live``) sampling time and the resulting speedup,
+* the same cell on the columnar array backend
+  (``cell.columnar_seconds`` / ``cell.speedup_vs_event`` — the
+  bit-identical batch path must beat the vectorized event path ≥5x),
 
 plus the ``--jobs`` scaling of a small Table-5 grid, the wall-time of
 the ``repro.lint`` determinism linter over ``src/`` (it gates every CI
@@ -59,17 +62,17 @@ def bench_kernel_events(events: int = 50_000) -> float:
     return events / elapsed
 
 
-def bench_cell(requests: int, sampling: str) -> float:
+def bench_cell(requests: int, sampling: str, backend: str = "event") -> float:
     """Wall-time of one Table-5 cell (run 1, TimeOut 1.5 s)."""
     # Warm the code paths so the measured run is steady-state.
     run_release_pair_simulation(
         P.correlated_model(1), timeout=1.5, requests=200, seed=3,
-        sampling=sampling,
+        sampling=sampling, backend=backend,
     )
     started = time.perf_counter()
     metrics = run_release_pair_simulation(
         P.correlated_model(1), timeout=1.5, requests=requests, seed=3,
-        sampling=sampling,
+        sampling=sampling, backend=backend,
     )
     elapsed = time.perf_counter() - started
     assert metrics.system.total_requests == requests
@@ -116,15 +119,20 @@ def bench_pipeline_overhead(requests: int) -> dict:
     Both paths run the identical 12-cell Table-5 grid (sequential, no
     cache); the difference is what the declarative spec layer — size
     resolution, grid validation, reduce/render hooks — costs per run.
+    Both sides pin ``backend="event"``: the engine's default is
+    ``auto`` (columnar), which would time a different computation than
+    the direct call.
     """
     spec = get_spec("table5")
-    options = ExperimentOptions(seed=3, requests=requests, jobs=1)
+    options = ExperimentOptions(
+        seed=3, requests=requests, jobs=1, backend="event"
+    )
     run_experiment(spec, options)  # warm
     started = time.perf_counter()
     run_experiment(spec, options)
     engine = time.perf_counter() - started
     started = time.perf_counter()
-    run_table5(seed=3, requests=requests, jobs=1)
+    run_table5(seed=3, requests=requests, jobs=1, backend="event")
     direct = time.perf_counter() - started
     return {
         "requests_per_cell": requests,
@@ -135,10 +143,16 @@ def bench_pipeline_overhead(requests: int) -> dict:
     }
 
 
-def grid_metrics_snapshot(requests: int) -> dict:
-    """Operational metrics of one sequential 12-cell grid run."""
+def grid_metrics_snapshot(requests: int, jobs: int) -> dict:
+    """Operational metrics of one 12-cell grid run at *jobs* workers.
+
+    Cell-level kernel counters only land in the registry on the inline
+    path (worker processes cannot report back), but the pool gauges
+    (``pool.jobs``, ``pool.utilization``) describe the actual executor,
+    so the snapshot runs at the benchmark's ``--jobs`` value.
+    """
     registry = MetricsRegistry()
-    run_table5(seed=3, requests=requests, jobs=1, metrics=registry)
+    run_table5(seed=3, requests=requests, jobs=jobs, metrics=registry)
     return registry.as_dict()
 
 
@@ -173,12 +187,13 @@ def main(argv=None) -> int:
     events_per_sec = bench_kernel_events()
     vectorized = bench_cell(requests, "vectorized")
     live = bench_cell(requests, "live")
+    columnar = bench_cell(requests, "vectorized", backend="columnar")
     sequential = bench_grid(requests, jobs=1)
     parallel = bench_grid(requests, jobs=args.jobs)
     lint = bench_lint(Path(__file__).resolve().parents[1] / "src")
     tracing = bench_tracing_overhead(requests)
     pipeline = bench_pipeline_overhead(requests)
-    grid_metrics = grid_metrics_snapshot(requests)
+    grid_metrics = grid_metrics_snapshot(requests, jobs=args.jobs)
 
     # ~6 kernel events and exactly one adjudicated demand per request.
     payload = {
@@ -196,6 +211,9 @@ def main(argv=None) -> int:
             "live_seconds": round(live, 4),
             "speedup_vs_live": round(live / vectorized, 2),
             "demands_per_sec": round(requests / vectorized),
+            "columnar_seconds": round(columnar, 4),
+            "speedup_vs_event": round(vectorized / columnar, 2),
+            "columnar_demands_per_sec": round(requests / columnar),
         },
         "grid": {
             "cells": 12,

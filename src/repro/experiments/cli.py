@@ -19,9 +19,12 @@ spec (see docs/TUTORIAL.md, "Adding an experiment").
 Options: ``--seed``, ``--fast`` (each spec's reduced smoke sizes),
 ``--profile {paper,calibrated}`` for the event-driven tables,
 ``--jobs N`` to fan independent experiment cells across N worker
-processes (results are bit-identical to a sequential run), and
-``--no-cache`` / ``--cache-dir`` / ``--clear-cache`` to control the
-on-disk result cache.
+processes (results are bit-identical to a sequential run),
+``--backend {event,columnar,auto}`` to pick the demand-resolution
+backend (``auto`` uses the columnar array backend where it is proven
+bit-identical and the event kernel elsewhere), and ``--no-cache`` /
+``--cache-dir`` / ``--clear-cache`` to control the on-disk result
+cache.
 
 Observability (see :mod:`repro.obs`): ``--trace PATH`` writes the
 per-cell event stream as one merged JSONL trace (parts merged in
@@ -148,6 +151,19 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: paper size, or the --fast smoke size)"
         ),
     )
+    parser.add_argument(
+        "--backend",
+        choices=("event", "columnar", "auto"),
+        default="auto",
+        help=(
+            "demand-resolution backend for the event-driven tables: "
+            "'event' threads every demand through the event kernel, "
+            "'columnar' resolves whole cells as numpy array programs "
+            "(bit-identical inside its proven envelope), 'auto' "
+            "(default) picks columnar where proven and falls back "
+            "otherwise"
+        ),
+    )
     return parser
 
 
@@ -172,6 +188,7 @@ def _options(
         trace_dir=trace_dir,
         metrics=metrics,
         output=args.output,
+        backend=args.backend,
     )
 
 

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ConfigurationError
-from repro.common.seeding import SeedSequenceFactory
+from repro.common.seeding import SeedSequenceFactory, spawn_generator
 from repro.common.tables import render_table
 from repro.core.adjudicators import PaperRuleAdjudicator
 from repro.core.middleware import UpgradeMiddleware
@@ -24,10 +24,12 @@ from repro.experiments import paper_params as P
 from repro.experiments.paper_params import DEFAULT_SEED
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import JsonlTracer, Tracer
+from repro.runtime import columnar
 from repro.runtime.parallel import CellSpec
 from repro.runtime.sampling import build_demand_script
 from repro.services.endpoint import ServiceEndpoint
 from repro.services.message import RequestMessage
+from repro.services.retry import RetryingPort, RetryPolicy
 from repro.services.wsdl import default_wsdl
 from repro.simulation.correlation import JointOutcomeModel
 from repro.simulation.distributions import (
@@ -49,6 +51,15 @@ from repro.simulation.workload import StreamingArrivalSource
 #: per-request inside the event loop exactly as the original seed code
 #: did (a different, legacy stream layout).
 SAMPLING_MODES = ("vectorized", "scalar", "live")
+
+#: Demand-resolution backends.  ``event`` threads every demand through
+#: the discrete-event kernel (the reference semantics); ``columnar``
+#: resolves the whole cell as numpy array operations over the demand
+#: script (bit-identical within its proven envelope, ~an order of
+#: magnitude faster); ``auto`` picks columnar when
+#: :func:`repro.runtime.columnar.unsupported_reason` allows it and falls
+#: back to the event kernel otherwise.
+BACKENDS = ("event", "columnar", "auto")
 
 
 @dataclass(frozen=True)
@@ -115,12 +126,30 @@ def run_release_pair_simulation(
     trace_cell: str = "",
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
+    backend: str = "event",
+    retry: Optional[RetryPolicy] = None,
 ) -> SystemMetrics:
     """One Table-5/6 cell: a full event-driven run.
 
     *sampling* picks the randomness strategy (see :data:`SAMPLING_MODES`);
     ``vectorized`` and ``scalar`` are bit-identical by construction and
     differ only in how fast the demand script is drawn.
+
+    *backend* picks the demand-resolution strategy (see
+    :data:`BACKENDS`).  ``columnar`` resolves the cell as array
+    operations over the demand script — bit-identical to ``event``
+    inside the envelope documented in :mod:`repro.runtime.columnar`,
+    and a :class:`ConfigurationError` outside it; ``auto`` falls back
+    to the event kernel outside the envelope (counted by the
+    ``backend.fallback_cells`` metric).
+
+    *retry* optionally wraps the middleware in a
+    :class:`~repro.services.retry.RetryingPort`, re-submitting demands
+    whose adjudication was evidently erroneous; every attempt appears
+    as its own middleware demand in the reduced rows.  Retry forces
+    live per-event sampling — a pre-drawn script is sized to exactly
+    *requests* demands and the extra attempts would exhaust it — and is
+    therefore outside the columnar envelope (event backend only).
 
     Observability (all opt-in, see :mod:`repro.obs`): *trace_path*
     writes the cell's kernel + demand-span event stream as JSONL
@@ -136,21 +165,19 @@ def run_release_pair_simulation(
         raise ConfigurationError(
             f"sampling must be one of {SAMPLING_MODES}: {sampling!r}"
         )
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"backend must be one of {BACKENDS}: {backend!r}"
+        )
     if trace_path is not None and tracer is not None:
         raise ConfigurationError(
             "pass trace_path or tracer, not both"
         )
     profile = profile or paper_profile()
     seeds = SeedSequenceFactory(seed)
-    own_tracer = (
-        JsonlTracer(trace_path, cell=trace_cell)
-        if trace_path is not None
-        else None
-    )
-    simulator = Simulator(tracer=own_tracer or tracer)
 
     script = None
-    if sampling != "live":
+    if sampling != "live" and retry is None:
         script = build_demand_script(
             joint_model,
             profile.demand_difficulty,
@@ -159,6 +186,49 @@ def run_release_pair_simulation(
             seeds,
             vectorized=(sampling == "vectorized"),
         )
+
+    if backend != "event":
+        reason = columnar.unsupported_reason(
+            script=script,
+            releases=len(profile.release_latencies),
+            mode=mode,
+            adjudicator=adjudicator,
+            tracing=trace_path is not None or tracer is not None,
+            retry=retry,
+        )
+        if reason is None:
+            assert script is not None
+            if metrics is not None:
+                metrics.counter("backend.columnar_cells").inc()
+            # The event path's adjudication generator: the middleware
+            # spawns it from one draw on the "middleware" stream.
+            adjudication_rng = spawn_generator(
+                int(seeds.generator("middleware").integers(2 ** 63))
+            )
+            return columnar.resolve_release_pair_cell(
+                script,
+                release_names=[
+                    f"Web-Service 1.{index}"
+                    for index in range(len(profile.release_latencies))
+                ],
+                timeout=timeout,
+                adjudication_delay=P.ADJUDICATION_DELAY,
+                spacing=timeout + P.ADJUDICATION_DELAY + 0.5,
+                adjudication_rng=adjudication_rng,
+            )
+        if backend == "columnar":
+            raise ConfigurationError(
+                f"backend 'columnar' cannot resolve this cell: {reason}"
+            )
+        if metrics is not None:
+            metrics.counter("backend.fallback_cells").inc()
+
+    own_tracer = (
+        JsonlTracer(trace_path, cell=trace_cell)
+        if trace_path is not None
+        else None
+    )
+    simulator = Simulator(tracer=own_tracer or tracer)
 
     endpoints = []
     for index, latency in enumerate(profile.release_latencies):
@@ -202,10 +272,11 @@ def run_release_pair_simulation(
 
     spacing = timeout + P.ADJUDICATION_DELAY + 0.5
     sink: List[object] = []
+    port = middleware if retry is None else RetryingPort(middleware, retry)
 
     def submit(i: int) -> None:
         request = RequestMessage(operation="operation1", arguments=(i,))
-        middleware.submit(
+        port.submit(
             simulator, request, sink.append, reference_answer=i
         )
 
@@ -382,6 +453,7 @@ def run_joint_model_cell(
     trace_path: Optional[str] = None,
     trace_cell: str = "",
     metrics: Optional[MetricsRegistry] = None,
+    backend: str = "event",
 ) -> SimulationRunResult:
     """One (run, TimeOut) cell of Table 5 or Table 6.
 
@@ -400,6 +472,7 @@ def run_joint_model_cell(
         trace_path=trace_path,
         trace_cell=trace_cell,
         metrics=metrics,
+        backend=backend,
     )
     return SimulationRunResult(run, timeout, metrics_)
 
@@ -417,6 +490,7 @@ def release_pair_cells(
     trace_dir: Optional[str] = None,
     metrics: Optional[MetricsRegistry] = None,
     trace_prefix: Optional[str] = None,
+    backend: str = "event",
 ) -> List[CellSpec]:
     """Build the Table-5/6 grid as pipeline cells.
 
@@ -428,11 +502,23 @@ def release_pair_cells(
     table's name so seeds and cache entries are shared, and set
     *trace_prefix* to keep their trace files distinct.
 
+    *backend* selects the demand-resolution strategy per cell (see
+    :data:`BACKENDS`) and lands in the cache key, so event-path and
+    columnar-path results never alias.  Traced cells always run the
+    event backend — traces are an event-loop artifact — so an explicit
+    ``backend="columnar"`` is downgraded to ``"event"`` for them
+    (``"auto"`` is left to fall back per cell, which counts toward the
+    ``backend.fallback_cells`` metric).
+
     Traced cells carry ``key=None`` (a cache hit skips simulation and
     would leave an empty trace); kernel counters are recorded only on
     the inline ``jobs=1`` path — worker-process registries cannot
     report back to the parent.
     """
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"backend must be one of {BACKENDS}: {backend!r}"
+        )
     seeds = SeedSequenceFactory(seed)
     prefix = trace_prefix if trace_prefix is not None else experiment
     cells = []
@@ -444,6 +530,11 @@ def release_pair_cells(
                 trace_path = os.path.join(
                     trace_dir, f"{prefix}-run{run}-t{timeout}.jsonl"
                 )
+            cell_backend = (
+                "event"
+                if trace_path is not None and backend == "columnar"
+                else backend
+            )
             cells.append(
                 CellSpec(
                     experiment=experiment,
@@ -459,6 +550,7 @@ def release_pair_cells(
                         trace_path=trace_path,
                         trace_cell=f"{prefix}/run{run}/t{timeout}",
                         metrics=metrics if jobs == 1 else None,
+                        backend=cell_backend,
                     ),
                     key=None
                     if trace_path is not None
@@ -470,6 +562,7 @@ def release_pair_cells(
                         seed=cell_seed,
                         profile=repr(profile) if profile else "paper",
                         sampling=sampling,
+                        backend=cell_backend,
                     ),
                 )
             )

@@ -144,6 +144,7 @@ def _build_cells(
                 trace_dir=options.trace_dir,
                 metrics=options.metrics,
                 trace_prefix=f"fidelity-{table}",
+                backend=options.backend,
             )
         )
     return cells
@@ -186,6 +187,6 @@ FIDELITY_SPEC = register(ExperimentSpec(
     workload_key="requests",
     cache_schema=(
         "joint", "run", "timeout", "requests", "seed", "profile",
-        "sampling",
+        "sampling", "backend",
     ),
 ))

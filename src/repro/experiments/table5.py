@@ -43,12 +43,15 @@ def run_table5(
     sampling: str = "vectorized",
     trace_dir: Optional[str] = None,
     metrics: Optional[MetricsRegistry] = None,
+    backend: str = "event",
 ) -> SimulationTable:
     """Run the Table 5 grid (correlated releases) programmatically.
 
     Equivalent to running the registered spec; kept as the documented
     library entry point (tests, report sections and benchmarks call it
-    with explicit grid parameters).
+    with explicit grid parameters).  The library default is the
+    reference ``event`` backend; the registered spec and CLI default to
+    ``auto`` (columnar where proven equivalent).
     """
     cells = release_pair_cells(
         "table5",
@@ -62,6 +65,7 @@ def run_table5(
         jobs=jobs,
         trace_dir=trace_dir,
         metrics=metrics,
+        backend=backend,
     )
     results = run_cells(cells, jobs=jobs, cache=cache, metrics=metrics)
     return SimulationTable(label=TABLE5_LABEL, results=results)
@@ -79,6 +83,7 @@ def _build_cells(
         jobs=options.jobs,
         trace_dir=options.trace_dir,
         metrics=options.metrics,
+        backend=options.backend,
     )
 
 
@@ -103,6 +108,6 @@ TABLE5_SPEC = register(ExperimentSpec(
     workload_key="requests",
     cache_schema=(
         "joint", "run", "timeout", "requests", "seed", "profile",
-        "sampling",
+        "sampling", "backend",
     ),
 ))

@@ -41,12 +41,14 @@ def run_table6(
     sampling: str = "vectorized",
     trace_dir: Optional[str] = None,
     metrics: Optional[MetricsRegistry] = None,
+    backend: str = "event",
 ) -> SimulationTable:
     """Run the Table 6 grid (independent releases) programmatically.
 
     Per-run child seeds keep the TimeOut sweep on one workload per run
     and results bit-identical for every ``jobs`` value; *trace_dir* /
-    *metrics* behave as in :func:`repro.experiments.table5.run_table5`.
+    *metrics* / *backend* behave as in
+    :func:`repro.experiments.table5.run_table5`.
     """
     cells = release_pair_cells(
         "table6",
@@ -60,6 +62,7 @@ def run_table6(
         jobs=jobs,
         trace_dir=trace_dir,
         metrics=metrics,
+        backend=backend,
     )
     results = run_cells(cells, jobs=jobs, cache=cache, metrics=metrics)
     return SimulationTable(label=TABLE6_LABEL, results=results)
@@ -77,6 +80,7 @@ def _build_cells(
         jobs=options.jobs,
         trace_dir=options.trace_dir,
         metrics=options.metrics,
+        backend=options.backend,
     )
 
 
@@ -101,6 +105,6 @@ TABLE6_SPEC = register(ExperimentSpec(
     workload_key="requests",
     cache_schema=(
         "joint", "run", "timeout", "requests", "seed", "profile",
-        "sampling",
+        "sampling", "backend",
     ),
 ))

@@ -56,6 +56,7 @@ class LintConfig:
         "repro.simulation",
         "repro.bayes",
         "repro.core",
+        "repro.runtime.columnar",
     )
     #: Modules exempt from the wall-clock ban (the CLI's elapsed timer).
     wallclock_allow: Tuple[str, ...] = ("repro.experiments.cli",)
@@ -74,6 +75,7 @@ class LintConfig:
         "repro.analysis",
         "repro.simulation.metrics",
         "repro.bayes",
+        "repro.runtime.columnar",
     )
 
     #: Packages checked for inline paper-parameter duplicates (REPRO106) ...

@@ -55,7 +55,12 @@ class ExperimentOptions:
     seed, the ``--fast`` switch, the latency-profile name, the worker
     count, the result cache (``None`` = disabled), the uniform
     workload override (``--requests``), the per-cell trace directory,
-    the metrics registry and the report output path.
+    the metrics registry, the report output path and the
+    demand-resolution backend (``--backend``: ``event`` threads every
+    demand through the event kernel, ``columnar`` resolves whole cells
+    as array programs, ``auto`` — the default — picks columnar inside
+    its proven-equivalent envelope and falls back otherwise; see
+    :mod:`repro.runtime.columnar`).
     """
 
     seed: int
@@ -67,6 +72,7 @@ class ExperimentOptions:
     trace_dir: Optional[str] = None
     metrics: Optional[MetricsRegistry] = None
     output: Optional[str] = None
+    backend: str = "auto"
 
     def trace_path(self, filename: str) -> Optional[str]:
         """Per-cell trace file path, or ``None`` when tracing is off."""

@@ -1,0 +1,201 @@
+"""Columnar demand-resolution backend: whole cells as array programs.
+
+The event kernel resolves each demand of a Table-5/6 cell by threading
+~6 events through the Python heap (arrival, two invocations, two
+responses or a timeout, adjudication delivery).  For the paper's
+parallel max-reliability mode (§4 eq. 7–8) the demands of a cell are
+mutually independent and non-overlapping — demand *i* starts at
+``i * spacing`` with ``spacing = TimeOut + dT + 0.5`` and is fully
+adjudicated before demand *i+1* starts — so the entire cell is a pure
+function of the pre-drawn :class:`~repro.runtime.sampling.DemandScript`.
+This module evaluates that function as a handful of numpy array
+operations, bit-identical to the event path (asserted by the
+cross-backend equivalence suite, not assumed).
+
+Bit-identity rests on reproducing the event kernel's exact float
+arithmetic, in order:
+
+* demand *i* starts at ``fl(i * spacing)`` (``np.arange(n) * spacing``
+  matches the scalar products bit for bit);
+* release *k*'s execution time is ``fl(t1 + t2_k)`` and its response
+  *arrives* at ``fl(start + exec)`` — a non-finite exec never arrives
+  (a hang), though its script value was consumed;
+* the timeout event is scheduled *first*, at ``fl(start + TimeOut)``,
+  so it wins FIFO ties: a response is collected iff its absolute
+  arrival time is **strictly** below the absolute cutoff (comparing
+  ``exec < TimeOut`` would round differently);
+* the recorded per-release time is ``fl(arrival − start)``, not the raw
+  exec;
+* the system decision time is the later arrival when both responses
+  were collected, else the cutoff; the system row records
+  ``min(fl(decision − start), TimeOut) + dT`` for *every* demand
+  (eq. 8 pins ``TimeOut + dT`` when nothing was collected);
+* MET accumulators sum in demand order via ``np.cumsum(...)[-1]``
+  (strict left-to-right IEEE accumulation — ``np.sum`` is pairwise and
+  drifts in the last bits);
+* the adjudicator breaks valid-result mismatches with one
+  ``rng.integers(2)`` draw per mismatching demand, in demand order;
+  a batched ``rng.integers(2, size=m)`` consumes the stream
+  identically.  Draw 0 selects the *earlier arrival* (the first
+  collected response), which is release 0 exactly when
+  ``arrival_0 <= arrival_1`` — release 0's response event is scheduled
+  first, so it wins arrival ties.
+
+The *envelope* in which this equivalence is proven is deliberately
+narrow: two releases, a pre-drawn script (not live sampling), the
+default parallel max-reliability mode, the paper-rule adjudicator, no
+retry policy, and no tracing (traces are an event-loop artifact).
+:func:`unsupported_reason` is the single authority on that envelope —
+``backend="auto"`` asks it whether columnar applies and falls back to
+the event kernel otherwise.
+"""
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.core.adjudicators import Adjudicator, PaperRuleAdjudicator
+from repro.core.modes import ModeConfig, OperatingMode
+from repro.runtime.sampling import DemandScript
+from repro.simulation.metrics import ReleaseMetrics, SystemMetrics
+from repro.simulation.outcomes import OUTCOME_ORDER, Outcome
+
+CODE_EVIDENT = OUTCOME_ORDER.index(Outcome.EVIDENT_FAILURE)
+
+
+def unsupported_reason(
+    *,
+    script: Optional[DemandScript],
+    releases: int,
+    mode: Optional[ModeConfig] = None,
+    adjudicator: Optional[Adjudicator] = None,
+    tracing: bool = False,
+    retry: Optional[object] = None,
+) -> Optional[str]:
+    """Why this cell is outside the columnar envelope, or None if inside.
+
+    The first applicable reason is returned as a human-readable string;
+    ``backend="columnar"`` surfaces it in a
+    :class:`~repro.common.errors.ConfigurationError`, ``backend="auto"``
+    logs it implicitly by falling back to the event kernel (counted by
+    the ``backend.fallback_cells`` metric).
+    """
+    if tracing:
+        return "tracing requested (traces are an event-loop artifact)"
+    if retry is not None:
+        return "retry policy wraps the middleware with per-attempt demands"
+    if script is None:
+        return "no demand script (live sampling resolves per event)"
+    if releases != 2:
+        return f"{releases} releases (the proven envelope is a pair)"
+    if script.outcome_codes is None:
+        return "script has no outcome code matrix (no joint model)"
+    if mode is not None and mode.mode is not OperatingMode.PARALLEL_RELIABILITY:
+        return f"operating mode {mode.mode.value!r} is not max-reliability"
+    if adjudicator is not None and type(adjudicator) is not PaperRuleAdjudicator:
+        return (
+            f"adjudicator {type(adjudicator).__name__} is not the "
+            "paper rule"
+        )
+    return None
+
+
+def resolve_release_pair_cell(
+    script: DemandScript,
+    release_names: Sequence[str],
+    timeout: float,
+    adjudication_delay: float,
+    spacing: float,
+    adjudication_rng: np.random.Generator,
+) -> SystemMetrics:
+    """Resolve one release-pair cell's demands as array operations.
+
+    Consumes the same pre-drawn *script* the event path replays and
+    returns the same reduced :class:`SystemMetrics`, bit for bit.
+    *adjudication_rng* must be in the same state as the middleware's
+    adjudication generator at the start of the event run.
+    """
+    codes = script.outcome_codes
+    if codes is None:
+        raise ConfigurationError(
+            "columnar backend needs a script with outcome codes"
+        )
+    if len(release_names) != 2 or len(script.t2) != 2 or codes.shape[1] != 2:
+        raise ConfigurationError(
+            "columnar backend resolves exactly two releases"
+        )
+    n = script.requests
+    t1 = np.asarray(script.t1, dtype=np.float64)
+    starts = np.arange(n, dtype=np.float64) * spacing
+    cutoffs = starts + timeout
+
+    arrivals = []
+    collected = []
+    release_rows = []
+    for index, name in enumerate(release_names):
+        exec_times = t1 + np.asarray(script.t2[index], dtype=np.float64)
+        with np.errstate(invalid="ignore"):
+            arrival = starts + exec_times
+            within = arrival < cutoffs
+        arrivals.append(arrival)
+        collected.append(within)
+        release_rows.append(
+            ReleaseMetrics.from_arrays(
+                name,
+                outcome_codes=codes[within, index],
+                recorded_times=(arrival - starts)[within],
+                no_response=int(n - np.count_nonzero(within)),
+            )
+        )
+
+    col0, col1 = collected
+    arr0, arr1 = arrivals
+    code0 = codes[:, 0]
+    code1 = codes[:, 1]
+    valid0 = col0 & (code0 != CODE_EVIDENT)
+    valid1 = col1 & (code1 != CODE_EVIDENT)
+    unavailable = ~(col0 | col1)
+    both_collected = col0 & col1
+
+    # Eq. 7–8: decide at the later arrival when everything was collected,
+    # at the cutoff otherwise; the recorded system time is clipped to the
+    # TimeOut and extended by the adjudication delay dT for every demand.
+    with np.errstate(invalid="ignore"):
+        decision = np.where(
+            both_collected, np.maximum(arr0, arr1), cutoffs
+        )
+    system_times = np.minimum(decision - starts, timeout) + adjudication_delay
+
+    # System outcome per demand: all-evident demands adjudicate to a
+    # fault (evident failure); a single valid response wins outright;
+    # agreeing valid responses share their code; mismatching valid
+    # responses are broken by the paper rule's random draw over the
+    # collected order (earlier arrival first).
+    system_codes = np.full(n, CODE_EVIDENT, dtype=np.int64)
+    only0 = valid0 & ~valid1
+    only1 = valid1 & ~valid0
+    system_codes[only0] = code0[only0]
+    system_codes[only1] = code1[only1]
+    both_valid = valid0 & valid1
+    agree = both_valid & (code0 == code1)
+    system_codes[agree] = code0[agree]
+    mismatch = both_valid & (code0 != code1)
+    mismatches = int(np.count_nonzero(mismatch))
+    if mismatches:
+        draws = adjudication_rng.integers(2, size=mismatches)
+        first_is_release0 = arr0[mismatch] <= arr1[mismatch]
+        picks_release0 = np.where(first_is_release0, draws == 0, draws == 1)
+        system_codes[mismatch] = np.where(
+            picks_release0, code0[mismatch], code1[mismatch]
+        )
+
+    system_row = ReleaseMetrics.from_arrays(
+        "System",
+        outcome_codes=system_codes[~unavailable],
+        recorded_times=system_times,
+        no_response=int(np.count_nonzero(unavailable)),
+    )
+    metrics = SystemMetrics(releases=release_rows, system=system_row)
+    metrics.check_consistency()
+    return metrics

@@ -103,10 +103,12 @@ def run_cells(
 
     With a :class:`~repro.obs.metrics.MetricsRegistry` attached, each
     executed cell records its wall time (``pool.cell_seconds``) and
-    queue wait (``pool.queue_wait_seconds``), and the batch records
+    queue wait (``pool.queue_wait_seconds``), and the batch records the
+    worker count the executor actually used (``pool.jobs`` — 1 on the
+    inline path, ``min(jobs, cells-to-run)`` on the pool path) and
     worker utilization (``pool.utilization`` — busy worker-seconds over
-    ``jobs`` x batch span).  The timed path pickles a couple of extra
-    floats per cell; results are unaffected.
+    used workers x batch span).  The timed path pickles a couple of
+    extra floats per cell; results are unaffected.
     """
     jobs = resolve_jobs(jobs)
     results: List[Any] = [None] * len(cells)
@@ -133,13 +135,15 @@ def run_cells(
             results[index] = value
             timings.append((started, elapsed))
 
+    workers_used = 1
     if jobs <= 1 or len(todo) <= 1:
         for index in todo:
             unpack(index, execute(cells[index]))
     else:
         try:
+            workers_used = min(jobs, len(todo))
             with ProcessPoolExecutor(
-                max_workers=min(jobs, len(todo)),
+                max_workers=workers_used,
                 mp_context=_pool_context(),
             ) as pool:
                 futures = {
@@ -155,6 +159,7 @@ def run_cells(
                 RuntimeWarning,
                 stacklevel=2,
             )
+            workers_used = 1
             for index in todo:
                 unpack(index, execute(cells[index]))
 
@@ -170,10 +175,10 @@ def run_cells(
             )
             busy += elapsed
         metrics.counter("pool.cells_executed").inc(len(timings))
-        metrics.gauge("pool.jobs").set(float(jobs))
+        metrics.gauge("pool.jobs").set(float(workers_used))
         if span > 0.0:
             metrics.gauge("pool.utilization").set(
-                busy / (min(jobs, max(1, len(todo))) * span)
+                busy / (workers_used * span)
             )
 
     if cache is not None:

@@ -44,23 +44,32 @@ class ScriptedDistribution(Distribution):
 
     ``sample`` pops the next scripted value (the generator argument is
     ignored — the randomness was consumed when the script was built).
-    Exhausting the script raises :class:`SimulationError` rather than
-    silently re-drawing, so a consumer miscount cannot corrupt a run.
+    Exhausting the script raises :class:`SimulationError` naming the
+    stream and the cursor position rather than silently re-drawing, so a
+    consumer miscount cannot corrupt a run and is diagnosable in one
+    read.
     """
 
-    def __init__(self, values: np.ndarray, base: Optional[Distribution] = None):
+    def __init__(
+        self,
+        values: np.ndarray,
+        base: Optional[Distribution] = None,
+        name: str = "script",
+    ):
         self._values = np.asarray(values, dtype=float)
         # A plain-list mirror: per-event pops return Python floats without
         # paying numpy scalar-indexing overhead on the hot path.
         self._items = self._values.tolist()
         self._cursor = 0
         self._base = base
+        self._name = name
 
     def sample(self, rng: np.random.Generator) -> float:
         cursor = self._cursor
         if cursor >= len(self._items):
             raise SimulationError(
-                f"demand script exhausted after {cursor} draws"
+                f"demand script stream {self._name!r} exhausted: draw "
+                f"requested at cursor {cursor} of {len(self._items)}"
             )
         self._cursor = cursor + 1
         return self._items[cursor]
@@ -69,8 +78,9 @@ class ScriptedDistribution(Distribution):
         cursor = self._cursor
         if cursor + size > self._values.shape[0]:
             raise SimulationError(
-                f"demand script exhausted: {size} draws requested at "
-                f"cursor {cursor} of {self._values.shape[0]}"
+                f"demand script stream {self._name!r} exhausted: {size} "
+                f"draws requested at cursor {cursor} of "
+                f"{self._values.shape[0]}"
             )
         self._cursor = cursor + size
         return self._values[cursor:cursor + size]
@@ -89,7 +99,8 @@ class ScriptedDistribution(Distribution):
 
     def __repr__(self) -> str:
         return (
-            f"ScriptedDistribution(n={self._values.shape[0]}, "
+            f"ScriptedDistribution(name={self._name!r}, "
+            f"n={self._values.shape[0]}, "
             f"cursor={self._cursor}, base={self._base!r})"
         )
 
@@ -102,16 +113,19 @@ class ScriptedOutcomeSource:
     """
 
     def __init__(self, outcomes: Sequence[Outcome],
-                 base: Optional[OutcomeDistribution] = None):
+                 base: Optional[OutcomeDistribution] = None,
+                 name: str = "script/outcomes"):
         self._outcomes = list(outcomes)
         self._cursor = 0
         self._base = base
+        self._name = name
 
     def sample(self, rng: np.random.Generator) -> Outcome:
         cursor = self._cursor
         if cursor >= len(self._outcomes):
             raise SimulationError(
-                f"outcome script exhausted after {cursor} draws"
+                f"outcome script stream {self._name!r} exhausted: draw "
+                f"requested at cursor {cursor} of {len(self._outcomes)}"
             )
         self._cursor = cursor + 1
         return self._outcomes[cursor]
@@ -134,8 +148,8 @@ class ScriptedOutcomeSource:
 
     def __repr__(self) -> str:
         return (
-            f"ScriptedOutcomeSource(n={len(self._outcomes)}, "
-            f"cursor={self._cursor})"
+            f"ScriptedOutcomeSource(name={self._name!r}, "
+            f"n={len(self._outcomes)}, cursor={self._cursor})"
         )
 
 
@@ -146,10 +160,12 @@ class ScriptedJointOutcomeModel(JointOutcomeModel):
         self,
         tuples: Sequence[Tuple[Outcome, ...]],
         base: Optional[JointOutcomeModel] = None,
+        name: str = "script/outcomes",
     ):
         self._tuples = list(tuples)
         self._cursor = 0
         self._base = base
+        self._name = name
 
     def sample_tuple(
         self, rng: np.random.Generator, count: int
@@ -157,7 +173,8 @@ class ScriptedJointOutcomeModel(JointOutcomeModel):
         cursor = self._cursor
         if cursor >= len(self._tuples):
             raise SimulationError(
-                f"joint outcome script exhausted after {cursor} draws"
+                f"joint outcome script stream {self._name!r} exhausted: "
+                f"draw requested at cursor {cursor} of {len(self._tuples)}"
             )
         row = self._tuples[cursor]
         if len(row) != count:
@@ -195,12 +212,18 @@ class DemandScript:
         Shared demand-difficulty block, one entry per request.
     t2:
         One latency block per release.
+    outcome_codes:
+        The same outcome matrix as integer codes (indices into
+        :data:`~repro.simulation.outcomes.OUTCOME_ORDER`), shaped
+        ``(requests, releases)``.  This is the raw form the columnar
+        backend consumes; None when ``outcomes`` is None.
     """
 
     requests: int
     outcomes: Optional[List[Tuple[Outcome, ...]]]
     t1: np.ndarray
     t2: List[np.ndarray]
+    outcome_codes: Optional[np.ndarray] = None
 
     def joint_model(
         self, base: Optional[JointOutcomeModel] = None
@@ -208,19 +231,23 @@ class DemandScript:
         """Scripted stand-in for the cell's joint outcome model."""
         if self.outcomes is None:
             return None
-        return ScriptedJointOutcomeModel(self.outcomes, base=base)
+        return ScriptedJointOutcomeModel(
+            self.outcomes, base=base, name="script/outcomes"
+        )
 
     def demand_difficulty(
         self, base: Optional[Distribution] = None
     ) -> ScriptedDistribution:
         """Scripted stand-in for the shared T1 distribution."""
-        return ScriptedDistribution(self.t1, base=base)
+        return ScriptedDistribution(self.t1, base=base, name="script/t1")
 
     def release_latency(
         self, index: int, base: Optional[Distribution] = None
     ) -> ScriptedDistribution:
         """Scripted stand-in for release *index*'s T2 distribution."""
-        return ScriptedDistribution(self.t2[index], base=base)
+        return ScriptedDistribution(
+            self.t2[index], base=base, name=f"script/t2/{index}"
+        )
 
 
 def _outcome_matrix(
@@ -229,8 +256,13 @@ def _outcome_matrix(
     requests: int,
     releases: int,
     vectorized: bool,
-) -> List[Tuple[Outcome, ...]]:
-    """Draw the per-demand outcome tuples for *releases* releases."""
+) -> Tuple[List[Tuple[Outcome, ...]], np.ndarray]:
+    """Draw the per-demand outcome tuples for *releases* releases.
+
+    Returns both the :class:`Outcome` tuples the event-path adapters
+    replay and the raw ``(requests, releases)`` code matrix the columnar
+    backend consumes — one draw, two views.
+    """
     if releases == 2:
         if vectorized:
             first_idx, second_idx = joint_model.sample_pairs(rng, requests)
@@ -238,21 +270,27 @@ def _outcome_matrix(
             first_idx, second_idx = joint_model.sample_pairs_scalar(
                 rng, requests
             )
-        return [
-            (OUTCOME_ORDER[int(a)], OUTCOME_ORDER[int(b)])
-            for a, b in zip(first_idx, second_idx)
-        ]
-    if isinstance(joint_model, ChainedOutcomeModel):
+        codes = np.stack(
+            [
+                np.asarray(first_idx, dtype=np.int64),
+                np.asarray(second_idx, dtype=np.int64),
+            ],
+            axis=1,
+        )
+    elif isinstance(joint_model, ChainedOutcomeModel):
         if vectorized:
             chain = joint_model.sample_chain(rng, requests, releases)
         else:
             chain = joint_model.sample_chain_scalar(rng, requests, releases)
-        return [
-            tuple(OUTCOME_ORDER[int(i)] for i in row) for row in chain
-        ]
-    raise ValidationError(
-        f"{type(joint_model).__name__} cannot script {releases} releases"
-    )
+        codes = np.asarray(chain, dtype=np.int64).reshape(requests, releases)
+    else:
+        raise ValidationError(
+            f"{type(joint_model).__name__} cannot script {releases} releases"
+        )
+    tuples = [
+        tuple(OUTCOME_ORDER[int(code)] for code in row) for row in codes
+    ]
+    return tuples, codes
 
 
 def build_demand_script(
@@ -274,8 +312,9 @@ def build_demand_script(
         raise ValidationError(f"requests must be > 0: {requests!r}")
     releases = len(release_latencies)
     outcomes = None
+    outcome_codes = None
     if joint_model is not None:
-        outcomes = _outcome_matrix(
+        outcomes, outcome_codes = _outcome_matrix(
             joint_model,
             seeds.generator("script/outcomes"),
             requests,
@@ -294,4 +333,10 @@ def build_demand_script(
             t2.append(latency.sample_many(t2_rng, requests))
         else:
             t2.append(latency.sample_many_scalar(t2_rng, requests))
-    return DemandScript(requests=requests, outcomes=outcomes, t1=t1, t2=t2)
+    return DemandScript(
+        requests=requests,
+        outcomes=outcomes,
+        t1=t1,
+        t2=t2,
+        outcome_codes=outcome_codes,
+    )

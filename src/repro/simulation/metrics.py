@@ -15,7 +15,9 @@ For each release and for the adjudicated system the paper reports, per
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.simulation.outcomes import Outcome
+import numpy as np
+
+from repro.simulation.outcomes import OUTCOME_ORDER, Outcome
 
 
 @dataclass
@@ -82,6 +84,55 @@ class ReleaseMetrics:
         if execution_time is not None:
             self._time_sum += execution_time
             self._time_count += 1
+
+    @classmethod
+    def from_arrays(
+        cls,
+        name: str,
+        outcome_codes: np.ndarray,
+        recorded_times: np.ndarray,
+        no_response: int = 0,
+    ) -> "ReleaseMetrics":
+        """Build a row from whole-cell arrays (the columnar reducer).
+
+        *outcome_codes* are indices into
+        :data:`~repro.simulation.outcomes.OUTCOME_ORDER`, one per
+        *collected* response; *recorded_times* are the execution times
+        that entered the MET accumulator, **in demand order** — the sum
+        is taken with ``np.cumsum(...)[-1]``, whose strict left-to-right
+        IEEE accumulation is bit-identical to the scalar
+        ``_time_sum += t`` loop of :meth:`record_response` (``np.sum``
+        is not: it sums pairwise).  *no_response* demands count toward
+        NRDT and ``total_requests`` but — unlike the system row's
+        eq. (8) convention — contribute no time, so callers wanting the
+        timeout pinned into MET must include it in *recorded_times*.
+        """
+        codes = np.asarray(outcome_codes)
+        if codes.size and (codes.min() < 0 or codes.max() >= len(OUTCOME_ORDER)):
+            raise ValueError(
+                f"{name}: outcome codes must index OUTCOME_ORDER "
+                f"(0..{len(OUTCOME_ORDER) - 1})"
+            )
+        times = np.asarray(recorded_times, dtype=np.float64)
+        metrics = cls(name)
+        metrics.counts.correct = int(
+            np.count_nonzero(codes == OUTCOME_ORDER.index(Outcome.CORRECT))
+        )
+        metrics.counts.evident = int(
+            np.count_nonzero(
+                codes == OUTCOME_ORDER.index(Outcome.EVIDENT_FAILURE)
+            )
+        )
+        metrics.counts.non_evident = int(
+            np.count_nonzero(
+                codes == OUTCOME_ORDER.index(Outcome.NON_EVIDENT_FAILURE)
+            )
+        )
+        metrics.no_response = int(no_response)
+        metrics._time_sum = float(np.cumsum(times)[-1]) if times.size else 0.0
+        metrics._time_count = int(times.size)
+        metrics.total_requests = int(codes.size) + int(no_response)
+        return metrics
 
     @property
     def mean_execution_time(self) -> float:

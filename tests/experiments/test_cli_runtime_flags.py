@@ -26,6 +26,20 @@ class TestParsing:
         with pytest.raises(SystemExit):
             main([])
 
+    def test_backend_default_is_auto(self):
+        assert build_parser().parse_args(["table5"]).backend == "auto"
+
+    def test_backend_flag(self):
+        for backend in ("event", "columnar", "auto"):
+            args = build_parser().parse_args(
+                ["table5", "--backend", backend]
+            )
+            assert args.backend == backend
+
+    def test_backend_rejects_unknown_value(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table5", "--backend", "batch"])
+
 
 class TestCacheLifecycle:
     def test_run_populates_and_clear_cache_empties(self, tmp_path, capsys):
@@ -65,3 +79,18 @@ class TestCacheLifecycle:
             line for line in text.splitlines() if not line.startswith("===")
         ]
         assert strip(parallel) == strip(sequential)
+
+    def test_backend_output_matches_event(self, capsys):
+        # The backends' bit-identity, end to end through the CLI: the
+        # rendered tables must match character for character.
+        base = ["table5", "--seed", "1", "--requests", "200", "--no-cache"]
+        strip = lambda text: [
+            line for line in text.splitlines() if not line.startswith("===")
+        ]
+        assert main(base + ["--backend", "event"]) == 0
+        event = strip(capsys.readouterr().out)
+        assert main(base + ["--backend", "columnar"]) == 0
+        columnar = strip(capsys.readouterr().out)
+        assert main(base + ["--backend", "auto"]) == 0
+        auto = strip(capsys.readouterr().out)
+        assert event == columnar == auto

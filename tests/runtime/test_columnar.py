@@ -1,0 +1,197 @@
+"""Cross-backend equivalence for the columnar demand-resolution backend.
+
+The columnar backend's whole claim is *bit-identity* with the event
+kernel inside its envelope — not statistical agreement.  These tests
+compare reduced rows by float bit pattern (NaN-safe, no tolerance), for
+hand-picked cells, for both sampling strategies, for both latency
+profiles (the calibrated one exercises hangs and shared unavailability),
+and for the first fast cell of every registered grid spec that carries a
+``backend`` cache-key field.  The fallback tests pin the ``auto``
+semantics: outside the envelope the event kernel runs and the
+``backend.fallback_cells`` counter says so.
+"""
+
+import struct
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.adjudicators import FastestValidAdjudicator
+from repro.core.modes import ModeConfig
+from repro.experiments import paper_params as P
+from repro.experiments.event_sim import (
+    calibrated_profile,
+    joint_model,
+    release_pair_cells,
+    run_release_pair_simulation,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import MemoryTracer
+from repro.pipeline import (
+    ExperimentOptions,
+    discover,
+    registered_specs,
+)
+from repro.services.retry import RetryPolicy
+
+
+def rows_as_bits(metrics):
+    """all_rows() with every float canonicalised to its IEEE bit pattern."""
+    def canon(value):
+        if isinstance(value, float):
+            return struct.pack("<d", value).hex()
+        return value
+
+    return {
+        column: {key: canon(value) for key, value in row.items()}
+        for column, row in metrics.all_rows().items()
+    }
+
+
+def run_cell(backend, **overrides):
+    kwargs = dict(
+        joint_model=P.correlated_model(1),
+        timeout=1.5,
+        requests=400,
+        seed=9,
+        backend=backend,
+    )
+    kwargs.update(overrides)
+    return run_release_pair_simulation(**kwargs)
+
+
+class TestCellEquivalence:
+    @pytest.mark.parametrize("joint,run", [
+        ("correlated", 1), ("correlated", 4), ("independent", 2),
+    ])
+    @pytest.mark.parametrize("timeout", [1.5, 3.0])
+    def test_paper_profile_rows_bit_identical(self, joint, run, timeout):
+        model = joint_model(joint, run)
+        event = run_cell("event", joint_model=model, timeout=timeout)
+        columnar = run_cell("columnar", joint_model=model, timeout=timeout)
+        assert rows_as_bits(event) == rows_as_bits(columnar)
+
+    @pytest.mark.parametrize("timeout", [1.5, 2.0, 3.0])
+    def test_calibrated_profile_with_hangs_bit_identical(self, timeout):
+        # WithHangs injects infinite latencies: responses that never
+        # arrive without being NRDT-by-slowness — the nastiest corner of
+        # the timeout-clipping arithmetic.
+        event = run_cell(
+            "event", timeout=timeout, profile=calibrated_profile()
+        )
+        columnar = run_cell(
+            "columnar", timeout=timeout, profile=calibrated_profile()
+        )
+        assert rows_as_bits(event) == rows_as_bits(columnar)
+
+    def test_scalar_sampling_supported_and_identical(self):
+        event = run_cell("event", sampling="scalar")
+        columnar = run_cell("columnar", sampling="scalar")
+        assert rows_as_bits(event) == rows_as_bits(columnar)
+
+    def test_columnar_counter_increments(self):
+        registry = MetricsRegistry()
+        run_cell("columnar", metrics=registry)
+        counters = registry.as_dict()["counters"]
+        assert counters["backend.columnar_cells"] == 1
+        assert "backend.fallback_cells" not in counters
+
+
+class TestRegisteredGridSpecs:
+    def test_every_backend_grid_spec_first_fast_cell(self):
+        """One --fast cell per backend-aware spec, rows bit-identical."""
+        discover()
+        specs = [
+            spec for spec in registered_specs().values()
+            if "backend" in spec.cache_schema
+        ]
+        assert {"table5", "table6", "fidelity"} <= {
+            spec.name for spec in specs
+        }
+        for spec in specs:
+            rows = {}
+            for backend in ("event", "columnar"):
+                options = ExperimentOptions(
+                    seed=5, fast=True, requests=300, backend=backend
+                )
+                cell = spec.build_cells(options, spec.sizes(options))[0]
+                assert cell.key is not None
+                assert cell.key["backend"] == backend
+                result = cell.fn(**cell.kwargs)
+                rows[backend] = rows_as_bits(result.metrics)
+            assert rows["event"] == rows["columnar"], spec.name
+
+
+class TestEnvelope:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="backend"):
+            run_cell("batch")
+
+    def test_explicit_columnar_rejects_retry(self):
+        with pytest.raises(ConfigurationError, match="retry"):
+            run_cell("columnar", retry=RetryPolicy(max_attempts=2))
+
+    def test_explicit_columnar_rejects_tracing(self):
+        with pytest.raises(ConfigurationError, match="trac"):
+            run_cell("columnar", tracer=MemoryTracer())
+
+    def test_explicit_columnar_rejects_live_sampling(self):
+        with pytest.raises(ConfigurationError, match="live"):
+            run_cell("columnar", sampling="live")
+
+    def test_explicit_columnar_rejects_other_modes(self):
+        with pytest.raises(ConfigurationError, match="mode"):
+            run_cell("columnar", mode=ModeConfig.max_responsiveness())
+
+    def test_explicit_columnar_rejects_other_adjudicators(self):
+        with pytest.raises(ConfigurationError, match="adjudicator"):
+            run_cell("columnar", adjudicator=FastestValidAdjudicator())
+
+
+class TestAutoFallback:
+    def _fallbacks(self, **overrides):
+        registry = MetricsRegistry()
+        run_cell("auto", metrics=registry, **overrides)
+        counters = registry.as_dict()["counters"]
+        return counters.get("backend.fallback_cells", 0)
+
+    def test_auto_in_envelope_uses_columnar(self):
+        registry = MetricsRegistry()
+        auto = run_cell("auto", metrics=registry)
+        counters = registry.as_dict()["counters"]
+        assert counters["backend.columnar_cells"] == 1
+        assert rows_as_bits(auto) == rows_as_bits(run_cell("event"))
+
+    def test_auto_falls_back_for_retry(self):
+        assert self._fallbacks(retry=RetryPolicy(max_attempts=2)) == 1
+
+    def test_auto_falls_back_for_tracing(self):
+        tracer = MemoryTracer()
+        assert self._fallbacks(tracer=tracer) == 1
+        # ... and the event kernel really ran: the trace has events.
+        assert tracer.events
+
+    def test_auto_falls_back_for_other_modes(self):
+        assert self._fallbacks(mode=ModeConfig.max_responsiveness()) == 1
+
+    def test_auto_retry_result_matches_event_retry(self):
+        policy = RetryPolicy(max_attempts=2)
+        auto = run_cell("auto", retry=policy)
+        event = run_cell("event", retry=RetryPolicy(max_attempts=2))
+        assert rows_as_bits(auto) == rows_as_bits(event)
+
+    def test_traced_grid_cells_downgrade_explicit_columnar(self, tmp_path):
+        cells = release_pair_cells(
+            "table5", "correlated", seed=3, requests=50,
+            trace_dir=str(tmp_path), backend="columnar",
+        )
+        assert all(cell.kwargs["backend"] == "event" for cell in cells)
+        assert all(cell.key is None for cell in cells)
+
+    def test_untraced_grid_cells_keep_columnar_key(self):
+        cells = release_pair_cells(
+            "table5", "correlated", seed=3, requests=50,
+            backend="columnar",
+        )
+        assert all(cell.kwargs["backend"] == "columnar" for cell in cells)
+        assert all(cell.key["backend"] == "columnar" for cell in cells)

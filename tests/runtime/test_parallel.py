@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.obs.metrics import MetricsRegistry
 from repro.runtime.cache import ResultCache
 from repro.runtime.parallel import CellSpec, resolve_jobs, run_cells
 
@@ -103,3 +104,30 @@ class TestRunCells:
         cells = [CellSpec("unit", _square, {"x": 5})]  # key=None
         assert run_cells(cells, cache=cache) == [25]
         assert cache.entry_count() == 0
+
+
+class TestPoolJobsGauge:
+    """``pool.jobs`` reports the workers the executor *used*.
+
+    Regression: the gauge used to echo the requested ``jobs`` value, so
+    a ``jobs=4`` request over 2 cells — or an inline run called with
+    ``jobs=4`` plumbing — reported 4.0 workers that never existed.
+    """
+
+    def _gauge(self, cells, jobs):
+        registry = MetricsRegistry()
+        run_cells(cells, jobs=jobs, metrics=registry)
+        return registry.as_dict()["gauges"]["pool.jobs"]
+
+    def test_inline_run_reports_one_worker(self):
+        assert self._gauge(_cells([1, 2, 3]), jobs=1) == 1.0
+
+    def test_single_cell_with_many_jobs_reports_one_worker(self):
+        # One cell short-circuits to the inline path whatever jobs says.
+        assert self._gauge(_cells([7]), jobs=4) == 1.0
+
+    def test_pool_capped_by_cell_count(self):
+        assert self._gauge(_cells([1, 2]), jobs=4) == 2.0
+
+    def test_pool_capped_by_jobs(self):
+        assert self._gauge(_cells([1, 2, 3, 4, 5, 6]), jobs=2) == 2.0

@@ -120,6 +120,14 @@ class TestScriptedDistribution:
         with pytest.raises(SimulationError):
             scripted.sample(rng)
 
+    def test_exhaustion_reports_stream_and_cursor(self, rng):
+        scripted = ScriptedDistribution(np.array([1.0]), name="script/t1")
+        scripted.sample(rng)
+        with pytest.raises(
+            SimulationError, match=r"'script/t1'.*cursor 1 of 1"
+        ):
+            scripted.sample(rng)
+
     def test_sample_many_slices_and_tracks_cursor(self, rng):
         scripted = ScriptedDistribution(np.arange(5.0))
         np.testing.assert_array_equal(
@@ -127,6 +135,15 @@ class TestScriptedDistribution:
         )
         assert scripted.remaining == 2
         with pytest.raises(SimulationError):
+            scripted.sample_many(rng, 3)
+
+    def test_sample_many_exhaustion_reports_stream_and_cursor(self, rng):
+        scripted = ScriptedDistribution(np.arange(5.0), name="script/t2/1")
+        scripted.sample_many(rng, 3)
+        with pytest.raises(
+            SimulationError,
+            match=r"'script/t2/1'.*3 draws requested at cursor 3 of 5",
+        ):
             scripted.sample_many(rng, 3)
 
     def test_mean_delegates_to_base(self):
@@ -164,6 +181,16 @@ class TestScriptedJointOutcomeModel:
         scripted = ScriptedJointOutcomeModel([pair])
         assert scripted.sample_pair(rng) == pair
 
+    def test_exhaustion_reports_stream_and_cursor(self, rng):
+        scripted = ScriptedJointOutcomeModel(
+            [(Outcome.CORRECT, Outcome.CORRECT)]
+        )
+        scripted.sample_pair(rng)
+        with pytest.raises(
+            SimulationError, match=r"'script/outcomes'.*cursor 1 of 1"
+        ):
+            scripted.sample_pair(rng)
+
 
 class TestBuildDemandScript:
     def _build(self, vectorized):
@@ -191,6 +218,16 @@ class TestBuildDemandScript:
             len(row) == 2 and all(o in OUTCOME_ORDER for o in row)
             for row in script.outcomes
         )
+
+    def test_outcome_codes_mirror_outcome_tuples(self):
+        # The columnar backend consumes the raw code matrix; it must be
+        # the same draw as the Outcome tuples, not a second one.
+        script = self._build(True)
+        assert script.outcome_codes.shape == (200, 2)
+        assert script.outcomes == [
+            tuple(OUTCOME_ORDER[int(code)] for code in row)
+            for row in script.outcome_codes
+        ]
 
     def test_rejects_nonpositive_requests(self):
         with pytest.raises(ValidationError):
