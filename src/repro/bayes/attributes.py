@@ -18,8 +18,9 @@ two assessors with the same Bayesian machinery:
 """
 
 import bisect
-from typing import List
+from typing import List, Tuple
 
+import numpy as np
 from scipy import stats
 
 from repro.common.errors import InferenceError
@@ -79,6 +80,54 @@ class AvailabilityAssessor:
         """Availability bound L with P(availability >= L) = level."""
         check_in_range(confidence_level, 0.0, 1.0, "confidence_level")
         return float(self._posterior().ppf(1.0 - confidence_level))
+
+    def _trajectory_params(
+        self, responded
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Posterior (alpha, beta) vectors after each successive outcome.
+
+        The conjugate recursion collapses to cumulative sums over the
+        response/miss indicators, so a whole checkpoint grid is two
+        cumsum arrays instead of a Python loop of updates.
+        """
+        indicators = np.asarray(responded, dtype=bool).ravel()
+        successes = np.cumsum(indicators, dtype=np.int64)
+        totals = np.arange(1, indicators.size + 1, dtype=np.int64)
+        return (
+            self.prior_alpha + self.responded + successes,
+            self.prior_beta + self.missed + (totals - successes),
+        )
+
+    def confidence_trajectory(
+        self, responded, target_availability: float
+    ) -> np.ndarray:
+        """P(availability >= target) after each successive outcome.
+
+        *responded* is the per-demand indicator vector in observation
+        order; entry ``i`` is the confidence an assessor would report
+        after folding outcomes ``0..i`` into the current state.  The
+        whole trajectory is one batched ``sf`` evaluation — bit-identical
+        to observing one at a time and calling :meth:`confidence` — and
+        the assessor itself is not mutated.
+        """
+        check_in_range(target_availability, 0.0, 1.0, "target_availability")
+        alphas, betas = self._trajectory_params(responded)
+        return np.asarray(
+            stats.beta.sf(target_availability, alphas, betas), dtype=float
+        )
+
+    def lower_bound_trajectory(
+        self, responded, confidence_level: float
+    ) -> np.ndarray:
+        """Availability bound trajectory: one batched ``ppf`` evaluation
+        over the checkpoint grid (same contract as
+        :meth:`confidence_trajectory`)."""
+        check_in_range(confidence_level, 0.0, 1.0, "confidence_level")
+        alphas, betas = self._trajectory_params(responded)
+        return np.asarray(
+            stats.beta.ppf(1.0 - confidence_level, alphas, betas),
+            dtype=float,
+        )
 
     def posterior_mean(self) -> float:
         """Posterior expectation of the availability."""
@@ -145,6 +194,35 @@ class ResponsivenessAssessor:
         """P(P(response <= deadline) >= target | observations)."""
         check_in_range(target_fraction, 0.0, 1.0, "target_fraction")
         return float(self._posterior().sf(target_fraction))
+
+    def confidence_trajectory(
+        self, execution_times, target_fraction: float
+    ) -> np.ndarray:
+        """Deadline confidence after each successive response.
+
+        *execution_times* is the latency vector in observation order;
+        the conjugate updates reduce to a cumsum over the on-time
+        indicator and the whole trajectory is one batched ``sf``
+        evaluation — bit-identical to observing one response at a time
+        and calling :meth:`confidence`.  The assessor is not mutated
+        (and no latencies are recorded for quantile reporting).
+        """
+        check_in_range(target_fraction, 0.0, 1.0, "target_fraction")
+        times = np.asarray(execution_times, dtype=float).ravel()
+        if times.size and not bool(np.all(times >= 0.0)):
+            raise InferenceError(
+                "execution times must be >= 0 in a trajectory"
+            )
+        on_time = np.cumsum(times <= self.deadline, dtype=np.int64)
+        totals = np.arange(1, times.size + 1, dtype=np.int64)
+        return np.asarray(
+            stats.beta.sf(
+                target_fraction,
+                self.prior_alpha + self.on_time + on_time,
+                self.prior_beta + self.late + (totals - on_time),
+            ),
+            dtype=float,
+        )
 
     def posterior_mean(self) -> float:
         """Posterior E[P(response <= deadline)]."""

@@ -212,16 +212,23 @@ class SequentialAssessment:
                 both_succeed=n - r_a - r_b + r_both,
             )
             assessor.replace_counts(counts)
+            # One posterior evaluation answers every checkpoint query
+            # (bit-identical to the individual percentile_*/confidence_*
+            # calls — see WhiteBoxAssessor.checkpoint_summary).
+            (pa99,), (pb99, pb90), confidences = assessor.checkpoint_summary(
+                levels_a=(0.99,),
+                levels_b=(0.99, 0.90),
+                targets_b=self.confidence_targets,
+            )
             record = CheckpointRecord(
                 demands=n,
                 counts=counts,
-                percentile_a_99=assessor.percentile_a(0.99),
-                percentile_b_99=assessor.percentile_b(0.99),
-                percentile_b_90=assessor.percentile_b(0.90),
-                confidence_b_at={
-                    target: assessor.confidence_b(target)
-                    for target in self.confidence_targets
-                },
+                percentile_a_99=pa99,
+                percentile_b_99=pb99,
+                percentile_b_90=pb90,
+                confidence_b_at=dict(
+                    zip(self.confidence_targets, confidences)
+                ),
             )
             history.records.append(record)
             if trace is not None:

@@ -18,7 +18,7 @@ Marginal posteriors (eq. 3-5) come from summing the grid; confidences
 prior a product measure on the grid.
 """
 
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -216,6 +216,32 @@ class WhiteBoxAssessor:
         """T with P(pAB <= T) = level."""
         values, mass = self.marginal_ab()
         return self._percentile(values, mass, level)
+
+    def checkpoint_summary(
+        self,
+        levels_a: Sequence[float] = (),
+        levels_b: Sequence[float] = (),
+        targets_b: Sequence[float] = (),
+    ) -> Tuple[List[float], List[float], List[float]]:
+        """All of one checkpoint's queries from one posterior evaluation.
+
+        Returns ``(percentiles_a, percentiles_b, confidences_b)`` for the
+        requested levels/targets.  Each single-release marginal mass is
+        reduced from the posterior grid exactly once and reused for every
+        query — the same reductions, in the same order, as calling
+        :meth:`percentile_a` / :meth:`percentile_b` / :meth:`confidence_b`
+        individually, so the results are bit-identical; but a sequential
+        study's checkpoint loop pays one grid reduction per marginal
+        instead of one per query.
+        """
+        posterior = self._posterior()
+        mass_a = posterior.sum(axis=(1, 2))
+        mass_b = posterior.sum(axis=(0, 2))
+        return (
+            [self._percentile(self._pa, mass_a, level) for level in levels_a],
+            [self._percentile(self._pb, mass_b, level) for level in levels_b],
+            [self._confidence(self._pb, mass_b, t) for t in targets_b],
+        )
 
     # ------------------------------------------------------------------
     # point summaries

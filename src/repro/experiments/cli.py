@@ -156,12 +156,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("event", "columnar", "auto"),
         default="auto",
         help=(
-            "demand-resolution backend for the event-driven tables: "
+            "demand-resolution backend for the simulation grids: "
             "'event' threads every demand through the event kernel, "
-            "'columnar' resolves whole cells as numpy array programs "
-            "(bit-identical inside its proven envelope), 'auto' "
-            "(default) picks columnar where proven and falls back "
-            "otherwise"
+            "'columnar' resolves whole cells as numpy array programs — "
+            "bit-identical across all four operating modes, any number "
+            "of releases and retry — 'auto' (default) picks columnar "
+            "everywhere except the genuinely event-only cases "
+            "(tracing, live sampling, non-paper adjudicators)"
         ),
     )
     return parser

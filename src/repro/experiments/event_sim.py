@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ConfigurationError
-from repro.common.seeding import SeedSequenceFactory, spawn_generator
+from repro.common.seeding import SeedSequenceFactory
 from repro.common.tables import render_table
 from repro.core.adjudicators import PaperRuleAdjudicator
 from repro.core.middleware import UpgradeMiddleware
@@ -55,9 +55,10 @@ SAMPLING_MODES = ("vectorized", "scalar", "live")
 #: Demand-resolution backends.  ``event`` threads every demand through
 #: the discrete-event kernel (the reference semantics); ``columnar``
 #: resolves the whole cell as numpy array operations over the demand
-#: script (bit-identical within its proven envelope, ~an order of
-#: magnitude faster); ``auto`` picks columnar when
-#: :func:`repro.runtime.columnar.unsupported_reason` allows it and falls
+#: script (bit-identical within its proven envelope — all four §4.2
+#: operating modes, N releases, retry — and ~an order of magnitude
+#: faster); ``auto`` picks columnar when
+#: :func:`repro.runtime.columnar.unsupported_reasons` is empty and falls
 #: back to the event kernel otherwise.
 BACKENDS = ("event", "columnar", "auto")
 
@@ -146,10 +147,11 @@ def run_release_pair_simulation(
     *retry* optionally wraps the middleware in a
     :class:`~repro.services.retry.RetryingPort`, re-submitting demands
     whose adjudication was evidently erroneous; every attempt appears
-    as its own middleware demand in the reduced rows.  Retry forces
-    live per-event sampling — a pre-drawn script is sized to exactly
-    *requests* demands and the extra attempts would exhaust it — and is
-    therefore outside the columnar envelope (event backend only).
+    as its own middleware demand in the reduced rows.  Retry cells
+    over-provision the demand script (one row per attempt, up to
+    ``requests * max_attempts``) so both backends replay the same
+    pre-drawn randomness; the columnar backend resolves retry under
+    max-reliability and defers to the event kernel for other modes.
 
     Observability (all opt-in, see :mod:`repro.obs`): *trace_path*
     writes the cell's kernel + demand-span event stream as JSONL
@@ -177,7 +179,10 @@ def run_release_pair_simulation(
     seeds = SeedSequenceFactory(seed)
 
     script = None
-    if sampling != "live" and retry is None:
+    if sampling != "live":
+        # Retry cells consume one script row per middleware attempt, so
+        # the script is over-provisioned; the scripted adapters tolerate
+        # leftover rows.
         script = build_demand_script(
             joint_model,
             profile.demand_difficulty,
@@ -185,10 +190,15 @@ def run_release_pair_simulation(
             requests,
             seeds,
             vectorized=(sampling == "vectorized"),
+            draws=(
+                requests * (1 + retry.max_attempts)
+                if retry is not None
+                else None
+            ),
         )
 
     if backend != "event":
-        reason = columnar.unsupported_reason(
+        reasons = columnar.unsupported_reasons(
             script=script,
             releases=len(profile.release_latencies),
             mode=mode,
@@ -196,16 +206,11 @@ def run_release_pair_simulation(
             tracing=trace_path is not None or tracer is not None,
             retry=retry,
         )
-        if reason is None:
+        if not reasons:
             assert script is not None
             if metrics is not None:
                 metrics.counter("backend.columnar_cells").inc()
-            # The event path's adjudication generator: the middleware
-            # spawns it from one draw on the "middleware" stream.
-            adjudication_rng = spawn_generator(
-                int(seeds.generator("middleware").integers(2 ** 63))
-            )
-            return columnar.resolve_release_pair_cell(
+            return columnar.resolve_cell(
                 script,
                 release_names=[
                     f"Web-Service 1.{index}"
@@ -214,14 +219,24 @@ def run_release_pair_simulation(
                 timeout=timeout,
                 adjudication_delay=P.ADJUDICATION_DELAY,
                 spacing=timeout + P.ADJUDICATION_DELAY + 0.5,
-                adjudication_rng=adjudication_rng,
+                # The resolver mirrors the middleware's construction
+                # draw (it spawns the adjudication generator from the
+                # "middleware" stream) and, in random-order sequential
+                # mode, the per-demand shuffles.
+                middleware_rng=seeds.generator("middleware"),
+                requests=requests,
+                mode=mode,
+                retry=retry,
             )
         if backend == "columnar":
             raise ConfigurationError(
-                f"backend 'columnar' cannot resolve this cell: {reason}"
+                "backend 'columnar' cannot resolve this cell: "
+                + "; ".join(message for _slug, message in reasons)
             )
         if metrics is not None:
             metrics.counter("backend.fallback_cells").inc()
+            for slug, _message in reasons:
+                metrics.counter(f"backend.fallback_reason.{slug}").inc()
 
     own_tracer = (
         JsonlTracer(trace_path, cell=trace_cell)

@@ -19,19 +19,25 @@ what each extra release buys:
 from dataclasses import dataclass
 from typing import Any, List, Mapping, Optional, Sequence
 
+import numpy as np
+
 from repro.common.errors import ConfigurationError
 from repro.common.seeding import SeedSequenceFactory
 from repro.common.tables import render_table
 from repro.core.adjudicators import PaperRuleAdjudicator
 from repro.core.middleware import UpgradeMiddleware
+from repro.core.modes import ModeConfig
 from repro.core.monitor import MonitoringSubsystem
 from repro.experiments import paper_params as P
 from repro.experiments.event_sim import (
+    BACKENDS,
     SAMPLING_MODES,
     LatencyProfile,
     calibrated_profile,
     metrics_from_log,
 )
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime import columnar
 from repro.experiments.paper_params import DEFAULT_SEED
 from repro.pipeline import ExperimentOptions, ExperimentSpec, register
 from repro.runtime.cache import ResultCache
@@ -66,6 +72,9 @@ def run_n_release_simulation(
     run: int = 1,
     profile: Optional[LatencyProfile] = None,
     sampling: str = "vectorized",
+    mode: Optional[ModeConfig] = None,
+    backend: str = "event",
+    metrics: Optional[MetricsRegistry] = None,
 ) -> SystemMetrics:
     """One 1-out-of-N cell through the full event-driven stack.
 
@@ -73,12 +82,24 @@ def run_n_release_simulation(
     :func:`~repro.experiments.event_sim.run_release_pair_simulation`; the
     chained outcome tuples, shared T1 and per-release T2 values are
     pre-drawn in numpy blocks on the ``vectorized`` path.
+
+    *mode* selects the §4.2 operating mode (default max-reliability) and
+    *backend* the demand-resolution strategy, exactly as in the
+    release-pair runner: the columnar backend resolves N-release cells
+    bit-identically to the event kernel.  A single-release cell has no
+    joint model — its endpoint samples its own marginal — so the
+    columnar path pre-draws that marginal's stream as the outcome-code
+    override.
     """
     if n_releases < 1:
         raise ConfigurationError(f"n_releases must be >= 1: {n_releases!r}")
     if sampling not in SAMPLING_MODES:
         raise ConfigurationError(
             f"sampling must be one of {SAMPLING_MODES}: {sampling!r}"
+        )
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"backend must be one of {BACKENDS}: {backend!r}"
         )
     profile = profile or calibrated_profile()
     model = chained_model(run)
@@ -97,6 +118,52 @@ def run_n_release_simulation(
             seeds,
             vectorized=(sampling == "vectorized"),
         )
+
+    if backend != "event":
+        outcome_codes = None
+        if script is not None and script.outcome_codes is None:
+            # No joint model (n_releases == 1): the endpoint samples its
+            # own marginal live, one draw per demand, from the "ep0"
+            # stream.  Pre-draw the same stream as the code override —
+            # sample_many is bit-identical to the scalar draws.
+            outcome_codes = np.asarray(
+                model.marginal_nth(0).sample_many(
+                    seeds.generator("ep0"), requests
+                ),
+                dtype=np.int64,
+            ).reshape(requests, 1)
+        reasons = columnar.unsupported_reasons(
+            script=script,
+            releases=n_releases,
+            mode=mode,
+            outcome_codes=outcome_codes,
+        )
+        if not reasons:
+            assert script is not None
+            if metrics is not None:
+                metrics.counter("backend.columnar_cells").inc()
+            return columnar.resolve_cell(
+                script,
+                release_names=[
+                    f"Web-Service 1.{index}" for index in range(n_releases)
+                ],
+                timeout=timeout,
+                adjudication_delay=P.ADJUDICATION_DELAY,
+                spacing=timeout + P.ADJUDICATION_DELAY + 0.5,
+                middleware_rng=seeds.generator("middleware"),
+                requests=requests,
+                mode=mode,
+                outcome_codes=outcome_codes,
+            )
+        if backend == "columnar":
+            raise ConfigurationError(
+                "backend 'columnar' cannot resolve this cell: "
+                + "; ".join(message for _slug, message in reasons)
+            )
+        if metrics is not None:
+            metrics.counter("backend.fallback_cells").inc()
+            for slug, _message in reasons:
+                metrics.counter(f"backend.fallback_reason.{slug}").inc()
 
     endpoints: List[ServiceEndpoint] = []
     for index in range(n_releases):
@@ -127,6 +194,7 @@ def run_n_release_simulation(
         ),
         rng=seeds.generator("middleware"),
         adjudicator=PaperRuleAdjudicator(),
+        mode=mode or ModeConfig.max_reliability(),
         monitor=monitor,
         joint_outcome_model=(
             script.joint_model(base=base_joint)
@@ -187,9 +255,16 @@ def sweep_cells(
     seed: int = DEFAULT_SEED,
     run: int = 1,
     sampling: str = "vectorized",
+    backend: str = "event",
+    jobs: int = 1,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> List[CellSpec]:
     """One 1-out-of-N cell per release count; every cell derives its own
-    root seed so results are bit-identical for any ``jobs`` value."""
+    root seed so results are bit-identical for any ``jobs`` value.
+    *backend* lands in the cache key, so event-path and columnar-path
+    results never alias.  As in the Table-5/6 grids, backend counters
+    are recorded only on the inline ``jobs=1`` path (worker-process
+    registries cannot report back to the parent)."""
     seeds = SeedSequenceFactory(seed)
     cells = []
     for n in release_counts:
@@ -205,6 +280,8 @@ def sweep_cells(
                     seed=cell_seed,
                     run=run,
                     sampling=sampling,
+                    backend=backend,
+                    metrics=metrics if jobs == 1 else None,
                 ),
                 key=dict(
                     n_releases=n,
@@ -213,6 +290,7 @@ def sweep_cells(
                     seed=cell_seed,
                     run=run,
                     sampling=sampling,
+                    backend=backend,
                 ),
             )
         )
@@ -228,6 +306,8 @@ def run_sweep(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     sampling: str = "vectorized",
+    backend: str = "event",
+    metrics: Optional[MetricsRegistry] = None,
 ) -> MultiReleaseSweep:
     """Sweep the number of deployed releases across the parallel runtime."""
     cells = sweep_cells(
@@ -237,15 +317,24 @@ def run_sweep(
         seed=seed,
         run=run,
         sampling=sampling,
+        backend=backend,
+        jobs=jobs,
+        metrics=metrics,
     )
-    metrics = run_cells(cells, jobs=jobs, cache=cache)
-    return MultiReleaseSweep(list(release_counts), metrics)
+    results = run_cells(cells, jobs=jobs, cache=cache, metrics=metrics)
+    return MultiReleaseSweep(list(release_counts), results)
 
 
 def _build_cells(
     options: ExperimentOptions, sizes: Mapping[str, Any]
 ) -> List[CellSpec]:
-    return sweep_cells(requests=sizes["requests"], seed=options.seed)
+    return sweep_cells(
+        requests=sizes["requests"],
+        seed=options.seed,
+        backend=options.backend,
+        jobs=options.jobs,
+        metrics=options.metrics,
+    )
 
 
 def _reduce(
@@ -269,5 +358,6 @@ MULTI_RELEASE_SPEC = register(ExperimentSpec(
     workload_key="requests",
     cache_schema=(
         "n_releases", "timeout", "requests", "seed", "run", "sampling",
+        "backend",
     ),
 ))

@@ -58,9 +58,12 @@ class ExperimentOptions:
     the metrics registry, the report output path and the
     demand-resolution backend (``--backend``: ``event`` threads every
     demand through the event kernel, ``columnar`` resolves whole cells
-    as array programs, ``auto`` — the default — picks columnar inside
-    its proven-equivalent envelope and falls back otherwise; see
-    :mod:`repro.runtime.columnar`).
+    as array programs — bit-identical across all four §4.2 operating
+    modes, any release count and retry — and ``auto``, the default,
+    picks columnar everywhere except the genuinely event-only cases:
+    tracing, live sampling and non-paper adjudicators; see
+    :mod:`repro.runtime.columnar`).  Grids whose cells take a backend
+    carry it in their cache keys, so the two paths never alias.
     """
 
     seed: int

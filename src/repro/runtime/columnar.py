@@ -1,16 +1,15 @@
 """Columnar demand-resolution backend: whole cells as array programs.
 
-The event kernel resolves each demand of a Table-5/6 cell by threading
-~6 events through the Python heap (arrival, two invocations, two
-responses or a timeout, adjudication delivery).  For the paper's
-parallel max-reliability mode (§4 eq. 7–8) the demands of a cell are
-mutually independent and non-overlapping — demand *i* starts at
-``i * spacing`` with ``spacing = TimeOut + dT + 0.5`` and is fully
-adjudicated before demand *i+1* starts — so the entire cell is a pure
+The event kernel resolves each demand of a grid cell by threading ~6
+events through the Python heap (arrival, per-release invocations,
+responses or a timeout, adjudication delivery).  Because the grids space
+demands ``spacing = TimeOut + dT + 0.5`` apart, a demand is fully
+adjudicated before the next one starts, so the entire cell is a pure
 function of the pre-drawn :class:`~repro.runtime.sampling.DemandScript`.
-This module evaluates that function as a handful of numpy array
-operations, bit-identical to the event path (asserted by the
-cross-backend equivalence suite, not assumed).
+This module evaluates that function as numpy array operations,
+bit-identical to the event path (asserted by the cross-backend
+equivalence suite, not assumed), for all four §4.2 operating modes, N
+releases, and bounded retry.
 
 Bit-identity rests on reproducing the event kernel's exact float
 arithmetic, in order:
@@ -18,50 +17,129 @@ arithmetic, in order:
 * demand *i* starts at ``fl(i * spacing)`` (``np.arange(n) * spacing``
   matches the scalar products bit for bit);
 * release *k*'s execution time is ``fl(t1 + t2_k)`` and its response
-  *arrives* at ``fl(start + exec)`` — a non-finite exec never arrives
-  (a hang), though its script value was consumed;
-* the timeout event is scheduled *first*, at ``fl(start + TimeOut)``,
-  so it wins FIFO ties: a response is collected iff its absolute
-  arrival time is **strictly** below the absolute cutoff (comparing
-  ``exec < TimeOut`` would round differently);
+  *arrives* at ``fl(invoke_time + exec)`` — a non-finite exec never
+  arrives (a hang), though its script value was consumed;
+* the demand timeout event is scheduled *first*, at
+  ``fl(start + TimeOut)``, so it wins FIFO ties: a response is collected
+  iff its absolute arrival time is **strictly** below the absolute
+  cutoff (comparing ``exec < TimeOut`` would round differently);
 * the recorded per-release time is ``fl(arrival − start)``, not the raw
   exec;
-* the system decision time is the later arrival when both responses
-  were collected, else the cutoff; the system row records
-  ``min(fl(decision − start), TimeOut) + dT`` for *every* demand
-  (eq. 8 pins ``TimeOut + dT`` when nothing was collected);
-* MET accumulators sum in demand order via ``np.cumsum(...)[-1]``
+* collection order is (arrival time, schedule sequence) — response
+  events are scheduled at demand start in release order, so arrival
+  ties break toward the lower release index (a stable argsort);
+* the system decision time is the *m*-th collected arrival (``m`` =
+  every active release in max-reliability, ``min_responses`` in dynamic
+  mode) when that many arrived, else the cutoff; the system row records
+  ``min(fl(decision − start), TimeOut) + dT`` for every demand — except
+  max-responsiveness demands answered by the first valid response,
+  whose consumer-visible time is the *unclipped*
+  ``fl(fl(first_valid_arrival − start) + dT)``;
+* MET accumulators sum in record order via ``np.cumsum(...)[-1]``
   (strict left-to-right IEEE accumulation — ``np.sum`` is pairwise and
   drifts in the last bits);
-* the adjudicator breaks valid-result mismatches with one
-  ``rng.integers(2)`` draw per mismatching demand, in demand order;
-  a batched ``rng.integers(2, size=m)`` consumes the stream
-  identically.  Draw 0 selects the *earlier arrival* (the first
-  collected response), which is release 0 exactly when
-  ``arrival_0 <= arrival_1`` — release 0's response event is scheduled
-  first, so it wins arrival ties.
+* the paper-rule adjudicator breaks valid-result mismatches with one
+  ``rng.integers(len(valid))`` draw per mismatching demand, in close
+  order; bound-2 draws batch as ``rng.integers(2, size=m)`` (consumes
+  the stream identically), other bounds stay scalar;
+* sequential mode chains invocations at the previous arrival
+  (``arr_{j+1} = fl(arr_j + fl(t1 + t2_{j+1}))``), consumes release
+  latency scripts only for releases actually invoked, and replays the
+  random-order variant's permutation draws from the middleware stream;
+* retry interleaves attempts of demand *i* with later demands, so the
+  retry resolver replays the kernel's global ``(time, sequence)`` heap
+  order exactly — including the attempt-supersession rule and the
+  sequence numbers of events that are scheduled but never matter.
 
-The *envelope* in which this equivalence is proven is deliberately
-narrow: two releases, a pre-drawn script (not live sampling), the
-default parallel max-reliability mode, the paper-rule adjudicator, no
-retry policy, and no tracing (traces are an event-loop artifact).
-:func:`unsupported_reason` is the single authority on that envelope —
-``backend="auto"`` asks it whether columnar applies and falls back to
-the event kernel otherwise.
+The *envelope* in which this equivalence is proven is wide but not
+universal: a pre-drawn script (not live sampling), the paper-rule
+adjudicator, no tracing (traces are an event-loop artifact), and retry
+only under max-reliability.  :func:`unsupported_reasons` is the single
+authority on that envelope — ``backend="auto"`` asks it whether
+columnar applies and falls back to the event kernel otherwise,
+counting each reason under ``backend.fallback_reason.<slug>``.
 """
 
-from typing import Optional, Sequence
+import heapq
+from typing import TYPE_CHECKING, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.common.seeding import spawn_generator
 from repro.core.adjudicators import Adjudicator, PaperRuleAdjudicator
-from repro.core.modes import ModeConfig, OperatingMode
+from repro.core.modes import ModeConfig, OperatingMode, SequentialOrder
 from repro.runtime.sampling import DemandScript
 from repro.simulation.metrics import ReleaseMetrics, SystemMetrics
 from repro.simulation.outcomes import OUTCOME_ORDER, Outcome
 
+if TYPE_CHECKING:
+    from repro.services.retry import RetryPolicy
+
+CODE_CORRECT = OUTCOME_ORDER.index(Outcome.CORRECT)
 CODE_EVIDENT = OUTCOME_ORDER.index(Outcome.EVIDENT_FAILURE)
+CODE_NEF = OUTCOME_ORDER.index(Outcome.NON_EVIDENT_FAILURE)
+
+
+def unsupported_reasons(
+    *,
+    script: Optional[DemandScript],
+    releases: int,
+    mode: Optional[ModeConfig] = None,
+    adjudicator: Optional[Adjudicator] = None,
+    tracing: bool = False,
+    retry: Optional[object] = None,
+    outcome_codes: Optional[np.ndarray] = None,
+) -> List[Tuple[str, str]]:
+    """Every reason this cell is outside the columnar envelope.
+
+    Returns ``(slug, message)`` pairs — empty when the cell is fully
+    inside the envelope.  ``backend="columnar"`` surfaces the messages
+    in a :class:`~repro.common.errors.ConfigurationError`;
+    ``backend="auto"`` falls back to the event kernel and counts each
+    slug under the ``backend.fallback_reason.<slug>`` metric (plus the
+    aggregate ``backend.fallback_cells``).
+
+    *releases* is accepted for interface stability; any release count
+    with a matching script resolves columnar since the N-release
+    generalisation.
+    """
+    del releases  # any N resolves; kept for caller-signature stability
+    reasons: List[Tuple[str, str]] = []
+    if tracing:
+        reasons.append(
+            ("tracing", "tracing requested (traces are an event-loop artifact)")
+        )
+    if script is None:
+        reasons.append(
+            ("live-sampling", "no demand script (live sampling resolves per event)")
+        )
+    elif script.outcome_codes is None and outcome_codes is None:
+        reasons.append(
+            (
+                "no-outcome-codes",
+                "script has no outcome code matrix (no joint model)",
+            )
+        )
+    if adjudicator is not None and type(adjudicator) is not PaperRuleAdjudicator:
+        reasons.append(
+            (
+                "adjudicator",
+                f"adjudicator {type(adjudicator).__name__} is not the paper rule",
+            )
+        )
+    if retry is not None:
+        effective = mode.mode if mode is not None else OperatingMode.PARALLEL_RELIABILITY
+        if effective is not OperatingMode.PARALLEL_RELIABILITY:
+            reasons.append(
+                (
+                    "retry-mode",
+                    f"retry under operating mode {effective.value!r} is only "
+                    "proven on the event path (columnar retry covers "
+                    "max-reliability)",
+                )
+            )
+    return reasons
 
 
 def unsupported_reason(
@@ -72,33 +150,96 @@ def unsupported_reason(
     adjudicator: Optional[Adjudicator] = None,
     tracing: bool = False,
     retry: Optional[object] = None,
+    outcome_codes: Optional[np.ndarray] = None,
 ) -> Optional[str]:
-    """Why this cell is outside the columnar envelope, or None if inside.
+    """First applicable envelope violation, or None if inside.
 
-    The first applicable reason is returned as a human-readable string;
-    ``backend="columnar"`` surfaces it in a
-    :class:`~repro.common.errors.ConfigurationError`, ``backend="auto"``
-    logs it implicitly by falling back to the event kernel (counted by
-    the ``backend.fallback_cells`` metric).
+    Back-compat shim over :func:`unsupported_reasons` — use that to see
+    *every* applicable reason.
     """
-    if tracing:
-        return "tracing requested (traces are an event-loop artifact)"
-    if retry is not None:
-        return "retry policy wraps the middleware with per-attempt demands"
-    if script is None:
-        return "no demand script (live sampling resolves per event)"
-    if releases != 2:
-        return f"{releases} releases (the proven envelope is a pair)"
-    if script.outcome_codes is None:
-        return "script has no outcome code matrix (no joint model)"
-    if mode is not None and mode.mode is not OperatingMode.PARALLEL_RELIABILITY:
-        return f"operating mode {mode.mode.value!r} is not max-reliability"
-    if adjudicator is not None and type(adjudicator) is not PaperRuleAdjudicator:
-        return (
-            f"adjudicator {type(adjudicator).__name__} is not the "
-            "paper rule"
+    reasons = unsupported_reasons(
+        script=script,
+        releases=releases,
+        mode=mode,
+        adjudicator=adjudicator,
+        tracing=tracing,
+        retry=retry,
+        outcome_codes=outcome_codes,
+    )
+    return reasons[0][1] if reasons else None
+
+
+def resolve_cell(
+    script: DemandScript,
+    release_names: Sequence[str],
+    timeout: float,
+    adjudication_delay: float,
+    spacing: float,
+    middleware_rng: np.random.Generator,
+    *,
+    requests: Optional[int] = None,
+    mode: Optional[ModeConfig] = None,
+    retry: Optional["RetryPolicy"] = None,
+    outcome_codes: Optional[np.ndarray] = None,
+) -> SystemMetrics:
+    """Resolve one cell's demands as array operations.
+
+    Consumes the same pre-drawn *script* the event path replays and
+    returns the same reduced :class:`SystemMetrics`, bit for bit.
+    *middleware_rng* must be in the same state as the generator handed
+    to :class:`~repro.core.middleware.UpgradeMiddleware` before its
+    construction: the first draw spawns the adjudication generator
+    (mirroring the middleware constructor) and, in random-order
+    sequential mode, subsequent draws replay the per-demand shuffles.
+
+    *requests* caps the demand count below ``script.requests`` (retry
+    cells over-provision the script rows); *outcome_codes* overrides
+    the script's outcome matrix for cells whose endpoints sample their
+    own marginals (a single-release deployment).
+    """
+    codes_source = outcome_codes if outcome_codes is not None else script.outcome_codes
+    if codes_source is None:
+        raise ConfigurationError(
+            "columnar backend needs a script with outcome codes"
         )
-    return None
+    codes = np.asarray(codes_source, dtype=np.int64)
+    k = len(release_names)
+    if k < 1:
+        raise ConfigurationError("columnar backend needs at least one release")
+    if len(script.t2) != k or codes.shape[1] != k:
+        raise ConfigurationError(
+            f"script shape mismatch: {k} releases but {len(script.t2)} "
+            f"latency streams and {codes.shape[1]} outcome columns"
+        )
+    n = int(requests) if requests is not None else script.requests
+    if script.requests < n or codes.shape[0] < n:
+        raise ConfigurationError(
+            f"script covers {script.requests} demands, cell needs {n}"
+        )
+    config = mode if mode is not None else ModeConfig.max_reliability()
+    # Mirror UpgradeMiddleware.__init__: the adjudication generator is
+    # spawned from the middleware stream's first draw.
+    adjudication_rng = spawn_generator(int(middleware_rng.integers(2 ** 63)))
+    names = list(release_names)
+    if retry is not None:
+        if config.mode is not OperatingMode.PARALLEL_RELIABILITY:
+            raise ConfigurationError(
+                f"columnar retry is proven for max-reliability only, not "
+                f"operating mode {config.mode.value!r}"
+            )
+        return _resolve_retry(
+            script, names, codes, timeout, adjudication_delay, spacing,
+            adjudication_rng, n, retry,
+        )
+    if config.mode is OperatingMode.SEQUENTIAL:
+        return _resolve_sequential(
+            script, names, codes, timeout, adjudication_delay, spacing,
+            adjudication_rng, middleware_rng, n, config,
+        )
+    return _resolve_parallel(
+        script, names, codes, timeout, adjudication_delay, spacing,
+        adjudication_rng, n, config,
+    )
 
 
 def resolve_release_pair_cell(
@@ -109,12 +250,11 @@ def resolve_release_pair_cell(
     spacing: float,
     adjudication_rng: np.random.Generator,
 ) -> SystemMetrics:
-    """Resolve one release-pair cell's demands as array operations.
+    """Resolve one release-pair max-reliability cell (PR-5 interface).
 
-    Consumes the same pre-drawn *script* the event path replays and
-    returns the same reduced :class:`SystemMetrics`, bit for bit.
-    *adjudication_rng* must be in the same state as the middleware's
-    adjudication generator at the start of the event run.
+    Back-compat wrapper over the mode-general resolver: takes the
+    already-spawned adjudication generator directly and pins the
+    original two-release max-reliability envelope.
     """
     codes = script.outcome_codes
     if codes is None:
@@ -123,72 +263,148 @@ def resolve_release_pair_cell(
         )
     if len(release_names) != 2 or len(script.t2) != 2 or codes.shape[1] != 2:
         raise ConfigurationError(
-            "columnar backend resolves exactly two releases"
+            "resolve_release_pair_cell resolves exactly two releases"
         )
-    n = script.requests
-    t1 = np.asarray(script.t1, dtype=np.float64)
+    return _resolve_parallel(
+        script, list(release_names), np.asarray(codes, dtype=np.int64),
+        timeout, adjudication_delay, spacing, adjudication_rng,
+        script.requests, ModeConfig.max_reliability(),
+    )
+
+
+def _bounded_draws(
+    rng: np.random.Generator, bounds: Sequence[int]
+) -> List[int]:
+    """Replay the adjudicator's per-demand ``integers(bound)`` draws.
+
+    A batched ``integers(2, size=m)`` consumes the bit stream exactly
+    like *m* scalar bound-2 draws (one random word each — the masked
+    rejection path never rejects for a power-of-two bound), so maximal
+    runs of bound-2 draws are batched; other bounds stay scalar, which
+    is definitionally identical to the kernel's per-demand draws.
+    """
+    out: List[int] = []
+    i = 0
+    size = len(bounds)
+    while i < size:
+        if bounds[i] == 2:
+            j = i
+            while j < size and bounds[j] == 2:
+                j += 1
+            out.extend(int(d) for d in rng.integers(2, size=j - i))
+            i = j
+        else:
+            out.append(int(rng.integers(int(bounds[i]))))
+            i += 1
+    return out
+
+
+def _resolve_parallel(
+    script: DemandScript,
+    names: List[str],
+    codes: np.ndarray,
+    timeout: float,
+    adjudication_delay: float,
+    spacing: float,
+    adjudication_rng: np.random.Generator,
+    n: int,
+    config: ModeConfig,
+) -> SystemMetrics:
+    """Parallel modes 1–3: stacked (n, k) arrival/outcome matrices."""
+    k = len(names)
+    codes = codes[:n]
+    t1 = np.asarray(script.t1, dtype=np.float64)[:n]
     starts = np.arange(n, dtype=np.float64) * spacing
     cutoffs = starts + timeout
 
-    arrivals = []
-    collected = []
+    arrival = np.empty((n, k), dtype=np.float64)
+    with np.errstate(invalid="ignore"):
+        for j in range(k):
+            exec_times = t1 + np.asarray(script.t2[j], dtype=np.float64)[:n]
+            arrival[:, j] = starts + exec_times
+        within = arrival < cutoffs[:, None]
+    count_within = within.sum(axis=1)
+
+    if (
+        config.mode is OperatingMode.PARALLEL_DYNAMIC
+        and config.min_responses is not None
+    ):
+        m = min(int(config.min_responses), k)
+    else:
+        m = k
+
+    # Collection order is (arrival, schedule sequence); response events
+    # are scheduled at demand start in release order, so a stable
+    # argsort over within-cutoff arrivals reproduces the kernel's
+    # tie-break.  ``rank < m`` selects what the demand collected before
+    # it closed (everything within, in max-reliability/responsiveness).
+    sort_key = np.where(within, arrival, np.inf)
+    order = np.argsort(sort_key, axis=1, kind="stable")
+    rank = np.argsort(order, axis=1, kind="stable")
+    collected = within & (rank < m)
+
     release_rows = []
-    for index, name in enumerate(release_names):
-        exec_times = t1 + np.asarray(script.t2[index], dtype=np.float64)
-        with np.errstate(invalid="ignore"):
-            arrival = starts + exec_times
-            within = arrival < cutoffs
-        arrivals.append(arrival)
-        collected.append(within)
+    for j, name in enumerate(names):
+        sel = collected[:, j]
         release_rows.append(
             ReleaseMetrics.from_arrays(
                 name,
-                outcome_codes=codes[within, index],
-                recorded_times=(arrival - starts)[within],
-                no_response=int(n - np.count_nonzero(within)),
+                outcome_codes=codes[sel, j],
+                recorded_times=(arrival[:, j] - starts)[sel],
+                no_response=int(n - np.count_nonzero(sel)),
             )
         )
 
-    col0, col1 = collected
-    arr0, arr1 = arrivals
-    code0 = codes[:, 0]
-    code1 = codes[:, 1]
-    valid0 = col0 & (code0 != CODE_EVIDENT)
-    valid1 = col1 & (code1 != CODE_EVIDENT)
-    unavailable = ~(col0 | col1)
-    both_collected = col0 & col1
+    valid = collected & (codes != CODE_EVIDENT)
+    valid_count = valid.sum(axis=1)
+    unavailable = count_within == 0
 
-    # Eq. 7–8: decide at the later arrival when everything was collected,
-    # at the cutoff otherwise; the recorded system time is clipped to the
-    # TimeOut and extended by the adjudication delay dT for every demand.
+    # Close at the m-th collected arrival when that many arrived within
+    # the cutoff, else at the cutoff (the timeout event).
+    sorted_key = np.sort(sort_key, axis=1)
+    decision = np.where(count_within >= m, sorted_key[:, m - 1], cutoffs)
     with np.errstate(invalid="ignore"):
-        decision = np.where(
-            both_collected, np.maximum(arr0, arr1), cutoffs
+        clipped_times = (
+            np.minimum(decision - starts, timeout) + adjudication_delay
         )
-    system_times = np.minimum(decision - starts, timeout) + adjudication_delay
 
-    # System outcome per demand: all-evident demands adjudicate to a
-    # fault (evident failure); a single valid response wins outright;
-    # agreeing valid responses share their code; mismatching valid
-    # responses are broken by the paper rule's random draw over the
-    # collected order (earlier arrival first).
     system_codes = np.full(n, CODE_EVIDENT, dtype=np.int64)
-    only0 = valid0 & ~valid1
-    only1 = valid1 & ~valid0
-    system_codes[only0] = code0[only0]
-    system_codes[only1] = code1[only1]
-    both_valid = valid0 & valid1
-    agree = both_valid & (code0 == code1)
-    system_codes[agree] = code0[agree]
-    mismatch = both_valid & (code0 != code1)
-    mismatches = int(np.count_nonzero(mismatch))
-    if mismatches:
-        draws = adjudication_rng.integers(2, size=mismatches)
-        first_is_release0 = arr0[mismatch] <= arr1[mismatch]
-        picks_release0 = np.where(first_is_release0, draws == 0, draws == 1)
-        system_codes[mismatch] = np.where(
-            picks_release0, code0[mismatch], code1[mismatch]
-        )
+    if config.mode is OperatingMode.PARALLEL_RESPONSIVENESS:
+        # First valid response is delivered immediately; its arrival is
+        # the consumer-visible decision time, unclipped, and no
+        # adjudication draw is ever consumed.
+        delivered = valid_count > 0
+        fv_key = np.where(valid, arrival, np.inf)
+        fv_col = np.argmin(fv_key, axis=1)
+        rows_idx = np.arange(n)
+        with np.errstate(invalid="ignore"):
+            fv_times = (arrival[rows_idx, fv_col] - starts) + adjudication_delay
+        system_times = np.where(delivered, fv_times, clipped_times)
+        dsel = np.flatnonzero(delivered)
+        system_codes[dsel] = codes[dsel, fv_col[dsel]]
+    else:
+        system_times = clipped_times
+        has_correct = (valid & (codes == CODE_CORRECT)).any(axis=1)
+        has_nef = (valid & (codes == CODE_NEF)).any(axis=1)
+        mismatch = has_correct & has_nef
+        agree = (valid_count > 0) & ~mismatch
+        # Agreeing valid responses share one code — read the first.
+        first_valid_col = np.argmax(valid, axis=1)
+        asel = np.flatnonzero(agree)
+        system_codes[asel] = codes[asel, first_valid_col[asel]]
+        m_rows = np.flatnonzero(mismatch)
+        if m_rows.size:
+            draws = np.asarray(
+                _bounded_draws(
+                    adjudication_rng, [int(b) for b in valid_count[m_rows]]
+                ),
+                dtype=np.int64,
+            )
+            # The draw indexes the valid responses in collection order.
+            vkey = np.where(valid[m_rows], arrival[m_rows], np.inf)
+            vorder = np.argsort(vkey, axis=1, kind="stable")
+            chosen_col = vorder[np.arange(m_rows.size), draws]
+            system_codes[m_rows] = codes[m_rows, chosen_col]
 
     system_row = ReleaseMetrics.from_arrays(
         "System",
@@ -199,3 +415,609 @@ def resolve_release_pair_cell(
     metrics = SystemMetrics(releases=release_rows, system=system_row)
     metrics.check_consistency()
     return metrics
+
+
+def _resolve_sequential(
+    script: DemandScript,
+    names: List[str],
+    codes: np.ndarray,
+    timeout: float,
+    adjudication_delay: float,
+    spacing: float,
+    adjudication_rng: np.random.Generator,
+    middleware_rng: np.random.Generator,
+    n: int,
+    config: ModeConfig,
+) -> SystemMetrics:
+    """Sequential minimal-capacity mode: escalate on evident failure.
+
+    Fixed order runs as a vectorised stage loop (stage *j* consumes the
+    next consecutive slice of release *j*'s latency script — exactly
+    the cursor order of the serialized event path).  Random order
+    replays the kernel's per-demand permutation draws from the
+    middleware stream and walks each chain in Python (latency cursors
+    advance per release, in invocation order).
+    """
+    k = len(names)
+    codes = codes[:n]
+    starts = np.arange(n, dtype=np.float64) * spacing
+    cutoffs = starts + timeout
+
+    invoked = np.zeros((n, k), dtype=bool)
+    collected = np.zeros((n, k), dtype=bool)
+    rec_time = np.zeros((n, k), dtype=np.float64)
+    close = cutoffs.copy()
+    valid_code = np.full(n, -1, dtype=np.int64)
+    any_collected = np.zeros(n, dtype=bool)
+
+    if config.sequential_order is SequentialOrder.RANDOM:
+        # Per-demand shuffles consume the middleware stream in demand
+        # order (forced outcomes and difficulty are scripted and draw
+        # nothing), so the permutations can be replayed up front.
+        # Generator.shuffle's draws depend only on the sequence length.
+        perms: List[List[int]] = []
+        for _ in range(n):
+            perm = list(range(k))
+            middleware_rng.shuffle(perm)
+            perms.append(perm)
+        t1_list = np.asarray(script.t1, dtype=np.float64)[:n].tolist()
+        t2_lists = [
+            np.asarray(script.t2[j], dtype=np.float64).tolist()
+            for j in range(k)
+        ]
+        codes_list = codes.tolist()
+        starts_list = starts.tolist()
+        cutoffs_list = cutoffs.tolist()
+        cursors = [0] * k
+        for i in range(n):
+            start = starts_list[i]
+            cutoff = cutoffs_list[i]
+            t1v = t1_list[i]
+            now = start
+            for p in range(k):
+                r = perms[i][p]
+                t2v = t2_lists[r][cursors[r]]
+                cursors[r] += 1
+                arr = now + (t1v + t2v)
+                invoked[i, r] = True
+                if not (arr < cutoff):  # NaN-safe: hang or too slow
+                    break
+                collected[i, r] = True
+                rec_time[i, r] = arr - start
+                any_collected[i] = True
+                code = int(codes_list[i][r])
+                if code != CODE_EVIDENT:
+                    close[i] = arr
+                    valid_code[i] = code
+                    break
+                if p == k - 1:
+                    # Chain exhausted on an evident response: the
+                    # escalation attempt finds no next release and the
+                    # demand closes at this arrival.
+                    close[i] = arr
+                    break
+                now = arr
+    else:
+        t1 = np.asarray(script.t1, dtype=np.float64)[:n]
+        t2 = [np.asarray(script.t2[j], dtype=np.float64) for j in range(k)]
+        alive = np.ones(n, dtype=bool)
+        prev = starts.copy()
+        for j in range(k):
+            idx = np.flatnonzero(alive)
+            if idx.size == 0:
+                break
+            # Demands are serialized, so the demands reaching stage j
+            # consume release j's script values consecutively, in
+            # demand order.
+            t2v = t2[j][: idx.size]
+            with np.errstate(invalid="ignore"):
+                arr = prev[idx] + (t1[idx] + t2v)
+                within = arr < cutoffs[idx]
+            invoked[idx, j] = True
+            sel = idx[within]
+            collected[sel, j] = True
+            rec_time[sel, j] = arr[within] - starts[sel]
+            any_collected[sel] = True
+            code = codes[idx, j]
+            valid = within & (code != CODE_EVIDENT)
+            vsel = idx[valid]
+            close[vsel] = arr[valid]
+            valid_code[vsel] = code[valid]
+            cont = within & ~valid
+            if j == k - 1:
+                csel = idx[cont]
+                close[csel] = arr[cont]
+            else:
+                new_alive = np.zeros(n, dtype=bool)
+                new_alive[idx[cont]] = True
+                prev[idx[cont]] = arr[cont]
+                alive = new_alive
+
+    release_rows = []
+    for j, name in enumerate(names):
+        sel = collected[:, j]
+        # Releases past the escalation point were never invoked; the
+        # monitor does not score them at all on those demands.
+        release_rows.append(
+            ReleaseMetrics.from_arrays(
+                name,
+                outcome_codes=codes[sel, j],
+                recorded_times=rec_time[sel, j],
+                no_response=int(
+                    np.count_nonzero(invoked[:, j]) - np.count_nonzero(sel)
+                ),
+            )
+        )
+
+    # At most one valid response is ever collected, so adjudication
+    # never draws: the single valid wins, else all-evident, else
+    # unavailable.
+    unavailable = ~any_collected
+    system_codes = np.where(valid_code >= 0, valid_code, CODE_EVIDENT)
+    system_times = np.minimum(close - starts, timeout) + adjudication_delay
+    system_row = ReleaseMetrics.from_arrays(
+        "System",
+        outcome_codes=system_codes[~unavailable],
+        recorded_times=system_times,
+        no_response=int(np.count_nonzero(unavailable)),
+    )
+    metrics = SystemMetrics(releases=release_rows, system=system_row)
+    metrics.check_consistency()
+    return metrics
+
+
+# Retry replay event kinds (heap entries are all-scalar tuples:
+# (time, sequence, kind, a, b, c) — the sequence is unique, so
+# comparison never reaches the payload).
+_EVT_ARRIVAL = 0
+_EVT_CLOSE = 1
+_EVT_DELIVERY = 2
+_EVT_ATTEMPT_TIMEOUT = 3
+_EVT_ATTEMPT_START = 4
+
+
+def _resolve_retry(
+    script: DemandScript,
+    names: List[str],
+    codes: np.ndarray,
+    timeout: float,
+    adjudication_delay: float,
+    spacing: float,
+    adjudication_rng: np.random.Generator,
+    n: int,
+    policy: "RetryPolicy",
+) -> SystemMetrics:
+    """Max-reliability with a retry port: replay the global event heap.
+
+    Retry attempts outlive the demand spacing (a retry launched at
+    delivery time ``start + TimeOut + dT`` overlaps the next arrival),
+    so unlike the other resolvers this one cannot treat demands as
+    serialized.  It replays the kernel's ``(time, sequence)`` dispatch
+    order exactly — allocating sequence numbers for every event the
+    kernel would schedule, including response events that never need
+    dispatching here — so script cursors, adjudication draws, and
+    record order all land bit-identically.  All arithmetic is Python
+    floats, matching the kernel's ``schedule(delay)`` =
+    ``schedule_at(fl(now + delay))`` chain.
+    """
+    k = len(names)
+    t1_arr = np.asarray(script.t1, dtype=np.float64)
+    t2_arrs = [
+        np.asarray(script.t2[j], dtype=np.float64) for j in range(k)
+    ]
+    rows_available = min(
+        t1_arr.shape[0], codes.shape[0],
+        *(column.shape[0] for column in t2_arrs),
+    )
+    # Per-row precomputation: fl(t1 + t2_j) matches the kernel's scalar
+    # sum bit for bit, so the replay loop below only pays list indexing.
+    exec_lists: List[List[float]] = []
+    fin_lists: List[List[bool]] = []
+    sched_counts = np.zeros(rows_available, dtype=np.int64)
+    for column in t2_arrs:
+        execs = t1_arr[:rows_available] + column[:rows_available]
+        finite = np.isfinite(execs)
+        sched_counts += finite
+        exec_lists.append(execs.tolist())
+        fin_lists.append(finite.tolist())
+    sched_list = sched_counts.tolist()
+    codes_list = codes.tolist()
+    max_attempts = int(policy.max_attempts)
+    backoff = float(policy.backoff)
+    attempt_timeout = policy.attempt_timeout
+
+    rel_codes: List[List[int]] = [[] for _ in range(k)]
+    rel_times: List[List[float]] = [[] for _ in range(k)]
+    rel_miss = [0] * k
+    sys_codes: List[int] = []
+    sys_times: List[float] = []
+    if attempt_timeout is None and k == 2:
+        # Without an attempt timeout only one attempt per demand is ever
+        # in flight (retries launch strictly after the previous
+        # attempt's delivery), so the supersession machinery is dead
+        # weight — the release-pair replay drops it and unrolls the
+        # two-release inner loops.
+        sys_miss = _replay_retry_pair(
+            exec_lists, fin_lists, codes, rows_available, n, timeout,
+            adjudication_delay, spacing, backoff, max_attempts,
+            adjudication_rng, rel_codes, rel_times, rel_miss,
+            sys_codes, sys_times,
+        )
+    else:
+        sys_miss = _replay_retry_general(
+            exec_lists, fin_lists, sched_list, codes_list,
+            rows_available, n, k, timeout, adjudication_delay, spacing,
+            backoff, max_attempts, attempt_timeout, adjudication_rng,
+            rel_codes, rel_times, rel_miss, sys_codes, sys_times,
+        )
+
+    release_rows = [
+        ReleaseMetrics.from_arrays(
+            name,
+            outcome_codes=np.asarray(rel_codes[j], dtype=np.int64),
+            recorded_times=np.asarray(rel_times[j], dtype=np.float64),
+            no_response=rel_miss[j],
+        )
+        for j, name in enumerate(names)
+    ]
+    system_row = ReleaseMetrics.from_arrays(
+        "System",
+        outcome_codes=np.asarray(sys_codes, dtype=np.int64),
+        recorded_times=np.asarray(sys_times, dtype=np.float64),
+        no_response=sys_miss,
+    )
+    metrics = SystemMetrics(releases=release_rows, system=system_row)
+    metrics.check_consistency()
+    return metrics
+
+
+def _replay_retry_general(
+    exec_lists: List[List[float]],
+    fin_lists: List[List[bool]],
+    sched_list: List[int],
+    codes_list: List[List[int]],
+    rows_available: int,
+    n: int,
+    k: int,
+    timeout: float,
+    adjudication_delay: float,
+    spacing: float,
+    backoff: float,
+    max_attempts: int,
+    attempt_timeout: Optional[float],
+    adjudication_rng: np.random.Generator,
+    rel_codes: List[List[int]],
+    rel_times: List[List[float]],
+    rel_miss: List[int],
+    sys_codes: List[int],
+    sys_times: List[float],
+) -> int:
+    """Replay the retry heap for any release count / policy shape.
+
+    Mutates the metric accumulators in place and returns the system
+    no-response count.
+    """
+    heap: List[Tuple[float, int, int, int, int, int]] = []
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    alloc = 0
+
+    st_attempt = [0] * n
+    st_finished = [False] * n
+    cancelled_timeouts: Set[Tuple[int, int]] = set()
+    cursor = 0
+    # demand_idx -> (request, attempt_no, start, collected, script row);
+    # collected holds (arrival, sequence, release index) triples.
+    demands: List[Tuple[int, int, float, List[Tuple[float, int, int]], int]] = []
+    sys_miss = 0
+    release_range = range(k)
+
+    heappush(heap, (0.0 + 0 * spacing, alloc, _EVT_ARRIVAL, 0, 0, 0))
+    alloc += 1
+    while heap:
+        time, _seq, kind, a, b, c = heappop(heap)
+        if kind == _EVT_CLOSE:
+            request, attempt_no, start, coll, row = demands[a]
+            coll.sort()
+            codes_row = codes_list[row]
+            valid: List[Tuple[float, int, int]] = []
+            missing = k - len(coll)
+            for entry in coll:
+                j = entry[2]
+                rel_codes[j].append(codes_row[j])
+                rel_times[j].append(entry[0] - start)
+                if codes_row[j] != CODE_EVIDENT:
+                    valid.append(entry)
+            if missing:
+                collected_js = {entry[2] for entry in coll}
+                for j in release_range:
+                    if j not in collected_js:
+                        rel_miss[j] += 1
+            sys_times.append(min(time - start, timeout) + adjudication_delay)
+            if not coll:
+                sys_miss += 1
+                fault = 1
+            elif not valid:
+                sys_codes.append(CODE_EVIDENT)
+                fault = 1
+            else:
+                vcodes = [codes_row[entry[2]] for entry in valid]
+                if CODE_CORRECT in vcodes and CODE_NEF in vcodes:
+                    draw = int(adjudication_rng.integers(len(valid)))
+                    sys_codes.append(vcodes[draw])
+                else:
+                    sys_codes.append(vcodes[0])
+                fault = 0
+            heappush(heap, (
+                time + adjudication_delay, alloc, _EVT_DELIVERY,
+                request, attempt_no, fault,
+            ))
+            alloc += 1
+        elif kind == _EVT_DELIVERY:
+            request, attempt_no, fault = a, b, c
+            if st_finished[request]:
+                continue
+            if st_attempt[request] != attempt_no:
+                # Superseded attempt: a late valid response still
+                # settles the demand; a late fault is ignored (the
+                # retry it triggered is already running).
+                if not fault:
+                    st_finished[request] = True
+                continue
+            if attempt_timeout is not None:
+                cancelled_timeouts.add((request, attempt_no))
+            if fault and attempt_no < max_attempts:
+                heappush(heap, (
+                    time + backoff, alloc, _EVT_ATTEMPT_START,
+                    request, 0, 0,
+                ))
+                alloc += 1
+            else:
+                st_finished[request] = True
+        elif kind == _EVT_ATTEMPT_TIMEOUT:
+            request, attempt_no = a, b
+            if (request, attempt_no) in cancelled_timeouts:
+                continue  # tombstoned by the attempt's own delivery
+            if st_finished[request] or st_attempt[request] != attempt_no:
+                continue
+            if attempt_no < max_attempts:
+                heappush(heap, (
+                    time + backoff, alloc, _EVT_ATTEMPT_START,
+                    request, 0, 0,
+                ))
+                alloc += 1
+            else:
+                st_finished[request] = True
+        else:  # _EVT_ARRIVAL or _EVT_ATTEMPT_START
+            request = a
+            if kind == _EVT_ARRIVAL:
+                # The arrival source chains the next arrival before
+                # submitting (lower sequence), then the retry port
+                # starts attempt 1 inline.
+                if request + 1 < n:
+                    heappush(heap, (
+                        0.0 + (request + 1) * spacing, alloc,
+                        _EVT_ARRIVAL, request + 1, 0, 0,
+                    ))
+                    alloc += 1
+            # The kernel's attempt() has no finished-check: a
+            # backoff-scheduled attempt dispatches even if a late valid
+            # response settled the demand in between.
+            attempt_no = st_attempt[request] + 1
+            st_attempt[request] = attempt_no
+            row = cursor
+            cursor += 1
+            if row >= rows_available:
+                raise SimulationError(
+                    f"retry demand script exhausted: demand start {row} "
+                    f"of {rows_available} scripted rows"
+                )
+            # Sequence allocation mirrors the kernel's per-attempt
+            # schedule order: attempt timeout (if any), demand timeout,
+            # then one response per finite execution time, in release
+            # order.
+            if attempt_timeout is not None:
+                heappush(heap, (
+                    time + attempt_timeout, alloc, _EVT_ATTEMPT_TIMEOUT,
+                    request, attempt_no, 0,
+                ))
+                alloc += 1
+            timeout_seq = alloc
+            alloc += 1
+            cutoff = time + timeout
+            coll = []
+            for j in release_range:
+                if fin_lists[j][row]:
+                    arr = time + exec_lists[j][row]
+                    response_seq = alloc
+                    alloc += 1
+                    if arr < cutoff:
+                        coll.append((arr, response_seq, j))
+            if len(coll) == k and sched_list[row] == k:
+                close_time, close_seq, _j = max(coll)
+            else:
+                close_time, close_seq = cutoff, timeout_seq
+            demand_idx = len(demands)
+            demands.append((request, attempt_no, time, coll, row))
+            heappush(heap, (close_time, close_seq, _EVT_CLOSE, demand_idx, 0, 0))
+    return sys_miss
+
+
+def _replay_retry_pair(
+    exec_lists: List[List[float]],
+    fin_lists: List[List[bool]],
+    codes: np.ndarray,
+    rows_available: int,
+    n: int,
+    timeout: float,
+    adjudication_delay: float,
+    spacing: float,
+    backoff: float,
+    max_attempts: int,
+    adjudication_rng: np.random.Generator,
+    rel_codes: List[List[int]],
+    rel_times: List[List[float]],
+    rel_miss: List[int],
+    sys_codes: List[int],
+    sys_times: List[float],
+) -> int:
+    """Release-pair retry replay, no attempt timeout (the common cell).
+
+    Identical event/sequence semantics to :func:`_replay_retry_general`
+    — the same heap entries with the same sequence numbers in the same
+    order — minus the machinery that cannot fire here: with no attempt
+    timeout exactly one attempt per demand is in flight, so deliveries
+    are never superseded and the per-request state shrinks to the
+    attempt number carried in the event payload.  The two-release inner
+    loops are unrolled.  Mutates the metric accumulators in place and
+    returns the system no-response count.
+    """
+    ex0, ex1 = exec_lists
+    fin0, fin1 = fin_lists
+    c0 = codes[:rows_available, 0].tolist()
+    c1 = codes[:rows_available, 1].tolist()
+    rc0 = rel_codes[0].append
+    rt0 = rel_times[0].append
+    rc1 = rel_codes[1].append
+    rt1 = rel_times[1].append
+    sc = sys_codes.append
+    stm = sys_times.append
+
+    heap: List[Tuple[float, int, int, int, int, int]] = []
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    alloc = 0
+    cursor = 0
+    demands: List[Tuple[int, int, float, List[Tuple[float, int, int]], int]] = []
+    sys_miss = 0
+
+    heappush(heap, (0.0 + 0 * spacing, alloc, _EVT_ARRIVAL, 0, 1, 0))
+    alloc += 1
+    while heap:
+        time, _seq, kind, a, b, c = heappop(heap)
+        if kind == _EVT_CLOSE:
+            request, attempt_no, start, coll, row = demands[a]
+            ncoll = len(coll)
+            code0 = c0[row]
+            code1 = c1[row]
+            if ncoll == 2:
+                e0, e1 = coll
+                rc0(code0)
+                rt0(e0[0] - start)
+                rc1(code1)
+                rt1(e1[0] - start)
+                v0 = code0 != CODE_EVIDENT
+                v1 = code1 != CODE_EVIDENT
+                if v0 and v1:
+                    # Valid codes follow arrival order (sequence breaks
+                    # ties toward release 0, which was scheduled first).
+                    if e1 < e0:
+                        first, second = code1, code0
+                    else:
+                        first, second = code0, code1
+                    if (first == CODE_CORRECT and second == CODE_NEF) or (
+                        first == CODE_NEF and second == CODE_CORRECT
+                    ):
+                        draw = int(adjudication_rng.integers(2))
+                        sc(second if draw else first)
+                    else:
+                        sc(first)
+                    fault = 0
+                elif v0:
+                    sc(code0)
+                    fault = 0
+                elif v1:
+                    sc(code1)
+                    fault = 0
+                else:
+                    sc(CODE_EVIDENT)
+                    fault = 1
+            elif ncoll == 1:
+                arr, _s, j = coll[0]
+                if j:
+                    rc1(code1)
+                    rt1(arr - start)
+                    rel_miss[0] += 1
+                    codej = code1
+                else:
+                    rc0(code0)
+                    rt0(arr - start)
+                    rel_miss[1] += 1
+                    codej = code0
+                if codej != CODE_EVIDENT:
+                    sc(codej)
+                    fault = 0
+                else:
+                    sc(CODE_EVIDENT)
+                    fault = 1
+            else:
+                rel_miss[0] += 1
+                rel_miss[1] += 1
+                sys_miss += 1
+                fault = 1
+            delta = time - start
+            stm(
+                (delta if delta < timeout else timeout)
+                + adjudication_delay
+            )
+            heappush(heap, (
+                time + adjudication_delay, alloc, _EVT_DELIVERY,
+                request, attempt_no, fault,
+            ))
+            alloc += 1
+        elif kind == _EVT_DELIVERY:
+            # c is the fault flag, b the attempt number; with no attempt
+            # timeout this delivery always belongs to the live attempt.
+            if c and b < max_attempts:
+                heappush(heap, (
+                    time + backoff, alloc, _EVT_ATTEMPT_START, a, b + 1, 0,
+                ))
+                alloc += 1
+        else:  # _EVT_ARRIVAL or _EVT_ATTEMPT_START
+            request = a
+            if kind == _EVT_ARRIVAL:
+                # The arrival source chains the next arrival before
+                # submitting (lower sequence), then the retry port
+                # starts attempt 1 inline.
+                if request + 1 < n:
+                    heappush(heap, (
+                        0.0 + (request + 1) * spacing, alloc,
+                        _EVT_ARRIVAL, request + 1, 1, 0,
+                    ))
+                    alloc += 1
+            row = cursor
+            cursor += 1
+            if row >= rows_available:
+                raise SimulationError(
+                    f"retry demand script exhausted: demand start {row} "
+                    f"of {rows_available} scripted rows"
+                )
+            # Sequence allocation mirrors the kernel's per-attempt
+            # schedule order: demand timeout, then one response per
+            # finite execution time, in release order.
+            timeout_seq = alloc
+            alloc += 1
+            cutoff = time + timeout
+            coll = []
+            if fin0[row]:
+                arr = time + ex0[row]
+                response_seq = alloc
+                alloc += 1
+                if arr < cutoff:
+                    coll.append((arr, response_seq, 0))
+            if fin1[row]:
+                arr = time + ex1[row]
+                response_seq = alloc
+                alloc += 1
+                if arr < cutoff:
+                    coll.append((arr, response_seq, 1))
+            if len(coll) == 2:
+                e0, e1 = coll
+                close_time, close_seq, _j = e1 if e0 < e1 else e0
+            else:
+                close_time, close_seq = cutoff, timeout_seq
+            heappush(heap, (
+                close_time, close_seq, _EVT_CLOSE, len(demands), 0, 0,
+            ))
+            demands.append((request, b, time, coll, row))
+    return sys_miss

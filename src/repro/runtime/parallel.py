@@ -62,6 +62,13 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return int(jobs)
 
 
+#: Per-cell cost (seconds) below which pool dispatch is a net loss: a
+#: fork plus two pickle round-trips per cell costs on this order, so
+#: cheaper cells run inline even when ``jobs > 1``.  Columnar-backend
+#: cells sit well under this; event-kernel cells sit well over it.
+INLINE_CELL_THRESHOLD_SECONDS = 0.05
+
+
 def _execute_cell(spec: CellSpec) -> Any:
     return spec.fn(**spec.kwargs)
 
@@ -92,14 +99,23 @@ def run_cells(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     metrics: Optional[MetricsRegistry] = None,
+    inline_threshold: Optional[float] = None,
 ) -> List[Any]:
     """Execute *cells*, returning their results in cell order.
 
     ``jobs <= 1`` runs inline, with no pool and no pickling; ``jobs > 1``
-    fans the non-cached cells across a process pool.  Both paths produce
-    bit-identical results because each cell is a pure function of its
-    kwargs.  If the platform cannot provide a process pool the call
-    degrades to inline execution with a warning rather than failing.
+    first probes the batch by running one cell inline — if it completes
+    under :data:`INLINE_CELL_THRESHOLD_SECONDS` the remaining cells also
+    run inline (pool dispatch would cost more than the cells themselves;
+    ``pool.inline_cells`` counts the cells so diverted), otherwise the
+    rest fan across a process pool.  A single-CPU host short-circuits
+    the probe: with no second core the pool can only add fork + pickle
+    tax, so the whole batch runs inline (and is counted).  All paths produce bit-identical
+    results because each cell is a pure function of its kwargs.  If the
+    platform cannot provide a process pool the call degrades to inline
+    execution with a warning rather than failing.  *inline_threshold*
+    overrides the probe threshold (``0.0`` forces the pool; ``inf``
+    forces inline).
 
     With a :class:`~repro.obs.metrics.MetricsRegistry` attached, each
     executed cell records its wall time (``pool.cell_seconds``) and
@@ -139,29 +155,58 @@ def run_cells(
     if jobs <= 1 or len(todo) <= 1:
         for index in todo:
             unpack(index, execute(cells[index]))
+    elif inline_threshold is None and (os.cpu_count() or 1) <= 1:
+        # One CPU cannot run workers concurrently, so the pool would
+        # only add fork + pickle tax to every cell regardless of cost.
+        if metrics is not None:
+            metrics.counter("pool.inline_cells").inc(len(todo))
+        for index in todo:
+            unpack(index, execute(cells[index]))
     else:
-        try:
-            workers_used = min(jobs, len(todo))
-            with ProcessPoolExecutor(
-                max_workers=workers_used,
-                mp_context=_pool_context(),
-            ) as pool:
-                futures = {
-                    index: pool.submit(execute, cells[index])
-                    for index in todo
-                }
-                for index, future in futures.items():
-                    unpack(index, future.result())
-        except (OSError, PermissionError) as error:
-            warnings.warn(
-                f"process pool unavailable ({error!r}); "
-                f"running {len(todo)} cells inline",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            workers_used = 1
-            for index in todo:
+        # Probe: run the first pending cell inline and time it.  When the
+        # selected backend makes per-cell cost smaller than pool dispatch
+        # overhead (a fork plus two pickle round-trips), paying the pool
+        # tax inverts the speedup — grid scaling drops below 1 — so the
+        # whole batch runs inline instead.
+        probe_index = todo[0]
+        probe_started = time.time()
+        probe_outcome = execute(cells[probe_index])
+        probe_elapsed = time.time() - probe_started
+        unpack(probe_index, probe_outcome)
+        remaining = todo[1:]
+        threshold = (
+            INLINE_CELL_THRESHOLD_SECONDS
+            if inline_threshold is None
+            else inline_threshold
+        )
+        if probe_elapsed < threshold:
+            if metrics is not None:
+                metrics.counter("pool.inline_cells").inc(len(todo))
+            for index in remaining:
                 unpack(index, execute(cells[index]))
+        else:
+            try:
+                workers_used = min(jobs, len(remaining))
+                with ProcessPoolExecutor(
+                    max_workers=workers_used,
+                    mp_context=_pool_context(),
+                ) as pool:
+                    futures = {
+                        index: pool.submit(execute, cells[index])
+                        for index in remaining
+                    }
+                    for index, future in futures.items():
+                        unpack(index, future.result())
+            except (OSError, PermissionError) as error:
+                warnings.warn(
+                    f"process pool unavailable ({error!r}); "
+                    f"running {len(remaining)} cells inline",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                workers_used = 1
+                for index in remaining:
+                    unpack(index, execute(cells[index]))
 
     if metrics is not None and timings:
         span = max(

@@ -205,25 +205,38 @@ class DemandScript:
 
     Attributes
     ----------
-    outcomes:
-        ``(requests, releases)`` matrix of :class:`Outcome` tuples (None
-        when the cell has no joint outcome model).
     t1:
         Shared demand-difficulty block, one entry per request.
     t2:
         One latency block per release.
     outcome_codes:
-        The same outcome matrix as integer codes (indices into
+        The pre-drawn outcome matrix as integer codes (indices into
         :data:`~repro.simulation.outcomes.OUTCOME_ORDER`), shaped
         ``(requests, releases)``.  This is the raw form the columnar
-        backend consumes; None when ``outcomes`` is None.
+        backend consumes; None when the cell has no joint outcome
+        model.
+
+    The event-path adapters replay the same matrix as
+    :class:`Outcome` tuples via :attr:`outcomes`, materialized from
+    the codes on first access — the columnar backend never pays for
+    that view.
     """
 
     requests: int
-    outcomes: Optional[List[Tuple[Outcome, ...]]]
     t1: np.ndarray
     t2: List[np.ndarray]
     outcome_codes: Optional[np.ndarray] = None
+    _outcomes: Optional[List[Tuple[Outcome, ...]]] = None
+
+    @property
+    def outcomes(self) -> Optional[List[Tuple[Outcome, ...]]]:
+        """The outcome matrix as :class:`Outcome` tuples, lazily built."""
+        if self._outcomes is None and self.outcome_codes is not None:
+            self._outcomes = [
+                tuple(OUTCOME_ORDER[code] for code in row)
+                for row in self.outcome_codes.tolist()
+            ]
+        return self._outcomes
 
     def joint_model(
         self, base: Optional[JointOutcomeModel] = None
@@ -256,12 +269,14 @@ def _outcome_matrix(
     requests: int,
     releases: int,
     vectorized: bool,
-) -> Tuple[List[Tuple[Outcome, ...]], np.ndarray]:
-    """Draw the per-demand outcome tuples for *releases* releases.
+) -> np.ndarray:
+    """Draw the per-demand outcome codes for *releases* releases.
 
-    Returns both the :class:`Outcome` tuples the event-path adapters
-    replay and the raw ``(requests, releases)`` code matrix the columnar
-    backend consumes — one draw, two views.
+    Returns the raw ``(requests, releases)`` code matrix the columnar
+    backend consumes; the :class:`Outcome` tuples the event-path
+    adapters replay are the same matrix viewed through
+    :attr:`DemandScript.outcomes`, materialized only when that path
+    actually runs.
     """
     if releases == 2:
         if vectorized:
@@ -287,10 +302,7 @@ def _outcome_matrix(
         raise ValidationError(
             f"{type(joint_model).__name__} cannot script {releases} releases"
         )
-    tuples = [
-        tuple(OUTCOME_ORDER[int(code)] for code in row) for row in codes
-    ]
-    return tuples, codes
+    return codes
 
 
 def build_demand_script(
@@ -300,6 +312,7 @@ def build_demand_script(
     requests: int,
     seeds: SeedSequenceFactory,
     vectorized: bool = True,
+    draws: Optional[int] = None,
 ) -> DemandScript:
     """Pre-draw one cell's randomness from the factory's script streams.
 
@@ -307,14 +320,24 @@ def build_demand_script(
     block; ``vectorized=False`` draws the same streams one value at a
     time — bit-identical by the ``sample_many`` contracts, and ~20x
     slower, existing only to prove that equivalence in tests.
+
+    *draws* over-provisions the script beyond *requests* rows (retry
+    cells consume one row per middleware attempt, up to
+    ``requests * max_attempts``); the scripted adapters tolerate unused
+    leftovers, so over-provisioning never changes what a run consumes.
     """
     if requests <= 0:
         raise ValidationError(f"requests must be > 0: {requests!r}")
+    if draws is not None:
+        if draws < requests:
+            raise ValidationError(
+                f"draws must cover requests: {draws!r} < {requests!r}"
+            )
+        requests = int(draws)
     releases = len(release_latencies)
-    outcomes = None
     outcome_codes = None
     if joint_model is not None:
-        outcomes, outcome_codes = _outcome_matrix(
+        outcome_codes = _outcome_matrix(
             joint_model,
             seeds.generator("script/outcomes"),
             requests,
@@ -335,7 +358,6 @@ def build_demand_script(
             t2.append(latency.sample_many_scalar(t2_rng, requests))
     return DemandScript(
         requests=requests,
-        outcomes=outcomes,
         t1=t1,
         t2=t2,
         outcome_codes=outcome_codes,

@@ -131,3 +131,75 @@ class TestMonitorIntegration:
         monitor = MonitoringSubsystem(np.random.default_rng(0))
         with pytest.raises(ConfigurationError):
             monitor.responsiveness_for("A")
+
+
+class TestTrajectories:
+    """Batched conjugate recursions are bit-identical to scalar updates."""
+
+    def _bits(self, value):
+        import struct
+
+        return struct.pack("<d", value).hex()
+
+    def test_availability_confidence_trajectory_bit_identical(self):
+        import numpy as np
+
+        responded = np.random.default_rng(5).random(200) < 0.9
+        batched = AvailabilityAssessor(2.0, 3.0)
+        trajectory = batched.confidence_trajectory(responded, 0.85)
+        scalar = AvailabilityAssessor(2.0, 3.0)
+        for i, outcome in enumerate(responded):
+            scalar.observe(bool(outcome))
+            assert self._bits(trajectory[i]) == self._bits(
+                scalar.confidence(0.85)
+            )
+        # The batched assessor was never mutated.
+        assert batched.demands == 0
+
+    def test_availability_lower_bound_trajectory_bit_identical(self):
+        import numpy as np
+
+        responded = np.random.default_rng(6).random(150) < 0.8
+        batched = AvailabilityAssessor()
+        trajectory = batched.lower_bound_trajectory(responded, 0.99)
+        scalar = AvailabilityAssessor()
+        for i, outcome in enumerate(responded):
+            scalar.observe(bool(outcome))
+            assert self._bits(trajectory[i]) == self._bits(
+                scalar.lower_bound(0.99)
+            )
+
+    def test_trajectory_starts_from_current_state(self):
+        import numpy as np
+
+        warm = AvailabilityAssessor()
+        warm.observe_many(responded=40, missed=10)
+        trajectory = warm.confidence_trajectory(np.array([True]), 0.5)
+        reference = AvailabilityAssessor()
+        reference.observe_many(responded=41, missed=10)
+        assert self._bits(trajectory[0]) == self._bits(
+            reference.confidence(0.5)
+        )
+
+    def test_responsiveness_confidence_trajectory_bit_identical(self):
+        import numpy as np
+
+        times = np.random.default_rng(7).exponential(0.7, 120)
+        batched = ResponsivenessAssessor(1.0)
+        trajectory = batched.confidence_trajectory(times, 0.5)
+        scalar = ResponsivenessAssessor(1.0)
+        for i, value in enumerate(times):
+            scalar.observe(float(value))
+            assert self._bits(trajectory[i]) == self._bits(
+                scalar.confidence(0.5)
+            )
+        assert batched.responses == 0
+
+    def test_responsiveness_trajectory_rejects_negative_times(self):
+        assessor = ResponsivenessAssessor(1.0)
+        with pytest.raises(InferenceError):
+            assessor.confidence_trajectory([0.5, -0.1], 0.5)
+
+    def test_empty_trajectory(self):
+        assessor = AvailabilityAssessor()
+        assert assessor.confidence_trajectory([], 0.5).size == 0

@@ -157,3 +157,33 @@ class TestGridSpec:
 
     def test_prior_describe_mentions_uniform(self, scenario1_prior):
         assert "Uniform(0, min(pA, pB))" in scenario1_prior.describe()
+
+
+class TestCheckpointSummary:
+    """One posterior evaluation answers all checkpoint queries,
+    bit-identical to the per-query methods."""
+
+    def _bits(self, value):
+        import struct
+
+        return struct.pack("<d", value).hex()
+
+    def test_matches_individual_queries(self, assessor):
+        assessor.observe(JointCounts(1, 4, 2, 9993))
+        (pa99,), (pb99, pb90), (c1, c2) = assessor.checkpoint_summary(
+            levels_a=(0.99,),
+            levels_b=(0.99, 0.90),
+            targets_b=(1e-3, 1.5e-3),
+        )
+        assert self._bits(pa99) == self._bits(assessor.percentile_a(0.99))
+        assert self._bits(pb99) == self._bits(assessor.percentile_b(0.99))
+        assert self._bits(pb90) == self._bits(assessor.percentile_b(0.90))
+        assert self._bits(c1) == self._bits(assessor.confidence_b(1e-3))
+        assert self._bits(c2) == self._bits(assessor.confidence_b(1.5e-3))
+
+    def test_empty_queries_allowed(self, assessor):
+        assert assessor.checkpoint_summary() == ([], [], [])
+
+    def test_rejects_bad_level(self, assessor):
+        with pytest.raises(InferenceError):
+            assessor.checkpoint_summary(levels_a=(1.5,))

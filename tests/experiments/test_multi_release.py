@@ -50,3 +50,34 @@ class TestSingleRun:
     def test_chained_model_marginals(self):
         model = chained_model(1)
         assert model.marginal_first().p_correct == pytest.approx(0.70)
+
+
+class TestBackendPlumbing:
+    """Backend selection at the sweep level (bit-identity itself is
+    asserted row-by-row in tests/runtime/test_columnar.py)."""
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="backend"):
+            run_n_release_simulation(2, requests=10, backend="batch")
+
+    def test_sweep_carries_backend_in_cache_keys(self):
+        from repro.experiments.multi_release import sweep_cells
+
+        cells = sweep_cells((1, 2), requests=100, backend="columnar")
+        assert all(
+            cell.key["backend"] == "columnar" for cell in cells
+        )
+        assert all(
+            cell.kwargs["backend"] == "columnar" for cell in cells
+        )
+
+    def test_columnar_sweep_matches_event_sweep(self):
+        event = run_sweep(
+            release_counts=(1, 3), requests=200, seed=3, backend="event"
+        )
+        columnar = run_sweep(
+            release_counts=(1, 3), requests=200, seed=3,
+            backend="columnar",
+        )
+        for left, right in zip(event.metrics, columnar.metrics):
+            assert left.all_rows() == right.all_rows()

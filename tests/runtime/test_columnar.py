@@ -3,12 +3,16 @@
 The columnar backend's whole claim is *bit-identity* with the event
 kernel inside its envelope — not statistical agreement.  These tests
 compare reduced rows by float bit pattern (NaN-safe, no tolerance), for
-hand-picked cells, for both sampling strategies, for both latency
-profiles (the calibrated one exercises hangs and shared unavailability),
-and for the first fast cell of every registered grid spec that carries a
-``backend`` cache-key field.  The fallback tests pin the ``auto``
-semantics: outside the envelope the event kernel runs and the
-``backend.fallback_cells`` counter says so.
+hand-picked cells, for every §4.2 operating mode across multiple seeds
+and both latency profiles (the calibrated one exercises hangs and shared
+unavailability), for N-release deployments, for retry, and for the first
+fast cell of every registered grid spec that carries a ``backend``
+cache-key field.  The envelope property test pins the support contract:
+``unsupported_reason() is None`` exactly when an explicit
+``backend="columnar"`` run succeeds.  The fallback tests pin the
+``auto`` semantics: outside the envelope the event kernel runs and the
+``backend.fallback_cells`` / ``backend.fallback_reason.<slug>``
+counters say why.
 """
 
 import struct
@@ -16,15 +20,18 @@ import struct
 import pytest
 
 from repro.common.errors import ConfigurationError
+from repro.common.seeding import SeedSequenceFactory
 from repro.core.adjudicators import FastestValidAdjudicator
-from repro.core.modes import ModeConfig
+from repro.core.modes import ModeConfig, SequentialOrder
 from repro.experiments import paper_params as P
 from repro.experiments.event_sim import (
     calibrated_profile,
     joint_model,
+    paper_profile,
     release_pair_cells,
     run_release_pair_simulation,
 )
+from repro.experiments.multi_release import run_n_release_simulation
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import MemoryTracer
 from repro.pipeline import (
@@ -32,7 +39,23 @@ from repro.pipeline import (
     discover,
     registered_specs,
 )
+from repro.runtime import columnar
+from repro.runtime.sampling import build_demand_script
 from repro.services.retry import RetryPolicy
+
+#: All four §4.2 operating modes (max-reliability is the historical
+#: envelope; the others joined it when the backend was widened).
+ALL_MODES = [
+    pytest.param(ModeConfig.max_reliability(), id="reliability"),
+    pytest.param(ModeConfig.max_responsiveness(), id="responsiveness"),
+    pytest.param(ModeConfig.dynamic(1), id="dynamic-k1"),
+    pytest.param(ModeConfig.dynamic(2), id="dynamic-k2"),
+    pytest.param(ModeConfig.sequential(), id="sequential-fixed"),
+    pytest.param(
+        ModeConfig.sequential(SequentialOrder.RANDOM),
+        id="sequential-random",
+    ),
+]
 
 
 def rows_as_bits(metrics):
@@ -105,7 +128,7 @@ class TestRegisteredGridSpecs:
             spec for spec in registered_specs().values()
             if "backend" in spec.cache_schema
         ]
-        assert {"table5", "table6", "fidelity"} <= {
+        assert {"table5", "table6", "fidelity", "multirelease"} <= {
             spec.name for spec in specs
         }
         for spec in specs:
@@ -118,18 +141,102 @@ class TestRegisteredGridSpecs:
                 assert cell.key is not None
                 assert cell.key["backend"] == backend
                 result = cell.fn(**cell.kwargs)
-                rows[backend] = rows_as_bits(result.metrics)
+                # Cells return either a wrapper with .metrics or the
+                # SystemMetrics itself (the multirelease grid).
+                rows[backend] = rows_as_bits(
+                    getattr(result, "metrics", result)
+                )
             assert rows["event"] == rows["columnar"], spec.name
+
+
+class TestModeEquivalence:
+    """Every §4.2 operating mode, bit-identical across seeds/profiles."""
+
+    @pytest.mark.parametrize("seed", [3, 9, 17])
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_paper_profile_rows_bit_identical(self, mode, seed):
+        event = run_cell("event", mode=mode, seed=seed, requests=250)
+        columnar = run_cell("columnar", mode=mode, seed=seed, requests=250)
+        assert rows_as_bits(event) == rows_as_bits(columnar)
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_calibrated_profile_rows_bit_identical(self, mode):
+        # Hangs + shared unavailability under every mode's decision rule.
+        event = run_cell(
+            "event", mode=mode, profile=calibrated_profile(), requests=250
+        )
+        columnar = run_cell(
+            "columnar", mode=mode, profile=calibrated_profile(),
+            requests=250,
+        )
+        assert rows_as_bits(event) == rows_as_bits(columnar)
+
+
+class TestRetryEquivalence:
+    """Retry resolves columnar via over-provisioned script draws."""
+
+    @pytest.mark.parametrize("seed", [3, 9, 17])
+    @pytest.mark.parametrize("policy", [
+        pytest.param(RetryPolicy(max_attempts=2), id="attempts-2"),
+        pytest.param(
+            RetryPolicy(max_attempts=3, backoff=0.25), id="backoff"
+        ),
+        pytest.param(
+            RetryPolicy(max_attempts=2, attempt_timeout=1.0),
+            id="attempt-timeout",
+        ),
+    ])
+    def test_retry_rows_bit_identical(self, policy, seed):
+        event = run_cell("event", retry=policy, seed=seed, requests=250)
+        columnar = run_cell(
+            "columnar", retry=policy, seed=seed, requests=250
+        )
+        assert rows_as_bits(event) == rows_as_bits(columnar)
+
+    def test_retry_calibrated_profile_bit_identical(self):
+        policy = RetryPolicy(max_attempts=3, backoff=0.25)
+        event = run_cell(
+            "event", retry=policy, profile=calibrated_profile(),
+            requests=250,
+        )
+        columnar = run_cell(
+            "columnar", retry=policy, profile=calibrated_profile(),
+            requests=250,
+        )
+        assert rows_as_bits(event) == rows_as_bits(columnar)
+
+
+class TestMultiReleaseEquivalence:
+    """Stacked (n, k) resolution for N-release deployments."""
+
+    @pytest.mark.parametrize("n", [2, 3, 5])
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_n_release_rows_bit_identical(self, n, mode):
+        event = run_n_release_simulation(
+            n, requests=200, seed=7, mode=mode, backend="event"
+        )
+        columnar = run_n_release_simulation(
+            n, requests=200, seed=7, mode=mode, backend="columnar"
+        )
+        assert rows_as_bits(event) == rows_as_bits(columnar)
+
+    @pytest.mark.parametrize("seed", [3, 9, 17])
+    def test_single_release_outcome_override(self, seed):
+        # n=1 has no joint model: the columnar path pre-draws the
+        # endpoint's own marginal stream as the outcome-code override.
+        event = run_n_release_simulation(
+            1, requests=200, seed=seed, backend="event"
+        )
+        columnar = run_n_release_simulation(
+            1, requests=200, seed=seed, backend="columnar"
+        )
+        assert rows_as_bits(event) == rows_as_bits(columnar)
 
 
 class TestEnvelope:
     def test_unknown_backend_rejected(self):
         with pytest.raises(ConfigurationError, match="backend"):
             run_cell("batch")
-
-    def test_explicit_columnar_rejects_retry(self):
-        with pytest.raises(ConfigurationError, match="retry"):
-            run_cell("columnar", retry=RetryPolicy(max_attempts=2))
 
     def test_explicit_columnar_rejects_tracing(self):
         with pytest.raises(ConfigurationError, match="trac"):
@@ -139,21 +246,105 @@ class TestEnvelope:
         with pytest.raises(ConfigurationError, match="live"):
             run_cell("columnar", sampling="live")
 
-    def test_explicit_columnar_rejects_other_modes(self):
+    def test_explicit_columnar_rejects_retry_outside_reliability(self):
+        # Retry is proven columnar under max-reliability only.
         with pytest.raises(ConfigurationError, match="mode"):
-            run_cell("columnar", mode=ModeConfig.max_responsiveness())
+            run_cell(
+                "columnar",
+                retry=RetryPolicy(max_attempts=2),
+                mode=ModeConfig.max_responsiveness(),
+            )
 
     def test_explicit_columnar_rejects_other_adjudicators(self):
         with pytest.raises(ConfigurationError, match="adjudicator"):
             run_cell("columnar", adjudicator=FastestValidAdjudicator())
 
+    def test_error_reports_all_reasons(self):
+        with pytest.raises(ConfigurationError) as err:
+            run_cell(
+                "columnar",
+                sampling="live",
+                adjudicator=FastestValidAdjudicator(),
+                tracer=MemoryTracer(),
+            )
+        message = str(err.value)
+        assert "live" in message
+        assert "adjudicator" in message
+        assert "trac" in message
+
+
+class TestEnvelopeProperty:
+    """unsupported_reasons() == [] exactly when columnar resolution
+    succeeds, over a grid of configurations (envelope exhaustiveness)."""
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    @pytest.mark.parametrize("sampling", ["vectorized", "live"])
+    @pytest.mark.parametrize("retry", [
+        pytest.param(None, id="no-retry"),
+        pytest.param(RetryPolicy(max_attempts=2), id="retry"),
+    ])
+    @pytest.mark.parametrize("traced", [False, True])
+    @pytest.mark.parametrize("other_adjudicator", [False, True])
+    def test_reason_absence_iff_resolution_succeeds(
+        self, mode, sampling, retry, traced, other_adjudicator
+    ):
+        # Mirror the runner's script gate, then ask the authority.
+        profile = paper_profile()
+        script = None
+        if sampling != "live":
+            script = build_demand_script(
+                P.correlated_model(1),
+                profile.demand_difficulty,
+                list(profile.release_latencies),
+                60,
+                SeedSequenceFactory(9),
+                draws=(
+                    60 * (1 + retry.max_attempts)
+                    if retry is not None
+                    else None
+                ),
+            )
+        reasons = columnar.unsupported_reasons(
+            script=script,
+            releases=2,
+            mode=mode,
+            adjudicator=(
+                FastestValidAdjudicator() if other_adjudicator else None
+            ),
+            tracing=traced,
+            retry=retry,
+        )
+        shim = columnar.unsupported_reason(
+            script=script,
+            releases=2,
+            mode=mode,
+            adjudicator=(
+                FastestValidAdjudicator() if other_adjudicator else None
+            ),
+            tracing=traced,
+            retry=retry,
+        )
+        assert (shim is None) == (not reasons)
+        kwargs = dict(sampling=sampling, retry=retry, requests=60)
+        if traced:
+            kwargs["tracer"] = MemoryTracer()
+        if other_adjudicator:
+            kwargs["adjudicator"] = FastestValidAdjudicator()
+        if not reasons:
+            run_cell("columnar", mode=mode, **kwargs)  # must not raise
+        else:
+            with pytest.raises(ConfigurationError):
+                run_cell("columnar", mode=mode, **kwargs)
+
 
 class TestAutoFallback:
-    def _fallbacks(self, **overrides):
+    def _counters(self, **overrides):
         registry = MetricsRegistry()
         run_cell("auto", metrics=registry, **overrides)
-        counters = registry.as_dict()["counters"]
-        return counters.get("backend.fallback_cells", 0)
+        return registry.as_dict()["counters"]
+
+    def _fallbacks(self, **overrides):
+        return self._counters(**overrides).get("backend.fallback_cells", 0)
 
     def test_auto_in_envelope_uses_columnar(self):
         registry = MetricsRegistry()
@@ -162,8 +353,16 @@ class TestAutoFallback:
         assert counters["backend.columnar_cells"] == 1
         assert rows_as_bits(auto) == rows_as_bits(run_cell("event"))
 
-    def test_auto_falls_back_for_retry(self):
-        assert self._fallbacks(retry=RetryPolicy(max_attempts=2)) == 1
+    def test_auto_resolves_retry_columnar(self):
+        counters = self._counters(retry=RetryPolicy(max_attempts=2))
+        assert counters["backend.columnar_cells"] == 1
+        assert "backend.fallback_cells" not in counters
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_auto_resolves_every_mode_columnar(self, mode):
+        counters = self._counters(mode=mode, requests=120)
+        assert counters["backend.columnar_cells"] == 1
+        assert "backend.fallback_cells" not in counters
 
     def test_auto_falls_back_for_tracing(self):
         tracer = MemoryTracer()
@@ -171,8 +370,15 @@ class TestAutoFallback:
         # ... and the event kernel really ran: the trace has events.
         assert tracer.events
 
-    def test_auto_falls_back_for_other_modes(self):
-        assert self._fallbacks(mode=ModeConfig.max_responsiveness()) == 1
+    def test_fallback_reason_counters_are_labeled(self):
+        counters = self._counters(
+            tracer=MemoryTracer(), sampling="live",
+            adjudicator=FastestValidAdjudicator(),
+        )
+        assert counters["backend.fallback_cells"] == 1
+        assert counters["backend.fallback_reason.tracing"] == 1
+        assert counters["backend.fallback_reason.live-sampling"] == 1
+        assert counters["backend.fallback_reason.adjudicator"] == 1
 
     def test_auto_retry_result_matches_event_retry(self):
         policy = RetryPolicy(max_attempts=2)

@@ -114,9 +114,12 @@ class TestPoolJobsGauge:
     ``jobs=4`` plumbing — reported 4.0 workers that never existed.
     """
 
-    def _gauge(self, cells, jobs):
+    def _gauge(self, cells, jobs, inline_threshold=None):
         registry = MetricsRegistry()
-        run_cells(cells, jobs=jobs, metrics=registry)
+        run_cells(
+            cells, jobs=jobs, metrics=registry,
+            inline_threshold=inline_threshold,
+        )
         return registry.as_dict()["gauges"]["pool.jobs"]
 
     def test_inline_run_reports_one_worker(self):
@@ -127,7 +130,49 @@ class TestPoolJobsGauge:
         assert self._gauge(_cells([7]), jobs=4) == 1.0
 
     def test_pool_capped_by_cell_count(self):
-        assert self._gauge(_cells([1, 2]), jobs=4) == 2.0
+        # threshold 0.0 forces the pool path; the probe cell runs inline,
+        # the remaining two fan out.
+        assert self._gauge(_cells([1, 2, 3]), jobs=4,
+                           inline_threshold=0.0) == 2.0
 
     def test_pool_capped_by_jobs(self):
-        assert self._gauge(_cells([1, 2, 3, 4, 5, 6]), jobs=2) == 2.0
+        assert self._gauge(_cells([1, 2, 3, 4, 5, 6]), jobs=2,
+                           inline_threshold=0.0) == 2.0
+
+
+class TestInlineProbe:
+    """Cheap batches skip the pool: the probe cell's cost decides.
+
+    Regression: BENCH grid scaling dropped below 1 because columnar
+    cells (~ms each) were dispatched through fork + pickle (~tens of ms
+    each) whenever ``jobs > 1``.
+    """
+
+    def _run(self, cells, jobs, inline_threshold=None):
+        registry = MetricsRegistry()
+        results = run_cells(
+            cells, jobs=jobs, metrics=registry,
+            inline_threshold=inline_threshold,
+        )
+        return results, registry.as_dict()
+
+    def test_cheap_cells_run_inline_and_are_counted(self):
+        results, snapshot = self._run(_cells([1, 2, 3, 4]), jobs=4)
+        assert results == [1, 4, 9, 16]
+        assert snapshot["counters"]["pool.inline_cells"] == 4
+        assert snapshot["gauges"]["pool.jobs"] == 1.0
+
+    def test_forced_pool_reports_no_inline_cells(self):
+        results, snapshot = self._run(
+            _cells([1, 2, 3, 4]), jobs=2, inline_threshold=0.0
+        )
+        assert results == [1, 4, 9, 16]
+        assert "pool.inline_cells" not in snapshot["counters"]
+
+    def test_inline_diversion_matches_pool_results(self):
+        cells = [
+            CellSpec("unit", _draw, {"seed": seed}) for seed in range(6)
+        ]
+        inline = run_cells(cells, jobs=4)  # probe diverts inline
+        pooled = run_cells(cells, jobs=4, inline_threshold=0.0)
+        assert inline == pooled
