@@ -16,8 +16,10 @@ Measures the numbers the runtime work is accountable for —
   cells across every backend-aware registered spec),
 
 plus the ``--jobs`` scaling of a small Table-5 grid, the wall-time of
-the ``repro.lint`` determinism linter over ``src/`` (it gates every CI
-run, so its cost is tracked like any other hot path), the overhead of
+the ``repro.lint`` determinism linter over ``src/`` and of its
+whole-program (``--program``) analysis over ``src/repro`` (both gate
+every CI run, so their cost is tracked like any other hot path), the
+overhead of
 ``repro.obs`` tracing (enabled vs disabled cell wall-time — the
 disabled path must stay within noise of the pre-obs kernel) and the
 operational metrics snapshot of the grid run.  CI runs
@@ -45,7 +47,7 @@ from repro.core.modes import ModeConfig, SequentialOrder
 from repro.experiments import paper_params as P
 from repro.experiments.event_sim import run_release_pair_simulation
 from repro.experiments.table5 import run_table5
-from repro.lint import run_lint
+from repro.lint import run_lint, run_program_lint
 from repro.pipeline import (
     ExperimentOptions,
     discover,
@@ -263,17 +265,36 @@ def grid_metrics_snapshot(requests: int, jobs: int) -> dict:
 
 
 def bench_lint(src_dir: Path) -> dict:
-    """Wall-time and file count for one linter pass over ``src/``."""
+    """Wall-time and file count for one linter pass over ``src/``.
+
+    Times both passes that gate CI: the per-file rules over ``src/``
+    and the whole-program (REPRO2xx) analysis over ``src/repro`` —
+    the latter builds a full symbol table / call graph per run, so its
+    cost is tracked separately.
+    """
     run_lint([str(src_dir)])  # warm: imports, rule construction
     started = time.perf_counter()
     run = run_lint([str(src_dir)])
     elapsed = time.perf_counter() - started
+    program_dir = src_dir / "repro"
+    run_program_lint([str(program_dir)])  # warm
+    started = time.perf_counter()
+    program_run = run_program_lint([str(program_dir)])
+    program_elapsed = time.perf_counter() - started
     return {
         "version": LINT_VERSION,
         "files": run.files_checked,
         "findings": len(run.findings),
         "seconds": round(elapsed, 4),
         "files_per_sec": round(run.files_checked / elapsed),
+        "program": {
+            "files": program_run.files_checked,
+            "findings": len(program_run.findings),
+            "seconds": round(program_elapsed, 4),
+            "files_per_sec": round(
+                program_run.files_checked / program_elapsed
+            ),
+        },
     }
 
 

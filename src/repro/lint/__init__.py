@@ -20,8 +20,27 @@ REPRO106  paper-parameter-       inline duplicates of ``paper_params``
           literal                constants
 ========  =====================  =========================================
 
-Run it with ``python -m repro.lint src/``; suppress a deliberate
-exception with a line comment ``# repro-lint: disable=REPRO10x``.
+On top of the per-file rules, :mod:`repro.lint.program` builds a
+whole-program model (symbol table, import graph, approximate call
+graph, dataflow summaries) and checks four *interprocedural*
+invariants — the cross-module consistency bugs per-file analysis
+cannot see:
+
+=========  ======================  ====================================
+REPRO201   cache-key-              result-influencing cell parameters
+           completeness            absent from cache keys / schemas
+REPRO202   rng-stream-escape       Generator streams crossing parallel
+                                   cell boundaries
+REPRO203   envelope-sync           columnar fallback slugs, resolver
+                                   table, and counters drifting apart
+REPRO204   obs-name-drift          undeclared metric/trace-event names
+=========  ======================  ====================================
+
+Run the per-file rules with ``python -m repro.lint src/`` and the
+whole-program rules with ``python -m repro.lint --program src/repro``;
+suppress a deliberate exception with a line comment
+``# repro-lint: disable=REPROxxx``, or ratchet pre-existing program
+findings with ``--write-baseline`` / ``--baseline``.
 """
 
 from repro.lint.config import DEFAULT_CONFIG, LintConfig
@@ -31,8 +50,10 @@ from repro.lint.engine import (
     lint_module,
     lint_paths,
     run_lint,
+    run_program_lint,
 )
 from repro.lint.findings import Finding
+from repro.lint.program import ProgramModel, all_program_rules
 from repro.lint.rules import all_rules
 from repro.lint.version import LINT_VERSION
 
@@ -43,8 +64,11 @@ __all__ = [
     "LintRun",
     "LINT_VERSION",
     "ModuleInfo",
+    "ProgramModel",
+    "all_program_rules",
     "all_rules",
     "lint_module",
     "lint_paths",
     "run_lint",
+    "run_program_lint",
 ]

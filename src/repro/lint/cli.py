@@ -1,22 +1,28 @@
 """``python -m repro.lint`` — the determinism linter's command line.
 
-Exit status is 0 when no findings survive suppression filtering and 1
-otherwise (2 for usage errors), so the command slots directly into CI::
+Exit status is 0 when no findings survive suppression/baseline
+filtering and 1 otherwise (2 for usage errors), so the command slots
+directly into CI::
 
-    python -m repro.lint src/                 # text report
-    python -m repro.lint --format json src/   # machine-readable
+    python -m repro.lint src/                     # per-file rules, text
+    python -m repro.lint --format json src/       # machine-readable
+    python -m repro.lint --format github src/     # PR annotations
+    python -m repro.lint --program src/repro      # whole-program rules
+    python -m repro.lint --program --write-baseline lint-baseline.json src/
     python -m repro.lint --select REPRO101,REPRO102 src/
     python -m repro.lint --list-rules
 """
 
 import argparse
+import dataclasses
 import sys
 from typing import List, Optional
 
-from repro.lint.config import DEFAULT_CONFIG, LintConfig
-from repro.lint.engine import run_lint
-from repro.lint.report import render_json, render_text
+from repro.lint.config import DEFAULT_CONFIG
+from repro.lint.engine import run_lint, run_program_lint
+from repro.lint.report import render_github, render_json, render_text
 from repro.lint.rules import all_rules
+from repro.lint.suppressions import load_baseline, render_baseline
 from repro.lint.version import LINT_VERSION
 
 
@@ -33,8 +39,10 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Static analysis for reproduction-breaking patterns: RNG "
             "discipline, wall-clock reads, process-pool hygiene, "
-            "unordered iteration, float accumulation order, and "
-            "paper-parameter literals."
+            "unordered iteration, float accumulation order, "
+            "paper-parameter literals — and, with --program, "
+            "whole-program cache-key, RNG-stream, envelope and "
+            "observability-name consistency."
         ),
     )
     parser.add_argument(
@@ -44,10 +52,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src)",
     )
     parser.add_argument(
+        "--program",
+        action="store_true",
+        help=(
+            "run the whole-program (REPRO2xx) analysis instead of the "
+            "per-file rules"
+        ),
+    )
+    parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
-        help="report format (default: text)",
+        help=(
+            "report format (default: text; github emits workflow "
+            "::error annotations)"
+        ),
     )
     parser.add_argument(
         "--select",
@@ -58,6 +77,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--ignore",
         metavar="IDS",
         help="comma-separated rule IDs to skip",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help=(
+            "drop findings recorded in this baseline file "
+            "(--program runs only)"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help=(
+            "write surviving findings to FILE as a baseline and exit 0 "
+            "(--program runs only)"
+        ),
     )
     parser.add_argument(
         "--list-rules",
@@ -73,27 +108,51 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
 
     if args.list_rules:
+        from repro.lint.program import all_program_rules
+
         for rule in all_rules():
             print(f"{rule.rule_id}  {rule.name}: {rule.description}")
+        for rule in all_program_rules():
+            print(
+                f"{rule.rule_id}  {rule.name} (--program): "
+                f"{rule.description}"
+            )
         return 0
 
-    config = LintConfig(
+    if (args.baseline or args.write_baseline) and not args.program:
+        parser.error("--baseline/--write-baseline require --program")
+
+    config = dataclasses.replace(
+        DEFAULT_CONFIG,
         select=_parse_rule_ids(args.select),
         ignore=_parse_rule_ids(args.ignore) or frozenset(),
-        seeding_module=DEFAULT_CONFIG.seeding_module,
-        wallclock_scopes=DEFAULT_CONFIG.wallclock_scopes,
-        wallclock_allow=DEFAULT_CONFIG.wallclock_allow,
-        unordered_scopes=DEFAULT_CONFIG.unordered_scopes,
-        floatsum_scopes=DEFAULT_CONFIG.floatsum_scopes,
-        literal_scopes=DEFAULT_CONFIG.literal_scopes,
-        literal_exempt=DEFAULT_CONFIG.literal_exempt,
     )
-    result = run_lint(args.paths, config)
+
+    if args.program:
+        baseline = (
+            load_baseline(args.baseline) if args.baseline else None
+        )
+        result = run_program_lint(args.paths, config, baseline=baseline)
+    else:
+        result = run_lint(args.paths, config)
+
+    if args.write_baseline:
+        with open(args.write_baseline, "w", encoding="utf-8") as handle:
+            handle.write(render_baseline(result.findings) + "\n")
+        print(
+            f"wrote {len(result.findings)} finding(s) to "
+            f"{args.write_baseline}"
+        )
+        return 0
+
     if args.format == "json":
         print(render_json(result.findings, result.files_checked))
+    elif args.format == "github":
+        print(render_github(result.findings, result.files_checked))
     else:
         print(render_text(result.findings, result.files_checked))
     return 0 if result.ok else 1

@@ -90,6 +90,38 @@ class LintConfig:
         default_factory=lambda: dict(PAPER_LITERALS)
     )
 
+    # -- whole-program (REPRO2xx) anchors ------------------------------
+    # All expressed as canonical dotted names so the analyzer never
+    # imports the code under analysis; fixtures impersonate these
+    # modules with ``# repro-lint: module=...`` overrides.
+
+    #: The parallel-cell dataclass every builder constructs (REPRO201/202).
+    cellspec_symbol: str = "repro.runtime.parallel.CellSpec"
+    #: The registered experiment-spec dataclass (REPRO201).
+    spec_symbol: str = "repro.pipeline.spec.ExperimentSpec"
+    #: Cell kwargs exempt from cache-key coverage (observability
+    #: plumbing).  Mirrors ``repro.pipeline.spec.CELL_OBSERVABILITY_PARAMS``
+    #: — duplicated here so lint stays import-independent of the
+    #: analyzed tree; a sync test pins the two tuples together.
+    cell_observability_params: Tuple[str, ...] = (
+        "metrics",
+        "trace_path",
+        "trace_cell",
+        "trace_dir",
+        "tracer",
+    )
+    #: The columnar backend module and its envelope anchors (REPRO203).
+    columnar_module: str = "repro.runtime.columnar"
+    fallback_slugs_name: str = "FALLBACK_SLUGS"
+    unsupported_fn_name: str = "unsupported_reasons"
+    mode_resolvers_name: str = "_MODE_RESOLVERS"
+    fallback_metric_prefix: str = "backend.fallback_reason."
+    #: The operating-mode enum the resolver table must cover (REPRO203).
+    modes_module: str = "repro.core.modes"
+    mode_enum_name: str = "OperatingMode"
+    #: The declared metric/trace-event name registry (REPRO204).
+    obs_names_module: str = "repro.obs.names"
+
     def rule_enabled(self, rule_id: str) -> bool:
         if rule_id in self.ignore:
             return False

@@ -18,6 +18,7 @@ from repro.lint.suppressions import (
 SKIP_DIRS = {
     "__pycache__",
     ".git",
+    ".hypothesis",
     ".mypy_cache",
     ".ruff_cache",
     ".pytest_cache",
@@ -179,3 +180,69 @@ def lint_paths(
 ) -> List[Finding]:
     """Convenience wrapper around :func:`run_lint` returning findings only."""
     return run_lint(paths, config).findings
+
+
+def run_program_lint(
+    paths: Iterable[str],
+    config: LintConfig = DEFAULT_CONFIG,
+    baseline: Optional[Set[tuple]] = None,
+) -> LintRun:
+    """Run the whole-program (REPRO2xx) rules over *paths*.
+
+    Every file is parsed into one :class:`ProgramModel` (unparsable
+    files produce ``REPRO100`` findings and are left out of the model),
+    each enabled program rule checks the model as a whole, and findings
+    pass through the same per-line ``# repro-lint: disable=`` filter as
+    per-file rules — suppression comments live next to the reported
+    line regardless of which analysis produced the finding.  *baseline*
+    is an accepted-findings set from
+    :func:`repro.lint.suppressions.load_baseline`; matching findings
+    are dropped so pre-existing debt can be ratcheted without blocking
+    CI.
+    """
+    # Imported here to keep engine import-light for cache-key callers.
+    from repro.lint.program import all_program_rules
+    from repro.lint.program.model import ProgramModel
+    from repro.lint.suppressions import matches_baseline
+
+    findings: List[Finding] = []
+    infos: List[ModuleInfo] = []
+    seen: Set[Path] = set()
+    for path in iter_python_files([Path(p) for p in paths]):
+        if path in seen:
+            continue
+        seen.add(path)
+        try:
+            infos.append(ModuleInfo.parse(path))
+        except SyntaxError as error:
+            findings.append(
+                Finding(
+                    path=str(path),
+                    line=error.lineno or 1,
+                    column=(error.offset or 0) + 1,
+                    rule_id="REPRO100",
+                    message=f"file does not parse: {error.msg}",
+                )
+            )
+
+    model = ProgramModel.build(infos)
+    suppression_tables = {
+        str(info.path): parse_suppressions(info.lines) for info in infos
+    }
+    for rule in all_program_rules():
+        if not config.rule_enabled(rule.rule_id):
+            continue
+        for finding in rule.check(model, config):
+            table = suppression_tables.get(finding.path, {})
+            if is_suppressed(table, finding.line, finding.rule_id):
+                continue
+            if baseline is not None and matches_baseline(
+                finding, baseline
+            ):
+                continue
+            findings.append(finding)
+
+    return LintRun(
+        findings=sorted(findings, key=Finding.sort_key),
+        files_checked=len(seen),
+    )

@@ -1,0 +1,57 @@
+"""Whole-program analysis (the REPRO2xx rules).
+
+Where :mod:`repro.lint.rules` checks one file at a time, this package
+builds a :class:`~repro.lint.program.model.ProgramModel` — symbol
+table, import graph, approximate call graph — over the whole tree plus
+a dataflow facility (:mod:`~repro.lint.program.dataflow`), and runs
+four interprocedural consistency rules on top:
+
+=========  ======================  ====================================
+ID         name                    catches
+=========  ======================  ====================================
+REPRO201   cache-key-              result-influencing cell parameters
+           completeness            absent from cache keys / schemas
+REPRO202   rng-stream-escape       numpy Generator streams crossing
+                                   cell boundaries or derived outside
+                                   the seeding discipline
+REPRO203   envelope-sync           columnar fallback slugs, resolver
+                                   table, and counters drifting apart
+REPRO204   obs-name-drift          undeclared metric / trace-event
+                                   names
+=========  ======================  ====================================
+
+Run it with ``python -m repro.lint --program src/repro``.
+"""
+
+from typing import List, Tuple
+
+from repro.lint.program.base import ProgramRule
+from repro.lint.program.cache_keys import CacheKeyCompletenessRule
+from repro.lint.program.envelope import EnvelopeSyncRule
+from repro.lint.program.model import FunctionInfo, ProgramModel
+from repro.lint.program.obs_names import ObsNameDriftRule
+from repro.lint.program.rng_streams import RngStreamEscapeRule
+
+_PROGRAM_RULE_CLASSES: Tuple[type, ...] = (
+    CacheKeyCompletenessRule,
+    RngStreamEscapeRule,
+    EnvelopeSyncRule,
+    ObsNameDriftRule,
+)
+
+
+def all_program_rules() -> List[ProgramRule]:
+    """Fresh instances of every program rule, in rule-ID order."""
+    return [cls() for cls in _PROGRAM_RULE_CLASSES]
+
+
+__all__ = [
+    "CacheKeyCompletenessRule",
+    "EnvelopeSyncRule",
+    "FunctionInfo",
+    "ObsNameDriftRule",
+    "ProgramModel",
+    "ProgramRule",
+    "RngStreamEscapeRule",
+    "all_program_rules",
+]

@@ -1,0 +1,33 @@
+"""Base class for whole-program (REPRO2xx) rules."""
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
+
+if TYPE_CHECKING:
+    from repro.lint.program.model import ProgramModel
+
+
+class ProgramRule:
+    """One cross-module consistency check.
+
+    Unlike per-file :class:`repro.lint.rules.base.Rule`, a program rule
+    sees the whole :class:`~repro.lint.program.model.ProgramModel` at
+    once — symbol table, import graph, approximate call graph — and may
+    relate declarations in one module to uses in another.  Rules must
+    still be pure functions of the model (no filesystem access, no
+    state between runs) so the report is reproducible.
+    """
+
+    rule_id: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check(
+        self, model: "ProgramModel", config: LintConfig
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(id={self.rule_id!r})"

@@ -1,0 +1,215 @@
+"""Intra-function dataflow helpers for the REPRO2xx rules.
+
+The facility is reaching-definitions shaped but name-granular: for a
+scope we record which expressions each local name was assigned from
+(flow-insensitively — every assignment reaches), and
+:func:`expand_refs` closes a set of names over those assignments.  Two
+values are considered to share provenance when their expanded name sets
+intersect; that is exactly the question the cache-key and RNG rules
+ask ("does this kwarg's value derive from anything the cache key also
+derives from?", "does this argument derive from a tainted stream?").
+
+Flow-insensitivity over-approximates reachability, which for these
+rules errs toward *fewer* findings on the coverage check (a name is
+credited with every definition it ever had) and is compensated on the
+taint check by seeding taint only from unambiguous generator sources.
+"""
+
+import ast
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+#: Transitive closure depth for :func:`expand_refs` — derivation chains
+#: in this tree are at most two assignments deep.
+EXPANSION_DEPTH = 4
+
+_SCOPE_NODES = (
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.ClassDef,
+    ast.Lambda,
+)
+
+
+def names_loaded(node: ast.AST) -> Set[str]:
+    """Every plain name read anywhere under *node*."""
+    return {
+        child.id
+        for child in ast.walk(node)
+        if isinstance(child, ast.Name) and isinstance(child.ctx, ast.Load)
+    }
+
+
+def _bind_target(
+    target: ast.expr, value: ast.expr, table: Dict[str, List[ast.expr]]
+) -> None:
+    if isinstance(target, ast.Name):
+        table.setdefault(target.id, []).append(value)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        # Unpacking: every element derives from the whole RHS.
+        for element in target.elts:
+            _bind_target(element, value, table)
+    elif isinstance(target, ast.Starred):
+        _bind_target(target.value, value, table)
+
+
+def assignment_map(scope: ast.AST) -> Dict[str, List[ast.expr]]:
+    """Name -> RHS expressions assigned within *scope*'s own body.
+
+    Walks compound statements (``if``/``for``/``while``/``with``/
+    ``try``) but does not descend into nested function, class, or
+    lambda scopes — those get their own map, merged outer-to-inner by
+    :func:`scope_chain_map`.  ``for`` targets bind to the iterable
+    (a loop variable derives from whatever it iterates), ``with ... as``
+    targets to the context expression.
+    """
+    table: Dict[str, List[ast.expr]] = {}
+
+    def visit(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _SCOPE_NODES):
+                continue
+            if isinstance(child, ast.Assign):
+                for target in child.targets:
+                    _bind_target(target, child.value, table)
+            elif isinstance(child, ast.AnnAssign):
+                if child.value is not None:
+                    _bind_target(child.target, child.value, table)
+            elif isinstance(child, ast.AugAssign):
+                _bind_target(child.target, child.value, table)
+            elif isinstance(child, (ast.For, ast.AsyncFor)):
+                _bind_target(child.target, child.iter, table)
+            elif isinstance(child, (ast.With, ast.AsyncWith)):
+                for item in child.items:
+                    if item.optional_vars is not None:
+                        _bind_target(
+                            item.optional_vars, item.context_expr, table
+                        )
+            elif isinstance(child, ast.NamedExpr):
+                _bind_target(child.target, child.value, table)
+            visit(child)
+
+    visit(scope)
+    return table
+
+
+def scope_chain_map(
+    scopes: Sequence[ast.AST],
+) -> Dict[str, List[ast.expr]]:
+    """Merged assignment map over a lexical scope chain, outermost first.
+
+    Inner assignments extend (rather than replace) outer ones: the
+    expansion is flow-insensitive, so keeping every definition is the
+    consistent over-approximation.
+    """
+    merged: Dict[str, List[ast.expr]] = {}
+    for scope in scopes:
+        for name, values in assignment_map(scope).items():
+            merged.setdefault(name, []).extend(values)
+    return merged
+
+
+def expand_refs(
+    names: Iterable[str],
+    assignments: Mapping[str, List[ast.expr]],
+    depth: int = EXPANSION_DEPTH,
+) -> Set[str]:
+    """Close *names* over *assignments*: add the names each one derives
+    from, transitively up to *depth* assignment hops."""
+    result: Set[str] = set(names)
+    frontier: Set[str] = set(names)
+    for _ in range(depth):
+        grown: Set[str] = set()
+        for name in frontier:
+            for value in assignments.get(name, ()):
+                grown |= names_loaded(value)
+        grown -= result
+        if not grown:
+            return result
+        result |= grown
+        frontier = grown
+    return result
+
+
+def dict_entries(
+    node: ast.AST,
+) -> Optional[List[Tuple[str, ast.expr]]]:
+    """(key, value) pairs of a statically-known dict expression.
+
+    Handles dict displays with constant-string keys and ``dict(...)``
+    keyword calls.  ``**spread`` entries and non-string keys make the
+    dict non-static: returns ``None`` so callers skip rather than
+    half-check.
+    """
+    if isinstance(node, ast.Dict):
+        entries: List[Tuple[str, ast.expr]] = []
+        for key, value in zip(node.keys, node.values):
+            if (
+                key is None
+                or not isinstance(key, ast.Constant)
+                or not isinstance(key.value, str)
+            ):
+                return None
+            entries.append((key.value, value))
+        return entries
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "dict"
+        and not node.args
+    ):
+        entries = []
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                return None
+            entries.append((keyword.arg, keyword.value))
+        return entries
+    return None
+
+
+def string_tuple(node: ast.AST) -> Optional[List[str]]:
+    """The element values of a tuple/list of string constants, else None."""
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return None
+    values: List[str] = []
+    for element in node.elts:
+        if not isinstance(element, ast.Constant) or not isinstance(
+            element.value, str
+        ):
+            return None
+        values.append(element.value)
+    return values
+
+
+def string_set(node: ast.AST) -> Optional[List[str]]:
+    """Element values of a set/frozenset/tuple of string constants.
+
+    Accepts a set display, a tuple/list display, or a
+    ``frozenset({...})`` / ``set({...})`` / ``frozenset((...))`` call
+    around one.
+    """
+    if isinstance(node, ast.Set):
+        values: List[str] = []
+        for element in node.elts:
+            if not isinstance(element, ast.Constant) or not isinstance(
+                element.value, str
+            ):
+                return None
+            values.append(element.value)
+        return values
+    direct = string_tuple(node)
+    if direct is not None:
+        return direct
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+        and len(node.args) == 1
+        and not node.keywords
+    ):
+        return string_set(node.args[0])
+    return None
+
+
+def is_constant_only(node: ast.AST) -> bool:
+    """True when *node* reads no names (pure constant expression)."""
+    return not names_loaded(node)

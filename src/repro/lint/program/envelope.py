@@ -1,0 +1,217 @@
+"""REPRO203: the columnar envelope's three slug sets must agree.
+
+The columnar backend's applicability envelope is described in three
+places that PR 6 synced by hand: the ``(slug, message)`` pairs
+:func:`unsupported_reasons` emits, the declared
+:data:`FALLBACK_SLUGS` registry, and the
+``backend.fallback_reason.<slug>`` counters the experiment layer
+increments per fallback.  A fourth coupling is the resolver dispatch
+table itself: every :class:`OperatingMode` member must have an entry in
+``_MODE_RESOLVERS``, or widening the mode enum silently routes a mode
+to a runtime error.  This rule checks all four against each other from
+the AST alone.
+"""
+
+import ast
+from typing import Iterator, Optional, Set, Tuple
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import ModuleInfo
+from repro.lint.findings import Finding
+from repro.lint.program.base import ProgramRule
+from repro.lint.program.dataflow import string_tuple
+from repro.lint.program.model import ProgramModel
+
+
+class EnvelopeSyncRule(ProgramRule):
+    rule_id = "REPRO203"
+    name = "envelope-sync"
+    description = (
+        "unsupported_reasons slugs, FALLBACK_SLUGS, fallback-reason "
+        "counters, and the mode-resolver table must stay consistent"
+    )
+
+    def check(
+        self, model: ProgramModel, config: LintConfig
+    ) -> Iterator[Finding]:
+        columnar = model.modules.get(config.columnar_module)
+        if columnar is None:
+            return  # columnar module outside the analyzed set
+
+        declared = _declared_slugs(model, columnar, config)
+        if declared is None:
+            yield columnar.finding(
+                columnar.tree,
+                self.rule_id,
+                f"{config.fallback_slugs_name} must be a module-level "
+                f"tuple of string literals so the envelope is "
+                f"statically auditable",
+            )
+            return
+
+        yield from self._check_emitted(columnar, config, declared)
+        yield from self._check_resolver_table(model, columnar, config)
+        yield from self._check_counters(model, config, declared)
+
+    def _check_emitted(
+        self,
+        columnar: ModuleInfo,
+        config: LintConfig,
+        declared: Set[str],
+    ) -> Iterator[Finding]:
+        """Slugs emitted by ``unsupported_reasons`` == declared slugs."""
+        function = _module_function(
+            columnar, config.unsupported_fn_name
+        )
+        if function is None:
+            return
+        emitted: Set[str] = set()
+        nodes: dict = {}
+        for node in ast.walk(function):
+            slug = _reason_slug(node)
+            if slug is not None:
+                emitted.add(slug)
+                nodes.setdefault(slug, node)
+        for slug in sorted(emitted - declared):
+            yield columnar.finding(
+                nodes[slug],
+                self.rule_id,
+                f"{config.unsupported_fn_name}() emits slug {slug!r} "
+                f"that {config.fallback_slugs_name} does not declare",
+            )
+        for slug in sorted(declared - emitted):
+            yield columnar.finding(
+                function,
+                self.rule_id,
+                f"{config.fallback_slugs_name} declares slug {slug!r} "
+                f"that {config.unsupported_fn_name}() never emits",
+            )
+
+    def _check_resolver_table(
+        self,
+        model: ProgramModel,
+        columnar: ModuleInfo,
+        config: LintConfig,
+    ) -> Iterator[Finding]:
+        """``_MODE_RESOLVERS`` keys cover OperatingMode exactly."""
+        members = _enum_members(model, config)
+        if members is None:
+            return  # modes module outside the analyzed set
+        table = model.module_assignments(columnar).get(
+            config.mode_resolvers_name
+        )
+        if not isinstance(table, ast.Dict):
+            yield columnar.finding(
+                columnar.tree,
+                self.rule_id,
+                f"{config.mode_resolvers_name} must be a module-level "
+                f"dict literal keyed by OperatingMode members",
+            )
+            return
+        keyed: Set[str] = set()
+        for key in table.keys:
+            if isinstance(key, ast.Attribute):
+                keyed.add(key.attr)
+        for member in sorted(members - keyed):
+            yield columnar.finding(
+                table,
+                self.rule_id,
+                f"{config.mode_resolvers_name} has no resolver for "
+                f"OperatingMode.{member}",
+            )
+        for member in sorted(keyed - members):
+            yield columnar.finding(
+                table,
+                self.rule_id,
+                f"{config.mode_resolvers_name} keys unknown mode "
+                f"OperatingMode.{member}",
+            )
+
+    def _check_counters(
+        self,
+        model: ProgramModel,
+        config: LintConfig,
+        declared: Set[str],
+    ) -> Iterator[Finding]:
+        """Literal fallback-reason counter names use declared slugs."""
+        prefix = config.fallback_metric_prefix
+        for module_name in sorted(model.modules):
+            info = model.modules[module_name]
+            for node in ast.walk(info.tree):
+                if not isinstance(node, ast.Constant) or not isinstance(
+                    node.value, str
+                ):
+                    continue
+                if not node.value.startswith(prefix):
+                    continue
+                slug = node.value[len(prefix):]
+                if slug and slug not in declared:
+                    yield info.finding(
+                        node,
+                        self.rule_id,
+                        f"fallback counter {node.value!r} names slug "
+                        f"{slug!r} that "
+                        f"{config.fallback_slugs_name} does not declare",
+                    )
+
+
+def _declared_slugs(
+    model: ProgramModel, columnar: ModuleInfo, config: LintConfig
+) -> Optional[Set[str]]:
+    expr = model.module_assignments(columnar).get(
+        config.fallback_slugs_name
+    )
+    if expr is None:
+        return None
+    values = string_tuple(expr)
+    if values is None:
+        return None
+    return set(values)
+
+
+def _module_function(info: ModuleInfo, name: str) -> Optional[ast.AST]:
+    for node in info.tree.body:
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.name == name
+        ):
+            return node
+    return None
+
+
+def _reason_slug(node: ast.AST) -> Optional[str]:
+    """The slug of a literal ``(slug, message)`` reason pair."""
+    if not isinstance(node, ast.Tuple) or len(node.elts) != 2:
+        return None
+    first, second = node.elts
+    if not isinstance(first, ast.Constant) or not isinstance(
+        first.value, str
+    ):
+        return None
+    if isinstance(second, ast.Constant) and not isinstance(
+        second.value, str
+    ):
+        return None
+    return first.value
+
+
+def _enum_members(
+    model: ProgramModel, config: LintConfig
+) -> Optional[Set[str]]:
+    """OperatingMode member names, parsed from the modes module body."""
+    modes = model.modules.get(config.modes_module)
+    if modes is None:
+        return None
+    for node in modes.tree.body:
+        if (
+            isinstance(node, ast.ClassDef)
+            and node.name == config.mode_enum_name
+        ):
+            members: Set[str] = set()
+            for statement in node.body:
+                if isinstance(statement, ast.Assign):
+                    for target in statement.targets:
+                        if isinstance(target, ast.Name):
+                            members.add(target.id)
+            return members
+    return None

@@ -1,0 +1,289 @@
+"""The whole-program model: symbol table, exports, approximate call graph.
+
+:class:`ProgramModel` is built once per run from every parsed
+:class:`~repro.lint.engine.ModuleInfo` and shared by all REPRO2xx
+rules.  Everything here is purely syntactic — nothing under analysis is
+ever imported — so fixtures can impersonate canonical modules with a
+``# repro-lint: module=...`` override and a broken tree can still be
+analyzed.
+
+Resolution is deliberately approximate in the same spirit as
+:mod:`repro.lint.imports`: dotted references are rewritten through
+import bindings and package-``__init__`` re-exports, ``self.method``
+resolves within the enclosing class, and bare names resolve to
+module-local (or lexically enclosing) definitions.  First-class
+function values, dynamic dispatch and monkeypatching escape — accepted
+approximations, ratcheted by the fact that the checked call sites
+(spec registrations, cell builders, metric emissions) are all direct
+calls in this codebase.
+"""
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.engine import ModuleInfo
+from repro.lint.imports import dotted_name
+
+#: Re-export chasing and call-graph BFS depth caps.  Both are far above
+#: anything the tree needs (exports chain once, builder call chains are
+#: two deep); they bound pathological fixture inputs.
+EXPORT_CHASE_DEPTH = 5
+REACHABILITY_DEPTH = 8
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition somewhere in the program."""
+
+    module: str
+    qualname: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    owner: ModuleInfo
+
+    @property
+    def full_name(self) -> str:
+        return f"{self.module}.{self.qualname}"
+
+    @property
+    def param_names(self) -> List[str]:
+        args = self.node.args  # type: ignore[attr-defined]
+        names = [a.arg for a in args.posonlyargs + args.args]
+        names.extend(a.arg for a in args.kwonlyargs)
+        return names
+
+    @property
+    def positional_params(self) -> List[str]:
+        """Positional parameter names, ``self``/``cls`` stripped for methods."""
+        args = self.node.args  # type: ignore[attr-defined]
+        names = [a.arg for a in args.posonlyargs + args.args]
+        if "." in self.qualname and names and names[0] in ("self", "cls"):
+            return names[1:]
+        return names
+
+
+def _collect_functions(info: ModuleInfo) -> List[FunctionInfo]:
+    """Every (possibly nested) function in *info*, with dotted qualnames."""
+    found: List[FunctionInfo] = []
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{child.name}"
+                found.append(
+                    FunctionInfo(
+                        module=info.module,
+                        qualname=qualname,
+                        node=child,
+                        owner=info,
+                    )
+                )
+                visit(child, f"{qualname}.")
+            elif isinstance(child, ast.ClassDef):
+                visit(child, f"{prefix}{child.name}.")
+            else:
+                visit(child, prefix)
+
+    visit(info.tree, "")
+    return found
+
+
+@dataclass
+class ProgramModel:
+    """Symbol table + import graph + approximate call graph."""
+
+    modules: Dict[str, ModuleInfo] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    by_path: Dict[str, ModuleInfo] = field(default_factory=dict)
+    by_node: Dict[ast.AST, FunctionInfo] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, infos: Sequence[ModuleInfo]) -> "ProgramModel":
+        model = cls()
+        for info in infos:
+            model.modules[info.module] = info
+            model.by_path[str(info.path)] = info
+            for function in _collect_functions(info):
+                model.functions[function.full_name] = function
+                model.by_node[function.node] = function
+        return model
+
+    def scope_chain(
+        self, node: ast.AST, info: ModuleInfo
+    ) -> List[ast.AST]:
+        """Lexical scope chain of *node*, outermost (the module) first."""
+        parents = info.parents()
+        chain: List[ast.AST] = []
+        current: Optional[ast.AST] = node
+        while current is not None:
+            if isinstance(
+                current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                chain.append(current)
+            current = parents.get(current)
+        chain.append(info.tree)
+        return list(reversed(chain))
+
+    def enclosing_function(
+        self, node: ast.AST, info: ModuleInfo
+    ) -> Optional[FunctionInfo]:
+        """The innermost named function containing *node*, if any."""
+        parents = info.parents()
+        current: Optional[ast.AST] = parents.get(node)
+        while current is not None:
+            found = self.by_node.get(current)
+            if found is not None:
+                return found
+            current = parents.get(current)
+        return None
+
+    def canonical(self, dotted: str) -> str:
+        """Chase package-``__init__`` re-exports to a defining module.
+
+        ``repro.pipeline.ExperimentSpec`` canonicalises to
+        ``repro.pipeline.spec.ExperimentSpec`` because the package
+        ``__init__`` binds the symbol via an import.  Names that don't
+        route through an analyzed package come back unchanged.
+        """
+        for _ in range(EXPORT_CHASE_DEPTH):
+            if dotted in self.functions:
+                return dotted
+            prefix, symbol = self._split_on_module(dotted)
+            if prefix is None or not symbol:
+                return dotted
+            imports = self.modules[prefix].imports
+            head, _, rest = symbol.partition(".")
+            if not imports.binds(head):
+                return dotted
+            resolved = imports.resolve(head)
+            rewritten = f"{resolved}.{rest}" if rest else resolved
+            if rewritten == dotted:
+                return dotted
+            dotted = rewritten
+        return dotted
+
+    def _split_on_module(
+        self, dotted: str
+    ) -> Tuple[Optional[str], str]:
+        """Split *dotted* at its longest analyzed-module prefix."""
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:cut])
+            if prefix in self.modules:
+                return prefix, ".".join(parts[cut:])
+        return None, dotted
+
+    def resolve_name(
+        self, name: str, owner: ModuleInfo, qualname: str = ""
+    ) -> Optional[str]:
+        """Canonical dotted name *name* refers to at a point in *owner*.
+
+        *qualname* is the dotted qualname of the referencing scope
+        (empty for module level).  Tries, in order: the enclosing class
+        for ``self.x`` references, lexically enclosing nested
+        definitions (innermost first), module-local definitions, then
+        the module's import bindings (with re-export chasing).
+        Returns ``None`` when nothing matches.
+        """
+        head, _, rest = name.partition(".")
+        module = owner.module
+
+        if head in ("self", "cls") and rest and "." in qualname:
+            class_prefix = qualname.rsplit(".", 1)[0]
+            candidate = f"{module}.{class_prefix}.{rest}"
+            if candidate in self.functions:
+                return candidate
+
+        if qualname:
+            qual_parts = qualname.split(".")
+            for cut in range(len(qual_parts), 0, -1):
+                prefix = ".".join(qual_parts[:cut])
+                candidate = f"{module}.{prefix}.{name}"
+                if candidate in self.functions:
+                    return candidate
+
+        local = f"{module}.{name}"
+        if local in self.functions:
+            return local
+
+        if owner.imports.binds(head):
+            return self.canonical(owner.imports.resolve(name))
+        return None
+
+    def resolve_symbol(
+        self, name: str, scope: FunctionInfo
+    ) -> Optional[str]:
+        """:meth:`resolve_name` from inside a known function scope."""
+        return self.resolve_name(name, scope.owner, scope.qualname)
+
+    def resolve_call_name(
+        self,
+        call: ast.Call,
+        owner: ModuleInfo,
+        qualname: str = "",
+    ) -> Optional[str]:
+        """Canonical dotted name a call dispatches to, if static."""
+        name = dotted_name(call.func)
+        if name is None:
+            return None
+        return self.resolve_name(name, owner, qualname)
+
+    def resolve_function(
+        self, call: ast.Call, scope: FunctionInfo
+    ) -> Optional[FunctionInfo]:
+        resolved = self.resolve_call_name(call, scope.owner, scope.qualname)
+        if resolved is None:
+            return None
+        return self.functions.get(resolved)
+
+    def calls_in(self, function: FunctionInfo) -> List[ast.Call]:
+        """Every call under *function*, nested definitions included."""
+        return [
+            node
+            for node in ast.walk(function.node)
+            if isinstance(node, ast.Call)
+        ]
+
+    def callees(self, function: FunctionInfo) -> List[FunctionInfo]:
+        """Functions *function* (or its nested closures) may call."""
+        seen: Set[str] = set()
+        out: List[FunctionInfo] = []
+        for call in self.calls_in(function):
+            target = self.resolve_function(call, function)
+            if target is not None and target.full_name not in seen:
+                seen.add(target.full_name)
+                out.append(target)
+        return out
+
+    def reachable(
+        self, root: FunctionInfo, depth: int = REACHABILITY_DEPTH
+    ) -> List[FunctionInfo]:
+        """BFS over the approximate call graph, *root* included."""
+        visited: Dict[str, FunctionInfo] = {root.full_name: root}
+        frontier = [root]
+        for _ in range(depth):
+            next_frontier: List[FunctionInfo] = []
+            for function in frontier:
+                for callee in self.callees(function):
+                    if callee.full_name not in visited:
+                        visited[callee.full_name] = callee
+                        next_frontier.append(callee)
+            if not next_frontier:
+                break
+            frontier = next_frontier
+        return list(visited.values())
+
+    def module_assignments(
+        self, info: ModuleInfo
+    ) -> Dict[str, ast.expr]:
+        """Module-level ``name = expr`` bindings (last assignment wins)."""
+        table: Dict[str, ast.expr] = {}
+        for node in info.tree.body:
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        table[target.id] = node.value
+            elif isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Name) and node.value is not None:
+                    table[node.target.id] = node.value
+        return table

@@ -1,0 +1,209 @@
+"""REPRO204: metric and trace-event names must be declared.
+
+A typo in a metric name silently forks a counter; a typo in a trace
+kind makes two traces diff as divergent when they are not.  Every name
+handed to ``MetricsRegistry.counter/gauge/histogram`` or
+``Tracer.emit`` must therefore appear in the declared registries of
+:mod:`repro.obs.names` — checked statically here, so the drift is a
+lint failure rather than a dashboard mystery.
+
+Literal names are checked directly; f-string names must lead with a
+declared dynamic prefix (``backend.fallback_reason.``); and wrapper
+functions whose *parameter* supplies the name (``ResultCache._count``)
+are summarised so their literal call sites are checked too.  Names
+that arrive through arbitrary expressions stay out of static reach and
+are skipped.
+"""
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import ModuleInfo
+from repro.lint.findings import Finding
+from repro.lint.program.base import ProgramRule
+from repro.lint.program.dataflow import string_set, string_tuple
+from repro.lint.program.model import ProgramModel
+
+#: MetricsRegistry factory methods whose first argument is a metric name.
+_METRIC_METHODS = ("counter", "gauge", "histogram")
+#: Tracer method whose first argument is an event kind.
+_EMIT_METHOD = "emit"
+
+
+class _Declared:
+    def __init__(
+        self,
+        metric_names: Set[str],
+        metric_prefixes: Tuple[str, ...],
+        event_names: Set[str],
+    ) -> None:
+        self.metric_names = metric_names
+        self.metric_prefixes = metric_prefixes
+        self.event_names = event_names
+
+    def metric_ok(self, name: str) -> bool:
+        return name in self.metric_names or name.startswith(
+            self.metric_prefixes
+        )
+
+    def prefix_ok(self, leading: str) -> bool:
+        return bool(self.metric_prefixes) and leading.startswith(
+            self.metric_prefixes
+        )
+
+
+class ObsNameDriftRule(ProgramRule):
+    rule_id = "REPRO204"
+    name = "obs-name-drift"
+    description = (
+        "metric and trace-event names emitted through repro.obs must "
+        "match the constants declared in the names registry"
+    )
+
+    def check(
+        self, model: ProgramModel, config: LintConfig
+    ) -> Iterator[Finding]:
+        declared = _declared_names(model, config)
+        if declared is None:
+            return  # names registry outside the analyzed set
+        wrappers = _name_wrappers(model)
+        names_module = config.obs_names_module
+        for module_name in sorted(model.modules):
+            if module_name == names_module:
+                continue
+            info = model.modules[module_name]
+            yield from self._check_module(
+                model, info, declared, wrappers
+            )
+
+    def _check_module(
+        self,
+        model: ProgramModel,
+        info: ModuleInfo,
+        declared: _Declared,
+        wrappers: Dict[str, List[int]],
+    ) -> Iterator[Finding]:
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Attribute):
+                if node.func.attr in _METRIC_METHODS and node.args:
+                    yield from self._check_metric_arg(
+                        info, node.args[0], declared
+                    )
+                elif node.func.attr == _EMIT_METHOD and node.args:
+                    yield from self._check_event_arg(
+                        info, node.args[0], declared
+                    )
+            # Wrapper call sites: literal arguments feeding a
+            # name-forwarding parameter are metric names too.
+            scope = model.enclosing_function(node, info)
+            qualname = scope.qualname if scope is not None else ""
+            resolved = model.resolve_call_name(node, info, qualname)
+            if resolved is not None and resolved in wrappers:
+                for index in wrappers[resolved]:
+                    if index < len(node.args):
+                        yield from self._check_metric_arg(
+                            info, node.args[index], declared
+                        )
+
+    def _check_metric_arg(
+        self, info: ModuleInfo, arg: ast.expr, declared: _Declared
+    ) -> Iterator[Finding]:
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            if not declared.metric_ok(arg.value):
+                yield info.finding(
+                    arg,
+                    self.rule_id,
+                    f"metric name {arg.value!r} is not declared in the "
+                    f"names registry (METRIC_NAMES/METRIC_PREFIXES)",
+                )
+        elif isinstance(arg, ast.JoinedStr):
+            leading = _leading_literal(arg)
+            if leading is None or not declared.prefix_ok(leading):
+                yield info.finding(
+                    arg,
+                    self.rule_id,
+                    "dynamic metric name must start with a declared "
+                    "METRIC_PREFIXES entry",
+                )
+
+    def _check_event_arg(
+        self, info: ModuleInfo, arg: ast.expr, declared: _Declared
+    ) -> Iterator[Finding]:
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            if arg.value not in declared.event_names:
+                yield info.finding(
+                    arg,
+                    self.rule_id,
+                    f"trace-event kind {arg.value!r} is not declared in "
+                    f"the names registry (EVENT_NAMES)",
+                )
+
+
+def _declared_names(
+    model: ProgramModel, config: LintConfig
+) -> Optional[_Declared]:
+    info = model.modules.get(config.obs_names_module)
+    if info is None:
+        return None
+    table = model.module_assignments(info)
+    metric_names = _string_values(table.get("METRIC_NAMES"), string_set)
+    prefixes = _string_values(table.get("METRIC_PREFIXES"), string_tuple)
+    event_names = _string_values(table.get("EVENT_NAMES"), string_set)
+    if metric_names is None or prefixes is None or event_names is None:
+        return None
+    return _Declared(
+        metric_names=set(metric_names),
+        metric_prefixes=tuple(prefixes),
+        event_names=set(event_names),
+    )
+
+
+def _string_values(expr, parser) -> Optional[List[str]]:
+    if expr is None:
+        return None
+    return parser(expr)
+
+
+def _leading_literal(joined: ast.JoinedStr) -> Optional[str]:
+    if not joined.values:
+        return None
+    first = joined.values[0]
+    if isinstance(first, ast.Constant) and isinstance(first.value, str):
+        return first.value
+    return None
+
+
+def _name_wrappers(model: ProgramModel) -> Dict[str, List[int]]:
+    """Functions whose parameter is forwarded as a metric name.
+
+    Maps a function's full name to the *positional* indices (``self``
+    excluded) of parameters that reach a metric-name position in its
+    body — e.g. ``ResultCache._count(self, name)`` maps to ``[0]``.
+    One level deep: wrappers of wrappers stay out of static reach.
+    """
+    wrappers: Dict[str, List[int]] = {}
+    for full_name, function in model.functions.items():
+        positional = function.positional_params
+        if not positional:
+            continue
+        forwarded: Set[str] = set()
+        for node in ast.walk(function.node):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _METRIC_METHODS
+                and node.args
+                and isinstance(node.args[0], ast.Name)
+            ):
+                forwarded.add(node.args[0].id)
+        indices = [
+            index
+            for index, param in enumerate(positional)
+            if param in forwarded
+        ]
+        if indices:
+            wrappers[full_name] = indices
+    return wrappers

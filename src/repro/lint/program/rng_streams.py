@@ -1,0 +1,322 @@
+"""REPRO202: RNG streams must not escape across cell boundaries.
+
+Bit-reproducibility for any ``jobs`` value rests on every parallel cell
+deriving its randomness from an explicit integer seed inside the cell
+function.  A live ``numpy.random.Generator`` that leaks into cell
+kwargs is consumed in pool-scheduling order — the interprocedural shape
+of the retry RNG race PR 3 fixed by hand.  This rule taint-tracks
+generator values across function boundaries:
+
+* **taint seeds** — values returned by ``spawn_generator``, by
+  ``SeedSequenceFactory.generator(...)``-style calls, by ``.spawn()``,
+  or arriving through parameters that are generators (by annotation or
+  by the ``rng``/``*_rng``/``generator``/``*_generator`` naming
+  convention);
+* **violations** — a tainted value reaching ``CellSpec`` kwargs
+  (directly, or through a callee parameter that flows into cell kwargs
+  — tracked with per-function summaries iterated to a fixpoint), a
+  ``.spawn()`` child derivation outside the seeding module (children
+  must come from :func:`~repro.common.seeding.spawn_generator` so
+  stream ancestry stays auditable), and a module-level generator
+  (shared state across cells and workers).
+"""
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import ModuleInfo
+from repro.lint.findings import Finding
+from repro.lint.imports import dotted_name
+from repro.lint.program.base import ProgramRule
+from repro.lint.program.dataflow import (
+    expand_refs,
+    names_loaded,
+    scope_chain_map,
+)
+from repro.lint.program.model import FunctionInfo, ProgramModel
+from repro.lint.program.sites import collect_cell_sites, sites_under
+
+#: Parameter names treated as generator-carrying by convention.
+_RNG_PARAM_NAMES = ("rng", "generator")
+_RNG_PARAM_SUFFIXES = ("_rng", "_generator")
+
+#: Fixpoint bound for sink-parameter propagation (call chains feeding
+#: cell kwargs are at most two hops in this tree).
+_SUMMARY_ROUNDS = 6
+
+
+def _is_rng_param_name(name: str) -> bool:
+    return name in _RNG_PARAM_NAMES or name.endswith(_RNG_PARAM_SUFFIXES)
+
+
+def _annotation_is_generator(
+    annotation: Optional[ast.expr], info: ModuleInfo
+) -> bool:
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Constant) and isinstance(
+        annotation.value, str
+    ):
+        return annotation.value.endswith("random.Generator")
+    name = dotted_name(annotation)
+    if name is None:
+        return False
+    return info.imports.resolve(name) == "numpy.random.Generator"
+
+
+def _rng_params(function: FunctionInfo) -> Set[str]:
+    """Parameters of *function* that carry a generator."""
+    args = function.node.args  # type: ignore[attr-defined]
+    tainted: Set[str] = set()
+    for arg in args.posonlyargs + args.args + args.kwonlyargs:
+        if _is_rng_param_name(arg.arg) or _annotation_is_generator(
+            arg.annotation, function.owner
+        ):
+            tainted.add(arg.arg)
+    return tainted
+
+
+def _is_stream_call(
+    call: ast.Call,
+    model: ProgramModel,
+    info: ModuleInfo,
+    qualname: str,
+    config: LintConfig,
+) -> bool:
+    """True when *call* produces a fresh generator stream."""
+    resolved = model.resolve_call_name(call, info, qualname)
+    if resolved is not None:
+        if resolved == f"{config.seeding_module}.spawn_generator":
+            return True
+        if resolved.endswith("default_rng"):
+            return True
+    if isinstance(call.func, ast.Attribute) and call.func.attr in (
+        "generator",
+        "spawn",
+    ):
+        return True
+    return False
+
+
+class RngStreamEscapeRule(ProgramRule):
+    rule_id = "REPRO202"
+    name = "rng-stream-escape"
+    description = (
+        "numpy Generator streams must not cross cell boundaries or be "
+        "derived outside the seeding discipline"
+    )
+
+    def check(
+        self, model: ProgramModel, config: LintConfig
+    ) -> Iterator[Finding]:
+        sites = collect_cell_sites(model, config)
+        sinks = _sink_params(model, config, sites)
+
+        for module_name in sorted(model.modules):
+            info = model.modules[module_name]
+            if module_name == config.seeding_module:
+                continue
+            yield from self._check_module_level(model, info, config)
+
+        for function_name in sorted(model.functions):
+            function = model.functions[function_name]
+            if function.module == config.seeding_module:
+                continue
+            yield from self._check_scope(
+                model, function, config, sites, sinks
+            )
+
+    def _check_module_level(
+        self, model: ProgramModel, info: ModuleInfo, config: LintConfig
+    ) -> Iterator[Finding]:
+        for node in info.tree.body:
+            values: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                values = [node.value]
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                values = [node.value]
+            for value in values:
+                if isinstance(value, ast.Call) and _is_stream_call(
+                    value, model, info, "", config
+                ):
+                    yield info.finding(
+                        value,
+                        self.rule_id,
+                        "module-level RNG stream: a generator bound at "
+                        "import time is shared state across cells and "
+                        "worker processes",
+                    )
+
+    def _check_scope(
+        self,
+        model: ProgramModel,
+        function: FunctionInfo,
+        config: LintConfig,
+        sites,
+        sinks: Dict[str, Set[str]],
+    ) -> Iterator[Finding]:
+        info = function.owner
+        qualname = function.qualname
+        chain = model.scope_chain(function.node, info)
+        assignments = scope_chain_map(chain)
+
+        taint: Set[str] = set()
+        for scope_node in chain:
+            scoped = model.by_node.get(scope_node)
+            if scoped is not None:
+                taint |= _rng_params(scoped)
+        taint |= _rng_params(function)
+        # Stream-producing assignments anywhere on the lexical chain
+        # taint their target — closures capturing an outer generator
+        # count as much as locals.
+        for name, rhs_list in assignments.items():
+            for rhs in rhs_list:
+                if isinstance(rhs, ast.Call) and _is_stream_call(
+                    rhs, model, info, qualname, config
+                ):
+                    taint.add(name)
+
+        def is_tainted(expr: ast.AST) -> bool:
+            refs = expand_refs(names_loaded(expr), assignments)
+            return bool(refs & taint)
+
+        # Direct escape: a tainted value inside this function's own
+        # CellSpec kwargs (closure sites are checked by their innermost
+        # function, so each site reports once).
+        for site in sites_under(sites, [function]):
+            if site.function is not function:
+                continue
+            for name, value in site.kwargs_entries or []:
+                if is_tainted(value):
+                    yield info.finding(
+                        value,
+                        self.rule_id,
+                        f"cell kwarg {name!r} receives a live RNG "
+                        f"stream; cells must take integer seeds and "
+                        f"spawn their own generator",
+                    )
+
+        for call in _direct_calls(function.node):
+            # Interprocedural escape: tainted argument into a callee
+            # parameter that flows into cell kwargs downstream.
+            resolved = model.resolve_call_name(call, info, qualname)
+            if resolved is not None and resolved in sinks:
+                callee = model.functions[resolved]
+                for param, arg in _bound_args(call, callee):
+                    if param in sinks[resolved] and is_tainted(arg):
+                        yield info.finding(
+                            arg,
+                            self.rule_id,
+                            f"passes a live RNG stream to parameter "
+                            f"{param!r} of {callee.qualname}(), which "
+                            f"flows into parallel cell kwargs",
+                        )
+            # Undisciplined child streams: .spawn() on a tainted
+            # receiver outside the seeding module.
+            if (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr == "spawn"
+                and is_tainted(call.func.value)
+            ):
+                yield info.finding(
+                    call,
+                    self.rule_id,
+                    "child generators must be derived via "
+                    f"{config.seeding_module}.spawn_generator (or a "
+                    "SeedSequenceFactory stream), not .spawn(), so "
+                    "stream ancestry stays auditable",
+                )
+
+
+def _direct_calls(node: ast.AST) -> List[ast.Call]:
+    """Calls in *node*'s own body, nested function scopes excluded."""
+    calls: List[ast.Call] = []
+
+    def visit(current: ast.AST) -> None:
+        for child in ast.iter_child_nodes(current):
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda),
+            ):
+                continue
+            if isinstance(child, ast.Call):
+                calls.append(child)
+            visit(child)
+
+    visit(node)
+    return calls
+
+
+def _bound_args(call: ast.Call, callee: FunctionInfo):
+    """(parameter-name, argument-expr) pairs this call binds."""
+    positional = callee.positional_params
+    bound = []
+    for index, arg in enumerate(call.args):
+        if isinstance(arg, ast.Starred):
+            break
+        if index < len(positional):
+            bound.append((positional[index], arg))
+    names = set(callee.param_names)
+    for keyword in call.keywords:
+        if keyword.arg is not None and keyword.arg in names:
+            bound.append((keyword.arg, keyword.value))
+    return bound
+
+
+def _sink_params(
+    model: ProgramModel, config: LintConfig, sites
+) -> Dict[str, Set[str]]:
+    """Per-function parameters that flow into ``CellSpec`` kwargs.
+
+    Seeded from functions that build cells directly, then propagated
+    caller-ward to a fixpoint: a parameter forwarded into a callee's
+    sink parameter is itself a sink.
+    """
+    sinks: Dict[str, Set[str]] = {}
+
+    for function_name, function in model.functions.items():
+        params = set(function.param_names)
+        if not params:
+            continue
+        flowing: Set[str] = set()
+        for site in sites_under(sites, [function]):
+            for _, value in site.kwargs_entries or []:
+                refs = expand_refs(
+                    names_loaded(value), site.assignments
+                )
+                flowing |= params & refs
+        if flowing:
+            sinks[function_name] = flowing
+
+    for _ in range(_SUMMARY_ROUNDS):
+        changed = False
+        for function_name, function in model.functions.items():
+            params = set(function.param_names)
+            if not params:
+                continue
+            chain_map = scope_chain_map(
+                model.scope_chain(function.node, function.owner)
+            )
+            for call in _direct_calls(function.node):
+                resolved = model.resolve_call_name(
+                    call, function.owner, function.qualname
+                )
+                if resolved is None or resolved not in sinks:
+                    continue
+                if resolved == function_name:
+                    continue
+                callee = model.functions[resolved]
+                for param, arg in _bound_args(call, callee):
+                    if param not in sinks[resolved]:
+                        continue
+                    refs = expand_refs(names_loaded(arg), chain_map)
+                    forwarded = params & refs
+                    if forwarded - sinks.get(function_name, set()):
+                        sinks.setdefault(function_name, set()).update(
+                            forwarded
+                        )
+                        changed = True
+        if not changed:
+            break
+    return sinks

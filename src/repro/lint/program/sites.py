@@ -1,0 +1,128 @@
+"""Locating and decomposing ``CellSpec(...)`` construction sites.
+
+Both interprocedural dataflow rules anchor on the same program points —
+the places where cell kwargs and cache keys are bound — so the site
+model lives here, shared by REPRO201 (cache-key completeness) and
+REPRO202 (RNG stream escape).
+"""
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import ModuleInfo
+from repro.lint.program.dataflow import dict_entries, scope_chain_map
+from repro.lint.program.model import FunctionInfo, ProgramModel
+
+
+@dataclass
+class CellSite:
+    """One ``CellSpec(...)`` call, decomposed for dataflow queries."""
+
+    call: ast.Call
+    owner: ModuleInfo
+    #: Innermost named function containing the call (None = module level).
+    function: Optional[FunctionInfo]
+    #: Merged assignment map over the lexical scope chain.
+    assignments: Dict[str, List[ast.expr]]
+    #: Statically-known ``kwargs=`` entries (None = not a literal dict).
+    kwargs_entries: Optional[List[Tuple[str, ast.expr]]]
+    #: Statically-known ``key=`` entries (None = no static dict).
+    key_entries: Optional[List[Tuple[str, ast.expr]]]
+    #: True when the key is literally ``None`` (or absent): uncached cell.
+    key_is_none: bool
+
+    @property
+    def line(self) -> int:
+        return self.call.lineno
+
+    def key_names(self) -> List[str]:
+        return [name for name, _ in (self.key_entries or [])]
+
+
+def _keyword(call: ast.Call, name: str) -> Optional[ast.expr]:
+    for keyword in call.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    return None
+
+
+def _key_dict(expr: Optional[ast.expr]) -> Tuple[
+    Optional[List[Tuple[str, ast.expr]]], bool
+]:
+    """Decompose a ``key=`` expression into (entries, is_none).
+
+    ``key=None if traced else dict(...)`` (either branch order) takes
+    the dict branch: the cached shape is what the completeness contract
+    governs, the None branch is the explicit cache opt-out.
+    """
+    if expr is None:
+        return None, True
+    if isinstance(expr, ast.Constant) and expr.value is None:
+        return None, True
+    if isinstance(expr, ast.IfExp):
+        for branch in (expr.body, expr.orelse):
+            entries = dict_entries(branch)
+            if entries is not None:
+                return entries, False
+        return None, False
+    entries = dict_entries(expr)
+    return entries, False
+
+
+def collect_cell_sites(
+    model: ProgramModel, config: LintConfig
+) -> List[CellSite]:
+    """Every ``CellSpec(...)`` call in the program, in module order."""
+    sites: List[CellSite] = []
+    for module_name in sorted(model.modules):
+        info = model.modules[module_name]
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            scope = model.enclosing_function(node, info)
+            qualname = scope.qualname if scope is not None else ""
+            resolved = model.resolve_call_name(node, info, qualname)
+            if resolved is None:
+                continue
+            if model.canonical(resolved) != config.cellspec_symbol:
+                continue
+            key_entries, key_is_none = _key_dict(_keyword(node, "key"))
+            sites.append(
+                CellSite(
+                    call=node,
+                    owner=info,
+                    function=scope,
+                    assignments=scope_chain_map(
+                        model.scope_chain(node, info)
+                    ),
+                    kwargs_entries=dict_entries(
+                        _keyword(node, "kwargs") or ast.Dict([], [])
+                    ),
+                    key_entries=key_entries,
+                    key_is_none=key_is_none,
+                )
+            )
+    return sites
+
+
+def sites_under(
+    sites: List[CellSite], functions: List[FunctionInfo]
+) -> List[CellSite]:
+    """The subset of *sites* lexically inside any of *functions*.
+
+    Sites in closures nested within a listed function count: a factory
+    passed as ``build_cells`` builds its cells inside a nested ``def``.
+    """
+    roots = {function.node for function in functions}
+    selected: List[CellSite] = []
+    for site in sites:
+        parents = site.owner.parents()
+        current: Optional[ast.AST] = site.call
+        while current is not None:
+            if current in roots:
+                selected.append(site)
+                break
+            current = parents.get(current)
+    return selected

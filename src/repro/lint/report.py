@@ -26,3 +26,33 @@ def render_json(findings: List[Finding], files_checked: int) -> str:
         "findings": [finding.as_dict() for finding in findings],
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _escape_annotation(value: str) -> str:
+    """Escape a message for a GitHub workflow command payload."""
+    return (
+        value.replace("%", "%25")
+        .replace("\r", "%0D")
+        .replace("\n", "%0A")
+    )
+
+
+def render_github(findings: List[Finding], files_checked: int) -> str:
+    """GitHub Actions workflow annotations: one ``::error`` per finding.
+
+    Emitted to stdout inside a workflow step, these surface inline on
+    the PR diff at the offending line.  The summary line is plain text
+    (GitHub ignores non-command lines).
+    """
+    lines = [
+        f"::error file={finding.path},line={finding.line},"
+        f"col={finding.column},title={finding.rule_id}::"
+        f"{_escape_annotation(finding.message)}"
+        for finding in findings
+    ]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(
+        f"repro.lint {LINT_VERSION}: {len(findings)} {noun} "
+        f"in {files_checked} files"
+    )
+    return "\n".join(lines)

@@ -16,8 +16,13 @@ Two magic comments are recognised:
     within the first :data:`MODULE_OVERRIDE_WINDOW` lines.
 """
 
+import json
 import re
-from typing import Dict, Optional, Sequence, Set
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+
+if TYPE_CHECKING:
+    from repro.lint.findings import Finding
 
 #: How far into a file a ``module=`` override is honoured.
 MODULE_OVERRIDE_WINDOW = 10
@@ -56,3 +61,44 @@ def is_suppressed(
     if not rules:
         return False
     return rule_id in rules or "all" in rules
+
+
+#: A baseline entry: (path, rule id, message).  Deliberately
+#: line-insensitive so unrelated edits above an accepted finding don't
+#: invalidate the baseline.
+BaselineKey = Tuple[str, str, str]
+
+
+def baseline_key(finding: "Finding") -> BaselineKey:
+    return (finding.path, finding.rule_id, finding.message)
+
+
+def matches_baseline(
+    finding: "Finding", baseline: Set[BaselineKey]
+) -> bool:
+    return baseline_key(finding) in baseline
+
+
+def load_baseline(path: str) -> Set[BaselineKey]:
+    """Load an accepted-findings baseline written by ``--write-baseline``."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    entries = payload.get("findings", [])
+    return {
+        (entry["path"], entry["rule"], entry["message"])
+        for entry in entries
+    }
+
+
+def render_baseline(findings: Sequence["Finding"]) -> str:
+    """Serialise *findings* as a baseline file (stable order)."""
+    entries: List[Dict[str, str]] = [
+        {
+            "path": finding.path,
+            "rule": finding.rule_id,
+            "message": finding.message,
+        }
+        for finding in sorted(findings, key=lambda f: f.sort_key())
+    ]
+    return json.dumps(
+        {"findings": entries}, indent=2, sort_keys=True
+    )

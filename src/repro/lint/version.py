@@ -11,4 +11,5 @@ behaviour change that a newer rule would have caught.
 """
 
 #: Version of the repro.lint ruleset (part of every cache key).
-LINT_VERSION = "1.0.0"
+#: 2.0.0: whole-program analyzer (REPRO201-204) joins the ruleset.
+LINT_VERSION = "2.0.0"

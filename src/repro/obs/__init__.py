@@ -10,7 +10,10 @@ layer threaded through the stack:
   (``--metrics-json PATH``);
 * :mod:`repro.obs.diff` — ``python -m repro.obs.diff`` compares two
   traces and localises the first diverging event, turning the static
-  determinism contract of :mod:`repro.lint` into a dynamic check.
+  determinism contract of :mod:`repro.lint` into a dynamic check;
+* :mod:`repro.obs.names` — the canonical registry of metric and
+  trace-event names; emission sites are checked against it statically
+  by the whole-program analyzer (REPRO204).
 
 Every instrumented component holds ``Optional[Tracer]`` /
 ``Optional[MetricsRegistry]`` and skips instrumentation entirely when
@@ -28,6 +31,11 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.names import (
+    EVENT_NAMES,
+    METRIC_NAMES,
+    METRIC_PREFIXES,
+)
 from repro.obs.trace import (
     NULL_TRACER,
     JsonlTracer,
@@ -39,8 +47,11 @@ from repro.obs.trace import (
 
 __all__ = [
     "Counter",
+    "EVENT_NAMES",
     "Gauge",
     "Histogram",
+    "METRIC_NAMES",
+    "METRIC_PREFIXES",
     "JsonlTracer",
     "MemoryTracer",
     "MetricsRegistry",

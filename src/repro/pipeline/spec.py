@@ -84,6 +84,22 @@ class ExperimentOptions:
         return os.path.join(self.trace_dir, filename)
 
 
+#: Cell kwargs that carry observability plumbing (tracers, metric
+#: registries, per-cell trace paths) rather than cell parameters.  They
+#: never influence a cell's numeric result, so they are exempt from the
+#: cache-key completeness contract: every *other* kwarg must be covered
+#: by the cell key / ``cache_schema``.  The whole-program analyzer
+#: (REPRO201) applies the same exemption statically; its copy of this
+#: tuple lives in ``repro.lint.config`` (lint never imports analyzed
+#: code) and a sync test pins the two together.
+CELL_OBSERVABILITY_PARAMS: Tuple[str, ...] = (
+    "metrics",
+    "trace_path",
+    "trace_cell",
+    "trace_dir",
+    "tracer",
+)
+
 #: Builds the grid: (options, resolved sizes) -> cells.
 CellBuilder = Callable[
     [ExperimentOptions, Dict[str, Any]], Sequence[CellSpec]

@@ -61,7 +61,16 @@ counting each reason under ``backend.fallback_reason.<slug>``.
 """
 
 import heapq
-from typing import TYPE_CHECKING, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 import numpy as np
 
@@ -79,6 +88,22 @@ if TYPE_CHECKING:
 CODE_CORRECT = OUTCOME_ORDER.index(Outcome.CORRECT)
 CODE_EVIDENT = OUTCOME_ORDER.index(Outcome.EVIDENT_FAILURE)
 CODE_NEF = OUTCOME_ORDER.index(Outcome.NON_EVIDENT_FAILURE)
+
+#: Canonical envelope-violation slugs.  Every ``(slug, message)`` pair
+#: :func:`unsupported_reasons` can emit uses a slug declared here, and
+#: every ``backend.fallback_reason.<slug>`` counter is derived from one
+#: of these.  The whole-program analyzer (REPRO203 in
+#: :mod:`repro.lint.program`) checks the three sets against each other
+#: statically, so widening or narrowing the envelope cannot silently
+#: drift out of sync with the fallback accounting.  Declared as a plain
+#: tuple literal so the analyzer can read it from the AST.
+FALLBACK_SLUGS: Tuple[str, ...] = (
+    "adjudicator",
+    "live-sampling",
+    "no-outcome-codes",
+    "retry-mode",
+    "tracing",
+)
 
 
 def unsupported_reasons(
@@ -231,14 +256,15 @@ def resolve_cell(
             script, names, codes, timeout, adjudication_delay, spacing,
             adjudication_rng, n, retry,
         )
-    if config.mode is OperatingMode.SEQUENTIAL:
-        return _resolve_sequential(
-            script, names, codes, timeout, adjudication_delay, spacing,
-            adjudication_rng, middleware_rng, n, config,
+    resolver = _MODE_RESOLVERS.get(config.mode)
+    if resolver is None:  # pragma: no cover - REPRO203 keeps the table total
+        raise ConfigurationError(
+            f"no columnar resolver registered for operating mode "
+            f"{config.mode.value!r}"
         )
-    return _resolve_parallel(
+    return resolver(
         script, names, codes, timeout, adjudication_delay, spacing,
-        adjudication_rng, n, config,
+        adjudication_rng, middleware_rng, n, config,
     )
 
 
@@ -268,7 +294,7 @@ def resolve_release_pair_cell(
     return _resolve_parallel(
         script, list(release_names), np.asarray(codes, dtype=np.int64),
         timeout, adjudication_delay, spacing, adjudication_rng,
-        script.requests, ModeConfig.max_reliability(),
+        None, script.requests, ModeConfig.max_reliability(),
     )
 
 
@@ -307,10 +333,18 @@ def _resolve_parallel(
     adjudication_delay: float,
     spacing: float,
     adjudication_rng: np.random.Generator,
+    middleware_rng: Optional[np.random.Generator],
     n: int,
     config: ModeConfig,
 ) -> SystemMetrics:
-    """Parallel modes 1–3: stacked (n, k) arrival/outcome matrices."""
+    """Parallel modes 1–3: stacked (n, k) arrival/outcome matrices.
+
+    *middleware_rng* is accepted for signature uniformity with the
+    :data:`_MODE_RESOLVERS` dispatch table but never drawn from: the
+    parallel modes consume no middleware draws after the construction
+    spawn (forced outcomes and difficulty are scripted).
+    """
+    del middleware_rng
     k = len(names)
     codes = codes[:n]
     t1 = np.asarray(script.t1, dtype=np.float64)[:n]
@@ -425,7 +459,7 @@ def _resolve_sequential(
     adjudication_delay: float,
     spacing: float,
     adjudication_rng: np.random.Generator,
-    middleware_rng: np.random.Generator,
+    middleware_rng: Optional[np.random.Generator],
     n: int,
     config: ModeConfig,
 ) -> SystemMetrics:
@@ -451,6 +485,11 @@ def _resolve_sequential(
     any_collected = np.zeros(n, dtype=bool)
 
     if config.sequential_order is SequentialOrder.RANDOM:
+        if middleware_rng is None:
+            raise ConfigurationError(
+                "sequential random order replays per-demand shuffles and "
+                "requires the middleware generator"
+            )
         # Per-demand shuffles consume the middleware stream in demand
         # order (forced outcomes and difficulty are scripted and draw
         # nothing), so the permutations can be replayed up front.
@@ -564,6 +603,21 @@ def _resolve_sequential(
     metrics = SystemMetrics(releases=release_rows, system=system_row)
     metrics.check_consistency()
     return metrics
+
+
+#: Columnar resolver per operating mode.  Every :class:`OperatingMode`
+#: member must have an entry — the whole-program analyzer (REPRO203)
+#: checks this table against the enum, so widening the envelope to a
+#: new mode without a resolver is a lint failure, not a runtime
+#: surprise.  All resolvers share one signature: ``(script, names,
+#: codes, timeout, adjudication_delay, spacing, adjudication_rng,
+#: middleware_rng, n, config)``.
+_MODE_RESOLVERS: Dict[OperatingMode, Callable[..., SystemMetrics]] = {
+    OperatingMode.PARALLEL_RELIABILITY: _resolve_parallel,
+    OperatingMode.PARALLEL_RESPONSIVENESS: _resolve_parallel,
+    OperatingMode.PARALLEL_DYNAMIC: _resolve_parallel,
+    OperatingMode.SEQUENTIAL: _resolve_sequential,
+}
 
 
 # Retry replay event kinds (heap entries are all-scalar tuples:

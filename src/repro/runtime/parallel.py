@@ -27,6 +27,9 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.common.errors import ConfigurationError
 from repro.obs.metrics import MetricsRegistry
 from repro.runtime.cache import ResultCache
 
@@ -53,6 +56,19 @@ class CellSpec:
     fn: Callable[..., Any]
     kwargs: Dict[str, Any] = field(default_factory=dict)
     key: Optional[Mapping[str, Any]] = None
+
+    def __post_init__(self) -> None:
+        # A live Generator in cell kwargs would be consumed in whatever
+        # order the pool schedules cells — the exact stream-sharing bug
+        # REPRO202 flags statically.  Cells must take an integer seed
+        # and spawn their own generator inside the cell function.
+        for name, value in self.kwargs.items():
+            if isinstance(value, np.random.Generator):
+                raise ConfigurationError(
+                    f"cell kwarg {name!r} is a numpy Generator: cells "
+                    f"must receive integer seeds, not live RNG streams "
+                    f"(REPRO202)"
+                )
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:

@@ -1,0 +1,47 @@
+# repro-lint: module=repro.experiments.mini
+"""REPRO201 regression fixture: the PR 5 missing-``backend`` bug.
+
+The builder sweeps a ``backend`` kwarg that selects which code computes
+the cell, but neither the cache key nor the declared ``cache_schema``
+carries it — a cached event-path result would satisfy a columnar-path
+lookup.  The key also carries ``profile`` that the schema omits, so
+both schema-drift directions fire.  Parse-only: never imported.
+"""
+
+from repro.pipeline.spec import ExperimentSpec
+from repro.runtime.parallel import CellSpec
+
+
+def simulate(run, seed, backend, profile):
+    return (run, seed, backend, profile)
+
+
+def build_cells(options):
+    cells = []
+    for run in range(options.runs):
+        for backend in ("event", "columnar"):
+            cells.append(
+                CellSpec(
+                    experiment="mini",
+                    fn=simulate,
+                    kwargs=dict(
+                        run=run,
+                        seed=options.seed,
+                        backend=backend,
+                        profile=options.profile,
+                    ),
+                    key=dict(
+                        run=run,
+                        seed=options.seed,
+                        profile=options.profile,
+                    ),
+                )
+            )
+    return cells
+
+
+SPEC = ExperimentSpec(
+    name="mini",
+    build_cells=build_cells,
+    cache_schema=("run", "seed", "backend"),
+)

@@ -1,0 +1,59 @@
+# repro-lint: module=repro.experiments.mini
+"""REPRO201 clean twin: every swept parameter reaches the key.
+
+Exercises the shapes the rule must accept: a renamed alias in the key
+(``backend=cell_backend``), a transform (``repr(grid)``), observability
+kwargs (``trace_path`` / ``trace_cell``), an explicitly uncached traced
+cell (``key=None`` branch of the conditional), and a schema equal to
+the union of key fields.  Parse-only: never imported.
+"""
+
+import os
+
+from repro.pipeline.spec import ExperimentSpec
+from repro.runtime.parallel import CellSpec
+
+
+def simulate(run, seed, backend, grid, trace_path, trace_cell):
+    return (run, seed, backend, grid)
+
+
+def build_cells(options, trace_dir=None):
+    cells = []
+    for run in range(options.runs):
+        for backend in ("event", "columnar"):
+            grid = options.grid
+            trace_path = None
+            if trace_dir is not None:
+                trace_path = os.path.join(trace_dir, f"mini-{run}.jsonl")
+            cell_backend = "event" if trace_path is not None else backend
+            cells.append(
+                CellSpec(
+                    experiment="mini",
+                    fn=simulate,
+                    kwargs=dict(
+                        run=run,
+                        seed=options.seed,
+                        backend=cell_backend,
+                        grid=grid,
+                        trace_path=trace_path,
+                        trace_cell=f"mini/{run}",
+                    ),
+                    key=None
+                    if trace_path is not None
+                    else dict(
+                        run=run,
+                        seed=options.seed,
+                        backend=cell_backend,
+                        grid=repr(grid),
+                    ),
+                )
+            )
+    return cells
+
+
+SPEC = ExperimentSpec(
+    name="mini",
+    build_cells=build_cells,
+    cache_schema=("backend", "grid", "run", "seed"),
+)

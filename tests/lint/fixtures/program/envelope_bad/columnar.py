@@ -1,0 +1,37 @@
+# repro-lint: module=repro.runtime.columnar
+"""REPRO203 violating fixture: the fallback envelope has drifted.
+
+``unsupported_reasons`` emits a slug the declaration misses, the
+declaration carries a slug nothing emits, and the resolver table lacks
+an operating mode.  Parse-only: never imported.
+"""
+
+from typing import Tuple
+
+from repro.core.modes import OperatingMode
+
+FALLBACK_SLUGS: Tuple[str, ...] = (
+    "adjudicator",
+    "tracing",
+    "never-emitted",
+)
+
+
+def unsupported_reasons(config):
+    reasons = []
+    if config.adjudicator is not None:
+        reasons.append(("adjudicator", "custom adjudicator attached"))
+    if config.tracing:
+        reasons.append(("tracing", "tracing bypasses the batch path"))
+    if config.retry is not None:
+        reasons.append(("retry-mode", "retry needs per-request replay"))
+    return reasons
+
+
+def _resolve_parallel(script, config):
+    return script
+
+
+_MODE_RESOLVERS = {
+    OperatingMode.PARALLEL_RELIABILITY: _resolve_parallel,
+}

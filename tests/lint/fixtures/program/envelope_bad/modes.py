@@ -1,0 +1,9 @@
+# repro-lint: module=repro.core.modes
+"""Operating-mode enum stub for the REPRO203 fixture program."""
+
+from enum import Enum
+
+
+class OperatingMode(Enum):
+    PARALLEL_RELIABILITY = "parallel-reliability"
+    SEQUENTIAL = "sequential"

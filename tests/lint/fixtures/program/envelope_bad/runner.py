@@ -1,0 +1,9 @@
+# repro-lint: module=repro.pipeline.runner_mini
+"""Counter-emission stub: one declared slug, one undeclared."""
+
+
+def record_fallback(metrics, config, reasons):
+    for slug, _message in reasons:
+        metrics.counter(f"backend.fallback_reason.{slug}").inc()
+    metrics.counter("backend.fallback_reason.tracing").inc()
+    metrics.counter("backend.fallback_reason.bogus-slug").inc()

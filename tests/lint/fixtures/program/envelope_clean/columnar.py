@@ -1,0 +1,34 @@
+# repro-lint: module=repro.runtime.columnar
+"""REPRO203 clean twin: declaration, emission, table, and counters agree."""
+
+from typing import Tuple
+
+from repro.core.modes import OperatingMode
+
+FALLBACK_SLUGS: Tuple[str, ...] = (
+    "adjudicator",
+    "tracing",
+)
+
+
+def unsupported_reasons(config):
+    reasons = []
+    if config.adjudicator is not None:
+        reasons.append(("adjudicator", "custom adjudicator attached"))
+    if config.tracing:
+        reasons.append(("tracing", "tracing bypasses the batch path"))
+    return reasons
+
+
+def _resolve_parallel(script, config):
+    return script
+
+
+def _resolve_sequential(script, config):
+    return script
+
+
+_MODE_RESOLVERS = {
+    OperatingMode.PARALLEL_RELIABILITY: _resolve_parallel,
+    OperatingMode.SEQUENTIAL: _resolve_sequential,
+}

@@ -1,0 +1,8 @@
+# repro-lint: module=repro.pipeline.runner_mini
+"""Counter-emission stub: only declared slugs, literal and templated."""
+
+
+def record_fallback(metrics, config, reasons):
+    for slug, _message in reasons:
+        metrics.counter(f"backend.fallback_reason.{slug}").inc()
+    metrics.counter("backend.fallback_reason.adjudicator").inc()

@@ -1,0 +1,13 @@
+# repro-lint: module=repro.obs.names
+"""Declared-name registry stub for the REPRO204 fixture program."""
+
+from typing import Tuple
+
+METRIC_NAMES: Tuple[str, ...] = (
+    "cache.hit",
+    "cache.miss",
+)
+
+METRIC_PREFIXES: Tuple[str, ...] = ("backend.fallback_reason.",)
+
+EVENT_NAMES: Tuple[str, ...] = ("cell.start",)

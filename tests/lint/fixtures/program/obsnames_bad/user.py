@@ -1,0 +1,19 @@
+# repro-lint: module=repro.runtime.user_mini
+"""REPRO204 violating fixture: emitted names drift from the registry.
+
+Four drifts: a typo'd counter literal, an undeclared trace-event kind,
+an undeclared literal routed through a one-level wrapper, and an
+f-string metric whose leading prefix is not declared.  Parse-only:
+never imported.
+"""
+
+
+def _count(metrics, name):
+    metrics.counter(name).inc()
+
+
+def record(metrics, tracer, slug):
+    metrics.counter("cache.mis").inc()
+    tracer.emit("cell.finish", cell="mini")
+    _count(metrics, "cache.oops")
+    metrics.counter(f"unknown.prefix.{slug}").inc()

@@ -1,0 +1,19 @@
+# repro-lint: module=repro.runtime.user_mini
+"""REPRO204 clean twin: every emitted name is declared.
+
+Covers the accepted shapes: declared literals, a declared-prefix
+f-string, a dynamic name routed through a wrapper with a declared
+literal at the call site, and a declared trace-event kind.
+"""
+
+
+def _count(metrics, name):
+    metrics.counter(name).inc()
+
+
+def record(metrics, tracer, slug):
+    metrics.counter("cache.hit").inc()
+    metrics.counter("cache.miss").inc()
+    tracer.emit("cell.start", cell="mini")
+    _count(metrics, "cache.miss")
+    metrics.counter(f"backend.fallback_reason.{slug}").inc()

@@ -1,0 +1,37 @@
+# repro-lint: module=repro.experiments.rngmini
+"""REPRO202 violating fixture: live Generator streams escape to cells.
+
+Three escapes: a stream passed directly into ``CellSpec`` kwargs, the
+same stream handed to a helper whose parameter flows into cell kwargs
+(interprocedural), and a module-level stream shared by every worker.
+Parse-only: never imported.
+"""
+
+from repro.common.seeding import spawn_generator
+from repro.runtime.parallel import CellSpec
+
+SHARED_STREAM = spawn_generator(7, "module-level")
+
+
+def cell(rng, seed):
+    return rng.normal() + seed
+
+
+def make_cell(stream, seed):
+    return CellSpec(
+        experiment="rngmini",
+        fn=cell,
+        kwargs=dict(rng=stream, seed=seed),
+        key=dict(seed=seed),
+    )
+
+
+def build_cells(seed):
+    rng = spawn_generator(seed, "stream")
+    direct = CellSpec(
+        experiment="rngmini",
+        fn=cell,
+        kwargs=dict(rng=rng, seed=seed),
+        key=dict(seed=seed),
+    )
+    return [direct, make_cell(rng, seed)]

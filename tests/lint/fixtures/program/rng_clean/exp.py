@@ -1,0 +1,32 @@
+# repro-lint: module=repro.experiments.rngmini
+"""REPRO202 clean twin: cells receive integer seeds, not streams.
+
+The builder passes only seeds across the cell boundary; the cell
+re-derives its own generator inside the worker, and a same-process
+helper may consume a generator parameter freely as long as it never
+reaches ``CellSpec`` kwargs.  Parse-only: never imported.
+"""
+
+from repro.common.seeding import spawn_generator
+from repro.runtime.parallel import CellSpec
+
+
+def sample_mean(rng, n):
+    return sum(rng.normal() for _ in range(n)) / n
+
+
+def cell(seed, n):
+    rng = spawn_generator(seed, "cell")
+    return sample_mean(rng, n)
+
+
+def build_cells(seed, runs):
+    return [
+        CellSpec(
+            experiment="rngmini",
+            fn=cell,
+            kwargs=dict(seed=seed + run, n=100),
+            key=dict(seed=seed + run, n=100),
+        )
+        for run in range(runs)
+    ]

@@ -153,6 +153,70 @@ class TestSuppressions:
         findings = lint_paths([str(path)])
         assert ids_and_lines(findings) == [("REPRO101", 4)]
 
+    def test_multiple_codes_on_one_comment(self, tmp_path):
+        # One comment can disable several rules on its line (spaces
+        # around the commas allowed); other rules still fire there.
+        source = (
+            "# repro-lint: module=repro.simulation.fake\n"
+            "import numpy as np\n"
+            "import time\n"
+            "def cell():\n"
+            "    t = time.time()  "
+            "# repro-lint: disable=REPRO101, REPRO102\n"
+            "    rng = np.random.default_rng()  "
+            "# repro-lint: disable=REPRO102,REPRO104\n"
+        )
+        path = tmp_path / "multi.py"
+        path.write_text(source)
+        findings = lint_paths([str(path)])
+        # Line 5's REPRO102 is suppressed; line 6 suppresses the wrong
+        # rules, so its REPRO101 survives.
+        assert ids_and_lines(findings) == [("REPRO101", 6)]
+
+    def test_unknown_rule_code_is_inert(self, tmp_path):
+        # Disabling a rule that doesn't exist neither errors nor
+        # suppresses anything else.
+        source = (
+            "# repro-lint: module=repro.simulation.fake\n"
+            "import numpy as np\n"
+            "rng = np.random.default_rng()  "
+            "# repro-lint: disable=REPRO999\n"
+        )
+        path = tmp_path / "unknown.py"
+        path.write_text(source)
+        findings = lint_paths([str(path)])
+        assert ids_and_lines(findings) == [("REPRO101", 3)]
+
+    def test_malformed_module_override_is_not_a_scope(self, tmp_path):
+        # `module=` with no value matches nothing; one with invalid
+        # characters only binds its leading identifier run.  Neither
+        # lands the file in a scoped package, so scoped rules like the
+        # wall-clock ban stay off.
+        source = (
+            "# repro-lint: module=\n"
+            "# repro-lint: module=not a dotted name!\n"
+            "import time\n"
+            "def cell():\n"
+            "    return time.time()\n"
+        )
+        path = tmp_path / "malformed.py"
+        path.write_text(source)
+        assert lint_paths([str(path)]) == []
+
+    def test_module_override_only_honoured_near_top(self, tmp_path):
+        # An override buried past the window is ignored.
+        filler = "\n" * 12
+        source = (
+            filler
+            + "# repro-lint: module=repro.simulation.fake\n"
+            + "import time\n"
+            + "def cell():\n"
+            + "    return time.time()\n"
+        )
+        path = tmp_path / "buried.py"
+        path.write_text(source)
+        assert lint_paths([str(path)]) == []
+
 
 class TestEngineBehaviour:
     def test_syntax_error_reported_not_raised(self, tmp_path):

@@ -1,0 +1,197 @@
+"""CLI behaviour of ``--program`` runs + the repo-wide self-check."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint.cli import main
+from repro.lint.version import LINT_VERSION
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+PROGRAMS = Path(__file__).parent / "fixtures" / "program"
+
+
+class TestProgramSelfCheck:
+    def test_src_repro_is_clean(self, capsys):
+        # The acceptance bar: the repository's own tree passes its own
+        # whole-program analysis with zero findings, no baseline.
+        exit_code = main(["--program", str(REPO_ROOT / "src" / "repro")])
+        out = capsys.readouterr().out
+        assert exit_code == 0, out
+        assert "0 findings" in out
+
+    def test_module_invocation_matches_api(self):
+        # `python -m repro.lint --program src/repro` is the CI entry point.
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.lint",
+                "--program",
+                str(REPO_ROOT / "src" / "repro"),
+            ],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={
+                "PYTHONPATH": str(REPO_ROOT / "src"),
+                "PATH": "/usr/bin:/bin",
+            },
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+
+
+class TestProgramCli:
+    def test_nonzero_exit_and_rule_ids(self, capsys):
+        exit_code = main(["--program", str(PROGRAMS / "cachekey_bad")])
+        out = capsys.readouterr().out
+        assert exit_code == 1
+        assert "REPRO201" in out
+        assert "exp.py:30" in out
+
+    def test_select_limits_program_rules(self, capsys):
+        exit_code = main(
+            [
+                "--program",
+                "--select",
+                "REPRO203",
+                str(PROGRAMS / "cachekey_bad"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "0 findings" in out
+
+    def test_json_format(self, capsys):
+        exit_code = main(
+            [
+                "--program",
+                "--format",
+                "json",
+                str(PROGRAMS / "obsnames_bad"),
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 1
+        assert payload["version"] == LINT_VERSION
+        assert [f["rule"] for f in payload["findings"]] == [
+            "REPRO204"
+        ] * 4
+
+    def test_github_format_annotations(self, capsys):
+        exit_code = main(
+            [
+                "--program",
+                "--format",
+                "github",
+                str(PROGRAMS / "envelope_bad"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 1
+        annotations = [
+            line for line in out.splitlines() if line.startswith("::error ")
+        ]
+        assert len(annotations) == 4
+        first = annotations[0]
+        assert "file=" in first and ",line=20," in first
+        assert "title=REPRO203" in first
+        assert first.count("::") == 2  # command + message separator
+
+    def test_github_format_escapes_newlines(self, capsys):
+        from repro.lint.report import _escape_annotation
+
+        assert _escape_annotation("a\nb%c\r") == "a%0Ab%25c%0D"
+
+    def test_list_rules_marks_program_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("REPRO201", "REPRO202", "REPRO203", "REPRO204"):
+            assert rule_id in out
+        assert "(--program)" in out
+
+
+class TestBaseline:
+    def test_round_trip_suppresses_existing_findings(
+        self, capsys, tmp_path
+    ):
+        baseline = tmp_path / "baseline.json"
+        wrote = main(
+            [
+                "--program",
+                "--write-baseline",
+                str(baseline),
+                str(PROGRAMS / "envelope_bad"),
+            ]
+        )
+        capsys.readouterr()
+        assert wrote == 0
+        payload = json.loads(baseline.read_text())
+        assert len(payload["findings"]) == 4
+
+        exit_code = main(
+            [
+                "--program",
+                "--baseline",
+                str(baseline),
+                str(PROGRAMS / "envelope_bad"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "0 findings" in out
+
+    def test_baseline_is_line_insensitive(self, capsys, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        main(
+            [
+                "--program",
+                "--write-baseline",
+                str(baseline),
+                str(PROGRAMS / "obsnames_bad"),
+            ]
+        )
+        capsys.readouterr()
+        # Shift every finding down a line by copying the program with a
+        # comment inserted after the module override.
+        program = tmp_path / "shifted"
+        program.mkdir()
+        for source in (PROGRAMS / "obsnames_bad").glob("*.py"):
+            lines = source.read_text().splitlines(keepends=True)
+            lines.insert(1, "# shifted by one line\n")
+            (program / source.name).write_text("".join(lines))
+        # Rewrite baseline paths to the copied program.
+        payload = json.loads(baseline.read_text())
+        for entry in payload["findings"]:
+            entry["path"] = str(program / Path(entry["path"]).name)
+        baseline.write_text(json.dumps(payload))
+        exit_code = main(
+            ["--program", "--baseline", str(baseline), str(program)]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0, out
+
+    def test_new_findings_survive_the_baseline(self, capsys, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"findings": []}))
+        exit_code = main(
+            [
+                "--program",
+                "--baseline",
+                str(baseline),
+                str(PROGRAMS / "rng_bad"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 1
+        assert "REPRO202" in out
+
+    @pytest.mark.parametrize("flag", ["--baseline", "--write-baseline"])
+    def test_baseline_flags_require_program(self, flag, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([flag, str(tmp_path / "x.json"), "src"])
+        assert excinfo.value.code == 2
+        capsys.readouterr()

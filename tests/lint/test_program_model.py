@@ -1,0 +1,236 @@
+"""Unit tests for the whole-program model and dataflow primitives.
+
+Everything is exercised on parse-only sources built in ``tmp_path`` —
+the model never imports what it analyzes, so neither do these tests.
+"""
+
+import ast
+from pathlib import Path
+
+from repro.lint.engine import ModuleInfo
+from repro.lint.program.dataflow import (
+    assignment_map,
+    dict_entries,
+    expand_refs,
+    is_constant_only,
+    names_loaded,
+    scope_chain_map,
+    string_set,
+    string_tuple,
+)
+from repro.lint.program.model import ProgramModel
+
+
+def build_model(tmp_path: Path, sources: dict) -> ProgramModel:
+    """Write ``{relpath: source}`` under *tmp_path*, parse, build."""
+    infos = []
+    for relpath, source in sources.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+        infos.append(ModuleInfo.parse(path))
+    return ProgramModel.build(infos)
+
+
+class TestSymbolTable:
+    def test_nested_and_method_qualnames(self, tmp_path):
+        model = build_model(
+            tmp_path,
+            {
+                "m.py": (
+                    "# repro-lint: module=repro.m\n"
+                    "def outer():\n"
+                    "    def inner():\n"
+                    "        pass\n"
+                    "class Box:\n"
+                    "    def get(self):\n"
+                    "        pass\n"
+                ),
+            },
+        )
+        assert set(model.functions) == {
+            "repro.m.outer",
+            "repro.m.outer.inner",
+            "repro.m.Box.get",
+        }
+
+    def test_positional_params_strip_self_on_methods_only(self, tmp_path):
+        model = build_model(
+            tmp_path,
+            {
+                "m.py": (
+                    "# repro-lint: module=repro.m\n"
+                    "class Box:\n"
+                    "    def get(self, name):\n"
+                    "        pass\n"
+                    "def free(self, name):\n"
+                    "    pass\n"
+                ),
+            },
+        )
+        assert model.functions["repro.m.Box.get"].positional_params == [
+            "name"
+        ]
+        assert model.functions["repro.m.free"].positional_params == [
+            "self",
+            "name",
+        ]
+
+
+class TestResolution:
+    SOURCES = {
+        "pkg_init.py": (
+            "# repro-lint: module=repro.pkg\n"
+            "from repro.pkg.impl import thing\n"
+        ),
+        "impl.py": (
+            "# repro-lint: module=repro.pkg.impl\n"
+            "def thing():\n"
+            "    pass\n"
+        ),
+        "user.py": (
+            "# repro-lint: module=repro.user\n"
+            "from repro.pkg import thing\n"
+            "def local():\n"
+            "    pass\n"
+            "def caller():\n"
+            "    thing()\n"
+            "    local()\n"
+            "class C:\n"
+            "    def helper(self):\n"
+            "        pass\n"
+            "    def run(self):\n"
+            "        self.helper()\n"
+        ),
+    }
+
+    def test_canonical_chases_package_reexports(self, tmp_path):
+        model = build_model(tmp_path, self.SOURCES)
+        assert (
+            model.canonical("repro.pkg.thing") == "repro.pkg.impl.thing"
+        )
+
+    def test_canonical_leaves_external_names_alone(self, tmp_path):
+        model = build_model(tmp_path, self.SOURCES)
+        assert model.canonical("numpy.random.default_rng") == (
+            "numpy.random.default_rng"
+        )
+
+    def test_resolve_name_import_local_and_self(self, tmp_path):
+        model = build_model(tmp_path, self.SOURCES)
+        user = model.modules["repro.user"]
+        assert model.resolve_name("thing", user, "caller") == (
+            "repro.pkg.impl.thing"
+        )
+        assert model.resolve_name("local", user, "caller") == (
+            "repro.user.local"
+        )
+        assert model.resolve_name("self.helper", user, "C.run") == (
+            "repro.user.C.helper"
+        )
+        assert model.resolve_name("nonsense", user, "caller") is None
+
+    def test_reachability_crosses_modules_through_reexports(
+        self, tmp_path
+    ):
+        model = build_model(tmp_path, self.SOURCES)
+        caller = model.functions["repro.user.caller"]
+        names = {f.full_name for f in model.reachable(caller)}
+        assert names == {
+            "repro.user.caller",
+            "repro.user.local",
+            "repro.pkg.impl.thing",
+        }
+
+    def test_module_assignments_last_wins(self, tmp_path):
+        model = build_model(
+            tmp_path,
+            {
+                "m.py": (
+                    "# repro-lint: module=repro.m\n"
+                    "NAMES = ('a',)\n"
+                    "NAMES = ('a', 'b')\n"
+                ),
+            },
+        )
+        value = model.module_assignments(model.modules["repro.m"])[
+            "NAMES"
+        ]
+        assert string_tuple(value) == ["a", "b"]
+
+
+class TestDataflow:
+    def scope(self, source: str) -> ast.FunctionDef:
+        return ast.parse(source).body[0]
+
+    def test_assignment_map_covers_binding_forms(self):
+        fn = self.scope(
+            "def f(items, ctx):\n"
+            "    a = items\n"
+            "    b: int = a\n"
+            "    for x in items:\n"
+            "        pass\n"
+            "    with ctx as handle:\n"
+            "        pass\n"
+            "    left, right = items\n"
+        )
+        table = assignment_map(fn)
+        assert set(table) == {"a", "b", "x", "handle", "left", "right"}
+        assert names_loaded(table["x"][0]) == {"items"}
+
+    def test_assignment_map_skips_nested_scopes(self):
+        fn = self.scope(
+            "def f(seed):\n"
+            "    def g():\n"
+            "        hidden = seed\n"
+            "    visible = seed\n"
+        )
+        assert set(assignment_map(fn)) == {"visible"}
+
+    def test_scope_chain_map_merges_outer_to_inner(self):
+        outer = self.scope(
+            "def f(seed):\n"
+            "    base = seed\n"
+            "    def g():\n"
+            "        derived = base\n"
+        )
+        inner = outer.body[1]
+        merged = scope_chain_map([outer, inner])
+        assert set(merged) == {"base", "derived"}
+        assert expand_refs({"derived"}, merged) == {
+            "derived",
+            "base",
+            "seed",
+        }
+
+    def test_expand_refs_depth_limits_the_chain(self):
+        fn = self.scope(
+            "def f(root):\n"
+            "    a = root\n"
+            "    b = a\n"
+            "    c = b\n"
+        )
+        table = assignment_map(fn)
+        assert expand_refs({"c"}, table, depth=1) == {"c", "b"}
+        assert expand_refs({"c"}, table) == {"c", "b", "a", "root"}
+
+    def test_dict_entries_display_call_and_dynamic(self):
+        display = ast.parse("{'a': x, 'b': 2}", mode="eval").body
+        call = ast.parse("dict(a=x, b=2)", mode="eval").body
+        spread = ast.parse("{'a': x, **extra}", mode="eval").body
+        assert [k for k, _ in dict_entries(display)] == ["a", "b"]
+        assert [k for k, _ in dict_entries(call)] == ["a", "b"]
+        assert dict_entries(spread) is None
+
+    def test_string_collections(self):
+        assert string_tuple(
+            ast.parse("('a', 'b')", mode="eval").body
+        ) == ["a", "b"]
+        assert string_tuple(ast.parse("('a', x)", mode="eval").body) is None
+        assert string_set(
+            ast.parse("frozenset({'a', 'b'})", mode="eval").body
+        ) == ["a", "b"]
+
+    def test_is_constant_only(self):
+        assert is_constant_only(ast.parse("'x' * 3", mode="eval").body)
+        assert not is_constant_only(ast.parse("n * 3", mode="eval").body)

@@ -46,6 +46,28 @@ def _cells(values, marker_dir=None):
     return specs
 
 
+class TestCellSpecGuard:
+    def test_generator_kwarg_rejected_at_construction(self):
+        # The runtime twin of lint rule REPRO202: a live Generator in
+        # cell kwargs would make results depend on prior draws and on
+        # which process runs the cell.
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="REPRO202"):
+            CellSpec(
+                experiment="unit",
+                fn=_draw,
+                kwargs={"seed": np.random.default_rng(3)},
+                key={"seed": 3},
+            )
+
+    def test_integer_seed_kwarg_accepted(self):
+        spec = CellSpec(
+            experiment="unit", fn=_draw, kwargs={"seed": 3}, key={"seed": 3}
+        )
+        assert spec.kwargs == {"seed": 3}
+
+
 class TestResolveJobs:
     def test_explicit_value_passes_through(self):
         assert resolve_jobs(3) == 3
