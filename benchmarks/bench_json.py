@@ -14,6 +14,11 @@ Measures the numbers the runtime work is accountable for —
   ``speedup_vs_event`` — each must be ≥10x),
 * the registry-wide ``auto`` fallback ratio (columnar vs fallback
   cells across every backend-aware registered spec),
+* the asyncio service substrate under load
+  (``service_load.headline`` — a single-process 10^6-request
+  virtual-clock run through the managed-upgrade middleware,
+  cross-checked against the columnar simulation, plus per-mode
+  throughput),
 
 plus the ``--jobs`` scaling of a small Table-5 grid, the wall-time of
 the ``repro.lint`` determinism linter over ``src/`` and of its
@@ -54,6 +59,10 @@ from repro.pipeline import (
     get_spec,
     registered_specs,
     run_experiment,
+)
+from repro.experiments.service_load import (
+    MODE_NAMES as SERVICE_LOAD_MODES,
+    run_service_load_cell,
 )
 from repro.lint.version import LINT_VERSION
 from repro.obs.metrics import MetricsRegistry
@@ -181,6 +190,52 @@ def bench_registry_fallback(requests: int) -> dict:
         "columnar_cells": columnar_total,
         "fallback_cells": fallback_total,
         "fallback_ratio": round(fallback_total / total, 4) if total else 0.0,
+    }
+
+
+def bench_service_load(headline_requests: int, mode_requests: int) -> dict:
+    """Asyncio substrate throughput on the virtual clock, cross-checked.
+
+    The headline run drives ``headline_requests`` demands through the
+    real asyncio middleware in one process — bounded queue, worker
+    pool, streaming reduction — and asserts the Table-5/6 rows land in
+    the documented tolerance envelope against the columnar simulation.
+    The committed (non-``--quick``) figure is the 10^6-request run the
+    substrate is specified for; ``demands_per_sec`` is pure processing
+    cost (virtual clock: simulated seconds are free).  Per-mode
+    throughput is sampled at ``mode_requests``.
+    """
+    headline = run_service_load_cell(
+        joint="correlated", run=2, timeout=2.0,
+        requests=headline_requests, seed=3, mode="reliability",
+        concurrency=64, queue_capacity=256, backend="columnar",
+    )
+    assert headline.ok, headline.mismatches[:5]
+    modes = {}
+    for mode in SERVICE_LOAD_MODES:
+        result = run_service_load_cell(
+            joint="correlated", run=2, timeout=2.0,
+            requests=mode_requests, seed=3, mode=mode,
+            backend="columnar",
+        )
+        assert result.ok, (mode, result.mismatches[:5])
+        modes[mode] = {
+            "requests": mode_requests,
+            "demands_per_sec": round(result.throughput),
+        }
+    return {
+        "headline": {
+            "requests": headline_requests,
+            "mode": "reliability",
+            "clock": "virtual",
+            "concurrency": 64,
+            "queue_capacity": 256,
+            "wall_seconds": round(headline.wall_seconds, 2),
+            "demands_per_sec": round(headline.throughput),
+            "peak_reorder_buffer": headline.peak_reorder_buffer,
+            "cross_check": "ok",
+        },
+        "modes": modes,
     }
 
 
@@ -319,6 +374,9 @@ def main(argv=None) -> int:
     registry_fallback = bench_registry_fallback(
         300 if args.quick else 500
     )
+    service_load = bench_service_load(
+        20_000 if args.quick else 1_000_000, requests
+    )
     sequential = bench_grid(requests, jobs=1)
     parallel = bench_grid(requests, jobs=args.jobs)
     lint = bench_lint(Path(__file__).resolve().parents[1] / "src")
@@ -348,6 +406,7 @@ def main(argv=None) -> int:
         },
         "modes": modes,
         "registry_fallback": registry_fallback,
+        "service_load": service_load,
         "grid": {
             "cells": 12,
             "requests_per_cell": requests,

@@ -21,6 +21,12 @@ from typing import FrozenSet, Tuple
 #: Every registered metric instrument name (counters, gauges and
 #: histograms share one namespace — the registry keys them per type).
 METRIC_NAMES: FrozenSet[str] = frozenset({
+    "aio.demands",
+    "aio.faults",
+    "aio.inflight_peak",
+    "aio.queue_depth",
+    "aio.queue_wait_seconds",
+    "aio.throughput",
     "backend.columnar_cells",
     "backend.fallback_cells",
     "cache.corrupt",
@@ -43,6 +49,7 @@ METRIC_NAMES: FrozenSet[str] = frozenset({
 #: name must start with one of these; REPRO203 separately checks that
 #: literal ``backend.fallback_reason.<slug>`` names use declared slugs.
 METRIC_PREFIXES: Tuple[str, ...] = (
+    "aio.release_up.",
     "backend.fallback_reason.",
 )
 

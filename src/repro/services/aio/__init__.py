@@ -1,0 +1,76 @@
+"""Asyncio service substrate (``repro.services.aio``).
+
+The coroutine twin of the callback-driven service layer: the same
+message types, fault models, operating modes and adjudication rules as
+:mod:`repro.core` / :mod:`repro.services`, executed by real asyncio
+tasks instead of kernel callbacks.  The port protocol is
+
+    ``async def call(request, *, reference_answer=None,
+    demand_index=None) -> ResponseMessage``
+
+and every port here — endpoint, transport, middleware, retrying port,
+mediator, composite — composes by wrapping, exactly like the sync
+substrate.
+
+Two clocks run the substrate (:mod:`repro.services.aio.clock`): the
+deterministic virtual-clock loop, where scripted runs are bit-identical
+across repetitions and concurrency limits and a lost response raises
+:class:`~repro.services.aio.clock.VirtualTimeDeadlock` instead of
+hanging; and the wall clock, for measuring real asyncio overhead.  The
+load harness (:mod:`repro.services.aio.load`) drives millions of
+requests through the middleware under bounded-queue backpressure and
+reduces straight to Table-5/6 rows; the ``service_load`` experiment
+cross-checks those rows against the simulation backends.
+"""
+
+from repro.services.aio.client import AsyncConsumer
+from repro.services.aio.clock import (
+    VirtualClockEventLoop,
+    VirtualTimeDeadlock,
+    checked_sleep,
+    forever,
+    run_virtual,
+    run_wall,
+)
+from repro.services.aio.composite import AsyncCompositeService
+from repro.services.aio.endpoint import AsyncEndpoint
+from repro.services.aio.mediator import AsyncConfidenceMediator
+from repro.services.aio.middleware import (
+    AsyncDemandReport,
+    AsyncUpgradeMiddleware,
+    DemandSummary,
+    ReleaseSummary,
+)
+from repro.services.aio.ports import AsyncPort
+from repro.services.aio.retry import AsyncRetryingPort
+from repro.services.aio.transport import AsyncTransport
+from repro.services.aio.load import (
+    LoadResult,
+    StreamingReducer,
+    drive_load,
+    run_load,
+)
+
+__all__ = [
+    "AsyncCompositeService",
+    "AsyncConfidenceMediator",
+    "AsyncConsumer",
+    "AsyncDemandReport",
+    "AsyncEndpoint",
+    "AsyncPort",
+    "AsyncRetryingPort",
+    "AsyncTransport",
+    "AsyncUpgradeMiddleware",
+    "DemandSummary",
+    "LoadResult",
+    "ReleaseSummary",
+    "StreamingReducer",
+    "VirtualClockEventLoop",
+    "VirtualTimeDeadlock",
+    "checked_sleep",
+    "drive_load",
+    "forever",
+    "run_load",
+    "run_virtual",
+    "run_wall",
+]

@@ -1,0 +1,66 @@
+"""Async service consumers (requesters).
+
+:class:`AsyncConsumer` issues requests against any
+:class:`~repro.services.aio.ports.AsyncPort` under a client-side
+deadline, keeping the same satisfaction statistics
+(:class:`~repro.services.client.ConsumerStats`) as the sync consumer.
+A response missing the deadline counts as a client timeout and the
+in-flight call is cancelled — on the virtual clock the cancellation is
+what keeps a lost response from deadlocking the loop.
+"""
+
+import asyncio
+from typing import Optional
+
+from repro.common.validation import check_positive
+from repro.services.aio.ports import AsyncPort
+from repro.services.client import ConsumerStats
+from repro.services.message import RequestMessage, ResponseMessage
+
+
+class AsyncConsumer:
+    """A consumer issuing awaited requests with a client-side timeout."""
+
+    def __init__(self, name: str, port: AsyncPort, timeout: float = 5.0):
+        self.name = name
+        self.port = port
+        self.timeout = check_positive(timeout, "timeout")
+        self.stats = ConsumerStats()
+
+    async def issue(
+        self,
+        request: RequestMessage,
+        reference_answer: object = None,
+        demand_index: Optional[int] = None,
+    ) -> Optional[ResponseMessage]:
+        """Send one request; returns the response, or None on client
+        timeout (the port call is cancelled)."""
+        self.stats.issued += 1
+        loop = asyncio.get_running_loop()
+        issued_at = loop.time()
+        try:
+            response = await asyncio.wait_for(
+                self.port.call(
+                    request,
+                    reference_answer=reference_answer,
+                    demand_index=demand_index,
+                ),
+                timeout=self.timeout,
+            )
+        except asyncio.TimeoutError:
+            self.stats.timeouts += 1
+            return None
+        self.stats.answered += 1
+        if response.is_fault:
+            self.stats.faults += 1
+        self.stats.response_times.append(loop.time() - issued_at)
+        return response
+
+    def __repr__(self) -> str:
+        return (
+            f"AsyncConsumer(name={self.name!r}, "
+            f"issued={self.stats.issued}, timeouts={self.stats.timeouts})"
+        )
+
+
+__all__ = ["AsyncConsumer"]

@@ -1,0 +1,102 @@
+"""Composite Web Services on the asyncio substrate (paper Fig. 1/4).
+
+:class:`AsyncCompositeService` runs the same orchestration semantics as
+:class:`~repro.services.composite.CompositeService` — a sequence of
+:class:`~repro.services.composite.OrchestrationStep` invocations against
+component ports, glue-combined into the composite result, with any
+component fault aborting the workflow — but each step is an awaited
+``port.call``.  The step dataclass is *shared* with the sync substrate,
+including the ``derive_reference`` hook of the reference-answer bugfix:
+the composite-level reference describes the composite result, never a
+component's, so steps derive their own (default None).
+"""
+
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.services.aio.ports import AsyncPort
+from repro.services.composite import OrchestrationStep
+from repro.services.message import (
+    RequestMessage,
+    ResponseMessage,
+    fault_response,
+    result_response,
+)
+from repro.services.wsdl import WsdlDescription
+
+
+class AsyncCompositeService:
+    """A composite WS orchestrating async component services.
+
+    Component ports may be bare endpoints, async upgrade middleware,
+    mediators or retrying ports — anything satisfying
+    :class:`~repro.services.aio.ports.AsyncPort` — so deploying the
+    managed upgrade *inside* a composite WS is just a port choice.
+    Composites themselves satisfy the protocol and nest.
+    """
+
+    def __init__(
+        self,
+        wsdl: WsdlDescription,
+        components: Dict[str, AsyncPort],
+        plan: Sequence[OrchestrationStep],
+        combine: Callable[[Dict[str, object]], object],
+    ):
+        if not plan:
+            raise ConfigurationError("orchestration plan is empty")
+        unknown = [s.component for s in plan if s.component not in components]
+        if unknown:
+            raise ConfigurationError(
+                f"plan references unknown components: {unknown!r}"
+            )
+        self.wsdl = wsdl
+        self.components = dict(components)
+        self.plan = list(plan)
+        self.combine = combine
+        self.served = 0
+        self.composite_faults = 0
+
+    async def call(
+        self,
+        request: RequestMessage,
+        *,
+        reference_answer: object = None,
+        demand_index: Optional[int] = None,
+    ) -> ResponseMessage:
+        """Serve one composite request by running the orchestration plan."""
+        self.served += 1
+        results: Dict[str, object] = {}
+        for index, step in enumerate(self.plan):
+            port = self.components[step.component]
+            sub_request = RequestMessage(
+                operation=step.operation,
+                arguments=step.build_arguments(request, results),
+                reply_to=self.wsdl.service_name,
+            )
+            response = await port.call(
+                sub_request,
+                reference_answer=step.derive_reference(
+                    request, reference_answer
+                ),
+                demand_index=demand_index,
+            )
+            if response.is_fault:
+                self.composite_faults += 1
+                return fault_response(
+                    request,
+                    f"component {step.component!r} failed: {response.fault}",
+                    self.wsdl.service_name,
+                )
+            results[f"{step.component}:{index}"] = response.result
+        return result_response(
+            request, self.combine(results), self.wsdl.service_name
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"AsyncCompositeService(name={self.wsdl.service_name!r}, "
+            f"components={sorted(self.components)!r}, served={self.served})"
+        )
+
+
+__all__ = ["AsyncCompositeService", "OrchestrationStep"]

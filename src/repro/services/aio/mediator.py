@@ -1,0 +1,86 @@
+"""Trusted confidence mediator on the asyncio substrate (paper §6.2).
+
+:class:`AsyncConfidenceMediator` proxies an async port, judges each
+relayed response with a pluggable oracle and maintains the same
+per-operation black-box Bayesian assessors as
+:class:`~repro.services.mediator.ConfidenceMediator` — the oracle,
+priors and published-confidence arithmetic are shared; only the relay
+is awaited instead of callback-driven.
+"""
+
+from typing import Dict, Optional
+
+from repro.bayes.beta import TruncatedBeta
+from repro.bayes.blackbox import BlackBoxAssessor
+from repro.services.aio.ports import AsyncPort
+from repro.services.mediator import ResponseOracle, default_oracle
+from repro.services.message import RequestMessage, ResponseMessage
+
+
+class AsyncConfidenceMediator:
+    """Third-party proxy measuring per-operation confidence, async."""
+
+    def __init__(
+        self,
+        name: str,
+        port: AsyncPort,
+        prior: TruncatedBeta,
+        target_pfd: float = 1e-3,
+        oracle: ResponseOracle = default_oracle,
+    ):
+        self.name = name
+        self.port = port
+        self.prior = prior
+        self.target_pfd = target_pfd
+        self.oracle = oracle
+        self._assessors: Dict[str, BlackBoxAssessor] = {}
+        self.relayed = 0
+
+    def assessor_for(self, operation: str) -> BlackBoxAssessor:
+        """The (lazily created) assessor of one operation."""
+        if operation not in self._assessors:
+            self._assessors[operation] = BlackBoxAssessor(self.prior)
+        return self._assessors[operation]
+
+    async def call(
+        self,
+        request: RequestMessage,
+        *,
+        reference_answer: object = None,
+        demand_index: Optional[int] = None,
+    ) -> ResponseMessage:
+        """Relay one demand, judging the response on the way back."""
+        self.relayed += 1
+        assessor = self.assessor_for(request.operation)
+        response = await self.port.call(
+            request,
+            reference_answer=reference_answer,
+            demand_index=demand_index,
+        )
+        failed = self.oracle(response, reference_answer)
+        assessor.observe(demands=1, failures=1 if failed else 0)
+        return response
+
+    def confidence(self, operation: str) -> float:
+        """Published P(pfd <= target) for *operation*."""
+        return self.assessor_for(operation).confidence(self.target_pfd)
+
+    def demands_observed(self, operation: str) -> int:
+        """How many demands the mediator has actually seen."""
+        return self.assessor_for(operation).demands
+
+    def bypass_estimate(self, operation: str, true_traffic: int) -> float:
+        """Fraction of *true_traffic* that bypassed the mediator."""
+        if true_traffic <= 0:
+            return 0.0
+        seen = self.demands_observed(operation)
+        return max(0.0, 1.0 - seen / true_traffic)
+
+    def __repr__(self) -> str:
+        return (
+            f"AsyncConfidenceMediator(name={self.name!r}, "
+            f"relayed={self.relayed})"
+        )
+
+
+__all__ = ["AsyncConfidenceMediator"]

@@ -1,0 +1,725 @@
+"""The managed-upgrade middleware on the asyncio substrate.
+
+:class:`AsyncUpgradeMiddleware` serves the same four operating modes as
+:class:`~repro.core.middleware.UpgradeMiddleware` — parallel
+max-reliability, parallel max-responsiveness, parallel-dynamic and
+sequential — over coroutine endpoints instead of kernel callbacks.
+Message types, fault models, adjudication rules and the Table-5/6
+observation schema are shared with the sync substrate; only the
+execution machinery differs.
+
+Determinism model
+-----------------
+
+The event kernel is deterministic because a single heap orders every
+callback.  asyncio offers no such guarantee once demands overlap, so the
+async middleware moves every random draw *out of execution order*:
+
+* a :class:`~repro.runtime.sampling.DemandScript` pre-draws T1, per-
+  release T2 and the joint outcome matrix, indexed by **demand index** —
+  whichever worker serves demand *i*, it reads row *i*;
+* adjudication tie-breaks draw from a per-demand generator derived from
+  ``(adjudication_seed, demand index)`` via
+  :class:`~repro.common.seeding.SeedSequenceFactory` — order-
+  independent, and materialized lazily because the paper's rules only
+  draw on disagreeing valid results;
+* collection is decided by pure duration arithmetic (``d < budget``,
+  strict — the kernel's timeout-wins tie rule) rather than by observing
+  the clock, so the decision is identical under any concurrency limit
+  and on either clock.
+
+The one knowing deviation from the kernel: a shared adjudication stream
+would re-introduce completion-order coupling, so tie-break draws come
+from per-demand streams.  Demands whose adjudication actually consumes
+randomness (two *disagreeing* valid results — max-reliability mode
+only) may therefore resolve the CR/NER split differently than the
+kernel run; every other Table-5/6 figure is bit-identical.  The
+service_load experiment's cross-check encodes exactly this tolerance.
+"""
+
+import asyncio
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError, ValidationError
+from repro.common.seeding import SeedSequenceFactory
+from repro.core.adjudicators import (
+    Adjudication,
+    Adjudicator,
+    CollectedResponse,
+    PaperRuleAdjudicator,
+)
+from repro.core.middleware import UpgradeMiddleware
+from repro.core.modes import ModeConfig, OperatingMode, SequentialOrder
+from repro.core.monitor import MonitoringSubsystem
+from repro.runtime.sampling import DemandScript
+from repro.services.aio.clock import checked_sleep
+from repro.services.aio.endpoint import AsyncEndpoint
+from repro.services.message import RequestMessage, ResponseMessage
+from repro.simulation.correlation import JointOutcomeModel
+from repro.simulation.distributions import Deterministic, Distribution
+from repro.simulation.outcomes import OUTCOME_ORDER, Outcome
+from repro.simulation.timing import SystemTimingPolicy
+
+
+class _LazyGenerator:
+    """A generator materialized on first use.
+
+    Adjudication needs randomness only when valid results disagree; at
+    realistic failure rates that is a tiny fraction of demands, and
+    spinning up a PCG64 per demand would dominate the load loop.  The
+    proxy defers construction until (unless) a method is actually
+    called.
+    """
+
+    __slots__ = ("_make", "_rng")
+
+    def __init__(self, make):
+        self._make = make
+        self._rng = None
+
+    def __getattr__(self, name):
+        if self._rng is None:
+            self._rng = self._make()
+        return getattr(self._rng, name)
+
+
+@dataclass(frozen=True)
+class ReleaseSummary:
+    """One release's contribution to one demand, reduction-ready.
+
+    Mirrors :class:`~repro.core.database.ReleaseObservation` but carries
+    the *true* outcome only — the streaming reducer feeds
+    :class:`~repro.simulation.metrics.ReleaseMetrics` exactly the way
+    ``metrics_from_log`` does, without holding a log.
+    """
+
+    name: str
+    invoked: bool
+    collected: bool
+    outcome: Optional[Outcome] = None
+    execution_time: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class DemandSummary:
+    """One demand's full Table-5/6 observation row."""
+
+    index: int
+    releases: Tuple[ReleaseSummary, ...]
+    system_verdict: str
+    system_outcome: Optional[Outcome]
+    system_time: float
+
+
+@dataclass(frozen=True)
+class AsyncDemandReport:
+    """Everything the middleware decided about one demand."""
+
+    response: ResponseMessage
+    collected: List[CollectedResponse]
+    adjudication: Adjudication
+    system_time: float
+    summary: DemandSummary
+    demand_index: int
+    invoked_names: Optional[List[str]] = None
+
+
+class AsyncUpgradeMiddleware:
+    """Managed-upgrade middleware over N releases, served by coroutines.
+
+    Parameters
+    ----------
+    endpoints:
+        Deployed :class:`~repro.services.aio.endpoint.AsyncEndpoint`
+        releases, old release first by convention.
+    timing:
+        TimeOut + adjudication delay (eq. 8).
+    adjudication_seed:
+        Root of the per-demand tie-break streams (see module docstring).
+    script:
+        Optional pre-drawn randomness.  With a script the middleware is
+        deterministic under any concurrency; without one it needs *rng*
+        and draws per demand in completion order (wall-clock load runs).
+    budgets:
+        Optional per-release collection windows (name -> seconds)
+        overriding the TimeOut for individual releases — the knob the
+        upgrade manager uses to shorten the window of a release under
+        suspicion.  Collection still never extends past the TimeOut.
+    max_inflight:
+        Optional cap on concurrently served demands (an
+        ``asyncio.Semaphore``); arrivals beyond it wait their turn.
+        This is the middleware's own backpressure, inside whatever
+        queueing the load harness adds.
+    """
+
+    def __init__(
+        self,
+        endpoints: List[AsyncEndpoint],
+        timing: SystemTimingPolicy,
+        *,
+        adjudication_seed: int,
+        adjudicator: Optional[Adjudicator] = None,
+        mode: Optional[ModeConfig] = None,
+        monitor: Optional[MonitoringSubsystem] = None,
+        rng: Optional[np.random.Generator] = None,
+        demand_difficulty: Optional[Distribution] = None,
+        joint_outcome_model: Optional[JointOutcomeModel] = None,
+        script: Optional[DemandScript] = None,
+        budgets: Optional[Dict[str, float]] = None,
+        max_inflight: Optional[int] = None,
+    ):
+        if not endpoints:
+            raise ConfigurationError("middleware needs at least one release")
+        self.endpoints: List[AsyncEndpoint] = list(endpoints)
+        self.timing = timing
+        self.adjudicator = adjudicator or PaperRuleAdjudicator()
+        self.mode = mode or ModeConfig.max_reliability()
+        self.monitor = monitor
+        self.joint_outcome_model = joint_outcome_model
+        self.demand_difficulty = (
+            demand_difficulty
+            if demand_difficulty is not None
+            else Deterministic(0.0)
+        )
+        self._rng = rng
+        self.script = script
+        self.budgets = dict(budgets) if budgets else {}
+        self._seed_factory = SeedSequenceFactory(adjudication_seed)
+        self._semaphore = (
+            asyncio.Semaphore(max_inflight)
+            if max_inflight is not None
+            else None
+        )
+        self.demands = 0
+        self._live_index = itertools.count()
+        self._seq_rows_cache: Optional[tuple] = None
+        # Script columns are positional: release k reads t2[k] /
+        # outcome_codes[:, k].  Frozen at construction — a scripted
+        # middleware cannot be reconfigured mid-run (the script has no
+        # column for a release it never knew).
+        self._script_columns: Dict[str, int] = {
+            endpoint.name: k for k, endpoint in enumerate(self.endpoints)
+        }
+
+    # ------------------------------------------------------------------
+    # reconfiguration (driven by the management subsystem)
+    # ------------------------------------------------------------------
+
+    def release_names(self) -> List[str]:
+        return [endpoint.name for endpoint in self.endpoints]
+
+    def add_endpoint(self, endpoint: AsyncEndpoint) -> None:
+        """Deploy an additional release behind the interface."""
+        if self.script is not None:
+            raise ConfigurationError(
+                "a scripted middleware cannot be reconfigured: the "
+                "demand script has no column for a new release"
+            )
+        if endpoint.name in self.release_names():
+            raise ConfigurationError(
+                f"release {endpoint.name!r} is already deployed"
+            )
+        self.endpoints.append(endpoint)
+
+    def remove_endpoint(self, name: str) -> AsyncEndpoint:
+        """Phase a release out; raises if it is the last one."""
+        if len(self.endpoints) == 1:
+            raise ConfigurationError("cannot remove the last release")
+        for i, endpoint in enumerate(self.endpoints):
+            if endpoint.name == name:
+                return self.endpoints.pop(i)
+        raise ConfigurationError(f"no deployed release named {name!r}")
+
+    def set_mode(self, mode: ModeConfig) -> None:
+        """Switch operating mode (takes effect on the next demand)."""
+        self.mode = mode
+
+    def set_budget(self, name: str, window: Optional[float]) -> None:
+        """Set (or clear, with None) one release's collection window."""
+        if window is None:
+            self.budgets.pop(name, None)
+        else:
+            self.budgets[name] = window
+
+    # ------------------------------------------------------------------
+    # the async port protocol
+    # ------------------------------------------------------------------
+
+    async def call(
+        self,
+        request: RequestMessage,
+        *,
+        reference_answer: object = None,
+        demand_index: Optional[int] = None,
+    ) -> ResponseMessage:
+        """Serve one demand; resolves to exactly one response."""
+        report = await self.call_detailed(
+            request,
+            reference_answer=reference_answer,
+            demand_index=demand_index,
+        )
+        return report.response
+
+    async def call_detailed(
+        self,
+        request: RequestMessage,
+        *,
+        reference_answer: object = None,
+        demand_index: Optional[int] = None,
+    ) -> AsyncDemandReport:
+        """Serve one demand and return the full observation report."""
+        if self._semaphore is None:
+            return await self._serve(request, reference_answer, demand_index)
+        async with self._semaphore:
+            return await self._serve(request, reference_answer, demand_index)
+
+    # ------------------------------------------------------------------
+    # demand machinery
+    # ------------------------------------------------------------------
+
+    def _tie_rng(self, index: int) -> _LazyGenerator:
+        return _LazyGenerator(
+            lambda: self._seed_factory.generator(f"demand/{index}")
+        )
+
+    def _require_rng(self) -> np.random.Generator:
+        if self._rng is None:
+            raise ConfigurationError(
+                "unscripted middleware needs an rng for per-demand draws"
+            )
+        return self._rng
+
+    def _demand_inputs(
+        self, index: int, active: List[AsyncEndpoint]
+    ) -> Tuple[float, Dict[str, float], Dict[str, Outcome]]:
+        """(T1, per-release T2, per-release forced outcome) for demand
+        *index* — from the script when there is one, live draws
+        otherwise (live T2/outcomes are left to the endpoints)."""
+        if self.script is not None:
+            difficulty = float(self.script.t1[index])
+            t2s: Dict[str, float] = {}
+            forced: Dict[str, Outcome] = {}
+            codes = self.script.outcome_codes
+            for endpoint in active:
+                k = self._script_columns[endpoint.name]
+                t2s[endpoint.name] = float(self.script.t2[k][index])
+                if codes is not None:
+                    forced[endpoint.name] = OUTCOME_ORDER[
+                        int(codes[index, k])
+                    ]
+            return difficulty, t2s, forced
+        # Live draws: a degenerate difficulty law needs no generator, so
+        # an unscripted middleware whose endpoints own all randomness
+        # (the common test/demo shape) works without one.
+        if isinstance(self.demand_difficulty, Deterministic):
+            difficulty = self.demand_difficulty.mean
+        else:
+            difficulty = float(
+                self.demand_difficulty.sample(self._require_rng())
+            )
+        forced = {}
+        if self.joint_outcome_model is not None and len(active) >= 2:
+            try:
+                outcomes = self.joint_outcome_model.sample_tuple(
+                    self._require_rng(), len(active)
+                )
+            except ValidationError:
+                # The model cannot correlate this many releases:
+                # endpoints fall back to their own marginals.
+                outcomes = None
+            if outcomes is not None:
+                forced = {
+                    endpoint.name: outcome
+                    for endpoint, outcome in zip(active, outcomes)
+                }
+        return difficulty, {}, forced
+
+    def _budget(self, name: str, timeout: float) -> float:
+        return min(timeout, self.budgets.get(name, timeout))
+
+    def _sequential_consumption(
+        self, timeout: float
+    ) -> Optional[List[np.ndarray]]:
+        """Per-release script-row indices for fixed-order sequential mode.
+
+        The kernel's scripted latency distributions are consumed *per
+        invocation*: in sequential mode release k's next T2 row is read
+        only when the demand escalates to it, so demand *i* reads row
+        ``j = #(earlier demands that invoked release k)`` — not row
+        *i*.  Each escalation decision is a pure function of the
+        script, so the whole mapping is one vectorized prefix scan,
+        computed once and cached.  Returns None when the script has no
+        outcome matrix (escalations then depend on live draws and the
+        mapping is unknowable ahead of time).
+        """
+        script = self.script
+        assert script is not None
+        codes = script.outcome_codes
+        if codes is None:
+            return None
+        key = (timeout, tuple(sorted(self.budgets.items())))
+        if self._seq_rows_cache is not None:
+            cached_key, cached_rows = self._seq_rows_cache
+            if cached_key == key:
+                return cached_rows
+        evident = OUTCOME_ORDER.index(Outcome.EVIDENT_FAILURE)
+        requests = len(script.t1)
+        t1 = script.t1
+        rows: List[np.ndarray] = []
+        invoked = np.ones(requests, dtype=bool)
+        cumulative = np.zeros(requests, dtype=np.float64)
+        for k, endpoint in enumerate(self.endpoints):
+            j = np.cumsum(invoked) - invoked  # exclusive prefix count
+            rows.append(np.where(invoked, j, -1))
+            t2 = script.t2[k][np.where(invoked, j, 0)]
+            d = t1 + t2
+            arrival = cumulative + d
+            # Collected iff it lands strictly inside both the demand's
+            # remaining TimeOut window and the release's own budget.
+            budget = self._budget(endpoint.name, timeout)
+            collected = invoked & (arrival < timeout) & (d < budget)
+            escalates = collected & (codes[:, k] == evident)
+            cumulative = np.where(escalates, arrival, cumulative)
+            invoked = escalates
+        self._seq_rows_cache = (key, rows)
+        return rows
+
+    async def _serve(
+        self,
+        request: RequestMessage,
+        reference_answer: object,
+        demand_index: Optional[int],
+    ) -> AsyncDemandReport:
+        index = (
+            demand_index
+            if demand_index is not None
+            else next(self._live_index)
+        )
+        self.demands += 1
+        # Snapshot the configuration: a demand keeps the semantics it
+        # started with even if management reconfigures mid-flight.
+        active = list(self.endpoints)
+        mode = self.mode
+        timing = self.timing
+        if mode.mode is OperatingMode.SEQUENTIAL:
+            return await self._serve_sequential(
+                request, reference_answer, index, active, mode, timing
+            )
+        return await self._serve_parallel(
+            request, reference_answer, index, active, mode, timing
+        )
+
+    async def _serve_parallel(
+        self,
+        request: RequestMessage,
+        reference_answer: object,
+        index: int,
+        active: List[AsyncEndpoint],
+        mode: ModeConfig,
+        timing: SystemTimingPolicy,
+    ) -> AsyncDemandReport:
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        timeout = timing.timeout
+        if not active:
+            return await self._close(
+                request, reference_answer, index, active, [], None,
+                decision_d=0.0, timing=timing, start=start, loop=loop,
+            )
+        difficulty, t2s, forced = self._demand_inputs(index, active)
+        tasks = [
+            asyncio.ensure_future(
+                endpoint.invoke_within(
+                    request,
+                    self._budget(endpoint.name, timeout),
+                    reference_answer=reference_answer,
+                    forced_outcome=forced.get(endpoint.name),
+                    demand_difficulty=difficulty,
+                    t2=t2s.get(endpoint.name),
+                )
+            )
+            for endpoint in active
+        ]
+        results = await asyncio.gather(*tasks)
+        # Arrival order: by duration, ties by fan-out order — exactly
+        # the kernel heap's FIFO dispatch of equal-time events.
+        arrivals = sorted(
+            (
+                (d, k, response)
+                for k, result in enumerate(results)
+                if result is not None
+                for response, d in (result,)
+            ),
+            key=lambda arrival: (arrival[0], arrival[1]),
+        )
+        all_arrived = len(arrivals) == len(active)
+
+        delivered: Optional[Adjudication] = None
+        delivered_d = 0.0
+        if mode.mode is OperatingMode.PARALLEL_RESPONSIVENESS:
+            collected = arrivals
+            for d, k, response in arrivals:
+                if not response.is_fault:
+                    delivered = Adjudication(
+                        "result", response, active[k].name
+                    )
+                    delivered_d = d
+                    break
+            decision_d = (
+                arrivals[-1][0] if (all_arrived and arrivals) else timeout
+            )
+        elif mode.mode is OperatingMode.PARALLEL_DYNAMIC:
+            threshold = min(mode.min_responses or 1, len(active))
+            if len(arrivals) >= threshold:
+                # Arrivals after the decision are dropped, exactly as the
+                # kernel drops post-close arrivals.
+                collected = arrivals[:threshold]
+                decision_d = collected[-1][0]
+            else:
+                collected = arrivals
+                decision_d = timeout
+        else:  # PARALLEL_RELIABILITY
+            collected = arrivals
+            decision_d = (
+                arrivals[-1][0] if (all_arrived and arrivals) else timeout
+            )
+
+        items = [
+            CollectedResponse(
+                release=active[k].name, response=response, execution_time=d
+            )
+            for d, k, response in collected
+        ]
+        return await self._close(
+            request, reference_answer, index, active, items, delivered,
+            decision_d=decision_d, timing=timing, start=start, loop=loop,
+            delivered_d=delivered_d,
+        )
+
+    async def _serve_sequential(
+        self,
+        request: RequestMessage,
+        reference_answer: object,
+        index: int,
+        active: List[AsyncEndpoint],
+        mode: ModeConfig,
+        timing: SystemTimingPolicy,
+    ) -> AsyncDemandReport:
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        timeout = timing.timeout
+        if not active:
+            return await self._close(
+                request, reference_answer, index, active, [], None,
+                decision_d=0.0, timing=timing, start=start, loop=loop,
+                invoked_names=[],
+            )
+        difficulty, t2s, forced = self._demand_inputs(index, active)
+        if (
+            self.script is not None
+            and mode.sequential_order is SequentialOrder.FIXED
+        ):
+            # Kernel parity: scripted T2 rows are consumed per
+            # *invocation*, so this demand reads each release's next
+            # unconsumed row, not row ``index`` (see
+            # :meth:`_sequential_consumption`).
+            consumption = self._sequential_consumption(timeout)
+            if consumption is not None:
+                for k, endpoint in enumerate(active):
+                    row = int(consumption[k][index])
+                    if row >= 0:
+                        t2s[endpoint.name] = float(self.script.t2[k][row])
+        order = list(range(len(active)))
+        if mode.sequential_order is SequentialOrder.RANDOM:
+            # Per-demand stream, so the order is a function of the demand
+            # index alone.  NOTE: this is *distributionally* equivalent
+            # to the kernel's shared-rng shuffle but not bit-identical to
+            # it — random-order cells are excluded from exact
+            # cross-checks.
+            order = [
+                int(i)
+                for i in self._seed_factory.generator(
+                    f"order/{index}"
+                ).permutation(len(active))
+            ]
+        items: List[CollectedResponse] = []
+        cumulative = 0.0
+        decision_d: Optional[float] = None
+        invoked = 0
+        for k in order:
+            endpoint = active[k]
+            invoked += 1
+            remaining = min(
+                timeout - cumulative,
+                self._budget(endpoint.name, timeout),
+            )
+            result = await endpoint.invoke_within(
+                request,
+                remaining,
+                reference_answer=reference_answer,
+                forced_outcome=forced.get(endpoint.name),
+                demand_difficulty=difficulty,
+                t2=t2s.get(endpoint.name),
+            )
+            if result is None:
+                # Silent within the window: the demand's TimeOut fires.
+                decision_d = timeout
+                break
+            response, d = result
+            arrival = cumulative + d
+            items.append(
+                CollectedResponse(
+                    release=endpoint.name,
+                    response=response,
+                    execution_time=arrival,
+                )
+            )
+            if not response.is_fault:
+                decision_d = arrival
+                break
+            # Evidently incorrect: escalate to the next release.
+            cumulative = arrival
+        if decision_d is None:
+            decision_d = cumulative
+        invoked_names = [active[k].name for k in order[:invoked]]
+        return await self._close(
+            request, reference_answer, index, active, items, None,
+            decision_d=decision_d, timing=timing, start=start, loop=loop,
+            invoked_names=invoked_names,
+        )
+
+    async def _close(
+        self,
+        request: RequestMessage,
+        reference_answer: object,
+        index: int,
+        active: List[AsyncEndpoint],
+        items: List[CollectedResponse],
+        delivered: Optional[Adjudication],
+        *,
+        decision_d: float,
+        timing: SystemTimingPolicy,
+        start: float,
+        loop: asyncio.AbstractEventLoop,
+        invoked_names: Optional[List[str]] = None,
+        delivered_d: float = 0.0,
+    ) -> AsyncDemandReport:
+        if delivered is not None:
+            adjudication = delivered
+            system_time = delivered_d + timing.adjudication_delay
+        else:
+            adjudication = self.adjudicator.adjudicate(
+                request, items, self._tie_rng(index)
+            )
+            system_time = (
+                min(decision_d, timing.timeout) + timing.adjudication_delay
+            )
+        response = UpgradeMiddleware._guaranteed_response(
+            request, adjudication
+        )
+        summary = self._summarize(
+            index, active, items, adjudication, system_time,
+            reference_answer, invoked_names,
+        )
+        if self.monitor is not None:
+            self.monitor.record_demand(
+                request_id=request.message_id,
+                timestamp=start,
+                active_releases=[endpoint.name for endpoint in active],
+                collected=items,
+                adjudication=adjudication,
+                system_time=system_time,
+                reference_answer=reference_answer,
+                invoked_releases=invoked_names,
+            )
+        # Resolve at the demand's close (never before system_time): the
+        # extra sleep models dT past the last collection, so a consumer
+        # awaiting `call` sees kernel-identical response times in the
+        # reliability and sequential modes.  (In the fast-path modes the
+        # demand still holds its slot until collection closes; the
+        # *metric* records the earlier consumer-visible time.)
+        await checked_sleep(
+            max(0.0, system_time - (loop.time() - start))
+        )
+        return AsyncDemandReport(
+            response=response,
+            collected=items,
+            adjudication=adjudication,
+            system_time=system_time,
+            summary=summary,
+            demand_index=index,
+            invoked_names=invoked_names,
+        )
+
+    def _summarize(
+        self,
+        index: int,
+        active: List[AsyncEndpoint],
+        items: List[CollectedResponse],
+        adjudication: Adjudication,
+        system_time: float,
+        reference_answer: object,
+        invoked_names: Optional[List[str]],
+    ) -> DemandSummary:
+        by_release = {item.release: item for item in items}
+        invoked = (
+            set(invoked_names)
+            if invoked_names is not None
+            else {endpoint.name for endpoint in active}
+        )
+        releases = []
+        for endpoint in active:
+            item = by_release.get(endpoint.name)
+            if item is not None:
+                releases.append(
+                    ReleaseSummary(
+                        name=endpoint.name,
+                        invoked=True,
+                        collected=True,
+                        outcome=MonitoringSubsystem.classify(
+                            item.response, reference_answer
+                        ),
+                        execution_time=item.execution_time,
+                    )
+                )
+            else:
+                releases.append(
+                    ReleaseSummary(
+                        name=endpoint.name,
+                        invoked=endpoint.name in invoked,
+                        collected=False,
+                    )
+                )
+        system_outcome = (
+            MonitoringSubsystem.classify(
+                adjudication.response, reference_answer
+            )
+            if adjudication.response is not None
+            and adjudication.verdict != "unavailable"
+            else None
+        )
+        return DemandSummary(
+            index=index,
+            releases=tuple(releases),
+            system_verdict=adjudication.verdict,
+            system_outcome=system_outcome,
+            system_time=system_time,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"AsyncUpgradeMiddleware(releases={self.release_names()!r}, "
+            f"mode={self.mode.mode.value!r}, demands={self.demands})"
+        )
+
+
+__all__ = [
+    "AsyncDemandReport",
+    "AsyncUpgradeMiddleware",
+    "DemandSummary",
+    "ReleaseSummary",
+]

@@ -1,0 +1,46 @@
+"""The async port protocol.
+
+The synchronous substrate's port protocol is
+``submit(simulator, request, deliver, reference_answer=None)`` —
+callback style over the discrete-event kernel.  Its asyncio twin is
+
+    ``async def call(request, *, reference_answer=None,
+    demand_index=None) -> ResponseMessage``
+
+with the same delivery guarantee: every call resolves to exactly one
+non-None :class:`~repro.services.message.ResponseMessage` (an
+adjudicated result or an evident fault), never silently hangs past its
+own timeout discipline, and never produces a second response.  The
+message types, fault models and adjudication semantics are shared with
+the sync substrate — only the execution substrate differs.
+
+``demand_index`` is the scripted-determinism hook: harnesses that
+pre-draw all per-demand randomness (see
+:class:`~repro.runtime.sampling.DemandScript`) pass the demand's index
+so the port reads *its* script rows regardless of completion order —
+that is what makes results independent of the concurrency limit.
+Ports that do not use scripts ignore it.
+"""
+
+from typing import Optional, Protocol, runtime_checkable
+
+from repro.services.message import RequestMessage, ResponseMessage
+
+
+@runtime_checkable
+class AsyncPort(Protocol):
+    """Anything serving async demands: endpoint, middleware, mediator,
+    retrying port, composite — they compose the same way the sync ports
+    do, by wrapping each other."""
+
+    async def call(
+        self,
+        request: RequestMessage,
+        *,
+        reference_answer: object = None,
+        demand_index: Optional[int] = None,
+    ) -> ResponseMessage:
+        ...  # pragma: no cover - protocol signature
+
+
+__all__ = ["AsyncPort"]

@@ -1,0 +1,154 @@
+"""Retry of evident failures on the asyncio substrate (paper §2.1).
+
+:class:`AsyncRetryingPort` is the coroutine twin of
+:class:`~repro.services.retry.RetryingPort`, with the same first-valid-
+wins semantics: an attempt superseded by its own timeout is **not**
+cancelled — it stays live, and a late valid response from it settles
+the demand ahead of the retry (``late_accepted`` counts these).  Only
+late *faults* are discarded; the retry they triggered is already
+running.
+
+The async analogue of the timer-leak bugfix is task hygiene: when the
+demand settles — by any attempt's response or by exhaustion — every
+outstanding attempt task is cancelled and awaited before :meth:`call`
+returns, so a resolved call leaves zero live tasks behind.  The
+delivery-guarantee tests assert exactly that.
+"""
+
+import asyncio
+from typing import Dict, Optional
+
+from repro.services.aio.clock import checked_sleep
+from repro.services.aio.ports import AsyncPort
+from repro.services.message import (
+    RequestMessage,
+    ResponseMessage,
+    fault_response,
+)
+from repro.services.retry import RetryPolicy
+
+
+class AsyncRetryingPort:
+    """Wrap an async port with bounded retry of evident failures.
+
+    Delivery guarantee: each :meth:`call` resolves to exactly one
+    response — the first valid response across all live attempts, a
+    fault once attempts are exhausted, or a retry-layer timeout fault —
+    and cancels every attempt still in flight before resolving.
+    """
+
+    def __init__(self, port: AsyncPort, policy: Optional[RetryPolicy] = None):
+        self.port = port
+        self.policy = policy or RetryPolicy()
+        self.attempts = 0
+        self.retries = 0
+        self.late_accepted = 0
+
+    async def call(
+        self,
+        request: RequestMessage,
+        *,
+        reference_answer: object = None,
+        demand_index: Optional[int] = None,
+    ) -> ResponseMessage:
+        policy = self.policy
+        live: Dict[asyncio.Task, int] = {}
+        try:
+            attempt_number = 0
+            while True:
+                attempt_number += 1
+                self.attempts += 1
+                # Fresh message id per attempt (a real client resends).
+                resent = RequestMessage(
+                    operation=request.operation,
+                    arguments=request.arguments,
+                    headers=dict(request.headers),
+                    reply_to=request.reply_to,
+                )
+                live[
+                    asyncio.ensure_future(
+                        self.port.call(
+                            resent,
+                            reference_answer=reference_answer,
+                            demand_index=demand_index,
+                        )
+                    )
+                ] = attempt_number
+                response = await self._collect(live, attempt_number)
+                if response is not None:
+                    return response
+                # The current attempt failed evidently (fault or
+                # per-attempt timeout) with attempts remaining.
+                if attempt_number >= policy.max_attempts:
+                    return fault_response(
+                        request,
+                        f"no response after {policy.max_attempts} attempts",
+                        "retry",
+                    )
+                self.retries += 1
+                await checked_sleep(policy.backoff)
+        finally:
+            await self._cancel_all(live)
+
+    async def _collect(
+        self, live: Dict[asyncio.Task, int], current: int
+    ) -> Optional[ResponseMessage]:
+        """Await the live attempts under the current attempt's deadline.
+
+        Returns the settling response, or None when the current attempt
+        failed evidently and the demand should retry (superseded
+        attempts stay in *live*).
+        """
+        policy = self.policy
+        deadline: Optional[float] = None
+        if policy.attempt_timeout is not None:
+            deadline = (
+                asyncio.get_running_loop().time() + policy.attempt_timeout
+            )
+        while live:
+            timeout = None
+            if deadline is not None:
+                timeout = max(
+                    0.0, deadline - asyncio.get_running_loop().time()
+                )
+            done, _ = await asyncio.wait(
+                set(live),
+                timeout=timeout,
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+            if not done:
+                # The current attempt's deadline expired; its task stays
+                # live (a late valid response still wins) and the caller
+                # decides between retry and exhaustion.
+                return None
+            for task in done:
+                number = live.pop(task)
+                response = task.result()
+                if not response.is_fault:
+                    if number != current:
+                        self.late_accepted += 1
+                    return response
+                if number == current:
+                    # The current attempt faulted: retry or exhaust.
+                    return None
+                # A superseded attempt's fault carries no information.
+        return None
+
+    @staticmethod
+    async def _cancel_all(live: Dict[asyncio.Task, int]) -> None:
+        """Cancel and drain every outstanding attempt task."""
+        if not live:
+            return
+        for task in live:
+            task.cancel()
+        await asyncio.gather(*live, return_exceptions=True)
+        live.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"AsyncRetryingPort(policy={self.policy!r}, "
+            f"attempts={self.attempts}, retries={self.retries})"
+        )
+
+
+__all__ = ["AsyncRetryingPort"]

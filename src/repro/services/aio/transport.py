@@ -1,0 +1,96 @@
+"""Lossy, latent message transport for the asyncio substrate.
+
+:class:`AsyncTransport` is the async twin of
+:class:`~repro.services.transport.SimulatedTransport`: it wraps an
+inner :class:`~repro.services.aio.ports.AsyncPort` and models the
+network between consumer and service — a latency draw on the way in,
+a latency draw on the way out, and an optional loss probability.
+
+A lost message never resolves (``await forever()``): exactly like a
+dropped UDP datagram, nothing downstream learns about it except via
+the caller's own timeout discipline.  This is deliberate — the async
+delivery-guarantee tests drive retrying ports over a lossy transport
+and assert the consumer still receives exactly one response; a
+transport that silently substituted a fault would mask the very bugs
+those tests exist to catch.
+"""
+
+from typing import Optional
+
+import numpy as np
+
+from repro.common.seeding import DEFAULT_COMPONENT_SEED, spawn_generator
+from repro.services.aio.clock import checked_sleep, forever
+from repro.services.aio.ports import AsyncPort
+from repro.services.message import RequestMessage, ResponseMessage
+from repro.simulation.distributions import Deterministic, Distribution
+
+
+class AsyncTransport:
+    """Network between a consumer and an async port.
+
+    Parameters
+    ----------
+    port:
+        The inner async port being reached over this network.
+    latency:
+        One-way latency law, applied independently to request and
+        response legs.
+    loss_probability:
+        Per-leg probability the message vanishes.
+    rng:
+        Randomness for latency/loss draws.
+    """
+
+    def __init__(
+        self,
+        port: AsyncPort,
+        latency: Optional[Distribution] = None,
+        loss_probability: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.port = port
+        self.latency = latency if latency is not None else Deterministic(0.0)
+        self.loss_probability = loss_probability
+        self._rng = (
+            rng if rng is not None else spawn_generator(DEFAULT_COMPONENT_SEED)
+        )
+        self.sent = 0
+        self.lost = 0
+
+    async def _leg(self) -> None:
+        """One network traversal: maybe lose the message, else delay it."""
+        self.sent += 1
+        if (
+            self.loss_probability > 0.0
+            and self._rng.random() < self.loss_probability
+        ):
+            self.lost += 1
+            await forever()
+        await checked_sleep(float(self.latency.sample(self._rng)))
+
+    async def call(
+        self,
+        request: RequestMessage,
+        *,
+        reference_answer: object = None,
+        demand_index: Optional[int] = None,
+    ) -> ResponseMessage:
+        await self._leg()
+        response = await self.port.call(
+            request,
+            reference_answer=reference_answer,
+            demand_index=demand_index,
+        )
+        await self._leg()
+        return response
+
+    def __repr__(self) -> str:
+        return (
+            f"AsyncTransport(latency={self.latency!r}, "
+            f"loss={self.loss_probability}, sent={self.sent}, "
+            f"lost={self.lost})"
+        )
+
+
+__all__ = ["AsyncTransport"]

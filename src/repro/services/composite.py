@@ -38,12 +38,23 @@ class OrchestrationStep:
         Operation to call on the component.
     build_arguments:
         Maps (composite request, results-so-far) to the step's arguments.
+    derive_reference:
+        Maps (composite request, composite-level reference answer) to the
+        reference answer for *this step's* component invocation.  The
+        composite-level reference describes the composite result, not any
+        component's — forwarding it verbatim made a mediator or
+        middleware wrapped around a component judge component responses
+        against the wrong oracle and mis-score pfd.  The default derives
+        ``None`` (no per-step oracle: only evident faults are judged).
     """
 
     component: str
     operation: str
     build_arguments: Callable[[RequestMessage, Dict[str, object]], tuple] = (
         lambda request, results: request.arguments
+    )
+    derive_reference: Callable[[RequestMessage, object], object] = (
+        lambda request, reference_answer: None
     )
 
 
@@ -138,7 +149,9 @@ class CompositeService:
                 simulator,
                 sub_request,
                 on_component_response,
-                reference_answer=reference_answer,
+                reference_answer=step.derive_reference(
+                    request, reference_answer
+                ),
             )
 
         run_next()

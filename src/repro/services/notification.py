@@ -23,11 +23,23 @@ from repro.services.registry import UddiRegistry
 
 @dataclass(frozen=True)
 class UpgradeEvent:
-    """A detected component upgrade."""
+    """A detected component upgrade (or rollback).
+
+    ``mechanism`` names how the event was detected (``"registry-poll"``,
+    ``"notification-service"``, ``"callback"``) — except for withdrawals,
+    where it is ``"rollback"`` and ``new_release`` names the release
+    that *disappeared* (the upgrade controller reacts by abandoning any
+    managed upgrade targeting it).
+    """
 
     service_name: str
     new_release: str
     mechanism: str
+
+    @property
+    def is_rollback(self) -> bool:
+        """True when this event reports a withdrawn release."""
+        return self.mechanism == "rollback"
 
 
 UpgradeHandler = Callable[[UpgradeEvent], None]
@@ -47,7 +59,14 @@ class RegistryPoller:
         self.polls = 0
 
     def poll(self) -> List[UpgradeEvent]:
-        """Diff current registry state against the last poll."""
+        """Diff current registry state against the last poll.
+
+        Newly appeared releases emit ``"registry-poll"`` events; releases
+        that *disappeared* since the last poll emit ``"rollback"`` events
+        (previously only ``releases - known`` was diffed, so a withdrawn
+        release was invisible and the upgrade controller kept preparing
+        an upgrade to a release that no longer existed).
+        """
         self.polls += 1
         events: List[UpgradeEvent] = []
         for name in self.registry.service_names():
@@ -59,6 +78,10 @@ class RegistryPoller:
                 continue
             for release in sorted(releases - known):
                 event = UpgradeEvent(name, release, "registry-poll")
+                events.append(event)
+                self.handler(event)
+            for release in sorted(known - releases):
+                event = UpgradeEvent(name, release, "rollback")
                 events.append(event)
                 self.handler(event)
             self._seen[name] = releases
@@ -85,14 +108,30 @@ class NotificationService:
             handler(event)
         return len(handlers)
 
+    def publish_rollback(self, service_name: str, release: str) -> int:
+        """Notify subscribers that *release* was withdrawn (rolled back)."""
+        self.published += 1
+        event = UpgradeEvent(service_name, release, "rollback")
+        handlers = list(self._subscribers.get(service_name, []))
+        for handler in handlers:
+            handler(event)
+        return len(handlers)
+
     @classmethod
     def bridged_to(cls, registry: UddiRegistry) -> "NotificationService":
-        """A notification service fed automatically by registry events."""
+        """A notification service fed automatically by registry events.
+
+        Upgrades are published as upgrade notifications and withdrawals
+        as rollback notifications, so subscribers observe mid-campaign
+        rollback end to end rather than only the happy path.
+        """
         service = cls()
 
         def on_registry_event(event: str, name: str, release: str) -> None:
             if event == "upgraded":
                 service.publish_upgrade(name, release)
+            elif event == "withdrawn":
+                service.publish_rollback(name, release)
 
         registry.subscribe(on_registry_event)
         return service

@@ -82,7 +82,7 @@ class RetryingPort:
         deliver: Callable[[ResponseMessage], None],
         reference_answer: object = None,
     ) -> None:
-        state = {"finished": False, "attempt": 0}
+        state = {"finished": False, "attempt": 0, "timeout_event": None}
         policy = self.policy
         wrapper = self
 
@@ -97,6 +97,10 @@ class RetryingPort:
                     lambda: on_attempt_timeout(attempt_number),
                     label=f"retry-timeout:{request.message_id}",
                 )
+            # The live attempt's timer, so finish() can cancel it: a
+            # late-accepted response settles the demand while the newest
+            # attempt's timer is still pending in the kernel heap.
+            state["timeout_event"] = timeout_event
 
             def on_response(response: ResponseMessage) -> None:
                 if state["finished"]:
@@ -157,6 +161,15 @@ class RetryingPort:
 
         def finish(response: ResponseMessage) -> None:
             state["finished"] = True
+            pending = state["timeout_event"]
+            if pending is not None:
+                # Cancel the live attempt's outstanding timer (idempotent
+                # if it already fired or was cancelled by on_response).
+                # Without this, every late-accepted response left a dead
+                # timer in the heap — a real leak at millions of requests
+                # and a spurious wakeup for any caller sharing the kernel.
+                pending.cancel()
+                state["timeout_event"] = None
             deliver(response)
 
         attempt()

@@ -85,6 +85,15 @@ class ReleaseBehaviour:
         payload = self._payload_for(outcome, reference_answer)
         return SimulatedResponse(outcome, execution_time, payload)
 
+    def payload_for(self, outcome: Outcome, reference_answer: object) -> object:
+        """The response body carried by a response with *outcome*.
+
+        Public so substrates that draw latency elsewhere (the scripted
+        asyncio endpoints) produce payloads bit-compatible with
+        :meth:`sample_response`.
+        """
+        return self._payload_for(outcome, reference_answer)
+
     def _payload_for(self, outcome: Outcome, reference_answer: object) -> object:
         if outcome is Outcome.CORRECT:
             return reference_answer

@@ -37,6 +37,7 @@ SMOKE_REQUESTS = {
     "table6": 300,
     "fidelity": 200,
     "multirelease": 300,
+    "service_load": 300,
 }
 
 GRID_SPECS = sorted(

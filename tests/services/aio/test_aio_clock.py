@@ -1,0 +1,69 @@
+"""Virtual-clock event loop behaviour."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.services.aio.clock import (
+    VirtualTimeDeadlock,
+    checked_sleep,
+    forever,
+    run_virtual,
+)
+
+
+def test_sleeps_advance_virtual_time_not_wall_time():
+    async def main():
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        await asyncio.sleep(3600.0)
+        await asyncio.sleep(86400.0)
+        return loop.time() - start
+
+    wall_start = time.perf_counter()
+    elapsed = run_virtual(main())
+    wall = time.perf_counter() - wall_start
+    assert elapsed == pytest.approx(90000.0)
+    assert wall < 5.0  # a day of simulated time costs no wall time
+
+
+def test_virtual_clock_orders_timers_like_a_kernel():
+    order = []
+
+    async def sleeper(delay, tag):
+        await asyncio.sleep(delay)
+        order.append(tag)
+
+    async def main():
+        await asyncio.gather(
+            sleeper(3.0, "c"), sleeper(1.0, "a"), sleeper(2.0, "b")
+        )
+
+    run_virtual(main())
+    assert order == ["a", "b", "c"]
+
+
+def test_unguarded_lost_response_raises_deadlock():
+    async def main():
+        await forever()
+
+    with pytest.raises(VirtualTimeDeadlock):
+        run_virtual(main())
+
+
+def test_deadline_turns_silence_into_timeout():
+    async def main():
+        with pytest.raises(asyncio.TimeoutError):
+            await asyncio.wait_for(forever(), timeout=2.5)
+        return asyncio.get_running_loop().time()
+
+    assert run_virtual(main()) == pytest.approx(2.5)
+
+
+def test_checked_sleep_treats_infinity_as_a_hang():
+    async def main():
+        with pytest.raises(asyncio.TimeoutError):
+            await asyncio.wait_for(checked_sleep(float("inf")), timeout=1.0)
+
+    run_virtual(main())

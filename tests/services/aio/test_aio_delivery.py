@@ -1,0 +1,216 @@
+"""Delivery-guarantee and liveness properties of the async ports.
+
+The contract under test: every ``call`` resolves to exactly one
+non-None response — under loss, timeouts, retry and cancellation — and
+a resolved call leaves no live tasks behind (the async twin of the
+retry timer-leak bugfix).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.common.seeding import spawn_generator
+from repro.services.aio import (
+    AsyncConsumer,
+    AsyncEndpoint,
+    AsyncRetryingPort,
+    AsyncTransport,
+    AsyncUpgradeMiddleware,
+    run_virtual,
+)
+from repro.services.aio.clock import checked_sleep, forever
+from repro.services.message import (
+    RequestMessage,
+    fault_response,
+    result_response,
+)
+from repro.services.retry import RetryPolicy
+from repro.services.wsdl import default_wsdl
+from repro.simulation.correlation import OutcomeDistribution
+from repro.simulation.distributions import Deterministic
+from repro.simulation.outcomes import Outcome
+from repro.simulation.release_model import ReleaseBehaviour
+from repro.simulation.timing import SystemTimingPolicy
+
+
+def _always_correct_behaviour(latency=0.5):
+    return ReleaseBehaviour(
+        "WS 1.0",
+        OutcomeDistribution(1.0, 0.0, 0.0),
+        Deterministic(latency),
+    )
+
+
+def _endpoint(latency=0.5, release="1.0"):
+    return AsyncEndpoint(
+        default_wsdl("WS", "node-1", release=release),
+        _always_correct_behaviour(latency),
+        rng=spawn_generator(0),
+    )
+
+
+class ScriptedAsyncPort:
+    """Responds per attempt: ("ok", d) / ("fault", d) / ("silent",)."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.calls = 0
+
+    async def call(self, request, *, reference_answer=None, demand_index=None):
+        action = self.script[min(self.calls, len(self.script) - 1)]
+        self.calls += 1
+        if action[0] == "silent":
+            await forever()
+        await checked_sleep(action[1])
+        if action[0] == "ok":
+            return result_response(request, "value", "port")
+        return fault_response(request, "boom", "port")
+
+
+def _other_tasks():
+    current = asyncio.current_task()
+    return [task for task in asyncio.all_tasks() if task is not current]
+
+
+def test_late_valid_response_wins_and_leaves_no_tasks():
+    """Attempt 1 responds valid at t=5 after its own t=3 timeout;
+    attempt 2 is silent.  The late response settles the demand and the
+    silent attempt's task is cancelled before call() returns."""
+
+    async def main():
+        port = ScriptedAsyncPort([("ok", 5.0), ("silent",)])
+        retrying = AsyncRetryingPort(
+            port,
+            RetryPolicy(max_attempts=2, backoff=0.0, attempt_timeout=3.0),
+        )
+        response = await retrying.call(RequestMessage(operation="op"))
+        assert response.result == "value"
+        assert retrying.late_accepted == 1
+        assert _other_tasks() == []
+
+    run_virtual(main())
+
+
+def test_exhausted_attempts_fault_and_leave_no_tasks():
+    async def main():
+        port = ScriptedAsyncPort([("silent",), ("silent",)])
+        retrying = AsyncRetryingPort(
+            port,
+            RetryPolicy(max_attempts=2, backoff=0.0, attempt_timeout=1.0),
+        )
+        response = await retrying.call(RequestMessage(operation="op"))
+        assert response.is_fault
+        assert "no response after 2 attempts" in response.fault
+        assert _other_tasks() == []
+
+    run_virtual(main())
+
+
+def test_retry_recovers_from_transient_fault():
+    async def main():
+        port = ScriptedAsyncPort([("fault", 0.2), ("ok", 0.2)])
+        retrying = AsyncRetryingPort(
+            port, RetryPolicy(max_attempts=3, backoff=0.5)
+        )
+        response = await retrying.call(RequestMessage(operation="op"))
+        assert response.result == "value"
+        assert retrying.retries == 1
+        assert _other_tasks() == []
+
+    run_virtual(main())
+
+
+def test_lossy_transport_with_retry_delivers_exactly_once():
+    """Every demand over a 30%-lossy transport resolves to exactly one
+    response when a per-attempt deadline guards the wait."""
+
+    async def main():
+        transport = AsyncTransport(
+            _endpoint(latency=0.1),
+            latency=Deterministic(0.05),
+            loss_probability=0.3,
+            rng=spawn_generator(42),
+        )
+        retrying = AsyncRetryingPort(
+            transport,
+            RetryPolicy(max_attempts=8, backoff=0.0, attempt_timeout=1.0),
+        )
+        responses = []
+        for i in range(50):
+            response = await retrying.call(
+                RequestMessage(operation="operation1"), reference_answer=i
+            )
+            responses.append(response)
+            assert _other_tasks() == []
+        assert len(responses) == 50
+        assert all(response is not None for response in responses)
+        assert transport.lost > 0  # loss actually happened
+
+    run_virtual(main())
+
+
+def test_consumer_cancellation_leaves_no_tasks():
+    """A client-side timeout cancels the in-flight call; silence becomes
+    a counted timeout, not a deadlock or a leak."""
+
+    async def main():
+        offline = _endpoint(latency=0.5)
+        offline.take_offline()
+        consumer = AsyncConsumer("c1", offline, timeout=2.0)
+        response = await consumer.issue(RequestMessage(operation="operation1"))
+        assert response is None
+        assert consumer.stats.timeouts == 1
+        # wait_for cancellation needs a cycle to finalize the inner task.
+        await asyncio.sleep(0)
+        assert _other_tasks() == []
+
+    run_virtual(main())
+
+
+def test_middleware_delivers_fault_when_all_releases_silent():
+    """The middleware's delivery guarantee: all releases offline still
+    produces exactly one (evident) response at TimeOut + dT."""
+
+    async def main():
+        endpoints = [_endpoint(0.5, "1.0"), _endpoint(0.7, "1.1")]
+        for endpoint in endpoints:
+            endpoint.take_offline()
+        middleware = AsyncUpgradeMiddleware(
+            endpoints,
+            SystemTimingPolicy(timeout=2.0, adjudication_delay=0.1),
+            adjudication_seed=7,
+        )
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        response = await middleware.call(RequestMessage(operation="operation1"))
+        assert response.is_fault
+        assert "unavailable" in response.fault
+        assert loop.time() - start == pytest.approx(2.1)
+        assert _other_tasks() == []
+
+    run_virtual(main())
+
+
+def test_middleware_resolves_once_per_demand_under_concurrency():
+    async def main():
+        middleware = AsyncUpgradeMiddleware(
+            [_endpoint(0.5, "1.0"), _endpoint(0.7, "1.1")],
+            SystemTimingPolicy(timeout=2.0, adjudication_delay=0.1),
+            adjudication_seed=7,
+            max_inflight=4,
+        )
+        responses = await asyncio.gather(*(
+            middleware.call(
+                RequestMessage(operation="operation1", arguments=(i,)),
+                reference_answer=i,
+                demand_index=i,
+            )
+            for i in range(20)
+        ))
+        assert len(responses) == 20
+        assert all(not response.is_fault for response in responses)
+        assert middleware.demands == 20
+        assert _other_tasks() == []
+
+    run_virtual(main())

@@ -1,0 +1,66 @@
+"""Async load runs cross-checked against the event-kernel simulation.
+
+One cell per operating mode at small scale; each must land inside the
+tolerance envelope documented in
+:mod:`repro.experiments.service_load` — and the non-tie figures must in
+fact be *exact*, which is a stronger property than ``ok`` asserts.
+"""
+
+import pytest
+
+from repro.experiments.service_load import (
+    MODE_NAMES,
+    _tie_capable,
+    run_service_load_cell,
+)
+
+REQUESTS = 800
+
+
+@pytest.mark.parametrize("mode", list(MODE_NAMES) + ["dynamic-2"])
+def test_mode_cross_check_within_envelope(mode):
+    result = run_service_load_cell(
+        joint="correlated",
+        run=2,
+        timeout=2.0,
+        requests=REQUESTS,
+        seed=7,
+        mode=mode,
+        concurrency=16,
+        queue_capacity=32,
+    )
+    assert result.ok, result.mismatches
+
+    # Per-release rows are exact in every mode; the System row is exact
+    # except the CR/NER split in tie-capable modes (whose sum is exact).
+    for row_name, sim_row in result.sim_rows.items():
+        load_row = result.load_rows[row_name]
+        tie_split = _tie_capable(mode) and row_name == "System"
+        for column, sim_value in sim_row.items():
+            if column == "MET" or isinstance(sim_value, float):
+                continue  # float figures covered by the envelope check
+            if tie_split and column in ("CR", "NER"):
+                continue
+            assert load_row[column] == sim_value, (
+                f"{mode} {row_name}.{column}"
+            )
+        if tie_split:
+            assert (
+                load_row["CR"] + load_row["NER"]
+                == sim_row["CR"] + sim_row["NER"]
+            )
+
+
+def test_throughput_figures_are_recorded():
+    result = run_service_load_cell(
+        joint="independent",
+        run=1,
+        timeout=2.0,
+        requests=200,
+        seed=3,
+        mode="responsiveness",
+    )
+    assert result.ok, result.mismatches
+    assert result.wall_seconds > 0.0
+    assert result.throughput > 0.0
+    assert result.peak_reorder_buffer >= 1

@@ -1,0 +1,244 @@
+"""Regression tests for the delivery-correctness bugfixes.
+
+Three defects, each of which passed the happy-path suites:
+
+* the retry port's ``finish()`` never cancelled the live attempt's
+  pending timer, leaking a dead timeout event into the kernel heap on
+  every late-accepted response;
+* the composite service forwarded the *composite-level* reference
+  answer to every component step, so a mediator wrapped around a
+  component judged component responses against the wrong oracle;
+* the registry poller only diffed ``releases - known``, so a rollback
+  (withdrawn release) emitted no event at all.
+"""
+
+from repro.bayes.beta import TruncatedBeta
+from repro.services.composite import CompositeService, OrchestrationStep
+from repro.services.mediator import ConfidenceMediator, default_oracle
+from repro.services.message import RequestMessage, result_response
+from repro.services.notification import (
+    NotificationService,
+    RegistryPoller,
+    UpgradeEvent,
+)
+from repro.services.registry import UddiRegistry
+from repro.services.retry import RetryPolicy, RetryingPort
+from repro.services.wsdl import default_wsdl
+from repro.simulation.engine import Simulator
+
+
+# ----------------------------------------------------------------------
+# retry timer leak
+# ----------------------------------------------------------------------
+
+
+class _ScriptedAttemptPort:
+    """Responds per attempt: a latency (float), a fault, or silence."""
+
+    def __init__(self, script):
+        # script: list of ("ok", latency) / ("fault", latency) / ("silent",)
+        self.script = list(script)
+        self.calls = 0
+
+    def submit(self, simulator, request, deliver, reference_answer=None):
+        action = self.script[min(self.calls, len(self.script) - 1)]
+        self.calls += 1
+        if action[0] == "silent":
+            return
+        if action[0] == "ok":
+            response = result_response(request, "value", "port")
+        else:
+            from repro.services.message import fault_response
+
+            response = fault_response(request, "boom", "port")
+        simulator.schedule(action[1], lambda: deliver(response))
+
+
+def test_late_accept_cancels_live_attempt_timer():
+    """A late-accepted response must not leave the newer attempt's timer
+    pending in the heap (the leak: at delivery time the kernel still held
+    one stale ``retry-timeout`` event)."""
+    simulator = Simulator()
+    # Attempt 1 responds valid at t=5 (after its own t=3 timeout);
+    # attempt 2 (started at t=3, timer due t=6) never responds.
+    port = _ScriptedAttemptPort([("ok", 5.0), ("silent",)])
+    retrying = RetryingPort(
+        port, RetryPolicy(max_attempts=2, backoff=0.0, attempt_timeout=3.0)
+    )
+    observed = {}
+
+    def deliver(response):
+        observed["response"] = response
+        observed["pending_at_delivery"] = simulator.pending_count
+
+    retrying.submit(simulator, RequestMessage(operation="op"), deliver)
+    simulator.run()
+
+    assert observed["response"].result == "value"
+    assert retrying.late_accepted == 1
+    # The fix: finish() cancels the live attempt's outstanding timer, so
+    # nothing is pending the instant the demand settles.
+    assert observed["pending_at_delivery"] == 0
+    assert simulator.pending_count == 0
+
+
+def test_exhausted_attempts_leave_no_stale_timers():
+    simulator = Simulator()
+    port = _ScriptedAttemptPort([("silent",), ("silent",)])
+    retrying = RetryingPort(
+        port, RetryPolicy(max_attempts=2, backoff=0.0, attempt_timeout=1.0)
+    )
+    observed = {}
+
+    def deliver(response):
+        observed["response"] = response
+        observed["pending_at_delivery"] = simulator.pending_count
+
+    retrying.submit(simulator, RequestMessage(operation="op"), deliver)
+    simulator.run()
+
+    assert observed["response"].is_fault
+    assert observed["pending_at_delivery"] == 0
+    assert simulator.pending_count == 0
+
+
+# ----------------------------------------------------------------------
+# composite reference-answer misuse
+# ----------------------------------------------------------------------
+
+
+class _FixedResultPort:
+    """A component that always returns the same (correct) result."""
+
+    def __init__(self, result):
+        self.result = result
+        self.seen_references = []
+
+    def submit(self, simulator, request, deliver, reference_answer=None):
+        self.seen_references.append(reference_answer)
+        simulator.schedule(
+            0.1, lambda: deliver(result_response(request, self.result, "comp"))
+        )
+
+
+def test_composite_does_not_forward_its_reference_to_components():
+    """A mediator around a component must not judge the component's
+    (correct) response against the *composite's* reference answer."""
+    simulator = Simulator()
+    component = _FixedResultPort("component-value")
+    judgements = []
+
+    def recording_oracle(response, reference_answer):
+        failed = default_oracle(response, reference_answer)
+        judgements.append(failed)
+        return failed
+
+    mediator = ConfidenceMediator(
+        "trusted", component, TruncatedBeta(1.0, 1.0, 1.0),
+        oracle=recording_oracle,
+    )
+    composite = CompositeService(
+        wsdl=default_wsdl("Composite", "node-c"),
+        components={"comp": mediator},
+        plan=[OrchestrationStep(component="comp", operation="operation1")],
+        combine=lambda results: "composite-value",
+    )
+    sink = []
+    composite.submit(
+        simulator,
+        RequestMessage(operation="operation1"),
+        sink.append,
+        reference_answer="composite-value",
+    )
+    simulator.run()
+
+    assert sink[0].result == "composite-value"
+    # The step derived no per-component oracle, so the mediator saw
+    # reference_answer=None and scored the correct response as a pass.
+    assert component.seen_references == [None]
+    assert judgements == [False]
+
+
+def test_composite_step_reference_derivation_hook():
+    simulator = Simulator()
+    component = _FixedResultPort("sub-answer")
+    composite = CompositeService(
+        wsdl=default_wsdl("Composite", "node-c"),
+        components={"comp": component},
+        plan=[
+            OrchestrationStep(
+                component="comp",
+                operation="operation1",
+                derive_reference=lambda request, reference: (
+                    f"sub:{reference}"
+                ),
+            )
+        ],
+        combine=lambda results: next(iter(results.values())),
+    )
+    sink = []
+    composite.submit(
+        simulator,
+        RequestMessage(operation="operation1"),
+        sink.append,
+        reference_answer="top",
+    )
+    simulator.run()
+    assert component.seen_references == ["sub:top"]
+
+
+# ----------------------------------------------------------------------
+# rollback-blind polling
+# ----------------------------------------------------------------------
+
+
+def _registry_with(*releases):
+    registry = UddiRegistry()
+    for release in releases:
+        registry.publish(default_wsdl("WS", "node-1", release=release))
+    return registry
+
+
+def test_poller_emits_rollback_event_for_withdrawn_release():
+    registry = _registry_with("1.0", "1.1")
+    events = []
+    poller = RegistryPoller(registry, events.append)
+    poller.poll()  # baseline
+    registry.withdraw("WS", "1.1")
+    emitted = poller.poll()
+
+    assert emitted == [UpgradeEvent("WS", "1.1", "rollback")]
+    assert events == emitted
+    assert emitted[0].is_rollback
+    # Exactly once: the next poll sees a stable registry.
+    assert poller.poll() == []
+
+
+def test_poller_reports_upgrade_and_rollback_in_one_poll():
+    registry = _registry_with("1.0", "1.1")
+    events = []
+    poller = RegistryPoller(registry, events.append)
+    poller.poll()
+    registry.withdraw("WS", "1.1")
+    registry.publish(default_wsdl("WS", "node-2", release="1.2"))
+    emitted = poller.poll()
+    assert emitted == [
+        UpgradeEvent("WS", "1.2", "registry-poll"),
+        UpgradeEvent("WS", "1.1", "rollback"),
+    ]
+
+
+def test_bridged_notification_service_mirrors_withdrawals():
+    registry = _registry_with("1.0")
+    service = NotificationService.bridged_to(registry)
+    received = []
+    service.subscribe("WS", received.append)
+
+    registry.publish(default_wsdl("WS", "node-2", release="1.1"))
+    registry.withdraw("WS", "1.1")
+
+    assert received == [
+        UpgradeEvent("WS", "1.1", "notification-service"),
+        UpgradeEvent("WS", "1.1", "rollback"),
+    ]
+    assert service.published == 2
