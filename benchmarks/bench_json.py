@@ -68,6 +68,8 @@ from repro.lint.version import LINT_VERSION
 from repro.obs.metrics import MetricsRegistry
 from repro.services.retry import RetryPolicy
 from repro.simulation.engine import Simulator
+from repro.store.log import EventStream
+from repro.store.projections import MetricsRollupProjection, catch_up
 
 
 def bench_kernel_events(events: int = 50_000) -> float:
@@ -239,6 +241,45 @@ def bench_service_load(headline_requests: int, mode_requests: int) -> dict:
     }
 
 
+def bench_store_catchup(events: int) -> dict:
+    """Event-store append and projection catch-up throughput.
+
+    Appends *events* to one multi-segment stream (segment rotation and
+    commit included — the durable write path of a ``--store`` run),
+    then folds the metrics-rollup projection over it from scratch: the
+    catch-up events/s figure is what bounds how fast a read model can
+    rebuild after a checkpoint loss, and how fast a resumed grid can
+    re-project its committed history.
+    """
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "stream"
+        stream = EventStream(path, segment_events=4096)
+        started = time.perf_counter()
+        for i in range(events):
+            stream.append("dispatch", {"t": float(i), "eid": i % 997})
+        stream.commit(complete=True)
+        stream.close()
+        append_elapsed = time.perf_counter() - started
+
+        reader = EventStream(path)
+        segments = len(reader.segments())
+        catch_up(reader, MetricsRollupProjection(), checkpoint=False)
+        started = time.perf_counter()
+        rollup = catch_up(
+            reader, MetricsRollupProjection(), checkpoint=False
+        )
+        catchup_elapsed = time.perf_counter() - started
+        assert rollup["events"] == events
+    return {
+        "events": events,
+        "segments": segments,
+        "append_seconds": round(append_elapsed, 4),
+        "append_events_per_sec": round(events / append_elapsed),
+        "catchup_seconds": round(catchup_elapsed, 4),
+        "catchup_events_per_sec": round(events / catchup_elapsed),
+    }
+
+
 def bench_grid(requests: int, jobs: int) -> float:
     """Wall-time of the full 12-cell Table-5 grid (best of two runs)."""
     best = float("inf")
@@ -377,6 +418,7 @@ def main(argv=None) -> int:
     service_load = bench_service_load(
         20_000 if args.quick else 1_000_000, requests
     )
+    store = bench_store_catchup(20_000 if args.quick else 100_000)
     sequential = bench_grid(requests, jobs=1)
     parallel = bench_grid(requests, jobs=args.jobs)
     lint = bench_lint(Path(__file__).resolve().parents[1] / "src")
@@ -407,6 +449,7 @@ def main(argv=None) -> int:
         "modes": modes,
         "registry_fallback": registry_fallback,
         "service_load": service_load,
+        "store": store,
         "grid": {
             "cells": 12,
             "requests_per_cell": requests,

@@ -33,6 +33,16 @@ value — compare runs with ``python -m repro.obs.diff``);
 ``--metrics-json PATH`` snapshots the cache / pool / kernel metrics
 registry; ``--requests N`` overrides each spec's main workload knob
 (requests, samples or demands; CI uses small cells).
+
+``--store PATH`` attaches the event-sourced run store
+(:mod:`repro.store`): every completed cell commits its result to an
+append-only per-cell event log *as it finishes*, and a re-run of the
+same grid discovers the committed cells and skips them — so a run
+interrupted after k cells resumes where it left off and finishes
+bit-identical to an uninterrupted one.  With ``--trace``, the per-cell
+trace parts are also imported into store streams, making the log the
+durable home of the run's full event history (inspect/maintain with
+``python -m repro.store``).
 """
 
 import argparse
@@ -53,6 +63,7 @@ from repro.pipeline import (
     run_experiment,
 )
 from repro.runtime.cache import ResultCache, default_cache_dir
+from repro.store.log import RunStore
 
 discover()
 
@@ -152,6 +163,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--store", default=None, metavar="PATH",
+        help=(
+            "event-sourced run store directory: completed cells commit "
+            "to an append-only per-cell event log as they finish, and a "
+            "re-run resumes from the committed cells (interrupted grids "
+            "finish bit-identical to uninterrupted ones); manage with "
+            "'python -m repro.store'"
+        ),
+    )
+    parser.add_argument(
         "--backend",
         choices=("event", "columnar", "auto"),
         default="auto",
@@ -179,6 +200,9 @@ def _options(
         cache = ResultCache(
             args.cache_dir or default_cache_dir(), metrics=metrics
         )
+    store = None
+    if args.store is not None:
+        store = RunStore(args.store, metrics=metrics)
     return ExperimentOptions(
         seed=args.seed,
         fast=args.fast,
@@ -190,6 +214,7 @@ def _options(
         metrics=metrics,
         output=args.output,
         backend=args.backend,
+        store=store,
     )
 
 
@@ -243,6 +268,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"trace: {count} events from {len(parts)} cell(s) "
             f"-> {args.trace}"
         )
+        if options.store is not None:
+            # Traced cells run with key=None (a cache hit would leave an
+            # empty trace), so their event history reaches the log here:
+            # one stream per trace part, keyed by the part's file name.
+            for part in parts:
+                options.store.import_trace(
+                    part, "traces", {"file": os.path.basename(part)}
+                )
+            print(
+                f"store: {len(parts)} trace stream(s) "
+                f"-> {options.store.root}"
+            )
     if metrics is not None:
         metrics.write_json(args.metrics_json)
         print(f"metrics -> {args.metrics_json}")

@@ -8,6 +8,15 @@ where the two executions took different paths — the place to start
 debugging, rather than a mismatched table cell thousands of events
 later.
 
+The comparison is a *streaming first-divergence projection* over two
+event logs: both sides are consumed one event at a time (a bounded ring
+buffer holds the shared context for the report), so peak memory is
+O(one segment line), never O(file) — diffing two multi-gigabyte traces
+or two :class:`~repro.store.log.EventStream` directories costs the same
+few kilobytes.  Inputs may be JSONL trace files (v1 or current
+envelopes; the upcaster chain normalises both) or event-store stream
+directories.
+
 Usage::
 
     python -m repro.obs.diff A.jsonl B.jsonl [--context N]
@@ -20,13 +29,26 @@ length mismatch), 2 on unreadable input.
 import argparse
 import json
 import sys
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.obs.trace import read_trace
 
 #: Sentinel distinguishing "field absent" from "field is None".
 _MISSING = object()
+
+#: Shared events retained for the divergence report (ring buffer).
+CONTEXT_BUFFER = 8
 
 
 @dataclass(frozen=True)
@@ -36,7 +58,9 @@ class TraceDiff:
     ``divergence_index`` is the position of the first differing event
     (``None`` when the traces are identical); when one trace is a strict
     prefix of the other, it is the length of the shorter one and the
-    missing side's event is ``None``.
+    missing side's event is ``None``.  ``context_events`` holds up to
+    :data:`CONTEXT_BUFFER` shared events preceding the divergence (the
+    streaming comparator cannot seek back, so it carries them forward).
     """
 
     events_a: int
@@ -45,6 +69,9 @@ class TraceDiff:
     event_a: Optional[Dict[str, Any]] = None
     event_b: Optional[Dict[str, Any]] = None
     differing_fields: Tuple[str, ...] = field(default_factory=tuple)
+    context_events: Tuple[Dict[str, Any], ...] = field(
+        default_factory=tuple
+    )
 
     @property
     def identical(self) -> bool:
@@ -59,14 +86,49 @@ def _normalise(
     return {key: event[key] for key in event if key not in ignore}
 
 
+def _drain(iterator: Iterator[Dict[str, Any]]) -> int:
+    """Exhaust an event iterator, counting (O(1) memory)."""
+    return sum(1 for _ in iterator)
+
+
 def diff_traces(
-    events_a: List[Dict[str, Any]],
-    events_b: List[Dict[str, Any]],
+    events_a: Iterable[Dict[str, Any]],
+    events_b: Iterable[Dict[str, Any]],
     ignore_fields: Sequence[str] = (),
 ) -> TraceDiff:
-    """Compare two event lists; return the first divergence, if any."""
-    for index, (a, b) in enumerate(zip(events_a, events_b)):
-        na, nb = _normalise(a, ignore_fields), _normalise(b, ignore_fields)
+    """Streaming comparison of two event sequences.
+
+    Accepts any iterables (lists, generators,
+    :meth:`EventStream.read <repro.store.log.EventStream.read>` views);
+    consumes both exactly once.  Event totals in the result are exact —
+    after a divergence the remainders are drained *counted but not
+    retained*, so memory stays bounded by one event per side plus the
+    context ring.
+    """
+    it_a = iter(events_a)
+    it_b = iter(events_b)
+    recent: "deque[Dict[str, Any]]" = deque(maxlen=CONTEXT_BUFFER)
+    index = 0
+    while True:
+        a = next(it_a, _MISSING)
+        b = next(it_b, _MISSING)
+        if a is _MISSING and b is _MISSING:
+            return TraceDiff(events_a=index, events_b=index)
+        if a is _MISSING or b is _MISSING:
+            count_a = index + (0 if a is _MISSING else 1 + _drain(it_a))
+            count_b = index + (0 if b is _MISSING else 1 + _drain(it_b))
+            present = b if a is _MISSING else a
+            return TraceDiff(
+                events_a=count_a,
+                events_b=count_b,
+                divergence_index=index,
+                event_a=None if a is _MISSING else a,
+                event_b=None if b is _MISSING else b,
+                differing_fields=tuple(sorted(present)),
+                context_events=tuple(recent),
+            )
+        na = _normalise(a, ignore_fields)
+        nb = _normalise(b, ignore_fields)
         if na != nb:
             differing = tuple(sorted(
                 key
@@ -74,25 +136,16 @@ def diff_traces(
                 if na.get(key, _MISSING) != nb.get(key, _MISSING)
             ))
             return TraceDiff(
-                events_a=len(events_a),
-                events_b=len(events_b),
+                events_a=index + 1 + _drain(it_a),
+                events_b=index + 1 + _drain(it_b),
                 divergence_index=index,
                 event_a=a,
                 event_b=b,
                 differing_fields=differing,
+                context_events=tuple(recent),
             )
-    if len(events_a) != len(events_b):
-        index = min(len(events_a), len(events_b))
-        longer = events_a if len(events_a) > len(events_b) else events_b
-        return TraceDiff(
-            events_a=len(events_a),
-            events_b=len(events_b),
-            divergence_index=index,
-            event_a=events_a[index] if index < len(events_a) else None,
-            event_b=events_b[index] if index < len(events_b) else None,
-            differing_fields=tuple(sorted(longer[index])),
-        )
-    return TraceDiff(events_a=len(events_a), events_b=len(events_b))
+        recent.append(a)
+        index += 1
 
 
 def _render_event(event: Optional[Dict[str, Any]]) -> str:
@@ -105,7 +158,6 @@ def render_diff(
     diff: TraceDiff,
     name_a: str,
     name_b: str,
-    events_a: Optional[List[Dict[str, Any]]] = None,
     context: int = 0,
 ) -> str:
     """Human-readable report of a :class:`TraceDiff`."""
@@ -124,27 +176,52 @@ def render_diff(
         lines.append(
             "differing fields: " + ", ".join(diff.differing_fields)
         )
-    if context and events_a and index is not None:
-        start = max(0, index - context)
-        if start < index:
+    if context and diff.context_events and index is not None:
+        shown = list(diff.context_events)[-context:]
+        start = index - len(shown)
+        if shown:
             lines.append(f"shared context (events #{start}..#{index - 1}):")
-            for position in range(start, index):
-                lines.append(f"  = {_render_event(events_a[position])}")
+            for event in shown:
+                lines.append(f"  = {_render_event(event)}")
     lines.append(f"  A#{index}: {_render_event(diff.event_a)}")
     lines.append(f"  B#{index}: {_render_event(diff.event_b)}")
     return "\n".join(lines)
+
+
+def events_of(path: str) -> Iterator[Dict[str, Any]]:
+    """The logical event stream behind a CLI operand.
+
+    A directory is an event-store stream (read via its commit index,
+    segment by segment); anything else is a JSONL trace file.  Both are
+    generators — nothing is materialised.
+    """
+    if Path(path).is_dir():
+        from repro.store.log import EventStream
+
+        stream = EventStream(path)
+        if not stream.exists():
+            raise ValueError(
+                f"{path} is a directory but has no event-stream index"
+            )
+        return stream.read()
+    return read_trace(path)
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.diff",
         description=(
-            "Compare two repro.obs JSONL traces and localise the first "
-            "diverging event (dynamic determinism check)."
+            "Compare two repro.obs JSONL traces (or repro.store stream "
+            "directories) and localise the first diverging event "
+            "(dynamic determinism check)."
         ),
     )
-    parser.add_argument("trace_a", help="first trace (JSONL)")
-    parser.add_argument("trace_b", help="second trace (JSONL)")
+    parser.add_argument(
+        "trace_a", help="first trace (JSONL file or stream directory)"
+    )
+    parser.add_argument(
+        "trace_b", help="second trace (JSONL file or stream directory)"
+    )
     parser.add_argument(
         "--context", type=int, default=3,
         help="shared events to print before the divergence (default 3)",
@@ -160,18 +237,22 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        events_a = read_trace(args.trace_a)
-        events_b = read_trace(args.trace_b)
+        # The readers are generators, so IO errors surface while the
+        # diff consumes them — the whole comparison sits in the guard.
+        diff = diff_traces(
+            events_of(args.trace_a),
+            events_of(args.trace_b),
+            args.ignore_field,
+        )
     except (OSError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    diff = diff_traces(events_a, events_b, args.ignore_field)
     if not args.quiet:
         print(render_diff(diff, args.trace_a, args.trace_b,
-                          events_a=events_a, context=args.context))
+                          context=args.context))
     return 0 if diff.identical else 1
 
 

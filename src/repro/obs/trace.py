@@ -21,6 +21,12 @@ Design rules that make the second purpose work:
   counters such as message ids may appear in traced fields);
 * serialisation is canonical: one JSON object per line, keys sorted.
 
+Since the event store landed, serialized events are *versioned
+envelopes* (:mod:`repro.obs.envelope`): the logical event plus a schema
+marker, upcast on read — so a PR 3-era v1 trace file reads back as
+exactly the logical events it always produced, and a trace file and an
+event-store segment speak one format.
+
 The disabled path is a single ``is None`` check at every instrumentation
 site (components hold ``Optional[Tracer]``), so tracing costs nothing
 when off.
@@ -29,7 +35,9 @@ when off.
 import io
 import json
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Union
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
+
+from repro.obs.envelope import decode_event, encode_event
 
 
 class Tracer:
@@ -118,9 +126,7 @@ class JsonlTracer(Tracer):
             event["cell"] = self.cell
         event.update(fields)
         self._seq += 1
-        handle.write(
-            json.dumps(event, sort_keys=True, separators=(",", ":"))
-        )
+        handle.write(encode_event(event))
         handle.write("\n")
 
     def close(self) -> None:
@@ -129,26 +135,38 @@ class JsonlTracer(Tracer):
             self._handle = None
 
 
-def read_trace(path: Union[str, Path]) -> List[Dict[str, Any]]:
-    """Parse a JSONL trace file into a list of event dicts."""
-    events: List[Dict[str, Any]] = []
+def read_trace(path: Union[str, Path]) -> Iterator[Dict[str, Any]]:
+    """Stream the logical events of a JSONL trace file, one at a time.
+
+    A generator: one line is materialised per step, so reading a
+    multi-gigabyte trace costs O(one event) of memory — the diff tool
+    and every other consumer iterate instead of indexing.  Each line is
+    decoded through the envelope upcaster chain
+    (:mod:`repro.obs.envelope`), so v1 (PR 3) and current files yield
+    identical logical event sequences for the same run.
+    """
     with open(path, "r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
                 continue
             try:
-                event = json.loads(line)
+                obj = json.loads(line)
             except json.JSONDecodeError as error:
                 raise ValueError(
                     f"{path}:{line_number}: not valid JSON: {error}"
                 ) from None
-            if not isinstance(event, dict):
+            if not isinstance(obj, dict):
                 raise ValueError(
                     f"{path}:{line_number}: trace events must be objects"
                 )
-            events.append(event)
-    return events
+            try:
+                event, _version = decode_event(obj)
+            except ValueError as error:
+                raise ValueError(
+                    f"{path}:{line_number}: {error}"
+                ) from None
+            yield event
 
 
 def merge_traces(

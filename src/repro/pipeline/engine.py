@@ -10,8 +10,9 @@ runtime stack in one place:
 * cache-key schema validation (cacheable cells must carry exactly the
   fields the spec declares — key drift would silently fork the cache);
 * fan-out through :func:`~repro.runtime.parallel.run_cells`, which
-  gives every experiment the process pool, the on-disk result cache
-  and the pool/cache metrics;
+  gives every experiment the process pool, the on-disk result cache,
+  the event-sourced run store (per-cell commits + resume) and the
+  pool/cache metrics;
 * reduction and rendering.
 
 Because cells derive their randomness from explicit per-cell seeds, a
@@ -96,11 +97,13 @@ def run_experiment(
         )
         validate_cells(spec, cells)
         cache = options.cache if spec.cacheable else None
+        store = options.store if spec.cacheable else None
         results = run_cells(
             cells,
             jobs=options.jobs,
             cache=cache,
             metrics=options.metrics,
+            store=store,
         )
         value = spec.reduce(results, options)
         cell_count = len(cells)

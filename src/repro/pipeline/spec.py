@@ -45,6 +45,7 @@ from repro.common.errors import ConfigurationError
 from repro.obs.metrics import MetricsRegistry
 from repro.runtime.cache import ResultCache
 from repro.runtime.parallel import CellSpec
+from repro.store.log import RunStore
 
 
 @dataclass(frozen=True)
@@ -64,6 +65,11 @@ class ExperimentOptions:
     tracing, live sampling and non-paper adjudicators; see
     :mod:`repro.runtime.columnar`).  Grids whose cells take a backend
     carry it in their cache keys, so the two paths never alias.
+
+    ``store`` attaches an event-sourced :class:`~repro.store.log.RunStore`
+    (the CLI's ``--store PATH``): completed cells are committed to the
+    append-only log as they finish and already-committed cells are
+    replayed from it, which is what makes interrupted grids resumable.
     """
 
     seed: int
@@ -76,6 +82,7 @@ class ExperimentOptions:
     metrics: Optional[MetricsRegistry] = None
     output: Optional[str] = None
     backend: str = "auto"
+    store: Optional[RunStore] = None
 
     def trace_path(self, filename: str) -> Optional[str]:
         """Per-cell trace file path, or ``None`` when tracing is off."""

@@ -7,10 +7,14 @@ reduced result under a content address derived from that key, so a
 repeated benchmark or report run replays completed cells from disk
 instead of re-simulating them.
 
-Layout: ``<root>/<experiment>/<sha256-of-key>.pkl``.  Entries are pickled
-Python objects written atomically (temp file + rename).  The cache is
-versioned: bump :data:`CACHE_VERSION` whenever a change to the simulation
-code alters cell results, which invalidates every prior entry at once.
+Layout: ``<root>/<experiment>/<sha256-of-key>.pkl``.  Entries are written
+atomically (temp file + rename) in the canonical snapshot encoding of
+:mod:`repro.store.snapshot` — the *same* bytes a run store commits in a
+stream's ``cell_result`` event, which is what makes the cache a
+materialized view of the event log: a cache hit and a log catch-up are
+interchangeable, bit for bit.  The cache is versioned: bump
+:data:`CACHE_VERSION` whenever a change to the simulation code alters
+cell results, which invalidates every prior entry at once.
 
 The default root is ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-dsn2004``;
 ``repro-experiments --no-cache`` bypasses it and ``--clear-cache`` wipes
@@ -20,13 +24,13 @@ it.
 import hashlib
 import json
 import os
-import pickle
 import tempfile
 from pathlib import Path
 from typing import Any, Mapping, Optional, Tuple, Union
 
 from repro.lint.version import LINT_VERSION
 from repro.obs.metrics import MetricsRegistry
+from repro.store.snapshot import decode_result, encode_result
 
 #: Bump to invalidate all previously cached cell results (e.g. after a
 #: change to the simulation kernel or sampling layout).
@@ -98,7 +102,7 @@ class ResultCache:
         path = self._path(experiment, key)
         try:
             with open(path, "rb") as handle:
-                value = pickle.load(handle)
+                value = decode_result(handle.read())
         except FileNotFoundError:
             self._count("cache.miss")
             return False, None
@@ -122,7 +126,7 @@ class ResultCache:
         )
         try:
             with os.fdopen(fd, "wb") as handle:
-                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.write(encode_result(value))
             os.replace(temp_name, path)
             self._count("cache.put")
         except BaseException:

@@ -1,0 +1,349 @@
+"""Maintenance CLI for the event-sourced run store.
+
+Usage (``python -m repro.store``)::
+
+    python -m repro.store compact --store PATH [--experiment NAME]
+    python -m repro.store project --store PATH PROJECTION
+                                  [--experiment NAME] [--no-checkpoint]
+    python -m repro.store resume --store PATH EXPERIMENT [ARG ...]
+    python -m repro.store check-resume EXPERIMENT [--jobs N]
+                                  [--backend B] [--kill-after K] ...
+
+* ``compact`` merges every stream's committed segments into one file
+  (logical content unchanged; v1-era lines are upcast in place);
+* ``project`` folds a built-in projection (``metrics_rollup``,
+  ``table_rows``, ``confidence``, ``cell_result``) over every stream
+  and prints one JSON object per stream — incremental via checkpoints,
+  so an already-projected stream replays only its new events;
+* ``resume`` re-runs an experiment with the store attached — committed
+  cells are discovered from the log and skipped, so an interrupted grid
+  picks up where it stopped (a thin alias for
+  ``repro-experiments EXPERIMENT --store PATH``);
+* ``check-resume`` is the *determinism harness* CI runs: it executes a
+  grid in a subprocess, SIGTERMs it after K cells have committed,
+  resumes from the half-written store, and byte-compares the rendered
+  output against an uninterrupted baseline run.  Exit 0 means the
+  kill-and-resume run is bit-identical to the straight-through run.
+"""
+
+import argparse
+import base64
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.store.log import RunStore
+from repro.store.projections import BUILTIN_PROJECTIONS, catch_up
+
+#: Normalises the experiment banner line, whose elapsed-seconds field is
+#: wall-clock and therefore differs between otherwise identical runs.
+_BANNER = re.compile(r"^(=== \S+) \(seed=\d+, [0-9.]+s\) ===$")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.store",
+        description=(
+            "Inspect and maintain the event-sourced run store "
+            "(append-only per-cell event logs with CQRS projections)."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    compact = commands.add_parser(
+        "compact", help="merge each stream's segments into one file"
+    )
+    compact.add_argument("--store", required=True, metavar="PATH")
+    compact.add_argument("--experiment", default=None, metavar="NAME")
+
+    project = commands.add_parser(
+        "project", help="fold a projection over every stream (JSON out)"
+    )
+    project.add_argument(
+        "projection", choices=sorted(BUILTIN_PROJECTIONS)
+    )
+    project.add_argument("--store", required=True, metavar="PATH")
+    project.add_argument("--experiment", default=None, metavar="NAME")
+    project.add_argument(
+        "--no-checkpoint", action="store_true",
+        help="fold from scratch without writing checkpoint files",
+    )
+
+    resume = commands.add_parser(
+        "resume",
+        help="re-run an experiment with the store attached "
+             "(committed cells are skipped)",
+    )
+    resume.add_argument("--store", required=True, metavar="PATH")
+    resume.add_argument("experiment")
+    resume.add_argument(
+        "extra", nargs=argparse.REMAINDER,
+        help="passed through to repro-experiments (e.g. --fast --jobs 4)",
+    )
+
+    check = commands.add_parser(
+        "check-resume",
+        help="kill a grid run mid-flight, resume it, and verify the "
+             "output is bit-identical to an uninterrupted run",
+    )
+    check.add_argument("experiment")
+    check.add_argument("--jobs", type=int, default=1)
+    check.add_argument(
+        "--backend", choices=("event", "columnar", "auto"), default="auto"
+    )
+    check.add_argument(
+        "--kill-after", type=int, default=2, metavar="K",
+        help="SIGTERM the run once K cells have committed (default 2)",
+    )
+    check.add_argument("--seed", type=int, default=None)
+    check.add_argument("--requests", type=int, default=None, metavar="N")
+    check.add_argument(
+        "--full", action="store_true",
+        help="run at paper sizes (default: --fast smoke sizes)",
+    )
+    check.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="per-subprocess wall-clock budget in seconds",
+    )
+    check.add_argument(
+        "--keep", action="store_true",
+        help="keep the scratch store directories for inspection",
+    )
+    return parser
+
+
+def _json_ready(value: Any) -> Any:
+    """Best-effort JSON form of a projection result."""
+    if isinstance(value, bytes):
+        return {
+            "bytes": len(value),
+            "base64": base64.b64encode(value).decode("ascii"),
+        }
+    try:
+        json.dumps(value)
+        return value
+    except TypeError:
+        return repr(value)
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    store = RunStore(args.store)
+    before, after = store.compact(args.experiment)
+    print(f"compacted {before} segment(s) -> {after}")
+    return 0
+
+
+def _cmd_project(args: argparse.Namespace) -> int:
+    store = RunStore(args.store)
+    projection_cls = BUILTIN_PROJECTIONS[args.projection]
+    paths = store.stream_paths(args.experiment)
+    for path in paths:
+        stream = store.open(path)
+        result = catch_up(
+            stream,
+            projection_cls(),
+            checkpoint=not args.no_checkpoint,
+        )
+        record = {
+            "stream": str(path),
+            "meta": store.meta(path),
+            "projection": args.projection,
+            "result": _json_ready(result),
+        }
+        print(json.dumps(record, sort_keys=True))
+    if not paths:
+        print(
+            f"no streams under {store.root}"
+            + (f" for experiment {args.experiment!r}" if args.experiment
+               else ""),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _experiments_cli(cmd: Sequence[str]) -> List[str]:
+    return [sys.executable, "-m", "repro.experiments.cli", *cmd]
+
+
+def _subprocess_env() -> Dict[str, str]:
+    # Make the repro package importable in children even when it is run
+    # from a source tree (PYTHONPATH=src) rather than installed.
+    import repro
+
+    package_parent = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    if package_parent not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            package_parent + (os.pathsep + existing if existing else "")
+        )
+    return env
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from repro.experiments.cli import main as experiments_main
+
+    extra = [arg for arg in args.extra if arg != "--"]
+    return experiments_main(
+        [args.experiment, "--store", args.store, *extra]
+    )
+
+
+def _complete_streams(root: Path) -> int:
+    count = 0
+    for index_path in root.glob("*/*/index.json"):
+        try:
+            with open(index_path, "r", encoding="utf-8") as handle:
+                if json.load(handle).get("complete"):
+                    count += 1
+        except (OSError, ValueError):
+            continue
+    return count
+
+
+def _normalise_output(text: str) -> str:
+    lines = []
+    for line in text.splitlines():
+        banner = _BANNER.match(line)
+        lines.append(f"{banner.group(1)} ===" if banner else line)
+    return "\n".join(lines)
+
+
+def _run_to_completion(
+    cmd: List[str], env: Dict[str, str], timeout: float
+) -> "subprocess.CompletedProcess[str]":
+    return subprocess.run(
+        cmd,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        check=False,
+    )
+
+
+def _cmd_check_resume(args: argparse.Namespace) -> int:
+    env = _subprocess_env()
+    scratch = Path(tempfile.mkdtemp(prefix="repro-check-resume-"))
+    store_killed = scratch / "store-killed"
+    store_baseline = scratch / "store-baseline"
+    base_cmd = [args.experiment, "--no-cache", "--jobs", str(args.jobs),
+                "--backend", args.backend]
+    if not args.full:
+        base_cmd.append("--fast")
+    if args.seed is not None:
+        base_cmd += ["--seed", str(args.seed)]
+    if args.requests is not None:
+        base_cmd += ["--requests", str(args.requests)]
+
+    # 1. Straight-through baseline (its own fresh store, never killed).
+    baseline = _run_to_completion(
+        _experiments_cli(base_cmd + ["--store", str(store_baseline)]),
+        env,
+        args.timeout,
+    )
+    if baseline.returncode != 0:
+        print("baseline run failed:", file=sys.stderr)
+        sys.stderr.write(baseline.stderr)
+        return 2
+
+    # 2. Interrupted run: SIGTERM the whole process group once
+    #    --kill-after cells have committed to the store.
+    victim = subprocess.Popen(
+        _experiments_cli(base_cmd + ["--store", str(store_killed)]),
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        start_new_session=True,
+    )
+    deadline = time.time() + args.timeout
+    killed = False
+    while victim.poll() is None:
+        if _complete_streams(store_killed) >= args.kill_after:
+            os.killpg(victim.pid, signal.SIGTERM)
+            killed = True
+            break
+        if time.time() > deadline:
+            os.killpg(victim.pid, signal.SIGKILL)
+            print("interrupted run exceeded --timeout", file=sys.stderr)
+            return 2
+        time.sleep(0.02)
+    victim.wait(timeout=60.0)
+    committed = _complete_streams(store_killed)
+    if killed:
+        print(
+            f"killed run after {committed} committed cell(s) "
+            f"(SIGTERM at >= {args.kill_after})"
+        )
+    else:
+        print(
+            f"run completed ({committed} cells) before reaching "
+            f"--kill-after {args.kill_after}; resume check degenerates "
+            f"to a full replay"
+        )
+
+    # 3. Resume from the half-written store.
+    resumed = _run_to_completion(
+        _experiments_cli(base_cmd + ["--store", str(store_killed)]),
+        env,
+        args.timeout,
+    )
+    if resumed.returncode != 0:
+        print("resumed run failed:", file=sys.stderr)
+        sys.stderr.write(resumed.stderr)
+        return 2
+
+    ok = _normalise_output(resumed.stdout) == _normalise_output(
+        baseline.stdout
+    )
+    if ok:
+        print(
+            f"resume determinism OK: interrupted+resumed output is "
+            f"bit-identical to the uninterrupted run "
+            f"({args.experiment}, jobs={args.jobs}, "
+            f"backend={args.backend})"
+        )
+    else:
+        print(
+            "resume determinism FAILED: resumed output differs from "
+            "the uninterrupted baseline",
+            file=sys.stderr,
+        )
+        sys.stderr.write(
+            "--- baseline ---\n" + baseline.stdout
+            + "\n--- resumed ---\n" + resumed.stdout
+        )
+    if args.keep:
+        print(f"scratch stores kept under {scratch}")
+    else:
+        import shutil
+
+        shutil.rmtree(scratch, ignore_errors=True)
+    return 0 if ok else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "compact":
+            return _cmd_compact(args)
+        if args.command == "project":
+            return _cmd_project(args)
+        if args.command == "resume":
+            return _cmd_resume(args)
+        return _cmd_check_resume(args)
+    except BrokenPipeError:
+        # Output truncated downstream (e.g. `| head`) — not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

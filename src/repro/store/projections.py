@@ -1,0 +1,285 @@
+"""CQRS projections: incremental folds over event streams.
+
+A *projection* is a pure fold — ``initial() -> state``,
+``apply(state, event) -> state``, ``result(state)`` — materialising a
+read model from the append-only log: metric rollups, Table-5/6 rows,
+Bayesian confidence trajectories, the cell-result snapshot itself.
+
+:func:`catch_up` is the incremental driver: it loads the projection's
+checkpointed ``(position, state)`` from the stream's ``projections/``
+directory, replays only the events committed *since* that position
+(counted by ``store.projection_catchup_events``), and checkpoints the
+new position — so re-projecting an already-seen stream is O(new
+events), not O(stream).  Checkpoint state must be picklable; the file
+is content-salted with the projection name and the envelope schema, so
+a schema bump re-folds from scratch instead of resuming a stale state.
+"""
+
+import base64
+import json
+import pickle
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.obs.envelope import SCHEMA_VERSION
+from repro.obs.metrics import MetricsRegistry
+from repro.store.log import EventStream
+from repro.store.snapshot import CELL_RESULT_KIND, result_event_bytes
+
+_CHECKPOINT_DIR = "projections"
+
+
+class Projection:
+    """Base fold; subclasses override the three hooks.
+
+    ``name`` keys the checkpoint file — change it (or bump
+    :data:`~repro.obs.envelope.SCHEMA_VERSION`) when the fold's
+    semantics change, so stale checkpointed states are discarded.
+    """
+
+    name = "projection"
+
+    def initial(self) -> Any:
+        return None
+
+    def apply(self, state: Any, event: Dict[str, Any]) -> Any:
+        raise NotImplementedError
+
+    def result(self, state: Any) -> Any:
+        """Finalize the folded state into the read model."""
+        return state
+
+
+def _checkpoint_path(stream: EventStream, projection: Projection) -> Path:
+    return stream.path / _CHECKPOINT_DIR / f"{projection.name}.json"
+
+
+def _load_checkpoint(
+    stream: EventStream, projection: Projection
+) -> Tuple[int, Any]:
+    path = _checkpoint_path(stream, projection)
+    if not path.exists():
+        return 0, projection.initial()
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("schema") != SCHEMA_VERSION:
+            return 0, projection.initial()
+        state = pickle.loads(base64.b64decode(payload["state"]))
+        return int(payload["position"]), state
+    except Exception:
+        # A torn checkpoint re-folds from the log — the log is the
+        # source of truth, checkpoints are only an accelerator.
+        return 0, projection.initial()
+
+
+def _save_checkpoint(
+    stream: EventStream, projection: Projection, position: int, state: Any
+) -> None:
+    from repro.store.log import _atomic_write_json
+
+    _atomic_write_json(
+        _checkpoint_path(stream, projection),
+        {
+            "schema": SCHEMA_VERSION,
+            "position": position,
+            "state": base64.b64encode(pickle.dumps(state)).decode("ascii"),
+        },
+    )
+
+
+def catch_up(
+    stream: EventStream,
+    projection: Projection,
+    metrics: Optional[MetricsRegistry] = None,
+    checkpoint: bool = True,
+) -> Any:
+    """Fold a projection over a stream, incrementally.
+
+    Replays only the events past the stored checkpoint position, saves
+    the new ``(position, state)`` and returns
+    ``projection.result(state)``.  ``checkpoint=False`` folds from
+    scratch without touching checkpoint files (read-only media).
+    """
+    if checkpoint:
+        position, state = _load_checkpoint(stream, projection)
+        if position > stream.committed_events:
+            # Checkpoint from a longer past life of this path (e.g. a
+            # wiped and re-created stream): distrust it entirely.
+            position, state = 0, projection.initial()
+    else:
+        position, state = 0, projection.initial()
+    replayed = 0
+    for event in stream.read(start_seq=position):
+        state = projection.apply(state, event)
+        replayed += 1
+    position += replayed
+    if metrics is not None and replayed:
+        metrics.counter("store.projection_catchup_events").inc(replayed)
+    if checkpoint and replayed:
+        _save_checkpoint(stream, projection, position, state)
+    return projection.result(state)
+
+
+# ----------------------------------------------------------------------
+# Built-in projections
+# ----------------------------------------------------------------------
+
+
+class MetricsRollupProjection(Projection):
+    """Event counts per kind plus the simulated-time extent.
+
+    The log-side analogue of the metrics registry snapshot: how many
+    schedules / dispatches / demands / deliveries a stream holds, and
+    the simulated-time span they cover.
+    """
+
+    name = "metrics_rollup"
+
+    def initial(self) -> Dict[str, Any]:
+        return {"events": 0, "by_kind": {}, "sim_time_max": None}
+
+    def apply(
+        self, state: Dict[str, Any], event: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        state["events"] += 1
+        kind = event["kind"]
+        state["by_kind"][kind] = state["by_kind"].get(kind, 0) + 1
+        t = event.get("t")
+        if isinstance(t, (int, float)):
+            current = state["sim_time_max"]
+            if current is None or t > current:
+                state["sim_time_max"] = t
+        return state
+
+    def result(self, state: Dict[str, Any]) -> Dict[str, Any]:
+        return {
+            "events": state["events"],
+            "by_kind": {
+                kind: state["by_kind"][kind]
+                for kind in sorted(state["by_kind"])
+            },
+            "sim_time_max": state["sim_time_max"],
+        }
+
+
+class CellResultProjection(Projection):
+    """The materialized snapshot: the stream's committed result bytes.
+
+    ``result`` returns the raw snapshot bytes (or ``None``); these are
+    *by construction* the same bytes the result cache stores for the
+    same cell — both sides encode via :mod:`repro.store.snapshot` —
+    which is what makes a cache hit and a log catch-up interchangeable.
+    """
+
+    name = "cell_result"
+
+    def initial(self) -> Optional[bytes]:
+        return None
+
+    def apply(
+        self, state: Optional[bytes], event: Dict[str, Any]
+    ) -> Optional[bytes]:
+        if event["kind"] == CELL_RESULT_KIND:
+            return result_event_bytes(event)
+        return state
+
+
+class TableRowsProjection(Projection):
+    """Table-5/6 row dicts from a stream's ``cell_result`` snapshot.
+
+    Folds the committed :class:`~repro.simulation.metrics.SystemMetrics`
+    (via the result snapshot) into the paper's row format — one dict per
+    rendered column (Rel1 / Rel2 / ... / System), duck-typed through
+    ``as_row()`` so the store never imports the simulation layer.
+    """
+
+    name = "table_rows"
+
+    def initial(self) -> Optional[bytes]:
+        return None
+
+    def apply(
+        self, state: Optional[bytes], event: Dict[str, Any]
+    ) -> Optional[bytes]:
+        if event["kind"] == CELL_RESULT_KIND:
+            return result_event_bytes(event)
+        return state
+
+    def result(self, state: Optional[bytes]) -> List[Dict[str, Any]]:
+        if state is None:
+            return []
+        value = pickle.loads(state)
+        metrics = getattr(value, "metrics", value)
+        rows: List[Dict[str, Any]] = []
+        releases = getattr(metrics, "releases", None)
+        system = getattr(metrics, "system", None)
+        if releases is None or system is None:
+            return []
+        for release in releases:
+            row = dict(release.as_row())
+            row["row"] = release.name
+            rows.append(row)
+        row = dict(system.as_row())
+        row["row"] = "System"
+        rows.append(row)
+        run = getattr(value, "run", None)
+        timeout = getattr(value, "timeout", None)
+        for row in rows:
+            if run is not None:
+                row["run"] = run
+            if timeout is not None:
+                row["timeout"] = timeout
+        return rows
+
+
+class ConfidenceTrajectoryProjection(Projection):
+    """Bayesian confidence trajectory from ``checkpoint`` events.
+
+    Each sequential-assessment checkpoint event carries the demand
+    count, the cumulative Table-1 counts and the posterior summaries;
+    the fold collects them in demand order — the Fig-7/8 curve read
+    model, straight from the log.
+    """
+
+    name = "confidence"
+
+    def initial(self) -> List[Dict[str, Any]]:
+        return []
+
+    def apply(
+        self, state: List[Dict[str, Any]], event: Dict[str, Any]
+    ) -> List[Dict[str, Any]]:
+        if event["kind"] == "checkpoint":
+            point = {
+                name: value
+                for name, value in event.items()
+                if name not in ("seq", "kind", "cell")
+            }
+            state.append(point)
+        return state
+
+
+#: Registry the ``repro store project`` subcommand exposes.
+BUILTIN_PROJECTIONS = {
+    "metrics_rollup": MetricsRollupProjection,
+    "table_rows": TableRowsProjection,
+    "confidence": ConfidenceTrajectoryProjection,
+    "cell_result": CellResultProjection,
+}
+
+
+def first_divergence(
+    events_a: Iterator[Dict[str, Any]],
+    events_b: Iterator[Dict[str, Any]],
+    ignore_fields: Tuple[str, ...] = (),
+) -> Any:
+    """First-divergence projection over two logs (streaming).
+
+    A thin re-export of the streaming comparator in
+    :mod:`repro.obs.diff` so store users can diff two streams without
+    touching trace files: peak memory is O(one event per side).
+    """
+    from repro.obs.diff import diff_traces
+
+    return diff_traces(events_a, events_b, ignore_fields)

@@ -1,0 +1,63 @@
+"""Canonical byte encoding of cell results (``repro.store``).
+
+A completed cell's reduced result exists in two durable places: the
+on-disk result cache (:mod:`repro.runtime.cache`) and, under a run
+store, the ``cell_result`` event committed to the cell's stream.  Both
+sides encode through *this* module, so a cache hit and a log catch-up
+materialise **the same bytes** — the property
+``tests/store/test_projections.py`` pins, and the reason a log-backed
+snapshot can replace a cache entry without a bit of drift.
+
+The encoding is the cache's historical one (pickle at the highest
+protocol), so PR 1-era cache entries stay readable.
+"""
+
+import base64
+import hashlib
+import pickle
+from typing import Any, Dict
+
+#: Event kind under which a stream commits its cell's reduced result.
+CELL_RESULT_KIND = "cell_result"
+
+
+def encode_result(value: Any) -> bytes:
+    """The canonical byte form of a cell result."""
+    return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_result(blob: bytes) -> Any:
+    """Inverse of :func:`encode_result`."""
+    return pickle.loads(blob)
+
+
+def result_event_fields(value: Any) -> Dict[str, Any]:
+    """The ``cell_result`` event payload for one reduced result.
+
+    The snapshot bytes ride in the event base64-encoded (segments are
+    JSONL); ``sha256`` lets readers verify the blob before unpickling
+    and gives diffs a cheap equality proxy.
+    """
+    blob = encode_result(value)
+    return {
+        "result": base64.b64encode(blob).decode("ascii"),
+        "sha256": hashlib.sha256(blob).hexdigest(),
+        "bytes": len(blob),
+    }
+
+
+def result_from_event(event: Dict[str, Any]) -> Any:
+    """Decode a ``cell_result`` event back to the result object."""
+    return decode_result(result_event_bytes(event))
+
+
+def result_event_bytes(event: Dict[str, Any]) -> bytes:
+    """The snapshot bytes a ``cell_result`` event carries (verified)."""
+    blob = base64.b64decode(event["result"])
+    digest = hashlib.sha256(blob).hexdigest()
+    if digest != event.get("sha256", digest):
+        raise ValueError(
+            f"cell_result snapshot corrupt: sha256 {digest} != "
+            f"{event['sha256']}"
+        )
+    return blob

@@ -1,0 +1,54 @@
+"""Tracer that appends into an event stream (``repro.store``).
+
+:class:`StreamTracer` is the store-side twin of
+:class:`~repro.obs.trace.JsonlTracer`: the same ``emit(kind, **fields)``
+surface every instrumented component already speaks, but events land as
+versioned envelopes in a segmented :class:`~repro.store.log.EventStream`
+instead of one flat file.  A cell traced through a stream can be
+exported back to canonical JSONL (:meth:`EventStream.export`) —
+byte-identical to what the flat tracer would have written for the same
+logical events — so the PR 3 merged-trace determinism guarantee extends
+unchanged to the log path.
+
+Commit cadence: events are committed in segment-sized batches (the
+rotation commit) and once more on :meth:`close`; ``complete_on_close``
+seals the stream so readers and resume logic see it as finished.
+"""
+
+from typing import Any, Optional, Union
+
+from repro.obs.trace import Tracer
+from repro.store.log import EventStream
+
+
+class StreamTracer(Tracer):
+    """Emit trace events into an :class:`EventStream`."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        stream: EventStream,
+        cell: str = "",
+        complete_on_close: bool = True,
+    ):
+        self.stream = stream
+        self.cell = cell
+        self.complete_on_close = complete_on_close
+        self._closed = False
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        if self._closed:
+            raise ValueError(
+                f"stream tracer for {self.stream.path} is closed"
+            )
+        if self.cell:
+            fields = {"cell": self.cell, **fields}
+        self.stream.append(kind, fields)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.stream.commit(complete=self.complete_on_close)
+        self.stream.close()

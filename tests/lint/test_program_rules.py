@@ -59,6 +59,17 @@ class TestCacheKeyCompleteness:
         # key=None traced cells are all accepted shapes.
         assert program_findings("cachekey_clean") == []
 
+    def test_store_backed_grid_key_drift_fires(self):
+        # Event-store streams are keyed like the cache, so REPRO201
+        # also guards the snapshot-projection key: a swept kwarg the
+        # key omits would alias committed streams on resume.
+        findings = program_findings("storekey_bad", select={"REPRO201"})
+        assert ids_and_lines(findings) == [("REPRO201", 32)]
+        assert "'sampling'" in findings[0].message
+
+    def test_store_backed_clean_twin(self):
+        assert program_findings("storekey_clean") == []
+
 
 class TestRngStreamEscape:
     def test_direct_interprocedural_and_module_level(self):
@@ -212,6 +223,7 @@ class TestRulesetContracts:
             "rng_clean",
             "envelope_clean",
             "obsnames_clean",
+            "storekey_clean",
         ],
     )
     def test_every_clean_twin_is_clean(self, name):

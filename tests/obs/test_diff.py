@@ -48,6 +48,26 @@ class TestDiffTraces:
         assert not diff_traces(a, b).identical
         assert diff_traces(a, b, ignore_fields=("wall",)).identical
 
+    def test_accepts_generators(self):
+        # The comparator is streaming: plain iterators work, and event
+        # totals stay exact even past the divergence.
+        a = (event(i, t=float(i)) for i in range(100))
+        b = (event(i, t=float(i if i < 40 else i + 1))
+             for i in range(90))
+        diff = diff_traces(a, b)
+        assert diff.divergence_index == 40
+        assert diff.events_a == 100
+        assert diff.events_b == 90
+
+    def test_context_ring_is_bounded(self):
+        from repro.obs.diff import CONTEXT_BUFFER
+
+        a = [event(i) for i in range(50)] + [event(50, x=1)]
+        b = [event(i) for i in range(50)] + [event(50, x=2)]
+        diff = diff_traces(a, b)
+        assert len(diff.context_events) == CONTEXT_BUFFER
+        assert diff.context_events[-1] == event(49)
+
 
 class TestRenderDiff:
     def test_identical_report(self):
@@ -59,7 +79,9 @@ class TestRenderDiff:
         a = [event(0, t=1.0), event(1, t=2.0), event(2, t=3.0)]
         b = [event(0, t=1.0), event(1, t=2.0), event(2, t=4.0)]
         diff = diff_traces(a, b)
-        text = render_diff(diff, "A", "B", events_a=a, context=2)
+        # The streaming comparator carries shared context in the diff
+        # itself (it cannot seek back in a generator).
+        text = render_diff(diff, "A", "B", context=2)
         assert "diverge at event #2" in text
         assert "differing fields: t" in text
         assert "shared context" in text

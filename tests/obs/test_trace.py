@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro.obs.envelope import SCHEMA_VERSION
 from repro.obs.trace import (
     NULL_TRACER,
     JsonlTracer,
@@ -65,8 +66,16 @@ class TestJsonlTracer:
         assert lines[0] == json.dumps(
             json.loads(lines[0]), sort_keys=True, separators=(",", ":")
         )
+        # On disk each line is a versioned envelope: the logical event
+        # plus the schema marker "v".
         first = json.loads(lines[0])
         assert first == {
+            "seq": 0, "kind": "schedule", "cell": "c1",
+            "t": 0.0, "label": "timeout:d1", "v": SCHEMA_VERSION,
+        }
+        # Reading strips the envelope back off.
+        logical = next(read_trace(path))
+        assert logical == {
             "seq": 0, "kind": "schedule", "cell": "c1",
             "t": 0.0, "label": "timeout:d1",
         }
@@ -95,25 +104,47 @@ class TestReadTrace:
         with JsonlTracer(path) as tracer:
             tracer.emit("a", t=1.0)
             tracer.emit("b", t=2.0)
-        events = read_trace(path)
+        events = list(read_trace(path))
         assert [e["kind"] for e in events] == ["a", "b"]
+
+    def test_read_trace_is_a_generator(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlTracer(path) as tracer:
+            tracer.emit("a")
+        events = read_trace(path)
+        assert iter(events) is events  # streaming, not a list
 
     def test_skips_blank_lines(self, tmp_path):
         path = tmp_path / "t.jsonl"
         path.write_text('{"seq":0,"kind":"a"}\n\n{"seq":1,"kind":"b"}\n')
-        assert len(read_trace(path)) == 2
+        assert len(list(read_trace(path))) == 2
+
+    def test_upcasts_v1_lines_losslessly(self, tmp_path):
+        # A PR 3-era trace has no "v" field; the upcaster chain yields
+        # the very same logical events it always contained.
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"kind":"a","seq":0,"t":1.5}\n')
+        assert list(read_trace(path)) == [
+            {"kind": "a", "seq": 0, "t": 1.5}
+        ]
 
     def test_invalid_json_reports_line(self, tmp_path):
         path = tmp_path / "t.jsonl"
         path.write_text('{"seq":0,"kind":"a"}\nnot json\n')
         with pytest.raises(ValueError, match=":2:"):
-            read_trace(path)
+            list(read_trace(path))
 
     def test_non_object_rejected(self, tmp_path):
         path = tmp_path / "t.jsonl"
         path.write_text("[1,2,3]\n")
         with pytest.raises(ValueError, match="objects"):
-            read_trace(path)
+            list(read_trace(path))
+
+    def test_future_schema_version_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"kind":"a","seq":0,"v":99}\n')
+        with pytest.raises(ValueError, match=":1:"):
+            list(read_trace(path))
 
 
 class TestMergeTraces:
@@ -128,7 +159,7 @@ class TestMergeTraces:
         merged = tmp_path / "merged.jsonl"
         count = merge_traces([part1, part2], merged)
         assert count == 3
-        events = read_trace(merged)
+        events = list(read_trace(merged))
         assert [e["cell"] for e in events] == ["a", "b", "b"]
 
     def test_merge_is_order_sensitive(self, tmp_path):
@@ -141,4 +172,4 @@ class TestMergeTraces:
         ba = tmp_path / "ba.jsonl"
         merge_traces([part1, part2], ab)
         merge_traces([part2, part1], ba)
-        assert read_trace(ab) != read_trace(ba)
+        assert list(read_trace(ab)) != list(read_trace(ba))

@@ -1,0 +1,64 @@
+"""Smoke tests for the ``python -m repro.store`` maintenance CLI."""
+
+import json
+
+from repro.store.cli import main
+from repro.store.log import RunStore
+
+
+def seeded_store(root, cells=3):
+    store = RunStore(root, segment_events=4)
+    for run in range(cells):
+        stream = store.stream("table5", {"run": run})
+        for i in range(10):
+            stream.append("dispatch", {"t": float(i)})
+        stream.commit()
+        stream.close()
+        store.commit_result("table5", {"run": run}, {"run": run})
+    return store
+
+
+class TestCompact:
+    def test_merges_segments(self, tmp_path, capsys):
+        store = seeded_store(tmp_path)
+        before = sum(
+            len(store.open(p).segments()) for p in store.stream_paths()
+        )
+        assert before > 3  # multi-segment input
+        assert main(["compact", "--store", str(tmp_path)]) == 0
+        assert "compacted" in capsys.readouterr().out
+        after = sum(
+            len(store.open(p).segments()) for p in store.stream_paths()
+        )
+        assert after == 3
+
+
+class TestProject:
+    def test_rollup_json_per_stream(self, tmp_path, capsys):
+        seeded_store(tmp_path)
+        assert main(
+            ["project", "metrics_rollup", "--store", str(tmp_path)]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+        for line in lines:
+            record = json.loads(line)
+            assert record["projection"] == "metrics_rollup"
+            assert record["result"]["events"] == 11  # 10 + cell_result
+            assert record["meta"]["experiment"] == "table5"
+
+    def test_empty_store_exits_nonzero(self, tmp_path, capsys):
+        assert main(
+            ["project", "metrics_rollup", "--store", str(tmp_path)]
+        ) == 1
+        assert "no streams" in capsys.readouterr().err
+
+    def test_table_rows_projection(self, tmp_path, capsys):
+        seeded_store(tmp_path, cells=1)
+        assert main(
+            ["project", "table_rows", "--store", str(tmp_path),
+             "--no-checkpoint"]
+        ) == 0
+        record = json.loads(capsys.readouterr().out.strip())
+        # The seeded result dict has no as_row() surface: no rows.
+        assert record["result"] == []

@@ -1,0 +1,177 @@
+"""Unit tests for CQRS projections and checkpointed catch-up."""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime.cache import ResultCache
+from repro.store.log import EventStream, RunStore
+from repro.store.projections import (
+    BUILTIN_PROJECTIONS,
+    CellResultProjection,
+    ConfidenceTrajectoryProjection,
+    MetricsRollupProjection,
+    TableRowsProjection,
+    catch_up,
+    first_divergence,
+)
+
+
+def fill(stream, count, start=0, kind="dispatch"):
+    for i in range(start, start + count):
+        stream.append(kind, {"t": float(i), "eid": i})
+
+
+class TestCatchUp:
+    def test_fold_and_checkpoint(self, tmp_path):
+        stream = EventStream(tmp_path / "s")
+        fill(stream, 4)
+        stream.commit()
+        rollup = catch_up(stream, MetricsRollupProjection())
+        assert rollup["events"] == 4
+        assert rollup["by_kind"] == {"dispatch": 4}
+        assert (
+            tmp_path / "s" / "projections" / "metrics_rollup.json"
+        ).exists()
+
+    def test_incremental_replay_only_new_events(self, tmp_path):
+        metrics = MetricsRegistry()
+        stream = EventStream(tmp_path / "s", metrics=metrics)
+        fill(stream, 4)
+        stream.commit()
+        catch_up(stream, MetricsRollupProjection(), metrics=metrics)
+        fill(stream, 2, start=4)
+        stream.commit()
+        rollup = catch_up(
+            stream, MetricsRollupProjection(), metrics=metrics
+        )
+        assert rollup["events"] == 6
+        counters = metrics.as_dict()["counters"]
+        # 4 on the first fold + only the 2 new ones on the second.
+        assert counters["store.projection_catchup_events"] == 6
+
+    def test_idempotent_when_no_new_events(self, tmp_path):
+        metrics = MetricsRegistry()
+        stream = EventStream(tmp_path / "s", metrics=metrics)
+        fill(stream, 3)
+        stream.commit()
+        first = catch_up(stream, MetricsRollupProjection(), metrics=metrics)
+        again = catch_up(stream, MetricsRollupProjection(), metrics=metrics)
+        assert first == again
+        counters = metrics.as_dict()["counters"]
+        assert counters["store.projection_catchup_events"] == 3
+
+    def test_torn_checkpoint_refolds_from_scratch(self, tmp_path):
+        stream = EventStream(tmp_path / "s")
+        fill(stream, 3)
+        stream.commit()
+        catch_up(stream, MetricsRollupProjection())
+        checkpoint = (
+            tmp_path / "s" / "projections" / "metrics_rollup.json"
+        )
+        checkpoint.write_text("{ not json")
+        rollup = catch_up(stream, MetricsRollupProjection())
+        assert rollup["events"] == 3
+
+    def test_no_checkpoint_mode_leaves_no_files(self, tmp_path):
+        stream = EventStream(tmp_path / "s")
+        fill(stream, 2)
+        stream.commit()
+        catch_up(stream, MetricsRollupProjection(), checkpoint=False)
+        assert not (tmp_path / "s" / "projections").exists()
+
+
+class TestCellResultBytes:
+    def test_snapshot_bytes_equal_cache_bytes(self, tmp_path):
+        # The load-bearing CQRS property: the cache entry and the log's
+        # cell_result snapshot are the same bytes, so a cache hit and a
+        # log catch-up are interchangeable bit for bit.
+        value = {"met": 1.3293, "rows": [1, 2, 3]}
+        key = {"run": 1, "seed": 7}
+
+        cache = ResultCache(tmp_path / "cache")
+        cache.put("table5", key, value)
+        cache_file = next((tmp_path / "cache").rglob("*.pkl"))
+
+        store = RunStore(tmp_path / "store")
+        store.commit_result("table5", key, value)
+        stream = store.open(store.stream_path("table5", key))
+        snapshot = catch_up(stream, CellResultProjection())
+
+        assert snapshot == cache_file.read_bytes()
+
+
+class TestTableRowsProjection:
+    class _Row:
+        def __init__(self, name):
+            self.name = name
+
+        def as_row(self):
+            return {"met": 1.0, "name": self.name}
+
+    class _Metrics:
+        pass
+
+    class _CellValue:
+        pass
+
+    def _value(self):
+        metrics = self._Metrics()
+        metrics.releases = [self._Row("Rel1"), self._Row("Rel2")]
+        metrics.system = self._Row("System")
+        value = self._CellValue()
+        value.metrics = metrics
+        value.run = 1
+        value.timeout = 1.5
+        return value
+
+    def test_rows_from_snapshot(self, tmp_path):
+        store = RunStore(tmp_path)
+        key = {"run": 1, "timeout": 1.5}
+        store.commit_result("table5", key, self._value())
+        stream = store.open(store.stream_path("table5", key))
+        rows = catch_up(stream, TableRowsProjection(), checkpoint=False)
+        assert [row["row"] for row in rows] == ["Rel1", "Rel2", "System"]
+        assert all(row["run"] == 1 for row in rows)
+        assert all(row["timeout"] == 1.5 for row in rows)
+
+    def test_no_snapshot_means_no_rows(self, tmp_path):
+        stream = EventStream(tmp_path / "s")
+        fill(stream, 2)
+        stream.commit()
+        assert catch_up(stream, TableRowsProjection(),
+                        checkpoint=False) == []
+
+
+class TestConfidenceProjection:
+    def test_collects_checkpoints_in_order(self, tmp_path):
+        stream = EventStream(tmp_path / "s")
+        stream.append("dispatch", {"t": 0.0})
+        stream.append("checkpoint", {"demands": 10, "p10": 0.42})
+        stream.append("checkpoint", {"demands": 20, "p10": 0.55})
+        stream.commit()
+        curve = catch_up(
+            stream, ConfidenceTrajectoryProjection(), checkpoint=False
+        )
+        assert curve == [
+            {"demands": 10, "p10": 0.42},
+            {"demands": 20, "p10": 0.55},
+        ]
+
+
+class TestFirstDivergence:
+    def test_streaming_diff_between_two_streams(self, tmp_path):
+        a = EventStream(tmp_path / "a")
+        b = EventStream(tmp_path / "b")
+        fill(a, 5)
+        fill(b, 3)
+        b.append("dispatch", {"t": 99.0, "eid": 3})
+        b.append("dispatch", {"t": 4.0, "eid": 4})
+        a.commit()
+        b.commit()
+        diff = first_divergence(a.read(), b.read())
+        assert diff.divergence_index == 3
+        assert diff.differing_fields == ("t",)
+
+
+class TestRegistry:
+    def test_builtin_projection_names_match_classes(self):
+        for name, cls in BUILTIN_PROJECTIONS.items():
+            assert cls().name == name

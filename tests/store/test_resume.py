@@ -1,0 +1,140 @@
+"""Resumable grids: interrupted runs finish bit-identical.
+
+The acceptance property of the event-sourced store: kill a grid run
+after k cells, re-run it against the same store, and the rendered
+output is byte-equal to an uninterrupted run — under both demand
+backends and with or without the process pool.  The in-process tests
+interrupt deterministically (run only a prefix of the grid, as an
+interrupt would leave it); the subprocess test delivers a real SIGTERM
+through the ``python -m repro.store check-resume`` harness CI uses.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments.paper_params import DEFAULT_SEED
+from repro.obs.metrics import MetricsRegistry
+from repro.pipeline import discover, run_experiment
+from repro.pipeline.registry import get_spec
+from repro.pipeline.spec import ExperimentOptions
+from repro.runtime.parallel import run_cells
+from repro.store.log import RunStore
+
+discover()
+
+#: Small but non-trivial per-cell workload (12 cells for table5).
+REQUESTS = 200
+
+
+def options_for(jobs, backend, store, metrics=None):
+    return ExperimentOptions(
+        seed=DEFAULT_SEED,
+        fast=True,
+        jobs=jobs,
+        cache=None,
+        requests=REQUESTS,
+        metrics=metrics,
+        backend=backend,
+        store=store,
+    )
+
+
+class TestInProcessResume:
+    @pytest.mark.parametrize("jobs", [1, 4])
+    @pytest.mark.parametrize("backend", ["event", "columnar"])
+    def test_interrupted_grid_resumes_bit_identical(
+        self, tmp_path, jobs, backend
+    ):
+        spec = get_spec("table5")
+
+        # Uninterrupted baseline, no store.
+        baseline = run_experiment(
+            spec, options_for(jobs, backend, store=None)
+        )
+
+        # "Interrupt": execute only a prefix of the grid against the
+        # store — exactly the state a SIGTERM after k commits leaves.
+        store_root = tmp_path / "store"
+        store = RunStore(store_root)
+        opts = options_for(jobs, backend, store=store)
+        cells = list(spec.build_cells(opts, spec.sizes(opts)))
+        assert len(cells) >= 6
+        run_cells(cells[:5], jobs=jobs, store=store)
+
+        # Resume: the engine discovers the 5 committed cells from the
+        # log and executes only the rest.
+        metrics = MetricsRegistry()
+        resumed = run_experiment(
+            spec,
+            options_for(
+                jobs, backend, store=RunStore(store_root), metrics=metrics
+            ),
+        )
+        counters = metrics.as_dict()["counters"]
+        assert counters["store.resume_skipped_cells"] == 5
+        assert counters.get("pool.cells_executed", 0) == len(cells) - 5
+        assert resumed.text == baseline.text
+
+    def test_fully_committed_grid_replays_without_executing(
+        self, tmp_path
+    ):
+        spec = get_spec("table5")
+        store_root = tmp_path / "store"
+        first = run_experiment(
+            spec, options_for(1, "columnar", RunStore(store_root))
+        )
+        metrics = MetricsRegistry()
+        replay = run_experiment(
+            spec,
+            options_for(
+                1, "columnar", RunStore(store_root), metrics=metrics
+            ),
+        )
+        counters = metrics.as_dict()["counters"]
+        assert counters.get("pool.cells_executed", 0) == 0
+        assert counters["store.resume_skipped_cells"] > 0
+        assert replay.text == first.text
+
+    def test_resume_rewarms_an_attached_cache(self, tmp_path):
+        # The cache is a materialized view of the log: serving a cell
+        # from the store writes it back into the cache.
+        from repro.runtime.cache import ResultCache
+
+        spec = get_spec("table5")
+        store_root = tmp_path / "store"
+        run_experiment(spec, options_for(1, "columnar", RunStore(store_root)))
+
+        cache = ResultCache(tmp_path / "cache")
+        opts = ExperimentOptions(
+            seed=DEFAULT_SEED,
+            fast=True,
+            jobs=1,
+            cache=cache,
+            requests=REQUESTS,
+            backend="columnar",
+            store=RunStore(store_root),
+        )
+        assert cache.entry_count() == 0
+        run_experiment(spec, opts)
+        assert cache.entry_count() > 0
+
+
+class TestSigtermResume:
+    def test_check_resume_harness_end_to_end(self):
+        # Real SIGTERM, real subprocesses: the exact harness CI runs.
+        result = subprocess.run(
+            [
+                sys.executable, "-m", "repro.store", "check-resume",
+                "table5", "--kill-after", "2", "--jobs", "1",
+                "--backend", "columnar", "--requests", str(REQUESTS),
+            ],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0, (
+            result.stdout + "\n" + result.stderr
+        )
+        assert "resume determinism OK" in result.stdout
