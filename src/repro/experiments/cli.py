@@ -22,7 +22,9 @@ Options: ``--seed``, ``--fast`` (each spec's reduced smoke sizes),
 processes (results are bit-identical to a sequential run),
 ``--backend {event,columnar,auto}`` to pick the demand-resolution
 backend (``auto`` uses the columnar array backend where it is proven
-bit-identical and the event kernel elsewhere), and ``--no-cache`` /
+bit-identical and the event kernel elsewhere), ``--batch`` /
+``--no-batch`` to fuse columnar-eligible cells into batched group
+executions (default on; bit-identical either way), and ``--no-cache`` /
 ``--cache-dir`` / ``--clear-cache`` to control the on-disk result
 cache.
 
@@ -186,6 +188,17 @@ def build_parser() -> argparse.ArgumentParser:
             "(tracing, live sampling, non-paper adjudicators)"
         ),
     )
+    parser.add_argument(
+        "--batch",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "fuse columnar-eligible grid cells into batched group "
+            "executions (shared demand-script arena, stacked resolver, "
+            "one store commit per group; bit-identical to the per-cell "
+            "path); --no-batch pins every cell to the per-cell path"
+        ),
+    )
     return parser
 
 
@@ -215,6 +228,7 @@ def _options(
         output=args.output,
         backend=args.backend,
         store=store,
+        batch=args.batch,
     )
 
 

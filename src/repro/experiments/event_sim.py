@@ -10,7 +10,7 @@ adjudicated system).
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ConfigurationError
 from repro.common.seeding import SeedSequenceFactory
@@ -25,8 +25,11 @@ from repro.experiments.paper_params import DEFAULT_SEED
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import JsonlTracer, Tracer
 from repro.runtime import columnar
-from repro.runtime.parallel import CellSpec
-from repro.runtime.sampling import build_demand_script
+from repro.runtime.parallel import BatchSpec, CellSpec
+from repro.runtime.sampling import (
+    build_demand_script,
+    build_demand_script_arena,
+)
 from repro.services.endpoint import ServiceEndpoint
 from repro.services.message import RequestMessage
 from repro.services.retry import RetryingPort, RetryPolicy
@@ -492,6 +495,101 @@ def run_joint_model_cell(
     return SimulationRunResult(run, timeout, metrics_)
 
 
+def _batch_fallback(
+    metrics: Optional[MetricsRegistry], count: int, slug: str
+) -> None:
+    """Decline a fused group: count its cells and label the reason.
+
+    Returning ``None`` from the batch function sends every member back
+    to the per-cell path, which re-runs the full envelope check cell by
+    cell — so a declined group is never wrong, only slower.
+    """
+    if metrics is not None:
+        metrics.counter("backend.batched_fallback_cells").inc(count)
+        metrics.counter(f"backend.batched_fallback_reason.{slug}").inc(count)
+    return None
+
+
+def run_release_pair_batch(
+    kwargs_list: List[Dict[str, Any]],
+    metrics: Optional[MetricsRegistry] = None,
+) -> Optional[List[SimulationRunResult]]:
+    """Resolve a fused group of Table-5/6 cells in one stacked pass.
+
+    The batched grid path (``run_cells(batch=True)``) calls this with
+    the kwargs of every cell in a ``(fn, group)`` chunk.  The group key
+    guarantees the cells share (joint family, requests, profile,
+    sampling, backend); this function still re-checks the columnar
+    envelope per cell — any member outside it declines the whole group
+    (``backend.batched_fallback_cells``, reason-labelled), and the
+    cells fall back to the ordinary per-cell path, whose own ``auto``
+    logic then handles them correctly.
+
+    On the fused path: one shared demand-script arena is drawn (per-cell
+    named streams, sliced as views), one call to
+    :func:`repro.runtime.columnar.resolve_cell_batch` reduces every cell
+    to its Table-5/6 rows, and the caller commits the whole chunk to
+    cache and store in one batch.  Results are bit-identical to the
+    per-cell columnar path because each cell's script rows and RNG
+    spawns are drawn exactly as the standalone path draws them.
+    """
+    if not kwargs_list:
+        return []
+    count = len(kwargs_list)
+    first = kwargs_list[0]
+    for kw in kwargs_list:
+        if kw.get("sampling", "vectorized") != "vectorized":
+            return _batch_fallback(metrics, count, "live-sampling")
+        if kw.get("trace_path") is not None:
+            return _batch_fallback(metrics, count, "tracing")
+        if kw.get("backend", "event") not in ("auto", "columnar"):
+            return _batch_fallback(metrics, count, "event-backend")
+        if kw["requests"] != first["requests"] or repr(
+            kw.get("profile")
+        ) != repr(first.get("profile")):
+            return _batch_fallback(metrics, count, "heterogeneous")
+    profile = first.get("profile") or paper_profile()
+    requests = int(first["requests"])
+    releases = len(profile.release_latencies)
+    joints = [joint_model(kw["joint"], kw["run"]) for kw in kwargs_list]
+    seeds = [SeedSequenceFactory(kw["seed"]) for kw in kwargs_list]
+    arena = build_demand_script_arena(
+        joints,
+        profile.demand_difficulty,
+        profile.release_latencies,
+        requests,
+        seeds,
+    )
+    if arena.outcome_codes is None:
+        return _batch_fallback(metrics, count, "no-outcome-codes")
+    timeouts = [float(kw["timeout"]) for kw in kwargs_list]
+    rows = columnar.resolve_cell_batch(
+        arena,
+        release_names=[
+            f"Web-Service 1.{index}" for index in range(releases)
+        ],
+        timeouts=timeouts,
+        adjudication_delay=P.ADJUDICATION_DELAY,
+        spacings=[
+            timeout + P.ADJUDICATION_DELAY + 0.5 for timeout in timeouts
+        ],
+        middleware_rngs=[
+            factory.generator("middleware") for factory in seeds
+        ],
+        requests=requests,
+    )
+    if metrics is not None:
+        # Fused cells are columnar cells: the per-backend counter keeps
+        # its meaning (and the CI fallback budget its denominator)
+        # whether or not fusion was on.
+        metrics.counter("backend.columnar_cells").inc(count)
+        metrics.counter("backend.batched_cells").inc(count)
+    return [
+        SimulationRunResult(kw["run"], kw["timeout"], row)
+        for kw, row in zip(kwargs_list, rows)
+    ]
+
+
 def release_pair_cells(
     experiment: str,
     joint: str,
@@ -506,6 +604,7 @@ def release_pair_cells(
     metrics: Optional[MetricsRegistry] = None,
     trace_prefix: Optional[str] = None,
     backend: str = "event",
+    batch: bool = True,
 ) -> List[CellSpec]:
     """Build the Table-5/6 grid as pipeline cells.
 
@@ -529,6 +628,15 @@ def release_pair_cells(
     would leave an empty trace); kernel counters are recorded only on
     the inline ``jobs=1`` path — worker-process registries cannot
     report back to the parent.
+
+    With *batch* (the default), columnar-eligible cells — untraced,
+    vectorized sampling, ``auto``/``columnar`` backend — carry a
+    :class:`~repro.runtime.parallel.BatchSpec` grouping them by
+    everything a fused arena must share (experiment, joint family,
+    requests, profile, sampling, backend), so ``run_cells(batch=True)``
+    resolves them as stacked array programs via
+    :func:`run_release_pair_batch`.  ``batch=False`` (the CLI's
+    ``--no-batch``) pins every cell to the per-cell path.
     """
     if backend not in BACKENDS:
         raise ConfigurationError(
@@ -550,6 +658,25 @@ def release_pair_cells(
                 if trace_path is not None and backend == "columnar"
                 else backend
             )
+            batch_spec = None
+            if (
+                batch
+                and trace_path is None
+                and sampling == "vectorized"
+                and cell_backend in ("auto", "columnar")
+            ):
+                batch_spec = BatchSpec(
+                    fn=run_release_pair_batch,
+                    group=(
+                        "release-pair",
+                        experiment,
+                        joint,
+                        requests,
+                        repr(profile) if profile else "paper",
+                        sampling,
+                        cell_backend,
+                    ),
+                )
             cells.append(
                 CellSpec(
                     experiment=experiment,
@@ -579,6 +706,7 @@ def release_pair_cells(
                         sampling=sampling,
                         backend=cell_backend,
                     ),
+                    batch=batch_spec,
                 )
             )
     return cells

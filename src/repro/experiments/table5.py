@@ -44,6 +44,7 @@ def run_table5(
     trace_dir: Optional[str] = None,
     metrics: Optional[MetricsRegistry] = None,
     backend: str = "event",
+    batch: bool = True,
 ) -> SimulationTable:
     """Run the Table 5 grid (correlated releases) programmatically.
 
@@ -66,8 +67,11 @@ def run_table5(
         trace_dir=trace_dir,
         metrics=metrics,
         backend=backend,
+        batch=batch,
     )
-    results = run_cells(cells, jobs=jobs, cache=cache, metrics=metrics)
+    results = run_cells(
+        cells, jobs=jobs, cache=cache, metrics=metrics, batch=batch
+    )
     return SimulationTable(label=TABLE5_LABEL, results=results)
 
 

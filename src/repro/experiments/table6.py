@@ -42,6 +42,7 @@ def run_table6(
     trace_dir: Optional[str] = None,
     metrics: Optional[MetricsRegistry] = None,
     backend: str = "event",
+    batch: bool = True,
 ) -> SimulationTable:
     """Run the Table 6 grid (independent releases) programmatically.
 
@@ -63,8 +64,11 @@ def run_table6(
         trace_dir=trace_dir,
         metrics=metrics,
         backend=backend,
+        batch=batch,
     )
-    results = run_cells(cells, jobs=jobs, cache=cache, metrics=metrics)
+    results = run_cells(
+        cells, jobs=jobs, cache=cache, metrics=metrics, batch=batch
+    )
     return SimulationTable(label=TABLE6_LABEL, results=results)
 
 

@@ -27,6 +27,8 @@ METRIC_NAMES: FrozenSet[str] = frozenset({
     "aio.queue_depth",
     "aio.queue_wait_seconds",
     "aio.throughput",
+    "backend.batched_cells",
+    "backend.batched_fallback_cells",
     "backend.columnar_cells",
     "backend.fallback_cells",
     "cache.corrupt",
@@ -42,6 +44,9 @@ METRIC_NAMES: FrozenSet[str] = frozenset({
     "pool.jobs",
     "pool.queue_wait_seconds",
     "pool.utilization",
+    "store.batch_appends",
+    "store.batch_commits",
+    "store.batch_resume_skipped_cells",
     "store.events_appended",
     "store.projection_catchup_events",
     "store.resume_skipped_cells",
@@ -55,6 +60,7 @@ METRIC_NAMES: FrozenSet[str] = frozenset({
 #: literal ``backend.fallback_reason.<slug>`` names use declared slugs.
 METRIC_PREFIXES: Tuple[str, ...] = (
     "aio.release_up.",
+    "backend.batched_fallback_reason.",
     "backend.fallback_reason.",
 )
 

@@ -70,6 +70,14 @@ class ExperimentOptions:
     (the CLI's ``--store PATH``): completed cells are committed to the
     append-only log as they finish and already-committed cells are
     replayed from it, which is what makes interrupted grids resumable.
+
+    ``batch`` (the CLI's ``--batch``/``--no-batch``, default on) lets
+    the engine fuse cells that declare a
+    :class:`~repro.runtime.parallel.BatchSpec` into stacked group
+    executions — one shared demand-script arena, one batched resolver
+    call and one fsync'd store commit per group — bit-identical to the
+    per-cell path; ``batch=False`` pins every cell to the per-cell
+    path.
     """
 
     seed: int
@@ -83,6 +91,7 @@ class ExperimentOptions:
     output: Optional[str] = None
     backend: str = "auto"
     store: Optional[RunStore] = None
+    batch: bool = True
 
     def trace_path(self, filename: str) -> Optional[str]:
         """Per-cell trace file path, or ``None`` when tracing is off."""

@@ -26,7 +26,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Any, Mapping, Optional, Tuple, Union
+from typing import Any, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.lint.version import LINT_VERSION
 from repro.obs.metrics import MetricsRegistry
@@ -135,6 +135,21 @@ class ResultCache:
             except OSError:
                 pass
             raise
+
+    def put_many(
+        self,
+        experiment: str,
+        items: Sequence[Tuple[Mapping[str, Any], Any]],
+    ) -> None:
+        """Store a batch of ``(key, value)`` results.
+
+        The single write-back API of the batched grid path: a group's
+        results warm the materialized view in one call (each entry still
+        lands atomically, so a crash mid-batch leaves only whole
+        entries).
+        """
+        for key, value in items:
+            self.put(experiment, key, value)
 
     def clear(self) -> int:
         """Delete every cached entry; returns the number removed."""

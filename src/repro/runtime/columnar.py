@@ -78,7 +78,7 @@ from repro.common.errors import ConfigurationError, SimulationError
 from repro.common.seeding import spawn_generator
 from repro.core.adjudicators import Adjudicator, PaperRuleAdjudicator
 from repro.core.modes import ModeConfig, OperatingMode, SequentialOrder
-from repro.runtime.sampling import DemandScript
+from repro.runtime.sampling import DemandScript, ScriptArena
 from repro.simulation.metrics import ReleaseMetrics, SystemMetrics
 from repro.simulation.outcomes import OUTCOME_ORDER, Outcome
 
@@ -266,6 +266,238 @@ def resolve_cell(
         script, names, codes, timeout, adjudication_delay, spacing,
         adjudication_rng, middleware_rng, n, config,
     )
+
+
+def resolve_cell_batch(
+    arena: "ScriptArena",
+    release_names: Sequence[str],
+    timeouts: Sequence[float],
+    adjudication_delay: float,
+    spacings: Sequence[float],
+    middleware_rngs: Sequence[np.random.Generator],
+    *,
+    requests: Optional[int] = None,
+    mode: Optional[ModeConfig] = None,
+    retry: Optional["RetryPolicy"] = None,
+) -> List[SystemMetrics]:
+    """Resolve a whole batch of cells as one stacked array program.
+
+    Cell *c* of the batch reads its script rows from ``arena.script(c)``
+    and its scalar parameters from ``timeouts[c]`` / ``spacings[c]`` /
+    ``middleware_rngs[c]``; the returned list is in cell order, and each
+    entry is bit-identical to :func:`resolve_cell` run on that cell alone
+    (elementwise IEEE ops are identical under broadcasting, and the
+    per-row stable argsorts along the new trailing axis are exactly the
+    per-cell sorts — asserted, not assumed, by the batched equivalence
+    suite).  All cells in a batch share one (mode, release count, retry
+    policy) shape, mirroring how the batched grid path groups work.
+
+    Parallel modes fuse across the leading batch axis.  Sequential and
+    retry cells replay per cell over the shared arena — the win there is
+    the shared script drawing and the single batched store commit, not
+    the resolver arithmetic.
+    """
+    cells = arena.cells
+    if not (len(timeouts) == len(spacings) == len(middleware_rngs) == cells):
+        raise ConfigurationError(
+            f"batch shape mismatch: arena holds {cells} cells but got "
+            f"{len(timeouts)} timeouts, {len(spacings)} spacings, "
+            f"{len(middleware_rngs)} middleware generators"
+        )
+    k = len(release_names)
+    if k < 1:
+        raise ConfigurationError("columnar backend needs at least one release")
+    if len(arena.t2) != k:
+        raise ConfigurationError(
+            f"arena shape mismatch: {k} releases but {len(arena.t2)} "
+            f"latency slabs"
+        )
+    n = int(requests) if requests is not None else arena.requests
+    if arena.rows < n:
+        raise ConfigurationError(
+            f"arena covers {arena.rows} demands per cell, cells need {n}"
+        )
+    config = mode if mode is not None else ModeConfig.max_reliability()
+    names = list(release_names)
+    # Mirror resolve_cell / UpgradeMiddleware.__init__ per cell, in cell
+    # order: the adjudication generator is spawned from the middleware
+    # stream's first draw.
+    adjudication_rngs = [
+        spawn_generator(int(rng.integers(2 ** 63)))
+        for rng in middleware_rngs
+    ]
+    if retry is not None:
+        if config.mode is not OperatingMode.PARALLEL_RELIABILITY:
+            raise ConfigurationError(
+                f"columnar retry is proven for max-reliability only, not "
+                f"operating mode {config.mode.value!r}"
+            )
+        out = []
+        for c in range(cells):
+            script = arena.script(c)
+            codes = script.outcome_codes
+            if codes is None:
+                raise ConfigurationError(
+                    "columnar backend needs a script with outcome codes"
+                )
+            out.append(_resolve_retry(
+                script, names, np.asarray(codes, dtype=np.int64),
+                float(timeouts[c]), adjudication_delay, float(spacings[c]),
+                adjudication_rngs[c], n, retry,
+            ))
+        return out
+    if config.mode is OperatingMode.SEQUENTIAL:
+        out = []
+        for c in range(cells):
+            script = arena.script(c)
+            codes = script.outcome_codes
+            if codes is None:
+                raise ConfigurationError(
+                    "columnar backend needs a script with outcome codes"
+                )
+            out.append(_resolve_sequential(
+                script, names, np.asarray(codes, dtype=np.int64),
+                float(timeouts[c]), adjudication_delay, float(spacings[c]),
+                adjudication_rngs[c], middleware_rngs[c], n, config,
+            ))
+        return out
+    return _resolve_parallel_batch(
+        arena, names, timeouts, spacings, adjudication_delay,
+        adjudication_rngs, n, config,
+    )
+
+
+def _resolve_parallel_batch(
+    arena: "ScriptArena",
+    names: List[str],
+    timeouts: Sequence[float],
+    spacings: Sequence[float],
+    adjudication_delay: float,
+    adjudication_rngs: List[np.random.Generator],
+    n: int,
+    config: ModeConfig,
+) -> List[SystemMetrics]:
+    """Parallel modes 1–3 over a leading batch axis: (C, n, k) tensors.
+
+    Every array op here is the elementwise/per-row twin of its
+    :func:`_resolve_parallel` counterpart with the batch axis prepended:
+    ``arange(n)[None, :] * spacings[:, None]`` reproduces each cell's
+    scalar products bit for bit, and the stable argsorts run along the
+    trailing release axis exactly as the per-cell ``axis=1`` sorts.
+    Only the mismatch adjudication draws loop per cell — each cell owns
+    its generator and its draws must interleave in close order.
+    """
+    codes_block = arena.outcome_codes
+    if codes_block is None:
+        raise ConfigurationError(
+            "columnar backend needs a script arena with outcome codes"
+        )
+    cells = arena.cells
+    k = len(names)
+    codes = np.asarray(codes_block, dtype=np.int64)[:, :n, :]
+    t1 = np.asarray(arena.t1, dtype=np.float64)[:, :n]
+    timeouts_col = np.asarray(timeouts, dtype=np.float64)[:, None]
+    spacings_col = np.asarray(spacings, dtype=np.float64)[:, None]
+    starts = np.arange(n, dtype=np.float64)[None, :] * spacings_col
+    cutoffs = starts + timeouts_col
+
+    arrival = np.empty((cells, n, k), dtype=np.float64)
+    with np.errstate(invalid="ignore"):
+        for j in range(k):
+            t2j = np.asarray(arena.t2[j], dtype=np.float64)[:, :n]
+            arrival[:, :, j] = starts + (t1 + t2j)
+        within = arrival < cutoffs[:, :, None]
+    count_within = within.sum(axis=2)
+
+    if (
+        config.mode is OperatingMode.PARALLEL_DYNAMIC
+        and config.min_responses is not None
+    ):
+        m = min(int(config.min_responses), k)
+    else:
+        m = k
+
+    sort_key = np.where(within, arrival, np.inf)
+    order = np.argsort(sort_key, axis=2, kind="stable")
+    rank = np.argsort(order, axis=2, kind="stable")
+    collected = within & (rank < m)
+
+    valid = collected & (codes != CODE_EVIDENT)
+    valid_count = valid.sum(axis=2)
+    unavailable = count_within == 0
+
+    sorted_key = np.sort(sort_key, axis=2)
+    decision = np.where(count_within >= m, sorted_key[:, :, m - 1], cutoffs)
+    with np.errstate(invalid="ignore"):
+        clipped_times = (
+            np.minimum(decision - starts, timeouts_col) + adjudication_delay
+        )
+
+    system_codes = np.full((cells, n), CODE_EVIDENT, dtype=np.int64)
+    if config.mode is OperatingMode.PARALLEL_RESPONSIVENESS:
+        delivered = valid_count > 0
+        fv_key = np.where(valid, arrival, np.inf)
+        fv_col = np.argmin(fv_key, axis=2)
+        with np.errstate(invalid="ignore"):
+            fv_times = (
+                np.take_along_axis(
+                    arrival, fv_col[:, :, None], axis=2
+                )[:, :, 0] - starts
+            ) + adjudication_delay
+        system_times = np.where(delivered, fv_times, clipped_times)
+        fv_codes = np.take_along_axis(
+            codes, fv_col[:, :, None], axis=2
+        )[:, :, 0]
+        system_codes = np.where(delivered, fv_codes, system_codes)
+    else:
+        system_times = clipped_times
+        has_correct = (valid & (codes == CODE_CORRECT)).any(axis=2)
+        has_nef = (valid & (codes == CODE_NEF)).any(axis=2)
+        mismatch = has_correct & has_nef
+        agree = (valid_count > 0) & ~mismatch
+        first_valid_col = np.argmax(valid, axis=2)
+        acell, arow = np.nonzero(agree)
+        system_codes[acell, arow] = codes[
+            acell, arow, first_valid_col[acell, arow]
+        ]
+        for c in range(cells):
+            m_rows = np.flatnonzero(mismatch[c])
+            if m_rows.size:
+                draws = np.asarray(
+                    _bounded_draws(
+                        adjudication_rngs[c],
+                        [int(b) for b in valid_count[c, m_rows]],
+                    ),
+                    dtype=np.int64,
+                )
+                vkey = np.where(valid[c, m_rows], arrival[c, m_rows], np.inf)
+                vorder = np.argsort(vkey, axis=1, kind="stable")
+                chosen_col = vorder[np.arange(m_rows.size), draws]
+                system_codes[c, m_rows] = codes[c, m_rows, chosen_col]
+
+    results = []
+    for c in range(cells):
+        release_rows = []
+        for j, name in enumerate(names):
+            sel = collected[c, :, j]
+            release_rows.append(
+                ReleaseMetrics.from_arrays(
+                    name,
+                    outcome_codes=codes[c, sel, j],
+                    recorded_times=(arrival[c, :, j] - starts[c])[sel],
+                    no_response=int(n - np.count_nonzero(sel)),
+                )
+            )
+        system_row = ReleaseMetrics.from_arrays(
+            "System",
+            outcome_codes=system_codes[c][~unavailable[c]],
+            recorded_times=system_times[c],
+            no_response=int(np.count_nonzero(unavailable[c])),
+        )
+        metrics = SystemMetrics(releases=release_rows, system=system_row)
+        metrics.check_consistency()
+        results.append(metrics)
+    return results
 
 
 def resolve_release_pair_cell(

@@ -42,6 +42,26 @@ from repro.store.log import RunStore
 
 
 @dataclass(frozen=True)
+class BatchSpec:
+    """How a cell may be fused into a batched group execution.
+
+    *fn* takes the kwargs dicts of a whole group of cells (plus the
+    metrics registry) and returns their results in order — or ``None``
+    to decline the group, in which case every member falls back to the
+    ordinary per-cell path.  Cells fuse only with cells sharing the same
+    ``(fn, group)`` pair, so *group* must carry everything that must be
+    homogeneous across a fused batch (mode, release count, retry
+    policy, workload shape).
+    """
+
+    fn: Callable[
+        [List[Dict[str, Any]], Optional[MetricsRegistry]],
+        Optional[List[Any]],
+    ]
+    group: Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
 class CellSpec:
     """One independent unit of experiment work.
 
@@ -57,12 +77,17 @@ class CellSpec:
         Cache key parts — primitives identifying the cell, typically
         (params, requests, seed).  ``None`` exempts the cell from
         caching.
+    batch:
+        Optional :class:`BatchSpec` declaring the cell fusable into a
+        batched group execution; ``None`` keeps the cell on the
+        per-cell path.
     """
 
     experiment: str
     fn: Callable[..., Any]
     kwargs: Dict[str, Any] = field(default_factory=dict)
     key: Optional[Mapping[str, Any]] = None
+    batch: Optional[BatchSpec] = None
 
     def __post_init__(self) -> None:
         # A live Generator in cell kwargs would be consumed in whatever
@@ -91,6 +116,27 @@ def resolve_jobs(jobs: Optional[int]) -> int:
 #: cells sit well under this; event-kernel cells sit well over it.
 INLINE_CELL_THRESHOLD_SECONDS = 0.05
 
+#: Default ceiling on cells fused into one batched execution (and hence
+#: one store commit).  Bounds both peak arena memory (a chunk of C cells
+#: holds C×rows×(releases+2) float64/int64 slabs) and the resume grain:
+#: a killed run loses at most one chunk's worth of work.  The
+#: ``REPRO_BATCH_MAX_CELLS`` environment variable overrides it (the
+#: resume harness uses a small value to force chunk boundaries inside
+#: small grids).
+BATCH_MAX_CELLS = 64
+
+
+def _batch_chunk_limit(batch_limit: Optional[int]) -> int:
+    if batch_limit is not None:
+        return max(1, int(batch_limit))
+    env = os.environ.get("REPRO_BATCH_MAX_CELLS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return BATCH_MAX_CELLS
+
 
 def _execute_cell(spec: CellSpec) -> Any:
     return spec.fn(**spec.kwargs)
@@ -117,6 +163,89 @@ def _pool_context() -> multiprocessing.context.BaseContext:
     )
 
 
+def _run_batched(
+    cells: Sequence[CellSpec],
+    todo: List[int],
+    results: List[Any],
+    cache: Optional[ResultCache],
+    metrics: Optional[MetricsRegistry],
+    store: Optional[RunStore],
+    batch_limit: Optional[int],
+) -> List[int]:
+    """Execute fusable cells group by group; return the remaining todo.
+
+    Pending cells carrying a :class:`BatchSpec` are partitioned by their
+    ``(fn, group)`` pair in first-appearance order, each partition is
+    chunked to at most :data:`BATCH_MAX_CELLS` cells (grid order — so
+    chunk membership is deterministic and a resumed run reconstructs the
+    same chunks), and each chunk runs as one call to the batch function.
+    Results land in the cache via one :meth:`ResultCache.put_many` and
+    in the store via one fsync'd
+    :meth:`~repro.store.log.RunStore.commit_group_results` per chunk —
+    the batched durability grain.  A chunk whose group stream is already
+    complete is served from the log without executing
+    (``store.batch_resume_skipped_cells``).  A batch function returning
+    ``None`` declines the chunk; its cells stay in the returned todo and
+    take the ordinary per-cell path.
+    """
+    groups: Dict[Tuple[Any, ...], List[int]] = {}
+    for index in todo:
+        batch = cells[index].batch
+        if batch is not None:
+            groups.setdefault((batch.fn, batch.group), []).append(index)
+    if not groups:
+        return todo
+    limit = _batch_chunk_limit(batch_limit)
+    done: set = set()
+    for (fn, _group), members in groups.items():
+        for start in range(0, len(members), limit):
+            chunk = members[start:start + limit]
+            specs = [cells[i] for i in chunk]
+            experiment = specs[0].experiment
+            keys = [spec.key for spec in specs]
+            resumable = store is not None and all(
+                key is not None for key in keys
+            )
+            if resumable:
+                assert store is not None
+                hit, values = store.load_group_results(experiment, keys)
+                if hit and values is not None:
+                    for i, value in zip(chunk, values):
+                        results[i] = value
+                        done.add(i)
+                    if cache is not None:
+                        cache.put_many(
+                            experiment, list(zip(keys, values))
+                        )
+                    if metrics is not None:
+                        metrics.counter(
+                            "store.batch_resume_skipped_cells"
+                        ).inc(len(chunk))
+                    continue
+            values = fn([spec.kwargs for spec in specs], metrics)
+            if values is None:
+                continue
+            if len(values) != len(chunk):
+                raise ConfigurationError(
+                    f"batch function {fn!r} returned {len(values)} "
+                    f"results for {len(chunk)} cells"
+                )
+            for i, value in zip(chunk, values):
+                results[i] = value
+                done.add(i)
+            keyed = [
+                (spec.key, value)
+                for spec, value in zip(specs, values)
+                if spec.key is not None
+            ]
+            if cache is not None and keyed:
+                cache.put_many(experiment, keyed)
+            if resumable:
+                assert store is not None
+                store.commit_group_results(experiment, keys, values)
+    return [index for index in todo if index not in done]
+
+
 def run_cells(
     cells: Sequence[CellSpec],
     jobs: int = 1,
@@ -124,6 +253,8 @@ def run_cells(
     metrics: Optional[MetricsRegistry] = None,
     inline_threshold: Optional[float] = None,
     store: Optional[RunStore] = None,
+    batch: bool = True,
+    batch_limit: Optional[int] = None,
 ) -> List[Any]:
     """Execute *cells*, returning their results in cell order.
 
@@ -158,6 +289,17 @@ def run_cells(
     freshly executed cell is committed to cache *and* store the moment
     its result lands, not at batch end, so interrupting the batch after
     k cells loses at most the in-flight cell.
+
+    With ``batch=True`` (the default), cells carrying a
+    :class:`BatchSpec` are fused into grouped executions first — one
+    batched call per ``(fn, group)`` chunk of at most
+    :data:`BATCH_MAX_CELLS` cells (*batch_limit* or
+    ``REPRO_BATCH_MAX_CELLS`` overrides), with one cache write-back and
+    one fsync'd store commit per chunk.  The durability grain coarsens
+    from one cell to one chunk; chunk membership is deterministic, so a
+    resumed run finds its completed chunks in the log
+    (``store.batch_resume_skipped_cells``).  ``batch=False`` (the CLI's
+    ``--no-batch``) forces every cell down the per-cell path.
     """
     jobs = resolve_jobs(jobs)
     results: List[Any] = [None] * len(cells)
@@ -181,6 +323,16 @@ def run_cells(
         todo.append(index)
     if metrics is not None and resumed:
         metrics.counter("store.resume_skipped_cells").inc(resumed)
+
+    if batch and todo:
+        # Batched pass first: fusable cells run as stacked groups (one
+        # arena, one resolver call, one fsync'd store commit per chunk)
+        # in the parent process — no pool dispatch, no pickling.
+        # Whatever the pass declines (no BatchSpec, or the batch
+        # function fell back) continues below on the per-cell path.
+        todo = _run_batched(
+            cells, todo, results, cache, metrics, store, batch_limit
+        )
 
     execute: Callable[[CellSpec], Any] = (
         _execute_cell_timed if metrics is not None else _execute_cell

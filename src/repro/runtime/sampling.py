@@ -263,6 +263,120 @@ class DemandScript:
         )
 
 
+@dataclass
+class ScriptArena:
+    """Shared demand-script storage for a batch of cells.
+
+    One contiguous ``(cells, rows)`` slab per randomness leg — shared T1,
+    one T2 slab per release, and a ``(cells, rows, releases)`` outcome
+    code block — instead of one set of per-cell arrays.  Each cell's
+    draws come from its *own* :class:`SeedSequenceFactory` streams in
+    exactly :func:`build_demand_script`'s order, so :meth:`script` is a
+    zero-copy view that is bit-identical to the script that cell would
+    have built alone (asserted by the batched equivalence suite).
+
+    ``rows`` is the per-cell script length — ``requests``, or the
+    over-provisioned ``draws`` count for retry cells.
+    """
+
+    requests: int
+    t1: np.ndarray
+    t2: List[np.ndarray]
+    outcome_codes: Optional[np.ndarray] = None
+
+    @property
+    def cells(self) -> int:
+        """Number of cells stacked in the arena."""
+        return int(self.t1.shape[0])
+
+    @property
+    def rows(self) -> int:
+        """Scripted rows per cell."""
+        return int(self.t1.shape[1])
+
+    def script(self, index: int) -> DemandScript:
+        """Cell *index*'s demand script as views into the shared slabs."""
+        if not 0 <= index < self.cells:
+            raise ValidationError(
+                f"arena holds {self.cells} cells, no index {index!r}"
+            )
+        return DemandScript(
+            requests=self.rows,
+            t1=self.t1[index],
+            t2=[slab[index] for slab in self.t2],
+            outcome_codes=(
+                None if self.outcome_codes is None
+                else self.outcome_codes[index]
+            ),
+        )
+
+
+def build_demand_script_arena(
+    joint_models: Sequence[Optional[JointOutcomeModel]],
+    demand_difficulty: Distribution,
+    release_latencies: Sequence[Distribution],
+    requests: int,
+    seeds: Sequence[SeedSequenceFactory],
+    draws: Optional[int] = None,
+) -> ScriptArena:
+    """Pre-draw a whole batch of cells into one shared script arena.
+
+    ``joint_models[c]`` and ``seeds[c]`` belong to cell *c*; the shared
+    *demand_difficulty* / *release_latencies* distributions are the
+    group's common workload shape (cells differing there cannot share an
+    arena).  Per cell, the draw order and named streams are exactly
+    :func:`build_demand_script`'s (``script/outcomes``, ``script/t1``,
+    ``script/t2/<k>``), and each ``sample_many`` block lands in the
+    cell's slab row unchanged — so ``arena.script(c)`` is bit-identical
+    to the standalone script.  *draws* over-provisions every cell's rows
+    exactly as in :func:`build_demand_script`.
+    """
+    if requests <= 0:
+        raise ValidationError(f"requests must be > 0: {requests!r}")
+    rows = requests
+    if draws is not None:
+        if draws < requests:
+            raise ValidationError(
+                f"draws must cover requests: {draws!r} < {requests!r}"
+            )
+        rows = int(draws)
+    cells = len(seeds)
+    if cells == 0:
+        raise ValidationError("arena needs at least one cell")
+    if len(joint_models) != cells:
+        raise ValidationError(
+            f"{len(joint_models)} joint models for {cells} cells"
+        )
+    with_joint = [model is not None for model in joint_models]
+    if any(with_joint) and not all(with_joint):
+        raise ValidationError(
+            "arena cells must all have a joint model or all have none"
+        )
+    releases = len(release_latencies)
+    t1 = np.empty((cells, rows), dtype=np.float64)
+    t2 = [np.empty((cells, rows), dtype=np.float64) for _ in range(releases)]
+    codes = (
+        np.empty((cells, rows, releases), dtype=np.int64)
+        if all(with_joint) else None
+    )
+    for c, factory in enumerate(seeds):
+        if codes is not None:
+            model = joint_models[c]
+            assert model is not None
+            codes[c] = _outcome_matrix(
+                model, factory.generator("script/outcomes"),
+                rows, releases, True,
+            )
+        t1[c] = demand_difficulty.sample_many(
+            factory.generator("script/t1"), rows
+        )
+        for j, latency in enumerate(release_latencies):
+            t2[j][c] = latency.sample_many(
+                factory.generator(f"script/t2/{j}"), rows
+            )
+    return ScriptArena(requests=rows, t1=t1, t2=t2, outcome_codes=codes)
+
+
 def _outcome_matrix(
     joint_model: JointOutcomeModel,
     rng: np.random.Generator,

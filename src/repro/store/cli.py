@@ -116,6 +116,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--keep", action="store_true",
         help="keep the scratch store directories for inspection",
     )
+    check.add_argument(
+        "--batch-max-cells", type=int, default=None, metavar="C",
+        help=(
+            "cap batched group chunks at C cells in the child runs "
+            "(exports REPRO_BATCH_MAX_CELLS) so the kill lands on a "
+            "batch commit boundary even in small grids"
+        ),
+    )
     return parser
 
 
@@ -198,14 +206,29 @@ def _cmd_resume(args: argparse.Namespace) -> int:
 
 
 def _complete_streams(root: Path) -> int:
+    """Committed *cells* under a store root.
+
+    A per-cell stream counts 1; a batched group stream counts the
+    ``cells`` field of its ``meta.json`` (the whole chunk committed as
+    one stream), so ``--kill-after`` thresholds mean the same number of
+    cells whether or not the victim runs batched.
+    """
     count = 0
     for index_path in root.glob("*/*/index.json"):
         try:
             with open(index_path, "r", encoding="utf-8") as handle:
-                if json.load(handle).get("complete"):
-                    count += 1
+                if not json.load(handle).get("complete"):
+                    continue
         except (OSError, ValueError):
             continue
+        cells = 1
+        meta_path = index_path.parent / "meta.json"
+        try:
+            with open(meta_path, "r", encoding="utf-8") as handle:
+                cells = int(json.load(handle).get("cells", 1))
+        except (OSError, ValueError, TypeError):
+            cells = 1
+        count += cells
     return count
 
 
@@ -232,6 +255,8 @@ def _run_to_completion(
 
 def _cmd_check_resume(args: argparse.Namespace) -> int:
     env = _subprocess_env()
+    if args.batch_max_cells is not None:
+        env["REPRO_BATCH_MAX_CELLS"] = str(args.batch_max_cells)
     scratch = Path(tempfile.mkdtemp(prefix="repro-check-resume-"))
     store_killed = scratch / "store-killed"
     store_baseline = scratch / "store-baseline"

@@ -1,0 +1,306 @@
+"""The batched durability grain: slab appends and group commits.
+
+The batched grid path changes *when* results hit the disk — one
+fsync'd group stream per chunk instead of one tiny stream per cell —
+without changing what a resumed run can recover.  These tests pin the
+slab append path (``EventStream.append_batch``) against per-event
+appends, crash-mid-batch reconciliation, the group result round-trip
+on :class:`RunStore`, chunk-grain resume through ``run_cells``, and a
+real SIGTERM delivered across a batch commit boundary via the
+``check-resume`` harness.
+"""
+
+import json
+import struct
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments.event_sim import release_pair_cells
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime.parallel import run_cells
+from repro.store.log import EventStream, RunStore
+
+
+def fill_batch(stream, count, start=0):
+    stream.append_batch([
+        ("dispatch", {"t": float(i), "eid": i})
+        for i in range(start, start + count)
+    ])
+
+
+def rows_as_bits(metrics):
+    def canon(value):
+        if isinstance(value, float):
+            return struct.pack("<d", value).hex()
+        return value
+
+    return {
+        column: {key: canon(value) for key, value in row.items()}
+        for column, row in metrics.all_rows().items()
+    }
+
+
+class TestAppendBatch:
+    def test_batch_append_equals_per_event_appends(self, tmp_path):
+        # Same events through append() and append_batch() must leave
+        # streams with identical logical content, sequence numbers, and
+        # rotation points.
+        single = EventStream(tmp_path / "single", segment_events=10)
+        for i in range(35):
+            single.append("dispatch", {"t": float(i), "eid": i})
+        single.commit()
+        single.close()
+
+        batched = EventStream(tmp_path / "batched", segment_events=10)
+        fill_batch(batched, 35)
+        batched.commit()
+        batched.close()
+
+        left = list(EventStream(tmp_path / "single").read())
+        right = list(EventStream(tmp_path / "batched").read())
+        assert left == right
+        assert sorted(
+            p.name for p in (tmp_path / "single").glob("segment-*.jsonl")
+        ) == sorted(
+            p.name for p in (tmp_path / "batched").glob("segment-*.jsonl")
+        )
+
+    def test_batch_invisible_before_commit(self, tmp_path):
+        stream = EventStream(tmp_path / "s")
+        fill_batch(stream, 2)
+        stream.commit()
+        fill_batch(stream, 3, start=2)  # appended, never committed
+        stream.close()
+        assert len(list(EventStream(tmp_path / "s").read())) == 2
+
+    def test_rotation_mid_batch(self, tmp_path):
+        stream = EventStream(tmp_path / "s", segment_events=10)
+        fill_batch(stream, 35)
+        stream.commit()
+        stream.close()
+        files = sorted(p.name for p in tmp_path.glob("s/segment-*.jsonl"))
+        assert len(files) == 4
+        reopened = EventStream(tmp_path / "s")
+        assert reopened.committed_events == 35
+        assert [e["seq"] for e in reopened.read()] == list(range(35))
+
+    def test_crash_mid_batch_reconciles_to_last_commit(self, tmp_path):
+        # A crash after append_batch but before commit must leave the
+        # stream readable at its last commit, and a resumed writer must
+        # land at the committed sequence — no gap, no duplicate.  Like
+        # append(), append_batch() commits before rotating (pending
+        # events never span segments), so with segment_events=10 the
+        # rotations at 10 and 20 are durable and only the 8-event tail
+        # of the torn batch is lost.
+        stream = EventStream(tmp_path / "s", segment_events=10)
+        fill_batch(stream, 8)
+        stream.commit()
+        fill_batch(stream, 20, start=8)  # tail never committed
+        stream.close()
+
+        assert len(list(EventStream(tmp_path / "s").read())) == 20
+        resumed = EventStream(tmp_path / "s", segment_events=10)
+        seq = resumed.append("dispatch", {"t": 20.0, "eid": 20})
+        resumed.commit()
+        resumed.close()
+        assert seq == 20
+        events = list(EventStream(tmp_path / "s").read())
+        assert [e["seq"] for e in events] == list(range(21))
+
+    def test_batch_append_counter(self, tmp_path):
+        metrics = MetricsRegistry()
+        stream = EventStream(tmp_path / "s", metrics=metrics)
+        fill_batch(stream, 5)
+        fill_batch(stream, 5, start=5)
+        stream.commit()
+        stream.close()
+        counters = metrics.as_dict()["counters"]
+        assert counters["store.batch_appends"] == 2
+        assert counters["store.events_appended"] == 10
+
+
+class TestGroupResults:
+    def keys(self, count=4):
+        return [
+            {"run": 1 + (i % 2), "timeout": 0.5 * (i + 1), "seed": 3}
+            for i in range(count)
+        ]
+
+    def test_round_trip(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        keys = self.keys()
+        values = [{"cell": i, "mean": 0.25 * i} for i in range(len(keys))]
+        store.commit_group_results("table5", keys, values)
+        hit, loaded = store.load_group_results("table5", keys)
+        assert hit
+        assert loaded == values
+
+    def test_group_meta_records_cell_count(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        keys = self.keys(5)
+        store.commit_group_results(
+            "table5", keys, [i for i in range(5)]
+        )
+        gkey = store.group_key("table5", keys)
+        meta_path = store.stream_path("table5", gkey) / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        assert meta["cells"] == 5
+
+    def test_subset_and_superset_membership_miss(self, tmp_path):
+        # Group streams serve exactly the chunk they committed: a
+        # different membership digests to a different stream, so both a
+        # subset and a superset of a committed chunk are misses (and
+        # re-run) rather than partial hits.
+        store = RunStore(tmp_path / "store")
+        keys = self.keys(4)
+        store.commit_group_results(
+            "table5", keys, list(range(4))
+        )
+        assert store.load_group_results("table5", keys[:3]) == (
+            False, None
+        )
+        assert store.load_group_results(
+            "table5", keys + self.keys(5)[4:]
+        ) == (False, None)
+
+    def test_unkeyed_member_misses(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        keys = self.keys(3)
+        hit, _ = store.load_group_results(
+            "table5", [keys[0], None, keys[2]]
+        )
+        assert not hit
+
+    def test_commit_idempotent(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        keys = self.keys(2)
+        store.commit_group_results("table5", keys, ["a", "b"])
+        # A replayed commit (e.g. a resumed run re-reaching the same
+        # chunk) must not grow or corrupt the sealed stream.
+        store.commit_group_results("table5", keys, ["x", "y"])
+        hit, loaded = store.load_group_results("table5", keys)
+        assert hit
+        assert loaded == ["a", "b"]
+
+    def test_group_key_is_order_sensitive_and_deterministic(
+        self, tmp_path
+    ):
+        store = RunStore(tmp_path / "store")
+        keys = self.keys(3)
+        assert store.group_key("table5", keys) == store.group_key(
+            "table5", [dict(k) for k in keys]
+        )
+        assert store.group_key("table5", keys) != store.group_key(
+            "table5", list(reversed(keys))
+        )
+
+
+class TestBatchedGridResume:
+    REQUESTS = 150
+
+    def grid(self, metrics=None):
+        return release_pair_cells(
+            "table5", "correlated", seed=7, requests=self.REQUESTS,
+            backend="columnar", metrics=metrics,
+        )
+
+    def test_chunked_commits_and_full_resume(self, tmp_path):
+        metrics = MetricsRegistry()
+        store = RunStore(tmp_path / "store", metrics=metrics)
+        first = run_cells(
+            self.grid(metrics), metrics=metrics, store=store,
+            batch=True, batch_limit=5,
+        )
+        counters = metrics.as_dict()["counters"]
+        # 12 cells at a 5-cell chunk limit: 5 + 5 + 2.
+        assert counters["store.batch_commits"] == 3
+        assert counters["store.batch_appends"] == 3
+        assert counters["store.events_appended"] == 12
+
+        resumed_metrics = MetricsRegistry()
+        resumed = run_cells(
+            self.grid(resumed_metrics),
+            metrics=resumed_metrics,
+            store=RunStore(tmp_path / "store", metrics=resumed_metrics),
+            batch=True, batch_limit=5,
+        )
+        resumed_counters = resumed_metrics.as_dict()["counters"]
+        assert resumed_counters["store.batch_resume_skipped_cells"] == 12
+        assert "backend.batched_cells" not in resumed_counters
+        for left, right in zip(first, resumed):
+            assert rows_as_bits(left.metrics) == rows_as_bits(
+                right.metrics
+            )
+
+    def test_resume_across_a_missing_chunk(self, tmp_path):
+        # Simulate a crash between batch commits: complete the grid,
+        # then destroy one group stream (as if the run died before that
+        # chunk's fsync).  The resumed run must serve the surviving
+        # chunks from the log, re-execute exactly the lost chunk, and
+        # produce bit-identical results.
+        import shutil
+
+        store_root = tmp_path / "store"
+        baseline = run_cells(
+            self.grid(), store=RunStore(store_root),
+            batch=True, batch_limit=5,
+        )
+        streams = sorted((store_root / "table5").iterdir())
+        assert len(streams) == 3
+        victim = streams[1]
+        lost = json.loads((victim / "meta.json").read_text())["cells"]
+        shutil.rmtree(victim)
+
+        metrics = MetricsRegistry()
+        resumed = run_cells(
+            self.grid(metrics), metrics=metrics,
+            store=RunStore(store_root, metrics=metrics),
+            batch=True, batch_limit=5,
+        )
+        counters = metrics.as_dict()["counters"]
+        assert counters["store.batch_resume_skipped_cells"] == 12 - lost
+        assert counters["backend.batched_cells"] == lost
+        assert counters["store.batch_commits"] == 1
+        for left, right in zip(baseline, resumed):
+            assert rows_as_bits(left.metrics) == rows_as_bits(
+                right.metrics
+            )
+
+    def test_batched_and_per_cell_store_runs_agree(self, tmp_path):
+        batched = run_cells(
+            self.grid(), store=RunStore(tmp_path / "batched"),
+            batch=True,
+        )
+        percell = run_cells(
+            self.grid(), store=RunStore(tmp_path / "percell"),
+            batch=False,
+        )
+        for left, right in zip(batched, percell):
+            assert rows_as_bits(left.metrics) == rows_as_bits(
+                right.metrics
+            )
+
+
+class TestSigtermAcrossBatchBoundary:
+    def test_check_resume_kills_between_batch_commits(self):
+        # Real SIGTERM, real subprocesses: cap chunks at 4 cells so the
+        # 12-cell grid commits in three fsync'd batches, and kill the
+        # victim once the first batch (>= 4 cells) is durable — the
+        # resume must cross a batch commit boundary bit-identically.
+        result = subprocess.run(
+            [
+                sys.executable, "-m", "repro.store", "check-resume",
+                "table5", "--kill-after", "4", "--jobs", "1",
+                "--backend", "columnar", "--requests", "300",
+                "--batch-max-cells", "4", "--seed", "5",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0, (
+            result.stdout + "\n" + result.stderr
+        )
+        assert "resume determinism OK" in result.stdout

@@ -29,6 +29,11 @@ REQUESTS = 200
 
 
 def options_for(jobs, backend, store, metrics=None):
+    # batch=False pins the per-cell durability grain these tests are
+    # about: the prefix-interrupt simulation below commits k *cells*,
+    # which only matches what a resumed run looks up per cell.  The
+    # batched grain (group streams, chunk-consistent interrupts) has
+    # its own suite in tests/store/test_batch_commit.py.
     return ExperimentOptions(
         seed=DEFAULT_SEED,
         fast=True,
@@ -38,6 +43,7 @@ def options_for(jobs, backend, store, metrics=None):
         metrics=metrics,
         backend=backend,
         store=store,
+        batch=False,
     )
 
 
@@ -61,7 +67,7 @@ class TestInProcessResume:
         opts = options_for(jobs, backend, store=store)
         cells = list(spec.build_cells(opts, spec.sizes(opts)))
         assert len(cells) >= 6
-        run_cells(cells[:5], jobs=jobs, store=store)
+        run_cells(cells[:5], jobs=jobs, store=store, batch=False)
 
         # Resume: the engine discovers the 5 committed cells from the
         # log and executes only the rest.
